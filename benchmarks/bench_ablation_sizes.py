@@ -1,0 +1,27 @@
+"""Ablation: SPT and Page Buffer capacity around the Table 1 design point.
+
+The paper sizes DSPatch at a 256-entry SPT and a 64-entry PB (3.6KB).
+The scale-invariant part of that argument is *accuracy*: a smaller
+tagless SPT aliases more trigger PCs per entry and CovP ORs their
+patterns together, so prediction accuracy falls monotonically as the
+table shrinks.  (Miniature-trace *speedup* can reward the extra spray
+while bandwidth is idle — see the driver docstring — so speedup is only
+sanity-bounded here, not knee-asserted.)
+"""
+
+from repro.experiments.ablations import ablation_structure_sizes
+
+
+def test_ablation_structure_sizes(figure):
+    fig = figure(ablation_structure_sizes)
+    design = fig.rows["dspatch"]
+    tiny_spt = fig.rows["dspatch-spt64"]
+    big_spt = fig.rows["dspatch-spt512"]
+
+    # Aliasing costs accuracy: the 4x-smaller SPT is less accurate.
+    assert design["Accuracy %"] > tiny_spt["Accuracy %"]
+    # Quadrupling the SPT must not be a large win (the knee-above claim).
+    assert big_spt["Speedup"] - design["Speedup"] < 8.0
+    assert big_spt["Accuracy %"] <= design["Accuracy %"] + 5.0
+    # Storage ordering sanity.
+    assert tiny_spt["Storage KB"] < design["Storage KB"] < big_spt["Storage KB"]

@@ -1,0 +1,72 @@
+"""Extension: why spatial prefetchers stop at the 4KB page boundary.
+
+Every spatial prefetcher in the paper (SMS, Bingo, DSPatch) confines its
+patterns to one physical page.  The reason is virtual memory: beyond
+4KB, physical adjacency is an accident of frame allocation.  This bench
+makes that design constraint measurable with the vm substrate:
+
+- generate a *virtually* contiguous streaming workload;
+- translate it through (a) an idealised contiguous allocator and (b) a
+  fragmented allocator (a busy machine's frame pool);
+- run a page-agnostic global-delta prefetcher (BOP, whose offsets ARE
+  page-bounded — the in-page control) and the streamer with its
+  page-crossing behaviour suppressed/allowed via physical adjacency.
+
+Expected: every prefetcher keeps its in-page gains under fragmentation,
+while gains attributable to physical page adjacency disappear —
+justifying DSPatch's strictly per-page patterns.
+"""
+
+from repro.cpu.system import System, SystemConfig
+from repro.experiments.scale import Scale
+from repro.memory.vm import PageAllocator, translate_trace
+from repro.metrics.stats import FigureResult
+from repro.workloads.catalog import build_trace
+
+
+def crosspage_study(scale=None):
+    scale = scale or Scale.from_env()
+    virtual = build_trace("fspec06.libquantum", scale.trace_len)  # one long stream
+
+    physical_contig, contig_alloc = translate_trace(
+        virtual, PageAllocator(fragmented=False)
+    )
+    physical_frag, frag_alloc = translate_trace(
+        virtual, PageAllocator(fragmented=True)
+    )
+
+    fig = FigureResult(
+        "extra-crosspage",
+        "Extension: page-contiguous vs fragmented physical frames "
+        "(% over same-allocation baseline, streaming workload)",
+        ["Contiguous", "Fragmented"],
+        notes=[
+            f"allocator contiguity: {contig_alloc.contiguity():.2f} vs "
+            f"{frag_alloc.contiguity():.2f}",
+            "in-page prefetching survives fragmentation; only cross-page "
+            "adjacency gains disappear — the reason DSPatch's patterns are "
+            "strictly per-page",
+        ],
+    )
+    for scheme in ("spp", "dspatch", "sms"):
+        row = {}
+        for column, trace in (
+            ("Contiguous", physical_contig),
+            ("Fragmented", physical_frag),
+        ):
+            base = System(SystemConfig.single_thread("none")).run(trace)
+            res = System(SystemConfig.single_thread(scheme)).run(trace)
+            row[column] = 100.0 * (res.ipc / base.ipc - 1.0) if base.ipc else 0.0
+        fig.add_row(scheme, row)
+    return fig
+
+
+def test_extra_crosspage(figure):
+    fig = figure(crosspage_study)
+    for scheme in ("spp", "dspatch", "sms"):
+        row = fig.rows[scheme]
+        # In-page prefetching must survive frame fragmentation: the
+        # fragmented gain stays within a modest factor of the contiguous
+        # gain (it is not wiped out).
+        assert row["Fragmented"] > 0.0
+        assert row["Fragmented"] >= 0.4 * row["Contiguous"]

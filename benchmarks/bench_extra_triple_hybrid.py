@@ -1,0 +1,13 @@
+"""Section 5.1 (text): DSPatch on top of SPP+BOP adds further coverage.
+
+Paper: +2.6% on average — BOP's global deltas and DSPatch's anchored
+patterns cover non-overlapping misses.
+"""
+
+from repro.experiments.figures import extra_triple_hybrid
+
+
+def test_extra_triple_hybrid(figure):
+    fig = figure(extra_triple_hybrid)
+    row = fig.rows["Hybrid"]
+    assert row["SPP+BOP+DSPatch"] >= row["SPP+BOP"] - 0.5

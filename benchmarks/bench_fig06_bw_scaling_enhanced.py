@@ -1,0 +1,20 @@
+"""Figure 6: bandwidth scaling including the enhanced eSPP and eBOP.
+
+Paper shape: even with bandwidth-aware tuning, neither eSPP nor eBOP
+converts extra bandwidth into proportional gains — the motivation for
+DSPatch's built-in bandwidth awareness.
+"""
+
+from repro.experiments.figures import fig06_bw_scaling_enhanced
+
+
+def test_fig06_bw_scaling_enhanced(figure):
+    fig = figure(fig06_bw_scaling_enhanced)
+    assert {"eSPP", "eBOP"} <= set(fig.rows)
+    for scheme in ("eSPP", "eBOP"):
+        values = [fig.rows[scheme][c] for c in fig.columns]
+        assert all(v > -5.0 for v in values)
+    # eSPP's relaxed threshold must not *lose* to plain SPP at the widest
+    # bandwidth point (it prefetches strictly more there).
+    widest = fig.columns[-1]
+    assert fig.rows["eSPP"][widest] >= fig.rows["SPP"][widest] - 3.0

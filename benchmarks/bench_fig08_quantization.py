@@ -1,0 +1,11 @@
+"""Figure 8: the accuracy/coverage quartile-quantization worked example."""
+
+from repro.experiments.figures import fig08_quantization_example
+
+
+def test_fig08_quantization(figure):
+    fig = figure(fig08_quantization_example)
+    # The paper's exact example: accuracy 3/5 -> 50-75%, coverage 3/8 -> 25-50%.
+    assert fig.value("Accuracy 3/5", "quartile") == "50-75%"
+    assert fig.value("Coverage 3/8", "quartile") == "25-50%"
+    assert fig.value("Bitwise-AND", "popcount") == 3.0

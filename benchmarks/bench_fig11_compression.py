@@ -1,0 +1,22 @@
+"""Figure 11: delta distribution and 128B-compression misprediction rates.
+
+Paper shapes: (a) +1/-1 are the dominant deltas (>50% together);
+(b) most workloads suffer little from 128B-granularity compression —
+42% none at all, 70% below a 25% misprediction rate.
+"""
+
+from repro.experiments.figures import fig11a_delta_distribution, fig11b_compression_error
+
+
+def test_fig11a_delta_distribution(figure):
+    fig = figure(fig11a_delta_distribution)
+    row = fig.rows["All workloads"]
+    assert row["+1"] + row["-1"] > 50.0
+
+
+def test_fig11b_compression_error(figure):
+    fig = figure(fig11b_compression_error)
+    row = fig.rows["Share of workloads"]
+    below_25 = row["Exactly 0%"] + row["0%-12.5%"] + row["12.5%-25%"]
+    assert below_25 >= 60.0  # paper: 70%
+    assert row["Exactly 50%"] <= 15.0

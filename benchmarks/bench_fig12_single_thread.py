@@ -1,0 +1,20 @@
+"""Figure 12: the headline single-thread comparison.
+
+Paper shape: DSPatch+SPP improves on standalone SPP (by ~6% geomean in the
+paper) and the combination captures both paradigms' wins.
+"""
+
+from repro.experiments.figures import fig12_single_thread
+
+
+def test_fig12_single_thread(figure):
+    fig = figure(fig12_single_thread)
+    spp = fig.rows["SPP"]["GEOMEAN"]
+    combo = fig.rows["DSPatch+SPP"]["GEOMEAN"]
+    # The adjunct claim: the combination beats standalone SPP overall.
+    assert combo > spp
+    # And it never loses a category badly.
+    for category in fig.columns:
+        assert fig.rows["DSPatch+SPP"][category] >= fig.rows["SPP"][category] - 3.0
+    # Standalone DSPatch is positive overall.
+    assert fig.rows["DSPatch"]["GEOMEAN"] > 0

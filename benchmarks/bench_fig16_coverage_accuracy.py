@@ -1,0 +1,20 @@
+"""Figure 16: coverage and misprediction breakdown per category.
+
+Paper shape: DSPatch+SPP has noticeably more coverage than SPP, paying a
+smaller increase in mispredictions (2:1 coverage:misprediction in the
+paper); SMS is the most accurate prior scheme.
+"""
+
+from repro.experiments.figures import fig16_coverage_accuracy
+
+
+def test_fig16_coverage_accuracy(figure):
+    fig = figure(fig16_coverage_accuracy)
+    avg_spp = fig.rows["AVG/SPP"]
+    avg_combo = fig.rows["AVG/DSPatch+SPP"]
+    assert avg_combo["Covered"] > avg_spp["Covered"]
+    # Covered + Uncovered partitions the baseline misses.
+    for label, row in fig.rows.items():
+        assert abs(row["Covered"] + row["Uncovered"] - 100.0) < 0.6, label
+    # SMS is the most accurate prior prefetcher (fewest mispredictions).
+    assert fig.rows["AVG/SMS"]["Mispredicted"] <= fig.rows["AVG/BOP"]["Mispredicted"]

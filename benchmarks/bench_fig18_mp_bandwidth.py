@@ -1,0 +1,21 @@
+"""Figure 18: homogeneous vs heterogeneous mixes at DDR4-2133 and 2400.
+
+Paper shape: all schemes gain at both bandwidths; DSPatch+SPP stays on top
+and benefits from the 2133 -> 2400 frequency bump.
+"""
+
+from repro.experiments.figures import fig18_mp_bandwidth
+
+
+def test_fig18_mp_bandwidth(figure):
+    fig = figure(fig18_mp_bandwidth)
+    combo = fig.rows["DSPatch+SPP"]
+    spp = fig.rows["SPP"]
+    for column in fig.columns:
+        assert combo[column] >= spp[column] - 2.0, column
+    # The combo gains from extra bandwidth on at least one mix flavour.
+    gain_2400 = max(
+        combo[c] for c in fig.columns if "2400" in c
+    )
+    gain_2133 = min(combo[c] for c in fig.columns if "2133" in c)
+    assert gain_2400 >= gain_2133 - 2.0

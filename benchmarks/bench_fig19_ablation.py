@@ -1,0 +1,17 @@
+"""Figure 19: contribution of the accuracy-biased pattern (ablation).
+
+Paper shape: full DSPatch > ModCovP > AlwaysCovP — statically choosing a
+single pattern type is sub-optimal; the dynamic dual-pattern selection is
+load-bearing.
+"""
+
+from repro.experiments.figures import fig19_accp_contribution
+
+
+def test_fig19_ablation(figure):
+    fig = figure(fig19_accp_contribution)
+    row = fig.rows["DSPatch+SPP variants"]
+    # The full design is never worse than either ablation (small tolerance
+    # at reduced scale).
+    assert row["DSPatch"] >= row["AlwaysCovP"] - 1.0
+    assert row["DSPatch"] >= row["ModCovP"] - 1.0

@@ -1,0 +1,24 @@
+"""Tables 1 and 3: storage budgets.
+
+Table 1 must reproduce exactly: DSPatch = 29,568 bits = 3.6 KB.
+Table 3's relative ordering (BOP < DSPatch < SPP << SMS) must hold; the
+paper's quoted sizes are noted in the rendered output.
+"""
+
+from repro.experiments.figures import table1_dspatch_storage, table3_prefetcher_storage
+
+
+def test_table1_dspatch_storage(figure):
+    fig = figure(table1_dspatch_storage)
+    assert fig.value("PB", "bits") == 10112.0
+    assert fig.value("SPT", "bits") == 19456.0
+    total_kb = sum(row["KB"] for row in fig.rows.values())
+    assert 3.55 <= total_kb <= 3.65  # the paper's 3.6 KB
+
+
+def test_table3_prefetcher_storage(figure):
+    fig = figure(table3_prefetcher_storage)
+    kb = {name: row["KB"] for name, row in fig.rows.items()}
+    assert kb["BOP"] < kb["DSPatch"] < kb["SPP"] < kb["SMS"]
+    assert kb["DSPatch"] < (2 / 3) * kb["SPP"] * 1.05  # "2/3rd of SPP"
+    assert kb["DSPatch"] < kb["SMS"] / 20  # "1/20th of SMS"

@@ -1,0 +1,31 @@
+"""Shared helpers for the figure-reproduction benches.
+
+Each bench runs one figure driver (timed once by pytest-benchmark), prints
+the rendered table — these are the rows/series the paper reports — and
+asserts the *shape* invariants the paper's narrative rests on.  Absolute
+numbers come from synthetic workloads on a simplified machine; shapes (who
+wins, ordering, scaling direction) are the reproduction target.
+
+Scale: defaults are small enough for a laptop run; set ``REPRO_FULL=1``
+(plus optionally ``REPRO_TRACE_LEN``) for paper-sized sweeps.
+"""
+
+import pytest
+
+
+def run_figure(benchmark, driver, *args, **kwargs):
+    """Run ``driver`` once under the benchmark timer and print the table."""
+    result = benchmark.pedantic(lambda: driver(*args, **kwargs), rounds=1, iterations=1)
+    print()
+    print(result.render())
+    return result
+
+
+@pytest.fixture
+def figure(benchmark):
+    """Fixture form of :func:`run_figure`."""
+
+    def _run(driver, *args, **kwargs):
+        return run_figure(benchmark, driver, *args, **kwargs)
+
+    return _run

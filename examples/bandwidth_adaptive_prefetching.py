@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Bandwidth-adaptive prefetching: watch DSPatch switch patterns.
+
+The core of the paper (Sections 3.2 and 3.6): DSPatch reads a 2-bit DRAM
+bandwidth-utilization signal and predicts with the coverage-biased pattern
+(CovP) when bandwidth is plentiful, the accuracy-biased pattern (AccP) when
+it is tight, and nothing at all when even AccP is unreliable.
+
+This example drives the *same* workload through the six DRAM
+configurations of Figure 15 (1/2 channels x DDR4-1600/2133/2400) and shows
+
+- how baseline utilization falls as peak bandwidth grows, and
+- how DSPatch's CovP/AccP prediction mix shifts in response, and
+- how the DSPatch+SPP speedup scales with bandwidth.
+"""
+
+from repro import DramConfig, System, SystemConfig, build_trace
+from repro.memory.dram import BANDWIDTH_SWEEP
+
+
+def main():
+    trace = build_trace("sysmark.excel", length=12000)
+    print(f"workload: sysmark.excel ({len(trace)} memory ops)\n")
+    header = (
+        f"{'config':>9s} {'peak GB/s':>9s} {'base util':>9s} "
+        f"{'CovP':>6s} {'AccP':>6s} {'none':>6s} {'DSPatch+SPP':>12s}"
+    )
+    print(header)
+    print("-" * len(header))
+
+    for dram in BANDWIDTH_SWEEP:
+        base = System(SystemConfig.single_thread("none", dram=dram)).run(trace)
+        combo = System(SystemConfig.single_thread("spp+dspatch", dram=dram)).run(trace)
+
+        # Re-run standalone DSPatch to read its pattern-selection counters.
+        import repro.prefetchers.registry as registry
+        from repro.cpu.core import CoreExecution, CoreModel
+        from repro.memory.dram import DramModel
+        from repro.memory.hierarchy import MemoryHierarchy
+        from repro.prefetchers.stride import PcStridePrefetcher
+
+        dram_model = DramModel(dram)
+        dspatch = registry.build_prefetcher("dspatch", dram_model)
+        hierarchy = MemoryHierarchy(
+            dram=dram_model,
+            l1_prefetcher=PcStridePrefetcher(),
+            l2_prefetcher=dspatch,
+        )
+        CoreExecution(CoreModel(), trace, hierarchy).run()
+
+        predictions = max(
+            1, dspatch.predictions_covp + dspatch.predictions_accp + dspatch.predictions_suppressed
+        )
+        base_util = sum(i * f for i, f in enumerate(base.bw_utilization_residency)) / 3
+        speedup = 100.0 * (combo.ipc / base.ipc - 1.0)
+        print(
+            f"{dram.label():>9s} {dram.peak_gbps:9.1f} {base_util:9.0%} "
+            f"{dspatch.predictions_covp / predictions:6.0%} "
+            f"{dspatch.predictions_accp / predictions:6.0%} "
+            f"{dspatch.predictions_suppressed / predictions:6.0%} "
+            f"{speedup:+11.1f}%"
+        )
+
+    print(
+        "\nReading: with narrow DRAM the utilization signal sits high, so"
+        "\nDSPatch leans on AccP (or suppresses); as peak bandwidth grows the"
+        "\nsignal drops and CovP's aggressive predictions take over — that is"
+        "\nthe mechanism behind Figure 15's scaling."
+    )
+
+
+if __name__ == "__main__":
+    main()

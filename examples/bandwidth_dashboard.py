@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Bandwidth dashboard: watch the §3.2 signal drive DSPatch's decisions.
+
+Runs one bandwidth-hungry workload under DSPatch+SPP on machines with one
+and two DDR4 channels, sampling the 2-bit utilization signal through the
+run, then renders:
+
+- the utilization timeline per configuration (ASCII line chart),
+- the quartile residency histogram,
+- DSPatch's CovP/AccP/suppressed decision counts — the visible effect of
+  the signal on pattern selection (Figure 10 in action).
+"""
+
+from repro.cpu.core import CoreExecution
+from repro.cpu.system import SystemConfig
+from repro.memory.dram import DramConfig, DramModel
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.metrics.asciichart import line_chart
+from repro.prefetchers.registry import build_prefetcher
+from repro.prefetchers.stride import PcStridePrefetcher
+from repro.workloads.catalog import build_trace
+
+WORKLOAD = "hpc.parsec-stream"
+LENGTH = 12000
+SAMPLES = 40
+
+
+def run_sampled(dram_config):
+    """Run once, sampling utilization at fixed demand-op intervals."""
+    config = SystemConfig.single_thread("spp+dspatch", dram=dram_config)
+    dram = DramModel(dram_config)
+    combo = build_prefetcher("spp+dspatch", dram)
+    hierarchy = MemoryHierarchy(
+        config=config.hierarchy,
+        dram=dram,
+        l1_prefetcher=PcStridePrefetcher(),
+        l2_prefetcher=combo,
+    )
+    trace = build_trace(WORKLOAD, LENGTH)
+    execution = CoreExecution(config.core, trace, hierarchy)
+
+    interval = max(1, len(trace) // SAMPLES)
+    timeline = {}
+    ops = 0
+    while execution.advance():
+        ops += 1
+        if ops % interval == 0:
+            timeline[ops] = 100.0 * dram.utilization(execution.time)
+    dspatch = combo.components[1]  # spp+dspatch: DSPatch is second
+    return timeline, dram, dspatch, execution.finalize()
+
+
+def main():
+    timelines = {}
+    for channels in (1, 2):
+        dram_config = DramConfig(speed_grade=2133, channels=channels)
+        label = dram_config.label()
+        timeline, dram, dspatch, stats = run_sampled(dram_config)
+        timelines[label] = timeline
+
+        residency = dram.monitor.bucket_residency()
+        quartiles = ", ".join(
+            f"q{i}: {share:.0%}" for i, share in enumerate(residency)
+        )
+        total_preds = (
+            dspatch.predictions_covp
+            + dspatch.predictions_accp
+            + dspatch.predictions_suppressed
+        )
+        print(f"== {label}  (peak {dram_config.peak_gbps:.1f} GB/s)")
+        print(f"   ipc {stats.ipc:.3f}   quartile residency: {quartiles}")
+        if total_preds:
+            print(
+                f"   DSPatch selections: CovP {dspatch.predictions_covp}, "
+                f"AccP {dspatch.predictions_accp}, "
+                f"suppressed {dspatch.predictions_suppressed}"
+            )
+        print()
+
+    print(
+        line_chart(
+            timelines,
+            title=f"DRAM utilization (%) through the run — {WORKLOAD}",
+            x_label="memory ops",
+            y_label="% of peak",
+            height=14,
+        )
+    )
+    print(
+        "\nReading guide: the 1-channel run sits in higher quartiles, pushing"
+        "\nDSPatch toward AccP (accuracy); doubling the channels drops the"
+        "\nutilization and lets CovP chase coverage — the paper's Figure 10"
+        "\nmechanism, observable."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Extending the library: plug a custom prefetcher into the simulator.
+
+The `Prefetcher` interface is three methods: ``train`` (observe an access,
+return candidates), ``storage_breakdown`` (hardware budget), and optional
+usefulness hooks.  This example implements a naive next-N-lines prefetcher,
+wires it into the hierarchy by hand, and compares it against DSPatch on a
+spatial workload — a template for prototyping your own designs.
+"""
+
+from repro import build_trace
+from repro.cpu.core import CoreExecution, CoreModel
+from repro.memory.dram import DramConfig, DramModel
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.prefetchers.base import PrefetchCandidate, Prefetcher
+from repro.prefetchers.registry import build_prefetcher
+from repro.prefetchers.stride import PcStridePrefetcher
+
+
+class NextNLines(Prefetcher):
+    """Prefetch the next N sequential lines after every training access.
+
+    High coverage on streams, terrible accuracy on anything irregular —
+    a useful straw man.
+    """
+
+    name = "next-n-lines"
+
+    def __init__(self, degree=2):
+        self.degree = degree
+
+    def train(self, cycle, pc, addr, hit):
+        line = addr >> 6
+        page = line >> 6
+        out = []
+        for dist in range(1, self.degree + 1):
+            target = line + dist
+            if target >> 6 != page:
+                break  # stay within the 4KB page
+            out.append(PrefetchCandidate(target))
+        return out
+
+    def storage_breakdown(self):
+        return {}  # stateless
+
+
+def run_with(trace, l2_prefetcher_or_name):
+    dram = DramModel(DramConfig())
+    if isinstance(l2_prefetcher_or_name, str):
+        l2 = build_prefetcher(l2_prefetcher_or_name, dram)
+    else:
+        l2 = l2_prefetcher_or_name
+    hierarchy = MemoryHierarchy(
+        dram=dram, l1_prefetcher=PcStridePrefetcher(), l2_prefetcher=l2
+    )
+    stats = CoreExecution(CoreModel(), trace, hierarchy).run()
+    coverage, accuracy, _ = hierarchy.coverage_accuracy()
+    return stats.ipc, coverage, accuracy
+
+
+def main():
+    trace = build_trace("ispec17.xalancbmk17", length=10000)
+    base_ipc, _, _ = run_with(trace, "none")
+    print(f"baseline IPC: {base_ipc:.3f}\n")
+    print(f"{'prefetcher':>14s} {'speedup':>8s} {'coverage':>9s} {'accuracy':>9s}")
+    for name, pf in (
+        ("next-2-lines", NextNLines(degree=2)),
+        ("next-8-lines", NextNLines(degree=8)),
+        ("dspatch", "dspatch"),
+        ("spp+dspatch", "spp+dspatch"),
+    ):
+        ipc, coverage, accuracy = run_with(trace, pf)
+        print(
+            f"{name:>14s} {100 * (ipc / base_ipc - 1):+7.1f}% "
+            f"{coverage:9.1%} {accuracy:9.1%}"
+        )
+    print(
+        "\nThe straw man buys coverage by flooding inaccurate requests;"
+        "\nDSPatch gets comparable coverage at far better accuracy by"
+        "\nlearning anchored spatial patterns."
+    )
+
+
+if __name__ == "__main__":
+    main()

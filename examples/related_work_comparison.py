@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Related work: one prefetcher per family, on two contrasting workloads.
+
+Section 6 of the paper sorts prefetchers into families — temporal
+(Markov), delta-based (VLDP, SPP, BOP), bit-pattern (SMS, Bingo, DSPatch)
+— and argues the storage hierarchy between them.  This example runs one
+representative per family on:
+
+- a dense streaming workload (HPC linpack), where delta prefetchers
+  shine, and
+- a jittered-layout workload (SYSmark excel), where only anchored
+  bit-patterns keep up.
+
+and prints speedup against hardware cost.
+"""
+
+from repro import System, SystemConfig, build_trace
+from repro.memory.dram import FixedBandwidth
+from repro.prefetchers.registry import build_prefetcher
+
+FAMILIES = [
+    ("nextline-4", "static spatial"),
+    ("markov", "temporal correlation"),
+    ("vldp", "delta history"),
+    ("spp", "delta signature"),
+    ("sms", "bit-pattern (PC+offset)"),
+    ("bingo", "bit-pattern (dual event)"),
+    ("dspatch", "dual anchored bit-pattern"),
+]
+
+
+def main():
+    workloads = {
+        "hpc.linpack": build_trace("hpc.linpack", length=12000),
+        "sysmark.excel": build_trace("sysmark.excel", length=12000),
+    }
+    baselines = {
+        name: System(SystemConfig.single_thread("none")).run(trace)
+        for name, trace in workloads.items()
+    }
+
+    header = f"{'scheme':12s} {'family':26s} {'storage':>9s}"
+    for name in workloads:
+        header += f" {name:>16s}"
+    print(header)
+    print("-" * len(header))
+
+    for scheme, family in FAMILIES:
+        storage = build_prefetcher(scheme, FixedBandwidth(0)).storage_kb()
+        row = f"{scheme:12s} {family:26s} {storage:8.1f}K"
+        for name, trace in workloads.items():
+            result = System(SystemConfig.single_thread(scheme)).run(trace)
+            speedup = 100.0 * (result.ipc / baselines[name].ipc - 1.0)
+            row += f" {speedup:+15.1f}%"
+        print(row)
+
+    print(
+        "\nReading guide: Markov's megabyte table cannot learn at this working-set"
+        "\nsize (the paper's Section 6 point about temporal prefetchers); Bingo"
+        "\nbuys its wins with >100KB; DSPatch holds both columns at 3.6KB."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Sensitivity study: DSPatch's structure sizes and design toggles.
+
+Reproduces the reasoning behind Table 1's sizing on a small workload
+sample: sweep the SPT and Page Buffer around the design point, then
+toggle each structural design choice (anchoring, dual triggers, 128B
+compression) off individually.
+
+The design point should sit at the knee of the size curves, and every
+toggle should cost performance somewhere — otherwise the mechanism would
+not be earning its storage.
+"""
+
+from repro import System, SystemConfig, build_trace
+from repro.memory.dram import FixedBandwidth
+from repro.metrics.stats import geomean
+from repro.prefetchers.registry import build_prefetcher
+
+WORKLOADS = ("hpc.linpack", "sysmark.excel", "cloud.bigbench", "ispec06.mcf")
+TRACE_LEN = 10000
+
+
+def geomean_speedup(scheme, traces, baselines):
+    ratios = []
+    for name, trace in traces.items():
+        result = System(SystemConfig.single_thread(scheme)).run(trace)
+        ratios.append(result.ipc / baselines[name].ipc)
+    return 100.0 * (geomean(ratios) - 1.0)
+
+
+def main():
+    traces = {name: build_trace(name, TRACE_LEN) for name in WORKLOADS}
+    baselines = {
+        name: System(SystemConfig.single_thread("none")).run(trace)
+        for name, trace in traces.items()
+    }
+
+    print("== structure sizes (geomean speedup vs. storage) ==")
+    for scheme in (
+        "dspatch-spt64",
+        "dspatch-spt128",
+        "dspatch",
+        "dspatch-spt512",
+        "dspatch-pb32",
+        "dspatch-pb128",
+    ):
+        storage = build_prefetcher(scheme, FixedBandwidth(0)).storage_kb()
+        label = scheme + (" (design point)" if scheme == "dspatch" else "")
+        print(f"  {label:28s} {geomean_speedup(scheme, traces, baselines):+6.1f}%  "
+              f"at {storage:.1f}KB")
+
+    print("\n== design-choice toggles ==")
+    for scheme, what in (
+        ("dspatch", "full design"),
+        ("dspatch-noanchor", "no trigger anchoring (Section 3.3 off)"),
+        ("dspatch-1trigger", "single trigger per page (Section 3.7 off)"),
+        ("dspatch-64b", "uncompressed 64B patterns (Section 3.8 off)"),
+    ):
+        storage = build_prefetcher(scheme, FixedBandwidth(0)).storage_kb()
+        print(f"  {what:42s} {geomean_speedup(scheme, traces, baselines):+6.1f}%  "
+              f"at {storage:.1f}KB")
+
+
+if __name__ == "__main__":
+    main()

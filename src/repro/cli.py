@@ -1,0 +1,201 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+Subcommands:
+
+- ``list-workloads`` — the 75-workload catalog, by category.
+- ``list-prefetchers`` — every registry scheme with its storage budget.
+- ``run`` — simulate one workload under one scheme and print the result.
+- ``figure`` — regenerate one or more paper figures (tables, optionally
+  ASCII charts).
+- ``trace-stats`` — access-structure statistics of a workload trace.
+- ``sweep`` — one scheme across the six DRAM configurations (Figure 15's
+  x-axis) for one workload.
+"""
+
+import argparse
+
+from repro.memory.dram import BANDWIDTH_SWEEP, DramConfig, FixedBandwidth
+
+
+def _parse_dram(label):
+    """Parse ``"2ch-2400"``-style labels into a :class:`DramConfig`."""
+    try:
+        channels_part, grade_part = label.split("-")
+        channels = int(channels_part.rstrip("ch"))
+        grade = int(grade_part)
+        return DramConfig(speed_grade=grade, channels=channels)
+    except (ValueError, AttributeError):
+        raise SystemExit(
+            f"bad DRAM label {label!r}; expected e.g. 1ch-2133 or 2ch-2400"
+        ) from None
+
+
+def _cmd_list_workloads(args):
+    from repro.workloads.catalog import CATEGORIES, WORKLOADS, workloads_in_category
+
+    categories = [args.category] if args.category else CATEGORIES
+    for category in categories:
+        print(f"{category}:")
+        for name in workloads_in_category(category):
+            w = WORKLOADS[name]
+            marker = " [mem-intensive]" if w.mem_intensive else ""
+            print(f"  {name}  ({w.intensity}){marker}")
+    return 0
+
+
+def _cmd_list_prefetchers(args):
+    from repro.prefetchers.registry import available_prefetchers, build_prefetcher
+
+    print(f"{'scheme':18s} {'storage':>10s}")
+    for name in available_prefetchers():
+        pf = build_prefetcher(name, FixedBandwidth(0))
+        kb = pf.storage_kb()
+        print(f"{name:18s} {kb:9.1f}KB")
+    print("\ncomposites: join with '+', e.g. spp+dspatch (primary first)")
+    return 0
+
+
+def _cmd_run(args):
+    from repro.experiments.runner import run_workload
+
+    dram = _parse_dram(args.dram) if args.dram else None
+    base = run_workload(args.workload, "none", args.length, dram)
+    res = run_workload(args.workload, args.scheme, args.length, dram)
+    speedup = 100.0 * (res.ipc / base.ipc - 1.0) if base.ipc > 0 else 0.0
+    if args.json:
+        import json
+
+        payload = res.to_dict()
+        payload["workload"] = args.workload
+        payload["scheme"] = args.scheme
+        payload["baseline_ipc"] = base.ipc
+        payload["speedup_pct"] = speedup
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(f"workload   {args.workload}")
+    print(f"scheme     {args.scheme}")
+    print(f"ipc        {res.ipc:.3f}  (baseline {base.ipc:.3f}, {speedup:+.1f}%)")
+    print(f"coverage   {100 * res.coverage:.1f}%")
+    print(f"accuracy   {100 * res.accuracy:.1f}%")
+    print(f"issued     {res.pf_issued}  (late {res.pf_late}, useless {res.pf_useless})")
+    print(f"l2 misses  {res.l2_demand_misses}  (mpki {res.mpki:.2f})")
+    print(f"bandwidth  {res.achieved_gbps:.1f} GB/s achieved")
+    residency = ", ".join(
+        f"q{i}: {100 * share:.0f}%" for i, share in enumerate(res.bw_utilization_residency)
+    )
+    print(f"bw buckets {residency}")
+    return 0
+
+
+def _cmd_figure(args):
+    from repro.experiments.figures import ALL_FIGURES
+
+    unknown = [f for f in args.figures if f not in ALL_FIGURES]
+    if unknown:
+        known = ", ".join(ALL_FIGURES)
+        raise SystemExit(f"unknown figure(s) {', '.join(unknown)}; known: {known}")
+    targets = args.figures or list(ALL_FIGURES)
+    for target in targets:
+        fig = ALL_FIGURES[target]()
+        print(fig.render())
+        if args.chart:
+            try:
+                print()
+                print(fig.render_chart())
+            except ValueError:
+                pass  # single-column figures have no chart form
+        print()
+    return 0
+
+
+def _cmd_trace_stats(args):
+    from repro.workloads.analysis import analyze_trace
+    from repro.workloads.catalog import build_trace
+
+    trace = build_trace(args.workload, args.length)
+    print(analyze_trace(trace, args.workload).render())
+    return 0
+
+
+def _cmd_report(args):
+    from repro.experiments.report import write_report
+
+    path = write_report(args.output, args.figures or None, include_charts=not args.no_charts)
+    print(f"wrote {path}")
+    return 0
+
+
+def _cmd_sweep(args):
+    from repro.experiments.runner import run_workload
+
+    print(f"{'dram':10s} {'peak GB/s':>9s} {'baseline':>9s} {args.scheme:>12s} {'delta':>8s}")
+    for dram in BANDWIDTH_SWEEP:
+        base = run_workload(args.workload, "none", args.length, dram)
+        res = run_workload(args.workload, args.scheme, args.length, dram)
+        delta = 100.0 * (res.ipc / base.ipc - 1.0) if base.ipc > 0 else 0.0
+        print(
+            f"{dram.label():10s} {dram.peak_gbps:9.1f} {base.ipc:9.3f} "
+            f"{res.ipc:12.3f} {delta:+7.1f}%"
+        )
+    return 0
+
+
+def build_parser():
+    """The argparse tree; exposed for the CLI tests."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DSPatch (MICRO'19) reproduction: simulate, analyze, regenerate figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-workloads", help="show the 75-workload catalog").add_argument(
+        "--category", help="only this category"
+    )
+    sub.add_parser("list-prefetchers", help="show registry schemes and storage")
+
+    run = sub.add_parser("run", help="simulate one workload under one scheme")
+    run.add_argument("--workload", required=True)
+    run.add_argument("--scheme", default="dspatch")
+    run.add_argument("--length", type=int, default=16000, help="memory ops to generate")
+    run.add_argument("--dram", help="e.g. 1ch-2133 (default) or 2ch-2400")
+    run.add_argument("--json", action="store_true", help="machine-readable output")
+
+    fig = sub.add_parser("figure", help="regenerate paper figures")
+    fig.add_argument("figures", nargs="*", help="figure ids (default: all)")
+    fig.add_argument("--chart", action="store_true", help="also draw ASCII charts")
+
+    stats = sub.add_parser("trace-stats", help="access-structure statistics")
+    stats.add_argument("--workload", required=True)
+    stats.add_argument("--length", type=int, default=16000)
+
+    sweep = sub.add_parser("sweep", help="one scheme across the DRAM sweep")
+    sweep.add_argument("--workload", required=True)
+    sweep.add_argument("--scheme", default="spp+dspatch")
+    sweep.add_argument("--length", type=int, default=16000)
+
+    report = sub.add_parser("report", help="write a full markdown reproduction report")
+    report.add_argument("figures", nargs="*", help="figure ids (default: all)")
+    report.add_argument("--output", default="report.md")
+    report.add_argument("--no-charts", action="store_true")
+
+    return parser
+
+
+_HANDLERS = {
+    "list-workloads": _cmd_list_workloads,
+    "list-prefetchers": _cmd_list_prefetchers,
+    "run": _cmd_run,
+    "figure": _cmd_figure,
+    "trace-stats": _cmd_trace_stats,
+    "sweep": _cmd_sweep,
+    "report": _cmd_report,
+}
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,238 @@
+"""DSPatch — the Dual Spatial Pattern Prefetcher (Section 3).
+
+Put together from the pieces in this package:
+
+1. Training accesses (L1 misses, Section 4.1) accumulate into the
+   :class:`~repro.core.page_buffer.PageBuffer` (Figure 7, step 1).
+2. The first access to each 2KB segment of a page is a *trigger*
+   (step 2): its folded PC indexes the
+   :class:`~repro.core.spt.SignaturePredictionTable`, retrieving the dual
+   modulated patterns and their goodness measures (step 3).
+3. :func:`~repro.core.selection.select_pattern` picks CovP or AccP using
+   the broadcast 2-bit bandwidth-utilization value (step 4, Figure 10);
+   the chosen anchored pattern is rotated to the trigger offset and each
+   set 128B bit expands to two 64B line prefetches (Section 3.8).
+4. On PB eviction (step 5) the observed pattern is compressed, anchored
+   per trigger, and folded into the SPT via
+   :meth:`~repro.core.spt.SptEntry.update_half` — ORs grow CovP, the AND
+   rewrites AccP, and the Measure counters track goodness (Section 3.6).
+
+A segment-0 trigger predicts both 16-bit halves (the full 4KB page); a
+segment-1 trigger predicts only its first half — the 2KB region relative
+to the trigger (Section 3.7).
+
+Design-choice knobs (the ablation benches exercise these):
+
+- ``compressed=False`` stores uncompressed 64-bit patterns at 64B
+  granularity, doubling SPT pattern storage (the Section 3.8 trade-off);
+- :class:`~repro.core.variants.NoAnchorDSPatch` stores page-absolute
+  patterns instead of trigger-anchored ones (the Figure 2 claim);
+- :class:`~repro.core.variants.SingleTriggerDSPatch` allows only one
+  trigger per 4KB page (the Section 3.7 claim).
+"""
+
+from dataclasses import dataclass
+
+from repro.constants import (
+    COMPRESSED_BITS_PER_PAGE,
+    LINES_PER_PAGE,
+    line_offset_in_page,
+    page_number,
+    segment_of_line_offset,
+)
+from repro.core.bitpattern import anchor_pattern, compress_pattern, unanchor_pattern
+from repro.core.page_buffer import PageBuffer
+from repro.core.selection import select_pattern
+from repro.core.spt import COUNTER_MAX, SignaturePredictionTable, fold_xor_hash
+from repro.prefetchers.base import PrefetchCandidate, Prefetcher
+
+
+@dataclass(frozen=True)
+class DSPatchConfig:
+    """DSPatch structure sizes (Table 1 configuration)."""
+
+    pb_entries: int = 64
+    spt_entries: int = 256
+    pc_signature_bits: int = 8
+    #: Cap on prefetches emitted per trigger.  The paper sets no explicit
+    #: limit — a segment-0 trigger may predict the whole 4KB page (two
+    #: lines per compressed bit = up to 62 lines); the prefetch queue in
+    #: the hierarchy provides the physical bound.
+    max_candidates_per_trigger: int = 62
+    #: Store patterns at 128B granularity (Section 3.8).  ``False`` keeps
+    #: full 64B-granularity patterns — double the SPT pattern storage, no
+    #: compression-induced overprediction (the ablation of Figure 11).
+    compressed: bool = True
+    #: Section 3.6's CovP relearn-from-scratch rule.  ``False`` disables
+    #: it (the no-reset ablation): stale patterns from a finished program
+    #: phase are never replaced.
+    covp_reset: bool = True
+
+
+class DSPatch(Prefetcher):
+    """The Dual Spatial Pattern Prefetcher."""
+
+    name = "dspatch"
+
+    def __init__(self, bandwidth, config: DSPatchConfig = DSPatchConfig()):
+        self.config = config
+        self.bandwidth = bandwidth
+        # Pattern geometry: one stored bit covers 2 lines (128B) in the
+        # compressed default, 1 line (64B) in the uncompressed ablation.
+        self._comp_shift = 1 if config.compressed else 0
+        self._bits_per_page = (
+            COMPRESSED_BITS_PER_PAGE if config.compressed else LINES_PER_PAGE
+        )
+        self._half_bits = self._bits_per_page // 2
+        self._half_mask = (1 << self._half_bits) - 1
+        self.page_buffer = PageBuffer(config.pb_entries)
+        self.spt = SignaturePredictionTable(
+            config.spt_entries, self._bits_per_page, config.covp_reset
+        )
+        self.trainings = 0
+        self.triggers = 0
+        self.predictions_covp = 0
+        self.predictions_accp = 0
+        self.predictions_suppressed = 0
+
+    # ------------------------------------------------------------ training
+
+    def train(self, cycle, pc, addr, hit):
+        self.trainings += 1
+        page = page_number(addr)
+        line_off = line_offset_in_page(addr)
+        segment = segment_of_line_offset(line_off)
+
+        entry = self.page_buffer.get(page)
+        candidates = ()
+        if entry is None:
+            entry, evicted = self.page_buffer.insert(page)
+            if evicted is not None:
+                self._learn(cycle, evicted)
+        if self._trigger_allowed(segment) and entry.triggers[segment] is None:
+            signature = fold_xor_hash(pc, self.config.pc_signature_bits)
+            entry.set_trigger(segment, signature, line_off)
+            self.triggers += 1
+            candidates = self._predict(cycle, signature, page, line_off, segment)
+        entry.record(line_off)
+        return candidates
+
+    # ----------------------------------------------------- variant hooks
+
+    def _trigger_allowed(self, segment):
+        """Which 2KB segments may trigger (Section 3.7: both)."""
+        return True
+
+    def _anchor(self, pattern, trigger_bit):
+        """Anchor a page-absolute pattern to the trigger (Section 3.3)."""
+        return anchor_pattern(pattern, trigger_bit, self._bits_per_page)
+
+    def _unanchor(self, pattern, trigger_bit):
+        """Project a stored anchored pattern back to page positions."""
+        return unanchor_pattern(pattern, trigger_bit, self._bits_per_page)
+
+    def _select(self, cycle, spt_entry, half):
+        """Figure 10 selection for one half; ablations override this."""
+        bucket = self.bandwidth.bucket(cycle)
+        return select_pattern(
+            bucket,
+            spt_entry.covp_saturated(half),
+            spt_entry.accp_saturated(half),
+        )
+
+    # ------------------------------------------------------------ prediction
+
+    def _predict(self, cycle, signature, page, trigger_line_off, segment):
+        spt_entry = self.spt.lookup_by_signature(signature)
+        trigger_bit = trigger_line_off >> self._comp_shift
+
+        # Segment-0 triggers predict the whole page (both anchored halves);
+        # segment-1 triggers predict only the 2KB region from the trigger
+        # (anchored half 0).  Section 3.7.
+        halves = (0, 1) if segment == 0 else (0,)
+        anchored = 0
+        low_priority = False
+        for half in halves:
+            choice = self._select(cycle, spt_entry, half)
+            if choice.pattern == "cov":
+                chunk = spt_entry.covp_half(half)
+                self.predictions_covp += 1
+            elif choice.pattern == "acc":
+                chunk = spt_entry.accp_half(half)
+                self.predictions_accp += 1
+            else:
+                self.predictions_suppressed += 1
+                continue
+            low_priority = low_priority or choice.low_priority
+            anchored |= (chunk & self._half_mask) << (half * self._half_bits)
+
+        if anchored == 0:
+            return ()
+        page_pattern = self._unanchor(anchored, trigger_bit)
+        # The trigger's own line needs no prefetch, but its 128B companion
+        # (the other line of the trigger's compressed bit) does; _expand
+        # skips exactly the trigger line.
+        return self._expand(page, page_pattern, trigger_line_off, low_priority)
+
+    def _expand(self, page, page_pattern, trigger_line_off, low_priority):
+        """Expand stored page-absolute bits into 64B line prefetches."""
+        base_line = page << 6
+        lines_per_bit = 1 << self._comp_shift
+        out = []
+        cap = self.config.max_candidates_per_trigger
+        for bit in range(self._bits_per_page):
+            if not (page_pattern >> bit) & 1:
+                continue
+            first_line = bit << self._comp_shift
+            for line_off in range(first_line, first_line + lines_per_bit):
+                if line_off == trigger_line_off:
+                    continue
+                out.append(PrefetchCandidate(base_line + line_off, low_priority))
+                if len(out) >= cap:
+                    return out
+        return out
+
+    # ------------------------------------------------------------- learning
+
+    def _observed_pattern(self, pb_pattern):
+        """The PB's 64-line observation at this instance's granularity."""
+        if self.config.compressed:
+            return compress_pattern(pb_pattern, LINES_PER_PAGE)
+        return pb_pattern
+
+    def _learn(self, cycle, pb_entry):
+        program = self._observed_pattern(pb_entry.pattern)
+        bw_bucket = self.bandwidth.bucket(cycle)
+        for segment, trigger in enumerate(pb_entry.triggers):
+            if trigger is None:
+                continue
+            signature, trigger_line_off = trigger
+            anchored = self._anchor(program, trigger_line_off >> self._comp_shift)
+            spt_entry = self.spt.lookup_by_signature(signature)
+            halves = (0, 1) if segment == 0 else (0,)
+            for half in halves:
+                program_half = (anchored >> (half * self._half_bits)) & self._half_mask
+                spt_entry.update_half(half, program_half, bw_bucket)
+
+    def flush_training(self):
+        """Learn from every page still resident in the PB (end of run)."""
+        for entry in self.page_buffer.drain():
+            self._learn(0, entry)
+
+    # -------------------------------------------------------------- storage
+
+    def storage_breakdown(self):
+        return {
+            "page-buffer": self.page_buffer.storage_bits(),
+            "signature-prediction-table": self.spt.storage_bits(),
+        }
+
+    def reset(self):
+        self.page_buffer = PageBuffer(self.config.pb_entries)
+        self.spt = SignaturePredictionTable(
+            self.config.spt_entries, self._bits_per_page, self.config.covp_reset
+        )
+
+
+# Re-export for introspection convenience.
+MEASURE_COUNTER_MAX = COUNTER_MAX

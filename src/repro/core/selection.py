@@ -1,0 +1,45 @@
+"""Bit-pattern selection for prefetch generation (Figure 10).
+
+Given the broadcast 2-bit DRAM bandwidth-utilization value and the goodness
+measures of the stored patterns, decide which pattern drives prefetching:
+
+- utilization >= 75% (bucket 3): use AccP, unless ``MeasureAccP`` is
+  saturated (AccP itself is inaccurate) — then prefetch nothing;
+- 50% <= utilization < 75% (bucket 2): use AccP if ``MeasureCovP`` is
+  saturated (CovP is known bad), otherwise CovP;
+- utilization < 50% (buckets 0/1): use CovP; if ``MeasureCovP`` is
+  saturated the prefetches are filled at low priority to bound pollution
+  (Section 3.6, last paragraph).
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PatternChoice:
+    """Outcome of the Figure 10 selection tree."""
+
+    pattern: str  # "cov" | "acc" | "none"
+    low_priority: bool = False
+
+    @property
+    def prefetches(self):
+        return self.pattern != "none"
+
+
+NO_PREFETCH = PatternChoice("none")
+
+
+def select_pattern(bw_bucket, measure_covp_saturated, measure_accp_saturated):
+    """Apply Figure 10's decision tree; returns a :class:`PatternChoice`."""
+    if not 0 <= bw_bucket <= 3:
+        raise ValueError("bandwidth bucket must be in 0..3")
+    if bw_bucket == 3:
+        if measure_accp_saturated:
+            return NO_PREFETCH
+        return PatternChoice("acc")
+    if bw_bucket == 2:
+        if measure_covp_saturated:
+            return PatternChoice("acc")
+        return PatternChoice("cov")
+    return PatternChoice("cov", low_priority=measure_covp_saturated)

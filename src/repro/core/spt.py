@@ -1,0 +1,206 @@
+"""Signature Prediction Table (SPT) — DSPatch's pattern store.
+
+Per Sections 3.4 and 3.6 and Table 1: a 256-entry *tagless* direct-mapped
+table indexed by a folded-XOR hash of the trigger PC.  Each entry holds:
+
+- ``covp`` — the 32-bit coverage-biased pattern (a 4KB page at 128B
+  granularity), grown by ORing in observed program patterns (at most three
+  ORs, tracked by the 2-bit ``or_count`` per half);
+- ``accp`` — the 32-bit accuracy-biased pattern, replaced on every update
+  by ``program & covp``;
+- two 2-bit ``measure_covp`` counters (one per 2KB half) that saturate when
+  CovP's predictions lack accuracy *or* coverage, triggering a relearn;
+- two 2-bit ``measure_accp`` counters that saturate when AccP's predictions
+  lack accuracy, throttling prefetching at high bandwidth utilization.
+
+All patterns in the SPT are stored *anchored* to their trigger (bit 0 = the
+trigger's 128B block) so one entry serves any trigger offset.
+"""
+
+from repro.constants import COMPRESSED_BITS_PER_PAGE, COMPRESSED_BITS_PER_SEGMENT
+from repro.core.bitpattern import popcount, quantize_quartile
+
+#: 2-bit saturating counter ceiling for the Measure/OrCount counters.
+COUNTER_MAX = 3
+
+#: Quartile threshold for both AccThr and CovThr (Section 3.6: "We use the
+#: 50% quartile threshold value for both").  Quartile bucket < 2 means the
+#: measured ratio fell below 50%.
+GOODNESS_THRESHOLD_QUARTILE = 2
+
+_HALF_MASK = (1 << COMPRESSED_BITS_PER_SEGMENT) - 1
+
+
+def fold_xor_hash(pc, bits=8):
+    """Folded-XOR hash of a PC down to ``bits`` bits (Section 3.4)."""
+    mask = (1 << bits) - 1
+    value = int(pc)
+    out = 0
+    while value:
+        out ^= value & mask
+        value >>= bits
+    return out
+
+
+class SptEntry:
+    """One SPT entry: dual modulated patterns plus goodness counters.
+
+    ``half_bits`` is the width of one 2KB-segment pattern — 16 in the
+    paper's 128B-compressed configuration (Table 1), 32 for the
+    uncompressed 64B-granularity ablation of Section 3.8.
+    """
+
+    __slots__ = (
+        "covp",
+        "accp",
+        "measure_covp",
+        "or_count",
+        "measure_accp",
+        "half_bits",
+        "allow_reset",
+    )
+
+    def __init__(self, half_bits=COMPRESSED_BITS_PER_SEGMENT, allow_reset=True):
+        self.covp = 0
+        self.accp = 0
+        self.measure_covp = [0, 0]
+        self.or_count = [0, 0]
+        self.measure_accp = [0, 0]
+        self.half_bits = half_bits
+        #: Section 3.6's relearn-from-scratch rule; the no-reset ablation
+        #: disables it to show stale patterns never recover.
+        self.allow_reset = allow_reset
+
+    # -- half-pattern accessors -------------------------------------------------
+
+    @property
+    def _half_mask(self):
+        return (1 << self.half_bits) - 1
+
+    def covp_half(self, half):
+        return (self.covp >> (half * self.half_bits)) & self._half_mask
+
+    def accp_half(self, half):
+        return (self.accp >> (half * self.half_bits)) & self._half_mask
+
+    def _set_half(self, attr, half, value):
+        shift = half * self.half_bits
+        current = getattr(self, attr)
+        cleared = current & ~(self._half_mask << shift)
+        setattr(self, attr, cleared | ((value & self._half_mask) << shift))
+
+    def set_covp_half(self, half, value):
+        self._set_half("covp", half, value)
+
+    def set_accp_half(self, half, value):
+        self._set_half("accp", half, value)
+
+    # -- saturation queries --------------------------------------------------------
+
+    def covp_saturated(self, half):
+        return self.measure_covp[half] >= COUNTER_MAX
+
+    def accp_saturated(self, half):
+        return self.measure_accp[half] >= COUNTER_MAX
+
+    # -- learning (Section 3.6) -----------------------------------------------------
+
+    def update_half(self, half, program_half, bw_bucket):
+        """Fold one observed (anchored) half-pattern into this entry.
+
+        ``program_half`` is the program's anchored 16-bit half-pattern at PB
+        eviction; ``bw_bucket`` is the utilization quartile at that moment.
+        Order of operations follows Section 3.6: measure goodness of the
+        *stored* patterns first, then modulate CovP (OR / reset), then
+        replace AccP with ``program & covp``.
+        """
+        program_half &= self._half_mask
+        cov = self.covp_half(half)
+        acc = self.accp_half(half)
+        c_real = popcount(program_half)
+
+        # --- goodness of CovP's prediction -----------------------------------
+        c_acc_cov = popcount(cov & program_half)
+        accuracy_q = quantize_quartile(c_acc_cov, popcount(cov))
+        coverage_q = quantize_quartile(c_acc_cov, c_real)
+        if accuracy_q < GOODNESS_THRESHOLD_QUARTILE or coverage_q < GOODNESS_THRESHOLD_QUARTILE:
+            self.measure_covp[half] = min(COUNTER_MAX, self.measure_covp[half] + 1)
+
+        # --- goodness of AccP's prediction ------------------------------------
+        c_acc_acc = popcount(acc & program_half)
+        acc_accuracy_q = quantize_quartile(c_acc_acc, popcount(acc))
+        if acc_accuracy_q < GOODNESS_THRESHOLD_QUARTILE:
+            self.measure_accp[half] = min(COUNTER_MAX, self.measure_accp[half] + 1)
+        else:
+            self.measure_accp[half] = max(0, self.measure_accp[half] - 1)
+
+        # --- modulate CovP: reset or OR ----------------------------------------
+        if (
+            self.allow_reset
+            and self.covp_saturated(half)
+            and (bw_bucket == 3 or coverage_q < GOODNESS_THRESHOLD_QUARTILE)
+        ):
+            # Relearn from scratch (Section 3.6 reset rule).
+            cov = program_half
+            self.or_count[half] = 0
+            self.measure_covp[half] = 0
+        elif self.or_count[half] < COUNTER_MAX:
+            grown = cov | program_half
+            if grown != cov:
+                self.or_count[half] += 1
+            cov = grown
+        self.set_covp_half(half, cov)
+
+        # --- modulate AccP: replace with AND -------------------------------------
+        self.set_accp_half(half, program_half & cov)
+
+
+class SignaturePredictionTable:
+    """The 256-entry tagless direct-mapped SPT (Table 1).
+
+    ``pattern_bits`` is the stored per-page pattern width: 32 in the
+    compressed default, 64 for the uncompressed ablation.
+    """
+
+    def __init__(self, entries=256, pattern_bits=COMPRESSED_BITS_PER_PAGE, allow_reset=True):
+        if entries <= 0 or entries & (entries - 1):
+            raise ValueError("SPT entry count must be a positive power of two")
+        if pattern_bits % 2:
+            raise ValueError("pattern width must be even (two segment halves)")
+        self.entries = entries
+        self.pattern_bits = pattern_bits
+        self.allow_reset = allow_reset
+        self._index_bits = entries.bit_length() - 1
+        self._table = [
+            SptEntry(pattern_bits // 2, allow_reset) for _ in range(entries)
+        ]
+
+    def index_of(self, pc):
+        """Fold the PC down to the table index; tagless, so aliases share."""
+        return fold_xor_hash(pc, self._index_bits)
+
+    def lookup(self, pc):
+        """Return the (always valid — tagless) entry for ``pc``."""
+        return self._table[self.index_of(pc)]
+
+    def lookup_by_signature(self, signature):
+        """Direct access by a pre-folded signature (as the PB stores it)."""
+        return self._table[signature & (self.entries - 1)]
+
+    def storage_bits(self):
+        """Table 1: CovP(32) + 2xMeasureCovP(2) + 2xOrCount(2) + AccP(32) +
+        2xMeasureAccP(2) = 76 bits per entry (compressed configuration)."""
+        per_entry = (
+            self.pattern_bits  # CovP
+            + self.pattern_bits  # AccP
+            + 2 * 2  # MeasureCovP
+            + 2 * 2  # OrCount
+            + 2 * 2  # MeasureAccP
+        )
+        return self.entries * per_entry
+
+    def reset(self):
+        self._table = [
+            SptEntry(self.pattern_bits // 2, self.allow_reset)
+            for _ in range(self.entries)
+        ]

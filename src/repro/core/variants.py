@@ -1,0 +1,106 @@
+"""DSPatch ablation variants.
+
+Figure 19 variants (Section 5.5) — never use the accuracy-biased pattern:
+
+- :class:`AlwaysCovP` always predicts with CovP, regardless of bandwidth
+  utilization — the paper shows it loses 4.5% performance versus the
+  full design.
+- :class:`ModCovP` also only uses CovP but *throttles* prediction when
+  bandwidth utilization is high (no prefetches in the top quartile, and in
+  the 50-75% quartile only when CovP's goodness measure is healthy) — it
+  still loses 1.4%, demonstrating that throttling alone cannot replace the
+  dual-pattern mechanism.
+
+Learning (the SPT update path) is identical to full DSPatch in both
+variants; only the Figure 10 selection differs.
+
+Design-choice ablations (Sections 3.3, 3.7, 3.8 — the claims DESIGN.md
+calls out; each has a dedicated bench):
+
+- :class:`NoAnchorDSPatch` stores page-absolute patterns (no trigger
+  rotation) — loses the Figure 2 robustness to layout placement.
+- :class:`SingleTriggerDSPatch` allows only the segment-0 trigger per
+  4KB page — loses the Section 3.7 mid-page entry coverage.
+- :func:`uncompressed_dspatch` stores full 64B-granularity patterns —
+  no compression overprediction, double the pattern storage
+  (Section 3.8's trade-off, Figure 11).
+"""
+
+from repro.core.dspatch import DSPatch, DSPatchConfig
+from repro.core.selection import NO_PREFETCH, PatternChoice
+
+
+class AlwaysCovP(DSPatch):
+    """DSPatch that always predicts with the coverage-biased pattern."""
+
+    name = "alwayscovp"
+
+    def _select(self, cycle, spt_entry, half):
+        return PatternChoice("cov", low_priority=spt_entry.covp_saturated(half))
+
+
+class ModCovP(DSPatch):
+    """DSPatch that only throttles CovP at high bandwidth utilization."""
+
+    name = "modcovp"
+
+    def _select(self, cycle, spt_entry, half):
+        bucket = self.bandwidth.bucket(cycle)
+        if bucket == 3:
+            return NO_PREFETCH
+        if bucket == 2 and spt_entry.covp_saturated(half):
+            return NO_PREFETCH
+        return PatternChoice("cov", low_priority=spt_entry.covp_saturated(half))
+
+
+class NoAnchorDSPatch(DSPatch):
+    """DSPatch storing page-absolute (un-anchored) patterns.
+
+    Disables the Section 3.3 rotation on both the learning and the
+    prediction path.  Layouts that always start at the same page offset
+    still predict correctly; anything placed at a varying offset (the
+    jittered workloads) no longer folds into one pattern — the ablation
+    that isolates Figure 2's contribution.
+    """
+
+    name = "dspatch-noanchor"
+
+    def _anchor(self, pattern, trigger_bit):
+        return pattern
+
+    def _unanchor(self, pattern, trigger_bit):
+        return pattern
+
+
+class SingleTriggerDSPatch(DSPatch):
+    """DSPatch with one trigger per 4KB page (segment 0 only).
+
+    The Section 3.7 ablation: a program entering a page through its upper
+    2KB half gets no prefetches at all until the lower half is touched.
+    """
+
+    name = "dspatch-1trigger"
+
+    def _trigger_allowed(self, segment):
+        return segment == 0
+
+
+def uncompressed_dspatch(bandwidth):
+    """DSPatch with full 64B-granularity (64-bit) patterns (Section 3.8).
+
+    Per-entry pattern storage doubles (64b CovP + 64b AccP vs 32b + 32b);
+    in exchange there is no 128B-compression overprediction (Figure 11b's
+    error source disappears).
+    """
+    return DSPatch(bandwidth, DSPatchConfig(compressed=False))
+
+
+def no_reset_dspatch(bandwidth):
+    """DSPatch without the Section 3.6 CovP relearn rule.
+
+    A saturated ``MeasureCovP`` normally resets CovP to the current
+    program pattern (at high bandwidth utilization or low coverage);
+    without it, a pattern learnt in one program phase stays forever, and
+    accuracy never recovers after the phase ends.
+    """
+    return DSPatch(bandwidth, DSPatchConfig(covp_reset=False))

@@ -1,0 +1,26 @@
+"""CPU substrate: trace format, core timing model, and system drivers."""
+
+from repro.cpu.core import CoreExecution, CoreModel, CoreStats
+from repro.cpu.system import (
+    MultiCoreSystem,
+    MultiProgramResult,
+    RunResult,
+    System,
+    SystemConfig,
+)
+from repro.cpu.trace import FLAG_DEP, FLAG_WRITE, Trace, TraceBuilder
+
+__all__ = [
+    "CoreExecution",
+    "CoreModel",
+    "CoreStats",
+    "FLAG_DEP",
+    "FLAG_WRITE",
+    "MultiCoreSystem",
+    "MultiProgramResult",
+    "RunResult",
+    "System",
+    "SystemConfig",
+    "Trace",
+    "TraceBuilder",
+]

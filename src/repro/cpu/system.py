@@ -1,0 +1,243 @@
+"""System drivers: single-core and 4-core multi-programmed simulation.
+
+Mirrors the paper's two configurations (Section 4):
+
+- **ST** — one core, private L1/L2, 2MB LLC, one DDR4 channel.
+- **MP** — four cores, private L1/L2 per core, shared 8MB LLC, two DDR4
+  channels (same LLC capacity per core, half the bandwidth per core).
+
+The multi-core driver interleaves per-core executions in global time order
+(always advancing the core with the smallest retirement time) so cores
+contend realistically for the shared LLC and DRAM — which is what makes
+the accuracy-biased pattern matter in Section 5.4.
+"""
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.cpu.core import CoreExecution, CoreModel
+from repro.memory.cache import Cache
+from repro.memory.dram import DramConfig, DramModel
+from repro.memory.hierarchy import HierarchyConfig, MemoryHierarchy
+from repro.prefetchers.registry import build_prefetcher
+from repro.prefetchers.stride import PcStridePrefetcher
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """One simulated machine configuration."""
+
+    hierarchy: HierarchyConfig = HierarchyConfig()
+    dram: DramConfig = DramConfig()
+    core: CoreModel = CoreModel()
+    #: Registry name of the L2 prefetcher scheme ("none" for the baseline).
+    l2_prefetcher: str = "none"
+    #: Whether the baseline L1 PC-stride prefetcher is present (Table 2).
+    l1_stride: bool = True
+    record_pollution_victims: bool = False
+    #: Fraction of the trace used to warm caches/predictors before the
+    #: measured region starts — the standard warmup-then-measure
+    #: methodology of the paper's simulator.  Structures keep their state
+    #: across the boundary; only statistics reset.
+    warmup_frac: float = 0.25
+
+    @staticmethod
+    def single_thread(l2_prefetcher="none", dram=None, llc_bytes=2 * 1024 * 1024, **kwargs):
+        """The paper's ST configuration: 2MB LLC, single channel."""
+        hierarchy = HierarchyConfig().scaled_llc(llc_bytes)
+        return SystemConfig(
+            hierarchy=hierarchy,
+            dram=dram or DramConfig(speed_grade=2133, channels=1),
+            l2_prefetcher=l2_prefetcher,
+            **kwargs,
+        )
+
+    @staticmethod
+    def multi_programmed(l2_prefetcher="none", dram=None, llc_bytes=8 * 1024 * 1024, **kwargs):
+        """The paper's MP configuration: shared 8MB LLC, two channels."""
+        hierarchy = HierarchyConfig().scaled_llc(llc_bytes)
+        return SystemConfig(
+            hierarchy=hierarchy,
+            dram=dram or DramConfig(speed_grade=2133, channels=2),
+            l2_prefetcher=l2_prefetcher,
+            **kwargs,
+        )
+
+
+@dataclass
+class RunResult:
+    """Everything a single-core run produces."""
+
+    ipc: float
+    instructions: int
+    cycles: float
+    coverage: float
+    accuracy: float
+    pf_issued: int
+    pf_useful: int
+    pf_late: int
+    pf_useless: int
+    l2_demand_misses: int
+    dram_reads: int
+    bw_utilization_residency: list
+    achieved_gbps: float
+    level_hits: dict = field(default_factory=dict)
+    pollution_events: list = field(default_factory=list)
+    demand_log: list = field(default_factory=list)
+    prefetch_fill_log: list = field(default_factory=list)
+
+    @property
+    def mpki(self):
+        """L2 demand misses per kilo-instruction."""
+        return 1000.0 * self.l2_demand_misses / self.instructions if self.instructions else 0.0
+
+    def to_dict(self):
+        """JSON-serializable summary (scalar metrics only, no logs)."""
+        return {
+            "ipc": self.ipc,
+            "instructions": self.instructions,
+            "cycles": self.cycles,
+            "coverage": self.coverage,
+            "accuracy": self.accuracy,
+            "mpki": self.mpki,
+            "pf_issued": self.pf_issued,
+            "pf_useful": self.pf_useful,
+            "pf_late": self.pf_late,
+            "pf_useless": self.pf_useless,
+            "l2_demand_misses": self.l2_demand_misses,
+            "dram_reads": self.dram_reads,
+            "achieved_gbps": self.achieved_gbps,
+            "bw_utilization_residency": list(self.bw_utilization_residency),
+            "level_hits": dict(self.level_hits),
+        }
+
+
+def _result_from(execution, hierarchy, dram):
+    stats = execution.finalize()
+    coverage, accuracy, _base = hierarchy.coverage_accuracy()
+    pf = hierarchy.pf_stats
+    return RunResult(
+        ipc=stats.ipc,
+        instructions=stats.instructions,
+        cycles=stats.cycles,
+        coverage=coverage,
+        accuracy=accuracy,
+        pf_issued=pf.issued,
+        pf_useful=pf.useful,
+        pf_late=pf.late,
+        pf_useless=pf.useless,
+        l2_demand_misses=hierarchy.l2.demand_misses,
+        dram_reads=dram.reads,
+        bw_utilization_residency=dram.monitor.bucket_residency(),
+        achieved_gbps=dram.achieved_gbps(stats.cycles),
+        level_hits=dict(stats.level_hits),
+        pollution_events=list(hierarchy.pollution_events),
+        demand_log=hierarchy.demand_log,
+        prefetch_fill_log=hierarchy.prefetch_fill_log,
+    )
+
+
+class System:
+    """Single-core trace-driven simulation."""
+
+    def __init__(self, config: SystemConfig = None):
+        self.config = config or SystemConfig()
+
+    def run(self, trace):
+        """Simulate ``trace`` end to end; returns a :class:`RunResult`."""
+        cfg = self.config
+        dram = DramModel(cfg.dram)
+        l1_pf = PcStridePrefetcher() if cfg.l1_stride else None
+        l2_pf = build_prefetcher(cfg.l2_prefetcher, dram)
+        hierarchy = MemoryHierarchy(
+            config=cfg.hierarchy,
+            dram=dram,
+            l1_prefetcher=l1_pf,
+            l2_prefetcher=l2_pf,
+            record_pollution_victims=cfg.record_pollution_victims,
+        )
+        execution = CoreExecution(cfg.core, trace, hierarchy)
+        warmup_ops = int(len(trace) * cfg.warmup_frac)
+        for _ in range(warmup_ops):
+            if not execution.advance():
+                break
+        execution.mark_stats_start()
+        hierarchy.reset_stats()
+        dram.reset_stats(execution.time)
+        while execution.advance():
+            pass
+        return _result_from(execution, hierarchy, dram)
+
+
+@dataclass
+class MultiProgramResult:
+    """Results of one multi-programmed mix."""
+
+    per_core: list  # RunResult per core
+    total_cycles: float
+
+    def weighted_speedup(self, alone_ipcs):
+        """Sum of per-core IPC over the same workload's alone-IPC."""
+        if len(alone_ipcs) != len(self.per_core):
+            raise ValueError("need one alone-IPC per core")
+        return sum(
+            core.ipc / alone if alone > 0 else 0.0
+            for core, alone in zip(self.per_core, alone_ipcs)
+        )
+
+
+class MultiCoreSystem:
+    """Four (or N) cores sharing an LLC and DRAM."""
+
+    def __init__(self, config: SystemConfig = None, num_cores=4):
+        self.config = config or SystemConfig.multi_programmed()
+        self.num_cores = num_cores
+
+    def run(self, traces):
+        """Simulate one trace per core; returns :class:`MultiProgramResult`."""
+        if len(traces) != self.num_cores:
+            raise ValueError(f"need exactly {self.num_cores} traces")
+        cfg = self.config
+        dram = DramModel(cfg.dram)
+        shared_llc = Cache(cfg.hierarchy.llc)
+        executions = []
+        hierarchies = []
+        for trace in traces:
+            l1_pf = PcStridePrefetcher() if cfg.l1_stride else None
+            l2_pf = build_prefetcher(cfg.l2_prefetcher, dram)
+            hierarchy = MemoryHierarchy(
+                config=cfg.hierarchy,
+                dram=dram,
+                llc=shared_llc,
+                l1_prefetcher=l1_pf,
+                l2_prefetcher=l2_pf,
+                record_pollution_victims=cfg.record_pollution_victims,
+            )
+            hierarchies.append(hierarchy)
+            executions.append(CoreExecution(cfg.core, trace, hierarchy))
+
+        # Advance cores in global time order.  Each core crosses its own
+        # warmup boundary after warmup_frac of its trace; shared DRAM stats
+        # reset when the first core crosses (per-core results use private
+        # hierarchy counters, so the shared reset point is not critical).
+        warmup_ops = [int(len(trace) * cfg.warmup_frac) for trace in traces]
+        dram_stats_reset = False
+        heap = [(ex.time, idx) for idx, ex in enumerate(executions)]
+        heapq.heapify(heap)
+        while heap:
+            _, idx = heapq.heappop(heap)
+            ex = executions[idx]
+            if ex.advance():
+                heapq.heappush(heap, (ex.time, idx))
+            if ex.stats.memory_ops == warmup_ops[idx]:
+                ex.mark_stats_start()
+                hierarchies[idx].reset_stats()
+                if not dram_stats_reset:
+                    dram.reset_stats(ex.time)
+                    dram_stats_reset = True
+
+        per_core = [
+            _result_from(ex, hier, dram) for ex, hier in zip(executions, hierarchies)
+        ]
+        total_cycles = max(core.cycles for core in per_core)
+        return MultiProgramResult(per_core=per_core, total_cycles=total_cycles)

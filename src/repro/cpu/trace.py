@@ -1,0 +1,145 @@
+"""Program trace representation.
+
+A trace is a sequence of memory operations, each annotated with:
+
+- ``gap`` — the number of non-memory instructions retired since the
+  previous memory operation (controls memory intensity / MPKI),
+- ``pc`` — the program counter of the memory instruction (the signature
+  input for PC-based prefetchers),
+- ``addr`` — the byte address touched,
+- ``flags`` — :data:`FLAG_WRITE` for stores, :data:`FLAG_DEP` for loads
+  whose address depends on the previous load (pointer chasing); dependent
+  loads cannot overlap with their producer in the core model.
+
+Traces are stored as parallel numpy arrays for compact generation and fast
+iteration, and can round-trip through ``.npz`` files.
+"""
+
+import numpy as np
+
+FLAG_WRITE = 1
+FLAG_DEP = 2
+
+
+class Trace:
+    """An immutable sequence of memory operations with instruction gaps."""
+
+    def __init__(self, gaps, pcs, addrs, flags):
+        self.gaps = np.asarray(gaps, dtype=np.int64)
+        self.pcs = np.asarray(pcs, dtype=np.int64)
+        self.addrs = np.asarray(addrs, dtype=np.int64)
+        self.flags = np.asarray(flags, dtype=np.int64)
+        n = len(self.gaps)
+        if not (len(self.pcs) == len(self.addrs) == len(self.flags) == n):
+            raise ValueError("trace arrays must have equal length")
+        if n and (self.gaps < 0).any():
+            raise ValueError("instruction gaps must be non-negative")
+
+    def __len__(self):
+        return len(self.gaps)
+
+    def __iter__(self):
+        return zip(
+            self.gaps.tolist(), self.pcs.tolist(), self.addrs.tolist(), self.flags.tolist()
+        )
+
+    def __getitem__(self, idx):
+        if isinstance(idx, slice):
+            return Trace(self.gaps[idx], self.pcs[idx], self.addrs[idx], self.flags[idx])
+        return (
+            int(self.gaps[idx]),
+            int(self.pcs[idx]),
+            int(self.addrs[idx]),
+            int(self.flags[idx]),
+        )
+
+    @property
+    def instructions(self):
+        """Total instruction count (memory ops + gaps)."""
+        return int(self.gaps.sum()) + len(self)
+
+    def mpki_upper_bound(self):
+        """Memory ops per kilo-instruction (an upper bound on miss MPKI)."""
+        instrs = self.instructions
+        return 1000.0 * len(self) / instrs if instrs else 0.0
+
+    @classmethod
+    def from_records(cls, records):
+        """Build a trace from an iterable of (gap, pc, addr, flags) tuples."""
+        records = list(records)
+        if not records:
+            return cls([], [], [], [])
+        gaps, pcs, addrs, flags = zip(*records)
+        return cls(gaps, pcs, addrs, flags)
+
+    @classmethod
+    def concat(cls, traces):
+        """Concatenate traces in order."""
+        traces = [t for t in traces if len(t)]
+        if not traces:
+            return cls([], [], [], [])
+        return cls(
+            np.concatenate([t.gaps for t in traces]),
+            np.concatenate([t.pcs for t in traces]),
+            np.concatenate([t.addrs for t in traces]),
+            np.concatenate([t.flags for t in traces]),
+        )
+
+    def rebase(self, byte_offset):
+        """Return a copy with every address shifted by ``byte_offset``.
+
+        Multi-programmed mixes run copies of the same workload on several
+        cores; rebasing gives each copy its own physical address space, as
+        distinct processes would have.
+        """
+        return Trace(self.gaps, self.pcs, self.addrs + int(byte_offset), self.flags)
+
+    def save(self, path):
+        """Persist to an ``.npz`` file."""
+        np.savez_compressed(
+            path, gaps=self.gaps, pcs=self.pcs, addrs=self.addrs, flags=self.flags
+        )
+
+    @classmethod
+    def load(cls, path):
+        """Load a trace previously written by :meth:`save`."""
+        with np.load(path) as data:
+            return cls(data["gaps"], data["pcs"], data["addrs"], data["flags"])
+
+
+class TraceBuilder:
+    """Incremental trace construction for the workload generators."""
+
+    def __init__(self):
+        self._gaps = []
+        self._pcs = []
+        self._addrs = []
+        self._flags = []
+
+    def __len__(self):
+        return len(self._gaps)
+
+    def append(self, gap, pc, addr, write=False, dep=False):
+        """Add one memory operation preceded by ``gap`` plain instructions."""
+        if gap < 0:
+            raise ValueError("gap must be non-negative")
+        self._gaps.append(int(gap))
+        self._pcs.append(int(pc))
+        self._addrs.append(int(addr))
+        self._flags.append((FLAG_WRITE if write else 0) | (FLAG_DEP if dep else 0))
+
+    def extend_arrays(self, gaps, pcs, addrs, flags=None):
+        """Bulk-append parallel arrays (used by vectorized generators)."""
+        n = len(gaps)
+        if flags is None:
+            flags = [0] * n
+        if not (len(pcs) == len(addrs) == len(flags) == n):
+            raise ValueError("bulk arrays must have equal length")
+        self._gaps.extend(int(g) for g in gaps)
+        self._pcs.extend(int(p) for p in pcs)
+        self._addrs.extend(int(a) for a in addrs)
+        self._flags.extend(int(f) for f in flags)
+
+    def build(self):
+        """Finalize into an immutable :class:`Trace`."""
+        return Trace(self._gaps, self._pcs, self._addrs, self._flags)

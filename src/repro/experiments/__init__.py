@@ -1,0 +1,34 @@
+"""Experiment drivers — one per paper table/figure.
+
+Every figure of the DSPatch evaluation has a driver in
+:mod:`repro.experiments.figures` returning a
+:class:`repro.metrics.stats.FigureResult`; the benches under
+``benchmarks/`` call these and print the rendered tables.
+
+Scale is controlled by environment variables (see
+:mod:`repro.experiments.scale`):
+
+- ``REPRO_TRACE_LEN`` — memory ops per workload trace (default 16000);
+- ``REPRO_WORKLOADS_PER_CATEGORY`` — workloads sampled per category for
+  category-level figures (default 3; the full suite is 7-9 per category);
+- ``REPRO_MIX_COUNT`` — multi-programmed mixes per flavour (default 6);
+- ``REPRO_FULL=1`` — paper-sized runs (all 75 workloads, 42+75 mixes).
+"""
+
+from repro.experiments import figures
+from repro.experiments.runner import (
+    clear_run_cache,
+    run_workload,
+    speedup_ratios,
+    workload_subset,
+)
+from repro.experiments.scale import Scale
+
+__all__ = [
+    "Scale",
+    "clear_run_cache",
+    "figures",
+    "run_workload",
+    "speedup_ratios",
+    "workload_subset",
+]

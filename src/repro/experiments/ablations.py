@@ -1,0 +1,229 @@
+"""Ablation and extension studies beyond the paper's own figures.
+
+Each driver isolates one design choice DESIGN.md calls out, or extends
+the evaluation to the related-work prefetchers of Section 6.  Like the
+figure drivers, every function returns a
+:class:`repro.metrics.stats.FigureResult`.
+
+- :func:`ablation_design_choices` — anchoring (Section 3.3 / Figure 2),
+  dual triggers (Section 3.7) and 128B compression (Section 3.8), each
+  toggled off individually.
+- :func:`ablation_structure_sizes` — SPT and PB capacity sweeps around
+  the Table 1 design point.
+- :func:`related_work_comparison` — DSPatch against representatives of
+  the Section 6 families (next-line, Markov/temporal, VLDP, Bingo) with
+  their storage budgets.
+- :func:`bandwidth_signal_study` — DSPatch run with the live Section 3.2
+  utilization signal pinned to each fixed quartile, demonstrating why
+  the dynamic signal matters.
+"""
+
+from repro.memory.dram import FixedBandwidth
+from repro.metrics.stats import FigureResult, category_geomeans, geomean
+from repro.prefetchers.registry import build_prefetcher
+from repro.experiments.figures import _categories_map, _scale
+from repro.experiments.runner import (
+    run_workload,
+    scheme_label,
+    speedup_ratios,
+    workload_subset,
+)
+from repro.workloads.catalog import CATEGORIES
+
+_CATEGORY_COLUMNS = list(CATEGORIES) + ["GEOMEAN"]
+
+#: Workloads whose layouts land at jittered page positions — the traffic
+#: anchoring exists for (Figure 2).
+JITTER_WORKLOADS = (
+    "sysmark.excel",
+    "sysmark.sketchup",
+    "ispec17.leela",
+)
+
+
+def ablation_design_choices(scale=None):
+    """Toggle each DSPatch design choice off, one at a time.
+
+    Paper claims probed: anchored rotation folds jittered placements into
+    one pattern (Section 3.3); two triggers per page cover mid-page
+    entries (Section 3.7); 128B compression halves storage at a bounded
+    accuracy cost (Section 3.8).
+    """
+    scale = _scale(scale)
+    workloads = workload_subset(scale.workloads_per_category)
+    schemes = ["dspatch", "dspatch-noanchor", "dspatch-1trigger", "dspatch-64b"]
+    fig = FigureResult(
+        "ablation-design",
+        "Ablation: DSPatch design choices (geomean % over baseline)",
+        ["All", "Jittered", "Storage KB"],
+        notes=[
+            "All = full subset; Jittered = offset-jittered workloads only",
+            "expected: -noanchor collapses on Jittered; -64b matches or beats "
+            "dspatch at ~1.6x the storage; -1trigger loses coverage everywhere",
+        ],
+    )
+    for scheme in schemes:
+        ratios_all = speedup_ratios(scheme, workloads, scale.trace_len)
+        ratios_jit = speedup_ratios(scheme, JITTER_WORKLOADS, scale.trace_len)
+        pf = build_prefetcher(scheme, FixedBandwidth(0))
+        fig.add_row(
+            scheme,
+            {
+                "All": 100.0 * (geomean(ratios_all.values()) - 1.0),
+                "Jittered": 100.0 * (geomean(ratios_jit.values()) - 1.0),
+                "Storage KB": pf.storage_kb(),
+            },
+        )
+    return fig
+
+
+def ablation_structure_sizes(scale=None):
+    """SPT / PB capacity sweeps around the paper's 256-entry / 64-entry point.
+
+    Two effects separate cleanly here.  *Accuracy* degrades monotonically
+    as the tagless SPT shrinks (more PCs alias into each entry and CovP
+    ORs their patterns together) — that is scale-invariant and is what
+    the bench asserts.  *Speedup* at miniature trace scale can actually
+    favour smaller tables, because aliased spray is free while DRAM
+    bandwidth is idle and warm-up is faster; at paper scale the accuracy
+    cost dominates and the Table 1 sizing is the knee.
+    """
+    scale = _scale(scale)
+    workloads = workload_subset(scale.workloads_per_category)
+    fig = FigureResult(
+        "ablation-sizes",
+        "Ablation: SPT and PB capacity (geomean % over baseline)",
+        ["Speedup", "Accuracy %", "Storage KB"],
+        notes=[
+            "Table 1 design point: 256-entry SPT, 64-entry PB (3.6KB total)",
+            "accuracy falls as the tagless SPT shrinks (aliasing) — the "
+            "scale-invariant effect; miniature-trace speedup can reward "
+            "the extra spray (see driver docstring)",
+        ],
+    )
+    for scheme in (
+        "dspatch-spt64",
+        "dspatch-spt128",
+        "dspatch",
+        "dspatch-spt512",
+        "dspatch-pb32",
+        "dspatch-pb128",
+    ):
+        ratios = []
+        accuracies = []
+        for workload in workloads:
+            base = run_workload(workload, "none", scale.trace_len)
+            res = run_workload(workload, scheme, scale.trace_len)
+            ratios.append(res.ipc / base.ipc if base.ipc > 0 else 1.0)
+            accuracies.append(res.accuracy)
+        pf = build_prefetcher(scheme, FixedBandwidth(0))
+        fig.add_row(
+            scheme,
+            {
+                "Speedup": 100.0 * (geomean(ratios) - 1.0),
+                "Accuracy %": 100.0 * sum(accuracies) / len(accuracies),
+                "Storage KB": pf.storage_kb(),
+            },
+        )
+    return fig
+
+
+def related_work_comparison(scale=None):
+    """DSPatch vs. the Section 6 prefetcher families, with storage.
+
+    One representative per family: next-line (static spatial), Markov
+    (temporal correlation), VLDP (delta history), SMS and Bingo
+    (bit-pattern), SPP (delta signature).
+    """
+    scale = _scale(scale)
+    workloads = workload_subset(scale.workloads_per_category)
+    cats = _categories_map(workloads)
+    fig = FigureResult(
+        "related-work",
+        "Related work: one representative per Section 6 family "
+        "(% over baseline; Storage KB)",
+        _CATEGORY_COLUMNS + ["Storage KB"],
+        notes=[
+            "paper's storage argument: temporal needs MBs, bit-pattern needs "
+            "tens-to-hundreds of KB, DSPatch needs 3.6KB",
+        ],
+    )
+    for scheme in ("nextline-4", "markov", "vldp", "sms", "bingo", "spp", "dspatch"):
+        ratios = speedup_ratios(scheme, workloads, scale.trace_len)
+        row = category_geomeans(ratios, cats)
+        row["Storage KB"] = build_prefetcher(scheme, FixedBandwidth(0)).storage_kb()
+        fig.add_row(scheme_label(scheme), row)
+    return fig
+
+
+def bandwidth_signal_study(scale=None):
+    """DSPatch with the 2-bit utilization signal pinned to each quartile.
+
+    Pinning to 0 forces permanent CovP (maximum aggression); pinning to 3
+    forces permanent AccP-or-nothing (maximum caution).  The live signal
+    should match or beat every pinned setting — the Section 3.2 mechanism
+    is what earns DSPatch its bandwidth scaling.
+    """
+    scale = _scale(scale)
+    workloads = workload_subset(scale.workloads_per_category)
+
+    from repro.cpu.system import System, SystemConfig
+    from repro.experiments.runner import get_trace
+
+    fig = FigureResult(
+        "bw-signal",
+        "Bandwidth signal: live quartile signal vs. pinned values "
+        "(geomean % over baseline)",
+        ["Speedup"],
+        notes=["live signal uses the Section 3.2 monitor; pins bypass it"],
+    )
+
+    def run_pinned(workload, bucket_value):
+        """One run with the broadcast signal replaced by a constant."""
+        config = SystemConfig.single_thread("dspatch")
+        system = System(config)
+        # Swap the bandwidth source the prefetcher sees: build the system
+        # manually so the DSPatch instance reads a FixedBandwidth.
+        from repro.cpu.core import CoreExecution
+        from repro.memory.dram import DramModel
+        from repro.memory.hierarchy import MemoryHierarchy
+        from repro.prefetchers.stride import PcStridePrefetcher
+
+        dram = DramModel(config.dram)
+        l2 = build_prefetcher("dspatch", FixedBandwidth(bucket_value))
+        hierarchy = MemoryHierarchy(
+            config=config.hierarchy,
+            dram=dram,
+            l1_prefetcher=PcStridePrefetcher(),
+            l2_prefetcher=l2,
+        )
+        trace = get_trace(workload, scale.trace_len)
+        execution = CoreExecution(config.core, trace, hierarchy)
+        warmup_ops = int(len(trace) * config.warmup_frac)
+        for _ in range(warmup_ops):
+            if not execution.advance():
+                break
+        execution.mark_stats_start()
+        hierarchy.reset_stats()
+        dram.reset_stats(execution.time)
+        while execution.advance():
+            pass
+        return execution.finalize().ipc
+
+    live = speedup_ratios("dspatch", workloads, scale.trace_len)
+    fig.add_row("live signal", {"Speedup": 100.0 * (geomean(live.values()) - 1.0)})
+    for bucket in range(4):
+        ratios = []
+        for workload in workloads:
+            base = run_workload(workload, "none", scale.trace_len)
+            ratios.append(run_pinned(workload, bucket) / base.ipc)
+        fig.add_row(f"pinned q{bucket}", {"Speedup": 100.0 * (geomean(ratios) - 1.0)})
+    return fig
+
+
+ALL_ABLATIONS = {
+    "design": ablation_design_choices,
+    "sizes": ablation_structure_sizes,
+    "related-work": related_work_comparison,
+    "bw-signal": bandwidth_signal_study,
+}

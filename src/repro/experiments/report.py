@@ -1,0 +1,100 @@
+"""End-to-end reproduction report generator.
+
+``generate_report()`` runs every figure driver (and optionally the
+ablations), collects the rendered tables, and writes one self-contained
+markdown report — the machine-written companion to EXPERIMENTS.md.  The
+CLI exposes it as ``python -m repro report``.
+
+Every figure contributes:
+
+- the paper's claim (from :data:`PAPER_CLAIMS`),
+- the measured table at the current scale,
+- an ASCII chart where the figure has one (bandwidth sweeps, categories).
+"""
+
+import inspect
+import io
+import time
+
+from repro.experiments.figures import ALL_FIGURES
+from repro.experiments.scale import Scale
+
+#: One-line paper claims per figure id, quoted in the generated report.
+PAPER_CLAIMS = {
+    "fig01": "BOP/SMS/SPP gains do not scale with peak DRAM bandwidth.",
+    "fig04": "SPP wins 6 of 9 categories; SMS wins ISPEC17/Cloud/SYSmark.",
+    "fig05": "SMS performance halves from a 16K-entry PHT (88KB) to 256 entries.",
+    "fig06": "Even bandwidth-aware eSPP and eBOP scale poorly.",
+    "fig08": "Accuracy/coverage quantize into quartiles via AND + PopCount.",
+    "fig11a": "+1/-1 deltas exceed ~50-60% of all in-page deltas.",
+    "fig11b": "128B compression: 42% of workloads see zero mispredictions.",
+    "fig12": "DSPatch+SPP beats standalone SPP by ~6% geomean, winning every category.",
+    "fig13": "+9% over SPP on the 42 memory-intensive workloads.",
+    "fig14": "DSPatch is the best adjunct to SPP at iso-storage.",
+    "fig15": "DSPatch+SPP's margin over SPP grows with DRAM bandwidth (6% to 10%).",
+    "fig16": "Every 2% of added coverage costs only ~1% more mispredictions.",
+    "fig17": "+5.9% over SPP on 42 homogeneous 4-core mixes.",
+    "fig18": "Gains persist for heterogeneous mixes and grow with faster DRAM.",
+    "fig19": "AlwaysCovP loses 4.5%, ModCovP 1.4% vs the full dual-pattern design.",
+    "fig20": "~84% of prefetch-eviction victims were already dead (NoReuse).",
+    "table1": "DSPatch needs 3.6KB of storage.",
+    "table3": "BOP 1.3KB < DSPatch 3.6KB < SPP 6.2KB << SMS 88KB.",
+    "extra-triple": "DSPatch adds 2.6% on top of SPP+BOP.",
+}
+
+
+def generate_report(figure_ids=None, scale=None, include_charts=True):
+    """Run the selected figures and return the markdown report text."""
+    scale = scale or Scale.from_env()
+    targets = list(figure_ids) if figure_ids else list(ALL_FIGURES)
+    unknown = [t for t in targets if t not in ALL_FIGURES]
+    if unknown:
+        known = ", ".join(ALL_FIGURES)
+        raise ValueError(f"unknown figure(s) {', '.join(unknown)}; known: {known}")
+
+    out = io.StringIO()
+    out.write("# DSPatch reproduction report\n\n")
+    out.write(
+        f"Scale: trace_len={scale.trace_len}, "
+        f"workloads/category={scale.workloads_per_category}, "
+        f"mixes={scale.mix_count}.  "
+        "Shapes (who wins, orderings, scaling directions) are the "
+        "reproduction target; absolute numbers depend on the synthetic "
+        "substrate.\n\n"
+    )
+    for target in targets:
+        started = time.perf_counter()
+        driver = ALL_FIGURES[target]
+        # Static figures (storage tables, the Figure 8 unit example) take
+        # no scale parameter.
+        if inspect.signature(driver).parameters:
+            fig = driver(scale)
+        else:
+            fig = driver()
+        elapsed = time.perf_counter() - started
+        out.write(f"## {target}\n\n")
+        claim = PAPER_CLAIMS.get(target)
+        if claim:
+            out.write(f"**Paper:** {claim}\n\n")
+        out.write("```\n")
+        out.write(fig.render())
+        out.write("\n```\n\n")
+        if include_charts:
+            try:
+                chart = fig.render_chart()
+            except (ValueError, TypeError):
+                chart = None
+            if chart:
+                out.write("```\n")
+                out.write(chart)
+                out.write("\n```\n\n")
+        out.write(f"_generated in {elapsed:.1f}s_\n\n")
+    return out.getvalue()
+
+
+def write_report(path, figure_ids=None, scale=None, include_charts=True):
+    """Generate and write the report; returns the path."""
+    text = generate_report(figure_ids, scale, include_charts)
+    with open(path, "w") as f:
+        f.write(text)
+    return path

@@ -1,0 +1,155 @@
+"""Shared run infrastructure for the figure drivers.
+
+Responsibilities:
+
+- generate (and memoize) workload traces at the configured scale;
+- run (and memoize) single-core simulations per (workload, scheme, DRAM,
+  LLC) combination — several figures share the same underlying runs;
+- compute the paper's metric: per-workload speedup ratios of a scheme's
+  IPC over the baseline (L1 PC-stride only, no L2 prefetcher).
+
+Scheme names follow the prefetcher registry; adjunct schemes are written
+primary-first (``"spp+dspatch"``) so the primary prefetcher wins ties in
+the shared prefetch queue, and :data:`SCHEME_LABELS` maps them to the
+paper's display names ("DSPatch+SPP").
+"""
+
+from repro.cpu.system import MultiCoreSystem, System, SystemConfig
+from repro.memory.dram import DramConfig
+from repro.workloads.catalog import CATEGORIES, WORKLOADS, workloads_in_category
+from repro.workloads.mixes import build_mix_traces
+
+#: Display names used in the rendered figures.
+SCHEME_LABELS = {
+    "none": "Baseline",
+    "bop": "BOP",
+    "sms": "SMS",
+    "sms-4k": "SMS-4K",
+    "sms-1k": "SMS-1K",
+    "sms-256": "SMS-256",
+    "spp": "SPP",
+    "espp": "eSPP",
+    "ebop": "eBOP",
+    "ampm": "AMPM",
+    "streamer": "Streamer",
+    "dspatch": "DSPatch",
+    "alwayscovp": "AlwaysCovP",
+    "modcovp": "ModCovP",
+    "spp+dspatch": "DSPatch+SPP",
+    "spp+bop": "BOP+SPP",
+    "spp+sms-256": "SMS(iso)+SPP",
+    "spp+ebop": "eBOP+SPP",
+    "spp+bop+dspatch": "DSPatch+SPP+BOP",
+    "vldp": "VLDP",
+    "bingo": "Bingo",
+    "markov": "Markov",
+    "nextline": "NextLine",
+    "nextline-4": "NextLine-4",
+    "fdp:streamer": "FDP(Streamer)",
+    "fdp:dspatch": "FDP(DSPatch)",
+}
+
+
+def scheme_label(scheme):
+    """Paper display name for a registry scheme string."""
+    return SCHEME_LABELS.get(scheme, scheme)
+
+
+_TRACE_CACHE = {}
+_RUN_CACHE = {}
+_MP_CACHE = {}
+
+
+def clear_run_cache():
+    """Drop all memoized traces and runs (tests use this)."""
+    _TRACE_CACHE.clear()
+    _RUN_CACHE.clear()
+    _MP_CACHE.clear()
+
+
+def get_trace(workload, length):
+    """Memoized trace generation."""
+    key = (workload, length)
+    if key not in _TRACE_CACHE:
+        _TRACE_CACHE[key] = WORKLOADS[workload].build(length)
+    return _TRACE_CACHE[key]
+
+
+def run_workload(
+    workload,
+    scheme,
+    length,
+    dram: DramConfig = None,
+    llc_bytes=2 * 1024 * 1024,
+    record_pollution=False,
+):
+    """Memoized single-core run; returns a :class:`RunResult`."""
+    dram = dram or DramConfig()
+    key = (workload, scheme, length, dram.label(), llc_bytes, record_pollution)
+    if key not in _RUN_CACHE:
+        config = SystemConfig.single_thread(
+            scheme, dram=dram, llc_bytes=llc_bytes, record_pollution_victims=record_pollution
+        )
+        _RUN_CACHE[key] = System(config).run(get_trace(workload, length))
+    return _RUN_CACHE[key]
+
+
+def speedup_ratios(scheme, workloads, length, dram=None, llc_bytes=2 * 1024 * 1024):
+    """Per-workload IPC ratios of ``scheme`` over the baseline."""
+    out = {}
+    for name in workloads:
+        base = run_workload(name, "none", length, dram, llc_bytes)
+        res = run_workload(name, scheme, length, dram, llc_bytes)
+        out[name] = res.ipc / base.ipc if base.ipc > 0 else 1.0
+    return out
+
+
+def workload_subset(per_category, categories=CATEGORIES, mem_intensive_first=True):
+    """Deterministic subset: up to ``per_category`` workloads per category.
+
+    Memory-intensive workloads come first within each category so small
+    subsets still exercise the behaviours the paper's averages are made of.
+    """
+    chosen = []
+    for category in categories:
+        names = workloads_in_category(category)
+        if mem_intensive_first:
+            names = sorted(names, key=lambda n: (not WORKLOADS[n].mem_intensive, n))
+        chosen.extend(names[:per_category])
+    return chosen
+
+
+def category_of(workload):
+    return WORKLOADS[workload].category
+
+
+def run_mix(mix_name, workload_names, scheme, length_per_core, dram=None):
+    """Memoized 4-core multi-programmed run."""
+    dram = dram or DramConfig(speed_grade=2133, channels=2)
+    key = (mix_name, tuple(workload_names), scheme, length_per_core, dram.label())
+    if key not in _MP_CACHE:
+        config = SystemConfig.multi_programmed(scheme, dram=dram)
+        traces = build_mix_traces(workload_names, length_per_core)
+        _MP_CACHE[key] = MultiCoreSystem(config).run(traces)
+    return _MP_CACHE[key]
+
+
+def mix_speedup_ratio(mix_name, workload_names, scheme, length_per_core, dram=None):
+    """Weighted-speedup ratio of ``scheme`` over the shared baseline.
+
+    Both runs share the machine; per-core alone-IPCs cancel, so the ratio
+    reduces to sum(IPC_i^scheme/IPC_i^alone) / sum(IPC_i^base/IPC_i^alone).
+    We use the baseline single-core IPC on the MP machine as 'alone'.
+    """
+    dram = dram or DramConfig(speed_grade=2133, channels=2)
+    alone = []
+    for name in workload_names:
+        result = run_workload(
+            name, "none", length_per_core, dram=dram, llc_bytes=8 * 1024 * 1024
+        )
+        alone.append(result.ipc)
+    base = run_mix(mix_name, workload_names, "none", length_per_core, dram)
+    res = run_mix(mix_name, workload_names, scheme, length_per_core, dram)
+    ws_base = base.weighted_speedup(alone)
+    ws_scheme = res.weighted_speedup(alone)
+    return ws_scheme / ws_base if ws_base > 0 else 1.0

@@ -1,0 +1,45 @@
+"""Run-scale knobs, resolved from environment variables.
+
+Python trace simulation is orders of magnitude slower than the paper's
+native simulator, so the default scale samples a few workloads per category
+with short traces; ``REPRO_FULL=1`` switches to paper-sized runs.  Either
+way the *same* drivers produce the same tables — only the sampling density
+changes.
+"""
+
+import os
+from dataclasses import dataclass
+
+
+def _env_int(name, default):
+    value = os.environ.get(name)
+    if value is None:
+        return default
+    try:
+        return int(value)
+    except ValueError:
+        raise ValueError(f"{name} must be an integer, got {value!r}") from None
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Resolved experiment scale."""
+
+    trace_len: int
+    workloads_per_category: int
+    mix_count: int
+    mix_trace_len: int
+    full: bool
+
+    @staticmethod
+    def from_env():
+        full = os.environ.get("REPRO_FULL", "") == "1"
+        return Scale(
+            trace_len=_env_int("REPRO_TRACE_LEN", 16000),
+            workloads_per_category=(
+                99 if full else _env_int("REPRO_WORKLOADS_PER_CATEGORY", 3)
+            ),
+            mix_count=(75 if full else _env_int("REPRO_MIX_COUNT", 6)),
+            mix_trace_len=_env_int("REPRO_MIX_TRACE_LEN", 6000),
+            full=full,
+        )

@@ -1,0 +1,48 @@
+"""Memory-system substrate: caches, MSHRs, DRAM, and the full hierarchy.
+
+This package implements the simulated machine of Table 2: three levels of
+set-associative caches with MSHRs and prefetch-aware replacement, plus a
+banked DDR4 DRAM model whose bandwidth monitor provides the 2-bit
+utilization signal DSPatch consumes (Section 3.2).
+"""
+
+from repro.memory.cache import Cache, CacheConfig, CacheLine, EvictionInfo
+from repro.memory.dram import (
+    BandwidthMonitor,
+    DramConfig,
+    DramModel,
+    DramTimings,
+    FixedBandwidth,
+)
+from repro.memory.hierarchy import (
+    AccessResult,
+    HierarchyConfig,
+    MemoryHierarchy,
+    PrefetchStats,
+)
+from repro.memory.mshr import MshrFile
+from repro.memory.replacement import (
+    LruPolicy,
+    PrefetchAwareDeadBlock,
+    make_replacement_policy,
+)
+
+__all__ = [
+    "AccessResult",
+    "BandwidthMonitor",
+    "Cache",
+    "CacheConfig",
+    "CacheLine",
+    "DramConfig",
+    "DramModel",
+    "DramTimings",
+    "EvictionInfo",
+    "FixedBandwidth",
+    "HierarchyConfig",
+    "LruPolicy",
+    "MemoryHierarchy",
+    "MshrFile",
+    "PrefetchAwareDeadBlock",
+    "PrefetchStats",
+    "make_replacement_policy",
+]

@@ -1,0 +1,223 @@
+"""Set-associative cache with prefetch bookkeeping.
+
+The cache is functional (presence/eviction) plus lightly timed: each line
+records the cycle its fill completes (``ready``) so a demand that arrives
+while a prefetch is still in flight pays only the remaining latency — this
+is how prefetch *timeliness* (Section 2, "the fraction of the latency ...
+hidden by the prefetcher") is modelled.
+
+Prefetch usefulness is tracked per line: a line filled by a prefetch counts
+as *useful* on its first demand hit and as *useless* if it leaves the cache
+untouched — the raw ingredients of the paper's coverage / misprediction
+accounting (Figure 16).
+"""
+
+from dataclasses import dataclass, field
+
+from repro.memory.replacement import LruPolicy, make_replacement_policy
+
+
+class CacheLine:
+    """One cache line's metadata (tag plus prefetch bookkeeping)."""
+
+    __slots__ = ("tag", "dirty", "prefetched", "used", "last_touch", "ready")
+
+    def __init__(self, tag, tick, prefetched=False, ready=0):
+        self.tag = tag
+        self.dirty = False
+        self.prefetched = prefetched
+        self.used = not prefetched
+        self.last_touch = tick
+        self.ready = ready
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and timing of one cache level (see Table 2)."""
+
+    name: str
+    size_bytes: int
+    ways: int
+    hit_latency: int
+    line_size: int = 64
+    mshrs: int = 32
+    replacement: str = "lru"
+
+    @property
+    def num_sets(self):
+        sets = self.size_bytes // (self.ways * self.line_size)
+        if sets <= 0 or sets & (sets - 1):
+            raise ValueError(
+                f"{self.name}: derived set count {sets} must be a positive power of two"
+            )
+        return sets
+
+
+@dataclass
+class EvictionInfo:
+    """What :meth:`Cache.fill` evicted, for pollution accounting."""
+
+    line_addr: int
+    was_prefetched: bool
+    was_used: bool
+    was_dirty: bool = field(default=False)
+
+
+class Cache:
+    """A set-associative cache level."""
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        self.name = config.name
+        self.num_sets = config.num_sets
+        self.hit_latency = config.hit_latency
+        self._sets = [dict() for _ in range(self.num_sets)]
+        self._policy = make_replacement_policy(config.replacement)
+        self._tick = 0
+        #: True when the most recent :meth:`access` was the first demand use
+        #: of a prefetched line (read by the hierarchy for accounting).
+        self.last_access_first_use = False
+        # Statistics
+        self.demand_hits = 0
+        self.demand_misses = 0
+        self.prefetch_probe_hits = 0
+        self.useful_prefetches = 0
+        self.late_useful_prefetches = 0
+        self.useless_evictions = 0
+        self.writebacks = 0
+
+    def reset_stats(self):
+        """Zero the statistics counters; cache contents are untouched."""
+        self.demand_hits = 0
+        self.demand_misses = 0
+        self.prefetch_probe_hits = 0
+        self.useful_prefetches = 0
+        self.late_useful_prefetches = 0
+        self.useless_evictions = 0
+        self.writebacks = 0
+
+    # -- addressing ---------------------------------------------------------
+
+    def _locate(self, line_addr):
+        set_idx = line_addr & (self.num_sets - 1)
+        tag = line_addr // self.num_sets
+        return self._sets[set_idx], tag
+
+    def _line_addr_of(self, set_idx, tag):
+        return tag * self.num_sets + set_idx
+
+    # -- queries -------------------------------------------------------------
+
+    def probe(self, line_addr):
+        """Return the line if present, without touching recency or stats."""
+        lines, tag = self._locate(line_addr)
+        return lines.get(tag)
+
+    def contains(self, line_addr):
+        """True if ``line_addr`` is resident (no state change)."""
+        return self.probe(line_addr) is not None
+
+    # -- demand path ---------------------------------------------------------
+
+    def access(self, line_addr, cycle, is_write=False):
+        """Demand lookup.  Returns the hit :class:`CacheLine` or ``None``.
+
+        On a hit the line's recency is refreshed; if the hit is the first
+        demand to a prefetched line, the prefetch is counted useful (late if
+        the fill had not completed by ``cycle``).
+        """
+        lines, tag = self._locate(line_addr)
+        line = lines.get(tag)
+        self._tick += 1
+        self.last_access_first_use = False
+        if line is None:
+            self.demand_misses += 1
+            return None
+        self.demand_hits += 1
+        self._policy.on_hit(line, self._tick)
+        if is_write:
+            line.dirty = True
+        if line.prefetched and not line.used:
+            self.useful_prefetches += 1
+            self.last_access_first_use = True
+            if line.ready > cycle:
+                self.late_useful_prefetches += 1
+        line.used = True
+        return line
+
+    def touch_for_prefetcher(self, line_addr):
+        """Mark a resident prefetched line as used without a demand access.
+
+        Used by the hierarchy to propagate first-use information from an
+        upper level (an L2 demand hit also 'uses' the LLC copy).
+        """
+        line = self.probe(line_addr)
+        if line is not None and line.prefetched and not line.used:
+            line.used = True
+
+    # -- fill path -----------------------------------------------------------
+
+    def fill(self, line_addr, cycle, prefetched=False, low_priority=False, ready=None):
+        """Install ``line_addr``; returns :class:`EvictionInfo` or ``None``.
+
+        ``ready`` is the cycle at which the fill's data actually arrives
+        (defaults to ``cycle``); demands arriving earlier pay the remainder.
+        """
+        lines, tag = self._locate(line_addr)
+        self._tick += 1
+        existing = lines.get(tag)
+        if existing is not None:
+            # Refill of a resident line (e.g. prefetch to a present line is
+            # filtered upstream; a demand refill just refreshes recency).
+            self._policy.on_hit(existing, self._tick)
+            return None
+        evicted = None
+        if len(lines) >= self.config.ways:
+            victim = self._policy.victim(list(lines.values()))
+            victim_addr = self._line_addr_of(line_addr & (self.num_sets - 1), victim.tag)
+            evicted = EvictionInfo(
+                line_addr=victim_addr,
+                was_prefetched=victim.prefetched,
+                was_used=victim.used,
+                was_dirty=victim.dirty,
+            )
+            if victim.prefetched and not victim.used:
+                self.useless_evictions += 1
+            if victim.dirty:
+                self.writebacks += 1
+            del lines[victim.tag]
+        line = CacheLine(tag, self._tick, prefetched=prefetched, ready=ready if ready is not None else cycle)
+        self._policy.on_fill(line, self._tick, low_priority)
+        lines[tag] = line
+        return evicted
+
+    def invalidate(self, line_addr):
+        """Drop ``line_addr`` if resident (no writeback modelling)."""
+        lines, tag = self._locate(line_addr)
+        lines.pop(tag, None)
+
+    # -- stats ----------------------------------------------------------------
+
+    @property
+    def demand_accesses(self):
+        return self.demand_hits + self.demand_misses
+
+    def hit_rate(self):
+        """Demand hit rate (0.0 when no accesses were made)."""
+        total = self.demand_accesses
+        return self.demand_hits / total if total else 0.0
+
+    def occupancy(self):
+        """Total number of resident lines."""
+        return sum(len(s) for s in self._sets)
+
+    def stats(self):
+        """Return a dict snapshot of counters for reporting."""
+        return {
+            "demand_hits": self.demand_hits,
+            "demand_misses": self.demand_misses,
+            "useful_prefetches": self.useful_prefetches,
+            "late_useful_prefetches": self.late_useful_prefetches,
+            "useless_evictions": self.useless_evictions,
+            "writebacks": self.writebacks,
+        }

@@ -1,0 +1,393 @@
+"""Three-level memory hierarchy with prefetch training, fill and accounting.
+
+Wiring follows Section 4.1 of the paper exactly:
+
+- The L1 prefetcher (PC stride) trains on every L1 demand access and fills
+  the L1.
+- The L2 prefetcher trains on L1 misses — *both* demand misses and misses
+  of L1 prefetches — and fills prefetched lines into the L2 and the LLC.
+- Prefetches that miss on-die go to DRAM and therefore consume bandwidth
+  (every burst is a CAS command counted by the Section 3.2 monitor).
+
+Timeliness is modelled through per-line ``ready`` cycles: a demand hitting
+a line whose prefetch is still in flight pays the remaining latency (a
+*late* useful prefetch).
+
+Coverage / accuracy accounting matches Figure 16's definitions:
+
+- *useful* — a prefetched line's first demand hit (timely or late);
+- *uncovered* — a demand L2 miss that had to go below L2 anyway;
+- *mispredicted* — a prefetched line evicted from the LLC untouched.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.constants import LINE_SHIFT
+from repro.memory.cache import Cache, CacheConfig
+from repro.memory.dram import DramConfig, DramModel
+from repro.memory.mshr import MshrFile
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """Cache geometry for one core (Table 2 defaults, single-thread LLC)."""
+
+    l1: CacheConfig = CacheConfig(
+        name="L1D", size_bytes=32 * 1024, ways=8, hit_latency=5, mshrs=16
+    )
+    l2: CacheConfig = CacheConfig(
+        name="L2", size_bytes=256 * 1024, ways=8, hit_latency=8, mshrs=32
+    )
+    llc: CacheConfig = CacheConfig(
+        name="LLC",
+        size_bytes=2 * 1024 * 1024,
+        ways=16,
+        hit_latency=30,
+        mshrs=32,
+        replacement="pf-dead-block",
+    )
+
+    def scaled_llc(self, size_bytes):
+        """A copy of this config with a different LLC capacity."""
+        llc = CacheConfig(
+            name=self.llc.name,
+            size_bytes=size_bytes,
+            ways=self.llc.ways,
+            hit_latency=self.llc.hit_latency,
+            mshrs=self.llc.mshrs,
+            replacement=self.llc.replacement,
+        )
+        return HierarchyConfig(l1=self.l1, l2=self.l2, llc=llc)
+
+
+@dataclass
+class PrefetchStats:
+    """Counters for one L2 prefetcher's activity."""
+
+    issued: int = 0
+    issued_low_priority: int = 0
+    filled_from_llc: int = 0
+    filled_from_dram: int = 0
+    useful: int = 0
+    late: int = 0
+    useless: int = 0
+    dropped_resident: int = 0
+    dropped_in_flight: int = 0
+    dropped_bandwidth: int = 0
+
+    def accuracy(self):
+        """Fraction of issued prefetches that saw a demand use."""
+        return self.useful / self.issued if self.issued else 0.0
+
+
+@dataclass
+class AccessResult:
+    """Outcome of one demand access through the hierarchy."""
+
+    latency: float
+    hit_level: str  # "L1" | "L2" | "LLC" | "DRAM"
+
+
+@dataclass
+class PollutionEvent:
+    """An LLC eviction caused by a prefetch fill (appendix study input).
+
+    ``ordinal`` is the demand-access sequence number at eviction time; the
+    appendix's reuse window is expressed in the same ordinal space.
+    """
+
+    ordinal: int
+    victim_line: int
+
+
+@dataclass
+class HierarchyStats:
+    """Aggregated statistics exported after a run."""
+
+    l1: dict = field(default_factory=dict)
+    l2: dict = field(default_factory=dict)
+    llc: dict = field(default_factory=dict)
+    prefetch: PrefetchStats = field(default_factory=PrefetchStats)
+    dram: dict = field(default_factory=dict)
+
+
+class MemoryHierarchy:
+    """One core's L1/L2 plus a (possibly shared) LLC and DRAM."""
+
+    def __init__(
+        self,
+        config: HierarchyConfig = None,
+        dram: DramModel = None,
+        llc: Cache = None,
+        l1_prefetcher=None,
+        l2_prefetcher=None,
+        record_pollution_victims=False,
+    ):
+        self.config = config or HierarchyConfig()
+        self.dram = dram or DramModel(DramConfig())
+        self.l1 = Cache(self.config.l1)
+        self.l2 = Cache(self.config.l2)
+        self.llc = llc or Cache(self.config.llc)
+        self.l1_prefetcher = l1_prefetcher
+        self.l2_prefetcher = l2_prefetcher
+        self.l1_mshr = MshrFile(self.config.l1.mshrs)
+        self.l2_mshr = MshrFile(self.config.l2.mshrs)
+        self.llc_mshr = MshrFile(self.config.llc.mshrs)
+        self.pf_stats = PrefetchStats()
+        self._in_flight = {}  # line_addr -> ready cycle of an outstanding prefetch
+        #: Bound on outstanding prefetches to DRAM (the prefetch queue).
+        #: Under bandwidth saturation fills take longer to complete, so the
+        #: queue stays full longer and more prefetches get dropped — the
+        #: natural negative feedback of a real memory controller.  Sized to
+        #: hold a full-page spatial burst (DSPatch segment-0 triggers can
+        #: emit up to 62 lines) plus a steady delta-prefetcher stream.
+        self.prefetch_queue_size = 128
+        self.record_pollution_victims = record_pollution_victims
+        self.pollution_events = []
+        #: With pollution recording on: (ordinal, line) demand accesses
+        #: below L1 and (ordinal, line) prefetch fills from DRAM — the
+        #: classifier inputs for the appendix's Figure 20.
+        self.demand_log = []
+        self.prefetch_fill_log = []
+        self.demand_accesses = 0
+
+    # ------------------------------------------------------------------ API
+
+    def access(self, cycle, pc, addr, is_write=False):
+        """Run one demand access; returns an :class:`AccessResult`."""
+        cycle = int(cycle)
+        self.demand_accesses += 1
+        line = addr >> LINE_SHIFT
+
+        l1_line = self.l1.access(line, cycle, is_write)
+        self._train_l1(cycle, pc, addr, hit=l1_line is not None)
+        if l1_line is not None:
+            latency = self.l1.hit_latency + max(0, l1_line.ready - cycle)
+            return AccessResult(latency, "L1")
+
+        # L1 miss: train the L2 prefetcher (demand and L1-prefetch misses
+        # both reach here; L1-prefetch misses train via _issue_l1_prefetch).
+        result = self._below_l1(cycle, pc, addr, is_write, train=True)
+        wait = self.l1_mshr.allocate(cycle, cycle + result.latency)
+        latency = result.latency + wait
+        self.l1.fill(line, cycle, ready=cycle + latency)
+        return AccessResult(latency, result.hit_level)
+
+    def _below_l1(self, cycle, pc, addr, is_write, train):
+        line = addr >> LINE_SHIFT
+        if self.record_pollution_victims:
+            self.demand_log.append((self.demand_accesses, line))
+        candidates = ()
+        l2_line = self.l2.access(line, cycle, is_write)
+        if train and self.l2_prefetcher is not None:
+            candidates = self.l2_prefetcher.train(cycle, pc, addr, hit=l2_line is not None)
+        if l2_line is not None:
+            if self.l2.last_access_first_use:
+                self._note_use(cycle, line, l2_line)
+            latency = self.l2.hit_latency + self._residual(cycle, l2_line)
+            self._issue_prefetches(cycle, candidates)
+            return AccessResult(latency, "L2")
+
+        inflight_ready = self._in_flight.pop(line, None)
+        if inflight_ready is not None and inflight_ready > cycle:
+            # The prefetched L2/LLC copy was evicted while its fill was
+            # still outstanding; the demand merges with it (promoted to
+            # demand priority) and pays the capped remainder.
+            residual = min(inflight_ready - cycle, self.dram.demand_merge_bound())
+            latency = self.l2.hit_latency + residual
+            self.pf_stats.useful += 1
+            self.pf_stats.late += 1
+            self.l2.fill(line, cycle, ready=cycle + residual)
+            self._notify_useful(cycle, line)
+            self._issue_prefetches(cycle, candidates)
+            return AccessResult(latency, "LLC")
+
+        llc_line = self.llc.access(line, cycle, is_write)
+        if llc_line is not None:
+            if self.llc.last_access_first_use:
+                self._note_use(cycle, line, llc_line)
+            latency = self.llc.hit_latency + self._residual(cycle, llc_line)
+            self.l2.fill(line, cycle, ready=cycle + latency)
+            self._issue_prefetches(cycle, candidates)
+            return AccessResult(latency, "LLC")
+
+        # Demand goes to DRAM.
+        dram_latency = self.dram.access(cycle, line, is_write)
+        latency = self.llc.hit_latency + dram_latency
+        latency += self.l2_mshr.allocate(cycle, cycle + latency)
+        latency += self.llc_mshr.allocate(cycle, cycle + latency)
+        ready = cycle + latency
+        self._fill_llc(line, cycle, prefetched=False, ready=ready)
+        self.l2.fill(line, cycle, ready=ready)
+        self._issue_prefetches(cycle, candidates)
+        return AccessResult(latency, "DRAM")
+
+    def _residual(self, cycle, cache_line):
+        """Remaining fill latency a demand pays when hitting ``cache_line``.
+
+        A demand that hits a still-in-flight *prefetched* line merges with
+        the outstanding request and is promoted to demand priority, so its
+        wait is capped at a clean demand round-trip; demand-filled lines
+        pay their true remainder.
+        """
+        residual = max(0, cache_line.ready - cycle)
+        if residual and cache_line.prefetched:
+            residual = min(residual, self.dram.demand_merge_bound())
+        return residual
+
+    # ------------------------------------------------------- L1 prefetching
+
+    def _train_l1(self, cycle, pc, addr, hit):
+        if self.l1_prefetcher is None:
+            return
+        for cand in self.l1_prefetcher.train(cycle, pc, addr, hit):
+            self._issue_l1_prefetch(cycle, pc, cand)
+
+    def _issue_l1_prefetch(self, cycle, pc, cand):
+        line = cand.line_addr
+        if self.l1.contains(line):
+            return
+        # L1 prefetches compete with demand misses for the 16 L1 MSHRs
+        # (Table 2); with none free the prefetch is dropped — this is what
+        # keeps a real L1 prefetcher from running arbitrarily far ahead.
+        if self.l1_mshr.outstanding(cycle) >= self.l1_mshr.capacity:
+            return
+        # An L1 prefetch that misses the L1 is itself an L1 miss and
+        # therefore trains the L2 prefetcher (Section 4.1).
+        result = self._below_l1(cycle, pc, line << LINE_SHIFT, False, train=True)
+        self.l1_mshr.allocate(cycle, cycle + result.latency)
+        self.l1.fill(line, cycle, prefetched=True, ready=cycle + result.latency)
+
+    # ------------------------------------------------------- L2 prefetching
+
+    def _issue_prefetches(self, cycle, candidates):
+        for cand in candidates:
+            self._issue_one(cycle, cand)
+
+    def _issue_one(self, cycle, cand):
+        line = cand.line_addr
+        if self.l2.contains(line):
+            self.pf_stats.dropped_resident += 1
+            return
+        inflight_ready = self._in_flight.get(line)
+        if inflight_ready is not None:
+            if inflight_ready > cycle:
+                self.pf_stats.dropped_in_flight += 1
+                return
+            del self._in_flight[line]
+        llc_line = self.llc.probe(line)
+        if llc_line is not None:
+            # Promote from LLC into L2.
+            self.pf_stats.issued += 1
+            if cand.low_priority:
+                self.pf_stats.issued_low_priority += 1
+            self.pf_stats.filled_from_llc += 1
+            ready = cycle + self.llc.hit_latency
+            self.l2.fill(
+                line, cycle, prefetched=True, low_priority=cand.low_priority, ready=ready
+            )
+            return
+        self._prune_in_flight(cycle)
+        if len(self._in_flight) >= self.prefetch_queue_size:
+            self.pf_stats.dropped_bandwidth += 1
+            return
+        dram_latency = self.dram.access(cycle, line, is_write=False, is_prefetch=True)
+        if dram_latency is None:
+            # Rejected by the memory controller under extreme backlog.
+            self.pf_stats.dropped_bandwidth += 1
+            return
+        self.pf_stats.issued += 1
+        if cand.low_priority:
+            self.pf_stats.issued_low_priority += 1
+        ready = cycle + self.llc.hit_latency + dram_latency
+        self.pf_stats.filled_from_dram += 1
+        self._in_flight[line] = ready
+        if self.record_pollution_victims:
+            self.prefetch_fill_log.append((self.demand_accesses, line))
+        self._fill_llc(line, cycle, prefetched=True, ready=ready, low_priority=cand.low_priority)
+        self.l2.fill(line, cycle, prefetched=True, low_priority=cand.low_priority, ready=ready)
+
+    def _prune_in_flight(self, cycle):
+        done = [ln for ln, ready in self._in_flight.items() if ready <= cycle]
+        for ln in done:
+            del self._in_flight[ln]
+
+    # ---------------------------------------------------------- fill helpers
+
+    def _fill_llc(self, line, cycle, prefetched, ready, low_priority=False):
+        evicted = self.llc.fill(
+            line, cycle, prefetched=prefetched, low_priority=low_priority, ready=ready
+        )
+        if evicted is None:
+            return
+        if evicted.was_prefetched and not evicted.was_used:
+            self.pf_stats.useless += 1
+            if self.l2_prefetcher is not None:
+                self.l2_prefetcher.note_useless_prefetch(cycle, evicted.line_addr)
+        if self.record_pollution_victims and prefetched:
+            # Victim of a prefetch fill — input to the appendix pollution
+            # study, which classifies these victims by their later reuse.
+            self.pollution_events.append(
+                PollutionEvent(self.demand_accesses, evicted.line_addr)
+            )
+
+    def _note_use(self, cycle, line, cache_line):
+        """First demand use of a prefetched line: propagate + notify.
+
+        The owning cache has already flagged this access as a first use
+        (``last_access_first_use``); hierarchy-level accounting and the
+        cross-level used-bit propagation happen here.
+        """
+        self.pf_stats.useful += 1
+        if cache_line.ready > cycle:
+            self.pf_stats.late += 1
+        self._notify_useful(cycle, line)
+
+    def _notify_useful(self, cycle, line):
+        self.llc.touch_for_prefetcher(line)
+        self.l2.touch_for_prefetcher(line)
+        if self.l2_prefetcher is not None:
+            self.l2_prefetcher.note_useful_prefetch(cycle, line)
+
+    # ---------------------------------------------------------------- stats
+
+    def reset_stats(self):
+        """Zero all statistics at the warmup boundary.
+
+        Cache contents, prefetcher state and in-flight prefetches survive —
+        only the accounting restarts, so coverage/accuracy/misses reflect
+        the measured region alone.
+        """
+        self.pf_stats = PrefetchStats()
+        self.l1.reset_stats()
+        self.l2.reset_stats()
+        self.llc.reset_stats()
+        self.l1_mshr.reset_stats()
+        self.l2_mshr.reset_stats()
+        self.llc_mshr.reset_stats()
+        self.pollution_events = []
+        self.demand_log = []
+        self.prefetch_fill_log = []
+
+    def coverage_accuracy(self):
+        """Return (coverage, accuracy, base_misses) per Figure 16 semantics.
+
+        ``coverage`` is useful prefetches over the no-prefetch miss count
+        (useful + remaining demand misses below L2); ``accuracy`` is useful
+        over issued.
+        """
+        useful = self.pf_stats.useful
+        uncovered = self.l2.demand_misses
+        base = useful + uncovered
+        coverage = useful / base if base else 0.0
+        accuracy = self.pf_stats.accuracy()
+        return coverage, accuracy, base
+
+    def stats(self):
+        return HierarchyStats(
+            l1=self.l1.stats(),
+            l2=self.l2.stats(),
+            llc=self.llc.stats(),
+            prefetch=self.pf_stats,
+            dram=self.dram.stats(),
+        )

@@ -1,0 +1,65 @@
+"""Miss Status Holding Register (MSHR) file.
+
+Models the finite outstanding-miss capacity of each cache level (Table 2:
+16 MSHRs at L1, 32 at L2 and per LLC bank).  The model is analytic: entries
+record when their fill completes, and a request arriving at a full MSHR file
+must wait for the earliest completion before it can allocate — the
+head-of-line delay is returned to the caller and added to the request's
+latency.
+"""
+
+import heapq
+
+
+class MshrFile:
+    """A bounded set of in-flight misses with completion-time tracking."""
+
+    def __init__(self, capacity):
+        if capacity <= 0:
+            raise ValueError("MSHR capacity must be positive")
+        self.capacity = capacity
+        self._ready_heap = []
+        self.allocations = 0
+        self.stall_cycles = 0
+
+    def outstanding(self, cycle):
+        """Number of misses still in flight at ``cycle``."""
+        self._drain(cycle)
+        return len(self._ready_heap)
+
+    def allocate(self, cycle, completion_cycle):
+        """Allocate an entry for a miss completing at ``completion_cycle``.
+
+        Returns the number of cycles the request had to wait for a free
+        entry (zero when the file has room).
+        """
+        self._drain(cycle)
+        wait = 0
+        if len(self._ready_heap) >= self.capacity:
+            earliest = self._ready_heap[0]
+            wait = max(0, earliest - cycle)
+            self._drain(cycle + wait)
+            # If completions tie, at least one slot opened up; if not (all
+            # completions are in the future beyond earliest), force-pop one:
+            # the entry we waited on has completed by construction.
+            if len(self._ready_heap) >= self.capacity:
+                heapq.heappop(self._ready_heap)
+            self.stall_cycles += wait
+        heapq.heappush(self._ready_heap, completion_cycle + wait)
+        self.allocations += 1
+        return wait
+
+    def _drain(self, cycle):
+        heap = self._ready_heap
+        while heap and heap[0] <= cycle:
+            heapq.heappop(heap)
+
+    def reset(self):
+        """Clear all in-flight state and statistics."""
+        self._ready_heap.clear()
+        self.reset_stats()
+
+    def reset_stats(self):
+        """Zero the counters; in-flight entries are untouched."""
+        self.allocations = 0
+        self.stall_cycles = 0

@@ -1,0 +1,66 @@
+"""Replacement policies for the set-associative caches.
+
+Two policies are provided:
+
+- :class:`LruPolicy` — classic least-recently-used, used at L1 and L2
+  (Table 2).
+- :class:`PrefetchAwareDeadBlock` — the LLC policy, a simplified
+  sampling-free variant of the prefetch-aware dead-block predictor the paper
+  cites ("Prefetch aware dead-block predictor similar to [39]", Table 2):
+  prefetched lines that have not been demanded are predicted dead and are
+  preferred victims, and low-priority prefetch fills are inserted near the
+  LRU position (Section 3.6's low-priority fill rule).
+"""
+
+
+class LruPolicy:
+    """Least-recently-used victim selection over a set's lines."""
+
+    name = "lru"
+
+    def victim(self, lines):
+        """Pick the victim line from ``lines`` (a non-empty list)."""
+        return min(lines, key=lambda line: line.last_touch)
+
+    def on_fill(self, line, tick, low_priority):
+        if low_priority:
+            # Insert near LRU: the line is the first candidate for eviction
+            # unless it gets demanded before any other fill arrives.
+            line.last_touch = -tick if tick else -1
+        else:
+            line.last_touch = tick
+
+    def on_hit(self, line, tick):
+        line.last_touch = tick
+
+
+class PrefetchAwareDeadBlock(LruPolicy):
+    """Prefetch-aware dead-block replacement (LLC).
+
+    A prefetched line that was never demanded is predicted dead and is
+    evicted before any live line; among multiple dead candidates the oldest
+    goes first.  Falls back to plain LRU when no dead line exists.
+    """
+
+    name = "pf-dead-block"
+
+    def victim(self, lines):
+        dead = [ln for ln in lines if ln.prefetched and not ln.used]
+        if dead:
+            return min(dead, key=lambda line: line.last_touch)
+        return super().victim(lines)
+
+
+_POLICIES = {
+    LruPolicy.name: LruPolicy,
+    PrefetchAwareDeadBlock.name: PrefetchAwareDeadBlock,
+}
+
+
+def make_replacement_policy(name):
+    """Instantiate a replacement policy by its registered name."""
+    try:
+        return _POLICIES[name]()
+    except KeyError:
+        known = ", ".join(sorted(_POLICIES))
+        raise ValueError(f"unknown replacement policy {name!r} (known: {known})") from None

@@ -1,0 +1,149 @@
+"""Virtual memory: page allocation and translation.
+
+The paper (like every spatial prefetcher) operates on *physical* pages
+and stops prefetching at the 4KB boundary.  The reason is virtual
+memory: consecutive virtual pages map to effectively random physical
+frames, so a pattern learned across a page boundary would chase the
+wrong physical neighbour.  This module makes that constraint executable:
+
+- :class:`PageAllocator` — maps virtual pages to physical frames on
+  first touch, either sequentially (an idealised contiguous allocation)
+  or pseudo-randomly (a long-running system's fragmented frame pool);
+- :class:`Tlb` — a small set-associative translation cache with miss
+  accounting, so translation pressure is visible;
+- :func:`translate_trace` — rewrites a virtual-address trace into the
+  physical addresses the memory hierarchy (and the prefetchers) see.
+
+The cross-page ablation bench uses this to measure how much an
+"ignore-page-boundaries" prefetcher loses once frames are fragmented —
+the quantitative justification for DSPatch's per-page patterns.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import PAGE_SHIFT
+from repro.cpu.trace import Trace
+
+
+class PageAllocator:
+    """First-touch virtual-to-physical page mapping.
+
+    ``fragmented=False`` hands out consecutive frames in touch order (the
+    best case for cross-page spatial patterns); ``fragmented=True`` draws
+    frames pseudo-randomly from a large pool, the steady state of a busy
+    machine.
+    """
+
+    def __init__(self, fragmented=True, frame_pool_pages=1 << 20, seed=7):
+        self.fragmented = fragmented
+        self.frame_pool_pages = frame_pool_pages
+        self._rng = np.random.default_rng(seed)
+        self._mapping = {}
+        self._next_frame = 0x100  # skip low frames, like a real allocator
+        self._used_frames = set()
+
+    def frame_of(self, virtual_page):
+        """Return (allocating on first touch) the physical frame number."""
+        frame = self._mapping.get(virtual_page)
+        if frame is not None:
+            return frame
+        if self.fragmented:
+            while True:
+                frame = int(self._rng.integers(0x100, self.frame_pool_pages))
+                if frame not in self._used_frames:
+                    break
+        else:
+            frame = self._next_frame
+            self._next_frame += 1
+        self._used_frames.add(frame)
+        self._mapping[virtual_page] = frame
+        return frame
+
+    @property
+    def mapped_pages(self):
+        return len(self._mapping)
+
+    def contiguity(self):
+        """Fraction of virtually-adjacent page pairs that stay physically
+        adjacent — ~1.0 for sequential allocation, ~0.0 when fragmented."""
+        if len(self._mapping) < 2:
+            return 1.0
+        adjacent = 0
+        pairs = 0
+        for vpage, frame in self._mapping.items():
+            neighbour = self._mapping.get(vpage + 1)
+            if neighbour is None:
+                continue
+            pairs += 1
+            if neighbour == frame + 1:
+                adjacent += 1
+        return adjacent / pairs if pairs else 1.0
+
+
+@dataclass
+class TlbStats:
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def miss_rate(self):
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0
+
+
+class Tlb:
+    """Set-associative translation lookaside buffer (presence only).
+
+    Timing impact is out of scope for the prefetcher study; the structure
+    exists so translation locality is measurable (`stats.miss_rate`) and
+    so the translation path has a realistic capacity limit.
+    """
+
+    def __init__(self, entries=64, ways=4):
+        if entries <= 0 or entries % ways:
+            raise ValueError("entries must be a positive multiple of ways")
+        sets = entries // ways
+        if sets & (sets - 1):
+            raise ValueError("TLB set count must be a power of two")
+        self.entries = entries
+        self.ways = ways
+        self._sets = [dict() for _ in range(sets)]
+        self.stats = TlbStats()
+
+    def access(self, virtual_page):
+        """Record one translation; returns True on a TLB hit."""
+        idx = virtual_page & (len(self._sets) - 1)
+        tlb_set = self._sets[idx]
+        if virtual_page in tlb_set:
+            tlb_set[virtual_page] = tlb_set.pop(virtual_page)  # refresh LRU
+            self.stats.hits += 1
+            return True
+        if len(tlb_set) >= self.ways:
+            del tlb_set[next(iter(tlb_set))]
+        tlb_set[virtual_page] = True
+        self.stats.misses += 1
+        return False
+
+
+def translate_trace(trace, allocator=None, tlb=None):
+    """Rewrite a virtual-address trace into physical addresses.
+
+    Returns ``(physical_trace, allocator)`` so callers can inspect the
+    mapping (e.g. its :meth:`~PageAllocator.contiguity`).  A ``tlb``, if
+    given, observes every translation.
+    """
+    allocator = allocator or PageAllocator()
+    page_offset_mask = (1 << PAGE_SHIFT) - 1
+    out_addrs = np.empty(len(trace), dtype=np.int64)
+    for i, addr in enumerate(trace.addrs.tolist()):
+        vpage = addr >> PAGE_SHIFT
+        if tlb is not None:
+            tlb.access(vpage)
+        frame = allocator.frame_of(vpage)
+        out_addrs[i] = (frame << PAGE_SHIFT) | (addr & page_offset_mask)
+    return (
+        Trace(trace.gaps.copy(), trace.pcs.copy(), out_addrs, trace.flags.copy()),
+        allocator,
+    )

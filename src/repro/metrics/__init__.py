@@ -1,0 +1,22 @@
+"""Metrics: aggregation helpers and the appendix pollution classifier."""
+
+from repro.metrics.pollution import PollutionBreakdown, classify_pollution
+from repro.metrics.stats import (
+    FigureResult,
+    category_geomeans,
+    geomean,
+    render_series,
+    render_table,
+    speedup_pct,
+)
+
+__all__ = [
+    "FigureResult",
+    "PollutionBreakdown",
+    "category_geomeans",
+    "classify_pollution",
+    "geomean",
+    "render_series",
+    "render_table",
+    "speedup_pct",
+]

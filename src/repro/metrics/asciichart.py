@@ -1,0 +1,137 @@
+"""Plain-text chart rendering for the figure harness.
+
+The paper's evaluation figures are line graphs (performance vs. DRAM
+bandwidth, per-workload s-curves) and bar charts (per-category speedups).
+:func:`line_chart` and :func:`bar_chart` render both as fixed-width text
+so a bench run reproduces not just the numbers but a readable picture of
+the figure, with no plotting dependency.
+
+Both functions accept ``{series_name: {x: y}}`` data — the same layout
+:class:`repro.metrics.stats.FigureResult` stores.
+"""
+
+import math
+
+#: Glyphs assigned to series, in insertion order.
+SERIES_GLYPHS = "*o+x#@%&"
+
+
+def _finite_values(series):
+    out = []
+    for points in series.values():
+        for value in points.values():
+            if value is not None and math.isfinite(value):
+                out.append(value)
+    return out
+
+
+def _scale(lo, hi):
+    """Pad a value range so extreme points do not sit on the border."""
+    if hi <= lo:
+        hi = lo + 1.0
+    pad = 0.05 * (hi - lo)
+    return lo - pad, hi + pad
+
+
+def line_chart(series, width=68, height=18, x_label="", y_label="", title=""):
+    """Render ``{name: {x: y}}`` as an ASCII line chart.
+
+    X positions are scaled numerically (the bandwidth sweep's GB/s points
+    are not equidistant); each series draws with its own glyph and the
+    legend maps glyphs back to names.
+    """
+    if not series:
+        raise ValueError("no series to draw")
+    xs = sorted({x for points in series.values() for x in points})
+    if len(xs) < 2:
+        raise ValueError("a line chart needs at least two x positions")
+    values = _finite_values(series)
+    if not values:
+        raise ValueError("no finite y values to draw")
+    y_lo, y_hi = _scale(min(values), max(values))
+    x_lo, x_hi = min(xs), max(xs)
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def col_of(x):
+        return round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+
+    def row_of(y):
+        frac = (y - y_lo) / (y_hi - y_lo)
+        return (height - 1) - round(frac * (height - 1))
+
+    for idx, (name, points) in enumerate(series.items()):
+        glyph = SERIES_GLYPHS[idx % len(SERIES_GLYPHS)]
+        ordered = sorted((x, y) for x, y in points.items() if y is not None)
+        # Connect consecutive points with linearly interpolated steps.
+        for (x0, y0), (x1, y1) in zip(ordered, ordered[1:]):
+            c0, c1 = col_of(x0), col_of(x1)
+            for col in range(c0, c1 + 1):
+                t = (col - c0) / max(1, c1 - c0)
+                y = y0 + t * (y1 - y0)
+                grid[row_of(y)][col] = glyph
+        for x, y in ordered:  # plotted points win over interpolation
+            grid[row_of(y)][col_of(x)] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        y_here = y_hi - (y_hi - y_lo) * i / (height - 1)
+        label = f"{y_here:8.1f} |" if i % 3 == 0 else "         |"
+        lines.append(label + "".join(row))
+    lines.append("         +" + "-" * width)
+    left = f"{x_lo:g}"
+    right = f"{x_hi:g}"
+    lines.append(
+        "          " + left + " " * max(1, width - len(left) - len(right)) + right
+    )
+    if x_label:
+        lines.append(f"          x: {x_label}" + (f"   y: {y_label}" if y_label else ""))
+    legend = "   ".join(
+        f"{SERIES_GLYPHS[i % len(SERIES_GLYPHS)]} {name}"
+        for i, name in enumerate(series)
+    )
+    lines.append("          " + legend)
+    return "\n".join(lines)
+
+
+def bar_chart(series, width=50, title="", fmt="{:+.1f}"):
+    """Render ``{name: {column: value}}`` as grouped horizontal bars.
+
+    One block per column, one bar per series — the shape of the paper's
+    per-category bar figures, readable in a terminal.
+    """
+    if not series:
+        raise ValueError("no series to draw")
+    columns = []
+    for points in series.values():
+        for column in points:
+            if column not in columns:
+                columns.append(column)
+    values = _finite_values(series)
+    if not values:
+        raise ValueError("no finite values to draw")
+    v_lo = min(0.0, min(values))
+    v_hi = max(values)
+    span = max(v_hi - v_lo, 1e-9)
+    name_w = max(len(str(name)) for name in series)
+
+    lines = []
+    if title:
+        lines.append(title)
+    for column in columns:
+        lines.append(f"{column}:")
+        for name, points in series.items():
+            value = points.get(column)
+            if value is None:
+                continue
+            filled = round((value - v_lo) / span * width)
+            zero = round((0.0 - v_lo) / span * width)
+            if value >= 0:
+                bar = " " * zero + "#" * max(0, filled - zero)
+            else:
+                bar = " " * filled + "#" * max(0, zero - filled)
+            lines.append(f"  {str(name).ljust(name_w)} |{bar.ljust(width)} " + fmt.format(value))
+        lines.append("")
+    return "\n".join(lines).rstrip()

@@ -1,0 +1,115 @@
+"""Statistics helpers and the figure-result container.
+
+The paper reports geometric-mean "performance delta over baseline"
+percentages per workload category; these helpers implement exactly that
+aggregation plus plain-text rendering for the benchmark harness.
+"""
+
+import math
+from dataclasses import dataclass, field
+
+
+def geomean(values):
+    """Geometric mean of positive values (empty input -> 0.0)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires strictly positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def speedup_pct(scheme_ipc, baseline_ipc):
+    """Performance delta over baseline in percent, the paper's metric."""
+    if baseline_ipc <= 0:
+        raise ValueError("baseline IPC must be positive")
+    return 100.0 * (scheme_ipc / baseline_ipc - 1.0)
+
+
+def category_geomeans(per_workload_speedups, categories_of):
+    """Aggregate per-workload speedups into per-category geomeans.
+
+    ``per_workload_speedups`` maps workload name -> speedup ratio (not
+    percent); ``categories_of`` maps workload name -> category.  Returns
+    ``{category: pct, ..., "GEOMEAN": pct}`` with the overall geomean over
+    all workloads, mirroring the paper's figures.
+    """
+    buckets = {}
+    for name, ratio in per_workload_speedups.items():
+        buckets.setdefault(categories_of[name], []).append(ratio)
+    out = {}
+    for category, ratios in sorted(buckets.items()):
+        out[category] = 100.0 * (geomean(ratios) - 1.0)
+    all_ratios = list(per_workload_speedups.values())
+    out["GEOMEAN"] = 100.0 * (geomean(all_ratios) - 1.0) if all_ratios else 0.0
+    return out
+
+
+@dataclass
+class FigureResult:
+    """One reproduced table/figure: labelled rows and columns plus notes."""
+
+    figure_id: str
+    title: str
+    columns: list
+    rows: dict = field(default_factory=dict)  # row label -> {column -> value}
+    notes: list = field(default_factory=list)
+
+    def add_row(self, label, values_by_column):
+        self.rows[label] = dict(values_by_column)
+
+    def value(self, row, column):
+        return self.rows[row][column]
+
+    def render(self, fmt="{:+.1f}"):
+        """Plain-text table, one row per series (as the paper's figures)."""
+        return render_table(self.title, self.columns, self.rows, fmt, self.notes)
+
+    def render_chart(self, kind="auto", **kwargs):
+        """ASCII chart of the same data (line for numeric x, else bars).
+
+        The paper's bandwidth-scaling figures are line graphs over GB/s
+        and the category figures are grouped bars; ``kind="auto"`` picks
+        by whether the columns are numeric.
+        """
+        from repro.metrics.asciichart import bar_chart, line_chart
+
+        if kind == "auto":
+            numeric = all(isinstance(c, (int, float)) for c in self.columns)
+            kind = "line" if numeric and len(self.columns) >= 2 else "bar"
+        if kind == "line":
+            return line_chart(self.rows, title=self.title, **kwargs)
+        if kind == "bar":
+            return bar_chart(self.rows, title=self.title, **kwargs)
+        raise ValueError(f"unknown chart kind {kind!r} (use 'auto', 'line' or 'bar')")
+
+
+def _format_cell(value, fmt):
+    if value is None:
+        return "-"
+    if isinstance(value, str):
+        return value
+    return fmt.format(value)
+
+
+def render_table(title, columns, rows, fmt="{:+.1f}", notes=()):
+    """Render a dict-of-dicts table as aligned plain text."""
+    col_labels = [str(c) for c in columns]
+    header = [""] + col_labels
+    body = []
+    for label, values in rows.items():
+        body.append([str(label)] + [_format_cell(values.get(c), fmt) for c in columns])
+    widths = [max(len(row[i]) for row in [header] + body) for i in range(len(header))]
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.rjust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in body:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    for note in notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
+def render_series(title, xs, series, fmt="{:+.1f}"):
+    """Render {series_name: {x: y}} as a table with x values as columns."""
+    return render_table(title, xs, series, fmt)

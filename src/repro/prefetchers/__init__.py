@@ -1,0 +1,60 @@
+"""Prefetcher implementations: DSPatch's baselines and adjunct compositions.
+
+Every prefetcher in the paper's evaluation is implemented here from its
+original description:
+
+- :class:`repro.prefetchers.stride.PcStridePrefetcher` — the baseline L1
+  PC-stride prefetcher [38] (Table 2).
+- :class:`repro.prefetchers.spp.SPP` — Signature Pattern Prefetcher [54]
+  with lookahead and cascaded confidence (Section 2.1); ``eSPP`` adds the
+  bandwidth-aware confidence threshold.
+- :class:`repro.prefetchers.bop.BOP` — Best Offset Prefetcher [62]
+  (Section 2.2); ``eBOP`` adds the bandwidth-aware dynamic degree.
+- :class:`repro.prefetchers.sms.SMS` — Spatial Memory Streaming [73]
+  (Section 2.3) with a configurable pattern-history table for the Figure 5
+  storage sweep and the iso-storage 256-entry variant of Figure 14.
+- :class:`repro.prefetchers.ampm.AMPM` — access-map pattern matching [43]
+  (Section 4.1 mentions it under-performs; we include it for completeness).
+- :class:`repro.prefetchers.streamer.StreamPrefetcher` — the aggressive,
+  fairly inaccurate streaming prefetcher [29] used in the appendix pollution
+  study.
+- :class:`repro.prefetchers.composite.CompositePrefetcher` — adjunct
+  composition (DSPatch+SPP, BOP+SPP, ...) with duplicate suppression.
+"""
+
+from repro.prefetchers.ampm import AMPM
+from repro.prefetchers.base import (
+    BandwidthSource,
+    NullPrefetcher,
+    PrefetchCandidate,
+    Prefetcher,
+)
+from repro.prefetchers.bop import BOP, EBOP, BopConfig
+from repro.prefetchers.composite import CompositePrefetcher
+from repro.prefetchers.registry import available_prefetchers, build_prefetcher
+from repro.prefetchers.sms import SMS, SmsConfig, sms_with_pht_entries
+from repro.prefetchers.spp import ESPP, SPP, SppConfig
+from repro.prefetchers.streamer import StreamPrefetcher
+from repro.prefetchers.stride import PcStridePrefetcher
+
+__all__ = [
+    "AMPM",
+    "BOP",
+    "BandwidthSource",
+    "BopConfig",
+    "CompositePrefetcher",
+    "EBOP",
+    "ESPP",
+    "NullPrefetcher",
+    "PcStridePrefetcher",
+    "PrefetchCandidate",
+    "Prefetcher",
+    "SMS",
+    "SPP",
+    "SmsConfig",
+    "SppConfig",
+    "StreamPrefetcher",
+    "available_prefetchers",
+    "build_prefetcher",
+    "sms_with_pht_entries",
+]

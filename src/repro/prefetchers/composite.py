@@ -1,0 +1,60 @@
+"""Adjunct prefetcher composition.
+
+Section 5.1 evaluates DSPatch "as a lightweight adjunct spatial prefetcher"
+to SPP: both prefetchers train on the same L1-miss stream and both emit
+candidates.  :class:`CompositePrefetcher` implements that composition for
+any set of components (DSPatch+SPP, BOP+SPP, SMS+SPP, and the
+SPP+BOP+DSPatch triple of Section 5.1's last paragraph), suppressing
+duplicate candidates so a line requested by several components is issued
+once — earlier components take precedence, matching a fixed arbitration
+priority in hardware.
+"""
+
+from repro.prefetchers.base import Prefetcher
+
+
+class CompositePrefetcher(Prefetcher):
+    """Run several prefetchers on the same training stream."""
+
+    def __init__(self, components, name=None):
+        components = list(components)
+        if not components:
+            raise ValueError("composite needs at least one component")
+        self.components = components
+        self.name = name or "+".join(c.name for c in components)
+
+    def train(self, cycle, pc, addr, hit):
+        merged = []
+        seen = set()
+        for component in self.components:
+            for cand in component.train(cycle, pc, addr, hit):
+                if cand.line_addr not in seen:
+                    seen.add(cand.line_addr)
+                    merged.append(cand)
+        return merged
+
+    def flush_training(self):
+        """Forward end-of-run learning to components that support it."""
+        for component in self.components:
+            flush = getattr(component, "flush_training", None)
+            if flush is not None:
+                flush()
+
+    def note_useful_prefetch(self, cycle, line_addr):
+        for component in self.components:
+            component.note_useful_prefetch(cycle, line_addr)
+
+    def note_useless_prefetch(self, cycle, line_addr):
+        for component in self.components:
+            component.note_useless_prefetch(cycle, line_addr)
+
+    def storage_breakdown(self):
+        merged = {}
+        for component in self.components:
+            for key, bits in component.storage_breakdown().items():
+                merged[f"{component.name}/{key}"] = bits
+        return merged
+
+    def reset(self):
+        for component in self.components:
+            component.reset()

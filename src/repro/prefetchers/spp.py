@@ -1,0 +1,291 @@
+"""Signature Pattern Prefetcher (SPP) and its bandwidth-aware variant eSPP.
+
+SPP [54] (Section 2.1) is the state-of-the-art delta prefetcher the paper
+baselines against.  Structures per Table 3: a 256-entry Signature Table
+(per-page compressed delta-history signature), a 512-entry Pattern Table
+(signature -> up to four candidate deltas with confidence counters), an
+8-entry Global History Register for cross-page bootstrap, and global
+feedback counters.
+
+Key mechanism: *lookahead with cascaded confidence*.  From the current
+signature, every stored delta whose cascaded confidence (product of the
+per-level ``c_delta / c_sig`` ratios) clears the prefetch threshold is
+prefetched; the highest-confidence delta advances the speculative signature
+one level deeper, until confidence decays below the threshold.
+
+eSPP (Section 2.5) lowers the confidence threshold from 25% to 12.5% when
+more than half the DRAM bandwidth is unused — the paper's strawman
+bandwidth-aware tuning of SPP, shown in Figure 6 to scale poorly.
+"""
+
+from dataclasses import dataclass
+
+from repro.constants import LINES_PER_PAGE, PAGE_SHIFT, line_offset_in_page, page_number
+from repro.prefetchers.base import PrefetchCandidate, Prefetcher
+
+SIGNATURE_BITS = 12
+SIGNATURE_MASK = (1 << SIGNATURE_BITS) - 1
+
+
+def encode_delta(delta):
+    """7-bit sign-magnitude delta encoding used in the signature hash."""
+    magnitude = abs(delta) & 0x3F
+    return magnitude | (0x40 if delta < 0 else 0)
+
+
+def advance_signature(signature, delta):
+    """Fold ``delta`` into the 12-bit compressed delta-path signature."""
+    return ((signature << 3) ^ encode_delta(delta)) & SIGNATURE_MASK
+
+
+@dataclass(frozen=True)
+class SppConfig:
+    """SPP structure sizes (Table 3 configuration)."""
+
+    st_entries: int = 256
+    pt_entries: int = 512
+    ghr_entries: int = 8
+    delta_slots: int = 4
+    counter_max: int = 15
+    prefetch_threshold: float = 0.25
+    lookahead_threshold: float = 0.25
+    #: eSPP's relaxed threshold when bandwidth headroom exceeds 50%.
+    relaxed_threshold: float = 0.125
+    #: Lookahead is confidence-bounded (the paper's design): the walk ends
+    #: when cascaded confidence falls below the threshold or leaves the
+    #: page.  The depth cap is a safety bound well above what confidence
+    #: decay allows in practice, not a tuning knob.
+    max_lookahead_depth: int = 64
+    max_candidates_per_train: int = 24
+    #: Prefetch filter: recently issued lines are not re-requested (the
+    #: original SPP's filter; its storage is what brings the total to the
+    #: paper's 6.2KB).
+    filter_entries: int = 1024
+
+
+class _StEntry:
+    __slots__ = ("tag", "last_offset", "signature")
+
+    def __init__(self, tag, last_offset, signature=0):
+        self.tag = tag
+        self.last_offset = last_offset
+        self.signature = signature
+
+
+class _PtEntry:
+    __slots__ = ("c_sig", "deltas", "c_deltas")
+
+    def __init__(self, slots):
+        self.c_sig = 0
+        self.deltas = [0] * slots
+        self.c_deltas = [0] * slots
+
+
+class _GhrEntry:
+    __slots__ = ("signature", "confidence", "last_offset", "delta")
+
+    def __init__(self, signature, confidence, last_offset, delta):
+        self.signature = signature
+        self.confidence = confidence
+        self.last_offset = last_offset
+        self.delta = delta
+
+
+class SPP(Prefetcher):
+    """Signature Pattern Prefetcher with lookahead (Kim et al., MICRO'16)."""
+
+    name = "spp"
+
+    def __init__(self, config: SppConfig = SppConfig()):
+        if config.st_entries & (config.st_entries - 1) or config.pt_entries & (
+            config.pt_entries - 1
+        ):
+            raise ValueError("ST and PT entry counts must be powers of two")
+        self.config = config
+        self._st = [None] * config.st_entries
+        self._pt = [_PtEntry(config.delta_slots) for _ in range(config.pt_entries)]
+        self._ghr = []
+        self._filter = [-1] * config.filter_entries
+        self.trainings = 0
+        self.filtered = 0
+        self.feedback_issued = 0
+        self.feedback_useful = 0
+
+    # -- thresholds (overridden by eSPP) --------------------------------------
+
+    def _threshold(self, cycle):
+        return self.config.prefetch_threshold
+
+    # -- table plumbing --------------------------------------------------------
+
+    def _pt_index(self, signature):
+        return (signature ^ (signature >> 6)) & (self.config.pt_entries - 1)
+
+    def _pt_update(self, signature, delta):
+        entry = self._pt[self._pt_index(signature)]
+        cmax = self.config.counter_max
+        if entry.c_sig >= cmax:
+            # Aging: halve every counter so old history decays (the original
+            # design's saturation handling).
+            entry.c_sig >>= 1
+            entry.c_deltas = [c >> 1 for c in entry.c_deltas]
+        entry.c_sig += 1
+        try:
+            slot = entry.deltas.index(delta)
+            if entry.c_deltas[slot] == 0:
+                # Slot exists from initialization but was never trained.
+                entry.deltas[slot] = delta
+            entry.c_deltas[slot] = min(cmax, entry.c_deltas[slot] + 1)
+            return
+        except ValueError:
+            pass
+        victim = min(range(len(entry.c_deltas)), key=lambda i: entry.c_deltas[i])
+        entry.deltas[victim] = delta
+        entry.c_deltas[victim] = 1
+
+    def _filter_admits(self, line):
+        """True if ``line`` was not recently issued (and record it)."""
+        idx = (line ^ (line >> 10)) & (self.config.filter_entries - 1)
+        if self._filter[idx] == line:
+            self.filtered += 1
+            return False
+        self._filter[idx] = line
+        return True
+
+    def _ghr_insert(self, signature, confidence, last_offset, delta):
+        self._ghr.insert(0, _GhrEntry(signature, confidence, last_offset, delta))
+        del self._ghr[self.config.ghr_entries :]
+
+    def _ghr_bootstrap(self, offset):
+        """Find a GHR entry whose cross-page stride lands on ``offset``."""
+        for entry in self._ghr:
+            landing = entry.last_offset + entry.delta
+            if landing >= LINES_PER_PAGE and landing - LINES_PER_PAGE == offset:
+                return advance_signature(entry.signature, entry.delta)
+            if landing < 0 and landing + LINES_PER_PAGE == offset:
+                return advance_signature(entry.signature, entry.delta)
+        return 0
+
+    # -- main algorithm ---------------------------------------------------------
+
+    def train(self, cycle, pc, addr, hit):
+        self.trainings += 1
+        page = page_number(addr)
+        offset = line_offset_in_page(addr)
+        idx = page & (self.config.st_entries - 1)
+        tag = (page >> 8) & 0xFFFF
+        entry = self._st[idx]
+        if entry is not None and entry.tag == tag:
+            delta = offset - entry.last_offset
+            if delta == 0:
+                return ()
+            self._pt_update(entry.signature, delta)
+            entry.signature = advance_signature(entry.signature, delta)
+            entry.last_offset = offset
+        else:
+            signature = self._ghr_bootstrap(offset)
+            entry = _StEntry(tag, offset, signature)
+            self._st[idx] = entry
+            if signature == 0:
+                return ()
+        return self._lookahead(cycle, entry.signature, page, offset)
+
+    def _lookahead(self, cycle, signature, page, base_offset):
+        cfg = self.config
+        threshold = self._threshold(cycle)
+        base_line = (page << (PAGE_SHIFT - 6)) + base_offset
+        candidates = []
+        seen = {base_line}
+        confidence = 1.0
+        offset = base_offset
+        for _ in range(cfg.max_lookahead_depth):
+            entry = self._pt[self._pt_index(signature)]
+            if entry.c_sig == 0:
+                break
+            best_conf = 0.0
+            best_delta = 0
+            for slot in range(cfg.delta_slots):
+                c_delta = entry.c_deltas[slot]
+                if c_delta == 0:
+                    continue
+                conf = confidence * c_delta / entry.c_sig
+                delta = entry.deltas[slot]
+                if conf > best_conf:
+                    best_conf = conf
+                    best_delta = delta
+                if conf < threshold:
+                    continue
+                target = offset + delta
+                if 0 <= target < LINES_PER_PAGE:
+                    line = (page << (PAGE_SHIFT - 6)) + target
+                    if line not in seen and self._filter_admits(line):
+                        seen.add(line)
+                        candidates.append(PrefetchCandidate(line))
+                else:
+                    # Crossing the page: remember for cross-page bootstrap.
+                    self._ghr_insert(signature, conf, offset, delta)
+                if len(candidates) >= cfg.max_candidates_per_train:
+                    return candidates
+            if best_delta == 0 or best_conf < cfg.lookahead_threshold:
+                break
+            next_offset = offset + best_delta
+            if not 0 <= next_offset < LINES_PER_PAGE:
+                break
+            signature = advance_signature(signature, best_delta)
+            offset = next_offset
+            confidence = best_conf
+        return candidates
+
+    # -- feedback ------------------------------------------------------------
+
+    def note_useful_prefetch(self, cycle, line_addr):
+        self.feedback_useful += 1
+
+    def note_useless_prefetch(self, cycle, line_addr):
+        self.feedback_issued += 1
+
+    def global_accuracy(self):
+        """Rough global accuracy estimate from the feedback counters."""
+        seen = self.feedback_useful + self.feedback_issued
+        return self.feedback_useful / seen if seen else 1.0
+
+    # -- storage ----------------------------------------------------------------
+
+    def storage_breakdown(self):
+        cfg = self.config
+        st_bits = cfg.st_entries * (16 + 6 + SIGNATURE_BITS)
+        pt_bits = cfg.pt_entries * (4 + cfg.delta_slots * (7 + 4))
+        ghr_bits = cfg.ghr_entries * (SIGNATURE_BITS + 4 + 6 + 7)
+        filter_bits = cfg.filter_entries * 16
+        return {
+            "signature-table": st_bits,
+            "pattern-table": pt_bits,
+            "ghr": ghr_bits,
+            "prefetch-filter": filter_bits,
+            "feedback": 10,
+        }
+
+    def reset(self):
+        self._st = [None] * self.config.st_entries
+        self._pt = [_PtEntry(self.config.delta_slots) for _ in range(self.config.pt_entries)]
+        self._ghr = []
+        self._filter = [-1] * self.config.filter_entries
+
+
+class ESPP(SPP):
+    """eSPP — SPP with a bandwidth-aware confidence threshold (Section 2.5).
+
+    When the 2-bit utilization bucket reports less than 50% utilization
+    (buckets 0 and 1), the prefetch threshold relaxes from 25% to 12.5%.
+    """
+
+    name = "espp"
+
+    def __init__(self, bandwidth, config: SppConfig = SppConfig()):
+        super().__init__(config)
+        self.bandwidth = bandwidth
+
+    def _threshold(self, cycle):
+        if self.bandwidth.bucket(cycle) <= 1:
+            return self.config.relaxed_threshold
+        return self.config.prefetch_threshold

@@ -1,0 +1,43 @@
+"""Synthetic workloads standing in for the paper's 75 traces (Section 4.2).
+
+The paper evaluates proprietary SPEC/enterprise traces; this package
+provides seeded synthetic generators with the *access-pattern structure*
+the paper attributes to each of its nine categories (Table 4), because that
+structure — not the literal binaries — is what drives the relative results:
+
+- streaming / strided / stencil patterns (HPC, FSPEC06, FSPEC17) reward
+  SPP's delta chains;
+- recurring spatial layouts visited in reordered order (ISPEC17, Cloud,
+  SYSmark) reward anchored bit-pattern prefetching (DSPatch, SMS);
+- enormous trigger-PC footprints (Server / TPC-C) reward SMS's 16K-entry
+  PHT over any 256-entry table;
+- pointer chasing (mcf) serializes misses and caps everyone's coverage.
+"""
+
+from repro.workloads.catalog import (
+    CATEGORIES,
+    MEMORY_INTENSIVE,
+    WORKLOADS,
+    Workload,
+    build_trace,
+    workloads_in_category,
+)
+from repro.workloads.generators import GenContext
+from repro.workloads.mixes import (
+    build_mix_traces,
+    heterogeneous_mixes,
+    homogeneous_mixes,
+)
+
+__all__ = [
+    "CATEGORIES",
+    "GenContext",
+    "MEMORY_INTENSIVE",
+    "WORKLOADS",
+    "Workload",
+    "build_mix_traces",
+    "build_trace",
+    "heterogeneous_mixes",
+    "homogeneous_mixes",
+    "workloads_in_category",
+]

@@ -1,0 +1,200 @@
+"""Trace analysis: the access-structure statistics the paper reasons with.
+
+These are the quantities the paper's arguments are built on —
+:func:`delta_distribution` is Figure 11(a)'s input, :func:`pc_footprint`
+is the Section 2.3 storage argument against SMS, and
+:func:`page_profile`/:func:`compression_error` feed the Section 3.8
+compression study.  The figure drivers and the ``trace-stats`` CLI
+subcommand both use this module.
+"""
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+
+from repro.constants import LINE_SHIFT, LINES_PER_PAGE, line_offset_in_page, page_number
+from repro.core.bitpattern import compress_pattern, expand_pattern, popcount
+
+
+def delta_distribution(trace, top=8):
+    """Distribution of successive in-page line deltas (Figure 11a).
+
+    Returns ``(counts, total)`` where ``counts`` maps each of the ``top``
+    most frequent deltas to its occurrence count; deltas between accesses
+    to *different* pages are excluded, matching the paper's in-region
+    delta statistics.
+    """
+    last_by_page = {}
+    counts = Counter()
+    for addr in trace.addrs.tolist():
+        page = addr >> 12
+        offset = (addr >> LINE_SHIFT) & (LINES_PER_PAGE - 1)
+        last = last_by_page.get(page)
+        last_by_page[page] = offset
+        if last is None or offset == last:
+            continue
+        counts[offset - last] += 1
+    total = sum(counts.values())
+    return dict(counts.most_common(top)), total
+
+
+def pc_footprint(trace):
+    """Distinct PCs and distinct (PC, line-offset) trigger signatures.
+
+    The second number is what SMS must store one PHT entry for; the first
+    is what DSPatch folds into its 256-entry SPT (Section 3.4).
+    """
+    pcs = set()
+    signatures = set()
+    seen_pages = set()
+    for pc, addr in zip(trace.pcs.tolist(), trace.addrs.tolist()):
+        pcs.add(pc)
+        page = addr >> 12
+        if page not in seen_pages:
+            seen_pages.add(page)
+            signatures.add((pc, line_offset_in_page(addr)))
+    return len(pcs), len(signatures)
+
+
+@dataclass
+class PageProfile:
+    """Aggregate spatial statistics of one trace."""
+
+    pages_touched: int
+    accesses: int
+    mean_lines_per_page: float
+    mean_density: float
+    dense_page_fraction: float  # pages with more than half their lines touched
+
+    @property
+    def footprint_kb(self):
+        return self.pages_touched * 4.0
+
+
+def page_profile(trace):
+    """Per-page footprint statistics (working set and density)."""
+    patterns = defaultdict(int)
+    for addr in trace.addrs.tolist():
+        patterns[page_number(addr)] |= 1 << line_offset_in_page(addr)
+    if not patterns:
+        return PageProfile(0, 0, 0.0, 0.0, 0.0)
+    line_counts = [popcount(p) for p in patterns.values()]
+    pages = len(patterns)
+    dense = sum(1 for c in line_counts if c > LINES_PER_PAGE // 2)
+    mean_lines = sum(line_counts) / pages
+    return PageProfile(
+        pages_touched=pages,
+        accesses=len(trace),
+        mean_lines_per_page=mean_lines,
+        mean_density=mean_lines / LINES_PER_PAGE,
+        dense_page_fraction=dense / pages,
+    )
+
+
+def compression_error(trace):
+    """Misprediction rate induced by 128B compression (Figure 11b).
+
+    For every touched page, compare the exact 64-line pattern with the
+    compress-then-expand pattern: extra lines are the compression-induced
+    overpredictions.  Returns the overall misprediction rate
+    (extra / predicted) and the per-page rate histogram buckets the paper
+    uses: exactly 0%, 0-12.5%, 12.5-25%, 25-37%, 37-50%, exactly 50%.
+    """
+    patterns = defaultdict(int)
+    for addr in trace.addrs.tolist():
+        patterns[page_number(addr)] |= 1 << line_offset_in_page(addr)
+
+    buckets = {
+        "exactly-0": 0,
+        "0-12.5%": 0,
+        "12.5-25%": 0,
+        "25-37%": 0,
+        "37-50%": 0,
+        "exactly-50": 0,
+    }
+    extra_total = 0
+    predicted_total = 0
+    for pattern in patterns.values():
+        predicted = expand_pattern(compress_pattern(pattern, LINES_PER_PAGE))
+        extra = popcount(predicted & ~pattern)
+        npred = popcount(predicted)
+        extra_total += extra
+        predicted_total += npred
+        rate = extra / npred if npred else 0.0
+        if extra == 0:
+            buckets["exactly-0"] += 1
+        elif rate < 0.125:
+            buckets["0-12.5%"] += 1
+        elif rate < 0.25:
+            buckets["12.5-25%"] += 1
+        elif rate < 0.37:
+            buckets["25-37%"] += 1
+        elif rate < 0.5:
+            buckets["37-50%"] += 1
+        else:
+            buckets["exactly-50"] += 1
+    pages = max(1, len(patterns))
+    histogram = {k: v / pages for k, v in buckets.items()}
+    overall = extra_total / predicted_total if predicted_total else 0.0
+    return overall, histogram
+
+
+@dataclass
+class TraceReport:
+    """Everything ``trace-stats`` prints for one workload."""
+
+    name: str
+    accesses: int
+    instructions: int
+    distinct_pcs: int
+    trigger_signatures: int
+    page: PageProfile = None
+    top_deltas: dict = field(default_factory=dict)
+    delta_total: int = 0
+    compression_misprediction: float = 0.0
+
+    def plus_minus_one_share(self):
+        """Fraction of deltas that are +1 or -1 (the Figure 11a headline)."""
+        if not self.delta_total:
+            return 0.0
+        return (self.top_deltas.get(1, 0) + self.top_deltas.get(-1, 0)) / self.delta_total
+
+    def render(self):
+        lines = [
+            f"workload          {self.name}",
+            f"memory ops        {self.accesses}",
+            f"instructions      {self.instructions}",
+            f"distinct PCs      {self.distinct_pcs}",
+            f"trigger sigs      {self.trigger_signatures}   (PC x offset pairs, SMS's PHT load)",
+            f"pages touched     {self.page.pages_touched}  ({self.page.footprint_kb:.0f} KB footprint)",
+            f"lines per page    {self.page.mean_lines_per_page:.1f}  "
+            f"(density {100 * self.page.mean_density:.0f}%, "
+            f"{100 * self.page.dense_page_fraction:.0f}% dense pages)",
+            f"+1/-1 delta share {100 * self.plus_minus_one_share():.0f}%",
+            f"128B-compression  {100 * self.compression_misprediction:.1f}% mispredictions",
+        ]
+        top = ", ".join(
+            f"{delta:+d}: {100 * count / self.delta_total:.0f}%"
+            for delta, count in sorted(
+                self.top_deltas.items(), key=lambda kv: -kv[1]
+            )[:5]
+        )
+        lines.append(f"top deltas        {top}")
+        return "\n".join(lines)
+
+
+def analyze_trace(trace, name="<trace>"):
+    """Build the full :class:`TraceReport` for one trace."""
+    pcs, signatures = pc_footprint(trace)
+    deltas, total = delta_distribution(trace)
+    overall_err, _histogram = compression_error(trace)
+    return TraceReport(
+        name=name,
+        accesses=len(trace),
+        instructions=trace.instructions,
+        distinct_pcs=pcs,
+        trigger_signatures=signatures,
+        page=page_profile(trace),
+        top_deltas=deltas,
+        delta_total=total,
+        compression_misprediction=overall_err,
+    )

@@ -1,0 +1,473 @@
+"""Trace-generation primitives.
+
+Each ``emit_*`` function appends roughly ``n`` memory operations with one
+characteristic access structure to a :class:`GenContext`.  Category builders
+in :mod:`repro.workloads.catalog` compose these primitives into the 75
+workloads.
+
+All randomness flows through the context's seeded generator, so every
+workload is reproducible from its name alone.
+"""
+
+import numpy as np
+
+from repro.constants import LINES_PER_PAGE, PAGE_SHIFT
+from repro.cpu.trace import TraceBuilder
+
+#: Gap (non-memory instructions between memory ops) ranges per intensity.
+#:
+#: Calibrated so a memory-intensive single-thread baseline uses roughly
+#: 20-40% of one DDR4-2133 channel — the paper's premise (Section 1) is
+#: that single-thread workloads leave DRAM bandwidth headroom, which is
+#: what bandwidth-adaptive prefetching spends.  Prefetching then pushes
+#: utilization into the upper quartiles, exercising DSPatch's selection.
+INTENSITY_GAPS = {
+    "high": (60, 160),
+    "medium": (160, 400),
+    "low": (400, 1000),
+}
+
+
+class GenContext:
+    """Shared state for one workload's generation run."""
+
+    def __init__(self, seed, intensity="high"):
+        if intensity not in INTENSITY_GAPS:
+            known = ", ".join(sorted(INTENSITY_GAPS))
+            raise ValueError(f"unknown intensity {intensity!r} (known: {known})")
+        self.rng = np.random.default_rng(seed)
+        self.builder = TraceBuilder()
+        self.intensity = intensity
+        self._page_cursor = 0x100  # leave low pages unused
+        self._pc_cursor = 0x400000
+
+    # -- resources -------------------------------------------------------------
+
+    def alloc_pages(self, count):
+        """Reserve ``count`` contiguous 4KB pages; returns the base page."""
+        base = self._page_cursor
+        # Pad allocations so unrelated structures never share a page and
+        # set-index aliasing between them is incidental, not systematic.
+        self._page_cursor += count + 16
+        return base
+
+    def alloc_pc(self):
+        """Return a fresh, unique program-counter value."""
+        pc = self._pc_cursor
+        self._pc_cursor += 4
+        return pc
+
+    def alloc_pcs(self, count):
+        return [self.alloc_pc() for _ in range(count)]
+
+    # -- emission helpers ----------------------------------------------------------
+
+    def gap(self):
+        """Sample an instruction gap for this workload's intensity."""
+        lo, hi = INTENSITY_GAPS[self.intensity]
+        return int(self.rng.integers(lo, hi + 1))
+
+    def emit(self, pc, page, line_offset, write=False, dep=False, gap=None):
+        """Append one access to line ``line_offset`` of ``page``."""
+        addr = (page << PAGE_SHIFT) | (line_offset << 6)
+        self.builder.append(self.gap() if gap is None else gap, pc, addr, write, dep)
+
+    def emit_line(self, pc, line_addr, write=False, dep=False, gap=None):
+        """Append one access to an absolute line address."""
+        self.builder.append(
+            self.gap() if gap is None else gap, pc, int(line_addr) << 6, write, dep
+        )
+
+    def build(self):
+        return self.builder.build()
+
+
+def bounded_zipf(rng, n_items, alpha, size):
+    """Sample ``size`` ranks in [0, n_items) with a Zipf(alpha) law."""
+    ranks = np.arange(1, n_items + 1, dtype=np.float64)
+    weights = ranks ** (-alpha)
+    cumulative = np.cumsum(weights)
+    cumulative /= cumulative[-1]
+    return np.searchsorted(cumulative, rng.random(size))
+
+
+# --------------------------------------------------------------------------- #
+# Regular patterns: streams, strides, stencils (HPC / FSPEC shapes)
+# --------------------------------------------------------------------------- #
+
+
+def emit_streams(ctx, n, num_streams=4, stride=1, pages_per_stream=64, write_frac=0.1):
+    """Interleaved sequential streams — the classic HPC/SPEC-FP shape.
+
+    Local deltas are almost all ``+stride``; SPP and every stream detector
+    excel here, and the dense traffic saturates DRAM bandwidth.
+    """
+    bases = [ctx.alloc_pages(pages_per_stream) << (PAGE_SHIFT - 6) for _ in range(num_streams)]
+    pcs = ctx.alloc_pcs(num_streams)
+    # Arrays are not page-phase-aligned in real programs: stagger the
+    # streams so their page-boundary crossings (and therefore the spatial
+    # prefetchers' trigger bursts) do not synchronize.
+    positions = [int(ctx.rng.integers(0, LINES_PER_PAGE)) for _ in range(num_streams)]
+    limit = pages_per_stream * LINES_PER_PAGE
+    for i in range(n):
+        s = i % num_streams
+        line = bases[s] + positions[s]
+        write = ctx.rng.random() < write_frac
+        ctx.emit_line(pcs[s], line, write=write)
+        positions[s] = (positions[s] + stride) % limit
+
+
+def emit_strided(ctx, n, stride_lines=4, pages=128):
+    """A single strided walker (e.g. column-major array traversal)."""
+    base = ctx.alloc_pages(pages) << (PAGE_SHIFT - 6)
+    pc = ctx.alloc_pc()
+    limit = pages * LINES_PER_PAGE
+    pos = 0
+    for _ in range(n):
+        ctx.emit_line(pc, base + pos)
+        pos = (pos + stride_lines) % limit
+
+
+def emit_stencil(ctx, n, arrays=3, pages_per_array=64):
+    """Stencil sweep: each iteration touches neighbours across arrays.
+
+    Produces short repeating delta cycles (e.g. +big, -big+1, ...) that SPP
+    learns after warm-up, and dense page patterns that bit-pattern
+    prefetchers also capture.
+    """
+    bases = [ctx.alloc_pages(pages_per_array) << (PAGE_SHIFT - 6) for _ in range(arrays)]
+    pcs = ctx.alloc_pcs(arrays * 3)
+    limit = pages_per_array * LINES_PER_PAGE - 2
+    i = 1
+    emitted = 0
+    while emitted < n:
+        for a in range(arrays):
+            for j, off in enumerate((-1, 0, 1)):
+                ctx.emit_line(pcs[a * 3 + j], bases[a] + i + off)
+                emitted += 1
+                if emitted >= n:
+                    return
+        i = i + 1 if i + 1 < limit else 1
+
+
+# --------------------------------------------------------------------------- #
+# Spatial-layout patterns (ISPEC17 / Cloud / SYSmark shapes)
+# --------------------------------------------------------------------------- #
+
+
+def window_reorder(rng, items, window=6):
+    """Shuffle ``items`` locally within a sliding window.
+
+    Models out-of-order-core reordering: accesses move around within an
+    instruction-window-sized neighbourhood but the overall progression (and
+    in particular the first access — the trigger) is preserved.  This is
+    exactly the reordering of Figure 2's streams B-E: same footprint, same
+    trigger, different local order.  Full-trace permutation would be far
+    harsher than any real core's ROB can produce.
+    """
+    items = list(items)
+    out = []
+    buffer = []
+    for item in items:
+        buffer.append(item)
+        if len(buffer) >= window:
+            pick = int(rng.integers(0, len(buffer)))
+            out.append(buffer.pop(pick))
+    while buffer:
+        pick = int(rng.integers(0, len(buffer)))
+        out.append(buffer.pop(pick))
+    return out
+
+
+def _random_layout(rng, density, cluster=True):
+    """One page layout: a set of line offsets, optionally in 128B pairs.
+
+    ``cluster=True`` biases toward adjacent pairs, which keeps the paper's
+    observation that +1/-1 deltas dominate (Figure 11a) and that
+    128B-granularity compression is usually harmless (Figure 11b).
+    """
+    count = max(2, int(density * LINES_PER_PAGE))
+    offsets = set()
+    while len(offsets) < count:
+        off = int(rng.integers(0, LINES_PER_PAGE))
+        offsets.add(off)
+        # Structures larger than one line span adjacent 64B lines, which
+        # is where Figure 11a's +1-delta dominance (and the viability of
+        # 128B compression) comes from.
+        if cluster and off + 1 < LINES_PER_PAGE:
+            offsets.add(off + 1)
+    return sorted(offsets)
+
+
+def emit_spatial_layouts(
+    ctx,
+    n,
+    num_layouts=8,
+    density=0.25,
+    pages=1024,
+    reorder=True,
+    trigger_jitter=False,
+    cluster=True,
+    layout_zipf=0.0,
+    pc_variants=1,
+):
+    """Recurring per-page spatial layouts, visited with temporal reordering.
+
+    This is the access structure of Figure 2: the same spatial footprint
+    reached through different temporal orders.  Reordering destroys SPP's
+    local-delta signatures while anchored bit-patterns (DSPatch) and
+    absolute patterns (SMS) survive.  With ``trigger_jitter`` the layout
+    additionally lands at a rotated position within each page — only
+    *anchored* patterns survive that (DSPatch wins over SMS).
+
+    ``pc_variants`` models multiple call sites reaching the same layout
+    (inlined accessors, loop copies): each visit triggers from one of
+    several PCs.  SMS must learn one PHT entry per (PC, offset) signature,
+    so variants multiply its storage pressure (the Figure 5 effect), while
+    DSPatch's PC-only folded signature and SPP's PC-free deltas are
+    insensitive to it.
+    """
+    rng = ctx.rng
+    layouts = [_random_layout(rng, density, cluster) for _ in range(num_layouts)]
+    trigger_pcs = [ctx.alloc_pcs(pc_variants) for _ in range(num_layouts)]
+    body_pcs = ctx.alloc_pcs(num_layouts)
+    base_page = ctx.alloc_pages(pages)
+    # Allocators place structures at a handful of recurring 128B-aligned
+    # positions per layout (a palette), not uniformly at random: the same
+    # (PC, offset) signatures recur — so a large PHT *can* hold them all —
+    # while their count (layouts x variants x palette) overflows small
+    # signature storage.  Anchored patterns are invariant to the shift.
+    jitter_palette = [
+        [2 * int(rng.integers(0, LINES_PER_PAGE // 2)) for _ in range(8)]
+        for _ in range(num_layouts)
+    ]
+    emitted = 0
+    visit = 0
+    while emitted < n:
+        page = base_page + int(rng.integers(0, pages))
+        if layout_zipf > 0:
+            layout_idx = int(bounded_zipf(rng, num_layouts, layout_zipf, 1)[0])
+        else:
+            layout_idx = visit % num_layouts
+        visit += 1
+        offsets = layouts[layout_idx]
+        if trigger_jitter:
+            shift = jitter_palette[layout_idx][int(rng.integers(0, 8))]
+            offsets = [(o + shift) % LINES_PER_PAGE for o in offsets]
+        trigger = offsets[0]
+        rest = offsets[1:]
+        if reorder:
+            # A wide window: the OOO core plus cache-miss completion order
+            # scramble a burst's non-trigger accesses heavily (Figure 2's
+            # premise) while the trigger itself stays first.
+            rest = window_reorder(rng, rest, window=12)
+        variant = int(rng.integers(0, pc_variants)) if pc_variants > 1 else 0
+        ctx.emit(trigger_pcs[layout_idx][variant], page, trigger)
+        emitted += 1
+        for off in rest:
+            ctx.emit(body_pcs[layout_idx], page, int(off))
+            emitted += 1
+            if emitted >= n:
+                return
+
+
+def emit_code_heavy(
+    ctx, n, num_contexts=3000, density=0.15, pages=512, accesses_per_visit=None
+):
+    """Thousands of distinct trigger PCs, each with its own small layout.
+
+    Models the enormous code footprints of TPC-C-style server workloads
+    ("more than 4000 trigger PCs per kilo instructions") where only SMS's
+    16K-entry PHT retains enough signatures; 256-entry tables thrash.
+    """
+    rng = ctx.rng
+    count = max(2, int(density * LINES_PER_PAGE))
+    base_page = ctx.alloc_pages(pages)
+    pc_base = ctx.alloc_pc()
+    # Layouts are derived deterministically from the context id so the
+    # table can be virtualized instead of materializing 3000 lists.
+    emitted = 0
+    while emitted < n:
+        context_id = int(rng.integers(0, num_contexts))
+        layout_rng = np.random.default_rng(context_id * 7919 + 13)
+        offsets = sorted(set(layout_rng.integers(0, LINES_PER_PAGE, count).tolist()))
+        page = base_page + int(rng.integers(0, pages))
+        pc = pc_base + context_id * 4
+        for off in offsets:
+            ctx.emit(pc, page, int(off))
+            emitted += 1
+            if emitted >= n:
+                return
+
+
+def emit_sparse_global(ctx, n, deltas=(0, 7, 19, 33), pages=512, reorder=True):
+    """Few accesses per page at fixed relative offsets (global deltas).
+
+    BOP's global-delta scoring and anchored patterns capture this; SPP's
+    per-delta confidence stays low because only a handful of accesses hit
+    each page before it goes cold.
+    """
+    rng = ctx.rng
+    base_page = ctx.alloc_pages(pages)
+    trigger_pc = ctx.alloc_pc()
+    body_pc = ctx.alloc_pc()
+    emitted = 0
+    page_idx = 0
+    while emitted < n:
+        page = base_page + page_idx % pages
+        page_idx += 1
+        start = int(rng.integers(0, LINES_PER_PAGE - max(deltas) - 1))
+        offsets = [start + d for d in deltas]
+        body = offsets[1:]
+        if reorder:
+            body = window_reorder(rng, body, window=3)
+        ctx.emit(trigger_pc, page, offsets[0])
+        emitted += 1
+        for off in body:
+            ctx.emit(body_pc, page, int(off))
+            emitted += 1
+            if emitted >= n:
+                return
+
+
+# --------------------------------------------------------------------------- #
+# Irregular patterns: pointer chasing, key-value, noise
+# --------------------------------------------------------------------------- #
+
+
+def emit_pointer_chase(ctx, n, working_set_pages=2048, spatial_hint=0.0):
+    """A dependent-load chain over a large working set (mcf-like).
+
+    Every load's address depends on the previous one (``FLAG_DEP``), so
+    misses serialize and exposed latency dominates — any coverage a
+    prefetcher finds translates into large speedups.  ``spatial_hint``
+    blends in recurring node-field accesses spread over several cache
+    lines (node header at +0, fields at +2 and +4 lines), giving spatial
+    prefetchers a learnable footprint around each node.
+    """
+    rng = ctx.rng
+    base_page = ctx.alloc_pages(working_set_pages)
+    total_lines = working_set_pages * LINES_PER_PAGE
+    pc_chase = ctx.alloc_pc()
+    pc_fields = ctx.alloc_pcs(2)
+    pos = int(rng.integers(0, total_lines))
+    # A fixed odd multiplier walks the whole line space pseudo-randomly.
+    stride = 0x9E3779B1
+    emitted = 0
+    base_line = base_page << (PAGE_SHIFT - 6)
+    while emitted < n:
+        pos = (pos * 1103515245 + stride) % total_lines
+        # Anchor nodes to an 8-line slab so field offsets never leave it.
+        node = pos & ~7
+        line = base_line + node
+        ctx.emit_line(pc_chase, line, dep=True)
+        emitted += 1
+        if spatial_hint and rng.random() < spatial_hint:
+            for field_idx, field_off in enumerate((2, 4)):
+                if emitted >= n:
+                    return
+                ctx.emit_line(pc_fields[field_idx], line + field_off)
+                emitted += 1
+
+
+def emit_kv(
+    ctx, n, hot_pages=512, record_lines=2, zipf_alpha=1.1, scan_frac=0.05, pc_pool=4
+):
+    """Key-value lookups with a Zipf-hot set and occasional scans.
+
+    Records span ``record_lines`` adjacent lines (adjacent-pair deltas keep
+    Figure 11a's +1 dominance); scans sweep whole pages.  ``pc_pool`` sets
+    how many distinct lookup sites the store is accessed from — server and
+    cloud stacks reach their KV layers from hundreds of call sites, which
+    is what pressures signature-indexed prefetcher storage (Figure 5).
+    """
+    rng = ctx.rng
+    base_page = ctx.alloc_pages(hot_pages)
+    pc_lookup = ctx.alloc_pcs(pc_pool)
+    pc_scan = ctx.alloc_pc()
+    records_per_page = LINES_PER_PAGE // record_lines
+    emitted = 0
+    while emitted < n:
+        if rng.random() < scan_frac:
+            page = base_page + int(rng.integers(0, hot_pages))
+            for off in range(LINES_PER_PAGE):
+                ctx.emit(pc_scan, page, off)
+                emitted += 1
+                if emitted >= n:
+                    return
+            continue
+        page_rank = int(bounded_zipf(rng, hot_pages, zipf_alpha, 1)[0])
+        page = base_page + page_rank
+        record = int(rng.integers(0, records_per_page))
+        start = record * record_lines
+        pc = pc_lookup[record % len(pc_lookup)]
+        for k in range(record_lines):
+            ctx.emit(pc, page, start + k, write=rng.random() < 0.2)
+            emitted += 1
+            if emitted >= n:
+                return
+
+
+def emit_random(ctx, n, pages=4096):
+    """Uniform random line accesses — unlearnable noise."""
+    rng = ctx.rng
+    base_page = ctx.alloc_pages(pages)
+    pc = ctx.alloc_pc()
+    page_draws = rng.integers(0, pages, n)
+    offset_draws = rng.integers(0, LINES_PER_PAGE, n)
+    for page_off, line_off in zip(page_draws.tolist(), offset_draws.tolist()):
+        ctx.emit(pc, base_page + page_off, line_off)
+
+
+def emit_backref_stream(ctx, n, window_pages=32, backref_frac=0.3, pages=256):
+    """Compression-style traffic: a forward stream with window back-refs.
+
+    7-zip/bzip2 shape — a sequential scan plus reads at recent offsets
+    inside a sliding window.  Back-reference distances are recency-biased
+    (LZ matches overwhelmingly point at nearby history), so most back-refs
+    land on pages the stream just left.
+    """
+    rng = ctx.rng
+    base = ctx.alloc_pages(pages) << (PAGE_SHIFT - 6)
+    pc_stream = ctx.alloc_pc()
+    pc_ref = ctx.alloc_pc()
+    limit = pages * LINES_PER_PAGE
+    window = window_pages * LINES_PER_PAGE
+    pos = window
+    emitted = 0
+    while emitted < n:
+        ctx.emit_line(pc_stream, base + pos % limit)
+        emitted += 1
+        pos += 1
+        if emitted < n and rng.random() < backref_frac:
+            # Geometric-ish recency bias: squaring a uniform sample
+            # concentrates matches near the stream head while still
+            # occasionally reaching the window tail.
+            back = 1 + int((rng.random() ** 2) * (window - 1))
+            ctx.emit_line(pc_ref, base + (pos - back) % limit)
+            emitted += 1
+
+
+def emit_blocks2d(ctx, n, block_lines=8, image_pages=256, reorder=True):
+    """Video-codec shape: 2D macro-block sweeps with intra-block reorder."""
+    rng = ctx.rng
+    base_page = ctx.alloc_pages(image_pages)
+    pc_trigger = ctx.alloc_pc()
+    pc_body = ctx.alloc_pc()
+    emitted = 0
+    page_idx = 0
+    while emitted < n:
+        page = base_page + page_idx % image_pages
+        page_idx += 1
+        start = int(rng.integers(0, LINES_PER_PAGE - block_lines))
+        offsets = list(range(start, start + block_lines))
+        body = offsets[1:]
+        if reorder:
+            body = window_reorder(rng, body, window=4)
+        ctx.emit(pc_trigger, page, offsets[0])
+        emitted += 1
+        for off in body:
+            ctx.emit(pc_body, page, int(off))
+            emitted += 1
+            if emitted >= n:
+                return

@@ -1,0 +1,86 @@
+"""Driver-level tests for the ablation/extension studies (tiny scale)."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    ALL_ABLATIONS,
+    ablation_design_choices,
+    ablation_structure_sizes,
+    related_work_comparison,
+)
+from repro.experiments.runner import clear_run_cache
+from repro.experiments.scale import Scale
+
+TINY = Scale(
+    trace_len=2500,
+    workloads_per_category=1,
+    mix_count=1,
+    mix_trace_len=1000,
+    full=False,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_run_cache()
+    yield
+    clear_run_cache()
+
+
+class TestDesignChoices:
+    def test_rows_and_columns(self):
+        fig = ablation_design_choices(TINY)
+        assert set(fig.rows) == {
+            "dspatch",
+            "dspatch-noanchor",
+            "dspatch-1trigger",
+            "dspatch-64b",
+        }
+        for row in fig.rows.values():
+            assert set(row) == {"All", "Jittered", "Storage KB"}
+
+    def test_storage_column_is_static_truth(self):
+        fig = ablation_design_choices(TINY)
+        assert fig.rows["dspatch"]["Storage KB"] == pytest.approx(3.61, abs=0.01)
+        assert fig.rows["dspatch-64b"]["Storage KB"] > 5.0
+
+
+class TestStructureSizes:
+    def test_storage_monotone_in_spt(self):
+        fig = ablation_structure_sizes(TINY)
+        spt = [
+            fig.rows[name]["Storage KB"]
+            for name in ("dspatch-spt64", "dspatch-spt128", "dspatch", "dspatch-spt512")
+        ]
+        assert spt == sorted(spt)
+
+    def test_accuracy_column_present(self):
+        fig = ablation_structure_sizes(TINY)
+        for row in fig.rows.values():
+            assert 0.0 <= row["Accuracy %"] <= 100.0
+
+
+class TestRelatedWork:
+    def test_all_families_present(self):
+        fig = related_work_comparison(TINY)
+        assert {"NextLine-4", "Markov", "VLDP", "SMS", "Bingo", "SPP", "DSPatch"} == set(
+            fig.rows
+        )
+
+    def test_storage_hierarchy(self):
+        fig = related_work_comparison(TINY)
+        assert (
+            fig.rows["Markov"]["Storage KB"]
+            > fig.rows["Bingo"]["Storage KB"]
+            > fig.rows["DSPatch"]["Storage KB"]
+        )
+
+
+class TestRegistryOfAblations:
+    def test_all_ablations_registered(self):
+        assert set(ALL_ABLATIONS) == {"design", "sizes", "related-work", "bw-signal"}
+
+    def test_figures_render(self):
+        fig = ablation_design_choices(TINY)
+        text = fig.render()
+        assert "dspatch-noanchor" in text

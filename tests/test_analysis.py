@@ -1,0 +1,117 @@
+"""Tests for the workload trace-analysis module."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.trace import Trace
+from repro.workloads.analysis import (
+    analyze_trace,
+    compression_error,
+    delta_distribution,
+    page_profile,
+    pc_footprint,
+)
+
+
+def trace_of_lines(lines, pcs=None):
+    n = len(lines)
+    pcs = pcs if pcs is not None else [0x400] * n
+    return Trace(
+        np.full(n, 10, dtype=np.int64),
+        np.array(pcs, dtype=np.int64),
+        np.array([line << 6 for line in lines], dtype=np.int64),
+        np.zeros(n, dtype=np.int64),
+    )
+
+
+class TestDeltaDistribution:
+    def test_stream_is_all_plus_one(self):
+        trace = trace_of_lines(range(64))
+        deltas, total = delta_distribution(trace)
+        assert deltas == {1: 63}
+        assert total == 63
+
+    def test_cross_page_deltas_excluded(self):
+        # Two accesses in page 0, then a jump to page 5 (excluded), then
+        # two accesses in page 5.
+        lines = [0, 1, 5 * 64, 5 * 64 + 3]
+        deltas, total = delta_distribution(trace_of_lines(lines))
+        assert total == 2
+        assert deltas == {1: 1, 3: 1}
+
+    def test_negative_deltas_counted(self):
+        deltas, _total = delta_distribution(trace_of_lines([5, 4, 3]))
+        assert deltas == {-1: 2}
+
+    def test_zero_delta_ignored(self):
+        deltas, total = delta_distribution(trace_of_lines([5, 5, 5]))
+        assert total == 0 and deltas == {}
+
+
+class TestPcFootprint:
+    def test_counts_distinct_pcs(self):
+        trace = trace_of_lines([0, 1, 2], pcs=[0x1, 0x2, 0x1])
+        pcs, _sigs = pc_footprint(trace)
+        assert pcs == 2
+
+    def test_signature_is_first_touch_per_page(self):
+        # Page 0 first touched by PC 0x1 at offset 0; page 1 by 0x2 at 3.
+        trace = trace_of_lines([0, 1, 64 + 3], pcs=[0x1, 0x2, 0x2])
+        _pcs, sigs = pc_footprint(trace)
+        assert sigs == 2
+
+
+class TestPageProfile:
+    def test_dense_page(self):
+        profile = page_profile(trace_of_lines(range(64)))
+        assert profile.pages_touched == 1
+        assert profile.mean_lines_per_page == 64
+        assert profile.dense_page_fraction == 1.0
+        assert profile.footprint_kb == 4.0
+
+    def test_sparse_pages(self):
+        lines = [0, 64, 128]  # one line in each of three pages
+        profile = page_profile(trace_of_lines(lines))
+        assert profile.pages_touched == 3
+        assert profile.mean_lines_per_page == 1.0
+        assert profile.dense_page_fraction == 0.0
+
+    def test_empty_trace(self):
+        profile = page_profile(trace_of_lines([]))
+        assert profile.pages_touched == 0
+
+
+class TestCompressionError:
+    def test_paired_lines_have_no_error(self):
+        """128B-aligned pairs compress losslessly (Figure 11b bucket 0)."""
+        overall, hist = compression_error(trace_of_lines([0, 1, 4, 5]))
+        assert overall == 0.0
+        assert hist["exactly-0"] == 1.0
+
+    def test_isolated_lines_cost_half(self):
+        """Isolated lines drag in their companion: 50% overprediction."""
+        overall, hist = compression_error(trace_of_lines([0, 4, 8]))
+        assert overall == pytest.approx(0.5)
+        assert hist["exactly-50"] == 1.0
+
+    def test_rates_bounded_by_half(self):
+        from repro.workloads.catalog import build_trace
+
+        overall, hist = compression_error(build_trace("cloud.bigbench", 2000))
+        assert 0.0 <= overall <= 0.5
+        assert sum(hist.values()) == pytest.approx(1.0)
+
+
+class TestReport:
+    def test_render_contains_headline_numbers(self):
+        from repro.workloads.catalog import build_trace
+
+        report = analyze_trace(build_trace("hpc.linpack", 2000), "hpc.linpack")
+        text = report.render()
+        assert "hpc.linpack" in text
+        assert "distinct PCs" in text
+        assert "+1/-1 delta share" in text
+
+    def test_stream_delta_share_is_high(self):
+        report = analyze_trace(trace_of_lines(range(200)), "stream")
+        assert report.plus_minus_one_share() > 0.9

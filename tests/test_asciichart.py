@@ -1,0 +1,90 @@
+"""Tests for the plain-text chart renderer."""
+
+import pytest
+
+from repro.metrics.asciichart import bar_chart, line_chart
+from repro.metrics.stats import FigureResult
+
+
+class TestLineChart:
+    SERIES = {
+        "SPP": {10: 15.0, 20: 18.0, 30: 19.0},
+        "DSPatch+SPP": {10: 18.0, 20: 25.0, 30: 31.0},
+    }
+
+    def test_renders_all_series_glyphs(self):
+        text = line_chart(self.SERIES)
+        assert "*" in text and "o" in text
+        assert "SPP" in text and "DSPatch+SPP" in text
+
+    def test_title_and_axis_labels(self):
+        text = line_chart(self.SERIES, title="scaling", x_label="GB/s", y_label="%")
+        assert text.splitlines()[0] == "scaling"
+        assert "GB/s" in text
+
+    def test_needs_two_x_positions(self):
+        with pytest.raises(ValueError):
+            line_chart({"a": {1: 1.0}})
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({})
+
+    def test_higher_series_drawn_higher(self):
+        """The growing series' glyph appears above the flat one at the
+        right edge."""
+        series = {"flat": {0: 0.0, 10: 0.0}, "up": {0: 0.0, 10: 10.0}}
+        lines = line_chart(series, width=40, height=10).splitlines()
+        grid = [ln for ln in lines if "|" in ln and "+" not in ln]
+        # Find rows containing each glyph in the last 5 columns.
+        def last_row_with(glyph):
+            for i, row in enumerate(grid):
+                if glyph in row[-5:]:
+                    return i
+            return None
+
+        up_row = last_row_with("o")  # second series
+        flat_row = last_row_with("*")
+        assert up_row is not None and flat_row is not None
+        assert up_row < flat_row  # smaller index = higher on screen
+
+
+class TestBarChart:
+    SERIES = {
+        "SPP": {"HPC": 120.0, "Cloud": 9.0},
+        "DSPatch": {"HPC": 56.0, "Cloud": 22.0},
+    }
+
+    def test_all_columns_present(self):
+        text = bar_chart(self.SERIES)
+        assert "HPC:" in text and "Cloud:" in text
+
+    def test_bar_lengths_ordered(self):
+        text = bar_chart(self.SERIES, width=40)
+        lines = text.splitlines()
+        spp_hpc = next(ln for ln in lines if ln.strip().startswith("SPP"))
+        dsp_hpc = lines[lines.index(spp_hpc) + 1]
+        assert spp_hpc.count("#") > dsp_hpc.count("#")
+
+    def test_negative_values_draw_left_of_zero(self):
+        text = bar_chart({"a": {"X": -5.0}, "b": {"X": 5.0}}, width=20)
+        assert "#" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+
+
+class TestFigureResultChart:
+    def test_auto_picks_line_for_numeric_columns(self):
+        fig = FigureResult("f", "t", [10, 20], {"s": {10: 1.0, 20: 2.0}})
+        assert "|" in fig.render_chart()
+
+    def test_auto_picks_bar_for_categories(self):
+        fig = FigureResult("f", "t", ["A", "B"], {"s": {"A": 1.0, "B": 2.0}})
+        assert "A:" in fig.render_chart()
+
+    def test_unknown_kind_rejected(self):
+        fig = FigureResult("f", "t", ["A"], {"s": {"A": 1.0}})
+        with pytest.raises(ValueError):
+            fig.render_chart(kind="pie")

@@ -1,0 +1,234 @@
+"""Tests for repro.core.bitpattern — rotation, compression, quartiles."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.bitpattern import (
+    anchor_pattern,
+    compress_pattern,
+    expand_pattern,
+    offsets_from_pattern,
+    pattern_from_offsets,
+    popcount,
+    prediction_goodness,
+    quantize_quartile,
+    rotate_left,
+    rotate_right,
+    unanchor_pattern,
+)
+
+patterns32 = st.integers(min_value=0, max_value=(1 << 32) - 1)
+patterns64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+amounts = st.integers(min_value=0, max_value=200)
+
+
+class TestPopcount:
+    def test_zero(self):
+        assert popcount(0) == 0
+
+    def test_all_ones_32(self):
+        assert popcount((1 << 32) - 1) == 32
+
+    def test_single_bits(self):
+        for i in range(64):
+            assert popcount(1 << i) == 1
+
+    @given(patterns64)
+    def test_matches_bin_count(self, p):
+        assert popcount(p) == bin(p).count("1")
+
+
+class TestRotation:
+    def test_rotate_left_moves_bit(self):
+        assert rotate_left(0b1, 3, 8) == 0b1000
+
+    def test_rotate_left_wraps(self):
+        assert rotate_left(0b1000_0000, 1, 8) == 0b1
+
+    def test_rotate_right_moves_bit(self):
+        assert rotate_right(0b1000, 3, 8) == 0b1
+
+    def test_rotate_right_wraps(self):
+        assert rotate_right(0b1, 1, 8) == 0b1000_0000
+
+    def test_zero_amount_identity(self):
+        assert rotate_left(0xAB, 0, 8) == 0xAB
+        assert rotate_right(0xAB, 0, 8) == 0xAB
+
+    def test_full_width_identity(self):
+        assert rotate_left(0xAB, 8, 8) == 0xAB
+
+    def test_rejects_nonpositive_width(self):
+        with pytest.raises(ValueError):
+            rotate_left(1, 1, 0)
+        with pytest.raises(ValueError):
+            rotate_right(1, 1, -4)
+
+    @given(patterns32, amounts)
+    def test_left_right_inverse(self, p, k):
+        assert rotate_right(rotate_left(p, k, 32), k, 32) == p
+
+    @given(patterns32, amounts)
+    def test_popcount_preserved(self, p, k):
+        assert popcount(rotate_left(p, k, 32)) == popcount(p)
+
+    @given(patterns32, amounts, amounts)
+    def test_rotation_composes(self, p, a, b):
+        assert rotate_left(rotate_left(p, a, 32), b, 32) == rotate_left(p, (a + b) % 32, 32)
+
+    @given(patterns32, amounts)
+    def test_modular_amount(self, p, k):
+        assert rotate_left(p, k, 32) == rotate_left(p, k % 32, 32)
+
+
+class TestAnchoring:
+    def test_anchor_puts_trigger_at_zero(self):
+        pattern = pattern_from_offsets([5, 9, 20], width=32)
+        anchored = anchor_pattern(pattern, 5, 32)
+        assert anchored & 1
+
+    def test_anchor_preserves_relative_deltas(self):
+        pattern = pattern_from_offsets([5, 9, 20], width=32)
+        anchored = anchor_pattern(pattern, 5, 32)
+        assert offsets_from_pattern(anchored, 32) == [0, 4, 15]
+
+    def test_unanchor_restores_absolute(self):
+        pattern = pattern_from_offsets([5, 9, 20], width=32)
+        anchored = anchor_pattern(pattern, 5, 32)
+        assert unanchor_pattern(anchored, 5, 32) == pattern
+
+    def test_anchoring_is_trigger_invariant(self):
+        """The paper's key property: a layout shifted within the page
+        anchors to the same pattern (Figure 2)."""
+        layout = [0, 4, 15]
+        base = pattern_from_offsets(layout, width=32)
+        anchored_base = anchor_pattern(base, 0, 32)
+        for shift in range(32):
+            shifted = pattern_from_offsets([(o + shift) % 32 for o in layout], width=32)
+            assert anchor_pattern(shifted, shift, 32) == anchored_base
+
+    @given(patterns32, st.integers(min_value=0, max_value=31))
+    def test_roundtrip(self, p, t):
+        assert unanchor_pattern(anchor_pattern(p, t, 32), t, 32) == p
+
+
+class TestCompression:
+    def test_empty(self):
+        assert compress_pattern(0) == 0
+
+    def test_pair_collapses_to_one_bit(self):
+        assert compress_pattern(0b11) == 0b1
+
+    def test_either_line_sets_bit(self):
+        assert compress_pattern(0b01) == 0b1
+        assert compress_pattern(0b10) == 0b1
+
+    def test_full_page(self):
+        assert compress_pattern((1 << 64) - 1) == (1 << 32) - 1
+
+    def test_distinct_pairs_stay_distinct(self):
+        # Lines 0 and 2 live in 128B blocks 0 and 1 respectively.
+        assert compress_pattern((1 << 0) | (1 << 2)) == 0b11
+        # Lines 0 and 4 live in blocks 0 and 2.
+        assert compress_pattern((1 << 0) | (1 << 4)) == 0b101
+
+    def test_rejects_odd_width(self):
+        with pytest.raises(ValueError):
+            compress_pattern(1, width=7)
+
+    def test_expand_sets_both_lines(self):
+        assert expand_pattern(0b1) == 0b11
+
+    def test_expand_empty(self):
+        assert expand_pattern(0) == 0
+
+    @given(patterns64)
+    def test_expand_superset_of_original(self, p):
+        """Compression never loses accesses — only over-approximates."""
+        roundtrip = expand_pattern(compress_pattern(p))
+        assert roundtrip & p == p
+
+    @given(patterns64)
+    def test_overshoot_bounded_at_half(self, p):
+        """At most one wasted line per 128B block (the paper's <=50%)."""
+        roundtrip = expand_pattern(compress_pattern(p))
+        extra = popcount(roundtrip & ~p)
+        assert extra <= popcount(compress_pattern(p))
+
+    @given(patterns32)
+    def test_compress_expand_is_identity_on_compressed(self, p):
+        assert compress_pattern(expand_pattern(p)) == p
+
+    def test_pair_complete_patterns_are_exact(self):
+        """Adjacent-pair access patterns suffer no compression error."""
+        p = pattern_from_offsets([4, 5, 20, 21, 40, 41])
+        assert expand_pattern(compress_pattern(p)) == p
+
+
+class TestQuartiles:
+    @pytest.mark.parametrize(
+        "num,den,expected",
+        [
+            (0, 8, 0),
+            (1, 8, 0),
+            (2, 8, 1),  # exactly 25%
+            (3, 8, 1),
+            (4, 8, 2),  # exactly 50%
+            (5, 8, 2),
+            (6, 8, 3),  # exactly 75%
+            (8, 8, 3),
+            (3, 5, 2),  # the paper's accuracy example (Figure 8)
+            (3, 8, 1),  # the paper's coverage example (Figure 8)
+        ],
+    )
+    def test_bucket_boundaries(self, num, den, expected):
+        assert quantize_quartile(num, den) == expected
+
+    def test_zero_denominator(self):
+        assert quantize_quartile(3, 0) == 0
+
+    @given(st.integers(0, 1000), st.integers(1, 1000))
+    def test_bucket_matches_float_math(self, num, den):
+        ratio = num / den
+        bucket = quantize_quartile(num, den)
+        if ratio >= 0.75:
+            assert bucket == 3
+        elif ratio >= 0.5:
+            assert bucket == 2
+        elif ratio >= 0.25:
+            assert bucket == 1
+        else:
+            assert bucket == 0
+
+
+class TestGoodness:
+    def test_paper_figure8_example(self):
+        program = pattern_from_offsets([0, 2, 3, 5, 10, 11, 12, 13], width=16)
+        predicted = pattern_from_offsets([0, 2, 5, 6, 15], width=16)
+        accuracy_q, coverage_q = prediction_goodness(predicted, program)
+        assert accuracy_q == 2  # 3/5 = 60% -> 50-75%
+        assert coverage_q == 1  # 3/8 = 37.5% -> 25-50%
+
+    def test_perfect_prediction(self):
+        p = pattern_from_offsets([1, 2, 3], width=16)
+        assert prediction_goodness(p, p) == (3, 3)
+
+    def test_empty_prediction(self):
+        p = pattern_from_offsets([1, 2, 3], width=16)
+        assert prediction_goodness(0, p) == (0, 0)
+
+
+class TestPatternHelpers:
+    def test_from_offsets(self):
+        assert pattern_from_offsets([0, 3]) == 0b1001
+
+    def test_from_offsets_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            pattern_from_offsets([64])
+        with pytest.raises(ValueError):
+            pattern_from_offsets([-1])
+
+    def test_offsets_roundtrip(self):
+        offs = [0, 7, 13, 63]
+        assert offsets_from_pattern(pattern_from_offsets(offs)) == offs

@@ -1,0 +1,215 @@
+"""Tests for the set-associative cache and replacement policies."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.memory.cache import Cache, CacheConfig
+from repro.memory.replacement import (
+    LruPolicy,
+    PrefetchAwareDeadBlock,
+    make_replacement_policy,
+)
+
+
+def small_cache(ways=2, sets=4, replacement="lru"):
+    return Cache(
+        CacheConfig(
+            name="t",
+            size_bytes=ways * sets * 64,
+            ways=ways,
+            hit_latency=5,
+            replacement=replacement,
+        )
+    )
+
+
+class TestGeometry:
+    def test_num_sets_derivation(self):
+        cfg = CacheConfig(name="L1", size_bytes=32 * 1024, ways=8, hit_latency=5)
+        assert cfg.num_sets == 64
+
+    def test_rejects_non_power_of_two_sets(self):
+        cfg = CacheConfig(name="bad", size_bytes=3 * 64 * 2, ways=2, hit_latency=1)
+        with pytest.raises(ValueError):
+            cfg.num_sets
+
+
+class TestBasicOperation:
+    def test_miss_then_hit(self):
+        c = small_cache()
+        assert c.access(0x100, cycle=0) is None
+        c.fill(0x100, cycle=0)
+        assert c.access(0x100, cycle=1) is not None
+
+    def test_miss_and_hit_counters(self):
+        c = small_cache()
+        c.access(0x100, 0)
+        c.fill(0x100, 0)
+        c.access(0x100, 1)
+        assert c.demand_misses == 1
+        assert c.demand_hits == 1
+        assert c.demand_accesses == 2
+        assert c.hit_rate() == 0.5
+
+    def test_probe_does_not_change_stats(self):
+        c = small_cache()
+        c.fill(0x100, 0)
+        c.probe(0x100)
+        c.probe(0x200)
+        assert c.demand_accesses == 0
+
+    def test_contains(self):
+        c = small_cache()
+        c.fill(0x100, 0)
+        assert c.contains(0x100)
+        assert not c.contains(0x101)
+
+    def test_different_sets_do_not_conflict(self):
+        c = small_cache(ways=1, sets=4)
+        c.fill(0, 0)
+        c.fill(1, 0)
+        assert c.contains(0) and c.contains(1)
+
+    def test_invalidate(self):
+        c = small_cache()
+        c.fill(0x100, 0)
+        c.invalidate(0x100)
+        assert not c.contains(0x100)
+
+    def test_write_sets_dirty(self):
+        c = small_cache()
+        c.fill(0x100, 0)
+        line = c.access(0x100, 1, is_write=True)
+        assert line.dirty
+
+    def test_dirty_eviction_counts_writeback(self):
+        c = small_cache(ways=1, sets=1)
+        c.fill(0x0, 0)
+        c.access(0x0, 1, is_write=True)
+        c.fill(0x1, 2)
+        assert c.writebacks == 1
+
+
+class TestEviction:
+    def test_lru_victim(self):
+        c = small_cache(ways=2, sets=1)
+        c.fill(0, 0)
+        c.fill(1, 1)
+        c.access(0, 2)  # 1 becomes LRU
+        evicted = c.fill(2, 3)
+        assert evicted.line_addr == 1
+
+    def test_eviction_info_fields(self):
+        c = small_cache(ways=1, sets=1)
+        c.fill(0, 0, prefetched=True)
+        evicted = c.fill(1, 1)
+        assert evicted.was_prefetched
+        assert not evicted.was_used
+
+    def test_refill_of_resident_line_no_eviction(self):
+        c = small_cache(ways=1, sets=1)
+        c.fill(0, 0)
+        assert c.fill(0, 1) is None
+
+    def test_ways_never_exceeded(self):
+        c = small_cache(ways=2, sets=2)
+        for line in range(40):
+            c.fill(line, line)
+        assert c.occupancy() <= 4
+
+    @given(st.lists(st.integers(min_value=0, max_value=63), max_size=200))
+    def test_occupancy_invariant(self, lines):
+        c = small_cache(ways=2, sets=4)
+        for i, line in enumerate(lines):
+            if not c.contains(line):
+                c.fill(line, i)
+        assert c.occupancy() <= 8
+
+
+class TestPrefetchAccounting:
+    def test_first_use_counts_useful(self):
+        c = small_cache()
+        c.fill(0x10, 0, prefetched=True)
+        c.access(0x10, 1)
+        assert c.useful_prefetches == 1
+        assert c.last_access_first_use
+
+    def test_second_use_not_counted(self):
+        c = small_cache()
+        c.fill(0x10, 0, prefetched=True)
+        c.access(0x10, 1)
+        c.access(0x10, 2)
+        assert c.useful_prefetches == 1
+        assert not c.last_access_first_use
+
+    def test_late_prefetch_detected(self):
+        c = small_cache()
+        c.fill(0x10, 0, prefetched=True, ready=100)
+        c.access(0x10, 50)  # before the fill completes
+        assert c.late_useful_prefetches == 1
+
+    def test_timely_prefetch_not_late(self):
+        c = small_cache()
+        c.fill(0x10, 0, prefetched=True, ready=10)
+        c.access(0x10, 50)
+        assert c.late_useful_prefetches == 0
+
+    def test_unused_prefetch_eviction_counted(self):
+        c = small_cache(ways=1, sets=1)
+        c.fill(0, 0, prefetched=True)
+        c.fill(1, 1)
+        assert c.useless_evictions == 1
+
+    def test_demand_fill_not_useless(self):
+        c = small_cache(ways=1, sets=1)
+        c.fill(0, 0)
+        c.fill(1, 1)
+        assert c.useless_evictions == 0
+
+    def test_touch_for_prefetcher(self):
+        c = small_cache()
+        c.fill(0x10, 0, prefetched=True)
+        c.touch_for_prefetcher(0x10)
+        c.fill_evict = c.access(0x10, 1)
+        assert c.useful_prefetches == 0  # touch consumed the first-use
+
+
+class TestReplacementPolicies:
+    def test_factory_known_names(self):
+        assert isinstance(make_replacement_policy("lru"), LruPolicy)
+        assert isinstance(make_replacement_policy("pf-dead-block"), PrefetchAwareDeadBlock)
+
+    def test_factory_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            make_replacement_policy("rrip")
+
+    def test_dead_block_prefers_unused_prefetch(self):
+        c = small_cache(ways=2, sets=1, replacement="pf-dead-block")
+        c.fill(0, 0)
+        c.access(0, 1)
+        c.fill(1, 2, prefetched=True)  # newer but dead
+        evicted = c.fill(2, 3)
+        assert evicted.line_addr == 1
+
+    def test_dead_block_falls_back_to_lru(self):
+        c = small_cache(ways=2, sets=1, replacement="pf-dead-block")
+        c.fill(0, 0)
+        c.fill(1, 1)
+        evicted = c.fill(2, 2)
+        assert evicted.line_addr == 0
+
+    def test_used_prefetch_not_dead(self):
+        c = small_cache(ways=2, sets=1, replacement="pf-dead-block")
+        c.fill(0, 0, prefetched=True)
+        c.access(0, 1)  # now live
+        c.fill(1, 2)
+        evicted = c.fill(2, 3)
+        assert evicted.line_addr == 0  # plain LRU order, not dead preference
+
+    def test_low_priority_fill_evicted_first(self):
+        c = small_cache(ways=2, sets=1)
+        c.fill(0, 0)
+        c.fill(1, 1, low_priority=True)
+        evicted = c.fill(2, 2)
+        assert evicted.line_addr == 1

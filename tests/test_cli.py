@@ -1,0 +1,116 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import _parse_dram, build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "--workload", "hpc.linpack"])
+        assert args.scheme == "dspatch"
+        assert args.length == 16000
+
+    def test_dram_label_parsing(self):
+        cfg = _parse_dram("2ch-2400")
+        assert cfg.channels == 2 and cfg.speed_grade == 2400
+
+    def test_bad_dram_label(self):
+        with pytest.raises(SystemExit):
+            _parse_dram("fast")
+
+    def test_bad_speed_grade(self):
+        with pytest.raises(SystemExit):
+            _parse_dram("1ch-9999")
+
+
+class TestCommands:
+    def test_list_workloads(self, capsys):
+        assert main(["list-workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "hpc.linpack" in out and "server.tpcc-1" in out
+
+    def test_list_workloads_single_category(self, capsys):
+        assert main(["list-workloads", "--category", "HPC"]) == 0
+        out = capsys.readouterr().out
+        assert "hpc.linpack" in out and "server.tpcc-1" not in out
+
+    def test_list_prefetchers_shows_storage(self, capsys):
+        assert main(["list-prefetchers"]) == 0
+        out = capsys.readouterr().out
+        assert "dspatch" in out and "3.6KB" in out
+
+    def test_run_prints_speedup(self, capsys):
+        code = main(
+            ["run", "--workload", "ispec06.hmmer", "--scheme", "spp", "--length", "1200"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ipc" in out and "coverage" in out
+
+    def test_trace_stats(self, capsys):
+        assert main(["trace-stats", "--workload", "hpc.linpack", "--length", "1500"]) == 0
+        out = capsys.readouterr().out
+        assert "distinct PCs" in out
+
+    def test_figure_unknown_id_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "fig99"])
+
+    def test_figure_table1(self, capsys):
+        assert main(["figure", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "3.6" in out
+
+    def test_run_with_dram_label(self, capsys):
+        code = main(
+            [
+                "run",
+                "--workload",
+                "ispec06.hmmer",
+                "--scheme",
+                "nextline",
+                "--length",
+                "1000",
+                "--dram",
+                "2ch-2400",
+            ]
+        )
+        assert code == 0
+
+    def test_run_json_output(self, capsys):
+        import json
+
+        code = main(
+            ["run", "--workload", "ispec06.hmmer", "--scheme", "nextline",
+             "--length", "800", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["workload"] == "ispec06.hmmer"
+        assert payload["ipc"] > 0
+        assert "speedup_pct" in payload
+
+    def test_sweep_prints_six_rows(self, capsys):
+        code = main(
+            ["sweep", "--workload", "ispec06.hmmer", "--scheme", "nextline",
+             "--length", "600"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        for label in ("1ch-1600", "1ch-2133", "1ch-2400", "2ch-1600", "2ch-2133", "2ch-2400"):
+            assert label in out
+
+    def test_figure_chart_flag(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_LEN", "1000")
+        monkeypatch.setenv("REPRO_WORKLOADS_PER_CATEGORY", "1")
+        from repro.experiments.runner import clear_run_cache
+
+        clear_run_cache()
+        assert main(["figure", "fig05", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "SMS" in out

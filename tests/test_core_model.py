@@ -1,0 +1,146 @@
+"""Tests for the analytic out-of-order core timing model."""
+
+import pytest
+
+from repro.cpu.core import CoreExecution, CoreModel
+from repro.cpu.trace import FLAG_DEP, FLAG_WRITE, Trace
+from repro.memory.hierarchy import AccessResult
+
+
+class FixedLatencyHierarchy:
+    """Test double: every access takes a constant latency."""
+
+    def __init__(self, latency):
+        self.latency = latency
+        self.accesses = []
+
+    def access(self, cycle, pc, addr, is_write=False):
+        self.accesses.append((cycle, addr, is_write))
+        return AccessResult(self.latency, "DRAM")
+
+
+def run_trace(records, latency=100, model=None):
+    trace = Trace.from_records(records)
+    hierarchy = FixedLatencyHierarchy(latency)
+    execution = CoreExecution(model or CoreModel(), trace, hierarchy)
+    stats = execution.run()
+    return stats, hierarchy
+
+
+class TestModelValidation:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            CoreModel(width=0)
+        with pytest.raises(ValueError):
+            CoreModel(rob_size=-1)
+
+
+class TestBasicTiming:
+    def test_empty_trace(self):
+        stats, _ = run_trace([])
+        assert stats.instructions == 0
+        assert stats.ipc == 0.0
+
+    def test_single_load_latency_dominates(self):
+        stats, _ = run_trace([(0, 0x400, 0x1000, 0)], latency=100)
+        assert stats.cycles >= 100
+
+    def test_gap_instructions_retire_at_width(self):
+        # 400 gap instructions + 1 free load: ~100 cycles at width 4.
+        stats, _ = run_trace([(400, 0x400, 0x1000, 0)], latency=1)
+        assert stats.cycles == pytest.approx(400 / 4, rel=0.1)
+
+    def test_instruction_count_includes_gaps(self):
+        stats, _ = run_trace([(10, 0x400, 0x1000, 0), (5, 0x404, 0x2000, 0)])
+        assert stats.instructions == 17
+
+    def test_memory_ops_counted(self):
+        stats, _ = run_trace([(0, 0x400, 0x1000, 0)] * 5)
+        assert stats.memory_ops == 5
+
+    def test_level_hits_recorded(self):
+        stats, _ = run_trace([(0, 0x400, 0x1000, 0)] * 3)
+        assert stats.level_hits["DRAM"] == 3
+
+
+class TestMemoryLevelParallelism:
+    def test_independent_misses_overlap_within_rob(self):
+        """Two back-to-back independent misses should overlap almost fully."""
+        records = [(0, 0x400, 0x1000, 0), (0, 0x404, 0x2000, 0)]
+        stats, _ = run_trace(records, latency=100)
+        assert stats.cycles < 150  # far less than 200 (serialized)
+
+    def test_many_independent_misses_bounded_by_rob(self):
+        """Misses farther apart than the ROB cannot overlap."""
+        model = CoreModel(width=4, rob_size=8)
+        # Each op preceded by 32 instructions: consecutive ops are 33 > rob
+        # apart, so every miss is fully exposed.
+        records = [(32, 0x400, 0x1000 + 64 * i, 0) for i in range(10)]
+        stats, _ = run_trace(records, latency=100, model=model)
+        assert stats.cycles >= 10 * 100  # essentially serialized
+
+    def test_larger_rob_means_more_overlap(self):
+        records = [(16, 0x400, 0x1000 + 64 * i, 0) for i in range(20)]
+        small, _ = run_trace(records, latency=200, model=CoreModel(rob_size=8))
+        large, _ = run_trace(records, latency=200, model=CoreModel(rob_size=224))
+        assert large.cycles < small.cycles
+
+
+class TestDependentLoads:
+    def test_dep_chain_serializes(self):
+        independent = [(0, 0x400, 0x1000 + 64 * i, 0) for i in range(8)]
+        dependent = [(0, 0x400, 0x1000 + 64 * i, FLAG_DEP) for i in range(8)]
+        free, _ = run_trace(independent, latency=100)
+        chained, _ = run_trace(dependent, latency=100)
+        assert chained.cycles >= 8 * 100
+        assert free.cycles < chained.cycles / 2
+
+    def test_store_does_not_block_retirement(self):
+        stores = [(0, 0x400, 0x1000 + 64 * i, FLAG_WRITE) for i in range(8)]
+        loads = [(0, 0x400, 0x1000 + 64 * i, 0) for i in range(8)]
+        store_stats, _ = run_trace(stores, latency=300)
+        load_stats, _ = run_trace(loads, latency=300)
+        assert store_stats.cycles < load_stats.cycles
+
+    def test_store_still_reaches_hierarchy(self):
+        _, hierarchy = run_trace([(0, 0x400, 0x1000, FLAG_WRITE)])
+        assert hierarchy.accesses[0][2] is True
+
+
+class TestMonotonicity:
+    def test_time_never_decreases(self):
+        records = [(i % 7, 0x400 + i, 0x1000 + 64 * i, 0) for i in range(50)]
+        trace = Trace.from_records(records)
+        hierarchy = FixedLatencyHierarchy(50)
+        execution = CoreExecution(CoreModel(), trace, hierarchy)
+        last = 0.0
+        while execution.advance():
+            assert execution.time >= last
+            last = execution.time
+
+    def test_issue_cycles_nondecreasing_fetch_bound(self):
+        _, hierarchy = run_trace([(0, 0x400, 0x1000 + 64 * i, 0) for i in range(20)], latency=10)
+        cycles = [c for c, _, _ in hierarchy.accesses]
+        assert all(b >= a - 1e-9 for a, b in zip(cycles, cycles[1:]))
+
+    def test_ipc_bounded_by_width(self):
+        stats, _ = run_trace([(100, 0x400, 0x1000, 0)] * 20, latency=1)
+        assert stats.ipc <= 4.0 + 1e-9
+
+
+class TestSteppedExecution:
+    def test_advance_returns_false_at_end(self):
+        trace = Trace.from_records([(0, 1, 64, 0)])
+        ex = CoreExecution(CoreModel(), trace, FixedLatencyHierarchy(1))
+        assert ex.advance()
+        assert not ex.advance()
+        assert ex.done
+
+    def test_finalize_partial_run(self):
+        trace = Trace.from_records([(0, 1, 64 * i, 0) for i in range(10)])
+        ex = CoreExecution(CoreModel(), trace, FixedLatencyHierarchy(1))
+        ex.advance()
+        ex.advance()
+        stats = ex.finalize()
+        assert stats.memory_ops == 2
+        assert stats.cycles > 0

@@ -1,0 +1,130 @@
+"""Tests for the experiment scaffolding and cheap figure drivers."""
+
+import pytest
+
+from repro.experiments.figures import (
+    ALL_FIGURES,
+    fig08_quantization_example,
+    fig11a_delta_distribution,
+    fig11b_compression_error,
+    table1_dspatch_storage,
+    table3_prefetcher_storage,
+)
+from repro.experiments.runner import (
+    clear_run_cache,
+    run_workload,
+    scheme_label,
+    speedup_ratios,
+    workload_subset,
+)
+from repro.experiments.scale import Scale
+from repro.workloads.catalog import CATEGORIES, WORKLOADS
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_run_cache()
+    yield
+    clear_run_cache()
+
+
+TINY = Scale(trace_len=600, workloads_per_category=1, mix_count=1, mix_trace_len=400, full=False)
+
+
+class TestScale:
+    def test_from_env_defaults(self, monkeypatch):
+        for var in ("REPRO_TRACE_LEN", "REPRO_WORKLOADS_PER_CATEGORY", "REPRO_FULL"):
+            monkeypatch.delenv(var, raising=False)
+        scale = Scale.from_env()
+        assert scale.trace_len == 16000
+        assert not scale.full
+
+    def test_env_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_LEN", "1234")
+        assert Scale.from_env().trace_len == 1234
+
+    def test_full_mode(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL", "1")
+        scale = Scale.from_env()
+        assert scale.full
+        assert scale.workloads_per_category == 99
+
+    def test_bad_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_LEN", "lots")
+        with pytest.raises(ValueError):
+            Scale.from_env()
+
+
+class TestRunner:
+    def test_workload_subset_per_category(self):
+        subset = workload_subset(2)
+        assert len(subset) == 18
+        for category in CATEGORIES:
+            members = [w for w in subset if WORKLOADS[w].category == category]
+            assert len(members) == 2
+
+    def test_subset_prefers_memory_intensive(self):
+        subset = workload_subset(1)
+        assert all(WORKLOADS[name].mem_intensive for name in subset)
+
+    def test_run_workload_memoized(self):
+        a = run_workload("ispec06.mcf", "none", 400)
+        b = run_workload("ispec06.mcf", "none", 400)
+        assert a is b
+
+    def test_speedup_ratios_positive(self):
+        ratios = speedup_ratios("spp", ["hpc.linpack"], 800)
+        assert ratios["hpc.linpack"] > 0
+
+    def test_scheme_labels(self):
+        assert scheme_label("spp+dspatch") == "DSPatch+SPP"
+        assert scheme_label("unknown-thing") == "unknown-thing"
+
+
+class TestCheapFigures:
+    def test_fig08_matches_paper_example(self):
+        fig = fig08_quantization_example()
+        assert fig.value("Accuracy 3/5", "quartile") == "50-75%"
+        assert fig.value("Coverage 3/8", "quartile") == "25-50%"
+
+    def test_table1_total_is_3_6_kb(self):
+        fig = table1_dspatch_storage()
+        total_bits = sum(row["bits"] for row in fig.rows.values())
+        assert total_bits == 29568
+        assert "3.61" in " ".join(fig.notes) or "3.6" in " ".join(fig.notes)
+
+    def test_table3_ordering(self):
+        fig = table3_prefetcher_storage()
+        kb = {row: vals["KB"] for row, vals in fig.rows.items()}
+        assert kb["BOP"] < kb["DSPatch"] < kb["SPP"] < kb["SMS"]
+        assert kb["SMS-256"] < 5
+
+    def test_fig11a_plus_minus_one_dominate(self):
+        fig = fig11a_delta_distribution(TINY)
+        row = fig.rows["All workloads"]
+        assert row["+1"] + row["-1"] > 40.0
+        assert sum(row.values()) == pytest.approx(100.0, abs=0.5)
+
+    def test_fig11b_buckets_sum_to_100(self):
+        fig = fig11b_compression_error(TINY)
+        row = fig.rows["Share of workloads"]
+        assert sum(row.values()) == pytest.approx(100.0, abs=0.5)
+
+    def test_all_figures_registry_complete(self):
+        expected = {
+            "fig01", "fig04", "fig05", "fig06", "fig08", "fig11a", "fig11b",
+            "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
+            "fig19", "fig20", "table1", "table3", "extra-triple",
+        }
+        assert set(ALL_FIGURES) == expected
+
+
+class TestSmallDrivenFigure:
+    def test_fig12_shape_at_tiny_scale(self):
+        from repro.experiments.figures import fig12_single_thread
+
+        fig = fig12_single_thread(TINY)
+        assert set(fig.rows) == {"BOP", "SMS", "SPP", "DSPatch", "DSPatch+SPP"}
+        assert "GEOMEAN" in fig.columns
+        for row in fig.rows.values():
+            assert "GEOMEAN" in row

@@ -1,0 +1,106 @@
+"""Cross-module integration tests: the paper's qualitative claims in miniature.
+
+These use small traces, so they assert *directional* invariants (who gains,
+what adapts) rather than exact magnitudes.
+"""
+
+import pytest
+
+from repro.cpu.system import System, SystemConfig
+from repro.memory.dram import DramConfig
+from repro.workloads.catalog import build_trace
+
+
+@pytest.fixture(scope="module")
+def layout_trace():
+    """A reordered spatial-layout workload — DSPatch's home turf."""
+    return build_trace("sysmark.excel", 4000)
+
+
+@pytest.fixture(scope="module")
+def stream_trace():
+    # Long enough that the 64-entry Page Buffer cycles several times, so
+    # eviction-driven learning has happened (DSPatch learns on eviction).
+    return build_trace("fspec06.libquantum", 10000)
+
+
+def run(trace, scheme, dram=None):
+    return System(SystemConfig.single_thread(scheme, dram=dram)).run(trace)
+
+
+class TestHeadlineClaims:
+    def test_dspatch_beats_baseline_on_layouts(self, layout_trace):
+        base = run(layout_trace, "none")
+        dspatch = run(layout_trace, "dspatch")
+        assert dspatch.ipc > base.ipc
+
+    def test_dspatch_spp_beats_spp_on_layouts(self, layout_trace):
+        """The adjunct claim (Section 5.1) on bit-pattern-friendly traffic."""
+        spp = run(layout_trace, "spp")
+        combo = run(layout_trace, "spp+dspatch")
+        assert combo.ipc > spp.ipc
+
+    def test_combo_has_more_coverage_than_spp(self, layout_trace):
+        spp = run(layout_trace, "spp")
+        combo = run(layout_trace, "spp+dspatch")
+        assert combo.coverage > spp.coverage
+
+    def test_spp_dominates_streams(self, stream_trace):
+        """Delta prefetching owns dense streams (Figure 4's HPC column)."""
+        spp = run(stream_trace, "spp")
+        dspatch = run(stream_trace, "dspatch")
+        assert spp.ipc > dspatch.ipc
+
+    def test_every_scheme_profits_on_streams(self, stream_trace):
+        base = run(stream_trace, "none")
+        for scheme in ("bop", "sms", "spp", "dspatch", "spp+dspatch"):
+            assert run(stream_trace, scheme).ipc > base.ipc
+
+    def test_anchoring_beats_absolute_patterns_on_jitter(self, layout_trace):
+        """sysmark.excel jitters layout positions; anchored DSPatch should
+        at least match SMS at 1/20th the storage."""
+        sms = run(layout_trace, "sms")
+        dspatch = run(layout_trace, "dspatch")
+        assert dspatch.ipc >= 0.9 * sms.ipc
+
+
+class TestBandwidthAdaptation:
+    def test_more_bandwidth_more_dspatch_gain(self, layout_trace):
+        """The paper's thesis: DSPatch+SPP's edge grows with bandwidth."""
+        narrow = DramConfig(speed_grade=1600, channels=1)
+        wide = DramConfig(speed_grade=2400, channels=2)
+        gain = {}
+        for label, dram in (("narrow", narrow), ("wide", wide)):
+            spp = run(layout_trace, "spp", dram)
+            combo = run(layout_trace, "spp+dspatch", dram)
+            gain[label] = combo.ipc / spp.ipc
+        assert gain["wide"] >= gain["narrow"] * 0.98  # never collapses with BW
+
+    def test_utilization_falls_with_more_channels(self, stream_trace):
+        one = run(stream_trace, "spp", DramConfig(speed_grade=2133, channels=1))
+        two = run(stream_trace, "spp", DramConfig(speed_grade=2133, channels=2))
+        top_quartile_one = one.bw_utilization_residency[3] + one.bw_utilization_residency[2]
+        top_quartile_two = two.bw_utilization_residency[3] + two.bw_utilization_residency[2]
+        assert top_quartile_two <= top_quartile_one + 0.05
+
+    def test_prefetching_raises_utilization(self, layout_trace):
+        base = run(layout_trace, "none")
+        combo = run(layout_trace, "spp+dspatch")
+
+        def mean_bucket(res):
+            return sum(i * f for i, f in enumerate(res.bw_utilization_residency))
+
+        assert mean_bucket(combo) > mean_bucket(base)
+
+
+class TestStorageClaims:
+    def test_dspatch_smaller_than_spp(self):
+        from repro.memory.dram import FixedBandwidth
+        from repro.prefetchers.registry import build_prefetcher
+
+        bw = FixedBandwidth(0)
+        dspatch = build_prefetcher("dspatch", bw).storage_kb()
+        spp = build_prefetcher("spp", bw).storage_kb()
+        sms = build_prefetcher("sms", bw).storage_kb()
+        assert dspatch < spp  # "2/3rd of the storage of SPP"
+        assert dspatch < sms / 20  # "less than 1/20th of SMS"

@@ -1,0 +1,190 @@
+"""Property-based tests on the paper's core invariants (hypothesis).
+
+The DSPatch algebra has properties that must hold for *any* input, not
+just the examples in the figures:
+
+- AccP is always a subset of CovP ("since AccP is derived from CovP,
+  coverage is kept in check" — Section 3);
+- anchoring and un-anchoring are inverse rotations;
+- compression never loses a touched line (only over-predicts);
+- the Figure 10 selection tree is total and never picks CovP at the top
+  utilization quartile;
+- quartile quantization is monotone in the numerator.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bitpattern import (
+    anchor_pattern,
+    compress_pattern,
+    expand_pattern,
+    quantize_quartile,
+    unanchor_pattern,
+)
+from repro.core.selection import select_pattern
+from repro.core.spt import SptEntry
+
+patterns16 = st.integers(0, (1 << 16) - 1)
+patterns32 = st.integers(0, (1 << 32) - 1)
+patterns64 = st.integers(0, (1 << 64) - 1)
+buckets = st.integers(0, 3)
+
+
+class TestAccpSubsetOfCovp:
+    @settings(max_examples=200, deadline=None)
+    @given(
+        halves=st.lists(patterns16, min_size=1, max_size=12),
+        bw=buckets,
+    )
+    def test_accp_subset_after_any_update_sequence(self, halves, bw):
+        entry = SptEntry()
+        for program_half in halves:
+            entry.update_half(0, program_half, bw)
+            accp = entry.accp_half(0)
+            covp = entry.covp_half(0)
+            assert accp & ~covp == 0  # AccP ⊆ CovP, always
+
+    @settings(max_examples=100, deadline=None)
+    @given(halves=st.lists(patterns16, min_size=1, max_size=8))
+    def test_accp_subset_of_last_program(self, halves):
+        """AccP = program & CovP: also a subset of the latest observation."""
+        entry = SptEntry()
+        for program_half in halves:
+            entry.update_half(0, program_half, 0)
+        assert entry.accp_half(0) & ~halves[-1] == 0
+
+    @settings(max_examples=100, deadline=None)
+    @given(halves=st.lists(patterns16, min_size=1, max_size=8), bw=buckets)
+    def test_counters_stay_in_2_bits(self, halves, bw):
+        entry = SptEntry()
+        for program_half in halves:
+            entry.update_half(1, program_half, bw)
+            assert 0 <= entry.measure_covp[1] <= 3
+            assert 0 <= entry.measure_accp[1] <= 3
+            assert 0 <= entry.or_count[1] <= 3
+
+
+class TestAnchoringAlgebra:
+    @settings(max_examples=200, deadline=None)
+    @given(pattern=patterns32, trigger=st.integers(0, 31))
+    def test_anchor_unanchor_roundtrip(self, pattern, trigger):
+        anchored = anchor_pattern(pattern, trigger, 32)
+        assert unanchor_pattern(anchored, trigger, 32) == pattern
+
+    @settings(max_examples=200, deadline=None)
+    @given(pattern=patterns32, trigger=st.integers(0, 31))
+    def test_anchoring_preserves_popcount(self, pattern, trigger):
+        anchored = anchor_pattern(pattern, trigger, 32)
+        assert bin(anchored).count("1") == bin(pattern).count("1")
+
+    @settings(max_examples=200, deadline=None)
+    @given(pattern=patterns32, trigger=st.integers(0, 31))
+    def test_trigger_bit_lands_at_zero(self, pattern, trigger):
+        pattern |= 1 << trigger  # ensure the trigger's bit is set
+        anchored = anchor_pattern(pattern, trigger, 32)
+        assert anchored & 1
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        pattern=patterns32,
+        shift=st.integers(0, 31),
+        trigger=st.integers(0, 31),
+    )
+    def test_shift_invariance(self, pattern, shift, trigger):
+        """A layout and its page-rotated copy anchor to the same pattern
+        when their triggers move with the layout — Figure 2's property."""
+        from repro.core.bitpattern import rotate_left
+
+        shifted = rotate_left(pattern, shift, 32)
+        a = anchor_pattern(pattern, trigger, 32)
+        b = anchor_pattern(shifted, (trigger + shift) % 32, 32)
+        assert a == b
+
+
+class TestCompression:
+    @settings(max_examples=200, deadline=None)
+    @given(pattern=patterns64)
+    def test_expansion_covers_original(self, pattern):
+        """Compression may over-predict but never drops a touched line."""
+        roundtrip = expand_pattern(compress_pattern(pattern, 64), 32)
+        assert pattern & ~roundtrip == 0
+
+    @settings(max_examples=200, deadline=None)
+    @given(pattern=patterns64)
+    def test_overprediction_bounded_by_half(self, pattern):
+        """Each set bit drags in at most its companion: <= 50% extra."""
+        roundtrip = expand_pattern(compress_pattern(pattern, 64), 32)
+        extra = bin(roundtrip & ~pattern).count("1")
+        predicted = bin(roundtrip).count("1")
+        if predicted:
+            assert extra / predicted <= 0.5
+
+    @settings(max_examples=200, deadline=None)
+    @given(pattern=patterns32)
+    def test_compress_expand_compress_is_stable(self, pattern):
+        expanded = expand_pattern(pattern, 32)
+        assert compress_pattern(expanded, 64) == pattern
+
+
+class TestSelectionTree:
+    @settings(max_examples=200, deadline=None)
+    @given(bw=buckets, cov_sat=st.booleans(), acc_sat=st.booleans())
+    def test_total_and_valid(self, bw, cov_sat, acc_sat):
+        choice = select_pattern(bw, cov_sat, acc_sat)
+        assert choice.pattern in ("cov", "acc", "none")
+
+    @settings(max_examples=100, deadline=None)
+    @given(cov_sat=st.booleans(), acc_sat=st.booleans())
+    def test_never_covp_at_top_quartile(self, cov_sat, acc_sat):
+        """Figure 10: at >=75% utilization only AccP (or nothing) fires."""
+        choice = select_pattern(3, cov_sat, acc_sat)
+        assert choice.pattern != "cov"
+
+    @settings(max_examples=100, deadline=None)
+    @given(bw=st.integers(0, 1), cov_sat=st.booleans(), acc_sat=st.booleans())
+    def test_low_utilization_always_covp(self, bw, cov_sat, acc_sat):
+        choice = select_pattern(bw, cov_sat, acc_sat)
+        assert choice.pattern == "cov"
+
+
+class TestQuartileMonotonicity:
+    @settings(max_examples=200, deadline=None)
+    @given(
+        denominator=st.integers(1, 64),
+        a=st.integers(0, 64),
+        b=st.integers(0, 64),
+    )
+    def test_monotone_in_numerator(self, denominator, a, b):
+        lo, hi = sorted((a, b))
+        assert quantize_quartile(lo, denominator) <= quantize_quartile(hi, denominator)
+
+    @settings(max_examples=100, deadline=None)
+    @given(numerator=st.integers(0, 64), denominator=st.integers(1, 64))
+    def test_bucket_range(self, numerator, denominator):
+        assert 0 <= quantize_quartile(numerator, denominator) <= 3
+
+
+class TestCompositeDedup:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        lines_a=st.lists(st.integers(0, 127), max_size=10),
+        lines_b=st.lists(st.integers(0, 127), max_size=10),
+    )
+    def test_no_duplicate_candidates(self, lines_a, lines_b):
+        from repro.prefetchers.base import PrefetchCandidate, Prefetcher
+        from repro.prefetchers.composite import CompositePrefetcher
+
+        class Fixed(Prefetcher):
+            def __init__(self, lines):
+                self.lines = lines
+                self.name = "fixed"
+
+            def train(self, cycle, pc, addr, hit):
+                return [PrefetchCandidate(line) for line in self.lines]
+
+        combo = CompositePrefetcher([Fixed(lines_a), Fixed(lines_b)])
+        out = combo.train(0, 0, 0, False)
+        addrs = [c.line_addr for c in out]
+        assert len(addrs) == len(set(addrs))
+        assert set(addrs) == set(lines_a) | set(lines_b)

@@ -1,0 +1,141 @@
+"""Tests for metrics helpers and the pollution classifier."""
+
+import pytest
+
+from repro.metrics.pollution import PollutionBreakdown, classify_pollution
+from repro.metrics.stats import (
+    FigureResult,
+    category_geomeans,
+    geomean,
+    render_table,
+    speedup_pct,
+)
+
+
+class TestGeomean:
+    def test_single_value(self):
+        assert geomean([2.0]) == pytest.approx(2.0)
+
+    def test_known_value(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_empty(self):
+        assert geomean([]) == 0.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    def test_order_independent(self):
+        assert geomean([1.1, 2.2, 3.3]) == pytest.approx(geomean([3.3, 1.1, 2.2]))
+
+
+class TestSpeedup:
+    def test_pct(self):
+        assert speedup_pct(1.2, 1.0) == pytest.approx(20.0)
+
+    def test_slowdown_negative(self):
+        assert speedup_pct(0.9, 1.0) == pytest.approx(-10.0)
+
+    def test_rejects_zero_baseline(self):
+        with pytest.raises(ValueError):
+            speedup_pct(1.0, 0.0)
+
+
+class TestCategoryGeomeans:
+    def test_grouping_and_overall(self):
+        speedups = {"a.x": 1.2, "a.y": 1.2, "b.z": 1.5}
+        cats = {"a.x": "A", "a.y": "A", "b.z": "B"}
+        out = category_geomeans(speedups, cats)
+        assert out["A"] == pytest.approx(20.0)
+        assert out["B"] == pytest.approx(50.0)
+        assert out["GEOMEAN"] == pytest.approx(100.0 * (geomean(speedups.values()) - 1))
+
+    def test_empty(self):
+        assert category_geomeans({}, {})["GEOMEAN"] == 0.0
+
+
+class TestRendering:
+    def test_figure_result_roundtrip(self):
+        fig = FigureResult("f", "T", ["c1", "c2"])
+        fig.add_row("r", {"c1": 1.0, "c2": -2.0})
+        assert fig.value("r", "c2") == -2.0
+        text = fig.render()
+        assert "T" in text and "r" in text and "+1.0" in text and "-2.0" in text
+
+    def test_missing_cells_dash(self):
+        text = render_table("t", ["a", "b"], {"r": {"a": 1.0}})
+        assert "-" in text
+
+    def test_string_cells_pass_through(self):
+        text = render_table("t", ["a"], {"r": {"a": "yes"}})
+        assert "yes" in text
+
+    def test_notes_rendered(self):
+        fig = FigureResult("f", "T", ["c"], notes=["hello note"])
+        assert "hello note" in fig.render()
+
+
+class TestPollutionClassifier:
+    def test_no_reuse(self):
+        breakdown = classify_pollution(
+            victim_events=[(10, 0xAA)],
+            demand_events=[(5, 0xAA)],  # only before the eviction
+            prefetch_fills=[],
+            reuse_window=100,
+        )
+        assert breakdown.no_reuse == 1
+
+    def test_reuse_outside_window_is_no_reuse(self):
+        breakdown = classify_pollution(
+            victim_events=[(10, 0xAA)],
+            demand_events=[(500, 0xAA)],
+            prefetch_fills=[],
+            reuse_window=100,
+        )
+        assert breakdown.no_reuse == 1
+
+    def test_bad_pollution(self):
+        breakdown = classify_pollution(
+            victim_events=[(10, 0xAA)],
+            demand_events=[(50, 0xAA)],
+            prefetch_fills=[],
+            reuse_window=100,
+        )
+        assert breakdown.bad_pollution == 1
+
+    def test_prefetched_before_use(self):
+        breakdown = classify_pollution(
+            victim_events=[(10, 0xAA)],
+            demand_events=[(50, 0xAA)],
+            prefetch_fills=[(30, 0xAA)],
+            reuse_window=100,
+        )
+        assert breakdown.prefetched_before_use == 1
+
+    def test_prefetch_after_demand_does_not_count(self):
+        breakdown = classify_pollution(
+            victim_events=[(10, 0xAA)],
+            demand_events=[(50, 0xAA)],
+            prefetch_fills=[(70, 0xAA)],
+            reuse_window=100,
+        )
+        assert breakdown.bad_pollution == 1
+
+    def test_mixed_events(self):
+        breakdown = classify_pollution(
+            victim_events=[(10, 1), (10, 2), (10, 3)],
+            demand_events=[(20, 1), (30, 2)],
+            prefetch_fills=[(15, 1)],
+            reuse_window=100,
+        )
+        assert breakdown.prefetched_before_use == 1  # line 1
+        assert breakdown.bad_pollution == 1  # line 2
+        assert breakdown.no_reuse == 1  # line 3
+
+    def test_fractions_sum_to_one(self):
+        b = PollutionBreakdown(no_reuse=8, prefetched_before_use=1, bad_pollution=1)
+        assert sum(b.fractions().values()) == pytest.approx(1.0)
+
+    def test_empty_defaults_to_no_reuse(self):
+        assert PollutionBreakdown().fractions()["NoReuse"] == 1.0

@@ -1,0 +1,171 @@
+"""Tests for AMPM, the streamer, composites and the registry."""
+
+import pytest
+
+from repro.memory.dram import FixedBandwidth
+from repro.prefetchers.ampm import AMPM
+from repro.prefetchers.base import NullPrefetcher, PrefetchCandidate, Prefetcher
+from repro.prefetchers.composite import CompositePrefetcher
+from repro.prefetchers.registry import available_prefetchers, build_prefetcher
+from repro.prefetchers.streamer import StreamPrefetcher
+
+
+def addr_of(page, offset):
+    return (page << 12) | (offset << 6)
+
+
+class TestAMPM:
+    def test_two_strides_matched_prefetches_third(self):
+        pf = AMPM(degree=1)
+        pf.train(0, 0x400, addr_of(0x10, 0), False)
+        pf.train(1, 0x400, addr_of(0x10, 4), False)
+        cands = pf.train(2, 0x400, addr_of(0x10, 8), False)
+        assert [c.line_addr & 63 for c in cands] == [12]
+
+    def test_no_match_no_prefetch(self):
+        pf = AMPM()
+        pf.train(0, 0x400, addr_of(0x10, 0), False)
+        assert not pf.train(1, 0x400, addr_of(0x10, 31), False)
+
+    def test_negative_stride(self):
+        pf = AMPM(degree=1)
+        pf.train(0, 0x400, addr_of(0x10, 40), False)
+        pf.train(1, 0x400, addr_of(0x10, 36), False)
+        cands = pf.train(2, 0x400, addr_of(0x10, 32), False)
+        assert [c.line_addr & 63 for c in cands] == [28]
+
+    def test_map_capacity(self):
+        pf = AMPM(map_entries=4)
+        for page in range(20):
+            pf.train(0, 0x400, addr_of(page, 0), False)
+        assert len(pf._maps) <= 4
+
+    def test_already_accessed_not_prefetched(self):
+        pf = AMPM(degree=2)
+        for off in (0, 1, 2, 3):
+            pf.train(0, 0x400, addr_of(0x10, off), False)
+        cands = pf.train(1, 0x400, addr_of(0x10, 4), False)
+        assert all((c.line_addr & 63) > 4 for c in cands)
+
+    def test_storage(self):
+        assert AMPM().storage_bits() == 64 * 100
+
+
+class TestStreamer:
+    def test_ascending_run_prefetches_ahead(self):
+        pf = StreamPrefetcher(degree=3)
+        pf.train(0, 0x400, addr_of(0x10, 0), False)
+        pf.train(1, 0x400, addr_of(0x10, 1), False)
+        cands = pf.train(2, 0x400, addr_of(0x10, 2), False)
+        assert [c.line_addr & 63 for c in cands] == [3, 4, 5]
+
+    def test_descending_run(self):
+        pf = StreamPrefetcher(degree=2)
+        pf.train(0, 0x400, addr_of(0x10, 10), False)
+        pf.train(1, 0x400, addr_of(0x10, 9), False)
+        cands = pf.train(2, 0x400, addr_of(0x10, 8), False)
+        assert [c.line_addr & 63 for c in cands] == [7, 6]
+
+    def test_direction_flip_resets(self):
+        pf = StreamPrefetcher(degree=2)
+        pf.train(0, 0x400, addr_of(0x10, 0), False)
+        pf.train(1, 0x400, addr_of(0x10, 1), False)
+        pf.train(2, 0x400, addr_of(0x10, 2), False)
+        cands = pf.train(3, 0x400, addr_of(0x10, 1), False)
+        assert cands != ()  # one flip retains some confidence
+        pf2 = StreamPrefetcher(degree=2)
+        pf2.train(0, 0x400, addr_of(0x10, 5), False)
+        assert pf2.train(1, 0x400, addr_of(0x10, 5), False) == ()
+
+    def test_stays_in_page(self):
+        pf = StreamPrefetcher(degree=8)
+        pf.train(0, 0x400, addr_of(0x10, 61), False)
+        pf.train(1, 0x400, addr_of(0x10, 62), False)
+        cands = pf.train(2, 0x400, addr_of(0x10, 63), False)
+        assert all((c.line_addr & 63) > 60 for c in cands)
+
+    def test_tracked_pages_bounded(self):
+        pf = StreamPrefetcher(tracked_pages=2)
+        for page in range(10):
+            pf.train(0, 0x400, addr_of(page, 0), False)
+        assert len(pf._streams) <= 2
+
+
+class TestComposite:
+    class ScriptedPf(Prefetcher):
+        def __init__(self, name, lines):
+            self.name = name
+            self.lines = lines
+            self.useful = 0
+
+        def train(self, cycle, pc, addr, hit):
+            return [PrefetchCandidate(line) for line in self.lines]
+
+        def note_useful_prefetch(self, cycle, line_addr):
+            self.useful += 1
+
+        def storage_breakdown(self):
+            return {"table": 100}
+
+    def test_merges_candidates(self):
+        comp = CompositePrefetcher(
+            [self.ScriptedPf("a", [1, 2]), self.ScriptedPf("b", [3])]
+        )
+        cands = comp.train(0, 0, 0, False)
+        assert [c.line_addr for c in cands] == [1, 2, 3]
+
+    def test_duplicates_suppressed_first_wins(self):
+        comp = CompositePrefetcher(
+            [self.ScriptedPf("a", [1, 2]), self.ScriptedPf("b", [2, 3])]
+        )
+        cands = comp.train(0, 0, 0, False)
+        assert [c.line_addr for c in cands] == [1, 2, 3]
+
+    def test_name_derived_from_components(self):
+        comp = CompositePrefetcher([self.ScriptedPf("a", []), self.ScriptedPf("b", [])])
+        assert comp.name == "a+b"
+
+    def test_feedback_fanout(self):
+        a, b = self.ScriptedPf("a", []), self.ScriptedPf("b", [])
+        CompositePrefetcher([a, b]).note_useful_prefetch(0, 42)
+        assert a.useful == 1 and b.useful == 1
+
+    def test_storage_summed(self):
+        comp = CompositePrefetcher([self.ScriptedPf("a", []), self.ScriptedPf("b", [])])
+        assert comp.storage_bits() == 200
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CompositePrefetcher([])
+
+
+class TestRegistry:
+    def test_known_names_build(self):
+        bw = FixedBandwidth(0)
+        for name in available_prefetchers():
+            pf = build_prefetcher(name, bw)
+            assert hasattr(pf, "train")
+
+    def test_none_is_null(self):
+        assert isinstance(build_prefetcher("none", FixedBandwidth(0)), NullPrefetcher)
+
+    def test_composite_name(self):
+        pf = build_prefetcher("spp+dspatch", FixedBandwidth(0))
+        assert isinstance(pf, CompositePrefetcher)
+        assert [c.name for c in pf.components] == ["spp", "dspatch"]
+
+    def test_triple_composite(self):
+        pf = build_prefetcher("spp+bop+dspatch", FixedBandwidth(0))
+        assert len(pf.components) == 3
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            build_prefetcher("nextline-9000", FixedBandwidth(0))
+
+    def test_case_insensitive(self):
+        assert build_prefetcher("SPP", FixedBandwidth(0)).name == "spp"
+
+    def test_null_prefetcher_behaviour(self):
+        pf = NullPrefetcher()
+        assert pf.train(0, 0, 0, False) == ()
+        assert pf.storage_bits() == 0

@@ -1,0 +1,71 @@
+"""Tests for the multi-programmed mix construction (Section 4.2)."""
+
+import pytest
+
+from repro.workloads.catalog import MEMORY_INTENSIVE
+from repro.workloads.mixes import (
+    CORE_ADDRESS_STRIDE,
+    build_mix_traces,
+    heterogeneous_mixes,
+    homogeneous_mixes,
+)
+
+
+class TestHomogeneous:
+    def test_one_mix_per_memory_intensive_workload(self):
+        mixes = homogeneous_mixes()
+        assert len(mixes) == len(MEMORY_INTENSIVE) == 42
+
+    def test_each_mix_is_four_copies(self):
+        for name, picks in homogeneous_mixes():
+            assert picks == [name] * 4
+
+
+class TestHeterogeneous:
+    def test_count_respected(self):
+        assert len(heterogeneous_mixes(count=7)) == 7
+
+    def test_mixes_have_four_distinct_workloads(self):
+        for _name, picks in heterogeneous_mixes(count=10):
+            assert len(picks) == 4
+            assert len(set(picks)) == 4
+
+    def test_seed_reproducible(self):
+        assert heterogeneous_mixes(count=5) == heterogeneous_mixes(count=5)
+
+    def test_different_seed_differs(self):
+        a = heterogeneous_mixes(count=5, seed=1)
+        b = heterogeneous_mixes(count=5, seed=2)
+        assert a != b
+
+    def test_small_pool_rejected(self):
+        with pytest.raises(ValueError):
+            heterogeneous_mixes(count=1, workloads=["a", "b"])
+
+
+class TestMixTraces:
+    def test_address_spaces_disjoint(self):
+        names = [MEMORY_INTENSIVE[0]] * 4
+        traces = build_mix_traces(names, length_per_core=400)
+        ranges = []
+        for trace in traces:
+            ranges.append((int(trace.addrs.min()), int(trace.addrs.max())))
+        for i, (lo_i, hi_i) in enumerate(ranges):
+            for j, (lo_j, hi_j) in enumerate(ranges):
+                if i < j:
+                    assert hi_i < lo_j or hi_j < lo_i
+
+    def test_copies_not_lockstep(self):
+        """Four copies of one workload must differ (distinct seeds)."""
+        names = [MEMORY_INTENSIVE[0]] * 4
+        traces = build_mix_traces(names, length_per_core=400)
+        base = (traces[0].addrs - traces[0].addrs.min()).tolist()
+        other = (traces[1].addrs - traces[1].addrs.min()).tolist()
+        assert base != other
+
+    def test_stride_large_enough(self):
+        names = list(dict(homogeneous_mixes()[:1]).values())[0]
+        traces = build_mix_traces(names, length_per_core=200)
+        for trace in traces:
+            span = int(trace.addrs.max() - trace.addrs.min())
+            assert span < CORE_ADDRESS_STRIDE

@@ -1,0 +1,70 @@
+"""Tests for the markdown reproduction-report generator."""
+
+import pytest
+
+from repro.experiments.report import PAPER_CLAIMS, generate_report, write_report
+from repro.experiments.runner import clear_run_cache
+from repro.experiments.scale import Scale
+
+TINY = Scale(
+    trace_len=1500,
+    workloads_per_category=1,
+    mix_count=1,
+    mix_trace_len=800,
+    full=False,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_run_cache()
+    yield
+    clear_run_cache()
+
+
+class TestGenerate:
+    def test_single_figure_report(self):
+        text = generate_report(["table1"], TINY)
+        assert "# DSPatch reproduction report" in text
+        assert "## table1" in text
+        assert PAPER_CLAIMS["table1"] in text
+        assert "```" in text
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(ValueError):
+            generate_report(["fig99"], TINY)
+
+    def test_claims_cover_all_figures(self):
+        from repro.experiments.figures import ALL_FIGURES
+
+        assert set(PAPER_CLAIMS) == set(ALL_FIGURES)
+
+    def test_charts_can_be_disabled(self):
+        with_charts = generate_report(["fig05"], TINY, include_charts=True)
+        without = generate_report(["fig05"], TINY, include_charts=False)
+        assert len(without) <= len(with_charts)
+
+
+class TestWrite:
+    def test_writes_file(self, tmp_path):
+        path = tmp_path / "report.md"
+        out = write_report(path, ["table1"], TINY)
+        assert out == path
+        assert path.read_text().startswith("# DSPatch reproduction report")
+
+    def test_cli_report_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "r.md"
+        import os
+
+        env_backup = dict(os.environ)
+        os.environ["REPRO_TRACE_LEN"] = "1200"
+        os.environ["REPRO_WORKLOADS_PER_CATEGORY"] = "1"
+        try:
+            assert main(["report", "table1", "table3", "--output", str(path)]) == 0
+        finally:
+            os.environ.clear()
+            os.environ.update(env_backup)
+        assert "wrote" in capsys.readouterr().out
+        assert "table3" in path.read_text()

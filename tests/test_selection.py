@@ -1,0 +1,63 @@
+"""Tests for the Figure 10 pattern-selection tree."""
+
+import pytest
+
+from repro.core.selection import NO_PREFETCH, PatternChoice, select_pattern
+
+
+class TestFigure10TruthTable:
+    """Every branch of Figure 10, exhaustively."""
+
+    def test_bucket3_accp_healthy(self):
+        choice = select_pattern(3, measure_covp_saturated=False, measure_accp_saturated=False)
+        assert choice.pattern == "acc"
+
+    def test_bucket3_accp_saturated_no_prefetch(self):
+        choice = select_pattern(3, measure_covp_saturated=False, measure_accp_saturated=True)
+        assert choice.pattern == "none"
+        assert not choice.prefetches
+
+    def test_bucket3_ignores_covp_measure(self):
+        a = select_pattern(3, True, False)
+        b = select_pattern(3, False, False)
+        assert a == b
+
+    def test_bucket2_covp_healthy_uses_covp(self):
+        assert select_pattern(2, False, False).pattern == "cov"
+
+    def test_bucket2_covp_saturated_uses_accp(self):
+        assert select_pattern(2, True, False).pattern == "acc"
+
+    def test_bucket2_accp_measure_irrelevant(self):
+        assert select_pattern(2, True, True).pattern == "acc"
+
+    @pytest.mark.parametrize("bucket", [0, 1])
+    def test_low_bw_always_covp(self, bucket):
+        for cov_sat in (False, True):
+            for acc_sat in (False, True):
+                assert select_pattern(bucket, cov_sat, acc_sat).pattern == "cov"
+
+    @pytest.mark.parametrize("bucket", [0, 1])
+    def test_low_bw_saturated_covp_fills_low_priority(self, bucket):
+        assert select_pattern(bucket, True, False).low_priority
+        assert not select_pattern(bucket, False, False).low_priority
+
+    def test_high_bw_never_low_priority(self):
+        assert not select_pattern(3, False, False).low_priority
+        assert not select_pattern(2, True, False).low_priority
+
+    def test_invalid_bucket_rejected(self):
+        with pytest.raises(ValueError):
+            select_pattern(4, False, False)
+        with pytest.raises(ValueError):
+            select_pattern(-1, False, False)
+
+
+class TestPatternChoice:
+    def test_no_prefetch_constant(self):
+        assert NO_PREFETCH.pattern == "none"
+        assert not NO_PREFETCH.prefetches
+
+    def test_prefetches_flag(self):
+        assert PatternChoice("cov").prefetches
+        assert PatternChoice("acc").prefetches

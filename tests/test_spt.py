@@ -1,0 +1,249 @@
+"""Tests for the Signature Prediction Table (Section 3.6 learning rules)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.spt import (
+    COUNTER_MAX,
+    SignaturePredictionTable,
+    SptEntry,
+    fold_xor_hash,
+)
+
+halves = st.integers(min_value=0, max_value=0xFFFF)
+
+
+class TestFoldXorHash:
+    def test_small_pc_unchanged(self):
+        assert fold_xor_hash(0x42, bits=8) == 0x42
+
+    def test_folds_high_bits(self):
+        assert fold_xor_hash(0x100, bits=8) == 0x1
+
+    def test_range(self):
+        for pc in (0, 0x401234, 0xFFFF_FFFF_FFFF_FFFF):
+            assert 0 <= fold_xor_hash(pc, bits=8) < 256
+
+    def test_deterministic(self):
+        assert fold_xor_hash(0x400100) == fold_xor_hash(0x400100)
+
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_always_in_range(self, pc):
+        assert 0 <= fold_xor_hash(pc, bits=8) < 256
+
+
+class TestHalfAccessors:
+    def test_set_get_half0(self):
+        e = SptEntry()
+        e.set_covp_half(0, 0xABCD)
+        assert e.covp_half(0) == 0xABCD
+        assert e.covp_half(1) == 0
+
+    def test_set_get_half1(self):
+        e = SptEntry()
+        e.set_covp_half(1, 0x1234)
+        assert e.covp == 0x1234 << 16
+        assert e.covp_half(1) == 0x1234
+
+    def test_halves_independent(self):
+        e = SptEntry()
+        e.set_covp_half(0, 0xFFFF)
+        e.set_covp_half(1, 0x0001)
+        e.set_covp_half(0, 0x00FF)
+        assert e.covp_half(0) == 0x00FF
+        assert e.covp_half(1) == 0x0001
+
+    def test_accp_halves(self):
+        e = SptEntry()
+        e.set_accp_half(0, 0xF0F0)
+        assert e.accp_half(0) == 0xF0F0
+        assert e.accp == 0xF0F0
+
+
+class TestCovPModulation:
+    def test_or_grows_pattern(self):
+        e = SptEntry()
+        e.update_half(0, 0b0011, bw_bucket=0)
+        e.update_half(0, 0b1100, bw_bucket=0)
+        assert e.covp_half(0) == 0b1111
+
+    def test_or_count_increments_only_when_bits_added(self):
+        e = SptEntry()
+        e.update_half(0, 0b0011, bw_bucket=0)
+        assert e.or_count[0] == 1
+        e.update_half(0, 0b0011, bw_bucket=0)  # no new bits
+        assert e.or_count[0] == 1
+        e.update_half(0, 0b0111, bw_bucket=0)
+        assert e.or_count[0] == 2
+
+    def test_or_capped_at_three(self):
+        """Section 3.6: at most three OR operations grow CovP.
+
+        The programs grow monotonically so accuracy/coverage stay good and
+        no reset path interferes; after the third bit-adding OR the pattern
+        freezes.
+        """
+        e = SptEntry()
+        for program in (0b1, 0b11, 0b111, 0b1111, 0b11111):
+            e.update_half(0, program, bw_bucket=0)
+        assert e.or_count[0] == COUNTER_MAX
+        assert e.covp_half(0) == 0b111  # growth stopped after three ORs
+
+    def test_measure_covp_increments_on_bad_accuracy(self):
+        e = SptEntry()
+        e.set_covp_half(0, 0xFFFF)  # dense prediction
+        e.update_half(0, 0b1, bw_bucket=0)  # program touched 1 of 16 -> bad accuracy
+        assert e.measure_covp[0] == 1
+
+    def test_measure_covp_increments_on_bad_coverage(self):
+        e = SptEntry()
+        e.set_covp_half(0, 0b1)  # predicts one block
+        e.update_half(0, 0xFFFF, bw_bucket=0)  # program touched 16 -> coverage 1/16
+        assert e.measure_covp[0] == 1
+
+    def test_measure_covp_steady_when_good(self):
+        e = SptEntry()
+        e.set_covp_half(0, 0b1111)
+        e.update_half(0, 0b1111, bw_bucket=0)  # perfect accuracy and coverage
+        assert e.measure_covp[0] == 0
+
+    def test_measure_covp_saturates(self):
+        e = SptEntry()
+        e.set_covp_half(0, 0xFFFF)
+        for _ in range(10):
+            e.update_half(0, 0b1, bw_bucket=1)  # bad accuracy, coverage fine (covp covers prog)
+        assert e.measure_covp[0] == COUNTER_MAX
+
+    def test_reset_on_saturation_at_high_bw(self):
+        """Saturated MeasureCovP + bucket 3 -> relearn from program pattern."""
+        e = SptEntry()
+        e.set_covp_half(0, 0xFFFF)
+        for _ in range(COUNTER_MAX):
+            e.update_half(0, 0b1, bw_bucket=0)
+        assert e.measure_covp[0] == COUNTER_MAX
+        e.update_half(0, 0b10, bw_bucket=3)
+        assert e.covp_half(0) == 0b10
+        assert e.or_count[0] == 0
+        assert e.measure_covp[0] == 0
+
+    def test_reset_on_saturation_with_bad_coverage(self):
+        """Saturated MeasureCovP + coverage < 50% -> relearn even at low BW.
+
+        CovP's OR budget must be exhausted first, otherwise the OR itself
+        absorbs the program pattern and coverage recovers.
+        """
+        e = SptEntry()
+        for program in (0b1, 0b11, 0b111, 0b1111):
+            e.update_half(0, program, bw_bucket=0)
+        assert e.or_count[0] == COUNTER_MAX
+        # The program moves elsewhere: frozen CovP covers none of it.
+        for _ in range(COUNTER_MAX):
+            e.update_half(0, 0xFF00, bw_bucket=0)
+        # Saturation plus <50% coverage triggered the relearn.
+        assert e.covp_half(0) == 0xFF00
+        assert e.or_count[0] == 0
+        assert e.measure_covp[0] == 0
+
+    def test_no_reset_at_low_bw_with_good_coverage(self):
+        """Saturated via bad accuracy, but dense CovP covers the program:
+        at low BW the pattern is retained (no reset condition holds)."""
+        e = SptEntry()
+        e.set_covp_half(0, 0xFFFF)
+        for _ in range(6):
+            e.update_half(0, 0b1, bw_bucket=0)
+        assert e.measure_covp[0] == COUNTER_MAX
+        assert e.covp_half(0) == 0xFFFF
+
+
+class TestAccPModulation:
+    def test_accp_is_and_of_program_and_covp(self):
+        e = SptEntry()
+        e.set_covp_half(0, 0b1111)
+        e.update_half(0, 0b0110, bw_bucket=0)
+        assert e.accp_half(0) == 0b0110  # program & covp
+
+    def test_accp_replaced_not_accumulated(self):
+        e = SptEntry()
+        e.set_covp_half(0, 0xFFFF)
+        e.update_half(0, 0b0011, bw_bucket=0)
+        e.update_half(0, 0b1100, bw_bucket=0)
+        assert e.accp_half(0) == 0b1100  # only the latest AND survives
+
+    def test_accp_subset_of_covp(self):
+        e = SptEntry()
+        for p in (0b1010, 0b0110, 0b1111, 0b0001):
+            e.update_half(0, p, bw_bucket=0)
+            assert e.accp_half(0) & ~e.covp_half(0) == 0
+
+    def test_measure_accp_increments_on_bad_accuracy(self):
+        e = SptEntry()
+        e.set_covp_half(0, 0xFFFF)
+        e.set_accp_half(0, 0xFFFF)
+        e.update_half(0, 0b1, bw_bucket=0)
+        assert e.measure_accp[0] == 1
+
+    def test_measure_accp_decrements_on_good_accuracy(self):
+        e = SptEntry()
+        e.measure_accp[0] = 2
+        e.set_covp_half(0, 0b11)
+        e.set_accp_half(0, 0b11)
+        e.update_half(0, 0b11, bw_bucket=0)
+        assert e.measure_accp[0] == 1
+
+    def test_measure_accp_saturates_both_ways(self):
+        e = SptEntry()
+        e.set_covp_half(0, 0xFFFF)
+        e.set_accp_half(0, 0xFFFF)
+        for _ in range(10):
+            e.update_half(0, 0b1, bw_bucket=0)
+            e.set_accp_half(0, 0xFFFF)  # force bad accuracy each round
+        assert e.measure_accp[0] == COUNTER_MAX
+        e2 = SptEntry()
+        for _ in range(10):
+            e2.set_covp_half(0, 0b11)
+            e2.set_accp_half(0, 0b11)
+            e2.update_half(0, 0b11, bw_bucket=0)
+        assert e2.measure_accp[0] == 0
+
+    @given(halves, halves, halves)
+    def test_accp_always_subset_of_program(self, covp, accp, program):
+        e = SptEntry()
+        e.set_covp_half(0, covp)
+        e.set_accp_half(0, accp)
+        e.update_half(0, program, bw_bucket=0)
+        assert e.accp_half(0) & ~program == 0
+
+
+class TestTable:
+    def test_default_size(self):
+        t = SignaturePredictionTable()
+        assert t.entries == 256
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            SignaturePredictionTable(entries=100)
+
+    def test_tagless_lookup_always_returns_entry(self):
+        t = SignaturePredictionTable()
+        assert isinstance(t.lookup(0xDEADBEEF), SptEntry)
+
+    def test_aliasing_pcs_share_entry(self):
+        t = SignaturePredictionTable(entries=256)
+        a = t.lookup(0x100)  # folds to 0x01 ^ 0x00 = 1
+        b = t.lookup_by_signature(t.index_of(0x100))
+        assert a is b
+
+    def test_distinct_indices_distinct_entries(self):
+        t = SignaturePredictionTable()
+        assert t.lookup_by_signature(3) is not t.lookup_by_signature(4)
+
+    def test_storage_bits_match_table1(self):
+        t = SignaturePredictionTable(entries=256)
+        assert t.storage_bits() == 256 * 76 == 19456
+
+    def test_reset_clears_patterns(self):
+        t = SignaturePredictionTable()
+        t.lookup_by_signature(5).set_covp_half(0, 0xFF)
+        t.reset()
+        assert t.lookup_by_signature(5).covp == 0

@@ -1,0 +1,82 @@
+"""Tests for the L1 PC-stride prefetcher."""
+
+import pytest
+
+from repro.prefetchers.stride import PcStridePrefetcher
+
+
+def train_sequence(pf, pc, lines, start_cycle=0):
+    out = []
+    for i, line in enumerate(lines):
+        out.append(list(pf.train(start_cycle + i, pc, line << 6, hit=False)))
+    return out
+
+
+class TestStride:
+    def test_no_prefetch_before_confidence(self):
+        pf = PcStridePrefetcher()
+        results = train_sequence(pf, 0x400, [10, 11])
+        assert all(not r for r in results)
+
+    def test_prefetch_after_two_matching_strides(self):
+        pf = PcStridePrefetcher(degree=1)
+        results = train_sequence(pf, 0x400, [10, 11, 12])
+        assert results[-1] == [] or results[-1][0].line_addr == 13
+        results = train_sequence(pf, 0x400, [13, 14])
+        assert results[-1][0].line_addr == 15
+
+    def test_negative_stride(self):
+        pf = PcStridePrefetcher(degree=1)
+        results = train_sequence(pf, 0x400, [50, 48, 46, 44])
+        assert results[-1][0].line_addr == 42
+
+    def test_large_stride(self):
+        pf = PcStridePrefetcher(degree=1)
+        results = train_sequence(pf, 0x400, [0, 8, 16, 24])
+        assert results[-1][0].line_addr == 32
+
+    def test_stride_change_resets_confidence(self):
+        pf = PcStridePrefetcher(degree=1)
+        train_sequence(pf, 0x400, [10, 11, 12, 13])
+        results = train_sequence(pf, 0x400, [20, 23])  # new stride
+        assert results[-1] == []
+
+    def test_degree_emits_multiple(self):
+        pf = PcStridePrefetcher(degree=3)
+        results = train_sequence(pf, 0x400, [10, 11, 12, 13])
+        assert [c.line_addr for c in results[-1]] == [14, 15, 16]
+
+    def test_stays_within_page(self):
+        pf = PcStridePrefetcher(degree=4)
+        results = train_sequence(pf, 0x400, [60, 61, 62])
+        lines = [c.line_addr for c in results[-1]]
+        assert all(line < 64 for line in lines)
+
+    def test_distinct_pcs_tracked_separately(self):
+        # 0x400 and 0x404 map to different table indices (0x500 would
+        # alias with 0x400 in the 64-entry direct-mapped table).
+        pf = PcStridePrefetcher(degree=1)
+        train_sequence(pf, 0x400, [10, 11, 12])
+        train_sequence(pf, 0x404, [100, 102, 104])
+        a = train_sequence(pf, 0x400, [13])[-1]
+        b = train_sequence(pf, 0x404, [106])[-1]
+        assert a and a[0].line_addr == 14
+        assert b and b[0].line_addr == 108
+
+    def test_zero_stride_ignored(self):
+        pf = PcStridePrefetcher(degree=1)
+        results = train_sequence(pf, 0x400, [10, 10, 10, 10])
+        assert all(not r for r in results)
+
+    def test_table_size_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            PcStridePrefetcher(table_entries=48)
+
+    def test_storage_positive(self):
+        assert PcStridePrefetcher().storage_bits() > 0
+
+    def test_reset_clears_state(self):
+        pf = PcStridePrefetcher(degree=1)
+        train_sequence(pf, 0x400, [10, 11, 12])
+        pf.reset()
+        assert train_sequence(pf, 0x400, [13])[-1] == []

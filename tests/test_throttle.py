@@ -1,0 +1,173 @@
+"""Tests for the feedback-directed prefetch throttle (FDP wrapper)."""
+
+import pytest
+
+from repro.prefetchers.base import PrefetchCandidate, Prefetcher
+from repro.prefetchers.throttle import FeedbackThrottle, ThrottleConfig
+
+
+class FixedEmitter(Prefetcher):
+    """Emits a constant number of candidates per train call."""
+
+    name = "emitter"
+
+    def __init__(self, per_train=10):
+        self.per_train = per_train
+        self.useful_notes = 0
+        self.useless_notes = 0
+
+    def train(self, cycle, pc, addr, hit):
+        base = addr >> 6
+        return [PrefetchCandidate(base + i + 1) for i in range(self.per_train)]
+
+    def note_useful_prefetch(self, cycle, line_addr):
+        self.useful_notes += 1
+
+    def note_useless_prefetch(self, cycle, line_addr):
+        self.useless_notes += 1
+
+    def storage_breakdown(self):
+        return {"table": 100}
+
+
+def feed_window(pf, useful, useless):
+    """Deliver one feedback window's worth of usefulness callbacks."""
+    for _ in range(useful):
+        pf.note_useful_prefetch(0, 0)
+    for _ in range(useless):
+        pf.note_useless_prefetch(0, 0)
+
+
+class TestConfig:
+    def test_rejects_empty_levels(self):
+        with pytest.raises(ValueError):
+            ThrottleConfig(level_caps=())
+
+    def test_rejects_initial_out_of_range(self):
+        with pytest.raises(ValueError):
+            ThrottleConfig(initial_level=9)
+
+    def test_rejects_inverted_thresholds(self):
+        with pytest.raises(ValueError):
+            ThrottleConfig(accuracy_low=0.9, accuracy_high=0.5)
+
+
+class TestClamping:
+    def test_caps_candidates_at_level(self):
+        cfg = ThrottleConfig(level_caps=(0, 2, 4), initial_level=1, window=16)
+        pf = FeedbackThrottle(FixedEmitter(10), cfg)
+        assert len(pf.train(0, 0x400, 0x1000, False)) == 2
+
+    def test_level_zero_blocks_everything(self):
+        cfg = ThrottleConfig(level_caps=(0, 4), initial_level=0, window=16)
+        pf = FeedbackThrottle(FixedEmitter(10), cfg)
+        assert pf.train(0, 0x400, 0x1000, False) == ()
+
+    def test_top_level_passes_through(self):
+        cfg = ThrottleConfig(level_caps=(0, 2, 64), initial_level=2, window=16)
+        pf = FeedbackThrottle(FixedEmitter(10), cfg)
+        assert len(pf.train(0, 0x400, 0x1000, False)) == 10
+
+
+class TestController:
+    def test_high_accuracy_raises_level(self):
+        cfg = ThrottleConfig(level_caps=(0, 2, 4, 8), initial_level=1, window=10)
+        pf = FeedbackThrottle(FixedEmitter(), cfg)
+        feed_window(pf, useful=9, useless=1)  # 90% > high watermark
+        assert pf.level == 2
+        assert pf.level_ups == 1
+
+    def test_low_accuracy_lowers_level(self):
+        cfg = ThrottleConfig(level_caps=(0, 2, 4, 8), initial_level=2, window=10)
+        pf = FeedbackThrottle(FixedEmitter(), cfg)
+        feed_window(pf, useful=2, useless=8)  # 20% < low watermark
+        assert pf.level == 1
+        assert pf.level_downs == 1
+
+    def test_middling_accuracy_holds_level(self):
+        cfg = ThrottleConfig(level_caps=(0, 2, 4, 8), initial_level=2, window=10)
+        pf = FeedbackThrottle(FixedEmitter(), cfg)
+        feed_window(pf, useful=6, useless=4)  # 60%: between watermarks
+        assert pf.level == 2
+
+    def test_level_saturates_at_top(self):
+        cfg = ThrottleConfig(level_caps=(0, 4), initial_level=1, window=10)
+        pf = FeedbackThrottle(FixedEmitter(), cfg)
+        for _ in range(3):
+            feed_window(pf, useful=10, useless=0)
+        assert pf.level == 1
+
+    def test_level_saturates_at_zero(self):
+        cfg = ThrottleConfig(level_caps=(0, 4), initial_level=1, window=10)
+        pf = FeedbackThrottle(FixedEmitter(), cfg)
+        for _ in range(3):
+            feed_window(pf, useful=0, useless=10)
+        assert pf.level == 0
+
+    def test_window_resets_between_decisions(self):
+        cfg = ThrottleConfig(level_caps=(0, 2, 4), initial_level=1, window=10)
+        pf = FeedbackThrottle(FixedEmitter(), cfg)
+        feed_window(pf, useful=9, useless=1)
+        assert pf._window_useful == 0 and pf._window_useless == 0
+
+
+class TestPlumbing:
+    def test_feedback_forwarded_to_inner(self):
+        inner = FixedEmitter()
+        pf = FeedbackThrottle(inner, ThrottleConfig(window=1000))
+        pf.note_useful_prefetch(0, 1)
+        pf.note_useless_prefetch(0, 2)
+        assert inner.useful_notes == 1 and inner.useless_notes == 1
+
+    def test_storage_includes_controller(self):
+        pf = FeedbackThrottle(FixedEmitter())
+        breakdown = pf.storage_breakdown()
+        assert "fdp-controller" in breakdown
+        assert any(k.startswith("emitter/") for k in breakdown)
+
+    def test_registry_prefix(self):
+        from repro.memory.dram import FixedBandwidth
+        from repro.prefetchers.registry import build_prefetcher
+
+        pf = build_prefetcher("fdp:streamer", FixedBandwidth(0))
+        assert pf.name == "fdp(streamer)"
+
+    def test_registry_prefix_composes(self):
+        from repro.memory.dram import FixedBandwidth
+        from repro.prefetchers.registry import build_prefetcher
+
+        pf = build_prefetcher("spp+fdp:streamer", FixedBandwidth(0))
+        assert pf.name == "spp+fdp:streamer"
+
+    def test_reset_restores_initial_level(self):
+        cfg = ThrottleConfig(level_caps=(0, 2, 4), initial_level=2, window=10)
+        pf = FeedbackThrottle(FixedEmitter(), cfg)
+        feed_window(pf, useful=0, useless=10)
+        assert pf.level == 1
+        pf.reset()
+        assert pf.level == 2
+
+
+class TestEndToEnd:
+    def test_throttle_tames_inaccurate_streamer(self):
+        """Wrapping the aggressive streamer with FDP must reduce useless
+        prefetches on irregular traffic.
+
+        The controller feeds on usefulness callbacks, which require LLC
+        evictions — hence the deliberately small LLC here (the paper's
+        FDP [74] similarly measures accuracy on evicted prefetches).
+        """
+        from repro.cpu.system import System, SystemConfig
+        from repro.workloads.catalog import build_trace
+
+        trace = build_trace("ispec06.sjeng", 8000)  # noisy, low accuracy
+        small_llc = 256 * 1024
+        raw = System(
+            SystemConfig.single_thread("streamer", llc_bytes=small_llc)
+        ).run(trace)
+        tamed = System(
+            SystemConfig.single_thread("fdp:streamer", llc_bytes=small_llc)
+        ).run(trace)
+        assert raw.pf_useless > 0  # the feedback source exists
+        assert tamed.pf_issued < raw.pf_issued
+        assert tamed.pf_useless < raw.pf_useless

@@ -1,0 +1,103 @@
+"""Tests for the text trace interchange format."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu.trace import FLAG_DEP, FLAG_WRITE, Trace
+from repro.cpu.trace_io import TraceFormatError, load_text, save_text
+
+
+def make_trace(records):
+    gaps, pcs, addrs, flags = zip(*records) if records else ((), (), (), ())
+    return Trace(
+        np.array(gaps, dtype=np.int64),
+        np.array(pcs, dtype=np.int64),
+        np.array(addrs, dtype=np.int64),
+        np.array(flags, dtype=np.int64),
+    )
+
+
+class TestRoundTrip:
+    def test_simple(self, tmp_path):
+        trace = make_trace(
+            [
+                (100, 0x400000, 0x12345040, 0),
+                (63, 0x400004, 0x12345080, FLAG_WRITE),
+                (5, 0x400008, 0x123450C0, FLAG_DEP),
+                (0, 0x40000C, 0x12345100, FLAG_WRITE | FLAG_DEP),
+            ]
+        )
+        path = tmp_path / "t.trace"
+        save_text(trace, path)
+        back = load_text(path)
+        assert list(back) == list(trace)
+
+    def test_empty_trace(self, tmp_path):
+        trace = make_trace([])
+        path = tmp_path / "empty.trace"
+        save_text(trace, path)
+        assert len(load_text(path)) == 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        records=st.lists(
+            st.tuples(
+                st.integers(0, 10_000),
+                st.integers(0, 2**48 - 1),
+                st.integers(0, 2**48 - 1),
+                st.integers(0, 3),
+            ),
+            max_size=50,
+        )
+    )
+    def test_roundtrip_property(self, records, tmp_path_factory):
+        trace = make_trace(records)
+        path = tmp_path_factory.mktemp("traces") / "p.trace"
+        save_text(trace, path)
+        back = load_text(path)
+        assert list(back) == list(trace)
+
+    def test_generated_workload_roundtrips(self, tmp_path):
+        from repro.workloads.catalog import build_trace
+
+        trace = build_trace("ispec06.mcf", 500)
+        path = tmp_path / "mcf.trace"
+        save_text(trace, path)
+        back = load_text(path)
+        assert list(back) == list(trace)
+        assert back.instructions == trace.instructions
+
+
+class TestErrors:
+    def test_missing_header(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("10 0x1 0x2 0\n")
+        with pytest.raises(TraceFormatError):
+            load_text(path)
+
+    def test_wrong_field_count(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("# repro-trace v1\n10 0x1 0x2\n")
+        with pytest.raises(TraceFormatError):
+            load_text(path)
+
+    def test_unknown_flag(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("# repro-trace v1\n10 0x1 0x2 Z\n")
+        with pytest.raises(TraceFormatError):
+            load_text(path)
+
+    def test_non_numeric_gap(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("# repro-trace v1\nxx 0x1 0x2 0\n")
+        with pytest.raises(TraceFormatError):
+            load_text(path)
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "ok.trace"
+        path.write_text("# repro-trace v1\n# a comment\n\n10 0x1 0x40 W\n")
+        trace = load_text(path)
+        assert len(trace) == 1
+        assert trace[0] == (10, 0x1, 0x40, FLAG_WRITE)

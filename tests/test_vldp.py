@@ -1,0 +1,106 @@
+"""Tests for the Variable Length Delta Prefetcher (VLDP)."""
+
+import pytest
+
+from repro.prefetchers.vldp import VLDP, VldpConfig
+
+
+def train_offsets(pf, page, offsets, pc=0x400, start=0):
+    """Train a page's offset sequence; returns all candidates generated."""
+    out = []
+    for i, off in enumerate(offsets):
+        out.extend(pf.train(start + i * 40, pc, (page << 12) | (off << 6), hit=False))
+    return out
+
+
+class TestConfig:
+    def test_rejects_zero_history(self):
+        with pytest.raises(ValueError):
+            VLDP(VldpConfig(history_len=0))
+
+    def test_storage_near_original_budget(self):
+        # The MICRO'15 design quotes ~1KB.
+        assert VLDP().storage_kb() < 2.0
+
+    def test_storage_structures(self):
+        assert set(VLDP().storage_breakdown()) == {"dhb", "dpt-cascade", "opt"}
+
+
+class TestLearning:
+    def test_constant_stride_learned(self):
+        pf = VLDP()
+        cands = train_offsets(pf, 0x10, range(0, 40, 2))
+        assert cands
+        # All predictions extend the +2 stride.
+        assert all((c.line_addr & 63) % 2 == 0 for c in cands)
+
+    def test_multi_degree_walk(self):
+        pf = VLDP(VldpConfig(degree=4))
+        train_offsets(pf, 0x10, range(0, 30))
+        cands = pf.train(5000, 0x400, (0x11 << 12) | (0 << 6), hit=False)
+        # Fresh page: OPT may fire; after one delta, the walk chains.
+        cands2 = pf.train(5040, 0x400, (0x11 << 12) | (1 << 6), hit=False)
+        assert len(cands2) >= 2  # chained prediction, not a single delta
+
+    def test_longer_history_wins(self):
+        """A 2-delta history disambiguates what a 1-delta history cannot."""
+        pf = VLDP()
+        # Pattern A: +1 then +2 ...; Pattern B: +3 then +2 ... — after
+        # delta 2 the next depends on what preceded it.
+        train_offsets(pf, 0x10, [0, 1, 3, 4, 6, 7, 9, 10, 12, 13])  # +1,+2 repeating
+        # From history [+1, +2] the 2-delta DPT should predict +1.
+        out = pf._dpt_lookup([1, 2])
+        assert out == 1
+
+    def test_no_prediction_without_history(self):
+        pf = VLDP()
+        assert pf.train(0, 0x400, (0x10 << 12), hit=False) == ()
+
+    def test_zero_delta_ignored(self):
+        pf = VLDP()
+        pf.train(0, 0x400, (0x10 << 12) | (5 << 6), hit=False)
+        assert pf.train(40, 0x400, (0x10 << 12) | (5 << 6), hit=False) == ()
+
+    def test_candidates_stay_in_page(self):
+        pf = VLDP()
+        cands = train_offsets(pf, 0x10, range(50, 64, 2))
+        for c in cands:
+            assert c.line_addr >> 6 == 0x10
+
+
+class TestOpt:
+    def test_first_access_predicted_after_training(self):
+        """The OPT covers the second access of a fresh page."""
+        pf = VLDP()
+        # Several pages always start at offset 4 then touch 8.
+        for page in range(0x10, 0x20):
+            train_offsets(pf, page, [4, 8, 12])
+        cands = pf.train(9999 * 40, 0x400, (0x99 << 12) | (4 << 6), hit=False)
+        assert any((c.line_addr & 63) == 8 for c in cands)
+
+
+class TestEviction:
+    def test_dhb_capacity_bounded(self):
+        pf = VLDP(VldpConfig(dhb_entries=4))
+        for page in range(16):
+            pf.train(page * 40, 0x400, (page << 12), hit=False)
+        assert len(pf._dhb) <= 4
+
+    def test_dpt_capacity_bounded(self):
+        pf = VLDP(VldpConfig(dpt_entries=8))
+        import random
+
+        random.seed(1)
+        offs = [0]
+        while len(offs) < 400:
+            offs.append((offs[-1] + random.randrange(1, 9)) % 64)
+        train_offsets(pf, 0x10, offs)
+        for table in pf._dpts:
+            assert len(table) <= 8
+
+    def test_reset_clears_state(self):
+        pf = VLDP()
+        train_offsets(pf, 0x10, range(10))
+        pf.reset()
+        assert not pf._dhb and not pf._opt
+        assert all(not t for t in pf._dpts)

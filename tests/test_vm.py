@@ -1,0 +1,115 @@
+"""Tests for the virtual-memory substrate (page allocator, TLB, translation)."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.trace import Trace
+from repro.memory.vm import PageAllocator, Tlb, translate_trace
+
+
+def trace_of_pages(pages, offset=0):
+    addrs = np.array([(p << 12) | (offset << 6) for p in pages], dtype=np.int64)
+    n = len(pages)
+    return Trace(
+        np.full(n, 10, dtype=np.int64),
+        np.full(n, 0x400, dtype=np.int64),
+        addrs,
+        np.zeros(n, dtype=np.int64),
+    )
+
+
+class TestAllocator:
+    def test_mapping_is_stable(self):
+        alloc = PageAllocator()
+        assert alloc.frame_of(5) == alloc.frame_of(5)
+
+    def test_sequential_allocation_contiguous(self):
+        alloc = PageAllocator(fragmented=False)
+        for vpage in range(100):
+            alloc.frame_of(vpage)
+        assert alloc.contiguity() == 1.0
+
+    def test_fragmented_allocation_scatters(self):
+        alloc = PageAllocator(fragmented=True)
+        for vpage in range(200):
+            alloc.frame_of(vpage)
+        assert alloc.contiguity() < 0.05
+
+    def test_frames_unique(self):
+        alloc = PageAllocator(fragmented=True, frame_pool_pages=1 << 16)
+        frames = {alloc.frame_of(v) for v in range(500)}
+        assert len(frames) == 500
+
+    def test_mapped_pages_counted(self):
+        alloc = PageAllocator()
+        for vpage in (1, 2, 2, 3):
+            alloc.frame_of(vpage)
+        assert alloc.mapped_pages == 3
+
+
+class TestTlb:
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            Tlb(entries=63, ways=4)
+        with pytest.raises(ValueError):
+            Tlb(entries=24, ways=4)  # 6 sets: not a power of two
+
+    def test_hit_after_miss(self):
+        tlb = Tlb()
+        assert not tlb.access(5)
+        assert tlb.access(5)
+        assert tlb.stats.hits == 1 and tlb.stats.misses == 1
+
+    def test_capacity_eviction(self):
+        tlb = Tlb(entries=4, ways=1)  # 4 direct-mapped sets
+        assert not tlb.access(0)
+        assert not tlb.access(4)  # same set, evicts 0
+        assert not tlb.access(0)  # miss again
+        assert tlb.stats.misses == 3
+
+    def test_miss_rate_tracks_locality(self):
+        tlb = Tlb(entries=16, ways=4)
+        for _ in range(50):
+            tlb.access(1)
+        assert tlb.stats.miss_rate < 0.1
+
+
+class TestTranslation:
+    def test_offsets_preserved(self):
+        trace = trace_of_pages([1, 2, 3], offset=9)
+        physical, _alloc = translate_trace(trace)
+        assert all((a >> 6) & 63 == 9 for a in physical.addrs.tolist())
+
+    def test_same_vpage_same_frame(self):
+        trace = trace_of_pages([7, 8, 7, 8])
+        physical, _alloc = translate_trace(trace)
+        frames = (physical.addrs >> 12).tolist()
+        assert frames[0] == frames[2] and frames[1] == frames[3]
+
+    def test_sequential_allocation_keeps_adjacency(self):
+        trace = trace_of_pages(list(range(50)))
+        physical, alloc = translate_trace(trace, PageAllocator(fragmented=False))
+        frames = (physical.addrs >> 12).tolist()
+        deltas = {b - a for a, b in zip(frames, frames[1:])}
+        assert deltas == {1}
+        assert alloc.contiguity() == 1.0
+
+    def test_fragmentation_destroys_adjacency(self):
+        trace = trace_of_pages(list(range(50)))
+        physical, alloc = translate_trace(trace, PageAllocator(fragmented=True))
+        frames = (physical.addrs >> 12).tolist()
+        deltas = {b - a for a, b in zip(frames, frames[1:])}
+        assert deltas != {1}
+
+    def test_tlb_observes_translations(self):
+        trace = trace_of_pages([1, 1, 2])
+        tlb = Tlb()
+        translate_trace(trace, tlb=tlb)
+        assert tlb.stats.hits == 1 and tlb.stats.misses == 2
+
+    def test_gaps_pcs_flags_untouched(self):
+        trace = trace_of_pages([3, 4])
+        physical, _alloc = translate_trace(trace)
+        assert physical.gaps.tolist() == trace.gaps.tolist()
+        assert physical.pcs.tolist() == trace.pcs.tolist()
+        assert physical.flags.tolist() == trace.flags.tolist()

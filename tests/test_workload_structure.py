@@ -1,0 +1,116 @@
+"""Structural checks on the workload catalog's category claims.
+
+docs/workloads.md documents which access structure each category encodes
+(this is the substitution argument of DESIGN.md §1); these tests pin the
+claims to measurable trace statistics so a generator regression cannot
+silently change what the figures measure.
+"""
+
+from collections import defaultdict
+
+import pytest
+
+from repro.constants import LINES_PER_PAGE, line_offset_in_page, page_number
+from repro.core.bitpattern import anchor_pattern, compress_pattern
+from repro.cpu.trace import FLAG_DEP
+from repro.workloads.analysis import analyze_trace, delta_distribution
+from repro.workloads.catalog import WORKLOADS, build_trace
+
+LEN = 6000
+
+
+def plus_one_share(name):
+    deltas, total = delta_distribution(build_trace(name, LEN), top=10**6)
+    if not total:
+        return 0.0
+    return (deltas.get(1, 0) + deltas.get(-1, 0)) / total
+
+
+class TestStreamingCategories:
+    @pytest.mark.parametrize(
+        "name", ["hpc.parsec-stream", "fspec06.libquantum", "fspec17.lbm17"]
+    )
+    def test_streams_are_plus_one_dominated(self, name):
+        assert plus_one_share(name) > 0.7
+
+    def test_hpc_footprint_is_dense(self):
+        report = analyze_trace(build_trace("hpc.linpack", LEN), "linpack")
+        assert report.page.mean_density > 0.4
+
+
+class TestIrregularCategories:
+    @pytest.mark.parametrize("name", ["ispec17.omnetpp17", "ispec17.mcf17"])
+    def test_irregular_deltas_not_plus_one(self, name):
+        assert plus_one_share(name) < 0.4
+
+    def test_mcf_has_dependent_loads(self):
+        trace = build_trace("ispec06.mcf", LEN)
+        dep_frac = float((trace.flags & FLAG_DEP).astype(bool).mean())
+        assert dep_frac > 0.2
+
+    def test_streaming_has_no_dependent_loads(self):
+        trace = build_trace("fspec06.libquantum", LEN)
+        assert not (trace.flags & FLAG_DEP).any()
+
+
+class TestSignatureDiversity:
+    def test_tpcc_pcs_scale_with_trace_length(self):
+        short = analyze_trace(build_trace("server.tpcc-1", 4000), "t")
+        long_ = analyze_trace(build_trace("server.tpcc-1", 16000), "t")
+        assert long_.distinct_pcs > short.distinct_pcs
+
+    def test_jittered_workload_multiplies_sms_signatures(self):
+        """Excel's jittered layouts need far more (PC, offset) signatures
+        than DSPatch's PC-only folded index."""
+        report = analyze_trace(build_trace("sysmark.excel", 12000), "excel")
+        assert report.trigger_signatures > report.distinct_pcs * 1.5
+
+
+class TestAnchoringInvariant:
+    def test_jitter_folds_under_anchoring(self):
+        """For the jittered workloads, distinct *anchored* page patterns
+        are far fewer than distinct absolute patterns — the measurable
+        core of Figure 2's argument."""
+        trace = build_trace("sysmark.excel", 12000)
+        first_offset = {}
+        pattern_of = defaultdict(int)
+        for addr in trace.addrs.tolist():
+            page = page_number(addr)
+            off = line_offset_in_page(addr)
+            first_offset.setdefault(page, off)
+            pattern_of[page] |= 1 << off
+        absolute = set()
+        anchored = set()
+        for page, pattern in pattern_of.items():
+            compressed = compress_pattern(pattern, LINES_PER_PAGE)
+            absolute.add(compressed)
+            anchored.add(
+                anchor_pattern(compressed, first_offset[page] >> 1, 32)
+            )
+        assert len(anchored) < len(absolute)
+
+
+class TestIntensityKnob:
+    def test_high_intensity_means_smaller_gaps(self):
+        high = build_trace("hpc.linpack", 3000)  # intensity "high"
+        low = build_trace("ispec06.hmmer", 3000)  # intensity "low"
+        assert high.gaps.mean() < low.gaps.mean()
+
+    def test_memory_intensive_flags_match_intensity(self):
+        for name, workload in WORKLOADS.items():
+            if workload.mem_intensive:
+                assert workload.intensity == "high", name
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", ["cloud.bigbench", "server.tpcc-1"])
+    def test_same_name_same_trace(self, name):
+        a = build_trace(name, 2000)
+        b = build_trace(name, 2000)
+        assert a.addrs.tolist() == b.addrs.tolist()
+        assert a.pcs.tolist() == b.pcs.tolist()
+
+    def test_different_names_differ(self):
+        a = build_trace("cloud.bigbench", 2000)
+        b = build_trace("cloud.hbase", 2000)
+        assert a.addrs.tolist() != b.addrs.tolist()

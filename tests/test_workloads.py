@@ -1,0 +1,186 @@
+"""Tests for the workload catalog, generators and mixes."""
+
+import numpy as np
+import pytest
+
+from repro.constants import LINES_PER_PAGE
+from repro.cpu.trace import FLAG_DEP
+from repro.workloads.catalog import (
+    CATEGORIES,
+    MEMORY_INTENSIVE,
+    WORKLOADS,
+    build_trace,
+    workloads_in_category,
+)
+from repro.workloads.generators import (
+    GenContext,
+    bounded_zipf,
+    emit_pointer_chase,
+    emit_spatial_layouts,
+    emit_streams,
+    window_reorder,
+)
+from repro.workloads.mixes import (
+    build_mix_traces,
+    heterogeneous_mixes,
+    homogeneous_mixes,
+)
+
+
+class TestCatalog:
+    def test_exactly_75_workloads(self):
+        assert len(WORKLOADS) == 75
+
+    def test_exactly_42_memory_intensive(self):
+        assert len(MEMORY_INTENSIVE) == 42
+
+    def test_nine_categories_all_populated(self):
+        assert len(CATEGORIES) == 9
+        for category in CATEGORIES:
+            assert len(workloads_in_category(category)) >= 7
+
+    def test_names_are_category_prefixed(self):
+        for name, workload in WORKLOADS.items():
+            assert name.startswith(workload.category.lower() + ".")
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(ValueError):
+            workloads_in_category("Gaming")
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError):
+            build_trace("hpc.doom", 100)
+
+    def test_build_trace_deterministic(self):
+        a = build_trace("cloud.bigbench", 500)
+        b = build_trace("cloud.bigbench", 500)
+        assert np.array_equal(a.addrs, b.addrs)
+        assert np.array_equal(a.gaps, b.gaps)
+
+    def test_distinct_workloads_distinct_traces(self):
+        a = build_trace("cloud.bigbench", 500)
+        b = build_trace("cloud.hbase", 500)
+        assert not np.array_equal(a.addrs, b.addrs)
+
+    def test_trace_length_close_to_requested(self):
+        trace = build_trace("hpc.linpack", 2000)
+        assert 1900 <= len(trace) <= 2100
+
+    def test_every_workload_builds(self):
+        for name in WORKLOADS:
+            trace = build_trace(name, 64)
+            assert len(trace) > 0
+
+    def test_mcf_has_dependent_loads(self):
+        trace = build_trace("ispec06.mcf", 2000)
+        assert int((trace.flags & FLAG_DEP).sum()) > 0
+
+    def test_intensity_ordering(self):
+        """High-intensity workloads have smaller instruction gaps."""
+        heavy = build_trace("hpc.parsec-stream", 2000)
+        light = build_trace("client.office-mix", 2000)
+        assert heavy.gaps.mean() < light.gaps.mean()
+
+
+class TestGenerators:
+    def test_window_reorder_preserves_multiset(self):
+        rng = np.random.default_rng(0)
+        items = list(range(30))
+        out = window_reorder(rng, items, window=6)
+        assert sorted(out) == items
+
+    def test_window_reorder_bounded_displacement(self):
+        """Reordering is local: most items move by less than the window
+        (an occasional straggler that waits in the buffer is fine — real
+        OOO completion order has the same tail)."""
+        rng = np.random.default_rng(0)
+        items = list(range(100))
+        out = window_reorder(rng, items, window=5)
+        displacements = sorted(abs(pos - value) for pos, value in enumerate(out))
+        median = displacements[len(displacements) // 2]
+        assert median < 5
+        assert displacements[-1] < 40  # no wholesale shuffling
+
+    def test_bounded_zipf_in_range(self):
+        rng = np.random.default_rng(0)
+        ranks = bounded_zipf(rng, 50, 1.2, 1000)
+        assert ranks.min() >= 0 and ranks.max() < 50
+
+    def test_bounded_zipf_skew(self):
+        rng = np.random.default_rng(0)
+        ranks = bounded_zipf(rng, 50, 1.2, 5000)
+        head = (ranks < 5).sum()
+        tail = (ranks >= 45).sum()
+        assert head > 3 * tail
+
+    def test_streams_mostly_unit_stride(self):
+        ctx = GenContext(7, "high")
+        emit_streams(ctx, 2000, num_streams=2)
+        trace = ctx.build()
+        lines = trace.addrs >> 6
+        deltas = np.diff(lines.reshape(-1, 2), axis=0).ravel()  # per-stream deltas
+        unit = (deltas == 1).mean()
+        assert unit > 0.9
+
+    def test_spatial_layouts_recur(self):
+        """A small set of per-page patterns recurs across pages (pages
+        revisited by different layouts accumulate unions, so the distinct
+        count can exceed the layout count but stays far below the page
+        count)."""
+        ctx = GenContext(7, "high")
+        emit_spatial_layouts(ctx, 4000, num_layouts=4, density=0.2, reorder=False)
+        trace = ctx.build()
+        patterns = {}
+        for addr in trace.addrs.tolist():
+            page = addr >> 12
+            patterns[page] = patterns.get(page, 0) | (1 << ((addr >> 6) & 63))
+        dense = [p for p in patterns.values() if bin(p).count("1") > 2]
+        distinct = set(dense)
+        assert len(dense) > 50
+        assert len(distinct) <= 20
+
+    def test_pointer_chase_all_dependent(self):
+        ctx = GenContext(7, "high")
+        emit_pointer_chase(ctx, 500, working_set_pages=64, spatial_hint=0.0)
+        trace = ctx.build()
+        assert ((trace.flags & FLAG_DEP) != 0).all()
+
+    def test_addresses_line_aligned(self):
+        for name in ("hpc.linpack", "cloud.bigbench", "ispec06.mcf"):
+            trace = build_trace(name, 300)
+            assert (trace.addrs % 64 == 0).all()
+
+    def test_invalid_intensity_rejected(self):
+        with pytest.raises(ValueError):
+            GenContext(0, "extreme")
+
+
+class TestMixes:
+    def test_homogeneous_one_per_intensive_workload(self):
+        mixes = homogeneous_mixes()
+        assert len(mixes) == 42
+        for name, picks in mixes:
+            assert picks == [name] * 4
+
+    def test_heterogeneous_count_and_width(self):
+        mixes = heterogeneous_mixes(count=10)
+        assert len(mixes) == 10
+        for _, picks in mixes:
+            assert len(picks) == 4
+            assert len(set(picks)) == 4  # no duplicates within a mix
+
+    def test_heterogeneous_deterministic(self):
+        assert heterogeneous_mixes(count=5) == heterogeneous_mixes(count=5)
+
+    def test_mix_traces_rebased_apart(self):
+        traces = build_mix_traces(["ispec06.mcf"] * 4, 200)
+        spans = [(int(t.addrs.min()), int(t.addrs.max())) for t in traces]
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert spans[i][1] < spans[j][0] or spans[j][1] < spans[i][0]
+
+    def test_mix_copies_not_identical(self):
+        traces = build_mix_traces(["ispec06.mcf"] * 4, 200)
+        base0 = traces[0].addrs - traces[0].addrs.min()
+        base1 = traces[1].addrs - traces[1].addrs.min()
+        assert not np.array_equal(base0, base1)
