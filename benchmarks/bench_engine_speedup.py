@@ -1,0 +1,245 @@
+"""Engine speedup bench: cold / parallel / warm-cache wall-clock trajectory.
+
+Measures the fig12-style single-thread figure driver (the headline
+comparison: 6 schemes x N workloads) under three regimes:
+
+1. **cold sequential** — empty disk cache, ``jobs=1``: the pure hot-path
+   cost of simulating everything in-process;
+2. **cold parallel** — empty disk cache, ``jobs=N``: the engine's
+   process-pool fan-out (skipped automatically on single-core hosts,
+   where it cannot help);
+3. **warm** — in-process memo cleared, disk cache intact: every run is a
+   content-addressed load from the store.
+
+All three regimes must produce bit-for-bit identical figure rows; the
+bench fails otherwise.  Machine-speed differences are normalized away by
+a calibration loop (a fixed pure-Python workload), yielding a
+``hot_path_score`` = simulated-ops-per-second / calibration-ops-per-
+second that is comparable across hosts and across commits.  The
+committed baseline (``benchmarks/baselines/engine_smoke_baseline.json``)
+records the score of the pre-engine seed code and the score at the time
+the engine landed; CI fails when the current score regresses more than
+``--max-regression`` below the latter.
+
+Run directly (no pytest-benchmark dependency)::
+
+    PYTHONPATH=src python benchmarks/bench_engine_speedup.py \
+        --output BENCH_engine.json \
+        --baseline benchmarks/baselines/engine_smoke_baseline.json
+"""
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+
+SCHEMES = 6  # fig12: none + bop/sms/spp/dspatch/spp+dspatch
+CATEGORIES = 9
+
+
+def calibrate(n=2_000_000, repeats=3):
+    """Machine-speed proxy: median ops/sec of a fixed arithmetic loop."""
+    rates = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        acc = 0
+        for i in range(n):
+            acc += i & 7
+        rates.append(n / (time.perf_counter() - t0))
+    return sorted(rates)[len(rates) // 2]
+
+
+def _rows_of(fig):
+    return {row: dict(cols) for row, cols in fig.rows.items()}
+
+
+def run_bench(args):
+    # Point the engine at a scratch store before importing anything that
+    # might read the config.
+    cache_dir = args.cache_dir or tempfile.mkdtemp(prefix="engine-bench-")
+    os.environ["REPRO_CACHE_DIR"] = cache_dir
+
+    from repro import engine
+    from repro.experiments.figures import fig12_single_thread
+    from repro.experiments.runner import _RUN_CACHE, _TRACE_CACHE, clear_run_cache
+    from repro.experiments.scale import Scale
+
+    scale = Scale(
+        trace_len=args.trace_len,
+        workloads_per_category=args.workloads_per_category,
+        mix_count=1,
+        mix_trace_len=400,
+        full=False,
+    )
+    sim_ops = SCHEMES * CATEGORIES * args.workloads_per_category * args.trace_len
+    cpu_count = os.cpu_count() or 1
+    jobs = args.jobs if args.jobs else cpu_count
+
+    calibration = calibrate()
+
+    # --- 1. cold sequential (best of N repeats) ---------------------------
+    engine.configure(jobs=1, cache_dir=cache_dir, disk_cache=True)
+    t_cold_seq = None
+    rows_seq = None
+    for _ in range(args.repeats):
+        clear_run_cache()  # both layers: a genuinely cold start
+        t0 = time.perf_counter()
+        fig = fig12_single_thread(scale)
+        dt = time.perf_counter() - t0
+        rows_seq = _rows_of(fig)
+        if t_cold_seq is None or dt < t_cold_seq:
+            t_cold_seq = dt
+    hot_path_score = sim_ops / t_cold_seq / calibration
+
+    # --- 2. cold parallel (multicore hosts only) --------------------------
+    t_cold_par = None
+    rows_par = None
+    if jobs > 1 and cpu_count > 1:
+        engine.configure(jobs=jobs)
+        clear_run_cache()
+        t0 = time.perf_counter()
+        rows_par = _rows_of(fig12_single_thread(scale))
+        t_cold_par = time.perf_counter() - t0
+        engine.configure(jobs=1)
+
+    # --- 3. warm (disk cache hit for every run) ---------------------------
+    if rows_par is not None:
+        # Repopulate the store sequentially so the warm phase follows a
+        # sequential cold phase regardless of the parallel experiment.
+        clear_run_cache()
+        fig12_single_thread(scale)
+    _RUN_CACHE.clear()
+    _TRACE_CACHE.clear()
+    t0 = time.perf_counter()
+    rows_warm = _rows_of(fig12_single_thread(scale))
+    t_warm = time.perf_counter() - t0
+
+    deterministic = rows_warm == rows_seq and (rows_par is None or rows_par == rows_seq)
+    warm_speedup = t_cold_seq / t_warm if t_warm > 0 else float("inf")
+    parallel_speedup = t_cold_seq / t_cold_par if t_cold_par else None
+
+    result = {
+        "protocol": {
+            "driver": "fig12_single_thread",
+            "trace_len": args.trace_len,
+            "workloads_per_category": args.workloads_per_category,
+            "repeats": args.repeats,
+            "sim_ops": sim_ops,
+            "jobs": jobs,
+            "cpu_count": cpu_count,
+        },
+        "calibration_ops_per_sec": calibration,
+        "cold_sequential_seconds": t_cold_seq,
+        "cold_parallel_seconds": t_cold_par,
+        "warm_seconds": t_warm,
+        "hot_path_score": hot_path_score,
+        "parallel_speedup": parallel_speedup,
+        "warm_speedup": warm_speedup,
+        "deterministic": deterministic,
+    }
+
+    failures = []
+    if not deterministic:
+        failures.append("results differ between regimes (determinism violated)")
+    if warm_speedup < 10.0:
+        failures.append(f"warm-cache speedup {warm_speedup:.1f}x below the 10x target")
+
+    if args.baseline and os.path.exists(args.baseline):
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+        seed_score = baseline.get("seed_hot_path_score")
+        target_score = baseline.get("target_hot_path_score")
+        base_protocol = baseline.get("protocol", {})
+        protocol_matches = all(
+            base_protocol.get(key) == result["protocol"][key]
+            for key in ("trace_len", "workloads_per_category")
+            if key in base_protocol
+        )
+        if not protocol_matches:
+            # Scores are only comparable under the protocol they were
+            # recorded with (fixed overhead is scale-dependent): report
+            # speedups but do not gate against a mismatched baseline.
+            result["note_baseline"] = (
+                "baseline protocol differs from this run; regression gate skipped"
+            )
+            target_score = None
+        if seed_score:
+            result["hot_path_speedup_vs_seed"] = hot_path_score / seed_score
+            cold_vs_seed = hot_path_score / seed_score
+            if parallel_speedup:
+                cold_vs_seed *= parallel_speedup
+            result["cold_speedup_vs_seed"] = cold_vs_seed
+            if parallel_speedup is not None:
+                # Parallel leg ran (multicore host): the full 2x cold
+                # target applies — hot-path gain x process-pool fan-out.
+                if cold_vs_seed < 2.0:
+                    failures.append(
+                        f"cold speedup vs seed {cold_vs_seed:.2f}x below the 2x target"
+                    )
+            else:
+                # Sequential-only measurement (single core, or --jobs 1):
+                # the fan-out leg of the cold target is unavailable, so
+                # gate on the hot-path improvement floor alone.
+                result["note"] = (
+                    "sequential-only cold measurement: 2x cold target needs the "
+                    "parallel leg (multicore + jobs>1); gating on hot-path floor"
+                )
+                if cold_vs_seed < 1.4:
+                    failures.append(
+                        f"hot-path speedup vs seed {cold_vs_seed:.2f}x below 1.4x floor"
+                    )
+        if target_score:
+            floor = target_score * (1.0 - args.max_regression)
+            result["regression_gate"] = {
+                "target_hot_path_score": target_score,
+                "floor": floor,
+                "passed": hot_path_score >= floor,
+            }
+            if hot_path_score < floor:
+                failures.append(
+                    f"hot-path score {hot_path_score:.6f} regressed >"
+                    f"{100 * args.max_regression:.0f}% below baseline {target_score:.6f}"
+                )
+
+    result["failures"] = failures
+    if args.output:
+        with open(args.output, "w") as f:
+            json.dump(result, f, indent=2, sort_keys=True)
+
+    print(f"cold sequential : {t_cold_seq:8.2f}s  ({sim_ops} sim-ops)")
+    if t_cold_par is not None:
+        print(f"cold parallel   : {t_cold_par:8.2f}s  ({parallel_speedup:.2f}x, jobs={jobs})")
+    print(f"warm (disk)     : {t_warm:8.3f}s  ({warm_speedup:.0f}x)")
+    print(f"hot-path score  : {hot_path_score:.6f}  (calibration {calibration:.0f} ops/s)")
+    for key in ("hot_path_speedup_vs_seed", "cold_speedup_vs_seed"):
+        if key in result:
+            print(f"{key:15s} : {result[key]:.2f}x")
+    print(f"deterministic   : {deterministic}")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("PASS")
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--trace-len", type=int, default=4000)
+    parser.add_argument("--workloads-per-category", type=int, default=1)
+    parser.add_argument("--jobs", type=int, default=0, help="0 = cpu count")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--cache-dir", default=None, help="default: fresh temp dir")
+    parser.add_argument("--output", default="BENCH_engine.json")
+    parser.add_argument(
+        "--baseline",
+        default=os.path.join(os.path.dirname(__file__), "baselines", "engine_smoke_baseline.json"),
+    )
+    parser.add_argument("--max-regression", type=float, default=0.2)
+    return run_bench(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

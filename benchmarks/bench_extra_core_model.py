@@ -6,7 +6,7 @@ ROB-bounded MLP, dependent-load serialization, and retirement bandwidth.
 
 from repro.cpu.core import CoreExecution, CoreModel
 from repro.cpu.trace import FLAG_DEP, Trace
-from repro.memory.hierarchy import AccessResult
+from repro.memory.hierarchy import DRAM, AccessResult
 
 
 class _FixedLatency:
@@ -14,7 +14,7 @@ class _FixedLatency:
         self.latency = latency
 
     def access(self, cycle, pc, addr, is_write=False):
-        return AccessResult(self.latency, "DRAM")
+        return AccessResult(self.latency, DRAM)
 
 
 def _cycles(records, rob=224, latency=200):

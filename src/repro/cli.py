@@ -10,6 +10,12 @@ Subcommands:
 - ``trace-stats`` — access-structure statistics of a workload trace.
 - ``sweep`` — one scheme across the six DRAM configurations (Figure 15's
   x-axis) for one workload.
+- ``cache`` — inspect or clear the engine's on-disk result/trace store.
+
+Global engine flags (before the subcommand): ``--jobs N`` fans
+independent runs across N worker processes, ``--cache-dir PATH``
+relocates the persistent store, ``--no-cache`` disables the disk layer
+for this invocation.
 """
 
 import argparse
@@ -140,11 +146,51 @@ def _cmd_sweep(args):
     return 0
 
 
+def _cmd_cache(args):
+    from repro.engine import active_store, code_salt, current_config
+
+    cfg = current_config()
+    store = active_store()
+    if args.clear:
+        if store is None:
+            print("disk cache disabled; nothing to clear")
+            return 0
+        store.clear()
+        print(f"cleared {cfg.cache_dir}")
+        return 0
+    print(f"cache dir  {cfg.cache_dir}")
+    print(f"disk cache {'enabled' if cfg.disk_cache else 'disabled'}")
+    print(f"jobs       {cfg.jobs}")
+    print(f"code salt  {code_salt()}")
+    if store is not None:
+        stats = store.stats()
+        print(f"results    {stats['results']}")
+        print(f"traces     {stats['traces']}")
+        print(f"size       {stats['bytes'] / 1024:.1f} KB")
+    return 0
+
+
 def build_parser():
     """The argparse tree; exposed for the CLI tests."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="DSPatch (MICRO'19) reproduction: simulate, analyze, regenerate figures.",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for independent runs (default: REPRO_JOBS or 1)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="engine disk-cache directory (default: REPRO_CACHE_DIR or ~/.cache/dspatch-repro)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the persistent disk cache for this invocation",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -178,6 +224,9 @@ def build_parser():
     report.add_argument("--output", default="report.md")
     report.add_argument("--no-charts", action="store_true")
 
+    cache = sub.add_parser("cache", help="inspect or clear the engine disk cache")
+    cache.add_argument("--clear", action="store_true", help="delete all cached artifacts")
+
     return parser
 
 
@@ -189,11 +238,20 @@ _HANDLERS = {
     "trace-stats": _cmd_trace_stats,
     "sweep": _cmd_sweep,
     "report": _cmd_report,
+    "cache": _cmd_cache,
 }
 
 
 def main(argv=None):
     args = build_parser().parse_args(argv)
+    if args.jobs is not None or args.cache_dir is not None or args.no_cache:
+        from repro.engine import configure
+
+        configure(
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            disk_cache=False if args.no_cache else None,
+        )
     return _HANDLERS[args.command](args)
 
 

@@ -77,11 +77,14 @@ def compress_pattern(pattern64, width=LINES_PER_PAGE):
     """
     if width % 2:
         raise ValueError("width must be even to compress 2:1")
+    # Iterate set bits only (while p: lsb = p & -p) instead of scanning
+    # all bit positions; each set bit maps to compressed bit (pos >> 1).
+    p = int(pattern64) & _mask(width)
     out = 0
-    half = width // 2
-    for i in range(half):
-        if (pattern64 >> (2 * i)) & 3:
-            out |= 1 << i
+    while p:
+        lsb = p & -p
+        out |= 1 << ((lsb.bit_length() - 1) >> 1)
+        p ^= lsb
     return out
 
 
@@ -92,10 +95,12 @@ def expand_pattern(pattern32, width=COMPRESSED_BITS_PER_PAGE):
     source of the bounded (< 50%, measured ~20%) over-prediction the paper
     quantifies in Figure 11(b).
     """
+    p = int(pattern32) & _mask(width)
     out = 0
-    for i in range(width):
-        if (pattern32 >> i) & 1:
-            out |= 3 << (2 * i)
+    while p:
+        lsb = p & -p
+        out |= 3 << (2 * (lsb.bit_length() - 1))
+        p ^= lsb
     return out
 
 
@@ -144,4 +149,10 @@ def pattern_from_offsets(offsets, width=LINES_PER_PAGE):
 
 def offsets_from_pattern(pattern, width=LINES_PER_PAGE):
     """Return the sorted list of set-bit offsets in ``pattern``."""
-    return [i for i in range(width) if (pattern >> i) & 1]
+    p = int(pattern) & _mask(width)
+    out = []
+    while p:
+        lsb = p & -p
+        out.append(lsb.bit_length() - 1)
+        p ^= lsb
+    return out

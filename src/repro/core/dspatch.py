@@ -35,11 +35,16 @@ from dataclasses import dataclass
 
 from repro.constants import (
     COMPRESSED_BITS_PER_PAGE,
+    LINE_SHIFT,
     LINES_PER_PAGE,
-    line_offset_in_page,
-    page_number,
-    segment_of_line_offset,
+    LINES_PER_SEGMENT,
+    PAGE_SHIFT,
 )
+
+# Address-geometry shifts/masks used in the inlined hot path below,
+# derived from the constants module so a geometry change propagates.
+_LINE_OFF_MASK = LINES_PER_PAGE - 1
+_SEGMENT_SHIFT = LINES_PER_SEGMENT.bit_length() - 1
 from repro.core.bitpattern import anchor_pattern, compress_pattern, unanchor_pattern
 from repro.core.page_buffer import PageBuffer
 from repro.core.selection import select_pattern
@@ -74,7 +79,11 @@ class DSPatch(Prefetcher):
 
     name = "dspatch"
 
-    def __init__(self, bandwidth, config: DSPatchConfig = DSPatchConfig()):
+    def __init__(self, bandwidth, config: DSPatchConfig = None):
+        # A fresh config per instance: sharing one default instance across
+        # prefetchers is safe only while DSPatchConfig stays frozen — a
+        # mutable-default trap for any future field, so avoid the pattern.
+        config = config if config is not None else DSPatchConfig()
         self.config = config
         self.bandwidth = bandwidth
         # Pattern geometry: one stored bit covers 2 lines (128B) in the
@@ -99,13 +108,20 @@ class DSPatch(Prefetcher):
 
     def train(self, cycle, pc, addr, hit):
         self.trainings += 1
-        page = page_number(addr)
-        line_off = line_offset_in_page(addr)
-        segment = segment_of_line_offset(line_off)
+        # Inlined page_number / line_offset_in_page / segment_of_line_offset
+        # (one call per training access).
+        page = addr >> PAGE_SHIFT
+        line_off = (addr >> LINE_SHIFT) & _LINE_OFF_MASK
+        segment = line_off >> _SEGMENT_SHIFT
 
-        entry = self.page_buffer.get(page)
+        # Inlined PageBuffer.get (dict pop + reinsert refreshes LRU order;
+        # couples to PageBuffer's dict-ordered storage by design).
+        pages = self.page_buffer._pages
+        entry = pages.pop(page, None)
         candidates = ()
-        if entry is None:
+        if entry is not None:
+            pages[page] = entry
+        else:
             entry, evicted = self.page_buffer.insert(page)
             if evicted is not None:
                 self._learn(cycle, evicted)
@@ -114,7 +130,7 @@ class DSPatch(Prefetcher):
             entry.set_trigger(segment, signature, line_off)
             self.triggers += 1
             candidates = self._predict(cycle, signature, page, line_off, segment)
-        entry.record(line_off)
+        entry.pattern |= 1 << line_off
         return candidates
 
     # ----------------------------------------------------- variant hooks
@@ -175,19 +191,28 @@ class DSPatch(Prefetcher):
         return self._expand(page, page_pattern, trigger_line_off, low_priority)
 
     def _expand(self, page, page_pattern, trigger_line_off, low_priority):
-        """Expand stored page-absolute bits into 64B line prefetches."""
+        """Expand stored page-absolute bits into 64B line prefetches.
+
+        Iterates set bits directly (``while p: lsb = p & -p``) rather than
+        scanning all 64 positions; the LSB-first walk preserves the
+        ascending line order (and the per-trigger cap cutoff) of a full
+        positional scan.
+        """
         base_line = page << 6
-        lines_per_bit = 1 << self._comp_shift
+        comp_shift = self._comp_shift
+        lines_per_bit = 1 << comp_shift
         out = []
+        append = out.append
         cap = self.config.max_candidates_per_trigger
-        for bit in range(self._bits_per_page):
-            if not (page_pattern >> bit) & 1:
-                continue
-            first_line = bit << self._comp_shift
+        p = page_pattern & ((1 << self._bits_per_page) - 1)
+        while p:
+            lsb = p & -p
+            p ^= lsb
+            first_line = (lsb.bit_length() - 1) << comp_shift
             for line_off in range(first_line, first_line + lines_per_bit):
                 if line_off == trigger_line_off:
                     continue
-                out.append(PrefetchCandidate(base_line + line_off, low_priority))
+                append(PrefetchCandidate(base_line + line_off, low_priority))
                 if len(out) >= cap:
                     return out
         return out

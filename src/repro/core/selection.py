@@ -29,6 +29,12 @@ class PatternChoice:
 
 NO_PREFETCH = PatternChoice("none")
 
+# The decision tree has exactly four distinct outcomes; selection runs per
+# trigger half, so the instances are interned rather than re-allocated.
+_ACC = PatternChoice("acc")
+_COV = PatternChoice("cov")
+_COV_LOW = PatternChoice("cov", low_priority=True)
+
 
 def select_pattern(bw_bucket, measure_covp_saturated, measure_accp_saturated):
     """Apply Figure 10's decision tree; returns a :class:`PatternChoice`."""
@@ -37,9 +43,9 @@ def select_pattern(bw_bucket, measure_covp_saturated, measure_accp_saturated):
     if bw_bucket == 3:
         if measure_accp_saturated:
             return NO_PREFETCH
-        return PatternChoice("acc")
+        return _ACC
     if bw_bucket == 2:
         if measure_covp_saturated:
-            return PatternChoice("acc")
-        return PatternChoice("cov")
-    return PatternChoice("cov", low_priority=measure_covp_saturated)
+            return _ACC
+        return _COV
+    return _COV_LOW if measure_covp_saturated else _COV

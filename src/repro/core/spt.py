@@ -18,7 +18,6 @@ trigger's 128B block) so one entry serves any trigger offset.
 """
 
 from repro.constants import COMPRESSED_BITS_PER_PAGE, COMPRESSED_BITS_PER_SEGMENT
-from repro.core.bitpattern import popcount, quantize_quartile
 
 #: 2-bit saturating counter ceiling for the Measure/OrCount counters.
 COUNTER_MAX = 3
@@ -113,46 +112,60 @@ class SptEntry:
         Order of operations follows Section 3.6: measure goodness of the
         *stored* patterns first, then modulate CovP (OR / reset), then
         replace AccP with ``program & covp``.
+
+        Runs once per (trigger, half) at every PB eviction, so the quartile
+        comparisons are inlined as shift-and-compare predicates: only
+        ``quartile < 2`` (ratio below 50%) is ever consumed here, which is
+        ``4 * num < 2 * den`` (or an empty denominator) — see Figure 8.
         """
-        program_half &= self._half_mask
-        cov = self.covp_half(half)
-        acc = self.accp_half(half)
-        c_real = popcount(program_half)
+        shift = half * self.half_bits
+        mask = self._half_mask
+        program_half &= mask
+        cov = (self.covp >> shift) & mask
+        acc = (self.accp >> shift) & mask
+        c_real = program_half.bit_count()
 
         # --- goodness of CovP's prediction -----------------------------------
-        c_acc_cov = popcount(cov & program_half)
-        accuracy_q = quantize_quartile(c_acc_cov, popcount(cov))
-        coverage_q = quantize_quartile(c_acc_cov, c_real)
-        if accuracy_q < GOODNESS_THRESHOLD_QUARTILE or coverage_q < GOODNESS_THRESHOLD_QUARTILE:
-            self.measure_covp[half] = min(COUNTER_MAX, self.measure_covp[half] + 1)
+        c_acc_cov = (cov & program_half).bit_count()
+        c_cov = cov.bit_count()
+        four_acc = 4 * c_acc_cov
+        accuracy_bad = c_cov <= 0 or four_acc < 2 * c_cov
+        coverage_bad = c_real <= 0 or four_acc < 2 * c_real
+        measure_covp = self.measure_covp
+        if accuracy_bad or coverage_bad:
+            if measure_covp[half] < COUNTER_MAX:
+                measure_covp[half] += 1
 
         # --- goodness of AccP's prediction ------------------------------------
-        c_acc_acc = popcount(acc & program_half)
-        acc_accuracy_q = quantize_quartile(c_acc_acc, popcount(acc))
-        if acc_accuracy_q < GOODNESS_THRESHOLD_QUARTILE:
-            self.measure_accp[half] = min(COUNTER_MAX, self.measure_accp[half] + 1)
-        else:
-            self.measure_accp[half] = max(0, self.measure_accp[half] - 1)
+        c_acc_acc = (acc & program_half).bit_count()
+        c_acc = acc.bit_count()
+        measure_accp = self.measure_accp
+        if c_acc <= 0 or 4 * c_acc_acc < 2 * c_acc:
+            if measure_accp[half] < COUNTER_MAX:
+                measure_accp[half] += 1
+        elif measure_accp[half] > 0:
+            measure_accp[half] -= 1
 
         # --- modulate CovP: reset or OR ----------------------------------------
         if (
             self.allow_reset
-            and self.covp_saturated(half)
-            and (bw_bucket == 3 or coverage_q < GOODNESS_THRESHOLD_QUARTILE)
+            and measure_covp[half] >= COUNTER_MAX
+            and (bw_bucket == 3 or coverage_bad)
         ):
             # Relearn from scratch (Section 3.6 reset rule).
             cov = program_half
             self.or_count[half] = 0
-            self.measure_covp[half] = 0
+            measure_covp[half] = 0
         elif self.or_count[half] < COUNTER_MAX:
             grown = cov | program_half
             if grown != cov:
                 self.or_count[half] += 1
             cov = grown
-        self.set_covp_half(half, cov)
 
+        cleared = ~(mask << shift)
+        self.covp = (self.covp & cleared) | (cov << shift)
         # --- modulate AccP: replace with AND -------------------------------------
-        self.set_accp_half(half, program_half & cov)
+        self.accp = (self.accp & cleared) | ((program_half & cov) << shift)
 
 
 class SignaturePredictionTable:

@@ -18,10 +18,16 @@ the three properties prefetcher evaluations hinge on:
 IPC falls out as instructions / final retirement cycle.  Absolute numbers
 differ from the paper's Skylake model; relative speed-ups (the paper's
 reported metric) are what this model is built to preserve.
+
+``advance`` is the simulator's innermost loop (one call per memory op per
+run); it is written allocation-free — the hierarchy returns a plain
+``(latency, level)`` tuple, per-level hits are integer counters indexed by
+the hierarchy's level codes, and every per-call attribute lookup that can
+be hoisted into ``__init__`` or a local is.
 """
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.cpu.trace import FLAG_DEP, FLAG_WRITE
 
@@ -40,16 +46,34 @@ class CoreModel:
 
 @dataclass
 class CoreStats:
-    """Results of executing one trace on one core."""
+    """Results of executing one trace on one core.
+
+    Per-level hits are plain integer fields (the hot loop increments a
+    flat counter list, not a dict); :attr:`level_hits` provides the
+    familiar dict view for reporting and tests.
+    """
 
     instructions: int = 0
     memory_ops: int = 0
     cycles: float = 0.0
-    level_hits: dict = field(default_factory=lambda: {"L1": 0, "L2": 0, "LLC": 0, "DRAM": 0})
+    l1_hits: int = 0
+    l2_hits: int = 0
+    llc_hits: int = 0
+    dram_hits: int = 0
 
     @property
     def ipc(self):
         return self.instructions / self.cycles if self.cycles > 0 else 0.0
+
+    @property
+    def level_hits(self):
+        """Dict view of the per-level hit counters (compatibility)."""
+        return {
+            "L1": self.l1_hits,
+            "L2": self.l2_hits,
+            "LLC": self.llc_hits,
+            "DRAM": self.dram_hits,
+        }
 
 
 class CoreExecution:
@@ -60,22 +84,54 @@ class CoreExecution:
     shared LLC/DRAM is resolved in near-global time order.
     """
 
+    __slots__ = (
+        "model",
+        "hierarchy",
+        "stats",
+        "_ops",
+        "_pos",
+        "_n",
+        "_retire",
+        "_instr",
+        "_last_load_done",
+        "_window",
+        "_width",
+        "_rob_size",
+        "_retire_step",
+        "_access",
+        "_hits",
+        "_stats_floor",
+    )
+
     def __init__(self, model, trace, hierarchy):
         self.model = model
         self.hierarchy = hierarchy
         self.stats = CoreStats()
-        self._gaps = trace.gaps.tolist()
-        self._pcs = trace.pcs.tolist()
-        self._addrs = trace.addrs.tolist()
-        self._flags = trace.flags.tolist()
+        # One fused (gap, pc, addr, flags) tuple per op: a single list
+        # index + tuple unpack per advance instead of four list indexes.
+        self._ops = list(
+            zip(
+                trace.gaps.tolist(),
+                trace.pcs.tolist(),
+                trace.addrs.tolist(),
+                trace.flags.tolist(),
+            )
+        )
         self._pos = 0
-        self._n = len(self._gaps)
+        self._n = len(self._ops)
         self._retire = 0.0
         self._instr = 0
         self._last_load_done = 0.0
         # (instruction index, retirement time) checkpoints at memory ops,
         # used to reconstruct the ROB-entry bound by linear interpolation.
         self._window = deque()
+        self._width = model.width
+        self._rob_size = model.rob_size
+        self._retire_step = 1.0 / model.width
+        self._access = hierarchy.access
+        # Indexed by the hierarchy's level codes (L1/L2/LLC/DRAM = 0..3).
+        self._hits = [0, 0, 0, 0]
+        self._stats_floor = None
 
     @property
     def done(self):
@@ -85,6 +141,11 @@ class CoreExecution:
     def time(self):
         """Current retirement time in cycles."""
         return self._retire
+
+    @property
+    def ops(self):
+        """Memory operations executed so far."""
+        return self._pos
 
     def _retire_floor(self, idx):
         """Retirement time of instruction ``idx`` (ROB-entry bound)."""
@@ -96,51 +157,142 @@ class CoreExecution:
         if not window or window[0][0] > idx:
             # Before the first checkpoint retirement is purely
             # bandwidth-bound.
-            return idx / self.model.width
+            return idx / self._width
         base_idx, base_time = window[0]
-        return base_time + (idx - base_idx) / self.model.width
+        return base_time + (idx - base_idx) / self._width
 
     def advance(self):
         """Execute the next memory operation (and its preceding gap).
 
         Returns ``False`` when the trace is exhausted.
         """
-        if self._pos >= self._n:
-            return False
         pos = self._pos
+        if pos >= self._n:
+            return False
         self._pos = pos + 1
-        width = self.model.width
-        gap = self._gaps[pos]
+        gap, pc, addr, flags = self._ops[pos]
+        width = self._width
+        retire = self._retire
+        instr = self._instr
         if gap:
-            self._instr += gap
-            self._retire += gap / width
-        idx = self._instr
-        self._instr += 1
+            instr += gap
+            retire += gap / width
+        idx = instr
+        self._instr = instr + 1
 
-        enter = max(idx / width, self._retire_floor(idx - self.model.rob_size))
-        flags = self._flags[pos]
+        # Inlined _retire_floor(idx - rob_size): the ROB-entry bound.
+        rob_idx = idx - self._rob_size
+        if rob_idx <= 0:
+            enter = idx / width
+        else:
+            window = self._window
+            while len(window) > 1 and window[1][0] <= rob_idx:
+                window.popleft()
+            if not window or window[0][0] > rob_idx:
+                floor = rob_idx / width
+            else:
+                base = window[0]
+                floor = base[1] + (rob_idx - base[0]) / width
+            enter = idx / width
+            if floor > enter:
+                enter = floor
+        if flags & FLAG_DEP and self._last_load_done > enter:
+            enter = self._last_load_done
         is_write = bool(flags & FLAG_WRITE)
-        if flags & FLAG_DEP:
-            enter = max(enter, self._last_load_done)
-        result = self.hierarchy.access(int(enter), self._pcs[pos], self._addrs[pos], is_write)
-        done = enter + result.latency
+        latency, level = self._access(int(enter), pc, addr, is_write)
         if is_write:
             # Stores retire through the store buffer without waiting for
             # data; their bandwidth/occupancy effects are already modelled
             # by the hierarchy access above.
-            self._retire = max(self._retire + 1.0 / width, enter)
+            retire += self._retire_step
+            if enter > retire:
+                retire = enter
         else:
-            self._retire = max(self._retire + 1.0 / width, done)
+            done = enter + latency
+            retire += self._retire_step
+            if done > retire:
+                retire = done
             self._last_load_done = done
-        self._window.append((idx, self._retire))
-        self.stats.memory_ops += 1
-        self.stats.level_hits[result.hit_level] += 1
+        self._retire = retire
+        self._window.append((idx, retire))
+        self._hits[level] += 1
         return True
+
+    def run_ops(self, max_ops=None):
+        """Execute up to ``max_ops`` memory operations (all, if ``None``).
+
+        Semantically identical to calling :meth:`advance` in a loop, but
+        the loop lives inside one frame with every hot attribute bound to
+        a local — for single-core runs (where no other core interleaves)
+        this removes the per-op method-call and attribute-access overhead,
+        which is significant at millions of ops.  Returns the number of
+        ops executed.
+        """
+        pos = self._pos
+        n = self._n
+        end = n if max_ops is None else min(n, pos + max_ops)
+        if pos >= end:
+            return 0
+        ops = self._ops
+        width = self._width
+        rob_size = self._rob_size
+        retire_step = self._retire_step
+        access = self._access
+        window = self._window
+        window_append = window.append
+        popleft = window.popleft
+        hits = self._hits
+        retire = self._retire
+        instr = self._instr
+        last_load_done = self._last_load_done
+        start = pos
+        while pos < end:
+            gap, pc, addr, flags = ops[pos]
+            pos += 1
+            if gap:
+                instr += gap
+                retire += gap / width
+            idx = instr
+            instr += 1
+            rob_idx = idx - rob_size
+            if rob_idx <= 0:
+                enter = idx / width
+            else:
+                while len(window) > 1 and window[1][0] <= rob_idx:
+                    popleft()
+                if not window or window[0][0] > rob_idx:
+                    floor = rob_idx / width
+                else:
+                    base = window[0]
+                    floor = base[1] + (rob_idx - base[0]) / width
+                enter = idx / width
+                if floor > enter:
+                    enter = floor
+            if flags & FLAG_DEP and last_load_done > enter:
+                enter = last_load_done
+            is_write = bool(flags & FLAG_WRITE)
+            latency, level = access(int(enter), pc, addr, is_write)
+            if is_write:
+                retire += retire_step
+                if enter > retire:
+                    retire = enter
+            else:
+                done = enter + latency
+                retire += retire_step
+                if done > retire:
+                    retire = done
+                last_load_done = done
+            window_append((idx, retire))
+            hits[level] += 1
+        self._pos = pos
+        self._retire = retire
+        self._instr = instr
+        self._last_load_done = last_load_done
+        return pos - start
 
     def run(self):
         """Run to completion; returns the final :class:`CoreStats`."""
-        while self.advance():
-            pass
+        self.run_ops()
         return self.finalize()
 
     def mark_stats_start(self):
@@ -151,7 +303,7 @@ class CoreExecution:
         moves, mirroring the warmup-then-measure methodology of the paper's
         simulator.
         """
-        self._stats_floor = (self._instr, self._retire, dict(self.stats.level_hits))
+        self._stats_floor = (self._instr, self._retire, tuple(self._hits))
 
     def finalize(self):
         """Close out stats without requiring the trace to be exhausted.
@@ -159,19 +311,22 @@ class CoreExecution:
         Idempotent: the raw per-level hit counters stay untouched inside
         the execution; each call recomputes the measured-region view.
         """
-        floor = getattr(self, "_stats_floor", None)
+        hits = self._hits
+        floor = self._stats_floor
         if floor is None:
-            self.stats.instructions = self._instr
-            self.stats.cycles = max(self._retire, 1e-9)
-            return self.stats
+            stats = self.stats
+            stats.instructions = self._instr
+            stats.memory_ops = self._pos
+            stats.cycles = max(self._retire, 1e-9)
+            stats.l1_hits, stats.l2_hits, stats.llc_hits, stats.dram_hits = hits
+            return stats
         floor_instr, floor_retire, floor_hits = floor
-        out = CoreStats(
+        return CoreStats(
             instructions=self._instr - floor_instr,
-            memory_ops=self.stats.memory_ops,
+            memory_ops=self._pos,
             cycles=max(self._retire - floor_retire, 1e-9),
-            level_hits={
-                level: count - floor_hits.get(level, 0)
-                for level, count in self.stats.level_hits.items()
-            },
+            l1_hits=hits[0] - floor_hits[0],
+            l2_hits=hits[1] - floor_hits[1],
+            llc_hits=hits[2] - floor_hits[2],
+            dram_hits=hits[3] - floor_hits[3],
         )
-        return out

@@ -12,7 +12,9 @@ contend realistically for the shared LLC and DRAM — which is what makes
 the accuracy-biased pattern matter in Section 5.4.
 """
 
+import gc
 import heapq
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from repro.cpu.core import CoreExecution, CoreModel
@@ -112,6 +114,25 @@ class RunResult:
         }
 
 
+@contextmanager
+def _gc_paused():
+    """Pause cyclic GC for the duration of a simulation run.
+
+    The hot loop allocates heavily (cache lines, candidates, tuples) but
+    creates no reference cycles, so generational collections only add
+    pause time; refcounting reclaims everything promptly and any cycles
+    are collected when GC resumes after the run.
+    """
+    was_enabled = gc.isenabled()
+    if was_enabled:
+        gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
+
+
 def _result_from(execution, hierarchy, dram):
     stats = execution.finalize()
     coverage, accuracy, _base = hierarchy.coverage_accuracy()
@@ -158,14 +179,12 @@ class System:
         )
         execution = CoreExecution(cfg.core, trace, hierarchy)
         warmup_ops = int(len(trace) * cfg.warmup_frac)
-        for _ in range(warmup_ops):
-            if not execution.advance():
-                break
-        execution.mark_stats_start()
-        hierarchy.reset_stats()
-        dram.reset_stats(execution.time)
-        while execution.advance():
-            pass
+        with _gc_paused():
+            execution.run_ops(warmup_ops)
+            execution.mark_stats_start()
+            hierarchy.reset_stats()
+            dram.reset_stats(execution.time)
+            execution.run_ops()
         return _result_from(execution, hierarchy, dram)
 
 
@@ -224,17 +243,18 @@ class MultiCoreSystem:
         dram_stats_reset = False
         heap = [(ex.time, idx) for idx, ex in enumerate(executions)]
         heapq.heapify(heap)
-        while heap:
-            _, idx = heapq.heappop(heap)
-            ex = executions[idx]
-            if ex.advance():
-                heapq.heappush(heap, (ex.time, idx))
-            if ex.stats.memory_ops == warmup_ops[idx]:
-                ex.mark_stats_start()
-                hierarchies[idx].reset_stats()
-                if not dram_stats_reset:
-                    dram.reset_stats(ex.time)
-                    dram_stats_reset = True
+        with _gc_paused():
+            while heap:
+                _, idx = heapq.heappop(heap)
+                ex = executions[idx]
+                if ex.advance():
+                    heapq.heappush(heap, (ex.time, idx))
+                if ex.ops == warmup_ops[idx]:
+                    ex.mark_stats_start()
+                    hierarchies[idx].reset_stats()
+                    if not dram_stats_reset:
+                        dram.reset_stats(ex.time)
+                        dram_stats_reset = True
 
         per_core = [
             _result_from(ex, hier, dram) for ex, hier in zip(executions, hierarchies)

@@ -1,0 +1,55 @@
+"""Simulation engine: persistent caching and parallel execution.
+
+The engine sits between the figure drivers (``repro.experiments``) and
+the raw simulators (``repro.cpu`` / ``repro.memory``), adding two
+properties the per-figure memoization in ``runner`` cannot provide:
+
+- **persistence** — results and traces live in a content-addressed
+  on-disk store keyed by workload/scheme/config *and* a source-code
+  salt, so a re-run of any bench or driver pays disk-load cost, not
+  simulation cost, and stale results are structurally unreachable;
+- **parallelism** — independent (workload, scheme, config) runs fan out
+  over a process pool with deterministic, input-order result merge.
+
+See ``docs/engine.md`` for the cache layout and the determinism
+guarantees.
+"""
+
+from repro.engine.config import (
+    EngineConfig,
+    active_store,
+    configure,
+    current_config,
+    reset_config,
+)
+from repro.engine.compute import produce_mix, produce_run, produce_trace
+from repro.engine.fingerprint import (
+    code_salt,
+    fingerprint,
+    mix_fingerprint,
+    run_fingerprint,
+    trace_fingerprint,
+)
+from repro.engine.parallel import execute_spec, execute_specs, mix_spec, run_spec
+from repro.engine.store import ResultStore
+
+__all__ = [
+    "EngineConfig",
+    "ResultStore",
+    "active_store",
+    "code_salt",
+    "configure",
+    "current_config",
+    "execute_spec",
+    "execute_specs",
+    "fingerprint",
+    "mix_fingerprint",
+    "mix_spec",
+    "produce_mix",
+    "produce_run",
+    "produce_trace",
+    "reset_config",
+    "run_fingerprint",
+    "run_spec",
+    "trace_fingerprint",
+]

@@ -1,0 +1,90 @@
+"""Pure computation layer: disk-cache-aware trace/run/mix production.
+
+These functions are the single implementation behind both the in-process
+memoization in :mod:`repro.experiments.runner` and the process-pool
+workers in :mod:`repro.engine.parallel`.  Each one:
+
+1. consults the on-disk store (if enabled) under the artifact's
+   content-addressed fingerprint;
+2. on a miss, computes the artifact exactly the way the pre-engine
+   sequential code did (same construction order, same arithmetic — results
+   are bit-for-bit identical whether computed here, loaded from disk, or
+   produced by a worker process);
+3. writes the fresh artifact back to the store.
+"""
+
+from repro.cpu.system import MultiCoreSystem, System, SystemConfig
+from repro.engine.config import active_store
+from repro.engine.fingerprint import mix_fingerprint, run_fingerprint, trace_fingerprint
+
+#: In-process trace memo shared by every compute path (direct calls, the
+#: runner's ``get_trace``, and per-worker compute in the pool), so one
+#: process never materializes the same (workload, length) trace twice —
+#: with the disk layer disabled this is the only trace cache.
+#: ``runner.clear_run_cache`` clears it alongside the run memos.
+TRACE_MEMO = {}
+
+
+def produce_trace(workload, length):
+    """Memoized load-or-build of one workload trace (``.npz`` on disk)."""
+    from repro.workloads.catalog import WORKLOADS
+
+    key = (workload, length)
+    trace = TRACE_MEMO.get(key)
+    if trace is not None:
+        return trace
+    store = active_store()
+    digest = trace_fingerprint(workload, length)
+    if store is not None:
+        trace = store.load_trace(digest)
+        if trace is not None:
+            TRACE_MEMO[key] = trace
+            return trace
+    trace = WORKLOADS[workload].build(length)
+    if store is not None:
+        store.save_trace(digest, trace)
+    TRACE_MEMO[key] = trace
+    return trace
+
+
+def produce_run(workload, scheme, length, dram, llc_bytes, record_pollution):
+    """Load-or-compute one single-core run; returns a ``RunResult``."""
+    store = active_store()
+    digest = run_fingerprint(workload, scheme, length, dram, llc_bytes, record_pollution)
+    if store is not None:
+        result = store.load_result(digest)
+        if result is not None:
+            return result
+    config = SystemConfig.single_thread(
+        scheme, dram=dram, llc_bytes=llc_bytes, record_pollution_victims=record_pollution
+    )
+    result = System(config).run(produce_trace(workload, length))
+    if store is not None:
+        store.save_result(
+            digest,
+            result,
+            meta={"kind": "run", "workload": workload, "scheme": scheme, "length": length},
+        )
+    return result
+
+
+def produce_mix(mix_name, workload_names, scheme, length_per_core, dram):
+    """Load-or-compute one 4-core mix; returns a ``MultiProgramResult``."""
+    from repro.workloads.mixes import build_mix_traces
+
+    store = active_store()
+    digest = mix_fingerprint(mix_name, workload_names, scheme, length_per_core, dram)
+    if store is not None:
+        result = store.load_result(digest)
+        if result is not None:
+            return result
+    config = SystemConfig.multi_programmed(scheme, dram=dram)
+    traces = build_mix_traces(workload_names, length_per_core)
+    result = MultiCoreSystem(config).run(traces)
+    if store is not None:
+        store.save_result(
+            digest,
+            result,
+            meta={"kind": "mix", "mix": mix_name, "scheme": scheme, "length": length_per_core},
+        )
+    return result

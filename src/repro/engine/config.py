@@ -1,0 +1,79 @@
+"""Engine configuration: parallelism and cache location.
+
+Resolution order for every knob:
+
+1. an explicit :func:`configure` call (the CLI flags land here);
+2. environment variables (``REPRO_JOBS``, ``REPRO_CACHE_DIR``,
+   ``REPRO_NO_CACHE``);
+3. built-in defaults (sequential, ``~/.cache/dspatch-repro``, disk cache
+   enabled).
+
+Environment variables are read lazily at each :func:`current_config`
+call (not at import), so test fixtures can repoint the cache directory
+before any simulation runs.
+"""
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.engine.store import ResultStore
+
+#: Explicit overrides set via :func:`configure`; ``None`` = use env/default.
+_overrides = {"jobs": None, "cache_dir": None, "disk_cache": None}
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Resolved engine settings."""
+
+    #: Worker processes for independent runs; 1 = in-process sequential.
+    jobs: int
+    #: Root directory of the on-disk result/trace store.
+    cache_dir: Path
+    #: Whether the disk layer is consulted/written at all.
+    disk_cache: bool
+
+
+def _default_cache_dir():
+    return Path(os.environ.get("REPRO_CACHE_DIR") or Path.home() / ".cache" / "dspatch-repro")
+
+
+def current_config():
+    """The active :class:`EngineConfig` (overrides > env > defaults)."""
+    jobs = _overrides["jobs"]
+    if jobs is None:
+        try:
+            jobs = int(os.environ.get("REPRO_JOBS", "1"))
+        except ValueError:
+            jobs = 1
+    cache_dir = _overrides["cache_dir"] or _default_cache_dir()
+    disk_cache = _overrides["disk_cache"]
+    if disk_cache is None:
+        disk_cache = os.environ.get("REPRO_NO_CACHE", "") != "1"
+    return EngineConfig(jobs=max(1, jobs), cache_dir=Path(cache_dir), disk_cache=disk_cache)
+
+
+def configure(jobs=None, cache_dir=None, disk_cache=None):
+    """Set explicit engine overrides; ``None`` leaves a knob untouched."""
+    if jobs is not None:
+        _overrides["jobs"] = int(jobs)
+    if cache_dir is not None:
+        _overrides["cache_dir"] = Path(cache_dir)
+    if disk_cache is not None:
+        _overrides["disk_cache"] = bool(disk_cache)
+
+
+def reset_config():
+    """Drop all explicit overrides (tests)."""
+    for key in _overrides:
+        _overrides[key] = None
+
+
+def active_store():
+    """The :class:`ResultStore` for the current config, or ``None`` if the
+    disk layer is disabled."""
+    cfg = current_config()
+    if not cfg.disk_cache:
+        return None
+    return ResultStore(cfg.cache_dir)

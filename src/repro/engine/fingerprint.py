@@ -1,0 +1,105 @@
+"""Content-addressed cache keys for simulation artifacts.
+
+Every persistent artifact (a generated trace, a single-core run, a
+multi-programmed run) is stored under a fingerprint: the SHA-256 of a
+canonical JSON description of *everything that determines the result* —
+the workload, scheme, trace length, DRAM/LLC/core configuration — plus a
+**code-version salt** derived from the simulator sources themselves.
+
+The salt makes invalidation automatic: any edit to a module that can
+change simulation results (cpu/, memory/, core/, prefetchers/,
+workloads/, constants.py, or the engine itself) produces a new salt, so
+stale results are unreachable rather than merely unlikely.  There is no
+manual version number to forget to bump.
+"""
+
+import hashlib
+import json
+from dataclasses import asdict, is_dataclass
+from pathlib import Path
+
+#: Sub-trees of ``src/repro`` whose source participates in the salt.
+#: Anything that can change a simulation result (or the on-disk encoding
+#: of one) must be listed here.
+_SALTED_SOURCES = (
+    "constants.py",
+    "cpu",
+    "memory",
+    "core",
+    "prefetchers",
+    "workloads",
+    "engine",
+)
+
+_code_salt = None
+
+
+def code_salt():
+    """Hex digest covering the simulator's source code (memoized)."""
+    global _code_salt
+    if _code_salt is None:
+        h = hashlib.sha256()
+        root = Path(__file__).resolve().parent.parent
+        for name in _SALTED_SOURCES:
+            path = root / name
+            files = [path] if path.is_file() else sorted(path.rglob("*.py"))
+            for f in files:
+                h.update(str(f.relative_to(root)).encode())
+                h.update(b"\0")
+                h.update(f.read_bytes())
+                h.update(b"\0")
+        _code_salt = h.hexdigest()[:16]
+    return _code_salt
+
+
+def _canonical(value):
+    """Reduce config objects to JSON-serializable canonical form."""
+    if is_dataclass(value) and not isinstance(value, type):
+        return {"__dataclass__": type(value).__name__, **_canonical(asdict(value))}
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise TypeError(f"cannot fingerprint value of type {type(value).__name__}")
+
+
+def fingerprint(kind, **fields):
+    """Content digest for one artifact: ``kind`` + canonical fields + salt."""
+    payload = json.dumps(
+        {"kind": kind, "salt": code_salt(), "fields": _canonical(fields)},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def trace_fingerprint(workload, length):
+    """Key for a generated workload trace."""
+    return fingerprint("trace", workload=workload, length=length)
+
+
+def run_fingerprint(workload, scheme, length, dram, llc_bytes, record_pollution):
+    """Key for a memoized single-core run (:func:`runner.run_workload`)."""
+    return fingerprint(
+        "run",
+        workload=workload,
+        scheme=scheme,
+        length=length,
+        dram=dram,
+        llc_bytes=llc_bytes,
+        record_pollution=record_pollution,
+    )
+
+
+def mix_fingerprint(mix_name, workload_names, scheme, length_per_core, dram):
+    """Key for a memoized multi-programmed run (:func:`runner.run_mix`)."""
+    return fingerprint(
+        "mix",
+        mix_name=mix_name,
+        workloads=list(workload_names),
+        scheme=scheme,
+        length_per_core=length_per_core,
+        dram=dram,
+    )

@@ -1,0 +1,73 @@
+"""Process-pool execution of independent simulation runs.
+
+Single-core runs and multi-programmed mixes for different (workload,
+scheme, config) tuples share no state, so they fan out across worker
+processes freely.  Determinism is preserved by construction:
+
+- every spec is computed by :mod:`repro.engine.compute` with the exact
+  sequential code path (same arithmetic, same construction order);
+- results are merged back **in input order** (``ProcessPoolExecutor.map``
+  preserves ordering), so callers observe the same sequence of results a
+  sequential loop would produce;
+- workers inherit the parent's engine configuration explicitly through
+  the pool initializer (not ambient environment), so parent and workers
+  agree on the cache directory and write compatible artifacts.
+
+With ``jobs <= 1`` (the default) everything runs in-process — no pool,
+no pickling, no spawn cost.
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.engine import config as _config
+from repro.engine.compute import produce_mix, produce_run
+
+#: Spec kinds understood by :func:`execute_spec`.
+RUN = "run"
+MIX = "mix"
+
+
+def run_spec(workload, scheme, length, dram, llc_bytes, record_pollution):
+    """Build a single-core run spec tuple."""
+    return (RUN, workload, scheme, length, dram, llc_bytes, record_pollution)
+
+
+def mix_spec(mix_name, workload_names, scheme, length_per_core, dram):
+    """Build a multi-programmed mix spec tuple."""
+    return (MIX, mix_name, tuple(workload_names), scheme, length_per_core, dram)
+
+
+def execute_spec(spec):
+    """Compute one spec (disk-cache aware); used in-process and by workers."""
+    kind = spec[0]
+    if kind == RUN:
+        return produce_run(*spec[1:])
+    if kind == MIX:
+        return produce_mix(*spec[1:])
+    raise ValueError(f"unknown spec kind {kind!r}")
+
+
+def _init_worker(cache_dir, disk_cache):
+    """Propagate the parent's engine configuration into a pool worker."""
+    _config.configure(jobs=1, cache_dir=cache_dir, disk_cache=disk_cache)
+
+
+def execute_specs(specs, jobs=None):
+    """Execute ``specs``; returns results in input order.
+
+    ``jobs`` defaults to the engine configuration.  Sequential execution
+    (``jobs <= 1`` or fewer than two specs) stays entirely in-process.
+    """
+    specs = list(specs)
+    cfg = _config.current_config()
+    if jobs is None:
+        jobs = cfg.jobs
+    if jobs <= 1 or len(specs) <= 1:
+        return [execute_spec(spec) for spec in specs]
+    workers = min(jobs, len(specs))
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=_init_worker,
+        initargs=(cfg.cache_dir, cfg.disk_cache),
+    ) as pool:
+        return list(pool.map(execute_spec, specs))

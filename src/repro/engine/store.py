@@ -1,0 +1,156 @@
+"""On-disk result and trace store.
+
+Layout (under the engine cache directory)::
+
+    <cache_dir>/
+      results/<aa>/<digest>.pkl   # pickled {"meta": ..., "result": ...}
+      traces/<aa>/<digest>.npz    # Trace round-trip (Trace.save/load)
+
+``<aa>`` is the first two hex digits of the digest (fan-out so a large
+cache does not put tens of thousands of files in one directory).  Writes
+go through a temp file + ``os.replace`` so concurrent writers (the
+process-pool workers) can never expose a torn file; both writers produce
+identical bytes-for-key content, so the race is benign.
+
+Results are pickled, not JSON-encoded: the acceptance bar for the cache
+is *bit-for-bit* identity with a fresh computation, and pickle round-trips
+floats and dataclasses losslessly.  Keys embed a source-code salt (see
+:mod:`repro.engine.fingerprint`), so unpickling never crosses a code
+version.  Corrupt or unreadable entries are treated as misses.
+"""
+
+import os
+import pickle
+import shutil
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.cpu.trace import Trace
+
+
+class ResultStore:
+    """Content-addressed persistence for runs, mixes and traces.
+
+    Writes are best-effort: the store is an optimization, so an
+    unwritable cache directory degrades to no-persistence (with one
+    warning on stderr) instead of failing the simulation that produced
+    the result.
+    """
+
+    #: Roots that already warned about failed writes (class-level so the
+    #: warning fires once per location, not once per store instance).
+    _warned_roots = set()
+
+    def __init__(self, root):
+        self.root = Path(root)
+
+    def _write_failed(self, exc):
+        root = str(self.root)
+        if root not in ResultStore._warned_roots:
+            ResultStore._warned_roots.add(root)
+            print(
+                f"warning: engine cache at {root} is not writable ({exc}); "
+                "results will not persist",
+                file=sys.stderr,
+            )
+
+    # -- paths ---------------------------------------------------------------
+
+    def _result_path(self, digest):
+        return self.root / "results" / digest[:2] / f"{digest}.pkl"
+
+    def _trace_path(self, digest):
+        return self.root / "traces" / digest[:2] / f"{digest}.npz"
+
+    @staticmethod
+    def _atomic_write(path, writer):
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".tmp-")
+        try:
+            with os.fdopen(fd, "wb") as f:
+                writer(f)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # -- results -------------------------------------------------------------
+
+    def load_result(self, digest):
+        """Return the stored object for ``digest`` or ``None`` on a miss."""
+        path = self._result_path(digest)
+        try:
+            with open(path, "rb") as f:
+                return pickle.load(f)["result"]
+        except (OSError, pickle.UnpicklingError, KeyError, EOFError, AttributeError):
+            return None
+
+    def save_result(self, digest, result, meta=None):
+        """Persist ``result`` under ``digest`` (atomic, best-effort)."""
+        payload = {"meta": meta or {}, "result": result}
+        try:
+            self._atomic_write(
+                self._result_path(digest),
+                lambda f: pickle.dump(payload, f, protocol=pickle.HIGHEST_PROTOCOL),
+            )
+        except OSError as exc:
+            self._write_failed(exc)
+
+    # -- traces --------------------------------------------------------------
+
+    def load_trace(self, digest):
+        """Return the stored :class:`Trace` for ``digest`` or ``None``."""
+        path = self._trace_path(digest)
+        try:
+            return Trace.load(path)
+        except (OSError, KeyError, ValueError):
+            return None
+
+    def save_trace(self, digest, trace):
+        """Persist ``trace`` under ``digest`` (atomic, best-effort)."""
+        path = self._trace_path(digest)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".tmp-", suffix=".npz")
+        except OSError as exc:
+            self._write_failed(exc)
+            return
+        os.close(fd)
+        try:
+            trace.save(tmp)
+            os.replace(tmp, path)
+        except OSError as exc:
+            self._write_failed(exc)
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # -- maintenance ---------------------------------------------------------
+
+    def clear(self):
+        """Delete every cached artifact (results and traces)."""
+        for sub in ("results", "traces"):
+            shutil.rmtree(self.root / sub, ignore_errors=True)
+
+    def stats(self):
+        """Entry counts and total bytes, for ``repro cache`` / tests."""
+        out = {}
+        total_bytes = 0
+        for sub in ("results", "traces"):
+            base = self.root / sub
+            files = [p for p in base.rglob("*") if p.is_file()] if base.is_dir() else []
+            out[sub] = len(files)
+            total_bytes += sum(p.stat().st_size for p in files)
+        out["bytes"] = total_bytes
+        return out

@@ -20,6 +20,8 @@ from repro.experiments.runner import (
     clear_run_cache,
     run_workload,
     speedup_ratios,
+    warm_mixes,
+    warm_runs,
     workload_subset,
 )
 from repro.experiments.scale import Scale
@@ -30,5 +32,7 @@ __all__ = [
     "figures",
     "run_workload",
     "speedup_ratios",
+    "warm_mixes",
+    "warm_runs",
     "workload_subset",
 ]

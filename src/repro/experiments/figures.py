@@ -27,6 +27,8 @@ from repro.experiments.runner import (
     run_workload,
     scheme_label,
     speedup_ratios,
+    warm_mixes,
+    warm_runs,
     workload_subset,
 )
 from repro.experiments.scale import Scale
@@ -47,6 +49,7 @@ def _categories_map(workloads):
 def _category_speedup_rows(schemes, workloads, length, dram=None):
     rows = {}
     cats = _categories_map(workloads)
+    warm_runs(workloads, ["none", *schemes], length, dram)
     for scheme in schemes:
         ratios = speedup_ratios(scheme, workloads, length, dram)
         rows[scheme_label(scheme)] = category_geomeans(ratios, cats)
@@ -58,6 +61,7 @@ def _bandwidth_sweep_rows(schemes, workloads, length):
     rows = {scheme_label(s): {} for s in schemes}
     for dram in BANDWIDTH_SWEEP:
         column = f"{dram.peak_gbps:.1f}"
+        warm_runs(workloads, ["none", *schemes], length, dram)
         for scheme in schemes:
             ratios = speedup_ratios(scheme, workloads, length, dram)
             pct = 100.0 * (geomean(ratios.values()) - 1.0)
@@ -194,6 +198,7 @@ def fig05_sms_pht_sweep(scale=None):
         ["16K", "4K", "1K", "256"],
         notes=["paper: halving from 16.5% (16K, 88KB) to 8.8% (256 entries, 3.5KB)"],
     )
+    warm_runs(workloads, ["none", "sms", "sms-4k", "sms-1k", "sms-256"], scale.trace_len)
     row = {}
     for scheme, column in (("sms", "16K"), ("sms-4k", "4K"), ("sms-1k", "1K"), ("sms-256", "256")):
         ratios = speedup_ratios(scheme, workloads, scale.trace_len)
@@ -352,6 +357,7 @@ def fig13_memory_intensive_lines(scale=None, max_workloads=None):
         max_workloads = len(names) if scale.full else 12
     names = names[:max_workloads]
     schemes = ["sms", "spp", "spp+dspatch"]
+    warm_runs(names, ["none", *schemes], scale.trace_len)
     per_scheme = {s: speedup_ratios(s, names, scale.trace_len) for s in schemes}
     order = sorted(names, key=lambda n: per_scheme["spp+dspatch"][n])
     fig = FigureResult(
@@ -385,6 +391,7 @@ def fig16_coverage_accuracy(scale=None):
     scale = _scale(scale)
     workloads = workload_subset(scale.workloads_per_category)
     schemes = ["bop", "sms", "spp", "spp+dspatch"]
+    warm_runs(workloads, schemes, scale.trace_len)
     fig = FigureResult(
         "fig16",
         "Figure 16: prefetch coverage breakdown (% of baseline L2 misses)",
@@ -438,6 +445,7 @@ def fig17_mp_homogeneous(scale=None):
         step = max(1, len(mixes) // scale.mix_count)
         mixes = mixes[::step][: scale.mix_count]
     schemes = ["bop", "sms", "spp", "spp+dspatch"]
+    warm_mixes(mixes, ["none", *schemes], scale.mix_trace_len)
     per_scheme = {}
     for scheme in schemes:
         ratios = {}
@@ -477,6 +485,7 @@ def fig18_mp_bandwidth(scale=None):
         for flavour, mixes in (("Homogeneous", homo), ("Heterogeneous", hetero)):
             column = f"{flavour}@{dram_name}"
             columns.append(column)
+            warm_mixes(mixes, ["none", *schemes], scale.mix_trace_len, dram)
             for scheme in schemes:
                 ratios = [
                     mix_speedup_ratio(mix_name, names, scheme, scale.mix_trace_len, dram)
@@ -509,6 +518,9 @@ def fig19_accp_contribution(scale=None, max_workloads=None):
         "Figure 19: accuracy-biased pattern ablation (% over baseline, geomean)",
         ["DSPatch", "AlwaysCovP", "ModCovP"],
         notes=["paper: AlwaysCovP loses ~4.5% and ModCovP ~1.4% vs full DSPatch"],
+    )
+    warm_runs(
+        names, ["none", "spp+dspatch", "spp+alwayscovp", "spp+modcovp"], scale.trace_len
     )
     row = {}
     for scheme, column in (
@@ -544,6 +556,10 @@ def fig20_pollution(scale=None, reuse_window_fraction=0.5):
         llc_sizes = {"8MB": 1 << 20, "4MB": 512 << 10, "2MB": 256 << 10}
         size_note = "LLC capacities scaled 8:1 for reduced-scale traces (ratio preserved)"
     trace_len = max(scale.trace_len, 12000)
+    for size in llc_sizes.values():
+        warm_runs(
+            workloads, ["streamer"], trace_len, llc_bytes=size, record_pollution=True
+        )
     fig = FigureResult(
         "fig20",
         "Figure 20 (appendix): LLC pollution breakdown under a streaming prefetcher (%)",
@@ -638,6 +654,7 @@ def extra_triple_hybrid(scale=None):
         ["SPP+BOP", "SPP+BOP+DSPatch"],
         notes=["paper: the triple adds ~2.6% — BOP and DSPatch coverage do not fully overlap"],
     )
+    warm_runs(workloads, ["none", "spp+bop", "spp+bop+dspatch"], scale.trace_len)
     row = {}
     for scheme, column in (("spp+bop", "SPP+BOP"), ("spp+bop+dspatch", "SPP+BOP+DSPatch")):
         ratios = speedup_ratios(scheme, workloads, scale.trace_len)

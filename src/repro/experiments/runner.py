@@ -8,16 +8,24 @@ Responsibilities:
 - compute the paper's metric: per-workload speedup ratios of a scheme's
   IPC over the baseline (L1 PC-stride only, no L2 prefetcher).
 
+Memoization is two-layer since the engine subsystem landed: a per-process
+dict (identity-preserving, what the tests observe) over the engine's
+content-addressed **disk store** (`repro.engine`), which persists runs,
+mixes and traces across processes keyed by workload/scheme/config plus a
+source-code salt.  ``warm_runs``/``warm_mixes`` bulk-fill the caches and
+fan independent simulations across a process pool when the engine is
+configured with ``jobs > 1``; results are identical to the sequential
+path bit for bit.
+
 Scheme names follow the prefetcher registry; adjunct schemes are written
 primary-first (``"spp+dspatch"``) so the primary prefetcher wins ties in
 the shared prefetch queue, and :data:`SCHEME_LABELS` maps them to the
 paper's display names ("DSPatch+SPP").
 """
 
-from repro.cpu.system import MultiCoreSystem, System, SystemConfig
+from repro import engine
 from repro.memory.dram import DramConfig
 from repro.workloads.catalog import CATEGORIES, WORKLOADS, workloads_in_category
-from repro.workloads.mixes import build_mix_traces
 
 #: Display names used in the rendered figures.
 SCHEME_LABELS = {
@@ -49,30 +57,42 @@ SCHEME_LABELS = {
     "fdp:dspatch": "FDP(DSPatch)",
 }
 
+DEFAULT_LLC_BYTES = 2 * 1024 * 1024
+_MP_LLC_BYTES = 8 * 1024 * 1024
+
 
 def scheme_label(scheme):
     """Paper display name for a registry scheme string."""
     return SCHEME_LABELS.get(scheme, scheme)
 
 
-_TRACE_CACHE = {}
+#: The trace memo lives in the engine's compute layer so every path —
+#: runner lookups, direct engine calls, pool workers — shares it; the
+#: alias keeps the runner's historical name working for callers/tests.
+_TRACE_CACHE = engine.compute.TRACE_MEMO
 _RUN_CACHE = {}
 _MP_CACHE = {}
 
 
-def clear_run_cache():
-    """Drop all memoized traces and runs (tests use this)."""
+def clear_run_cache(disk=True):
+    """Drop all memoized traces and runs (tests use this).
+
+    Clears the in-process layer and, by default, the engine's on-disk
+    store as well — both layers invalidate together, so a test can never
+    observe a stale cross-process result after clearing.
+    """
     _TRACE_CACHE.clear()
     _RUN_CACHE.clear()
     _MP_CACHE.clear()
+    if disk:
+        store = engine.active_store()
+        if store is not None:
+            store.clear()
 
 
 def get_trace(workload, length):
-    """Memoized trace generation."""
-    key = (workload, length)
-    if key not in _TRACE_CACHE:
-        _TRACE_CACHE[key] = WORKLOADS[workload].build(length)
-    return _TRACE_CACHE[key]
+    """Memoized trace generation (persistent via the engine's .npz store)."""
+    return engine.produce_trace(workload, length)
 
 
 def run_workload(
@@ -80,22 +100,55 @@ def run_workload(
     scheme,
     length,
     dram: DramConfig = None,
-    llc_bytes=2 * 1024 * 1024,
+    llc_bytes=DEFAULT_LLC_BYTES,
     record_pollution=False,
 ):
     """Memoized single-core run; returns a :class:`RunResult`."""
     dram = dram or DramConfig()
-    key = (workload, scheme, length, dram.label(), llc_bytes, record_pollution)
-    if key not in _RUN_CACHE:
-        config = SystemConfig.single_thread(
-            scheme, dram=dram, llc_bytes=llc_bytes, record_pollution_victims=record_pollution
-        )
-        _RUN_CACHE[key] = System(config).run(get_trace(workload, length))
-    return _RUN_CACHE[key]
+    key = engine.run_fingerprint(workload, scheme, length, dram, llc_bytes, record_pollution)
+    result = _RUN_CACHE.get(key)
+    if result is None:
+        result = engine.produce_run(workload, scheme, length, dram, llc_bytes, record_pollution)
+        _RUN_CACHE[key] = result
+    return result
 
 
-def speedup_ratios(scheme, workloads, length, dram=None, llc_bytes=2 * 1024 * 1024):
+def warm_runs(
+    workloads,
+    schemes,
+    length,
+    dram=None,
+    llc_bytes=DEFAULT_LLC_BYTES,
+    record_pollution=False,
+    jobs=None,
+):
+    """Bulk-fill the run cache for every (workload, scheme) pair.
+
+    Missing runs execute through :func:`repro.engine.execute_specs` — in
+    parallel when the engine is configured with ``jobs > 1``, in-process
+    otherwise — and merge into the memo in deterministic input order.
+    """
+    dram = dram or DramConfig()
+    keys, specs = [], []
+    for workload in workloads:
+        for scheme in schemes:
+            key = engine.run_fingerprint(
+                workload, scheme, length, dram, llc_bytes, record_pollution
+            )
+            if key not in _RUN_CACHE:
+                keys.append(key)
+                specs.append(
+                    engine.run_spec(workload, scheme, length, dram, llc_bytes, record_pollution)
+                )
+    if specs:
+        for key, result in zip(keys, engine.execute_specs(specs, jobs=jobs)):
+            _RUN_CACHE[key] = result
+
+
+def speedup_ratios(scheme, workloads, length, dram=None, llc_bytes=DEFAULT_LLC_BYTES):
     """Per-workload IPC ratios of ``scheme`` over the baseline."""
+    workloads = list(workloads)
+    warm_runs(workloads, ["none", scheme], length, dram, llc_bytes)
     out = {}
     for name in workloads:
         base = run_workload(name, "none", length, dram, llc_bytes)
@@ -123,15 +176,41 @@ def category_of(workload):
     return WORKLOADS[workload].category
 
 
+def _mp_dram(dram):
+    return dram or DramConfig(speed_grade=2133, channels=2)
+
+
 def run_mix(mix_name, workload_names, scheme, length_per_core, dram=None):
     """Memoized 4-core multi-programmed run."""
-    dram = dram or DramConfig(speed_grade=2133, channels=2)
-    key = (mix_name, tuple(workload_names), scheme, length_per_core, dram.label())
-    if key not in _MP_CACHE:
-        config = SystemConfig.multi_programmed(scheme, dram=dram)
-        traces = build_mix_traces(workload_names, length_per_core)
-        _MP_CACHE[key] = MultiCoreSystem(config).run(traces)
-    return _MP_CACHE[key]
+    dram = _mp_dram(dram)
+    key = engine.mix_fingerprint(mix_name, workload_names, scheme, length_per_core, dram)
+    result = _MP_CACHE.get(key)
+    if result is None:
+        result = engine.produce_mix(mix_name, workload_names, scheme, length_per_core, dram)
+        _MP_CACHE[key] = result
+    return result
+
+
+def warm_mixes(mixes, schemes, length_per_core, dram=None, jobs=None):
+    """Bulk-fill caches for multi-programmed figures.
+
+    ``mixes`` is a list of (mix_name, workload_names).  Warms every
+    (mix, scheme) run plus the per-workload baseline "alone" runs that
+    :func:`mix_speedup_ratio` divides by.
+    """
+    dram = _mp_dram(dram)
+    alone = sorted({name for _, names in mixes for name in names})
+    warm_runs(alone, ["none"], length_per_core, dram=dram, llc_bytes=_MP_LLC_BYTES, jobs=jobs)
+    keys, specs = [], []
+    for mix_name, names in mixes:
+        for scheme in schemes:
+            key = engine.mix_fingerprint(mix_name, names, scheme, length_per_core, dram)
+            if key not in _MP_CACHE:
+                keys.append(key)
+                specs.append(engine.mix_spec(mix_name, names, scheme, length_per_core, dram))
+    if specs:
+        for key, result in zip(keys, engine.execute_specs(specs, jobs=jobs)):
+            _MP_CACHE[key] = result
 
 
 def mix_speedup_ratio(mix_name, workload_names, scheme, length_per_core, dram=None):
@@ -141,11 +220,11 @@ def mix_speedup_ratio(mix_name, workload_names, scheme, length_per_core, dram=No
     reduces to sum(IPC_i^scheme/IPC_i^alone) / sum(IPC_i^base/IPC_i^alone).
     We use the baseline single-core IPC on the MP machine as 'alone'.
     """
-    dram = dram or DramConfig(speed_grade=2133, channels=2)
+    dram = _mp_dram(dram)
     alone = []
     for name in workload_names:
         result = run_workload(
-            name, "none", length_per_core, dram=dram, llc_bytes=8 * 1024 * 1024
+            name, "none", length_per_core, dram=dram, llc_bytes=_MP_LLC_BYTES
         )
         alone.append(result.ipc)
     base = run_mix(mix_name, workload_names, "none", length_per_core, dram)

@@ -10,11 +10,32 @@ Prefetch usefulness is tracked per line: a line filled by a prefetch counts
 as *useful* on its first demand hit and as *useless* if it leaves the cache
 untouched — the raw ingredients of the paper's coverage / misprediction
 accounting (Figure 16).
+
+``access``/``fill``/``probe`` run once or more per simulated memory op, so
+set lookup is inlined (mask + shift; set counts are powers of two) and the
+recency-update rule — identical across both registered replacement
+policies, which differ only in victim selection — is applied directly
+instead of through a per-access policy call.
+
+Each set is an ``OrderedDict`` kept in exact recency order (front = LRU):
+hits ``move_to_end``, normal fills append, low-priority fills move to the
+front.  Because every recency event consumes a unique tick, this order is
+identical to sorting by ``last_touch`` (which is still maintained on every
+line), so the two registered policies reduce to O(1)/first-match scans —
+plain LRU evicts the front line, the prefetch-aware dead-block policy
+evicts the first never-demanded prefetched line in recency order (the
+oldest such line) and falls back to the front.  Unknown policies would go
+through the generic ``victim()`` walk.
 """
 
-from dataclasses import dataclass, field
+from collections import OrderedDict
+from dataclasses import dataclass
 
-from repro.memory.replacement import LruPolicy, make_replacement_policy
+from repro.memory.replacement import (
+    LruPolicy,
+    PrefetchAwareDeadBlock,
+    make_replacement_policy,
+)
 
 
 class CacheLine:
@@ -53,26 +74,80 @@ class CacheConfig:
         return sets
 
 
-@dataclass
 class EvictionInfo:
     """What :meth:`Cache.fill` evicted, for pollution accounting."""
 
-    line_addr: int
-    was_prefetched: bool
-    was_used: bool
-    was_dirty: bool = field(default=False)
+    __slots__ = ("line_addr", "was_prefetched", "was_used", "was_dirty")
+
+    def __init__(self, line_addr, was_prefetched, was_used, was_dirty=False):
+        self.line_addr = line_addr
+        self.was_prefetched = was_prefetched
+        self.was_used = was_used
+        self.was_dirty = was_dirty
+
+    def __eq__(self, other):
+        if not isinstance(other, EvictionInfo):
+            return NotImplemented
+        return (
+            self.line_addr == other.line_addr
+            and self.was_prefetched == other.was_prefetched
+            and self.was_used == other.was_used
+            and self.was_dirty == other.was_dirty
+        )
+
+    def __repr__(self):
+        return (
+            f"EvictionInfo(line_addr={self.line_addr}, "
+            f"was_prefetched={self.was_prefetched}, was_used={self.was_used}, "
+            f"was_dirty={self.was_dirty})"
+        )
 
 
 class Cache:
     """A set-associative cache level."""
+
+    __slots__ = (
+        "config",
+        "name",
+        "num_sets",
+        "hit_latency",
+        "ways",
+        "_sets",
+        "_set_mask",
+        "_tag_shift",
+        "_policy",
+        "_victim",
+        "_victim_mode",
+        "_tick",
+        "last_access_first_use",
+        "demand_hits",
+        "demand_misses",
+        "prefetch_probe_hits",
+        "useful_prefetches",
+        "late_useful_prefetches",
+        "useless_evictions",
+        "writebacks",
+    )
 
     def __init__(self, config: CacheConfig):
         self.config = config
         self.name = config.name
         self.num_sets = config.num_sets
         self.hit_latency = config.hit_latency
-        self._sets = [dict() for _ in range(self.num_sets)]
+        self.ways = config.ways
+        self._sets = [OrderedDict() for _ in range(self.num_sets)]
+        self._set_mask = self.num_sets - 1
+        self._tag_shift = self.num_sets.bit_length() - 1
         self._policy = make_replacement_policy(config.replacement)
+        self._victim = self._policy.victim
+        # Recency-order fast paths (see module docstring): 0 = front-LRU,
+        # 1 = first-dead-else-front, 2 = generic victim() walk.
+        if type(self._policy) is LruPolicy:
+            self._victim_mode = 0
+        elif type(self._policy) is PrefetchAwareDeadBlock:
+            self._victim_mode = 1
+        else:
+            self._victim_mode = 2
         self._tick = 0
         #: True when the most recent :meth:`access` was the first demand use
         #: of a prefetched line (read by the hierarchy for accounting).
@@ -99,23 +174,24 @@ class Cache:
     # -- addressing ---------------------------------------------------------
 
     def _locate(self, line_addr):
-        set_idx = line_addr & (self.num_sets - 1)
-        tag = line_addr // self.num_sets
-        return self._sets[set_idx], tag
+        set_idx = line_addr & self._set_mask
+        return self._sets[set_idx], line_addr >> self._tag_shift
 
     def _line_addr_of(self, set_idx, tag):
-        return tag * self.num_sets + set_idx
+        return (tag << self._tag_shift) | set_idx
 
     # -- queries -------------------------------------------------------------
 
     def probe(self, line_addr):
         """Return the line if present, without touching recency or stats."""
-        lines, tag = self._locate(line_addr)
-        return lines.get(tag)
+        return self._sets[line_addr & self._set_mask].get(line_addr >> self._tag_shift)
 
     def contains(self, line_addr):
         """True if ``line_addr`` is resident (no state change)."""
-        return self.probe(line_addr) is not None
+        return (
+            self._sets[line_addr & self._set_mask].get(line_addr >> self._tag_shift)
+            is not None
+        )
 
     # -- demand path ---------------------------------------------------------
 
@@ -126,15 +202,18 @@ class Cache:
         demand to a prefetched line, the prefetch is counted useful (late if
         the fill had not completed by ``cycle``).
         """
-        lines, tag = self._locate(line_addr)
+        lines = self._sets[line_addr & self._set_mask]
+        tag = line_addr >> self._tag_shift
         line = lines.get(tag)
-        self._tick += 1
+        tick = self._tick + 1
+        self._tick = tick
         self.last_access_first_use = False
         if line is None:
             self.demand_misses += 1
             return None
         self.demand_hits += 1
-        self._policy.on_hit(line, self._tick)
+        line.last_touch = tick
+        lines.move_to_end(tag)
         if is_write:
             line.dirty = True
         if line.prefetched and not line.used:
@@ -142,7 +221,7 @@ class Cache:
             self.last_access_first_use = True
             if line.ready > cycle:
                 self.late_useful_prefetches += 1
-        line.used = True
+            line.used = True
         return line
 
     def touch_for_prefetcher(self, line_addr):
@@ -157,44 +236,82 @@ class Cache:
 
     # -- fill path -----------------------------------------------------------
 
-    def fill(self, line_addr, cycle, prefetched=False, low_priority=False, ready=None):
+    def fill(self, line_addr, cycle, prefetched=False, low_priority=False, ready=None, want_victim=True):
         """Install ``line_addr``; returns :class:`EvictionInfo` or ``None``.
 
         ``ready`` is the cycle at which the fill's data actually arrives
         (defaults to ``cycle``); demands arriving earlier pay the remainder.
+        ``want_victim=False`` skips constructing the :class:`EvictionInfo`
+        (eviction *accounting* still happens) for callers that discard the
+        return value — the hierarchy's L1/L2 fills, which dominate fill
+        volume.
         """
-        lines, tag = self._locate(line_addr)
-        self._tick += 1
+        set_idx = line_addr & self._set_mask
+        lines = self._sets[set_idx]
+        tag = line_addr >> self._tag_shift
+        tick = self._tick + 1
+        self._tick = tick
         existing = lines.get(tag)
         if existing is not None:
             # Refill of a resident line (e.g. prefetch to a present line is
             # filtered upstream; a demand refill just refreshes recency).
-            self._policy.on_hit(existing, self._tick)
+            existing.last_touch = tick
+            lines.move_to_end(tag)
             return None
         evicted = None
-        if len(lines) >= self.config.ways:
-            victim = self._policy.victim(list(lines.values()))
-            victim_addr = self._line_addr_of(line_addr & (self.num_sets - 1), victim.tag)
-            evicted = EvictionInfo(
-                line_addr=victim_addr,
-                was_prefetched=victim.prefetched,
-                was_used=victim.used,
-                was_dirty=victim.dirty,
-            )
+        if len(lines) >= self.ways:
+            mode = self._victim_mode
+            if mode == 0:
+                # LRU: recency order makes the front line the victim.
+                victim = next(iter(lines.values()))
+            elif mode == 1:
+                # Dead-block: first never-demanded prefetched line in
+                # recency order is the oldest one; front line otherwise.
+                victim = None
+                for cand in lines.values():
+                    if cand.prefetched and not cand.used:
+                        victim = cand
+                        break
+                if victim is None:
+                    victim = next(iter(lines.values()))
+            else:
+                victim = self._victim(lines.values())
             if victim.prefetched and not victim.used:
                 self.useless_evictions += 1
             if victim.dirty:
                 self.writebacks += 1
+            if want_victim:
+                evicted = EvictionInfo(
+                    (victim.tag << self._tag_shift) | set_idx,
+                    victim.prefetched,
+                    victim.used,
+                    victim.dirty,
+                )
             del lines[victim.tag]
-        line = CacheLine(tag, self._tick, prefetched=prefetched, ready=ready if ready is not None else cycle)
-        self._policy.on_fill(line, self._tick, low_priority)
+            # Recycle the victim's line object for the incoming fill (same
+            # dict-insertion position a fresh object would take).
+            victim.tag = tag
+            victim.dirty = False
+            victim.prefetched = prefetched
+            victim.used = not prefetched
+            victim.last_touch = tick
+            victim.ready = ready if ready is not None else cycle
+            line = victim
+        else:
+            line = CacheLine(
+                tag, tick, prefetched=prefetched, ready=ready if ready is not None else cycle
+            )
         lines[tag] = line
+        if low_priority:
+            # Insert near LRU (Section 3.6's low-priority fill rule): the
+            # line is the first eviction candidate unless demanded first.
+            line.last_touch = -tick if tick else -1
+            lines.move_to_end(tag, last=False)
         return evicted
 
     def invalidate(self, line_addr):
         """Drop ``line_addr`` if resident (no writeback modelling)."""
-        lines, tag = self._locate(line_addr)
-        lines.pop(tag, None)
+        self._sets[line_addr & self._set_mask].pop(line_addr >> self._tag_shift, None)
 
     # -- stats ----------------------------------------------------------------
 

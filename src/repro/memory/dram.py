@@ -104,6 +104,17 @@ class BandwidthMonitor:
     utilization quartile.
     """
 
+    __slots__ = (
+        "window_cycles",
+        "peak_cas_per_window",
+        "_thresholds",
+        "_counter",
+        "_window_end",
+        "total_cas",
+        "_bucket_cycles",
+        "_last_sample_cycle",
+    )
+
     def __init__(self, window_cycles, peak_cas_per_window):
         if window_cycles <= 0 or peak_cas_per_window <= 0:
             raise ValueError("window and peak CAS rate must be positive")
@@ -133,7 +144,8 @@ class BandwidthMonitor:
 
     def record_cas(self, cycle):
         """Count one CAS command issued at ``cycle``."""
-        self._advance(cycle)
+        if cycle >= self._window_end:
+            self._advance(cycle)
         self._counter += 1.0
         self.total_cas += 1
 
@@ -253,6 +265,34 @@ class DramModel:
     #: bank capacity), mirroring the bus-level demand priority above.
     DEMAND_MAX_PREEMPT_WAIT_ACTS = 2
 
+    __slots__ = (
+        "config",
+        "tCL",
+        "tRCD",
+        "tRP",
+        "tRC",
+        "burst",
+        "_channels",
+        "_channel_mask",
+        "_bank_mask",
+        "_channel_bits",
+        "_bank_bits",
+        "_row_shift",
+        "monitor",
+        "reads",
+        "writes",
+        "row_hits",
+        "row_misses",
+        "busy_cycles",
+        "prefetches_dropped",
+        "_last_data_done",
+        "_stats_start_cycle",
+        "_prefetch_drop_backlog",
+        "_demand_preempt_bursts",
+        "_demand_preempt_acts",
+        "_record_cas",
+    )
+
     def __init__(self, config: DramConfig = DramConfig()):
         self.config = config
         t = config.timings
@@ -271,6 +311,11 @@ class DramModel:
         window = 4 * self.tRC
         peak_cas = window / self.burst * config.channels
         self.monitor = BandwidthMonitor(window, peak_cas)
+        # Hot-path precomputations (constants never change per instance).
+        self._prefetch_drop_backlog = self.PREFETCH_DROP_BACKLOG_BURSTS * self.burst
+        self._demand_preempt_bursts = self.DEMAND_MAX_PREEMPT_WAIT_BURSTS * self.burst
+        self._demand_preempt_acts = self.DEMAND_MAX_PREEMPT_WAIT_ACTS * self.tRC
+        self._record_cas = self.monitor.record_cas
         # Statistics
         self.reads = 0
         self.writes = 0
@@ -302,11 +347,14 @@ class DramModel:
         queue (demands are never rejected).
         """
         cycle = int(cycle)
-        channel, bank_idx, row = self._route(line_addr)
-        bank = channel.banks[bank_idx]
+        burst = self.burst
+        # Inlined _route: line-interleaved channels, row-interleaved banks.
+        channel = self._channels[line_addr & self._channel_mask]
+        rest = line_addr >> self._channel_bits
+        bank = channel.banks[(rest >> self._row_shift) & self._bank_mask]
+        row = rest >> (self._row_shift + self._bank_bits)
         if is_prefetch:
-            backlog = channel.bus_free_cycle - cycle
-            if backlog > self.PREFETCH_DROP_BACKLOG_BURSTS * self.burst:
+            if channel.bus_free_cycle - cycle > self._prefetch_drop_backlog:
                 self.prefetches_dropped += 1
                 return None
         if bank.open_row == row:
@@ -316,16 +364,19 @@ class DramModel:
             if not is_prefetch:
                 # A demand hit to a row opened by a far-future queued
                 # prefetch ACT does not wait for the whole backlog.
-                row_wait = min(row_wait, cycle + self.DEMAND_MAX_PREEMPT_WAIT_ACTS * self.tRC)
-            cas_start = max(cycle, row_wait)
+                bound = cycle + self._demand_preempt_acts
+                if row_wait > bound:
+                    row_wait = bound
+            cas_start = cycle if cycle > row_wait else row_wait
             bus_ready = cas_start + self.tCL
         else:
             # Row miss: precharge + activate, bounded by the bank's tRC
             # activate-to-activate constraint; subsequent hits to the new
             # row need only wait for row_ready, not tRC.
             self.row_misses += 1
+            next_act = bank.next_activate_cycle
             if is_prefetch:
-                act_start = max(cycle, bank.next_activate_cycle)
+                act_start = cycle if cycle > next_act else next_act
                 bank.next_activate_cycle = act_start + self.tRC
             else:
                 # Demand ACTs preempt queued prefetch activations, waiting
@@ -333,37 +384,48 @@ class DramModel:
                 # the displaced backlog is pushed one tRC later (bank
                 # capacity is conserved — the queue shifts, it does not
                 # shrink).
-                preempt_bound = cycle + self.DEMAND_MAX_PREEMPT_WAIT_ACTS * self.tRC
-                act_start = max(cycle, min(bank.next_activate_cycle, preempt_bound))
+                preempt_bound = cycle + self._demand_preempt_acts
+                act_start = next_act if next_act < preempt_bound else preempt_bound
+                if act_start < cycle:
+                    act_start = cycle
                 bank.next_activate_cycle = (
-                    max(bank.next_activate_cycle, act_start) + self.tRC
-                )
+                    next_act if next_act > act_start else act_start
+                ) + self.tRC
             bank.open_row = row
-            bank.row_ready_cycle = act_start + self.tRP + self.tRCD
-            bus_ready = bank.row_ready_cycle + self.tCL
+            row_ready = act_start + self.tRP + self.tRCD
+            bank.row_ready_cycle = row_ready
+            bus_ready = row_ready + self.tCL
         # The bus is a capacity meter, not a FIFO of possibly-stalled
         # requests: each burst reserves one bus slot in arrival order, but a
         # request whose bank is not yet ready completes later *without*
         # holding the bus back — approximating FR-FCFS, where ready CAS
         # commands bypass stalled ones.
+        bus_free = channel.bus_free_cycle
         if is_prefetch:
-            slot = max(channel.bus_free_cycle, cycle)
-            channel.bus_free_cycle = slot + self.burst
-            data_start = max(bus_ready, slot)
-            data_done = data_start + self.burst
+            slot = bus_free if bus_free > cycle else cycle
+            channel.bus_free_cycle = slot + burst
+            data_start = bus_ready if bus_ready > slot else slot
+            data_done = data_start + burst
         else:
             # Demands preempt: wait behind at most the burst(s) already at
             # the bus head, serialize with other demands, and consume one
             # bus slot of capacity.
-            backlog = channel.bus_free_cycle - bus_ready
-            head_wait = min(max(backlog, 0), self.DEMAND_MAX_PREEMPT_WAIT_BURSTS * self.burst)
-            data_start = max(bus_ready + head_wait, channel.demand_bus_free_cycle)
-            data_done = data_start + self.burst
+            head_wait = bus_free - bus_ready
+            if head_wait < 0:
+                head_wait = 0
+            elif head_wait > self._demand_preempt_bursts:
+                head_wait = self._demand_preempt_bursts
+            data_start = bus_ready + head_wait
+            demand_free = channel.demand_bus_free_cycle
+            if demand_free > data_start:
+                data_start = demand_free
+            data_done = data_start + burst
             channel.demand_bus_free_cycle = data_done
-            channel.bus_free_cycle = max(channel.bus_free_cycle, cycle) + self.burst
-        self.busy_cycles += self.burst
-        self._last_data_done = max(self._last_data_done, data_done)
-        self.monitor.record_cas(data_start)
+            channel.bus_free_cycle = (bus_free if bus_free > cycle else cycle) + burst
+        self.busy_cycles += burst
+        if data_done > self._last_data_done:
+            self._last_data_done = data_done
+        self._record_cas(data_start)
         if is_write:
             self.writes += 1
         else:

@@ -18,14 +18,27 @@ Coverage / accuracy accounting matches Figure 16's definitions:
 - *useful* — a prefetched line's first demand hit (timely or late);
 - *uncovered* — a demand L2 miss that had to go below L2 anyway;
 - *mispredicted* — a prefetched line evicted from the LLC untouched.
+
+``access`` runs once per memory operation and is the hottest path in the
+simulator.  It returns a plain ``(latency, level)`` tuple — ``level`` is
+one of the integer codes :data:`L1`/:data:`L2`/:data:`LLC`/:data:`DRAM`
+(index into :data:`HIT_LEVEL_NAMES`) — instead of allocating a result
+object per access.  :class:`AccessResult` remains available as a
+named-tuple view for callers that want attribute access.
 """
 
 from dataclasses import dataclass, field
+from typing import NamedTuple
 
 from repro.constants import LINE_SHIFT
 from repro.memory.cache import Cache, CacheConfig
 from repro.memory.dram import DramConfig, DramModel
 from repro.memory.mshr import MshrFile
+
+#: Integer hit-level codes returned by :meth:`MemoryHierarchy.access`.
+L1, L2, LLC, DRAM = 0, 1, 2, 3
+#: Display names, indexed by level code.
+HIT_LEVEL_NAMES = ("L1", "L2", "LLC", "DRAM")
 
 
 @dataclass(frozen=True)
@@ -80,12 +93,17 @@ class PrefetchStats:
         return self.useful / self.issued if self.issued else 0.0
 
 
-@dataclass
-class AccessResult:
-    """Outcome of one demand access through the hierarchy."""
+class AccessResult(NamedTuple):
+    """Named-tuple view of one demand access's ``(latency, hit_level)``.
+
+    ``MemoryHierarchy.access`` returns plain tuples for speed; they unpack
+    identically.  Test doubles standing in for a hierarchy should return
+    an ``AccessResult`` (or plain tuple) whose ``hit_level`` is one of the
+    integer codes :data:`L1`/:data:`L2`/:data:`LLC`/:data:`DRAM`.
+    """
 
     latency: float
-    hit_level: str  # "L1" | "L2" | "LLC" | "DRAM"
+    hit_level: int
 
 
 @dataclass
@@ -113,6 +131,30 @@ class HierarchyStats:
 
 class MemoryHierarchy:
     """One core's L1/L2 plus a (possibly shared) LLC and DRAM."""
+
+    __slots__ = (
+        "config",
+        "dram",
+        "l1",
+        "l2",
+        "llc",
+        "l1_prefetcher",
+        "l2_prefetcher",
+        "l1_mshr",
+        "l2_mshr",
+        "llc_mshr",
+        "pf_stats",
+        "_in_flight",
+        "prefetch_queue_size",
+        "record_pollution_victims",
+        "pollution_events",
+        "demand_log",
+        "prefetch_fill_log",
+        "demand_accesses",
+        "_l2_train",
+        "_dram_access",
+        "_merge_bound",
+    )
 
     def __init__(
         self,
@@ -150,77 +192,158 @@ class MemoryHierarchy:
         self.demand_log = []
         self.prefetch_fill_log = []
         self.demand_accesses = 0
+        # Hot-path bound methods (the targets never change after init) and
+        # the demand-merge latency bound, a pure function of DRAM timings.
+        self._l2_train = None if l2_prefetcher is None else l2_prefetcher.train
+        self._dram_access = self.dram.access
+        self._merge_bound = self.dram.demand_merge_bound()
 
     # ------------------------------------------------------------------ API
 
     def access(self, cycle, pc, addr, is_write=False):
-        """Run one demand access; returns an :class:`AccessResult`."""
+        """Run one demand access; returns ``(latency, level_code)``.
+
+        The L1 lookup is inlined (one call per simulated memory op); the
+        inlined block mirrors :meth:`repro.memory.cache.Cache.access`
+        exactly, including stats and recency bookkeeping.
+        """
         cycle = int(cycle)
         self.demand_accesses += 1
         line = addr >> LINE_SHIFT
 
-        l1_line = self.l1.access(line, cycle, is_write)
-        self._train_l1(cycle, pc, addr, hit=l1_line is not None)
+        l1 = self.l1
+        lines = l1._sets[line & l1._set_mask]
+        tag = line >> l1._tag_shift
+        l1_line = lines.get(tag)
+        tick = l1._tick + 1
+        l1._tick = tick
+        if l1_line is None:
+            l1.demand_misses += 1
+        else:
+            l1.demand_hits += 1
+            l1_line.last_touch = tick
+            lines.move_to_end(tag)
+            if is_write:
+                l1_line.dirty = True
+            if l1_line.prefetched and not l1_line.used:
+                l1.useful_prefetches += 1
+                if l1_line.ready > cycle:
+                    l1.late_useful_prefetches += 1
+                l1_line.used = True
+        l1_pf = self.l1_prefetcher
+        if l1_pf is not None:
+            for cand in l1_pf.train(cycle, pc, addr, l1_line is not None):
+                self._issue_l1_prefetch(cycle, pc, cand)
         if l1_line is not None:
-            latency = self.l1.hit_latency + max(0, l1_line.ready - cycle)
-            return AccessResult(latency, "L1")
+            ready = l1_line.ready
+            latency = l1.hit_latency
+            if ready > cycle:
+                latency += ready - cycle
+            return latency, L1
 
         # L1 miss: train the L2 prefetcher (demand and L1-prefetch misses
         # both reach here; L1-prefetch misses train via _issue_l1_prefetch).
-        result = self._below_l1(cycle, pc, addr, is_write, train=True)
-        wait = self.l1_mshr.allocate(cycle, cycle + result.latency)
-        latency = result.latency + wait
-        self.l1.fill(line, cycle, ready=cycle + latency)
-        return AccessResult(latency, result.hit_level)
+        latency, level = self._below_l1(cycle, pc, addr, is_write)
+        wait = self.l1_mshr.allocate(cycle, cycle + latency)
+        latency += wait
+        l1.fill(line, cycle, False, False, cycle + latency, False)
+        return latency, level
 
-    def _below_l1(self, cycle, pc, addr, is_write, train):
+    def _below_l1(self, cycle, pc, addr, is_write):
+        """Demand path below the L1 (inlined L2/LLC lookups — this runs
+        once per L1 miss and mirrors ``Cache.access`` exactly, including
+        first-use accounting via the caches' stats counters)."""
         line = addr >> LINE_SHIFT
         if self.record_pollution_victims:
             self.demand_log.append((self.demand_accesses, line))
         candidates = ()
-        l2_line = self.l2.access(line, cycle, is_write)
-        if train and self.l2_prefetcher is not None:
-            candidates = self.l2_prefetcher.train(cycle, pc, addr, hit=l2_line is not None)
+        l2 = self.l2
+        l2_lines = l2._sets[line & l2._set_mask]
+        l2_tag = line >> l2._tag_shift
+        l2_line = l2_lines.get(l2_tag)
+        tick = l2._tick + 1
+        l2._tick = tick
+        first_use = False
+        if l2_line is None:
+            l2.demand_misses += 1
+        else:
+            l2.demand_hits += 1
+            l2_line.last_touch = tick
+            l2_lines.move_to_end(l2_tag)
+            if is_write:
+                l2_line.dirty = True
+            if l2_line.prefetched and not l2_line.used:
+                l2.useful_prefetches += 1
+                first_use = True
+                if l2_line.ready > cycle:
+                    l2.late_useful_prefetches += 1
+                l2_line.used = True
+        if self._l2_train is not None:
+            candidates = self._l2_train(cycle, pc, addr, l2_line is not None)
         if l2_line is not None:
-            if self.l2.last_access_first_use:
+            if first_use:
                 self._note_use(cycle, line, l2_line)
-            latency = self.l2.hit_latency + self._residual(cycle, l2_line)
-            self._issue_prefetches(cycle, candidates)
-            return AccessResult(latency, "L2")
+            latency = l2.hit_latency + self._residual(cycle, l2_line)
+            if candidates:
+                self._issue_prefetches(cycle, candidates)
+            return latency, L2
 
         inflight_ready = self._in_flight.pop(line, None)
         if inflight_ready is not None and inflight_ready > cycle:
             # The prefetched L2/LLC copy was evicted while its fill was
             # still outstanding; the demand merges with it (promoted to
             # demand priority) and pays the capped remainder.
-            residual = min(inflight_ready - cycle, self.dram.demand_merge_bound())
-            latency = self.l2.hit_latency + residual
-            self.pf_stats.useful += 1
-            self.pf_stats.late += 1
-            self.l2.fill(line, cycle, ready=cycle + residual)
+            residual = inflight_ready - cycle
+            bound = self._merge_bound
+            if residual > bound:
+                residual = bound
+            latency = l2.hit_latency + residual
+            pf = self.pf_stats
+            pf.useful += 1
+            pf.late += 1
+            l2.fill(line, cycle, False, False, cycle + residual, False)
             self._notify_useful(cycle, line)
-            self._issue_prefetches(cycle, candidates)
-            return AccessResult(latency, "LLC")
+            if candidates:
+                self._issue_prefetches(cycle, candidates)
+            return latency, LLC
 
-        llc_line = self.llc.access(line, cycle, is_write)
-        if llc_line is not None:
-            if self.llc.last_access_first_use:
+        llc = self.llc
+        llc_lines = llc._sets[line & llc._set_mask]
+        llc_tag = line >> llc._tag_shift
+        llc_line = llc_lines.get(llc_tag)
+        tick = llc._tick + 1
+        llc._tick = tick
+        if llc_line is None:
+            llc.demand_misses += 1
+        else:
+            llc.demand_hits += 1
+            llc_line.last_touch = tick
+            llc_lines.move_to_end(llc_tag)
+            if is_write:
+                llc_line.dirty = True
+            if llc_line.prefetched and not llc_line.used:
+                llc.useful_prefetches += 1
+                if llc_line.ready > cycle:
+                    llc.late_useful_prefetches += 1
+                llc_line.used = True
                 self._note_use(cycle, line, llc_line)
-            latency = self.llc.hit_latency + self._residual(cycle, llc_line)
-            self.l2.fill(line, cycle, ready=cycle + latency)
-            self._issue_prefetches(cycle, candidates)
-            return AccessResult(latency, "LLC")
+            latency = llc.hit_latency + self._residual(cycle, llc_line)
+            l2.fill(line, cycle, False, False, cycle + latency, False)
+            if candidates:
+                self._issue_prefetches(cycle, candidates)
+            return latency, LLC
 
         # Demand goes to DRAM.
-        dram_latency = self.dram.access(cycle, line, is_write)
-        latency = self.llc.hit_latency + dram_latency
+        dram_latency = self._dram_access(cycle, line, is_write)
+        latency = llc.hit_latency + dram_latency
         latency += self.l2_mshr.allocate(cycle, cycle + latency)
         latency += self.llc_mshr.allocate(cycle, cycle + latency)
         ready = cycle + latency
         self._fill_llc(line, cycle, prefetched=False, ready=ready)
-        self.l2.fill(line, cycle, ready=ready)
-        self._issue_prefetches(cycle, candidates)
-        return AccessResult(latency, "DRAM")
+        l2.fill(line, cycle, False, False, ready, False)
+        if candidates:
+            self._issue_prefetches(cycle, candidates)
+        return latency, DRAM
 
     def _residual(self, cycle, cache_line):
         """Remaining fill latency a demand pays when hitting ``cache_line``.
@@ -230,18 +353,16 @@ class MemoryHierarchy:
         wait is capped at a clean demand round-trip; demand-filled lines
         pay their true remainder.
         """
-        residual = max(0, cache_line.ready - cycle)
-        if residual and cache_line.prefetched:
-            residual = min(residual, self.dram.demand_merge_bound())
+        residual = cache_line.ready - cycle
+        if residual <= 0:
+            return 0
+        if cache_line.prefetched:
+            bound = self._merge_bound
+            if residual > bound:
+                return bound
         return residual
 
     # ------------------------------------------------------- L1 prefetching
-
-    def _train_l1(self, cycle, pc, addr, hit):
-        if self.l1_prefetcher is None:
-            return
-        for cand in self.l1_prefetcher.train(cycle, pc, addr, hit):
-            self._issue_l1_prefetch(cycle, pc, cand)
 
     def _issue_l1_prefetch(self, cycle, pc, cand):
         line = cand.line_addr
@@ -250,67 +371,94 @@ class MemoryHierarchy:
         # L1 prefetches compete with demand misses for the 16 L1 MSHRs
         # (Table 2); with none free the prefetch is dropped — this is what
         # keeps a real L1 prefetcher from running arbitrarily far ahead.
-        if self.l1_mshr.outstanding(cycle) >= self.l1_mshr.capacity:
+        l1_mshr = self.l1_mshr
+        if l1_mshr.outstanding(cycle) >= l1_mshr.capacity:
             return
         # An L1 prefetch that misses the L1 is itself an L1 miss and
         # therefore trains the L2 prefetcher (Section 4.1).
-        result = self._below_l1(cycle, pc, line << LINE_SHIFT, False, train=True)
-        self.l1_mshr.allocate(cycle, cycle + result.latency)
-        self.l1.fill(line, cycle, prefetched=True, ready=cycle + result.latency)
+        latency, _level = self._below_l1(cycle, pc, line << LINE_SHIFT, False)
+        l1_mshr.allocate(cycle, cycle + latency)
+        self.l1.fill(line, cycle, True, False, cycle + latency, False)
 
     # ------------------------------------------------------- L2 prefetching
 
     def _issue_prefetches(self, cycle, candidates):
+        """Issue a batch of prefetch candidates.
+
+        One call per training access that produced candidates, one loop
+        iteration per candidate — the body is fully inlined (cache lookup,
+        in-flight filter, LLC promote, DRAM issue) with every loop-invariant
+        object hoisted, because candidate volume is several times access
+        volume under aggressive prefetchers.
+        """
+        pf = self.pf_stats
+        l2 = self.l2
+        l2_sets = l2._sets
+        l2_mask = l2._set_mask
+        l2_shift = l2._tag_shift
+        l2_fill = l2.fill
+        llc = self.llc
+        llc_sets = llc._sets
+        llc_mask = llc._set_mask
+        llc_shift = llc._tag_shift
+        llc_hit_latency = llc.hit_latency
+        in_flight = self._in_flight
+        queue_size = self.prefetch_queue_size
+        dram_access = self._dram_access
+        record = self.record_pollution_victims
         for cand in candidates:
-            self._issue_one(cycle, cand)
+            line = cand.line_addr
+            if l2_sets[line & l2_mask].get(line >> l2_shift) is not None:
+                pf.dropped_resident += 1
+                continue
+            inflight_ready = in_flight.get(line)
+            if inflight_ready is not None:
+                if inflight_ready > cycle:
+                    pf.dropped_in_flight += 1
+                    continue
+                del in_flight[line]
+            llc_line = llc_sets[line & llc_mask].get(line >> llc_shift)
+            if llc_line is not None:
+                # Promote from LLC into L2.
+                pf.issued += 1
+                if cand.low_priority:
+                    pf.issued_low_priority += 1
+                pf.filled_from_llc += 1
+                l2_fill(line, cycle, True, cand.low_priority, cycle + llc_hit_latency, False)
+                continue
+            if len(in_flight) >= queue_size:
+                # Lazily retire completed prefetches before declaring the
+                # queue full (behaviour-identical to eager pruning: stale
+                # entries never affect anything but this capacity check).
+                self._prune_in_flight(cycle)
+                if len(in_flight) >= queue_size:
+                    pf.dropped_bandwidth += 1
+                    continue
+            dram_latency = dram_access(cycle, line, False, True)
+            if dram_latency is None:
+                # Rejected by the memory controller under extreme backlog.
+                pf.dropped_bandwidth += 1
+                continue
+            pf.issued += 1
+            if cand.low_priority:
+                pf.issued_low_priority += 1
+            ready = cycle + llc_hit_latency + dram_latency
+            pf.filled_from_dram += 1
+            in_flight[line] = ready
+            if record:
+                self.prefetch_fill_log.append((self.demand_accesses, line))
+            self._fill_llc(line, cycle, prefetched=True, ready=ready, low_priority=cand.low_priority)
+            l2_fill(line, cycle, True, cand.low_priority, ready, False)
 
     def _issue_one(self, cycle, cand):
-        line = cand.line_addr
-        if self.l2.contains(line):
-            self.pf_stats.dropped_resident += 1
-            return
-        inflight_ready = self._in_flight.get(line)
-        if inflight_ready is not None:
-            if inflight_ready > cycle:
-                self.pf_stats.dropped_in_flight += 1
-                return
-            del self._in_flight[line]
-        llc_line = self.llc.probe(line)
-        if llc_line is not None:
-            # Promote from LLC into L2.
-            self.pf_stats.issued += 1
-            if cand.low_priority:
-                self.pf_stats.issued_low_priority += 1
-            self.pf_stats.filled_from_llc += 1
-            ready = cycle + self.llc.hit_latency
-            self.l2.fill(
-                line, cycle, prefetched=True, low_priority=cand.low_priority, ready=ready
-            )
-            return
-        self._prune_in_flight(cycle)
-        if len(self._in_flight) >= self.prefetch_queue_size:
-            self.pf_stats.dropped_bandwidth += 1
-            return
-        dram_latency = self.dram.access(cycle, line, is_write=False, is_prefetch=True)
-        if dram_latency is None:
-            # Rejected by the memory controller under extreme backlog.
-            self.pf_stats.dropped_bandwidth += 1
-            return
-        self.pf_stats.issued += 1
-        if cand.low_priority:
-            self.pf_stats.issued_low_priority += 1
-        ready = cycle + self.llc.hit_latency + dram_latency
-        self.pf_stats.filled_from_dram += 1
-        self._in_flight[line] = ready
-        if self.record_pollution_victims:
-            self.prefetch_fill_log.append((self.demand_accesses, line))
-        self._fill_llc(line, cycle, prefetched=True, ready=ready, low_priority=cand.low_priority)
-        self.l2.fill(line, cycle, prefetched=True, low_priority=cand.low_priority, ready=ready)
+        """Issue a single candidate (non-batch convenience wrapper)."""
+        self._issue_prefetches(cycle, (cand,))
 
     def _prune_in_flight(self, cycle):
-        done = [ln for ln, ready in self._in_flight.items() if ready <= cycle]
+        in_flight = self._in_flight
+        done = [ln for ln, ready in in_flight.items() if ready <= cycle]
         for ln in done:
-            del self._in_flight[ln]
+            del in_flight[ln]
 
     # ---------------------------------------------------------- fill helpers
 

@@ -14,6 +14,8 @@ import heapq
 class MshrFile:
     """A bounded set of in-flight misses with completion-time tracking."""
 
+    __slots__ = ("capacity", "_ready_heap", "allocations", "stall_cycles")
+
     def __init__(self, capacity):
         if capacity <= 0:
             raise ValueError("MSHR capacity must be positive")
@@ -33,19 +35,23 @@ class MshrFile:
         Returns the number of cycles the request had to wait for a free
         entry (zero when the file has room).
         """
-        self._drain(cycle)
+        heap = self._ready_heap
+        while heap and heap[0] <= cycle:
+            heapq.heappop(heap)
         wait = 0
-        if len(self._ready_heap) >= self.capacity:
-            earliest = self._ready_heap[0]
+        if len(heap) >= self.capacity:
+            earliest = heap[0]
             wait = max(0, earliest - cycle)
-            self._drain(cycle + wait)
+            until = cycle + wait
+            while heap and heap[0] <= until:
+                heapq.heappop(heap)
             # If completions tie, at least one slot opened up; if not (all
             # completions are in the future beyond earliest), force-pop one:
             # the entry we waited on has completed by construction.
-            if len(self._ready_heap) >= self.capacity:
-                heapq.heappop(self._ready_heap)
+            if len(heap) >= self.capacity:
+                heapq.heappop(heap)
             self.stall_cycles += wait
-        heapq.heappush(self._ready_heap, completion_cycle + wait)
+        heapq.heappush(heap, completion_cycle + wait)
         self.allocations += 1
         return wait
 

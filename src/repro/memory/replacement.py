@@ -10,6 +10,21 @@ Two policies are provided:
   prefetched lines that have not been demanded are predicted dead and are
   preferred victims, and low-priority prefetch fills are inserted near the
   LRU position (Section 3.6's low-priority fill rule).
+
+``victim`` runs once per cache eviction (hundreds of thousands of times per
+simulation), so both implementations walk the candidate lines with a plain
+loop instead of ``min(..., key=lambda ...)`` — the per-line key-function
+call is the dominant cost at this call rate.
+
+Note: :class:`repro.memory.cache.Cache` applies the recency rules
+(``on_hit``/``on_fill``) inline — they are identical across both
+registered policies — and special-cases both policies' victim selection
+against its recency-ordered sets.  The methods here remain the reference
+specification of those rules (the tests exercise them directly) and the
+generic ``victim()`` fallback for policy subclasses.  A policy whose
+``on_hit``/``on_fill`` diverged from these rules would need Cache's
+inline path reverted; the registry is deliberately closed to the two
+entries below.
 """
 
 
@@ -19,8 +34,15 @@ class LruPolicy:
     name = "lru"
 
     def victim(self, lines):
-        """Pick the victim line from ``lines`` (a non-empty list)."""
-        return min(lines, key=lambda line: line.last_touch)
+        """Pick the victim line from ``lines`` (a non-empty iterable)."""
+        best = None
+        best_touch = None
+        for line in lines:
+            touch = line.last_touch
+            if best is None or touch < best_touch:
+                best = line
+                best_touch = touch
+        return best
 
     def on_fill(self, line, tick, low_priority):
         if low_priority:
@@ -45,10 +67,20 @@ class PrefetchAwareDeadBlock(LruPolicy):
     name = "pf-dead-block"
 
     def victim(self, lines):
-        dead = [ln for ln in lines if ln.prefetched and not ln.used]
-        if dead:
-            return min(dead, key=lambda line: line.last_touch)
-        return super().victim(lines)
+        best = None
+        best_touch = None
+        dead = None
+        dead_touch = None
+        for line in lines:
+            touch = line.last_touch
+            if line.prefetched and not line.used:
+                if dead is None or touch < dead_touch:
+                    dead = line
+                    dead_touch = touch
+            elif dead is None and (best is None or touch < best_touch):
+                best = line
+                best_touch = touch
+        return dead if dead is not None else best
 
 
 _POLICIES = {

@@ -28,7 +28,7 @@ still leaves coverage on the table.
 from collections import deque
 from dataclasses import dataclass, field
 
-from repro.constants import LINE_SHIFT, LINES_PER_PAGE, line_offset_in_page
+from repro.constants import LINE_SHIFT, LINES_PER_PAGE
 from repro.prefetchers.base import PrefetchCandidate, Prefetcher
 
 
@@ -134,15 +134,19 @@ class BOP(Prefetcher):
         self.trainings += 1
         cfg = self.config
         line = addr >> LINE_SHIFT
-        offset_in_page = line_offset_in_page(addr)
+        offset_in_page = line & (LINES_PER_PAGE - 1)
         self._drain_pending(cycle)
 
         test_offset = cfg.offsets[self._test_pos]
         base_offset = offset_in_page - test_offset
-        if 0 <= base_offset < LINES_PER_PAGE and self._rr_contains(line - test_offset):
-            self._scores[test_offset] += 1
-            if self._scores[test_offset] >= cfg.max_score:
-                self._finish_phase()
+        if 0 <= base_offset < LINES_PER_PAGE:
+            # Inlined _rr_contains.
+            probe = line - test_offset
+            if self._rr[(probe ^ (probe >> 8)) & (cfg.rr_entries - 1)] == probe:
+                score = self._scores[test_offset] + 1
+                self._scores[test_offset] = score
+                if score >= cfg.max_score:
+                    self._finish_phase()
         self._test_pos += 1
         if self._test_pos >= len(cfg.offsets):
             self._test_pos = 0
@@ -154,11 +158,15 @@ class BOP(Prefetcher):
         return self._generate(cycle, line, offset_in_page)
 
     def _generate(self, cycle, line, offset_in_page):
-        if not self.active_offsets:
+        active = self.active_offsets
+        if not active:
             return ()
         degree = self._degree(cycle)
         out = []
-        for off in self.active_offsets[:degree]:
+        if degree > len(active):
+            degree = len(active)
+        for i in range(degree):
+            off = active[i]
             target_offset = offset_in_page + off
             if 0 <= target_offset < LINES_PER_PAGE:
                 out.append(PrefetchCandidate(line + off))

@@ -24,14 +24,49 @@ class CompositePrefetcher(Prefetcher):
         self.name = name or "+".join(c.name for c in components)
 
     def train(self, cycle, pc, addr, hit):
+        # Fast path: most training calls yield candidates from at most one
+        # component, and components rarely emit internal duplicates — the
+        # full merge (set + list rebuild) is deferred until a second
+        # component contributes or a duplicate is detected.  Earlier
+        # components take precedence on duplicates, and the no-duplicates
+        # output invariant holds even within one component's list.
+        first = None
+        merged = None
+        seen = None
+        for component in self.components:
+            cands = component.train(cycle, pc, addr, hit)
+            if not cands:
+                continue
+            if first is None:
+                first = cands
+                continue
+            if merged is None:
+                merged, seen = self._dedup(first)
+            for cand in cands:
+                line = cand.line_addr
+                if line not in seen:
+                    seen.add(line)
+                    merged.append(cand)
+        if merged is not None:
+            return merged
+        if first is None:
+            return []
+        seen = {cand.line_addr for cand in first}
+        if len(seen) == len(first):
+            return first
+        return self._dedup(first)[0]
+
+    @staticmethod
+    def _dedup(candidates):
+        """Order-preserving dedup; returns (unique list, seen-line set)."""
         merged = []
         seen = set()
-        for component in self.components:
-            for cand in component.train(cycle, pc, addr, hit):
-                if cand.line_addr not in seen:
-                    seen.add(cand.line_addr)
-                    merged.append(cand)
-        return merged
+        for cand in candidates:
+            line = cand.line_addr
+            if line not in seen:
+                seen.add(line)
+                merged.append(cand)
+        return merged, seen
 
     def flush_training(self):
         """Forward end-of-run learning to components that support it."""

@@ -72,15 +72,6 @@ class _StEntry:
         self.signature = signature
 
 
-class _PtEntry:
-    __slots__ = ("c_sig", "deltas", "c_deltas")
-
-    def __init__(self, slots):
-        self.c_sig = 0
-        self.deltas = [0] * slots
-        self.c_deltas = [0] * slots
-
-
 class _GhrEntry:
     __slots__ = ("signature", "confidence", "last_offset", "delta")
 
@@ -103,7 +94,13 @@ class SPP(Prefetcher):
             raise ValueError("ST and PT entry counts must be powers of two")
         self.config = config
         self._st = [None] * config.st_entries
-        self._pt = [_PtEntry(config.delta_slots) for _ in range(config.pt_entries)]
+        # Pattern table: per entry a ``c_sig`` counter (flat list) plus a
+        # list of ``(delta, c_delta)`` tuple slots.  Tuple-pair iteration is
+        # the fastest slot walk CPython offers (C-level list iteration with
+        # 2-tuple unpack), and the lookahead loop below is the simulator's
+        # hottest prefetcher code.
+        self._pt_c_sig = [0] * config.pt_entries
+        self._pt_slots = [[(0, 0)] * config.delta_slots for _ in range(config.pt_entries)]
         self._ghr = []
         self._filter = [-1] * config.filter_entries
         self.trainings = 0
@@ -122,26 +119,30 @@ class SPP(Prefetcher):
         return (signature ^ (signature >> 6)) & (self.config.pt_entries - 1)
 
     def _pt_update(self, signature, delta):
-        entry = self._pt[self._pt_index(signature)]
-        cmax = self.config.counter_max
-        if entry.c_sig >= cmax:
+        cfg = self.config
+        idx = (signature ^ (signature >> 6)) & (cfg.pt_entries - 1)
+        cmax = cfg.counter_max
+        c_sigs = self._pt_c_sig
+        slots = self._pt_slots[idx]
+        c_sig = c_sigs[idx]
+        if c_sig >= cmax:
             # Aging: halve every counter so old history decays (the original
             # design's saturation handling).
-            entry.c_sig >>= 1
-            entry.c_deltas = [c >> 1 for c in entry.c_deltas]
-        entry.c_sig += 1
-        try:
-            slot = entry.deltas.index(delta)
-            if entry.c_deltas[slot] == 0:
-                # Slot exists from initialization but was never trained.
-                entry.deltas[slot] = delta
-            entry.c_deltas[slot] = min(cmax, entry.c_deltas[slot] + 1)
-            return
-        except ValueError:
-            pass
-        victim = min(range(len(entry.c_deltas)), key=lambda i: entry.c_deltas[i])
-        entry.deltas[victim] = delta
-        entry.c_deltas[victim] = 1
+            c_sig >>= 1
+            slots[:] = [(d, c >> 1) for d, c in slots]
+        c_sigs[idx] = c_sig + 1
+        victim = 0
+        victim_count = None
+        for i, (d, c) in enumerate(slots):
+            if d == delta:
+                count = c + 1
+                slots[i] = (d, count if count < cmax else cmax)
+                return
+            if victim_count is None or c < victim_count:
+                # First-minimum victim slot, tracked inline (no key-fn min).
+                victim = i
+                victim_count = c
+        slots[victim] = (delta, 1)
 
     def _filter_admits(self, line):
         """True if ``line`` was not recently issued (and record it)."""
@@ -191,25 +192,36 @@ class SPP(Prefetcher):
         return self._lookahead(cycle, entry.signature, page, offset)
 
     def _lookahead(self, cycle, signature, page, base_offset):
+        """Confidence-cascaded lookahead walk (the simulator's hottest
+        prefetcher loop — table indexing, signature advance and the
+        prefetch filter are inlined; arithmetic is unchanged)."""
         cfg = self.config
         threshold = self._threshold(cycle)
-        base_line = (page << (PAGE_SHIFT - 6)) + base_offset
+        page_base = page << (PAGE_SHIFT - 6)
         candidates = []
-        seen = {base_line}
+        append = candidates.append
+        seen = {page_base + base_offset}
+        seen_add = seen.add
         confidence = 1.0
         offset = base_offset
+        pt_c_sig = self._pt_c_sig
+        pt_slots = self._pt_slots
+        pt_mask = cfg.pt_entries - 1
+        flt = self._filter
+        flt_mask = cfg.filter_entries - 1
+        lookahead_threshold = cfg.lookahead_threshold
+        max_candidates = cfg.max_candidates_per_train
         for _ in range(cfg.max_lookahead_depth):
-            entry = self._pt[self._pt_index(signature)]
-            if entry.c_sig == 0:
+            idx = (signature ^ (signature >> 6)) & pt_mask
+            c_sig = pt_c_sig[idx]
+            if c_sig == 0:
                 break
             best_conf = 0.0
             best_delta = 0
-            for slot in range(cfg.delta_slots):
-                c_delta = entry.c_deltas[slot]
+            for delta, c_delta in pt_slots[idx]:
                 if c_delta == 0:
                     continue
-                conf = confidence * c_delta / entry.c_sig
-                delta = entry.deltas[slot]
+                conf = confidence * c_delta / c_sig
                 if conf > best_conf:
                     best_conf = conf
                     best_delta = delta
@@ -217,21 +229,32 @@ class SPP(Prefetcher):
                     continue
                 target = offset + delta
                 if 0 <= target < LINES_PER_PAGE:
-                    line = (page << (PAGE_SHIFT - 6)) + target
-                    if line not in seen and self._filter_admits(line):
-                        seen.add(line)
-                        candidates.append(PrefetchCandidate(line))
+                    line = page_base + target
+                    if line not in seen:
+                        # Inlined _filter_admits (recently issued lines are
+                        # not re-requested).
+                        idx = (line ^ (line >> 10)) & flt_mask
+                        if flt[idx] == line:
+                            self.filtered += 1
+                        else:
+                            flt[idx] = line
+                            seen_add(line)
+                            append(PrefetchCandidate(line))
                 else:
                     # Crossing the page: remember for cross-page bootstrap.
                     self._ghr_insert(signature, conf, offset, delta)
-                if len(candidates) >= cfg.max_candidates_per_train:
+                if len(candidates) >= max_candidates:
                     return candidates
-            if best_delta == 0 or best_conf < cfg.lookahead_threshold:
+            if best_delta == 0 or best_conf < lookahead_threshold:
                 break
             next_offset = offset + best_delta
             if not 0 <= next_offset < LINES_PER_PAGE:
                 break
-            signature = advance_signature(signature, best_delta)
+            # Inlined advance_signature/encode_delta.
+            magnitude = (best_delta if best_delta >= 0 else -best_delta) & 0x3F
+            if best_delta < 0:
+                magnitude |= 0x40
+            signature = ((signature << 3) ^ magnitude) & SIGNATURE_MASK
             offset = next_offset
             confidence = best_conf
         return candidates
@@ -266,10 +289,12 @@ class SPP(Prefetcher):
         }
 
     def reset(self):
-        self._st = [None] * self.config.st_entries
-        self._pt = [_PtEntry(self.config.delta_slots) for _ in range(self.config.pt_entries)]
+        cfg = self.config
+        self._st = [None] * cfg.st_entries
+        self._pt_c_sig = [0] * cfg.pt_entries
+        self._pt_slots = [[(0, 0)] * cfg.delta_slots for _ in range(cfg.pt_entries)]
         self._ghr = []
-        self._filter = [-1] * self.config.filter_entries
+        self._filter = [-1] * cfg.filter_entries
 
 
 class ESPP(SPP):

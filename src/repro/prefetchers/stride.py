@@ -44,7 +44,7 @@ class PcStridePrefetcher(Prefetcher):
     def train(self, cycle, pc, addr, hit):
         self.trainings += 1
         line = addr >> LINE_SHIFT
-        idx = self._index(pc)
+        idx = (pc ^ (pc >> 12)) & (self.table_entries - 1)
         entry = self._table[idx]
         tag = pc
         if entry is None or entry.tag != tag:
@@ -64,11 +64,18 @@ class PcStridePrefetcher(Prefetcher):
         return candidates
 
     def _generate(self, line, stride):
-        page = line >> (PAGE_SHIFT - LINE_SHIFT)
+        page_shift = PAGE_SHIFT - LINE_SHIFT
+        page = line >> page_shift
+        if self.degree == 1:
+            # Fast path for the default degree-1 configuration.
+            target = line + stride
+            if target >> page_shift != page:
+                return ()  # stay within the physical page
+            return (PrefetchCandidate(target),)
         out = []
         for dist in range(1, self.degree + 1):
             target = line + stride * dist
-            if target >> (PAGE_SHIFT - LINE_SHIFT) != page:
+            if target >> page_shift != page:
                 break  # stay within the physical page
             out.append(PrefetchCandidate(target))
         return out

@@ -1,0 +1,22 @@
+"""Shared test fixtures.
+
+The engine's disk cache is repointed at a per-session temporary
+directory so test runs are hermetic: they exercise the persistent layer
+(results really do round-trip through disk) without reading or writing
+the developer's real cache under ``~/.cache``.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_engine_cache(tmp_path_factory):
+    old = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("engine-cache"))
+    yield
+    if old is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = old

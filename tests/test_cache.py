@@ -171,7 +171,7 @@ class TestPrefetchAccounting:
         c = small_cache()
         c.fill(0x10, 0, prefetched=True)
         c.touch_for_prefetcher(0x10)
-        c.fill_evict = c.access(0x10, 1)
+        c.access(0x10, 1)
         assert c.useful_prefetches == 0  # touch consumed the first-use
 
 

@@ -114,3 +114,55 @@ class TestCommands:
         assert main(["figure", "fig05", "--chart"]) == 0
         out = capsys.readouterr().out
         assert "SMS" in out
+
+
+class TestEngineFlags:
+    @pytest.fixture(autouse=True)
+    def _reset_engine(self):
+        from repro.engine import reset_config
+
+        reset_config()
+        yield
+        reset_config()
+
+    def test_global_flags_parse_before_subcommand(self):
+        args = build_parser().parse_args(
+            ["--jobs", "3", "--cache-dir", "/tmp/x", "--no-cache", "list-prefetchers"]
+        )
+        assert args.jobs == 3
+        assert args.cache_dir == "/tmp/x"
+        assert args.no_cache is True
+
+    def test_flags_configure_engine(self, tmp_path):
+        from repro.engine import current_config
+
+        assert main(["--jobs", "2", "--cache-dir", str(tmp_path), "cache"]) == 0
+        cfg = current_config()
+        assert cfg.jobs == 2
+        assert cfg.cache_dir == tmp_path
+
+    def test_no_cache_disables_disk(self, capsys):
+        from repro.engine import current_config
+
+        assert main(["--no-cache", "cache"]) == 0
+        assert current_config().disk_cache is False
+        assert "disabled" in capsys.readouterr().out
+
+    def test_cache_info_lists_store(self, capsys, tmp_path):
+        from repro.experiments.runner import clear_run_cache, run_workload
+
+        clear_run_cache()
+        run_workload("ispec06.hmmer", "none", 400)
+        assert main(["cache"]) == 0
+        out = capsys.readouterr().out
+        assert "results" in out and "code salt" in out
+
+    def test_cache_clear(self, capsys):
+        from repro.engine import active_store
+        from repro.experiments.runner import clear_run_cache, run_workload
+
+        clear_run_cache()
+        run_workload("ispec06.hmmer", "none", 400)
+        assert active_store().stats()["results"] == 1
+        assert main(["cache", "--clear"]) == 0
+        assert active_store().stats()["results"] == 0

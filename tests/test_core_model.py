@@ -4,7 +4,7 @@ import pytest
 
 from repro.cpu.core import CoreExecution, CoreModel
 from repro.cpu.trace import FLAG_DEP, FLAG_WRITE, Trace
-from repro.memory.hierarchy import AccessResult
+from repro.memory.hierarchy import DRAM, AccessResult
 
 
 class FixedLatencyHierarchy:
@@ -16,7 +16,7 @@ class FixedLatencyHierarchy:
 
     def access(self, cycle, pc, addr, is_write=False):
         self.accesses.append((cycle, addr, is_write))
-        return AccessResult(self.latency, "DRAM")
+        return AccessResult(self.latency, DRAM)
 
 
 def run_trace(records, latency=100, model=None):
@@ -126,6 +126,60 @@ class TestMonotonicity:
     def test_ipc_bounded_by_width(self):
         stats, _ = run_trace([(100, 0x400, 0x1000, 0)] * 20, latency=1)
         assert stats.ipc <= 4.0 + 1e-9
+
+
+class TestStatsFloorRegression:
+    """Warmup-then-measure accounting: mark_stats_start + finalize."""
+
+    def _run_with_warmup(self, warmup_ops):
+        trace = Trace.from_records([(2, 0x400, 64 * i, 0) for i in range(20)])
+        ex = CoreExecution(CoreModel(), trace, FixedLatencyHierarchy(10))
+        for _ in range(warmup_ops):
+            ex.advance()
+        ex.mark_stats_start()
+        ex.run()
+        return ex
+
+    def test_finalize_idempotent(self):
+        ex = self._run_with_warmup(5)
+        first = ex.finalize()
+        second = ex.finalize()
+        assert first.instructions == second.instructions
+        assert first.cycles == second.cycles
+        assert first.level_hits == second.level_hits
+
+    def test_floor_subtracts_each_level_counter(self):
+        ex = self._run_with_warmup(5)
+        stats = ex.finalize()
+        # 20 ops total, 5 before the floor; the double counts only the
+        # measured region's DRAM-level hits.
+        assert stats.level_hits["DRAM"] == 15
+        assert stats.l1_hits == stats.l2_hits == stats.llc_hits == 0
+        assert sum(stats.level_hits.values()) == 15
+
+    def test_mark_stats_start_resets_measured_region(self):
+        """Re-marking the floor mid-run moves the measured region."""
+        trace = Trace.from_records([(0, 0x400, 64 * i, 0) for i in range(10)])
+        ex = CoreExecution(CoreModel(), trace, FixedLatencyHierarchy(1))
+        for _ in range(4):
+            ex.advance()
+        ex.mark_stats_start()
+        for _ in range(2):
+            ex.advance()
+        ex.mark_stats_start()  # move the floor again
+        ex.run()
+        stats = ex.finalize()
+        assert stats.dram_hits == 4  # only the last 4 ops counted
+
+    def test_level_hits_property_matches_int_fields(self):
+        ex = self._run_with_warmup(0)
+        stats = ex.finalize()
+        assert stats.level_hits == {
+            "L1": stats.l1_hits,
+            "L2": stats.l2_hits,
+            "LLC": stats.llc_hits,
+            "DRAM": stats.dram_hits,
+        }
 
 
 class TestSteppedExecution:

@@ -1,0 +1,223 @@
+"""Tests for the engine subsystem: fingerprints, disk store, parallelism.
+
+The session-wide conftest fixture points ``REPRO_CACHE_DIR`` at a
+temporary directory, so these tests exercise the real disk layer without
+touching a developer's cache.
+"""
+
+import os
+
+import pytest
+
+from repro import engine
+from repro.cpu.trace import Trace
+from repro.engine.store import ResultStore
+from repro.experiments.runner import (
+    _MP_CACHE,
+    _RUN_CACHE,
+    _TRACE_CACHE,
+    clear_run_cache,
+    get_trace,
+    run_mix,
+    run_workload,
+    warm_runs,
+)
+from repro.memory.dram import DramConfig
+
+
+@pytest.fixture(autouse=True)
+def _fresh(tmp_path):
+    """Isolated store per test; engine overrides reset afterwards."""
+    old = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path / "cache")
+    clear_run_cache(disk=False)
+    engine.reset_config()
+    yield
+    clear_run_cache(disk=False)
+    engine.reset_config()
+    if old is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = old
+
+
+class TestFingerprint:
+    def test_stable_within_process(self):
+        dram = DramConfig()
+        a = engine.run_fingerprint("w", "spp", 100, dram, 2 << 20, False)
+        b = engine.run_fingerprint("w", "spp", 100, dram, 2 << 20, False)
+        assert a == b
+
+    def test_sensitive_to_every_field(self):
+        dram = DramConfig()
+        base = engine.run_fingerprint("w", "spp", 100, dram, 2 << 20, False)
+        assert engine.run_fingerprint("w2", "spp", 100, dram, 2 << 20, False) != base
+        assert engine.run_fingerprint("w", "bop", 100, dram, 2 << 20, False) != base
+        assert engine.run_fingerprint("w", "spp", 200, dram, 2 << 20, False) != base
+        assert engine.run_fingerprint("w", "spp", 100, dram, 1 << 20, False) != base
+        assert engine.run_fingerprint("w", "spp", 100, dram, 2 << 20, True) != base
+        other_dram = DramConfig(speed_grade=2400, channels=2)
+        assert engine.run_fingerprint("w", "spp", 100, other_dram, 2 << 20, False) != base
+
+    def test_kind_separates_namespaces(self):
+        assert engine.fingerprint("a", x=1) != engine.fingerprint("b", x=1)
+
+    def test_salt_embedded(self):
+        # The salt covers simulator sources; same process -> same salt.
+        assert engine.code_salt() == engine.code_salt()
+        assert len(engine.code_salt()) == 16
+
+
+class TestResultStore:
+    def test_result_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        store.save_result("ab" + "0" * 62, {"ipc": 1.25}, meta={"kind": "test"})
+        assert store.load_result("ab" + "0" * 62) == {"ipc": 1.25}
+
+    def test_missing_is_none(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        assert store.load_result("ff" + "0" * 62) is None
+
+    def test_corrupt_entry_is_miss(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        digest = "cd" + "0" * 62
+        store.save_result(digest, 42)
+        path = store._result_path(digest)
+        path.write_bytes(b"not a pickle")
+        assert store.load_result(digest) is None
+
+    def test_trace_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        trace = Trace([1, 2], [3, 4], [64, 128], [0, 1])
+        store.save_trace("ee" + "0" * 62, trace)
+        back = store.load_trace("ee" + "0" * 62)
+        assert list(back) == list(trace)
+
+    def test_unwritable_store_degrades_to_no_persist(self, tmp_path, capsys):
+        """A broken cache location must never fail the simulation that
+        produced the result — saves warn once and become no-ops."""
+        blocker = tmp_path / "a-file"
+        blocker.write_text("not a directory")
+        store = ResultStore(blocker)
+        store.save_result("ab" + "0" * 62, 1)
+        store.save_result("ab" + "0" * 62, 1)  # second save: no second warning
+        store.save_trace("cd" + "0" * 62, Trace([0], [1], [64], [0]))
+        assert store.load_result("ab" + "0" * 62) is None
+        assert capsys.readouterr().err.count("not writable") == 1
+
+    def test_clear_and_stats(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        store.save_result("ab" + "0" * 62, 1)
+        store.save_trace("cd" + "0" * 62, Trace([0], [1], [64], [0]))
+        stats = store.stats()
+        assert stats["results"] == 1 and stats["traces"] == 1 and stats["bytes"] > 0
+        store.clear()
+        stats = store.stats()
+        assert stats["results"] == 0 and stats["traces"] == 0
+
+
+class TestDiskPersistence:
+    def test_run_survives_memory_cache_clear(self):
+        first = run_workload("ispec06.mcf", "none", 400)
+        _RUN_CACHE.clear()
+        _TRACE_CACHE.clear()
+        second = run_workload("ispec06.mcf", "none", 400)
+        # Distinct objects (disk round-trip), bit-identical payloads.
+        assert second is not first
+        assert second.to_dict() == first.to_dict()
+
+    def test_trace_survives_memory_cache_clear(self):
+        first = get_trace("ispec06.mcf", 300)
+        _TRACE_CACHE.clear()
+        second = get_trace("ispec06.mcf", 300)
+        assert second is not first
+        assert list(second) == list(first)
+
+    def test_mix_survives_memory_cache_clear(self):
+        names = ["ispec06.mcf"] * 4
+        first = run_mix("m0", names, "none", 200)
+        _MP_CACHE.clear()
+        second = run_mix("m0", names, "none", 200)
+        assert second is not first
+        assert [c.to_dict() for c in second.per_core] == [
+            c.to_dict() for c in first.per_core
+        ]
+
+    def test_no_cache_mode_skips_disk(self):
+        engine.configure(disk_cache=False)
+        assert engine.active_store() is None
+        run_workload("ispec06.mcf", "none", 400)
+        engine.reset_config()
+        store = engine.active_store()
+        assert store is not None
+        assert store.stats()["results"] == 0
+
+
+class TestClearRunCacheInvalidation:
+    def test_both_layers_invalidate_together(self):
+        """clear_run_cache() must drop memory AND disk, so a later call
+        can never observe a stale cross-process result."""
+        run_workload("ispec06.mcf", "none", 400)
+        store = engine.active_store()
+        assert store.stats()["results"] == 1
+        clear_run_cache()
+        assert not _RUN_CACHE and not _TRACE_CACHE and not _MP_CACHE
+        assert store.stats()["results"] == 0
+        assert store.stats()["traces"] == 0
+
+    def test_memory_only_clear_preserves_disk(self):
+        run_workload("ispec06.mcf", "none", 400)
+        store = engine.active_store()
+        clear_run_cache(disk=False)
+        assert store.stats()["results"] == 1
+
+
+class TestParallelExecution:
+    def test_sequential_and_parallel_identical(self):
+        workloads = ["ispec06.mcf", "hpc.linpack"]
+        warm_runs(workloads, ["none", "spp"], 400, jobs=1)
+        sequential = {k: v.to_dict() for k, v in _RUN_CACHE.items()}
+        clear_run_cache()
+        warm_runs(workloads, ["none", "spp"], 400, jobs=2)
+        parallel = {k: v.to_dict() for k, v in _RUN_CACHE.items()}
+        assert parallel == sequential
+
+    def test_execute_specs_preserves_input_order(self):
+        specs = [
+            engine.run_spec("ispec06.mcf", "none", 300, DramConfig(), 2 << 20, False),
+            engine.run_spec("hpc.linpack", "none", 300, DramConfig(), 2 << 20, False),
+        ]
+        results = engine.execute_specs(specs, jobs=2)
+        assert len(results) == 2
+        direct = [
+            run_workload("ispec06.mcf", "none", 300),
+            run_workload("hpc.linpack", "none", 300),
+        ]
+        assert [r.to_dict() for r in results] == [r.to_dict() for r in direct]
+
+    def test_unknown_spec_kind_rejected(self):
+        with pytest.raises(ValueError):
+            engine.execute_spec(("bogus", 1, 2))
+
+
+class TestEngineConfig:
+    def test_env_defaults(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+        cfg = engine.current_config()
+        assert cfg.jobs == 1
+        assert cfg.disk_cache is True
+
+    def test_env_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        cfg = engine.current_config()
+        assert cfg.jobs == 4
+        assert cfg.disk_cache is False
+
+    def test_configure_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        engine.configure(jobs=2, disk_cache=True)
+        cfg = engine.current_config()
+        assert cfg.jobs == 2
+        assert cfg.disk_cache is True

@@ -4,7 +4,15 @@ import pytest
 
 from repro.memory.cache import CacheConfig
 from repro.memory.dram import DramConfig, DramModel
-from repro.memory.hierarchy import HierarchyConfig, MemoryHierarchy
+from repro.memory.hierarchy import (
+    DRAM,
+    L1,
+    L2,
+    LLC,
+    AccessResult,
+    HierarchyConfig,
+    MemoryHierarchy,
+)
 from repro.prefetchers.base import PrefetchCandidate, Prefetcher
 
 
@@ -49,15 +57,15 @@ ADDR = 0x1234 << 12  # an arbitrary page
 class TestDemandPath:
     def test_cold_miss_goes_to_dram(self):
         h = make_hierarchy()
-        result = h.access(0, 0x400, ADDR)
-        assert result.hit_level == "DRAM"
+        result = AccessResult(*h.access(0, 0x400, ADDR))
+        assert result.hit_level == DRAM
         assert result.latency > h.llc.hit_latency
 
     def test_l1_hit_after_fill(self):
         h = make_hierarchy()
         h.access(0, 0x400, ADDR)
-        result = h.access(1000, 0x400, ADDR)
-        assert result.hit_level == "L1"
+        result = AccessResult(*h.access(1000, 0x400, ADDR))
+        assert result.hit_level == L1
         assert result.latency >= h.l1.hit_latency
 
     def test_l2_hit_after_l1_eviction(self):
@@ -67,8 +75,8 @@ class TestDemandPath:
         # lines mapping to the same L1 set are 64 sets apart.
         for i in range(1, 9):
             h.access(0, 0x400, ADDR + i * 64 * 64)
-        result = h.access(10_000, 0x400, ADDR)
-        assert result.hit_level in ("L2", "LLC")
+        latency, level = h.access(10_000, 0x400, ADDR)
+        assert level in (L2, LLC)
 
     def test_demand_fills_all_levels(self):
         h = make_hierarchy()
@@ -137,9 +145,9 @@ class TestPrefetchIssue:
         pf = RecordingPrefetcher({ADDR >> 6: [PrefetchCandidate(target)]})
         h = make_hierarchy(l2_pf=pf)
         h.access(0, 0x400, ADDR)
-        result = h.access(50, 0x404, target << 6)
+        _latency, level = h.access(50, 0x404, target << 6)
         assert h.pf_stats.useful == 1
-        assert result.hit_level in ("L2", "LLC")
+        assert level in (L2, LLC)
         assert pf.useful_notes == [target]
 
     def test_late_prefetch_pays_remaining_latency(self):
@@ -147,7 +155,7 @@ class TestPrefetchIssue:
         pf = RecordingPrefetcher({ADDR >> 6: [PrefetchCandidate(target)]})
         h = make_hierarchy(l2_pf=pf)
         h.access(0, 0x400, ADDR)
-        immediate = h.access(1, 0x404, target << 6)  # fill still in flight
+        immediate = AccessResult(*h.access(1, 0x404, target << 6))  # fill in flight
         assert h.pf_stats.late == 1
         assert immediate.latency > h.l2.hit_latency
 
@@ -156,8 +164,8 @@ class TestPrefetchIssue:
         pf = RecordingPrefetcher({ADDR >> 6: [PrefetchCandidate(target)]})
         h = make_hierarchy(l2_pf=pf)
         h.access(0, 0x400, ADDR)
-        result = h.access(100_000, 0x404, target << 6)
-        assert result.latency == h.l2.hit_latency
+        latency, _level = h.access(100_000, 0x404, target << 6)
+        assert latency == h.l2.hit_latency
 
     def test_prefetch_queue_bound_drops(self):
         line = ADDR >> 6

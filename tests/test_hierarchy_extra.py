@@ -3,7 +3,7 @@
 import pytest
 
 from repro.memory.dram import DramModel
-from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.hierarchy import L2, LLC, AccessResult, MemoryHierarchy
 from repro.prefetchers.base import PrefetchCandidate, Prefetcher
 
 
@@ -30,7 +30,7 @@ def rig():
 
 
 def demand(hierarchy, line, cycle=0):
-    return hierarchy.access(cycle, 0x400, line << 6)
+    return AccessResult(*hierarchy.access(cycle, 0x400, line << 6))
 
 
 class TestDropPaths:
@@ -82,7 +82,7 @@ class TestLatePrefetchAccounting:
         result = demand(hierarchy, 0x700, cycle=1_000_000)
         assert hierarchy.pf_stats.useful == 1
         assert hierarchy.pf_stats.late == 0
-        assert result.hit_level in ("L2", "LLC")
+        assert result.hit_level in (L2, LLC)
 
 
 class TestLowPriorityFills:

@@ -105,9 +105,8 @@ class TestLearning:
         pf = SPP(SppConfig(counter_max=3))
         for _ in range(20):
             train_offsets(pf, 0x10, [0, 1])
-        entry = pf._pt[pf._pt_index(advance_signature(0, 1) if False else 0)]
-        for e in pf._pt:
-            assert e.c_sig <= 4  # aged, never far past the max
+        for c_sig in pf._pt_c_sig:
+            assert c_sig <= 4  # aged, never far past the max
 
 
 class TestPrefetchFilter:

@@ -70,6 +70,41 @@ class TestRoundTrip:
         assert back.instructions == trace.instructions
 
 
+class TestFlagCombinations:
+    """Explicit coverage of every W/D flag combination in both directions."""
+
+    @pytest.mark.parametrize(
+        "flags,text",
+        [
+            (0, "0"),
+            (FLAG_WRITE, "W"),
+            (FLAG_DEP, "D"),
+            (FLAG_WRITE | FLAG_DEP, "WD"),
+        ],
+    )
+    def test_flag_encoding_round_trip(self, tmp_path, flags, text):
+        trace = make_trace([(7, 0x400, 0x1000, flags)])
+        path = tmp_path / "one.trace"
+        save_text(trace, path)
+        content = path.read_text().splitlines()[-1]
+        assert content.split()[-1] == text
+        back = load_text(path)
+        assert back[0] == (7, 0x400, 0x1000, flags)
+
+    def test_dw_order_also_accepted(self, tmp_path):
+        # The parser accepts flag letters in any order; the writer always
+        # emits W before D.
+        path = tmp_path / "dw.trace"
+        path.write_text("# repro-trace v1\n3 0x10 0x40 DW\n")
+        trace = load_text(path)
+        assert trace[0] == (3, 0x10, 0x40, FLAG_WRITE | FLAG_DEP)
+
+    def test_repeated_flags_idempotent(self, tmp_path):
+        path = tmp_path / "ww.trace"
+        path.write_text("# repro-trace v1\n3 0x10 0x40 WW\n")
+        assert load_text(path)[0][3] == FLAG_WRITE
+
+
 class TestErrors:
     def test_missing_header(self, tmp_path):
         path = tmp_path / "bad.trace"
@@ -92,6 +127,36 @@ class TestErrors:
     def test_non_numeric_gap(self, tmp_path):
         path = tmp_path / "bad.trace"
         path.write_text("# repro-trace v1\nxx 0x1 0x2 0\n")
+        with pytest.raises(TraceFormatError):
+            load_text(path)
+
+    def test_non_hex_pc(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("# repro-trace v1\n10 zz 0x2 0\n")
+        with pytest.raises(TraceFormatError):
+            load_text(path)
+
+    def test_non_hex_addr(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("# repro-trace v1\n10 0x1 0xZZ W\n")
+        with pytest.raises(TraceFormatError):
+            load_text(path)
+
+    def test_too_many_fields(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("# repro-trace v1\n10 0x1 0x2 0 extra\n")
+        with pytest.raises(TraceFormatError):
+            load_text(path)
+
+    def test_error_reports_line_number(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("# repro-trace v1\n1 0x1 0x40 0\n2 0x2 0x80 Q\n")
+        with pytest.raises(TraceFormatError, match="line 3"):
+            load_text(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.trace"
+        path.write_text("")
         with pytest.raises(TraceFormatError):
             load_text(path)
 
