@@ -205,6 +205,16 @@ def run_bench(args):
 
     result["failures"] = failures
     if args.output:
+        # bench_tracegen.py merges a "tracegen" section into the same
+        # artifact; preserve it instead of clobbering the file wholesale.
+        if os.path.exists(args.output):
+            try:
+                with open(args.output) as f:
+                    previous = json.load(f)
+            except (OSError, json.JSONDecodeError):
+                previous = {}
+            if "tracegen" in previous:
+                result["tracegen"] = previous["tracegen"]
         with open(args.output, "w") as f:
             json.dump(result, f, indent=2, sort_keys=True)
 

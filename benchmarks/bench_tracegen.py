@@ -1,0 +1,182 @@
+"""Trace-generation throughput bench: cold workload-trace build ops/sec.
+
+Cold-start cost is dominated by two legs: simulating the ops and
+*generating* them.  ``bench_engine_speedup`` gates the simulation leg;
+this bench gates the generation leg.  It builds every catalog workload
+from scratch (no trace memo, no disk store — the raw ``Workload.build``
+path) and reports ops generated per second, normalized by the same
+pure-Python calibration loop ``bench_engine_speedup`` uses so scores are
+comparable across hosts and commits.
+
+The committed baseline (``benchmarks/baselines/tracegen_baseline.json``)
+records the score of the pre-vectorization scalar generators (``seed``)
+and the score at the time the array-native pipeline landed (``target``).
+CI fails when:
+
+- the current score falls below ``target * (1 - --max-regression)``, or
+- the speedup over the scalar seed drops below ``--min-speedup-vs-seed``
+  (the vectorization acceptance floor), or
+- any workload generates non-deterministically across repeats.
+
+Results merge into ``BENCH_engine.json`` under a ``"tracegen"`` key so
+one artifact carries both perf legs.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_tracegen.py \
+        --output BENCH_engine.json \
+        --baseline benchmarks/baselines/tracegen_baseline.json
+"""
+
+import argparse
+import hashlib
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+# The one calibration loop both benches share: the seed/target scores in
+# the committed baselines are only comparable across benches because the
+# normalization is literally the same code.
+from bench_engine_speedup import calibrate  # noqa: E402
+
+
+def _trace_digest(trace):
+    """Content hash of a trace's four arrays (determinism check)."""
+    h = hashlib.sha256()
+    for arr in (trace.gaps, trace.pcs, trace.addrs, trace.flags):
+        h.update(arr.tobytes())
+    return h.hexdigest()
+
+
+def run_bench(args):
+    from repro.workloads.catalog import WORKLOADS
+
+    names = sorted(WORKLOADS)
+    calibration = calibrate()
+
+    # Warm imports / first-call overhead outside the measured region.
+    WORKLOADS[names[0]].build(64)
+
+    best = None
+    digests_ref = None
+    deterministic = True
+    total_ops = 0
+    for _ in range(args.repeats):
+        digests = {}
+        ops = 0
+        t0 = time.perf_counter()
+        for name in names:
+            trace = WORKLOADS[name].build(args.trace_len)
+            ops += len(trace)
+            digests[name] = _trace_digest(trace)
+        dt = time.perf_counter() - t0
+        if digests_ref is None:
+            digests_ref = digests
+        elif digests != digests_ref:
+            deterministic = False
+        total_ops = ops
+        if best is None or dt < best:
+            best = dt
+
+    ops_per_sec = total_ops / best
+    score = ops_per_sec / calibration
+
+    result = {
+        "protocol": {
+            "trace_len": args.trace_len,
+            "workloads": len(names),
+            "repeats": args.repeats,
+            "total_ops": total_ops,
+        },
+        "calibration_ops_per_sec": calibration,
+        "build_seconds": best,
+        "ops_per_sec": ops_per_sec,
+        "score": score,
+        "deterministic": deterministic,
+    }
+
+    failures = []
+    if not deterministic:
+        failures.append("trace generation differs across repeats (determinism violated)")
+
+    if args.baseline and os.path.exists(args.baseline):
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+        base_protocol = baseline.get("protocol", {})
+        protocol_matches = base_protocol.get("trace_len") in (None, args.trace_len)
+        seed_score = baseline.get("seed_score")
+        target_score = baseline.get("target_score")
+        if not protocol_matches:
+            result["note_baseline"] = (
+                "baseline protocol differs from this run; regression gate skipped"
+            )
+            seed_score = target_score = None
+        if seed_score:
+            speedup = score / seed_score
+            result["speedup_vs_scalar_seed"] = speedup
+            if speedup < args.min_speedup_vs_seed:
+                failures.append(
+                    f"trace-gen speedup vs scalar seed {speedup:.2f}x below the "
+                    f"{args.min_speedup_vs_seed:.0f}x floor"
+                )
+        if target_score:
+            floor = target_score * (1.0 - args.max_regression)
+            result["regression_gate"] = {
+                "target_score": target_score,
+                "floor": floor,
+                "passed": score >= floor,
+            }
+            if score < floor:
+                failures.append(
+                    f"trace-gen score {score:.4f} regressed >"
+                    f"{100 * args.max_regression:.0f}% below baseline {target_score:.4f}"
+                )
+
+    result["failures"] = failures
+
+    if args.output:
+        # Merge into the shared bench artifact rather than clobbering the
+        # engine bench's sections.
+        merged = {}
+        if os.path.exists(args.output):
+            try:
+                with open(args.output) as f:
+                    merged = json.load(f)
+            except (OSError, json.JSONDecodeError):
+                merged = {}
+        merged["tracegen"] = result
+        with open(args.output, "w") as f:
+            json.dump(merged, f, indent=2, sort_keys=True)
+
+    print(f"trace build     : {best:8.3f}s  ({total_ops} ops, {len(names)} workloads)")
+    print(f"ops/sec         : {ops_per_sec:12.0f}")
+    print(f"score           : {score:.4f}  (calibration {calibration:.0f} ops/s)")
+    if "speedup_vs_scalar_seed" in result:
+        print(f"vs scalar seed  : {result['speedup_vs_scalar_seed']:.2f}x")
+    print(f"deterministic   : {deterministic}")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("PASS")
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--trace-len", type=int, default=8000)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--output", default="BENCH_engine.json")
+    parser.add_argument(
+        "--baseline",
+        default=os.path.join(os.path.dirname(__file__), "baselines", "tracegen_baseline.json"),
+    )
+    parser.add_argument("--max-regression", type=float, default=0.35)
+    parser.add_argument("--min-speedup-vs-seed", type=float, default=5.0)
+    return run_bench(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,7 +10,8 @@ Subcommands:
 - ``trace-stats`` — access-structure statistics of a workload trace.
 - ``sweep`` — one scheme across the six DRAM configurations (Figure 15's
   x-axis) for one workload.
-- ``cache`` — inspect or clear the engine's on-disk result/trace store.
+- ``cache`` — inspect, clear or garbage-collect (``cache gc --max-mb N``,
+  size-bounded LRU eviction) the engine's on-disk result/trace store.
 
 Global engine flags (before the subcommand): ``--jobs N`` fans
 independent runs across N worker processes, ``--cache-dir PATH``
@@ -151,12 +152,29 @@ def _cmd_cache(args):
 
     cfg = current_config()
     store = active_store()
-    if args.clear:
+    if args.clear and args.action not in (None, "clear"):
+        raise SystemExit(f"--clear contradicts the '{args.action}' action; pick one")
+    action = "clear" if args.clear else (args.action or "show")
+    if action == "clear":
         if store is None:
             print("disk cache disabled; nothing to clear")
             return 0
         store.clear()
         print(f"cleared {cfg.cache_dir}")
+        return 0
+    if action == "gc":
+        if args.max_mb < 0:
+            raise SystemExit(f"--max-mb must be non-negative, got {args.max_mb:g}")
+        if store is None:
+            print("disk cache disabled; nothing to collect")
+            return 0
+        summary = store.gc(int(args.max_mb * 1024 * 1024))
+        print(
+            f"evicted {summary['removed']} artifacts "
+            f"({summary['freed_bytes'] / 1024:.1f} KB); "
+            f"{summary['kept']} kept "
+            f"({summary['remaining_bytes'] / 1024:.1f} KB <= {args.max_mb:g} MB)"
+        )
         return 0
     print(f"cache dir  {cfg.cache_dir}")
     print(f"disk cache {'enabled' if cfg.disk_cache else 'disabled'}")
@@ -224,8 +242,21 @@ def build_parser():
     report.add_argument("--output", default="report.md")
     report.add_argument("--no-charts", action="store_true")
 
-    cache = sub.add_parser("cache", help="inspect or clear the engine disk cache")
-    cache.add_argument("--clear", action="store_true", help="delete all cached artifacts")
+    cache = sub.add_parser("cache", help="inspect, clear or garbage-collect the engine disk cache")
+    cache.add_argument(
+        "action",
+        nargs="?",
+        choices=("show", "clear", "gc"),
+        default=None,
+        help="show store info (default), delete everything, or LRU-evict to a size bound",
+    )
+    cache.add_argument("--clear", action="store_true", help="alias for the 'clear' action")
+    cache.add_argument(
+        "--max-mb",
+        type=float,
+        default=512.0,
+        help="gc size bound in MB: least-recently-used artifacts are evicted until the store fits (default 512)",
+    )
 
     return parser
 

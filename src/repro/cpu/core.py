@@ -107,14 +107,18 @@ class CoreExecution:
         self.model = model
         self.hierarchy = hierarchy
         self.stats = CoreStats()
-        # One fused (gap, pc, addr, flags) tuple per op: a single list
-        # index + tuple unpack per advance instead of four list indexes.
+        # One fused (gap, pc, addr, is_write, dep) tuple per op: a single
+        # list index + tuple unpack per advance instead of four list
+        # indexes, with flag decoding hoisted out of the loop into two
+        # vectorized array passes here.
+        flags = trace.flags
         self._ops = list(
             zip(
                 trace.gaps.tolist(),
                 trace.pcs.tolist(),
                 trace.addrs.tolist(),
-                trace.flags.tolist(),
+                (flags & FLAG_WRITE).astype(bool).tolist(),
+                (flags & FLAG_DEP).astype(bool).tolist(),
             )
         )
         self._pos = 0
@@ -170,7 +174,7 @@ class CoreExecution:
         if pos >= self._n:
             return False
         self._pos = pos + 1
-        gap, pc, addr, flags = self._ops[pos]
+        gap, pc, addr, is_write, dep = self._ops[pos]
         width = self._width
         retire = self._retire
         instr = self._instr
@@ -196,9 +200,8 @@ class CoreExecution:
             enter = idx / width
             if floor > enter:
                 enter = floor
-        if flags & FLAG_DEP and self._last_load_done > enter:
+        if dep and self._last_load_done > enter:
             enter = self._last_load_done
-        is_write = bool(flags & FLAG_WRITE)
         latency, level = self._access(int(enter), pc, addr, is_write)
         if is_write:
             # Stores retire through the store buffer without waiting for
@@ -247,7 +250,7 @@ class CoreExecution:
         last_load_done = self._last_load_done
         start = pos
         while pos < end:
-            gap, pc, addr, flags = ops[pos]
+            gap, pc, addr, is_write, dep = ops[pos]
             pos += 1
             if gap:
                 instr += gap
@@ -268,9 +271,8 @@ class CoreExecution:
                 enter = idx / width
                 if floor > enter:
                     enter = floor
-            if flags & FLAG_DEP and last_load_done > enter:
+            if dep and last_load_done > enter:
                 enter = last_load_done
-            is_write = bool(flags & FLAG_WRITE)
             latency, level = access(int(enter), pc, addr, is_write)
             if is_write:
                 retire += retire_step

@@ -28,7 +28,17 @@ class Trace:
         self.gaps = np.asarray(gaps, dtype=np.int64)
         self.pcs = np.asarray(pcs, dtype=np.int64)
         self.addrs = np.asarray(addrs, dtype=np.int64)
-        self.flags = np.asarray(flags, dtype=np.int64)
+        flags = np.asarray(flags)
+        if flags.dtype != np.uint8:
+            # Compatibility: traces written before the uint8 narrowing
+            # carry int64 flags; accept any integer encoding whose values
+            # fit, and reject (rather than silently wrap) anything else.
+            if flags.size and (
+                (flags < 0) | (flags > np.iinfo(np.uint8).max)
+            ).any():
+                raise ValueError("trace flags must fit in uint8")
+            flags = flags.astype(np.uint8)
+        self.flags = flags
         n = len(self.gaps)
         if not (len(self.pcs) == len(self.addrs) == len(self.flags) == n):
             raise ValueError("trace arrays must have equal length")
@@ -102,44 +112,93 @@ class Trace:
 
     @classmethod
     def load(cls, path):
-        """Load a trace previously written by :meth:`save`."""
+        """Load a trace previously written by :meth:`save`.
+
+        Files written before flags narrowed to ``uint8`` carry int64
+        flags; the constructor converts them (and rejects values that do
+        not fit) so old ``.npz`` archives keep loading.
+        """
         with np.load(path) as data:
             return cls(data["gaps"], data["pcs"], data["addrs"], data["flags"])
 
 
 class TraceBuilder:
-    """Incremental trace construction for the workload generators."""
+    """Incremental trace construction for the workload generators.
+
+    Storage is chunked: bulk emissions (:meth:`extend_arrays`) keep their
+    NumPy arrays as-is, scalar :meth:`append` calls accumulate in a small
+    pending buffer, and :meth:`build` concatenates everything exactly
+    once.  The array-native generators therefore never round-trip their
+    data through per-element Python ``int`` conversions.
+    """
 
     def __init__(self):
-        self._gaps = []
-        self._pcs = []
-        self._addrs = []
-        self._flags = []
+        self._chunks = []  # (gaps, pcs, addrs, flags) array quadruples
+        self._pending = ([], [], [], [])  # scalar-append buffer
+        self._n = 0
 
     def __len__(self):
-        return len(self._gaps)
+        return self._n
 
     def append(self, gap, pc, addr, write=False, dep=False):
         """Add one memory operation preceded by ``gap`` plain instructions."""
         if gap < 0:
             raise ValueError("gap must be non-negative")
-        self._gaps.append(int(gap))
-        self._pcs.append(int(pc))
-        self._addrs.append(int(addr))
-        self._flags.append((FLAG_WRITE if write else 0) | (FLAG_DEP if dep else 0))
+        gaps, pcs, addrs, flags = self._pending
+        gaps.append(int(gap))
+        pcs.append(int(pc))
+        addrs.append(int(addr))
+        flags.append((FLAG_WRITE if write else 0) | (FLAG_DEP if dep else 0))
+        self._n += 1
+
+    def _flush_pending(self):
+        gaps, pcs, addrs, flags = self._pending
+        if gaps:
+            self._chunks.append(
+                (
+                    np.asarray(gaps, dtype=np.int64),
+                    np.asarray(pcs, dtype=np.int64),
+                    np.asarray(addrs, dtype=np.int64),
+                    np.asarray(flags, dtype=np.uint8),
+                )
+            )
+            self._pending = ([], [], [], [])
 
     def extend_arrays(self, gaps, pcs, addrs, flags=None):
-        """Bulk-append parallel arrays (used by vectorized generators)."""
+        """Bulk-append parallel arrays (the vectorized generators' path).
+
+        The arrays are kept as NumPy chunks (dtype-coerced, no Python
+        round-trip) and concatenated once at :meth:`build`.  Callers must
+        not mutate the arrays they pass in afterwards.
+        """
+        gaps = np.asarray(gaps, dtype=np.int64)
+        pcs = np.asarray(pcs, dtype=np.int64)
+        addrs = np.asarray(addrs, dtype=np.int64)
         n = len(gaps)
         if flags is None:
-            flags = [0] * n
+            flags = np.zeros(n, dtype=np.uint8)
+        else:
+            flags = np.asarray(flags, dtype=np.uint8)
         if not (len(pcs) == len(addrs) == len(flags) == n):
             raise ValueError("bulk arrays must have equal length")
-        self._gaps.extend(int(g) for g in gaps)
-        self._pcs.extend(int(p) for p in pcs)
-        self._addrs.extend(int(a) for a in addrs)
-        self._flags.extend(int(f) for f in flags)
+        if n == 0:
+            return
+        self._flush_pending()
+        self._chunks.append((gaps, pcs, addrs, flags))
+        self._n += n
 
     def build(self):
-        """Finalize into an immutable :class:`Trace`."""
-        return Trace(self._gaps, self._pcs, self._addrs, self._flags)
+        """Finalize into an immutable :class:`Trace` (one concatenation)."""
+        self._flush_pending()
+        chunks = self._chunks
+        if not chunks:
+            return Trace([], [], [], [])
+        if len(chunks) == 1:
+            gaps, pcs, addrs, flags = chunks[0]
+        else:
+            gaps = np.concatenate([c[0] for c in chunks])
+            pcs = np.concatenate([c[1] for c in chunks])
+            addrs = np.concatenate([c[2] for c in chunks])
+            flags = np.concatenate([c[3] for c in chunks])
+            self._chunks = [(gaps, pcs, addrs, flags)]
+        return Trace(gaps, pcs, addrs, flags)

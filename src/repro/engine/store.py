@@ -24,6 +24,7 @@ import pickle
 import shutil
 import sys
 import tempfile
+import time
 from pathlib import Path
 
 from repro.cpu.trace import Trace
@@ -80,14 +81,29 @@ class ResultStore:
 
     # -- results -------------------------------------------------------------
 
+    @staticmethod
+    def _touch(path):
+        """Best-effort mtime bump on a cache hit.
+
+        ``gc`` evicts oldest-mtime-first, so refreshing the mtime on every
+        load turns the mtime order into a true least-recently-*used* order
+        rather than least-recently-written.
+        """
+        try:
+            os.utime(path, None)
+        except OSError:
+            pass
+
     def load_result(self, digest):
         """Return the stored object for ``digest`` or ``None`` on a miss."""
         path = self._result_path(digest)
         try:
             with open(path, "rb") as f:
-                return pickle.load(f)["result"]
+                result = pickle.load(f)["result"]
         except (OSError, pickle.UnpicklingError, KeyError, EOFError, AttributeError):
             return None
+        self._touch(path)
+        return result
 
     def save_result(self, digest, result, meta=None):
         """Persist ``result`` under ``digest`` (atomic, best-effort)."""
@@ -106,9 +122,11 @@ class ResultStore:
         """Return the stored :class:`Trace` for ``digest`` or ``None``."""
         path = self._trace_path(digest)
         try:
-            return Trace.load(path)
+            trace = Trace.load(path)
         except (OSError, KeyError, ValueError):
             return None
+        self._touch(path)
+        return trace
 
     def save_trace(self, digest, trace):
         """Persist ``trace`` under ``digest`` (atomic, best-effort)."""
@@ -142,6 +160,73 @@ class ResultStore:
         """Delete every cached artifact (results and traces)."""
         for sub in ("results", "traces"):
             shutil.rmtree(self.root / sub, ignore_errors=True)
+
+    #: Temp files younger than this are presumed to belong to a live
+    #: writer; older ones are orphans from a killed process and become
+    #: ordinary eviction candidates so gc can reclaim their bytes.
+    _TMP_GRACE_SECONDS = 3600.0
+
+    def _artifacts(self):
+        """All (mtime, size, path) triples under results/ and traces/."""
+        entries = []
+        now = time.time()
+        for sub in ("results", "traces"):
+            base = self.root / sub
+            if not base.is_dir():
+                continue
+            for path in base.rglob("*"):
+                if not path.is_file():
+                    continue
+                try:
+                    st = path.stat()
+                except OSError:
+                    continue  # racing writer/evictor; skip
+                if (
+                    path.name.startswith(".tmp-")
+                    and now - st.st_mtime < self._TMP_GRACE_SECONDS
+                ):
+                    # In-progress _atomic_write temp file: deleting it
+                    # would yank it out from under a live writer.
+                    continue
+                entries.append((st.st_mtime, st.st_size, path))
+        return entries
+
+    def gc(self, max_bytes):
+        """Size-bounded eviction: keep the store at or below ``max_bytes``.
+
+        Artifacts are evicted least-recently-used first (mtime order —
+        loads refresh mtimes, so this is true LRU for anything read
+        through the store), across results and traces together.  Returns
+        a summary dict for the CLI: removed/kept counts and byte totals.
+        Deletions are best-effort; a file that vanishes or resists
+        unlinking is skipped, never fatal.
+        """
+        if max_bytes < 0:
+            raise ValueError("max_bytes must be non-negative")
+        entries = self._artifacts()
+        total = sum(size for _, size, _ in entries)
+        removed = 0
+        freed = 0
+        if total > max_bytes:
+            entries.sort(key=lambda e: (e[0], str(e[2])))  # oldest first
+            for _mtime, size, path in entries:
+                if total - freed <= max_bytes:
+                    break
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+                freed += size
+                removed += 1
+                # Empty <aa>/ shard directories are left in place: there
+                # are at most 256 per kind, and removing one can race a
+                # concurrent writer between its mkdir and mkstemp.
+        return {
+            "removed": removed,
+            "freed_bytes": freed,
+            "kept": len(entries) - removed,
+            "remaining_bytes": total - freed,
+        }
 
     def stats(self):
         """Entry counts and total bytes, for ``repro cache`` / tests."""

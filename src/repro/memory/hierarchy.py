@@ -154,6 +154,7 @@ class MemoryHierarchy:
         "_l2_train",
         "_dram_access",
         "_merge_bound",
+        "_prune_scratch",
     )
 
     def __init__(
@@ -197,6 +198,9 @@ class MemoryHierarchy:
         self._l2_train = None if l2_prefetcher is None else l2_prefetcher.train
         self._dram_access = self.dram.access
         self._merge_bound = self.dram.demand_merge_bound()
+        # Pooled scratch for _prune_in_flight: the completed-prefetch list
+        # is reused across calls instead of allocated per queue-full event.
+        self._prune_scratch = []
 
     # ------------------------------------------------------------------ API
 
@@ -456,7 +460,11 @@ class MemoryHierarchy:
 
     def _prune_in_flight(self, cycle):
         in_flight = self._in_flight
-        done = [ln for ln, ready in in_flight.items() if ready <= cycle]
+        done = self._prune_scratch
+        done.clear()
+        for ln, ready in in_flight.items():
+            if ready <= cycle:
+                done.append(ln)
         for ln in done:
             del in_flight[ln]
 

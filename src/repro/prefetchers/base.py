@@ -57,6 +57,11 @@ class Prefetcher:
 
         ``addr`` is a byte address; ``hit`` says whether the access hit in
         the cache level the prefetcher sits at (some baselines ignore it).
+
+        The returned sequence is only valid until the next ``train`` call
+        on the same prefetcher: implementations may reuse a pooled list
+        (``CompositePrefetcher`` does).  The hierarchy issues candidates
+        immediately; any caller that wants to keep them must copy.
         """
         raise NotImplementedError
 

@@ -22,14 +22,22 @@ class CompositePrefetcher(Prefetcher):
             raise ValueError("composite needs at least one component")
         self.components = components
         self.name = name or "+".join(c.name for c in components)
+        # Pooled merge scratch: ``train`` runs once per training access
+        # and its output is consumed (issued) before the next call, so
+        # the merged list and seen-set are reused instead of allocated
+        # fresh per access.
+        self._merged = []
+        self._seen = set()
 
     def train(self, cycle, pc, addr, hit):
         # Fast path: most training calls yield candidates from at most one
         # component, and components rarely emit internal duplicates — the
-        # full merge (set + list rebuild) is deferred until a second
+        # full merge (pooled set + list rebuild) is deferred until a second
         # component contributes or a duplicate is detected.  Earlier
         # components take precedence on duplicates, and the no-duplicates
         # output invariant holds even within one component's list.
+        # The returned list may be the pooled scratch: per the base-class
+        # contract it is invalidated by the next train call.
         first = None
         merged = None
         seen = None
@@ -41,7 +49,7 @@ class CompositePrefetcher(Prefetcher):
                 first = cands
                 continue
             if merged is None:
-                merged, seen = self._dedup(first)
+                merged, seen = self._dedup_pooled(first)
             for cand in cands:
                 line = cand.line_addr
                 if line not in seen:
@@ -50,17 +58,21 @@ class CompositePrefetcher(Prefetcher):
         if merged is not None:
             return merged
         if first is None:
-            return []
-        seen = {cand.line_addr for cand in first}
+            return ()
+        seen = self._seen
+        seen.clear()
+        for cand in first:
+            seen.add(cand.line_addr)
         if len(seen) == len(first):
             return first
-        return self._dedup(first)[0]
+        return self._dedup_pooled(first)[0]
 
-    @staticmethod
-    def _dedup(candidates):
-        """Order-preserving dedup; returns (unique list, seen-line set)."""
-        merged = []
-        seen = set()
+    def _dedup_pooled(self, candidates):
+        """Order-preserving dedup into the pooled (list, seen-line set)."""
+        merged = self._merged
+        merged.clear()
+        seen = self._seen
+        seen.clear()
         for cand in candidates:
             line = cand.line_addr
             if line not in seen:

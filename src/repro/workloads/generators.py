@@ -1,18 +1,33 @@
-"""Trace-generation primitives.
+"""Trace-generation primitives (array-native).
 
 Each ``emit_*`` function appends roughly ``n`` memory operations with one
 characteristic access structure to a :class:`GenContext`.  Category builders
 in :mod:`repro.workloads.catalog` compose these primitives into the 75
 workloads.
 
-All randomness flows through the context's seeded generator, so every
-workload is reproducible from its name alone.
+The pipeline is array-native end-to-end: every primitive computes its
+gaps/pcs/addresses/flags as whole NumPy arrays — batched RNG draws,
+cumulative-sum and modular index arithmetic, segment tricks for
+variable-size visits — and bulk-appends them through
+:meth:`GenContext.emit_block` / ``TraceBuilder.extend_arrays``.  Nothing
+on the O(n) path runs a per-op Python loop; the only scalar loops left
+are bounded by small structural parameters (stream counts, layout
+counts), not by trace length.
+
+RNG-stream policy: all randomness flows through the context's seeded
+generator, drawn in **batches** (one draw call per decision kind per
+chunk, in a fixed documented order), so every workload is reproducible
+from its name alone — in-process and across processes.  Batched draws
+consume the seeded stream in a different order than the retired scalar
+loops did, so traces differ from pre-vectorization ones while keeping
+the same access structure; the engine's source-code salt invalidates
+previously cached traces automatically (see ``docs/workloads.md``).
 """
 
 import numpy as np
 
-from repro.constants import LINES_PER_PAGE, PAGE_SHIFT
-from repro.cpu.trace import TraceBuilder
+from repro.constants import LINE_SHIFT, LINES_PER_PAGE, PAGE_SHIFT
+from repro.cpu.trace import FLAG_DEP, FLAG_WRITE, TraceBuilder
 
 #: Gap (non-memory instructions between memory ops) ranges per intensity.
 #:
@@ -26,6 +41,9 @@ INTENSITY_GAPS = {
     "medium": (160, 400),
     "low": (400, 1000),
 }
+
+#: Page number -> line address shift (4KB page over 64B lines).
+_PAGE_LINE_SHIFT = PAGE_SHIFT - LINE_SHIFT
 
 
 class GenContext:
@@ -51,6 +69,22 @@ class GenContext:
         self._page_cursor += count + 16
         return base
 
+    def alloc_pages_batch(self, counts):
+        """Reserve several page runs at once; returns their base pages.
+
+        Equivalent to ``[alloc_pages(c) for c in counts]`` without the
+        per-run Python loop.
+        """
+        counts = np.asarray(counts, dtype=np.int64)
+        if counts.size == 0:
+            return counts
+        spans = counts + 16
+        bases = self._page_cursor + np.concatenate(
+            ([0], np.cumsum(spans[:-1]))
+        )
+        self._page_cursor += int(spans.sum())
+        return bases
+
     def alloc_pc(self):
         """Return a fresh, unique program-counter value."""
         pc = self._pc_cursor
@@ -58,14 +92,22 @@ class GenContext:
         return pc
 
     def alloc_pcs(self, count):
-        return [self.alloc_pc() for _ in range(count)]
+        """Return ``count`` fresh program counters as one array."""
+        pcs = self._pc_cursor + 4 * np.arange(count, dtype=np.int64)
+        self._pc_cursor += 4 * count
+        return pcs
 
     # -- emission helpers ----------------------------------------------------------
 
     def gap(self):
-        """Sample an instruction gap for this workload's intensity."""
+        """Sample one instruction gap for this workload's intensity."""
         lo, hi = INTENSITY_GAPS[self.intensity]
         return int(self.rng.integers(lo, hi + 1))
+
+    def gaps(self, n):
+        """Sample ``n`` instruction gaps in one batched draw."""
+        lo, hi = INTENSITY_GAPS[self.intensity]
+        return self.rng.integers(lo, hi + 1, n)
 
     def emit(self, pc, page, line_offset, write=False, dep=False, gap=None):
         """Append one access to line ``line_offset`` of ``page``."""
@@ -77,6 +119,32 @@ class GenContext:
         self.builder.append(
             self.gap() if gap is None else gap, pc, int(line_addr) << 6, write, dep
         )
+
+    def emit_block(self, pcs, lines, writes=None, deps=None, gaps=None):
+        """Bulk-append accesses to absolute line addresses.
+
+        ``pcs`` may be a scalar (one PC for the whole block) or a per-op
+        array; ``writes``/``deps`` likewise (default all-False); ``gaps``
+        defaults to one batched intensity draw.  This is the single
+        funnel every vectorized primitive emits through.
+        """
+        lines = np.asarray(lines, dtype=np.int64)
+        n = lines.size
+        if n == 0:
+            return
+        if gaps is None:
+            gaps = self.gaps(n)
+        pcs = np.asarray(pcs, dtype=np.int64)
+        if pcs.ndim == 0:
+            pcs = np.broadcast_to(pcs, (n,))
+        flags = None
+        if writes is not None or deps is not None:
+            flags = np.zeros(n, dtype=np.uint8)
+            if writes is not None:
+                flags |= np.asarray(writes, dtype=bool).astype(np.uint8) * FLAG_WRITE
+            if deps is not None:
+                flags |= np.asarray(deps, dtype=bool).astype(np.uint8) * FLAG_DEP
+        self.builder.extend_arrays(gaps, pcs, lines << LINE_SHIFT, flags)
 
     def build(self):
         return self.builder.build()
@@ -91,6 +159,35 @@ def bounded_zipf(rng, n_items, alpha, size):
     return np.searchsorted(cumulative, rng.random(size))
 
 
+def _segments(sizes):
+    """Per-op ``(segment_id, within_segment)`` indices for variable-size visits.
+
+    The standard cumulative-sum trick: a visit of size ``s`` contributes
+    ``s`` ops whose ``within`` runs 0..s-1, with no Python loop.
+    """
+    sizes = np.asarray(sizes, dtype=np.int64)
+    total = int(sizes.sum())
+    seg_id = np.repeat(np.arange(sizes.size, dtype=np.int64), sizes)
+    starts = np.concatenate(([0], np.cumsum(sizes[:-1])))
+    within = np.arange(total, dtype=np.int64) - np.repeat(starts, sizes)
+    return seg_id, within
+
+
+def _local_order(rng, seg_id, within, window, keep_first=True):
+    """Permutation reordering ops locally *inside* each visit segment.
+
+    Jitter-key sort: each op's key is its in-segment position plus a
+    uniform draw in [0, window), so ops more than ``window`` apart can
+    never swap — the same bounded-displacement property as the retired
+    buffer-based shuffle.  With ``keep_first`` the segment's first op
+    (the trigger) is pinned in place.
+    """
+    keys = within + rng.random(within.size) * window
+    if keep_first:
+        keys = np.where(within == 0, -1.0, keys)
+    return np.lexsort((keys, seg_id))
+
+
 # --------------------------------------------------------------------------- #
 # Regular patterns: streams, strides, stencils (HPC / FSPEC shapes)
 # --------------------------------------------------------------------------- #
@@ -102,30 +199,30 @@ def emit_streams(ctx, n, num_streams=4, stride=1, pages_per_stream=64, write_fra
     Local deltas are almost all ``+stride``; SPP and every stream detector
     excel here, and the dense traffic saturates DRAM bandwidth.
     """
-    bases = [ctx.alloc_pages(pages_per_stream) << (PAGE_SHIFT - 6) for _ in range(num_streams)]
+    bases = ctx.alloc_pages_batch(
+        np.full(num_streams, pages_per_stream)
+    ) << _PAGE_LINE_SHIFT
     pcs = ctx.alloc_pcs(num_streams)
     # Arrays are not page-phase-aligned in real programs: stagger the
     # streams so their page-boundary crossings (and therefore the spatial
     # prefetchers' trigger bursts) do not synchronize.
-    positions = [int(ctx.rng.integers(0, LINES_PER_PAGE)) for _ in range(num_streams)]
+    positions = ctx.rng.integers(0, LINES_PER_PAGE, num_streams)
     limit = pages_per_stream * LINES_PER_PAGE
-    for i in range(n):
-        s = i % num_streams
-        line = bases[s] + positions[s]
-        write = ctx.rng.random() < write_frac
-        ctx.emit_line(pcs[s], line, write=write)
-        positions[s] = (positions[s] + stride) % limit
+    idx = np.arange(n, dtype=np.int64)
+    s = idx % num_streams  # op i belongs to stream i mod k, as before
+    t = idx // num_streams  # per-stream step count
+    lines = bases[s] + (positions[s] + t * stride) % limit
+    writes = ctx.rng.random(n) < write_frac
+    ctx.emit_block(pcs[s], lines, writes=writes)
 
 
 def emit_strided(ctx, n, stride_lines=4, pages=128):
     """A single strided walker (e.g. column-major array traversal)."""
-    base = ctx.alloc_pages(pages) << (PAGE_SHIFT - 6)
+    base = ctx.alloc_pages(pages) << _PAGE_LINE_SHIFT
     pc = ctx.alloc_pc()
     limit = pages * LINES_PER_PAGE
-    pos = 0
-    for _ in range(n):
-        ctx.emit_line(pc, base + pos)
-        pos = (pos + stride_lines) % limit
+    lines = base + (np.arange(n, dtype=np.int64) * stride_lines) % limit
+    ctx.emit_block(pc, lines)
 
 
 def emit_stencil(ctx, n, arrays=3, pages_per_array=64):
@@ -135,19 +232,20 @@ def emit_stencil(ctx, n, arrays=3, pages_per_array=64):
     learns after warm-up, and dense page patterns that bit-pattern
     prefetchers also capture.
     """
-    bases = [ctx.alloc_pages(pages_per_array) << (PAGE_SHIFT - 6) for _ in range(arrays)]
+    bases = ctx.alloc_pages_batch(
+        np.full(arrays, pages_per_array)
+    ) << _PAGE_LINE_SHIFT
     pcs = ctx.alloc_pcs(arrays * 3)
     limit = pages_per_array * LINES_PER_PAGE - 2
-    i = 1
-    emitted = 0
-    while emitted < n:
-        for a in range(arrays):
-            for j, off in enumerate((-1, 0, 1)):
-                ctx.emit_line(pcs[a * 3 + j], bases[a] + i + off)
-                emitted += 1
-                if emitted >= n:
-                    return
-        i = i + 1 if i + 1 < limit else 1
+    # One iteration emits (array, offset) pairs in a fixed nested order;
+    # the whole sweep is the outer sum of the iteration index (1..limit-1,
+    # wrapping) and that constant block.
+    block = (bases[:, None] + np.array([-1, 0, 1])[None, :]).ravel()
+    per_iter = arrays * 3
+    iters = -(-n // per_iter)
+    i_vals = 1 + np.arange(iters, dtype=np.int64) % (limit - 1)
+    lines = (i_vals[:, None] + block[None, :]).ravel()[:n]
+    ctx.emit_block(np.tile(pcs, iters)[:n], lines)
 
 
 # --------------------------------------------------------------------------- #
@@ -156,47 +254,60 @@ def emit_stencil(ctx, n, arrays=3, pages_per_array=64):
 
 
 def window_reorder(rng, items, window=6):
-    """Shuffle ``items`` locally within a sliding window.
+    """Shuffle ``items`` locally within a sliding window (vectorized).
 
     Models out-of-order-core reordering: accesses move around within an
-    instruction-window-sized neighbourhood but the overall progression (and
-    in particular the first access — the trigger) is preserved.  This is
-    exactly the reordering of Figure 2's streams B-E: same footprint, same
-    trigger, different local order.  Full-trace permutation would be far
-    harsher than any real core's ROB can produce.
+    instruction-window-sized neighbourhood but the overall progression is
+    preserved.  This is exactly the reordering of Figure 2's streams B-E:
+    same footprint, same trigger, different local order.  Implemented as
+    a jitter-key sort — key = position + U[0, window) — so two items more
+    than ``window`` apart can never swap and displacement stays bounded,
+    while full-trace permutation (far harsher than any real ROB) remains
+    impossible by construction.  This is the whole-array form of the
+    same jitter-key sort :func:`_local_order` applies per visit segment.
     """
-    items = list(items)
-    out = []
-    buffer = []
-    for item in items:
-        buffer.append(item)
-        if len(buffer) >= window:
-            pick = int(rng.integers(0, len(buffer)))
-            out.append(buffer.pop(pick))
-    while buffer:
-        pick = int(rng.integers(0, len(buffer)))
-        out.append(buffer.pop(pick))
-    return out
+    items = np.asarray(items)
+    n = items.size
+    if n <= 1 or window <= 1:
+        return items.copy()
+    order = _local_order(
+        rng,
+        np.zeros(n, dtype=np.int64),
+        np.arange(n, dtype=np.int64),
+        window,
+        keep_first=False,
+    )
+    return items[order]
 
 
 def _random_layout(rng, density, cluster=True):
-    """One page layout: a set of line offsets, optionally in 128B pairs.
+    """One page layout: a sorted array of line offsets, optionally in 128B pairs.
 
     ``cluster=True`` biases toward adjacent pairs, which keeps the paper's
     observation that +1/-1 deltas dominate (Figure 11a) and that
-    128B-granularity compression is usually harmless (Figure 11b).
+    128B-granularity compression is usually harmless (Figure 11b).  Draws
+    are batched and deduplicated in arrival order (the batched analogue of
+    the retired add-until-full set loop), keeping the first ``count``
+    distinct offsets so the requested density is respected.
     """
     count = max(2, int(density * LINES_PER_PAGE))
-    offsets = set()
-    while len(offsets) < count:
-        off = int(rng.integers(0, LINES_PER_PAGE))
-        offsets.add(off)
-        # Structures larger than one line span adjacent 64B lines, which
-        # is where Figure 11a's +1-delta dominance (and the viability of
-        # 128B compression) comes from.
-        if cluster and off + 1 < LINES_PER_PAGE:
-            offsets.add(off + 1)
-    return sorted(offsets)
+    draws = None
+    while True:
+        fresh = rng.integers(0, LINES_PER_PAGE, 4 * count)
+        if cluster:
+            # Structures larger than one line span adjacent 64B lines,
+            # which is where Figure 11a's +1-delta dominance (and the
+            # viability of 128B compression) comes from.
+            paired = np.empty(fresh.size * 2, dtype=np.int64)
+            paired[0::2] = fresh
+            paired[1::2] = np.minimum(fresh + 1, LINES_PER_PAGE - 1)
+            fresh = paired
+        draws = fresh if draws is None else np.concatenate([draws, fresh])
+        uniq, first_idx = np.unique(draws, return_index=True)
+        if uniq.size >= count:
+            break
+    arrival_order = draws[np.sort(first_idx)][:count]
+    return np.sort(arrival_order)
 
 
 def emit_spatial_layouts(
@@ -229,7 +340,10 @@ def emit_spatial_layouts(
     """
     rng = ctx.rng
     layouts = [_random_layout(rng, density, cluster) for _ in range(num_layouts)]
-    trigger_pcs = [ctx.alloc_pcs(pc_variants) for _ in range(num_layouts)]
+    sizes = np.array([layout.size for layout in layouts], dtype=np.int64)
+    flat = np.concatenate(layouts)
+    layout_starts = np.concatenate(([0], np.cumsum(sizes[:-1])))
+    trigger_pc_table = np.stack([ctx.alloc_pcs(pc_variants) for _ in range(num_layouts)])
     body_pcs = ctx.alloc_pcs(num_layouts)
     base_page = ctx.alloc_pages(pages)
     # Allocators place structures at a handful of recurring 128B-aligned
@@ -237,38 +351,44 @@ def emit_spatial_layouts(
     # (PC, offset) signatures recur — so a large PHT *can* hold them all —
     # while their count (layouts x variants x palette) overflows small
     # signature storage.  Anchored patterns are invariant to the shift.
-    jitter_palette = [
-        [2 * int(rng.integers(0, LINES_PER_PAGE // 2)) for _ in range(8)]
-        for _ in range(num_layouts)
-    ]
+    jitter_palette = 2 * rng.integers(0, LINES_PER_PAGE // 2, (num_layouts, 8))
+    mean_size = float(sizes.mean())
     emitted = 0
     visit = 0
     while emitted < n:
-        page = base_page + int(rng.integers(0, pages))
+        v = max(16, int((n - emitted) / mean_size) + 2)
+        page_draw = rng.integers(0, pages, v)
         if layout_zipf > 0:
-            layout_idx = int(bounded_zipf(rng, num_layouts, layout_zipf, 1)[0])
+            lidx = bounded_zipf(rng, num_layouts, layout_zipf, v)
         else:
-            layout_idx = visit % num_layouts
-        visit += 1
-        offsets = layouts[layout_idx]
+            lidx = (visit + np.arange(v)) % num_layouts
+        visit += v
         if trigger_jitter:
-            shift = jitter_palette[layout_idx][int(rng.integers(0, 8))]
-            offsets = [(o + shift) % LINES_PER_PAGE for o in offsets]
-        trigger = offsets[0]
-        rest = offsets[1:]
+            shifts = jitter_palette[lidx, rng.integers(0, 8, v)]
+        else:
+            shifts = np.zeros(v, dtype=np.int64)
+        if pc_variants > 1:
+            variants = rng.integers(0, pc_variants, v)
+        else:
+            variants = np.zeros(v, dtype=np.int64)
+        vsizes = sizes[lidx]
+        seg_id, within = _segments(vsizes)
+        offs = flat[layout_starts[lidx][seg_id] + within]
+        offs = (offs + shifts[seg_id]) % LINES_PER_PAGE
         if reorder:
             # A wide window: the OOO core plus cache-miss completion order
             # scramble a burst's non-trigger accesses heavily (Figure 2's
             # premise) while the trigger itself stays first.
-            rest = window_reorder(rng, rest, window=12)
-        variant = int(rng.integers(0, pc_variants)) if pc_variants > 1 else 0
-        ctx.emit(trigger_pcs[layout_idx][variant], page, trigger)
-        emitted += 1
-        for off in rest:
-            ctx.emit(body_pcs[layout_idx], page, int(off))
-            emitted += 1
-            if emitted >= n:
-                return
+            offs = offs[_local_order(rng, seg_id, within, window=12)]
+        pcs = np.where(
+            within == 0,
+            trigger_pc_table[lidx, variants][seg_id],
+            body_pcs[lidx][seg_id],
+        )
+        lines = ((base_page + page_draw)[seg_id] << _PAGE_LINE_SHIFT) + offs
+        take = min(n - emitted, lines.size)
+        ctx.emit_block(pcs[:take], lines[:take])
+        emitted += take
 
 
 def emit_code_heavy(
@@ -279,25 +399,40 @@ def emit_code_heavy(
     Models the enormous code footprints of TPC-C-style server workloads
     ("more than 4000 trigger PCs per kilo instructions") where only SMS's
     16K-entry PHT retains enough signatures; 256-entry tables thrash.
+    Layouts are derived from the context id through a vectorized integer
+    hash (the batched analogue of the retired per-context derived RNG), so
+    the virtual table of thousands of layouts never materializes.
     """
     rng = ctx.rng
     count = max(2, int(density * LINES_PER_PAGE))
     base_page = ctx.alloc_pages(pages)
     pc_base = ctx.alloc_pc()
-    # Layouts are derived deterministically from the context id so the
-    # table can be virtualized instead of materializing 3000 lists.
+    slot_mix = (np.arange(count, dtype=np.uint64) + np.uint64(1)) * np.uint64(
+        2246822519
+    )
     emitted = 0
     while emitted < n:
-        context_id = int(rng.integers(0, num_contexts))
-        layout_rng = np.random.default_rng(context_id * 7919 + 13)
-        offsets = sorted(set(layout_rng.integers(0, LINES_PER_PAGE, count).tolist()))
-        page = base_page + int(rng.integers(0, pages))
-        pc = pc_base + context_id * 4
-        for off in offsets:
-            ctx.emit(pc, page, int(off))
-            emitted += 1
-            if emitted >= n:
-                return
+        v = max(16, (n - emitted) // count + 2)
+        contexts = rng.integers(0, num_contexts, v)
+        page_draw = rng.integers(0, pages, v)
+        # splitmix-style per-(context, slot) hash -> offsets in [0, 64).
+        h = contexts.astype(np.uint64)[:, None] * np.uint64(2654435761)
+        h = h + slot_mix[None, :] + np.uint64(13)
+        h ^= h >> np.uint64(15)
+        h *= np.uint64(0x9E3779B97F4A7C15)
+        offs = ((h >> np.uint64(32)) % np.uint64(LINES_PER_PAGE)).astype(np.int64)
+        # Sorted, deduplicated per visit — same semantics as the retired
+        # ``sorted(set(...))``, via an adjacent-duplicate mask.
+        offs = np.sort(offs, axis=1)
+        keep = np.ones(offs.shape, dtype=bool)
+        keep[:, 1:] = offs[:, 1:] != offs[:, :-1]
+        vsizes = keep.sum(axis=1)
+        pcs = np.repeat(pc_base + contexts * 4, vsizes)
+        pages_per_op = np.repeat(base_page + page_draw, vsizes)
+        lines = (pages_per_op << _PAGE_LINE_SHIFT) + offs[keep]
+        take = min(n - emitted, lines.size)
+        ctx.emit_block(pcs[:take], lines[:take])
+        emitted += take
 
 
 def emit_sparse_global(ctx, n, deltas=(0, 7, 19, 33), pages=512, reorder=True):
@@ -308,31 +443,46 @@ def emit_sparse_global(ctx, n, deltas=(0, 7, 19, 33), pages=512, reorder=True):
     each page before it goes cold.
     """
     rng = ctx.rng
+    deltas = np.asarray(deltas, dtype=np.int64)
     base_page = ctx.alloc_pages(pages)
     trigger_pc = ctx.alloc_pc()
     body_pc = ctx.alloc_pc()
-    emitted = 0
-    page_idx = 0
-    while emitted < n:
-        page = base_page + page_idx % pages
-        page_idx += 1
-        start = int(rng.integers(0, LINES_PER_PAGE - max(deltas) - 1))
-        offsets = [start + d for d in deltas]
-        body = offsets[1:]
-        if reorder:
-            body = window_reorder(rng, body, window=3)
-        ctx.emit(trigger_pc, page, offsets[0])
-        emitted += 1
-        for off in body:
-            ctx.emit(body_pc, page, int(off))
-            emitted += 1
-            if emitted >= n:
-                return
+    d = deltas.size
+    visits = -(-n // d)
+    page_off = np.arange(visits, dtype=np.int64) % pages
+    starts = rng.integers(0, LINES_PER_PAGE - int(deltas.max()) - 1, visits)
+    seg_id = np.repeat(np.arange(visits, dtype=np.int64), d)
+    within = np.tile(np.arange(d, dtype=np.int64), visits)
+    offs = starts[seg_id] + deltas[within]
+    if reorder:
+        offs = offs[_local_order(rng, seg_id, within, window=3)]
+    pcs = np.where(within == 0, trigger_pc, body_pc)
+    lines = ((base_page + page_off)[seg_id] << _PAGE_LINE_SHIFT) + offs
+    ctx.emit_block(pcs[:n], lines[:n])
 
 
 # --------------------------------------------------------------------------- #
 # Irregular patterns: pointer chasing, key-value, noise
 # --------------------------------------------------------------------------- #
+
+
+def _affine_sequence(pos0, steps, mult, add, mod):
+    """``steps`` iterates of ``x -> (mult*x + add) % mod`` after ``pos0``.
+
+    The recurrence is affine, so ``k`` composed steps are again affine;
+    doubling the known prefix with the composed map yields the whole
+    sequence in O(log steps) vectorized passes instead of a scalar loop.
+    """
+    seq = np.empty(steps + 1, dtype=np.int64)
+    seq[0] = pos0 % mod
+    a, c = mult % mod, add % mod  # affine^1
+    filled = 1
+    while filled < steps + 1:
+        take = min(filled, steps + 1 - filled)
+        seq[filled : filled + take] = (seq[:take] * a + c) % mod
+        a, c = (a * a) % mod, (a * c + c) % mod  # affine^filled doubles
+        filled += take
+    return seq[1:]
 
 
 def emit_pointer_chase(ctx, n, working_set_pages=2048, spatial_hint=0.0):
@@ -350,24 +500,23 @@ def emit_pointer_chase(ctx, n, working_set_pages=2048, spatial_hint=0.0):
     total_lines = working_set_pages * LINES_PER_PAGE
     pc_chase = ctx.alloc_pc()
     pc_fields = ctx.alloc_pcs(2)
-    pos = int(rng.integers(0, total_lines))
+    pos0 = int(rng.integers(0, total_lines))
     # A fixed odd multiplier walks the whole line space pseudo-randomly.
-    stride = 0x9E3779B1
-    emitted = 0
-    base_line = base_page << (PAGE_SHIFT - 6)
-    while emitted < n:
-        pos = (pos * 1103515245 + stride) % total_lines
-        # Anchor nodes to an 8-line slab so field offsets never leave it.
-        node = pos & ~7
-        line = base_line + node
-        ctx.emit_line(pc_chase, line, dep=True)
-        emitted += 1
-        if spatial_hint and rng.random() < spatial_hint:
-            for field_idx, field_off in enumerate((2, 4)):
-                if emitted >= n:
-                    return
-                ctx.emit_line(pc_fields[field_idx], line + field_off)
-                emitted += 1
+    positions = _affine_sequence(pos0, n, 1103515245, 0x9E3779B1, total_lines)
+    # Anchor nodes to an 8-line slab so field offsets never leave it.
+    nodes = positions & ~np.int64(7)
+    chase_lines = (base_page << _PAGE_LINE_SHIFT) + nodes
+    if not spatial_hint:
+        ctx.emit_block(pc_chase, chase_lines[:n], deps=True)
+        return
+    hits = rng.random(n) < spatial_hint
+    counts = np.where(hits, 3, 1)
+    seg_id, within = _segments(counts)
+    lines = chase_lines[seg_id] + 2 * within  # within 1 -> +2, 2 -> +4
+    field_pcs = pc_fields[np.maximum(within, 1) - 1]
+    pcs = np.where(within == 0, pc_chase, field_pcs)
+    deps = within == 0
+    ctx.emit_block(pcs[:n], lines[:n], deps=deps[:n])
 
 
 def emit_kv(
@@ -386,26 +535,30 @@ def emit_kv(
     pc_lookup = ctx.alloc_pcs(pc_pool)
     pc_scan = ctx.alloc_pc()
     records_per_page = LINES_PER_PAGE // record_lines
+    mean_size = scan_frac * LINES_PER_PAGE + (1.0 - scan_frac) * record_lines
     emitted = 0
     while emitted < n:
-        if rng.random() < scan_frac:
-            page = base_page + int(rng.integers(0, hot_pages))
-            for off in range(LINES_PER_PAGE):
-                ctx.emit(pc_scan, page, off)
-                emitted += 1
-                if emitted >= n:
-                    return
-            continue
-        page_rank = int(bounded_zipf(rng, hot_pages, zipf_alpha, 1)[0])
-        page = base_page + page_rank
-        record = int(rng.integers(0, records_per_page))
-        start = record * record_lines
-        pc = pc_lookup[record % len(pc_lookup)]
-        for k in range(record_lines):
-            ctx.emit(pc, page, start + k, write=rng.random() < 0.2)
-            emitted += 1
-            if emitted >= n:
-                return
+        v = max(16, int((n - emitted) / mean_size) + 2)
+        scans = rng.random(v) < scan_frac
+        scan_pages = rng.integers(0, hot_pages, v)
+        ranks = bounded_zipf(rng, hot_pages, zipf_alpha, v)
+        records = rng.integers(0, records_per_page, v)
+        write_draw = rng.random((v, record_lines)) < 0.2
+        vsizes = np.where(scans, LINES_PER_PAGE, record_lines)
+        seg_id, within = _segments(vsizes)
+        page_v = np.where(scans, scan_pages, ranks)
+        start_v = np.where(scans, 0, records * record_lines)
+        offs = start_v[seg_id] + within
+        pcs_v = np.where(scans, pc_scan, pc_lookup[records % pc_pool])
+        writes = np.where(
+            scans[seg_id],
+            False,
+            write_draw[seg_id, np.minimum(within, record_lines - 1)],
+        )
+        lines = ((base_page + page_v)[seg_id] << _PAGE_LINE_SHIFT) + offs
+        take = min(n - emitted, lines.size)
+        ctx.emit_block(pcs_v[seg_id][:take], lines[:take], writes=writes[:take])
+        emitted += take
 
 
 def emit_random(ctx, n, pages=4096):
@@ -415,8 +568,8 @@ def emit_random(ctx, n, pages=4096):
     pc = ctx.alloc_pc()
     page_draws = rng.integers(0, pages, n)
     offset_draws = rng.integers(0, LINES_PER_PAGE, n)
-    for page_off, line_off in zip(page_draws.tolist(), offset_draws.tolist()):
-        ctx.emit(pc, base_page + page_off, line_off)
+    lines = ((base_page + page_draws) << _PAGE_LINE_SHIFT) + offset_draws
+    ctx.emit_block(pc, lines)
 
 
 def emit_backref_stream(ctx, n, window_pages=32, backref_frac=0.3, pages=256):
@@ -428,24 +581,26 @@ def emit_backref_stream(ctx, n, window_pages=32, backref_frac=0.3, pages=256):
     land on pages the stream just left.
     """
     rng = ctx.rng
-    base = ctx.alloc_pages(pages) << (PAGE_SHIFT - 6)
+    base = ctx.alloc_pages(pages) << _PAGE_LINE_SHIFT
     pc_stream = ctx.alloc_pc()
     pc_ref = ctx.alloc_pc()
     limit = pages * LINES_PER_PAGE
     window = window_pages * LINES_PER_PAGE
-    pos = window
-    emitted = 0
-    while emitted < n:
-        ctx.emit_line(pc_stream, base + pos % limit)
-        emitted += 1
-        pos += 1
-        if emitted < n and rng.random() < backref_frac:
-            # Geometric-ish recency bias: squaring a uniform sample
-            # concentrates matches near the stream head while still
-            # occasionally reaching the window tail.
-            back = 1 + int((rng.random() ** 2) * (window - 1))
-            ctx.emit_line(pc_ref, base + (pos - back) % limit)
-            emitted += 1
+    # Worst case every op is a stream step; back-refs interleave after
+    # their step and the tail is trimmed to exactly n.
+    refs = rng.random(n) < backref_frac
+    # Geometric-ish recency bias: squaring a uniform sample concentrates
+    # matches near the stream head while still occasionally reaching the
+    # window tail.
+    backs = 1 + ((rng.random(n) ** 2) * (window - 1)).astype(np.int64)
+    pos = window + np.arange(n, dtype=np.int64)
+    counts = np.where(refs, 2, 1)
+    seg_id, within = _segments(counts)
+    stream_lines = base + pos % limit
+    ref_lines = base + (pos + 1 - backs) % limit
+    lines = np.where(within == 0, stream_lines[seg_id], ref_lines[seg_id])
+    pcs = np.where(within == 0, pc_stream, pc_ref)
+    ctx.emit_block(pcs[:n], lines[:n])
 
 
 def emit_blocks2d(ctx, n, block_lines=8, image_pages=256, reorder=True):
@@ -454,20 +609,14 @@ def emit_blocks2d(ctx, n, block_lines=8, image_pages=256, reorder=True):
     base_page = ctx.alloc_pages(image_pages)
     pc_trigger = ctx.alloc_pc()
     pc_body = ctx.alloc_pc()
-    emitted = 0
-    page_idx = 0
-    while emitted < n:
-        page = base_page + page_idx % image_pages
-        page_idx += 1
-        start = int(rng.integers(0, LINES_PER_PAGE - block_lines))
-        offsets = list(range(start, start + block_lines))
-        body = offsets[1:]
-        if reorder:
-            body = window_reorder(rng, body, window=4)
-        ctx.emit(pc_trigger, page, offsets[0])
-        emitted += 1
-        for off in body:
-            ctx.emit(pc_body, page, int(off))
-            emitted += 1
-            if emitted >= n:
-                return
+    visits = -(-n // block_lines)
+    page_off = np.arange(visits, dtype=np.int64) % image_pages
+    starts = rng.integers(0, LINES_PER_PAGE - block_lines, visits)
+    seg_id = np.repeat(np.arange(visits, dtype=np.int64), block_lines)
+    within = np.tile(np.arange(block_lines, dtype=np.int64), visits)
+    offs = starts[seg_id] + within
+    if reorder:
+        offs = offs[_local_order(rng, seg_id, within, window=4)]
+    pcs = np.where(within == 0, pc_trigger, pc_body)
+    lines = ((base_page + page_off)[seg_id] << _PAGE_LINE_SHIFT) + offs
+    ctx.emit_block(pcs[:n], lines[:n])

@@ -166,3 +166,36 @@ class TestEngineFlags:
         assert active_store().stats()["results"] == 1
         assert main(["cache", "--clear"]) == 0
         assert active_store().stats()["results"] == 0
+
+    def test_cache_clear_action(self, capsys):
+        from repro.engine import active_store
+        from repro.experiments.runner import clear_run_cache, run_workload
+
+        clear_run_cache()
+        run_workload("ispec06.hmmer", "none", 400)
+        assert main(["cache", "clear"]) == 0
+        assert active_store().stats()["results"] == 0
+
+    def test_cache_gc_respects_bound(self, capsys):
+        from repro.engine import active_store
+        from repro.experiments.runner import clear_run_cache, run_workload
+
+        clear_run_cache()
+        run_workload("ispec06.hmmer", "none", 400)
+        run_workload("ispec06.hmmer", "nextline", 400)
+        before = active_store().stats()
+        assert before["results"] == 2
+        assert main(["cache", "gc", "--max-mb", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "evicted" in out
+        after = active_store().stats()
+        assert after["results"] == 0 and after["traces"] == 0
+
+    def test_cache_gc_noop_when_small(self, capsys):
+        from repro.engine import active_store
+        from repro.experiments.runner import clear_run_cache, run_workload
+
+        clear_run_cache()
+        run_workload("ispec06.hmmer", "none", 400)
+        assert main(["cache", "gc", "--max-mb", "512"]) == 0
+        assert active_store().stats()["results"] == 1

@@ -116,6 +116,98 @@ class TestResultStore:
         assert stats["results"] == 0 and stats["traces"] == 0
 
 
+class TestGarbageCollection:
+    @staticmethod
+    def _digest(i):
+        return f"{i:02x}" + "0" * 62
+
+    def test_noop_when_under_bound(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        store.save_result(self._digest(1), b"x" * 100)
+        summary = store.gc(1 << 20)
+        assert summary["removed"] == 0
+        assert summary["kept"] == 1
+        assert store.load_result(self._digest(1)) is not None
+
+    def test_evicts_oldest_mtime_first(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        for i in range(4):
+            store.save_result(self._digest(i), b"x" * 4096)
+        # Age entries 0 and 1; leave 2 and 3 recent.
+        for i in (0, 1):
+            path = store._result_path(self._digest(i))
+            os.utime(path, (1000 + i, 1000 + i))
+        size = store.stats()["bytes"]
+        summary = store.gc(size // 2)
+        assert summary["removed"] == 2
+        assert store.load_result(self._digest(0)) is None
+        assert store.load_result(self._digest(1)) is None
+        assert store.load_result(self._digest(2)) is not None
+        assert store.load_result(self._digest(3)) is not None
+        assert summary["remaining_bytes"] <= size // 2
+
+    def test_load_refreshes_recency(self, tmp_path):
+        """A hit bumps the artifact's mtime, so recently *used* entries
+        survive eviction even when they were written first."""
+        store = ResultStore(tmp_path / "s")
+        for i in range(3):
+            store.save_result(self._digest(i), b"x" * 4096)
+            path = store._result_path(self._digest(i))
+            os.utime(path, (1000 + i, 1000 + i))
+        assert store.load_result(self._digest(0)) is not None  # touch oldest
+        summary = store.gc(store.stats()["bytes"] // 2)
+        assert summary["removed"] == 2
+        assert store.load_result(self._digest(0)) is not None
+        assert store.load_result(self._digest(1)) is None
+        assert store.load_result(self._digest(2)) is None
+
+    def test_covers_traces_too(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        store.save_trace(self._digest(7), Trace([0], [1], [64], [0]))
+        path = store._trace_path(self._digest(7))
+        os.utime(path, (1000, 1000))
+        summary = store.gc(0)
+        assert summary["removed"] == 1
+        assert store.load_trace(self._digest(7)) is None
+
+    def test_zero_bound_empties_store(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        for i in range(3):
+            store.save_result(self._digest(i), i)
+        summary = store.gc(0)
+        assert summary["removed"] == 3
+        assert summary["remaining_bytes"] == 0
+        assert store.stats()["bytes"] == 0
+
+    def test_negative_bound_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultStore(tmp_path / "s").gc(-1)
+
+    def test_in_progress_temp_files_not_evicted(self, tmp_path):
+        """gc racing a live _atomic_write must not yank the temp file."""
+        store = ResultStore(tmp_path / "s")
+        store.save_result(self._digest(1), b"x" * 4096)
+        tmp = store._result_path(self._digest(2)).parent / ".tmp-inflight"
+        tmp.parent.mkdir(parents=True, exist_ok=True)
+        tmp.write_bytes(b"y" * 4096)
+        summary = store.gc(0)
+        assert tmp.exists()
+        assert summary["removed"] == 1  # only the real artifact went
+
+    def test_orphaned_temp_files_reclaimed(self, tmp_path):
+        """Temp files older than the grace period are dead writers'
+        leftovers and must be evictable, or gc could never reach the
+        requested bound."""
+        store = ResultStore(tmp_path / "s")
+        tmp = store._result_path(self._digest(2)).parent / ".tmp-orphan"
+        tmp.parent.mkdir(parents=True, exist_ok=True)
+        tmp.write_bytes(b"y" * 4096)
+        os.utime(tmp, (1000, 1000))  # far older than the grace period
+        summary = store.gc(0)
+        assert not tmp.exists()
+        assert summary["removed"] == 1
+
+
 class TestDiskPersistence:
     def test_run_survives_memory_cache_clear(self):
         first = run_workload("ispec06.mcf", "none", 400)
