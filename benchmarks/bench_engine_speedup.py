@@ -62,9 +62,11 @@ def run_bench(args):
     os.environ["REPRO_CACHE_DIR"] = cache_dir
 
     from repro import engine
+    from repro.engine import default_session
     from repro.experiments.figures import fig12_single_thread
-    from repro.experiments.runner import _RUN_CACHE, _TRACE_CACHE, clear_run_cache
     from repro.experiments.scale import Scale
+
+    session = default_session()
 
     scale = Scale(
         trace_len=args.trace_len,
@@ -84,7 +86,7 @@ def run_bench(args):
     t_cold_seq = None
     rows_seq = None
     for _ in range(args.repeats):
-        clear_run_cache()  # both layers: a genuinely cold start
+        session.clear()  # both layers: a genuinely cold start
         t0 = time.perf_counter()
         fig = fig12_single_thread(scale)
         dt = time.perf_counter() - t0
@@ -98,7 +100,7 @@ def run_bench(args):
     rows_par = None
     if jobs > 1 and cpu_count > 1:
         engine.configure(jobs=jobs)
-        clear_run_cache()
+        session.clear()
         t0 = time.perf_counter()
         rows_par = _rows_of(fig12_single_thread(scale))
         t_cold_par = time.perf_counter() - t0
@@ -108,10 +110,9 @@ def run_bench(args):
     if rows_par is not None:
         # Repopulate the store sequentially so the warm phase follows a
         # sequential cold phase regardless of the parallel experiment.
-        clear_run_cache()
+        session.clear()
         fig12_single_thread(scale)
-    _RUN_CACHE.clear()
-    _TRACE_CACHE.clear()
+    session.clear(disk=False)  # memo layers only; the disk store stays warm
     t0 = time.perf_counter()
     rows_warm = _rows_of(fig12_single_thread(scale))
     t_warm = time.perf_counter() - t0

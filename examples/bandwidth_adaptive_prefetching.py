@@ -12,15 +12,54 @@ configurations of Figure 15 (1/2 channels x DDR4-1600/2133/2400) and shows
 - how baseline utilization falls as peak bandwidth grows, and
 - how DSPatch's CovP/AccP prediction mix shifts in response, and
 - how the DSPatch+SPP speedup scales with bandwidth.
+
+The baseline and DSPatch+SPP runs for all six machines are batched
+through one ``Session.run`` call; the pattern-selection counters need a
+hand-wired hierarchy (they live inside the prefetcher object, which the
+session's cached results deliberately do not expose).
 """
 
-from repro import DramConfig, System, SystemConfig, build_trace
+import os
+
+from repro import RunSpec, Session, TraceSpec
 from repro.memory.dram import BANDWIDTH_SWEEP
+
+WORKLOAD = "sysmark.excel"
+LENGTH = int(os.environ.get("REPRO_EXAMPLE_LENGTH", "12000"))
+
+
+def dspatch_selection_counts(trace, dram):
+    """Re-run standalone DSPatch by hand to read its selection counters."""
+    import repro.prefetchers.registry as registry
+    from repro.cpu.core import CoreExecution, CoreModel
+    from repro.memory.dram import DramModel
+    from repro.memory.hierarchy import MemoryHierarchy
+    from repro.prefetchers.stride import PcStridePrefetcher
+
+    dram_model = DramModel(dram)
+    dspatch = registry.build_prefetcher("dspatch", dram_model)
+    hierarchy = MemoryHierarchy(
+        dram=dram_model,
+        l1_prefetcher=PcStridePrefetcher(),
+        l2_prefetcher=dspatch,
+    )
+    CoreExecution(CoreModel(), trace, hierarchy).run()
+    return dspatch
 
 
 def main():
-    trace = build_trace("sysmark.excel", length=12000)
-    print(f"workload: sysmark.excel ({len(trace)} memory ops)\n")
+    session = Session()
+    trace = session.trace(TraceSpec(WORKLOAD, LENGTH))
+    print(f"workload: {WORKLOAD} ({len(trace)} memory ops)\n")
+
+    # All twelve standard runs (six machines x {baseline, DSPatch+SPP}).
+    specs = [
+        RunSpec(WORKLOAD, scheme, LENGTH, dram)
+        for dram in BANDWIDTH_SWEEP
+        for scheme in ("none", "spp+dspatch")
+    ]
+    results = session.run(specs)
+
     header = (
         f"{'config':>9s} {'peak GB/s':>9s} {'base util':>9s} "
         f"{'CovP':>6s} {'AccP':>6s} {'none':>6s} {'DSPatch+SPP':>12s}"
@@ -28,25 +67,9 @@ def main():
     print(header)
     print("-" * len(header))
 
-    for dram in BANDWIDTH_SWEEP:
-        base = System(SystemConfig.single_thread("none", dram=dram)).run(trace)
-        combo = System(SystemConfig.single_thread("spp+dspatch", dram=dram)).run(trace)
-
-        # Re-run standalone DSPatch to read its pattern-selection counters.
-        import repro.prefetchers.registry as registry
-        from repro.cpu.core import CoreExecution, CoreModel
-        from repro.memory.dram import DramModel
-        from repro.memory.hierarchy import MemoryHierarchy
-        from repro.prefetchers.stride import PcStridePrefetcher
-
-        dram_model = DramModel(dram)
-        dspatch = registry.build_prefetcher("dspatch", dram_model)
-        hierarchy = MemoryHierarchy(
-            dram=dram_model,
-            l1_prefetcher=PcStridePrefetcher(),
-            l2_prefetcher=dspatch,
-        )
-        CoreExecution(CoreModel(), trace, hierarchy).run()
+    for i, dram in enumerate(BANDWIDTH_SWEEP):
+        base, combo = results[2 * i], results[2 * i + 1]
+        dspatch = dspatch_selection_counts(trace, dram)
 
         predictions = max(
             1, dspatch.predictions_covp + dspatch.predictions_accp + dspatch.predictions_suppressed

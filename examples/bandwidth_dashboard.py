@@ -9,8 +9,16 @@ run, then renders:
 - the quartile residency histogram,
 - DSPatch's CovP/AccP/suppressed decision counts — the visible effect of
   the signal on pattern selection (Figure 10 in action).
+
+The trace comes from a shared :class:`repro.Session` (so it is generated
+once and cached); the sampled runs are hand-wired because they poll the
+DRAM monitor *mid-run*, which the session's cached end-of-run results
+cannot express.
 """
 
+import os
+
+from repro import Session, TraceSpec
 from repro.cpu.core import CoreExecution
 from repro.cpu.system import SystemConfig
 from repro.memory.dram import DramConfig, DramModel
@@ -18,14 +26,13 @@ from repro.memory.hierarchy import MemoryHierarchy
 from repro.metrics.asciichart import line_chart
 from repro.prefetchers.registry import build_prefetcher
 from repro.prefetchers.stride import PcStridePrefetcher
-from repro.workloads.catalog import build_trace
 
 WORKLOAD = "hpc.parsec-stream"
-LENGTH = 12000
+LENGTH = int(os.environ.get("REPRO_EXAMPLE_LENGTH", "12000"))
 SAMPLES = 40
 
 
-def run_sampled(dram_config):
+def run_sampled(trace, dram_config):
     """Run once, sampling utilization at fixed demand-op intervals."""
     config = SystemConfig.single_thread("spp+dspatch", dram=dram_config)
     dram = DramModel(dram_config)
@@ -36,7 +43,6 @@ def run_sampled(dram_config):
         l1_prefetcher=PcStridePrefetcher(),
         l2_prefetcher=combo,
     )
-    trace = build_trace(WORKLOAD, LENGTH)
     execution = CoreExecution(config.core, trace, hierarchy)
 
     interval = max(1, len(trace) // SAMPLES)
@@ -51,11 +57,13 @@ def run_sampled(dram_config):
 
 
 def main():
+    session = Session()
+    trace = session.trace(TraceSpec(WORKLOAD, LENGTH))
     timelines = {}
     for channels in (1, 2):
         dram_config = DramConfig(speed_grade=2133, channels=channels)
         label = dram_config.label()
-        timeline, dram, dspatch, stats = run_sampled(dram_config)
+        timeline, dram, dspatch, stats = run_sampled(trace, dram_config)
         timelines[label] = timeline
 
         residency = dram.monitor.bucket_residency()

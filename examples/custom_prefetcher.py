@@ -6,15 +6,25 @@ return candidates), ``storage_breakdown`` (hardware budget), and optional
 usefulness hooks.  This example implements a naive next-N-lines prefetcher,
 wires it into the hierarchy by hand, and compares it against DSPatch on a
 spatial workload — a template for prototyping your own designs.
+
+Registry schemes run through the session API (cached, batched); the
+custom prototype needs a hand-wired hierarchy because it is not a
+registry scheme — sessions cache by *scheme name*, and a prototype
+object has none yet.  Register it (``repro.prefetchers.registry``) and
+it becomes a one-line ``RunSpec`` like everything else.
 """
 
-from repro import build_trace
+import os
+
+from repro import RunSpec, Session, TraceSpec
 from repro.cpu.core import CoreExecution, CoreModel
 from repro.memory.dram import DramConfig, DramModel
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.prefetchers.base import PrefetchCandidate, Prefetcher
-from repro.prefetchers.registry import build_prefetcher
 from repro.prefetchers.stride import PcStridePrefetcher
+
+WORKLOAD = "ispec17.xalancbmk17"
+LENGTH = int(os.environ.get("REPRO_EXAMPLE_LENGTH", "10000"))
 
 
 class NextNLines(Prefetcher):
@@ -44,14 +54,11 @@ class NextNLines(Prefetcher):
         return {}  # stateless
 
 
-def run_with(trace, l2_prefetcher_or_name):
+def run_prototype(trace, prefetcher):
+    """Hand-wired single-core run for a prefetcher *object*."""
     dram = DramModel(DramConfig())
-    if isinstance(l2_prefetcher_or_name, str):
-        l2 = build_prefetcher(l2_prefetcher_or_name, dram)
-    else:
-        l2 = l2_prefetcher_or_name
     hierarchy = MemoryHierarchy(
-        dram=dram, l1_prefetcher=PcStridePrefetcher(), l2_prefetcher=l2
+        dram=dram, l1_prefetcher=PcStridePrefetcher(), l2_prefetcher=prefetcher
     )
     stats = CoreExecution(CoreModel(), trace, hierarchy).run()
     coverage, accuracy, _ = hierarchy.coverage_accuracy()
@@ -59,20 +66,30 @@ def run_with(trace, l2_prefetcher_or_name):
 
 
 def main():
-    trace = build_trace("ispec17.xalancbmk17", length=10000)
-    base_ipc, _, _ = run_with(trace, "none")
-    print(f"baseline IPC: {base_ipc:.3f}\n")
+    session = Session()
+    trace = session.trace(TraceSpec(WORKLOAD, LENGTH))
+
+    # Registry schemes: declarative, batched, cached.
+    base, dspatch, combo = session.run(
+        [RunSpec(WORKLOAD, scheme, LENGTH) for scheme in ("none", "dspatch", "spp+dspatch")]
+    )
+    print(f"baseline IPC: {base.ipc:.3f}\n")
     print(f"{'prefetcher':>14s} {'speedup':>8s} {'coverage':>9s} {'accuracy':>9s}")
+
+    # Prototypes: wire the object in by hand.
     for name, pf in (
         ("next-2-lines", NextNLines(degree=2)),
         ("next-8-lines", NextNLines(degree=8)),
-        ("dspatch", "dspatch"),
-        ("spp+dspatch", "spp+dspatch"),
     ):
-        ipc, coverage, accuracy = run_with(trace, pf)
+        ipc, coverage, accuracy = run_prototype(trace, pf)
         print(
-            f"{name:>14s} {100 * (ipc / base_ipc - 1):+7.1f}% "
+            f"{name:>14s} {100 * (ipc / base.ipc - 1):+7.1f}% "
             f"{coverage:9.1%} {accuracy:9.1%}"
+        )
+    for name, res in (("dspatch", dspatch), ("spp+dspatch", combo)):
+        print(
+            f"{name:>14s} {100 * (res.ipc / base.ipc - 1):+7.1f}% "
+            f"{res.coverage:9.1%} {res.accuracy:9.1%}"
         )
     print(
         "\nThe straw man buys coverage by flooding inaccurate requests;"

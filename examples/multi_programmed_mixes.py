@@ -6,37 +6,47 @@ homogeneous mix) on the paper's MP machine — shared 8MB LLC, two DDR4-2133
 channels, so the same LLC capacity per core as single-thread but *half*
 the bandwidth per core.  Scarce bandwidth is where the accuracy-biased
 pattern earns its keep.
+
+A :class:`repro.MixSpec` describes one multi-programmed run (one
+workload per core); the alone-IPC reference is an ordinary
+:class:`repro.RunSpec` on the same machine.  Everything executes in one
+``Session.run`` batch.
 """
 
-from repro import MultiCoreSystem, System, SystemConfig, build_trace
-from repro.workloads.mixes import build_mix_traces
+import os
+
+from repro import MixSpec, RunSpec, Session
+from repro.engine.specs import MP_DRAM, MP_LLC_BYTES
+
+WORKLOAD = "sysmark.excel"
+LENGTH_PER_CORE = int(os.environ.get("REPRO_EXAMPLE_LENGTH", "5000"))
+SCHEMES = ("none", "spp", "spp+dspatch")
 
 
 def main():
-    workload = "sysmark.excel"
-    traces = build_mix_traces([workload] * 4, length_per_core=5000)
-    print(f"homogeneous mix: 4 x {workload}, {len(traces[0])} memory ops per core\n")
+    session = Session()
+    print(f"homogeneous mix: 4 x {WORKLOAD}, {LENGTH_PER_CORE} memory ops per core\n")
 
-    # Alone-IPC reference: one core on the MP machine, baseline prefetching.
-    alone_cfg = SystemConfig.single_thread(
-        "none",
-        dram=SystemConfig.multi_programmed().dram,
-        llc_bytes=8 * 1024 * 1024,
-    )
-    alone_ipc = System(alone_cfg).run(traces[0]).ipc
-    print(f"alone IPC (baseline, full machine to itself): {alone_ipc:.3f}\n")
+    # Alone-IPC reference (one core, full machine to itself, baseline
+    # prefetching) plus the three mix runs — one batch.  The MP machine:
+    # two DDR4-2133 channels, 8MB shared LLC (MixSpec's default DRAM).
+    alone_spec = RunSpec(WORKLOAD, "none", LENGTH_PER_CORE, MP_DRAM, MP_LLC_BYTES)
+    mix_specs = [
+        MixSpec(WORKLOAD, (WORKLOAD,) * 4, scheme, LENGTH_PER_CORE) for scheme in SCHEMES
+    ]
+    alone, *mixes = session.run([alone_spec, *mix_specs])
+    print(f"alone IPC (baseline, full machine to itself): {alone.ipc:.3f}\n")
 
     results = {}
-    for scheme in ("none", "spp", "spp+dspatch"):
-        mp = MultiCoreSystem(SystemConfig.multi_programmed(scheme)).run(traces)
-        ws = mp.weighted_speedup([alone_ipc] * 4)
+    for scheme, mp in zip(SCHEMES, mixes):
+        ws = mp.weighted_speedup([alone.ipc] * 4)
         results[scheme] = ws
         per_core = "  ".join(f"{core.ipc:.3f}" for core in mp.per_core)
         print(f"{scheme:12s} per-core IPC [{per_core}]  weighted speedup {ws:.3f}")
 
     base_ws = results["none"]
     print("\nperformance over the shared baseline:")
-    for scheme in ("spp", "spp+dspatch"):
+    for scheme in SCHEMES[1:]:
         print(f"  {scheme:12s} {100.0 * (results[scheme] / base_ws - 1.0):+.1f}%")
 
 

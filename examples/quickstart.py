@@ -1,29 +1,45 @@
 #!/usr/bin/env python3
 """Quickstart: run one workload under DSPatch+SPP and read the results.
 
-This is the five-minute tour of the public API:
+This is the five-minute tour of the public session API:
 
-1. generate a synthetic workload trace,
-2. build the paper's single-thread machine (Table 2),
-3. run it under the baseline and under two prefetcher configurations,
+1. open a :class:`repro.Session` — it owns the result cache and (when
+   ``jobs`` parallelism is configured) the worker pool;
+2. describe the experiments as immutable :class:`repro.RunSpec` objects;
+3. execute the whole batch with one ``session.run`` call;
 4. inspect speedup, coverage, accuracy and bandwidth utilization.
+
+Re-running this script is nearly instant: every result persists in the
+session's store backend under a content-addressed key.
 """
 
-from repro import System, SystemConfig, build_trace
+import os
+
+from repro import RunSpec, Session, TraceSpec
+
+LENGTH = int(os.environ.get("REPRO_EXAMPLE_LENGTH", "12000"))
 
 
 def main():
+    session = Session()
+
     # One of the 75 catalogued workloads: BigBench-like cloud analytics
     # with recurring spatial layouts visited in reordered order.
-    trace = build_trace("cloud.bigbench", length=12000)
+    trace = session.trace(TraceSpec("cloud.bigbench", LENGTH))
     print(f"trace: {len(trace)} memory ops, {trace.instructions} instructions")
 
-    baseline = System(SystemConfig.single_thread("none")).run(trace)
+    # The baseline (L1 PC-stride only) plus three L2 prefetcher schemes,
+    # described declaratively and executed as one batch.
+    schemes = ("none", "spp", "dspatch", "spp+dspatch")
+    specs = [RunSpec("cloud.bigbench", scheme, LENGTH) for scheme in schemes]
+    results = dict(zip(schemes, session.run(specs)))
+
+    baseline = results["none"]
     print(f"\nbaseline (L1 stride only): IPC {baseline.ipc:.3f}, "
           f"L2 misses {baseline.l2_demand_misses}")
 
-    for scheme in ("spp", "dspatch", "spp+dspatch"):
-        result = System(SystemConfig.single_thread(scheme)).run(trace)
+    for scheme in schemes[1:]:
+        result = results[scheme]
         speedup = 100.0 * (result.ipc / baseline.ipc - 1.0)
         print(
             f"{scheme:12s} speedup {speedup:+6.1f}%   "
@@ -32,7 +48,7 @@ def main():
         )
 
     # The Section 3.2 bandwidth signal, as residency in each quartile.
-    result = System(SystemConfig.single_thread("spp+dspatch")).run(trace)
+    result = results["spp+dspatch"]
     labels = ("<25%", "25-50%", "50-75%", ">=75%")
     residency = ", ".join(
         f"{label}: {frac:.0%}" for label, frac in zip(labels, result.bw_utilization_residency)

@@ -11,12 +11,18 @@ representative per family on:
 - a jittered-layout workload (SYSmark excel), where only anchored
   bit-patterns keep up.
 
-and prints speedup against hardware cost.
+and prints speedup against hardware cost.  The full (workload × family)
+grid executes as one batched ``Session.run`` call.
 """
 
-from repro import System, SystemConfig, build_trace
+import os
+
+from repro import RunSpec, Session
 from repro.memory.dram import FixedBandwidth
 from repro.prefetchers.registry import build_prefetcher
+
+LENGTH = int(os.environ.get("REPRO_EXAMPLE_LENGTH", "12000"))
+WORKLOADS = ("hpc.linpack", "sysmark.excel")
 
 FAMILIES = [
     ("nextline-4", "static spatial"),
@@ -30,17 +36,18 @@ FAMILIES = [
 
 
 def main():
-    workloads = {
-        "hpc.linpack": build_trace("hpc.linpack", length=12000),
-        "sysmark.excel": build_trace("sysmark.excel", length=12000),
-    }
-    baselines = {
-        name: System(SystemConfig.single_thread("none")).run(trace)
-        for name, trace in workloads.items()
-    }
+    session = Session()
+    schemes = ["none"] + [scheme for scheme, _ in FAMILIES]
+    specs = [RunSpec(name, scheme, LENGTH) for name in WORKLOADS for scheme in schemes]
+    results = dict(
+        zip(
+            ((name, scheme) for name in WORKLOADS for scheme in schemes),
+            session.run(specs),
+        )
+    )
 
     header = f"{'scheme':12s} {'family':26s} {'storage':>9s}"
-    for name in workloads:
+    for name in WORKLOADS:
         header += f" {name:>16s}"
     print(header)
     print("-" * len(header))
@@ -48,9 +55,10 @@ def main():
     for scheme, family in FAMILIES:
         storage = build_prefetcher(scheme, FixedBandwidth(0)).storage_kb()
         row = f"{scheme:12s} {family:26s} {storage:8.1f}K"
-        for name, trace in workloads.items():
-            result = System(SystemConfig.single_thread(scheme)).run(trace)
-            speedup = 100.0 * (result.ipc / baselines[name].ipc - 1.0)
+        for name in WORKLOADS:
+            speedup = 100.0 * (
+                results[(name, scheme)].ipc / results[(name, "none")].ipc - 1.0
+            )
             row += f" {speedup:+15.1f}%"
         print(row)
 

@@ -9,55 +9,68 @@ compression) off individually.
 The design point should sit at the knee of the size curves, and every
 toggle should cost performance somewhere — otherwise the mechanism would
 not be earning its storage.
+
+The whole (workload × variant) cross product is declared up front as
+:class:`repro.RunSpec` objects and executed through one batched
+``Session.run`` call — results are cached, so tweaking the printout and
+re-running is free.
 """
 
-from repro import System, SystemConfig, build_trace
+import os
+
+from repro import RunSpec, Session
 from repro.memory.dram import FixedBandwidth
 from repro.metrics.stats import geomean
 from repro.prefetchers.registry import build_prefetcher
 
 WORKLOADS = ("hpc.linpack", "sysmark.excel", "cloud.bigbench", "ispec06.mcf")
-TRACE_LEN = 10000
+TRACE_LEN = int(os.environ.get("REPRO_EXAMPLE_LENGTH", "10000"))
+
+SIZE_SWEEP = (
+    "dspatch-spt64",
+    "dspatch-spt128",
+    "dspatch",
+    "dspatch-spt512",
+    "dspatch-pb32",
+    "dspatch-pb128",
+)
+TOGGLES = (
+    ("dspatch", "full design"),
+    ("dspatch-noanchor", "no trigger anchoring (Section 3.3 off)"),
+    ("dspatch-1trigger", "single trigger per page (Section 3.7 off)"),
+    ("dspatch-64b", "uncompressed 64B patterns (Section 3.8 off)"),
+)
 
 
-def geomean_speedup(scheme, traces, baselines):
-    ratios = []
-    for name, trace in traces.items():
-        result = System(SystemConfig.single_thread(scheme)).run(trace)
-        ratios.append(result.ipc / baselines[name].ipc)
+def geomean_speedup(grid, scheme):
+    ratios = [
+        grid[(name, scheme)].ipc / grid[(name, "none")].ipc for name in WORKLOADS
+    ]
     return 100.0 * (geomean(ratios) - 1.0)
 
 
 def main():
-    traces = {name: build_trace(name, TRACE_LEN) for name in WORKLOADS}
-    baselines = {
-        name: System(SystemConfig.single_thread("none")).run(trace)
-        for name, trace in traces.items()
-    }
+    session = Session()
+    schemes = ["none", *SIZE_SWEEP, "dspatch-noanchor", "dspatch-1trigger", "dspatch-64b"]
+    specs = [
+        RunSpec(name, scheme, TRACE_LEN) for name in WORKLOADS for scheme in schemes
+    ]
+    results = session.run(specs)
+    grid = dict(
+        zip(((name, scheme) for name in WORKLOADS for scheme in schemes), results)
+    )
 
     print("== structure sizes (geomean speedup vs. storage) ==")
-    for scheme in (
-        "dspatch-spt64",
-        "dspatch-spt128",
-        "dspatch",
-        "dspatch-spt512",
-        "dspatch-pb32",
-        "dspatch-pb128",
-    ):
+    for scheme in SIZE_SWEEP:
         storage = build_prefetcher(scheme, FixedBandwidth(0)).storage_kb()
         label = scheme + (" (design point)" if scheme == "dspatch" else "")
-        print(f"  {label:28s} {geomean_speedup(scheme, traces, baselines):+6.1f}%  "
+        print(f"  {label:28s} {geomean_speedup(grid, scheme):+6.1f}%  "
               f"at {storage:.1f}KB")
 
     print("\n== design-choice toggles ==")
-    for scheme, what in (
-        ("dspatch", "full design"),
-        ("dspatch-noanchor", "no trigger anchoring (Section 3.3 off)"),
-        ("dspatch-1trigger", "single trigger per page (Section 3.7 off)"),
-        ("dspatch-64b", "uncompressed 64B patterns (Section 3.8 off)"),
-    ):
+    for scheme, what in TOGGLES:
         storage = build_prefetcher(scheme, FixedBandwidth(0)).storage_kb()
-        print(f"  {what:42s} {geomean_speedup(scheme, traces, baselines):+6.1f}%  "
+        print(f"  {what:42s} {geomean_speedup(grid, scheme):+6.1f}%  "
               f"at {storage:.1f}KB")
 
 

@@ -10,27 +10,33 @@ workloads, the statistics the paper's design decisions rest on:
 - page density, footprint, and the compression-induced misprediction
   rate (Figure 11b).
 
+Traces come from a :class:`repro.Session` with an
+:class:`repro.InMemoryBackend` — a store backend that lives and dies
+with the process, so this analysis never touches the on-disk cache.
 Also demonstrates the text trace format for interop with external tools.
 """
 
+import os
 import tempfile
 from pathlib import Path
 
-from repro import build_trace
+from repro import InMemoryBackend, Session, TraceSpec
 from repro.cpu.trace_io import load_text, save_text
 from repro.workloads.analysis import analyze_trace
 
 WORKLOADS = ("hpc.linpack", "server.tpcc-1", "sysmark.excel")
+LENGTH = int(os.environ.get("REPRO_EXAMPLE_LENGTH", "8000"))
 
 
 def main():
+    session = Session(backend=InMemoryBackend())
     for name in WORKLOADS:
-        trace = build_trace(name, length=8000)
+        trace = session.trace(TraceSpec(name, LENGTH))
         print(analyze_trace(trace, name).render())
         print()
 
     # Round-trip through the text interchange format.
-    trace = build_trace("ispec06.mcf", length=500)
+    trace = session.trace(TraceSpec("ispec06.mcf", 500))
     with tempfile.TemporaryDirectory() as tmp:
         path = Path(tmp) / "mcf.trace"
         save_text(trace, path)

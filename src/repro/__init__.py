@@ -32,6 +32,17 @@ Quickstart::
 
 from repro.constants import LINE_SIZE, PAGE_SIZE
 from repro.core import DSPatch, DSPatchConfig
+from repro.engine import (
+    InMemoryBackend,
+    LocalDirBackend,
+    MixSpec,
+    RunSpec,
+    Session,
+    StoreBackend,
+    TieredBackend,
+    TraceSpec,
+    default_session,
+)
 from repro.core.variants import (
     AlwaysCovP,
     ModCovP,
@@ -106,10 +117,13 @@ __all__ = [
     "FeedbackThrottle",
     "FixedBandwidth",
     "HierarchyConfig",
+    "InMemoryBackend",
     "LINE_SIZE",
+    "LocalDirBackend",
     "MEMORY_INTENSIVE",
     "MarkovPrefetcher",
     "MemoryHierarchy",
+    "MixSpec",
     "ModCovP",
     "MultiCoreSystem",
     "MultiProgramResult",
@@ -119,20 +133,26 @@ __all__ = [
     "PAGE_SIZE",
     "PcStridePrefetcher",
     "RunResult",
+    "RunSpec",
     "SMS",
     "SPP",
+    "Session",
     "SingleTriggerDSPatch",
+    "StoreBackend",
     "StreamPrefetcher",
     "System",
     "SystemConfig",
     "ThrottleConfig",
+    "TieredBackend",
     "Trace",
     "TraceBuilder",
+    "TraceSpec",
     "VLDP",
     "WORKLOADS",
     "analyze_trace",
     "available_prefetchers",
     "build_prefetcher",
     "build_trace",
+    "default_session",
     "workloads_in_category",
 ]

@@ -16,7 +16,13 @@ Subcommands:
 Global engine flags (before the subcommand): ``--jobs N`` fans
 independent runs across N worker processes, ``--cache-dir PATH``
 relocates the persistent store, ``--no-cache`` disables the disk layer
-for this invocation.
+for this invocation, and ``--shared-cache PATH`` layers a read-only
+shared store (e.g. a network mount another host populated) under the
+local one — hits are promoted into the local tier.
+
+Simulation commands batch their runs through the default engine
+:class:`~repro.engine.session.Session`, so ``--jobs`` parallelism
+applies to every subcommand that runs more than one simulation.
 """
 
 import argparse
@@ -63,11 +69,17 @@ def _cmd_list_prefetchers(args):
 
 
 def _cmd_run(args):
-    from repro.experiments.runner import run_workload
+    from repro.engine import RunSpec, default_session
 
     dram = _parse_dram(args.dram) if args.dram else None
-    base = run_workload(args.workload, "none", args.length, dram)
-    res = run_workload(args.workload, args.scheme, args.length, dram)
+    # One batched Session.run so the baseline and the scheme fan out over
+    # the worker pool together when --jobs > 1.
+    base, res = default_session().run(
+        [
+            RunSpec(args.workload, "none", args.length, dram),
+            RunSpec(args.workload, args.scheme, args.length, dram),
+        ]
+    )
     speedup = 100.0 * (res.ipc / base.ipc - 1.0) if base.ipc > 0 else 0.0
     if args.json:
         import json
@@ -133,12 +145,18 @@ def _cmd_report(args):
 
 
 def _cmd_sweep(args):
-    from repro.experiments.runner import run_workload
+    from repro.engine import RunSpec, default_session
 
+    # All 12 runs (6 DRAM points x {baseline, scheme}) in one batch.
+    specs = [
+        RunSpec(args.workload, scheme, args.length, dram)
+        for dram in BANDWIDTH_SWEEP
+        for scheme in ("none", args.scheme)
+    ]
+    results = default_session().run(specs)
     print(f"{'dram':10s} {'peak GB/s':>9s} {'baseline':>9s} {args.scheme:>12s} {'delta':>8s}")
-    for dram in BANDWIDTH_SWEEP:
-        base = run_workload(args.workload, "none", args.length, dram)
-        res = run_workload(args.workload, args.scheme, args.length, dram)
+    for i, dram in enumerate(BANDWIDTH_SWEEP):
+        base, res = results[2 * i], results[2 * i + 1]
         delta = 100.0 * (res.ipc / base.ipc - 1.0) if base.ipc > 0 else 0.0
         print(
             f"{dram.label():10s} {dram.peak_gbps:9.1f} {base.ipc:9.3f} "
@@ -178,6 +196,8 @@ def _cmd_cache(args):
         return 0
     print(f"cache dir  {cfg.cache_dir}")
     print(f"disk cache {'enabled' if cfg.disk_cache else 'disabled'}")
+    if cfg.shared_cache_dir is not None:
+        print(f"shared     {cfg.shared_cache_dir} (read-only tier)")
     print(f"jobs       {cfg.jobs}")
     print(f"code salt  {code_salt()}")
     if store is not None:
@@ -185,6 +205,8 @@ def _cmd_cache(args):
         print(f"results    {stats['results']}")
         print(f"traces     {stats['traces']}")
         print(f"size       {stats['bytes'] / 1024:.1f} KB")
+        if "shared_results" in stats:
+            print(f"shared     {stats['shared_results']} results, {stats['shared_traces']} traces")
     return 0
 
 
@@ -208,7 +230,15 @@ def build_parser():
     parser.add_argument(
         "--no-cache",
         action="store_true",
-        help="disable the persistent disk cache for this invocation",
+        help="disable the whole persistent store for this invocation "
+        "(including any --shared-cache / REPRO_SHARED_CACHE tier)",
+    )
+    parser.add_argument(
+        "--shared-cache",
+        default=None,
+        help="read-only shared store layered under the local cache "
+        "(read-through; e.g. a network mount another host populated; "
+        "default: REPRO_SHARED_CACHE; ignored under --no-cache)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -275,13 +305,19 @@ _HANDLERS = {
 
 def main(argv=None):
     args = build_parser().parse_args(argv)
-    if args.jobs is not None or args.cache_dir is not None or args.no_cache:
+    if (
+        args.jobs is not None
+        or args.cache_dir is not None
+        or args.no_cache
+        or args.shared_cache is not None
+    ):
         from repro.engine import configure
 
         configure(
             jobs=args.jobs,
             cache_dir=args.cache_dir,
             disk_cache=False if args.no_cache else None,
+            shared_cache_dir=args.shared_cache,
         )
     return _HANDLERS[args.command](args)
 

@@ -23,6 +23,12 @@ COMPRESSED_BITS_PER_PAGE = LINES_PER_PAGE // 2
 #: Width of one compressed half (2KB segment) of a page pattern.
 COMPRESSED_BITS_PER_SEGMENT = COMPRESSED_BITS_PER_PAGE // 2
 
+#: Table 2 LLC capacities: single-thread (2MB) and multi-programmed
+#: shared (8MB) machines.  Single source for `SystemConfig` factory
+#: defaults and the engine's spec defaults.
+ST_LLC_BYTES = 2 * 1024 * 1024
+MP_LLC_BYTES = 8 * 1024 * 1024
+
 
 def line_address(addr):
     """Return the cache-line address (byte address >> 6) of ``addr``."""

@@ -19,7 +19,8 @@ from dataclasses import dataclass, field
 
 from repro.cpu.core import CoreExecution, CoreModel
 from repro.memory.cache import Cache
-from repro.memory.dram import DramConfig, DramModel
+from repro.constants import MP_LLC_BYTES, ST_LLC_BYTES
+from repro.memory.dram import MP_DRAM, ST_DRAM, DramConfig, DramModel
 from repro.memory.hierarchy import HierarchyConfig, MemoryHierarchy
 from repro.prefetchers.registry import build_prefetcher
 from repro.prefetchers.stride import PcStridePrefetcher
@@ -44,23 +45,23 @@ class SystemConfig:
     warmup_frac: float = 0.25
 
     @staticmethod
-    def single_thread(l2_prefetcher="none", dram=None, llc_bytes=2 * 1024 * 1024, **kwargs):
+    def single_thread(l2_prefetcher="none", dram=None, llc_bytes=ST_LLC_BYTES, **kwargs):
         """The paper's ST configuration: 2MB LLC, single channel."""
         hierarchy = HierarchyConfig().scaled_llc(llc_bytes)
         return SystemConfig(
             hierarchy=hierarchy,
-            dram=dram or DramConfig(speed_grade=2133, channels=1),
+            dram=dram or ST_DRAM,
             l2_prefetcher=l2_prefetcher,
             **kwargs,
         )
 
     @staticmethod
-    def multi_programmed(l2_prefetcher="none", dram=None, llc_bytes=8 * 1024 * 1024, **kwargs):
+    def multi_programmed(l2_prefetcher="none", dram=None, llc_bytes=MP_LLC_BYTES, **kwargs):
         """The paper's MP configuration: shared 8MB LLC, two channels."""
         hierarchy = HierarchyConfig().scaled_llc(llc_bytes)
         return SystemConfig(
             hierarchy=hierarchy,
-            dram=dram or DramConfig(speed_grade=2133, channels=2),
+            dram=dram or MP_DRAM,
             l2_prefetcher=l2_prefetcher,
             **kwargs,
         )

@@ -1,90 +1,174 @@
-"""Pure computation layer: disk-cache-aware trace/run/mix production.
+"""Computation layer: pure simulation plus backend-aware production.
 
-These functions are the single implementation behind both the in-process
-memoization in :mod:`repro.experiments.runner` and the process-pool
-workers in :mod:`repro.engine.parallel`.  Each one:
+Two levels live here, both spec-driven:
 
-1. consults the on-disk store (if enabled) under the artifact's
-   content-addressed fingerprint;
-2. on a miss, computes the artifact exactly the way the pre-engine
-   sequential code did (same construction order, same arithmetic — results
-   are bit-for-bit identical whether computed here, loaded from disk, or
-   produced by a worker process);
-3. writes the fresh artifact back to the store.
+- **pure compute** (:func:`build_trace_artifact`, :func:`simulate_run`,
+  :func:`simulate_mix`) — the exact pre-engine sequential code path
+  (same construction order, same arithmetic), no caching.  Results are
+  bit-for-bit identical whether computed in-process, by a pool worker,
+  or loaded back from any store backend;
+- **backend-aware production** (:func:`produce_trace_with`,
+  :func:`produce_run_with`, :func:`produce_mix_with`) — consult a
+  :class:`~repro.engine.backends.StoreBackend` under the spec's
+  content-addressed fingerprint, compute on a miss, write the fresh
+  artifact back.  These are what :class:`repro.engine.session.Session`
+  (and its pool workers) execute.
+
+The legacy positional-argument entry points (``produce_trace``,
+``produce_run``, ``produce_mix``) remain as thin delegates to the
+default session so pre-session callers keep working unchanged.
 """
 
 from repro.cpu.system import MultiCoreSystem, System, SystemConfig
-from repro.engine.config import active_store
-from repro.engine.fingerprint import mix_fingerprint, run_fingerprint, trace_fingerprint
+from repro.engine.specs import MixSpec, RunSpec, TraceSpec
 
-#: In-process trace memo shared by every compute path (direct calls, the
-#: runner's ``get_trace``, and per-worker compute in the pool), so one
-#: process never materializes the same (workload, length) trace twice —
-#: with the disk layer disabled this is the only trace cache.
-#: ``runner.clear_run_cache`` clears it alongside the run memos.
+#: In-process trace memo of the **default session** (kept at module level
+#: so every legacy path — direct engine calls, the runner shims, forked
+#: pool workers — shares one dict, exactly as before the session API).
+#: Explicit sessions own private memos instead.
 TRACE_MEMO = {}
 
 
-def produce_trace(workload, length):
-    """Memoized load-or-build of one workload trace (``.npz`` on disk)."""
+# -- pure compute (no caching) ---------------------------------------------
+
+
+def build_trace_artifact(spec):
+    """Generate one workload trace exactly as the catalog builds it."""
     from repro.workloads.catalog import WORKLOADS
 
-    key = (workload, length)
-    trace = TRACE_MEMO.get(key)
+    return WORKLOADS[spec.workload].build(spec.length)
+
+
+def simulate_run(spec, trace):
+    """One single-core run of ``trace`` on the machine ``spec`` describes."""
+    config = SystemConfig.single_thread(
+        spec.scheme,
+        dram=spec.dram,
+        llc_bytes=spec.llc_bytes,
+        record_pollution_victims=spec.record_pollution,
+    )
+    return System(config).run(trace)
+
+
+def simulate_mix(spec):
+    """One multi-programmed run of the mix ``spec`` describes."""
+    from repro.workloads.mixes import build_mix_traces
+
+    config = SystemConfig.multi_programmed(
+        spec.scheme, dram=spec.dram, llc_bytes=spec.llc_bytes
+    )
+    traces = build_mix_traces(list(spec.workloads), spec.length_per_core)
+    return MultiCoreSystem(config).run(traces)
+
+
+# -- backend-aware production ----------------------------------------------
+
+
+def load_artifact(spec, backend):
+    """Probe ``backend`` for one spec's artifact; ``None`` on a miss."""
+    if backend is None:
+        return None
+    if isinstance(spec, TraceSpec):
+        return backend.load_trace(spec.fingerprint())
+    return backend.load_result(spec.fingerprint())
+
+
+def save_artifact(spec, result, backend):
+    """Persist one computed artifact under its spec's fingerprint."""
+    if backend is None:
+        return
+    if isinstance(spec, TraceSpec):
+        backend.save_trace(spec.fingerprint(), result)
+    elif isinstance(spec, RunSpec):
+        backend.save_result(
+            spec.fingerprint(),
+            result,
+            meta={
+                "kind": "run",
+                "workload": spec.workload,
+                "scheme": spec.scheme,
+                "length": spec.length,
+            },
+        )
+    elif isinstance(spec, MixSpec):
+        backend.save_result(
+            spec.fingerprint(),
+            result,
+            meta={
+                "kind": "mix",
+                "mix": spec.mix_name,
+                "scheme": spec.scheme,
+                "length": spec.length_per_core,
+            },
+        )
+
+
+def produce_trace_with(spec, backend, memo):
+    """Memoized load-or-build of one trace through ``backend``."""
+    key = (spec.workload, spec.length)
+    trace = memo.get(key)
     if trace is not None:
         return trace
-    store = active_store()
-    digest = trace_fingerprint(workload, length)
-    if store is not None:
-        trace = store.load_trace(digest)
+    if backend is not None:
+        digest = spec.fingerprint()
+        trace = backend.load_trace(digest)
         if trace is not None:
-            TRACE_MEMO[key] = trace
+            memo[key] = trace
             return trace
-    trace = WORKLOADS[workload].build(length)
-    if store is not None:
-        store.save_trace(digest, trace)
-    TRACE_MEMO[key] = trace
+    trace = build_trace_artifact(spec)
+    save_artifact(spec, trace, backend)
+    memo[key] = trace
     return trace
 
 
-def produce_run(workload, scheme, length, dram, llc_bytes, record_pollution):
+def produce_run_with(spec, backend, trace_memo):
     """Load-or-compute one single-core run; returns a ``RunResult``."""
-    store = active_store()
-    digest = run_fingerprint(workload, scheme, length, dram, llc_bytes, record_pollution)
-    if store is not None:
-        result = store.load_result(digest)
+    digest = spec.fingerprint()
+    if backend is not None:
+        result = backend.load_result(digest)
         if result is not None:
             return result
-    config = SystemConfig.single_thread(
-        scheme, dram=dram, llc_bytes=llc_bytes, record_pollution_victims=record_pollution
-    )
-    result = System(config).run(produce_trace(workload, length))
-    if store is not None:
-        store.save_result(
-            digest,
-            result,
-            meta={"kind": "run", "workload": workload, "scheme": scheme, "length": length},
-        )
+    trace = produce_trace_with(spec.trace_spec, backend, trace_memo)
+    result = simulate_run(spec, trace)
+    save_artifact(spec, result, backend)
     return result
+
+
+def produce_mix_with(spec, backend):
+    """Load-or-compute one mix; returns a ``MultiProgramResult``."""
+    digest = spec.fingerprint()
+    if backend is not None:
+        result = backend.load_result(digest)
+        if result is not None:
+            return result
+    result = simulate_mix(spec)
+    save_artifact(spec, result, backend)
+    return result
+
+
+# -- legacy positional entry points ----------------------------------------
+
+
+def produce_trace(workload, length):
+    """Legacy entry point: the default session's trace production."""
+    from repro.engine.session import default_session
+
+    return default_session().trace(TraceSpec(workload, length))
+
+
+def produce_run(workload, scheme, length, dram, llc_bytes, record_pollution):
+    """Legacy entry point: one single-core run via the default session."""
+    from repro.engine.session import default_session
+
+    return default_session().run(
+        RunSpec(workload, scheme, length, dram, llc_bytes, record_pollution)
+    )
 
 
 def produce_mix(mix_name, workload_names, scheme, length_per_core, dram):
-    """Load-or-compute one 4-core mix; returns a ``MultiProgramResult``."""
-    from repro.workloads.mixes import build_mix_traces
+    """Legacy entry point: one mix via the default session."""
+    from repro.engine.session import default_session
 
-    store = active_store()
-    digest = mix_fingerprint(mix_name, workload_names, scheme, length_per_core, dram)
-    if store is not None:
-        result = store.load_result(digest)
-        if result is not None:
-            return result
-    config = SystemConfig.multi_programmed(scheme, dram=dram)
-    traces = build_mix_traces(workload_names, length_per_core)
-    result = MultiCoreSystem(config).run(traces)
-    if store is not None:
-        store.save_result(
-            digest,
-            result,
-            meta={"kind": "mix", "mix": mix_name, "scheme": scheme, "length": length_per_core},
-        )
-    return result
+    return default_session().run(
+        MixSpec(mix_name, tuple(workload_names), scheme, length_per_core, dram)
+    )

@@ -1,26 +1,39 @@
-"""Engine configuration: parallelism and cache location.
+"""Engine configuration: parallelism, cache location, store backend.
 
 Resolution order for every knob:
 
 1. an explicit :func:`configure` call (the CLI flags land here);
 2. environment variables (``REPRO_JOBS``, ``REPRO_CACHE_DIR``,
-   ``REPRO_NO_CACHE``);
+   ``REPRO_NO_CACHE``, ``REPRO_SHARED_CACHE``);
 3. built-in defaults (sequential, ``~/.cache/dspatch-repro``, disk cache
-   enabled).
+   enabled, no shared tier).
 
 Environment variables are read lazily at each :func:`current_config`
 call (not at import), so test fixtures can repoint the cache directory
 before any simulation runs.
+
+These process-global knobs back the **default session** (and the
+legacy ``runner`` shims).  Explicitly constructed
+:class:`repro.engine.session.Session` objects can override any of them
+per session — including plugging in a whole
+:class:`repro.engine.backends.StoreBackend` — without touching this
+module.
 """
 
 import os
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Optional
 
-from repro.engine.store import ResultStore
+from repro.engine.backends import LocalDirBackend, TieredBackend
 
 #: Explicit overrides set via :func:`configure`; ``None`` = use env/default.
-_overrides = {"jobs": None, "cache_dir": None, "disk_cache": None}
+_overrides = {
+    "jobs": None,
+    "cache_dir": None,
+    "disk_cache": None,
+    "shared_cache_dir": None,
+}
 
 
 @dataclass(frozen=True)
@@ -33,6 +46,9 @@ class EngineConfig:
     cache_dir: Path
     #: Whether the disk layer is consulted/written at all.
     disk_cache: bool
+    #: Optional read-only shared store root layered under the local one
+    #: (read-through: shared hits are promoted into the local tier).
+    shared_cache_dir: Optional[Path] = None
 
 
 def _default_cache_dir():
@@ -51,10 +67,19 @@ def current_config():
     disk_cache = _overrides["disk_cache"]
     if disk_cache is None:
         disk_cache = os.environ.get("REPRO_NO_CACHE", "") != "1"
-    return EngineConfig(jobs=max(1, jobs), cache_dir=Path(cache_dir), disk_cache=disk_cache)
+    shared = _overrides["shared_cache_dir"]
+    if shared is None:
+        env_shared = os.environ.get("REPRO_SHARED_CACHE")
+        shared = Path(env_shared) if env_shared else None
+    return EngineConfig(
+        jobs=max(1, jobs),
+        cache_dir=Path(cache_dir),
+        disk_cache=disk_cache,
+        shared_cache_dir=shared,
+    )
 
 
-def configure(jobs=None, cache_dir=None, disk_cache=None):
+def configure(jobs=None, cache_dir=None, disk_cache=None, shared_cache_dir=None):
     """Set explicit engine overrides; ``None`` leaves a knob untouched."""
     if jobs is not None:
         _overrides["jobs"] = int(jobs)
@@ -62,6 +87,8 @@ def configure(jobs=None, cache_dir=None, disk_cache=None):
         _overrides["cache_dir"] = Path(cache_dir)
     if disk_cache is not None:
         _overrides["disk_cache"] = bool(disk_cache)
+    if shared_cache_dir is not None:
+        _overrides["shared_cache_dir"] = Path(shared_cache_dir)
 
 
 def reset_config():
@@ -70,10 +97,29 @@ def reset_config():
         _overrides[key] = None
 
 
-def active_store():
-    """The :class:`ResultStore` for the current config, or ``None`` if the
-    disk layer is disabled."""
-    cfg = current_config()
-    if not cfg.disk_cache:
+def backend_for(config):
+    """Build the :class:`StoreBackend` a resolved config describes.
+
+    ``None`` when the disk layer is disabled; a plain
+    :class:`LocalDirBackend` normally; a read-through
+    :class:`TieredBackend` (local over shared) when a shared tier is
+    configured.  ``disk_cache=False`` wins over everything — it disables
+    the *whole* persistent layer, shared tier included (there is no
+    local tier to promote into, and the contract of ``--no-cache`` is
+    "this invocation touches no store at all").
+    """
+    if not config.disk_cache:
         return None
-    return ResultStore(cfg.cache_dir)
+    local = LocalDirBackend(config.cache_dir)
+    if config.shared_cache_dir is not None:
+        # touch_on_load=False: readers must not rewrite mtimes on the
+        # shared mount (its owner's LRU eviction order is not ours).
+        shared = LocalDirBackend(config.shared_cache_dir, touch_on_load=False)
+        return TieredBackend(local, shared)
+    return local
+
+
+def active_store():
+    """The store backend for the current global config, or ``None`` if
+    the disk layer is disabled."""
+    return backend_for(current_config())

@@ -93,8 +93,14 @@ def run_fingerprint(workload, scheme, length, dram, llc_bytes, record_pollution)
     )
 
 
-def mix_fingerprint(mix_name, workload_names, scheme, length_per_core, dram):
-    """Key for a memoized multi-programmed run (:func:`runner.run_mix`)."""
+def mix_fingerprint(mix_name, workload_names, scheme, length_per_core, dram, llc_bytes=None):
+    """Key for a memoized multi-programmed run.
+
+    ``llc_bytes`` defaults to the MP machine's shared-LLC capacity (what
+    every pre-spec caller implicitly simulated).
+    """
+    from repro.constants import MP_LLC_BYTES
+
     return fingerprint(
         "mix",
         mix_name=mix_name,
@@ -102,4 +108,5 @@ def mix_fingerprint(mix_name, workload_names, scheme, length_per_core, dram):
         scheme=scheme,
         length_per_core=length_per_core,
         dram=dram,
+        llc_bytes=MP_LLC_BYTES if llc_bytes is None else llc_bytes,
     )

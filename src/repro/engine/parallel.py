@@ -1,55 +1,55 @@
-"""Process-pool execution of independent simulation runs.
+"""Legacy spec helpers and batch execution (pre-session compatibility).
 
-Single-core runs and multi-programmed mixes for different (workload,
-scheme, config) tuples share no state, so they fan out across worker
-processes freely.  Determinism is preserved by construction:
+The process-pool machinery now lives in :mod:`repro.engine.session`
+(every :class:`~repro.engine.session.Session` owns its fan-out); this
+module keeps the original tuple-or-function API working:
 
-- every spec is computed by :mod:`repro.engine.compute` with the exact
-  sequential code path (same arithmetic, same construction order);
-- results are merged back **in input order** (``ProcessPoolExecutor.map``
-  preserves ordering), so callers observe the same sequence of results a
-  sequential loop would produce;
-- workers inherit the parent's engine configuration explicitly through
-  the pool initializer (not ambient environment), so parent and workers
-  agree on the cache directory and write compatible artifacts.
-
-With ``jobs <= 1`` (the default) everything runs in-process — no pool,
-no pickling, no spawn cost.
+- :func:`run_spec` / :func:`mix_spec` now build the first-class
+  :class:`~repro.engine.specs.RunSpec` / :class:`~repro.engine.specs.MixSpec`
+  dataclasses (callers that only ever passed them back to
+  :func:`execute_specs` see no difference);
+- :func:`execute_spec` / :func:`execute_specs` accept both the new spec
+  objects and the historical ``(kind, ...)`` tuples, and execute through
+  the default session — deterministic input-order merge, process-pool
+  fan-out when ``jobs > 1``, exactly as before.
 """
 
-from concurrent.futures import ProcessPoolExecutor
+from repro.engine.specs import SPEC_TYPES, MixSpec, RunSpec
 
-from repro.engine import config as _config
-from repro.engine.compute import produce_mix, produce_run
-
-#: Spec kinds understood by :func:`execute_spec`.
+#: Historical spec-kind tags (tuple form).
 RUN = "run"
 MIX = "mix"
 
 
 def run_spec(workload, scheme, length, dram, llc_bytes, record_pollution):
-    """Build a single-core run spec tuple."""
-    return (RUN, workload, scheme, length, dram, llc_bytes, record_pollution)
+    """Build a single-core run spec."""
+    return RunSpec(workload, scheme, length, dram, llc_bytes, record_pollution)
 
 
 def mix_spec(mix_name, workload_names, scheme, length_per_core, dram):
-    """Build a multi-programmed mix spec tuple."""
-    return (MIX, mix_name, tuple(workload_names), scheme, length_per_core, dram)
+    """Build a multi-programmed mix spec."""
+    return MixSpec(mix_name, tuple(workload_names), scheme, length_per_core, dram)
+
+
+def coerce_spec(spec):
+    """Accept a spec dataclass or a legacy ``(kind, ...)`` tuple."""
+    if isinstance(spec, SPEC_TYPES):
+        return spec
+    if isinstance(spec, tuple) and spec:
+        kind = spec[0]
+        if kind == RUN:
+            return RunSpec(*spec[1:])
+        if kind == MIX:
+            return MixSpec(spec[1], tuple(spec[2]), *spec[3:])
+        raise ValueError(f"unknown spec kind {kind!r}")
+    raise ValueError(f"cannot interpret spec {spec!r}")
 
 
 def execute_spec(spec):
-    """Compute one spec (disk-cache aware); used in-process and by workers."""
-    kind = spec[0]
-    if kind == RUN:
-        return produce_run(*spec[1:])
-    if kind == MIX:
-        return produce_mix(*spec[1:])
-    raise ValueError(f"unknown spec kind {kind!r}")
+    """Compute one spec (store-backend aware) through the default session."""
+    from repro.engine.session import default_session
 
-
-def _init_worker(cache_dir, disk_cache):
-    """Propagate the parent's engine configuration into a pool worker."""
-    _config.configure(jobs=1, cache_dir=cache_dir, disk_cache=disk_cache)
+    return default_session()._produce(coerce_spec(spec))
 
 
 def execute_specs(specs, jobs=None):
@@ -58,16 +58,6 @@ def execute_specs(specs, jobs=None):
     ``jobs`` defaults to the engine configuration.  Sequential execution
     (``jobs <= 1`` or fewer than two specs) stays entirely in-process.
     """
-    specs = list(specs)
-    cfg = _config.current_config()
-    if jobs is None:
-        jobs = cfg.jobs
-    if jobs <= 1 or len(specs) <= 1:
-        return [execute_spec(spec) for spec in specs]
-    workers = min(jobs, len(specs))
-    with ProcessPoolExecutor(
-        max_workers=workers,
-        initializer=_init_worker,
-        initargs=(cfg.cache_dir, cfg.disk_cache),
-    ) as pool:
-        return list(pool.map(execute_spec, specs))
+    from repro.engine.session import default_session
+
+    return default_session().run([coerce_spec(s) for s in specs], jobs=jobs)

@@ -1,241 +1,17 @@
-"""On-disk result and trace store.
+"""Compatibility shim: the directory store now lives in ``backends.py``.
 
-Layout (under the engine cache directory)::
+``ResultStore`` was the engine's original on-disk store class.  The
+session API generalized it into the pluggable :class:`StoreBackend`
+protocol, and the directory implementation moved to
+:class:`repro.engine.backends.LocalDirBackend` unchanged.  The old name
+keeps working for existing imports (tests, external scripts)::
 
-    <cache_dir>/
-      results/<aa>/<digest>.pkl   # pickled {"meta": ..., "result": ...}
-      traces/<aa>/<digest>.npz    # Trace round-trip (Trace.save/load)
-
-``<aa>`` is the first two hex digits of the digest (fan-out so a large
-cache does not put tens of thousands of files in one directory).  Writes
-go through a temp file + ``os.replace`` so concurrent writers (the
-process-pool workers) can never expose a torn file; both writers produce
-identical bytes-for-key content, so the race is benign.
-
-Results are pickled, not JSON-encoded: the acceptance bar for the cache
-is *bit-for-bit* identity with a fresh computation, and pickle round-trips
-floats and dataclasses losslessly.  Keys embed a source-code salt (see
-:mod:`repro.engine.fingerprint`), so unpickling never crosses a code
-version.  Corrupt or unreadable entries are treated as misses.
+    from repro.engine.store import ResultStore   # == LocalDirBackend
 """
 
-import os
-import pickle
-import shutil
-import sys
-import tempfile
-import time
-from pathlib import Path
+from repro.engine.backends import LocalDirBackend
 
-from repro.cpu.trace import Trace
+#: Historical name of the on-disk store.
+ResultStore = LocalDirBackend
 
-
-class ResultStore:
-    """Content-addressed persistence for runs, mixes and traces.
-
-    Writes are best-effort: the store is an optimization, so an
-    unwritable cache directory degrades to no-persistence (with one
-    warning on stderr) instead of failing the simulation that produced
-    the result.
-    """
-
-    #: Roots that already warned about failed writes (class-level so the
-    #: warning fires once per location, not once per store instance).
-    _warned_roots = set()
-
-    def __init__(self, root):
-        self.root = Path(root)
-
-    def _write_failed(self, exc):
-        root = str(self.root)
-        if root not in ResultStore._warned_roots:
-            ResultStore._warned_roots.add(root)
-            print(
-                f"warning: engine cache at {root} is not writable ({exc}); "
-                "results will not persist",
-                file=sys.stderr,
-            )
-
-    # -- paths ---------------------------------------------------------------
-
-    def _result_path(self, digest):
-        return self.root / "results" / digest[:2] / f"{digest}.pkl"
-
-    def _trace_path(self, digest):
-        return self.root / "traces" / digest[:2] / f"{digest}.npz"
-
-    @staticmethod
-    def _atomic_write(path, writer):
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".tmp-")
-        try:
-            with os.fdopen(fd, "wb") as f:
-                writer(f)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
-
-    # -- results -------------------------------------------------------------
-
-    @staticmethod
-    def _touch(path):
-        """Best-effort mtime bump on a cache hit.
-
-        ``gc`` evicts oldest-mtime-first, so refreshing the mtime on every
-        load turns the mtime order into a true least-recently-*used* order
-        rather than least-recently-written.
-        """
-        try:
-            os.utime(path, None)
-        except OSError:
-            pass
-
-    def load_result(self, digest):
-        """Return the stored object for ``digest`` or ``None`` on a miss."""
-        path = self._result_path(digest)
-        try:
-            with open(path, "rb") as f:
-                result = pickle.load(f)["result"]
-        except (OSError, pickle.UnpicklingError, KeyError, EOFError, AttributeError):
-            return None
-        self._touch(path)
-        return result
-
-    def save_result(self, digest, result, meta=None):
-        """Persist ``result`` under ``digest`` (atomic, best-effort)."""
-        payload = {"meta": meta or {}, "result": result}
-        try:
-            self._atomic_write(
-                self._result_path(digest),
-                lambda f: pickle.dump(payload, f, protocol=pickle.HIGHEST_PROTOCOL),
-            )
-        except OSError as exc:
-            self._write_failed(exc)
-
-    # -- traces --------------------------------------------------------------
-
-    def load_trace(self, digest):
-        """Return the stored :class:`Trace` for ``digest`` or ``None``."""
-        path = self._trace_path(digest)
-        try:
-            trace = Trace.load(path)
-        except (OSError, KeyError, ValueError):
-            return None
-        self._touch(path)
-        return trace
-
-    def save_trace(self, digest, trace):
-        """Persist ``trace`` under ``digest`` (atomic, best-effort)."""
-        path = self._trace_path(digest)
-        try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".tmp-", suffix=".npz")
-        except OSError as exc:
-            self._write_failed(exc)
-            return
-        os.close(fd)
-        try:
-            trace.save(tmp)
-            os.replace(tmp, path)
-        except OSError as exc:
-            self._write_failed(exc)
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
-
-    # -- maintenance ---------------------------------------------------------
-
-    def clear(self):
-        """Delete every cached artifact (results and traces)."""
-        for sub in ("results", "traces"):
-            shutil.rmtree(self.root / sub, ignore_errors=True)
-
-    #: Temp files younger than this are presumed to belong to a live
-    #: writer; older ones are orphans from a killed process and become
-    #: ordinary eviction candidates so gc can reclaim their bytes.
-    _TMP_GRACE_SECONDS = 3600.0
-
-    def _artifacts(self):
-        """All (mtime, size, path) triples under results/ and traces/."""
-        entries = []
-        now = time.time()
-        for sub in ("results", "traces"):
-            base = self.root / sub
-            if not base.is_dir():
-                continue
-            for path in base.rglob("*"):
-                if not path.is_file():
-                    continue
-                try:
-                    st = path.stat()
-                except OSError:
-                    continue  # racing writer/evictor; skip
-                if (
-                    path.name.startswith(".tmp-")
-                    and now - st.st_mtime < self._TMP_GRACE_SECONDS
-                ):
-                    # In-progress _atomic_write temp file: deleting it
-                    # would yank it out from under a live writer.
-                    continue
-                entries.append((st.st_mtime, st.st_size, path))
-        return entries
-
-    def gc(self, max_bytes):
-        """Size-bounded eviction: keep the store at or below ``max_bytes``.
-
-        Artifacts are evicted least-recently-used first (mtime order —
-        loads refresh mtimes, so this is true LRU for anything read
-        through the store), across results and traces together.  Returns
-        a summary dict for the CLI: removed/kept counts and byte totals.
-        Deletions are best-effort; a file that vanishes or resists
-        unlinking is skipped, never fatal.
-        """
-        if max_bytes < 0:
-            raise ValueError("max_bytes must be non-negative")
-        entries = self._artifacts()
-        total = sum(size for _, size, _ in entries)
-        removed = 0
-        freed = 0
-        if total > max_bytes:
-            entries.sort(key=lambda e: (e[0], str(e[2])))  # oldest first
-            for _mtime, size, path in entries:
-                if total - freed <= max_bytes:
-                    break
-                try:
-                    path.unlink()
-                except OSError:
-                    continue
-                freed += size
-                removed += 1
-                # Empty <aa>/ shard directories are left in place: there
-                # are at most 256 per kind, and removing one can race a
-                # concurrent writer between its mkdir and mkstemp.
-        return {
-            "removed": removed,
-            "freed_bytes": freed,
-            "kept": len(entries) - removed,
-            "remaining_bytes": total - freed,
-        }
-
-    def stats(self):
-        """Entry counts and total bytes, for ``repro cache`` / tests."""
-        out = {}
-        total_bytes = 0
-        for sub in ("results", "traces"):
-            base = self.root / sub
-            files = [p for p in base.rglob("*") if p.is_file()] if base.is_dir() else []
-            out[sub] = len(files)
-            total_bytes += sum(p.stat().st_size for p in files)
-        out["bytes"] = total_bytes
-        return out
+__all__ = ["ResultStore"]

@@ -13,24 +13,32 @@ Scale is controlled by environment variables (see
   category-level figures (default 3; the full suite is 7-9 per category);
 - ``REPRO_MIX_COUNT`` — multi-programmed mixes per flavour (default 6);
 - ``REPRO_FULL=1`` — paper-sized runs (all 75 workloads, 42+75 mixes).
+
+Execution flows through the session API: every driver accepts an
+optional ``session`` (:class:`repro.engine.Session`) and the
+session-aware helpers live in :mod:`repro.experiments.api`.  The old
+``runner`` functions remain as deprecation shims over the default
+session (see ``docs/api.md``).
 """
 
-from repro.experiments import figures
+from repro.experiments import api, figures
+from repro.experiments.api import scheme_label, workload_subset
 from repro.experiments.runner import (
     clear_run_cache,
     run_workload,
     speedup_ratios,
     warm_mixes,
     warm_runs,
-    workload_subset,
 )
 from repro.experiments.scale import Scale
 
 __all__ = [
     "Scale",
+    "api",
     "clear_run_cache",
     "figures",
     "run_workload",
+    "scheme_label",
     "speedup_ratios",
     "warm_mixes",
     "warm_runs",

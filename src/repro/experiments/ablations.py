@@ -21,13 +21,14 @@ figure drivers, every function returns a
 from repro.memory.dram import FixedBandwidth
 from repro.metrics.stats import FigureResult, category_geomeans, geomean
 from repro.prefetchers.registry import build_prefetcher
-from repro.experiments.figures import _categories_map, _scale
-from repro.experiments.runner import (
-    run_workload,
+from repro.engine import TraceSpec
+from repro.experiments import api
+from repro.experiments.api import (
+    resolve_session,
     scheme_label,
-    speedup_ratios,
     workload_subset,
 )
+from repro.experiments.figures import _categories_map, _scale
 from repro.workloads.catalog import CATEGORIES
 
 _CATEGORY_COLUMNS = list(CATEGORIES) + ["GEOMEAN"]
@@ -41,7 +42,7 @@ JITTER_WORKLOADS = (
 )
 
 
-def ablation_design_choices(scale=None):
+def ablation_design_choices(scale=None, session=None):
     """Toggle each DSPatch design choice off, one at a time.
 
     Paper claims probed: anchored rotation folds jittered placements into
@@ -50,8 +51,12 @@ def ablation_design_choices(scale=None):
     accuracy cost (Section 3.8).
     """
     scale = _scale(scale)
+    session = resolve_session(session)
     workloads = workload_subset(scale.workloads_per_category)
     schemes = ["dspatch", "dspatch-noanchor", "dspatch-1trigger", "dspatch-64b"]
+    api.run_grid(
+        session, list(workloads) + list(JITTER_WORKLOADS), ["none", *schemes], scale.trace_len
+    )
     fig = FigureResult(
         "ablation-design",
         "Ablation: DSPatch design choices (geomean % over baseline)",
@@ -63,8 +68,8 @@ def ablation_design_choices(scale=None):
         ],
     )
     for scheme in schemes:
-        ratios_all = speedup_ratios(scheme, workloads, scale.trace_len)
-        ratios_jit = speedup_ratios(scheme, JITTER_WORKLOADS, scale.trace_len)
+        ratios_all = api.speedup_ratios(session, scheme, workloads, scale.trace_len)
+        ratios_jit = api.speedup_ratios(session, scheme, JITTER_WORKLOADS, scale.trace_len)
         pf = build_prefetcher(scheme, FixedBandwidth(0))
         fig.add_row(
             scheme,
@@ -77,7 +82,7 @@ def ablation_design_choices(scale=None):
     return fig
 
 
-def ablation_structure_sizes(scale=None):
+def ablation_structure_sizes(scale=None, session=None):
     """SPT / PB capacity sweeps around the paper's 256-entry / 64-entry point.
 
     Two effects separate cleanly here.  *Accuracy* degrades monotonically
@@ -89,6 +94,7 @@ def ablation_structure_sizes(scale=None):
     cost dominates and the Table 1 sizing is the knee.
     """
     scale = _scale(scale)
+    session = resolve_session(session)
     workloads = workload_subset(scale.workloads_per_category)
     fig = FigureResult(
         "ablation-sizes",
@@ -101,19 +107,21 @@ def ablation_structure_sizes(scale=None):
             "the extra spray (see driver docstring)",
         ],
     )
-    for scheme in (
+    schemes = [
         "dspatch-spt64",
         "dspatch-spt128",
         "dspatch",
         "dspatch-spt512",
         "dspatch-pb32",
         "dspatch-pb128",
-    ):
+    ]
+    grid = api.run_grid(session, workloads, ["none", *schemes], scale.trace_len)
+    for scheme in schemes:
         ratios = []
         accuracies = []
         for workload in workloads:
-            base = run_workload(workload, "none", scale.trace_len)
-            res = run_workload(workload, scheme, scale.trace_len)
+            base = grid[(workload, "none")]
+            res = grid[(workload, scheme)]
             ratios.append(res.ipc / base.ipc if base.ipc > 0 else 1.0)
             accuracies.append(res.accuracy)
         pf = build_prefetcher(scheme, FixedBandwidth(0))
@@ -128,7 +136,7 @@ def ablation_structure_sizes(scale=None):
     return fig
 
 
-def related_work_comparison(scale=None):
+def related_work_comparison(scale=None, session=None):
     """DSPatch vs. the Section 6 prefetcher families, with storage.
 
     One representative per family: next-line (static spatial), Markov
@@ -136,6 +144,7 @@ def related_work_comparison(scale=None):
     (bit-pattern), SPP (delta signature).
     """
     scale = _scale(scale)
+    session = resolve_session(session)
     workloads = workload_subset(scale.workloads_per_category)
     cats = _categories_map(workloads)
     fig = FigureResult(
@@ -148,15 +157,17 @@ def related_work_comparison(scale=None):
             "tens-to-hundreds of KB, DSPatch needs 3.6KB",
         ],
     )
-    for scheme in ("nextline-4", "markov", "vldp", "sms", "bingo", "spp", "dspatch"):
-        ratios = speedup_ratios(scheme, workloads, scale.trace_len)
+    schemes = ["nextline-4", "markov", "vldp", "sms", "bingo", "spp", "dspatch"]
+    api.run_grid(session, workloads, ["none", *schemes], scale.trace_len)
+    for scheme in schemes:
+        ratios = api.speedup_ratios(session, scheme, workloads, scale.trace_len)
         row = category_geomeans(ratios, cats)
         row["Storage KB"] = build_prefetcher(scheme, FixedBandwidth(0)).storage_kb()
         fig.add_row(scheme_label(scheme), row)
     return fig
 
 
-def bandwidth_signal_study(scale=None):
+def bandwidth_signal_study(scale=None, session=None):
     """DSPatch with the 2-bit utilization signal pinned to each quartile.
 
     Pinning to 0 forces permanent CovP (maximum aggression); pinning to 3
@@ -165,10 +176,10 @@ def bandwidth_signal_study(scale=None):
     is what earns DSPatch its bandwidth scaling.
     """
     scale = _scale(scale)
+    session = resolve_session(session)
     workloads = workload_subset(scale.workloads_per_category)
 
     from repro.cpu.system import System, SystemConfig
-    from repro.experiments.runner import get_trace
 
     fig = FigureResult(
         "bw-signal",
@@ -197,7 +208,7 @@ def bandwidth_signal_study(scale=None):
             l1_prefetcher=PcStridePrefetcher(),
             l2_prefetcher=l2,
         )
-        trace = get_trace(workload, scale.trace_len)
+        trace = session.trace(TraceSpec(workload, scale.trace_len))
         execution = CoreExecution(config.core, trace, hierarchy)
         warmup_ops = int(len(trace) * config.warmup_frac)
         for _ in range(warmup_ops):
@@ -210,12 +221,13 @@ def bandwidth_signal_study(scale=None):
             pass
         return execution.finalize().ipc
 
-    live = speedup_ratios("dspatch", workloads, scale.trace_len)
+    live = api.speedup_ratios(session, "dspatch", workloads, scale.trace_len)
     fig.add_row("live signal", {"Speedup": 100.0 * (geomean(live.values()) - 1.0)})
+    base_grid = api.run_grid(session, workloads, ["none"], scale.trace_len)
     for bucket in range(4):
         ratios = []
         for workload in workloads:
-            base = run_workload(workload, "none", scale.trace_len)
+            base = base_grid[(workload, "none")]
             ratios.append(run_pinned(workload, bucket) / base.ipc)
         fig.add_row(f"pinned q{bucket}", {"Speedup": 100.0 * (geomean(ratios) - 1.0)})
     return fig

@@ -1,0 +1,175 @@
+"""Session-aware experiment helpers shared by every figure driver.
+
+This module is the experiments layer's half of the session API: policy
+that belongs to the *evaluation* (the "none" baseline, the paper's
+display labels, workload subsetting, the MP machine's DRAM default)
+expressed over an engine :class:`~repro.engine.session.Session`.  Every
+function takes the session explicitly — there is no module state here;
+two sessions never share anything through this module.
+
+The figure drivers batch their whole grid through :func:`run_grid` /
+:func:`warm_mix_grid` first (one ``Session.run`` call, so ``jobs``
+parallelism applies across the entire cross product), then read
+individual results back through the session memo at zero cost.
+"""
+
+from repro.engine import MixSpec, RunSpec
+from repro.engine.session import default_session
+from repro.engine.specs import DEFAULT_LLC_BYTES, MP_DRAM, MP_LLC_BYTES
+from repro.workloads.catalog import CATEGORIES, WORKLOADS, workloads_in_category
+
+#: Display names used in the rendered figures.
+SCHEME_LABELS = {
+    "none": "Baseline",
+    "bop": "BOP",
+    "sms": "SMS",
+    "sms-4k": "SMS-4K",
+    "sms-1k": "SMS-1K",
+    "sms-256": "SMS-256",
+    "spp": "SPP",
+    "espp": "eSPP",
+    "ebop": "eBOP",
+    "ampm": "AMPM",
+    "streamer": "Streamer",
+    "dspatch": "DSPatch",
+    "alwayscovp": "AlwaysCovP",
+    "modcovp": "ModCovP",
+    "spp+dspatch": "DSPatch+SPP",
+    "spp+bop": "BOP+SPP",
+    "spp+sms-256": "SMS(iso)+SPP",
+    "spp+ebop": "eBOP+SPP",
+    "spp+bop+dspatch": "DSPatch+SPP+BOP",
+    "vldp": "VLDP",
+    "bingo": "Bingo",
+    "markov": "Markov",
+    "nextline": "NextLine",
+    "nextline-4": "NextLine-4",
+    "fdp:streamer": "FDP(Streamer)",
+    "fdp:dspatch": "FDP(DSPatch)",
+}
+
+
+def scheme_label(scheme):
+    """Paper display name for a registry scheme string."""
+    return SCHEME_LABELS.get(scheme, scheme)
+
+
+def workload_subset(per_category, categories=CATEGORIES, mem_intensive_first=True):
+    """Deterministic subset: up to ``per_category`` workloads per category.
+
+    Memory-intensive workloads come first within each category so small
+    subsets still exercise the behaviours the paper's averages are made of.
+    """
+    chosen = []
+    for category in categories:
+        names = workloads_in_category(category)
+        if mem_intensive_first:
+            names = sorted(names, key=lambda n: (not WORKLOADS[n].mem_intensive, n))
+        chosen.extend(names[:per_category])
+    return chosen
+
+
+def category_of(workload):
+    return WORKLOADS[workload].category
+
+
+def mp_dram(dram=None):
+    """The MP machine's DRAM default (2ch DDR4-2133) unless overridden."""
+    return dram or MP_DRAM
+
+
+# -- single-core grids -------------------------------------------------------
+
+
+def run_grid(
+    session,
+    workloads,
+    schemes,
+    length,
+    dram=None,
+    llc_bytes=DEFAULT_LLC_BYTES,
+    record_pollution=False,
+    jobs=None,
+):
+    """Run every (workload × scheme) pair in one batch.
+
+    Returns ``{(workload, scheme): RunResult}``; results also land in the
+    session memo, so later single lookups are free.
+    """
+    workloads = list(workloads)
+    schemes = list(schemes)
+    specs = [
+        RunSpec(workload, scheme, length, dram, llc_bytes, record_pollution)
+        for workload in workloads
+        for scheme in schemes
+    ]
+    results = session.run(specs, jobs=jobs)
+    keys = [(w, s) for w in workloads for s in schemes]
+    return dict(zip(keys, results))
+
+
+def speedup_ratios(
+    session, scheme, workloads, length, dram=None, llc_bytes=DEFAULT_LLC_BYTES
+):
+    """Per-workload IPC ratios of ``scheme`` over the baseline."""
+    workloads = list(workloads)
+    grid = run_grid(session, workloads, ["none", scheme], length, dram, llc_bytes)
+    out = {}
+    for name in workloads:
+        base = grid[(name, "none")]
+        res = grid[(name, scheme)]
+        out[name] = res.ipc / base.ipc if base.ipc > 0 else 1.0
+    return out
+
+
+# -- multi-programmed grids --------------------------------------------------
+
+
+def warm_mix_grid(session, mixes, schemes, length_per_core, dram=None, jobs=None):
+    """Batch-fill everything the multi-programmed figures read.
+
+    ``mixes`` is a list of ``(mix_name, workload_names)``.  Warms every
+    (mix × scheme) run plus the per-workload baseline "alone" runs that
+    :func:`mix_speedup_ratio` divides by — all through one
+    ``Session.run`` call, so run and mix simulations share the pool.
+    """
+    dram = mp_dram(dram)
+    mixes = list(mixes)
+    alone = sorted({name for _, names in mixes for name in names})
+    specs = [
+        RunSpec(name, "none", length_per_core, dram, MP_LLC_BYTES) for name in alone
+    ]
+    specs.extend(
+        MixSpec(mix_name, tuple(names), scheme, length_per_core, dram)
+        for mix_name, names in mixes
+        for scheme in schemes
+    )
+    session.run(specs, jobs=jobs)
+
+
+def mix_speedup_ratio(session, mix_name, workload_names, scheme, length_per_core, dram=None):
+    """Weighted-speedup ratio of ``scheme`` over the shared baseline.
+
+    Both runs share the machine; per-core alone-IPCs cancel, so the ratio
+    reduces to sum(IPC_i^scheme/IPC_i^alone) / sum(IPC_i^base/IPC_i^alone).
+    We use the baseline single-core IPC on the MP machine as 'alone'.
+    """
+    dram = mp_dram(dram)
+    alone = [
+        session.run(RunSpec(name, "none", length_per_core, dram, MP_LLC_BYTES)).ipc
+        for name in workload_names
+    ]
+    base = session.run(
+        MixSpec(mix_name, tuple(workload_names), "none", length_per_core, dram)
+    )
+    res = session.run(
+        MixSpec(mix_name, tuple(workload_names), scheme, length_per_core, dram)
+    )
+    ws_base = base.weighted_speedup(alone)
+    ws_scheme = res.weighted_speedup(alone)
+    return ws_scheme / ws_base if ws_base > 0 else 1.0
+
+
+def resolve_session(session=None):
+    """The session to use: the given one, or the process default."""
+    return session if session is not None else default_session()

@@ -4,6 +4,12 @@ Every function returns a :class:`repro.metrics.stats.FigureResult` whose
 rows/columns mirror the paper's series, rendered by ``.render()``.  Scale
 comes from :class:`repro.experiments.scale.Scale` (environment-driven)
 unless an explicit ``scale`` is passed.
+
+Simulation flows through the session API: every driver accepts an
+optional ``session`` (a :class:`repro.engine.Session`) and defaults to
+the process-wide one, batching its whole workload × scheme cross product
+through ``Session.run`` so ``--jobs`` parallelism covers the entire grid
+and results persist in the session's store backend.
 """
 
 from collections import Counter
@@ -20,15 +26,12 @@ from repro.memory.dram import BANDWIDTH_SWEEP, DramConfig, FixedBandwidth
 from repro.metrics.pollution import classify_pollution
 from repro.metrics.stats import FigureResult, category_geomeans, geomean
 from repro.prefetchers.registry import build_prefetcher
-from repro.experiments.runner import (
+from repro.engine import TraceSpec
+from repro.experiments import api
+from repro.experiments.api import (
     category_of,
-    get_trace,
-    mix_speedup_ratio,
-    run_workload,
+    resolve_session,
     scheme_label,
-    speedup_ratios,
-    warm_mixes,
-    warm_runs,
     workload_subset,
 )
 from repro.experiments.scale import Scale
@@ -46,24 +49,24 @@ def _categories_map(workloads):
     return {name: category_of(name) for name in workloads}
 
 
-def _category_speedup_rows(schemes, workloads, length, dram=None):
+def _category_speedup_rows(session, schemes, workloads, length, dram=None):
     rows = {}
     cats = _categories_map(workloads)
-    warm_runs(workloads, ["none", *schemes], length, dram)
+    api.run_grid(session, workloads, ["none", *schemes], length, dram)
     for scheme in schemes:
-        ratios = speedup_ratios(scheme, workloads, length, dram)
+        ratios = api.speedup_ratios(session, scheme, workloads, length, dram)
         rows[scheme_label(scheme)] = category_geomeans(ratios, cats)
     return rows
 
 
-def _bandwidth_sweep_rows(schemes, workloads, length):
+def _bandwidth_sweep_rows(session, schemes, workloads, length):
     """{scheme-label: {peak-GBps-label: overall geomean pct}}."""
     rows = {scheme_label(s): {} for s in schemes}
     for dram in BANDWIDTH_SWEEP:
         column = f"{dram.peak_gbps:.1f}"
-        warm_runs(workloads, ["none", *schemes], length, dram)
+        api.run_grid(session, workloads, ["none", *schemes], length, dram)
         for scheme in schemes:
-            ratios = speedup_ratios(scheme, workloads, length, dram)
+            ratios = api.speedup_ratios(session, scheme, workloads, length, dram)
             pct = 100.0 * (geomean(ratios.values()) - 1.0)
             rows[scheme_label(scheme)][column] = pct
     return rows
@@ -78,11 +81,12 @@ def _bandwidth_columns():
 # --------------------------------------------------------------------------- #
 
 
-def fig01_bw_scaling_prior(scale=None):
+def fig01_bw_scaling_prior(scale=None, session=None):
     """Figure 1: BOP/SMS/SPP speedup vs. the six peak-bandwidth points."""
     scale = _scale(scale)
+    session = resolve_session(session)
     workloads = workload_subset(scale.workloads_per_category)
-    rows = _bandwidth_sweep_rows(["bop", "sms", "spp"], workloads, scale.trace_len)
+    rows = _bandwidth_sweep_rows(session, ["bop", "sms", "spp"], workloads, scale.trace_len)
     fig = FigureResult(
         "fig01",
         "Figure 1: prior-prefetcher performance scaling with DRAM bandwidth "
@@ -94,12 +98,13 @@ def fig01_bw_scaling_prior(scale=None):
     return fig
 
 
-def fig06_bw_scaling_enhanced(scale=None):
+def fig06_bw_scaling_enhanced(scale=None, session=None):
     """Figure 6: Figure 1 plus the bandwidth-aware eSPP and eBOP."""
     scale = _scale(scale)
+    session = resolve_session(session)
     workloads = workload_subset(scale.workloads_per_category)
     rows = _bandwidth_sweep_rows(
-        ["bop", "sms", "spp", "espp", "ebop"], workloads, scale.trace_len
+        session, ["bop", "sms", "spp", "espp", "ebop"], workloads, scale.trace_len
     )
     return FigureResult(
         "fig06",
@@ -110,12 +115,16 @@ def fig06_bw_scaling_enhanced(scale=None):
     )
 
 
-def fig15_bw_scaling_dspatch(scale=None):
+def fig15_bw_scaling_dspatch(scale=None, session=None):
     """Figure 15: DSPatch+SPP (and eBOP+SPP) bandwidth scaling."""
     scale = _scale(scale)
+    session = resolve_session(session)
     workloads = workload_subset(scale.workloads_per_category)
     rows = _bandwidth_sweep_rows(
-        ["bop", "sms", "spp", "spp+ebop", "spp+dspatch"], workloads, scale.trace_len
+        session,
+        ["bop", "sms", "spp", "spp+ebop", "spp+dspatch"],
+        workloads,
+        scale.trace_len,
     )
     return FigureResult(
         "fig15",
@@ -134,11 +143,14 @@ def fig15_bw_scaling_dspatch(scale=None):
 # --------------------------------------------------------------------------- #
 
 
-def fig04_prior_prefetchers_by_category(scale=None):
+def fig04_prior_prefetchers_by_category(scale=None, session=None):
     """Figure 4: BOP/SMS/SPP per workload category, 1ch DDR4-2133."""
     scale = _scale(scale)
+    session = resolve_session(session)
     workloads = workload_subset(scale.workloads_per_category)
-    rows = _category_speedup_rows(["bop", "sms", "spp"], workloads, scale.trace_len)
+    rows = _category_speedup_rows(
+        session, ["bop", "sms", "spp"], workloads, scale.trace_len
+    )
     return FigureResult(
         "fig04",
         "Figure 4: BOP/SMS/SPP by category (% over baseline, 1ch DDR4-2133)",
@@ -148,12 +160,16 @@ def fig04_prior_prefetchers_by_category(scale=None):
     )
 
 
-def fig12_single_thread(scale=None):
+def fig12_single_thread(scale=None, session=None):
     """Figure 12: the headline single-thread comparison."""
     scale = _scale(scale)
+    session = resolve_session(session)
     workloads = workload_subset(scale.workloads_per_category)
     rows = _category_speedup_rows(
-        ["bop", "sms", "spp", "dspatch", "spp+dspatch"], workloads, scale.trace_len
+        session,
+        ["bop", "sms", "spp", "dspatch", "spp+dspatch"],
+        workloads,
+        scale.trace_len,
     )
     return FigureResult(
         "fig12",
@@ -167,12 +183,16 @@ def fig12_single_thread(scale=None):
     )
 
 
-def fig14_adjunct_prefetchers(scale=None):
+def fig14_adjunct_prefetchers(scale=None, session=None):
     """Figure 14: BOP / SMS-256 / DSPatch as adjuncts to SPP."""
     scale = _scale(scale)
+    session = resolve_session(session)
     workloads = workload_subset(scale.workloads_per_category)
     rows = _category_speedup_rows(
-        ["spp", "spp+bop", "spp+sms-256", "spp+dspatch"], workloads, scale.trace_len
+        session,
+        ["spp", "spp+bop", "spp+sms-256", "spp+dspatch"],
+        workloads,
+        scale.trace_len,
     )
     return FigureResult(
         "fig14",
@@ -188,9 +208,10 @@ def fig14_adjunct_prefetchers(scale=None):
 # --------------------------------------------------------------------------- #
 
 
-def fig05_sms_pht_sweep(scale=None):
+def fig05_sms_pht_sweep(scale=None, session=None):
     """Figure 5: SMS performance vs. pattern-history-table capacity."""
     scale = _scale(scale)
+    session = resolve_session(session)
     workloads = workload_subset(scale.workloads_per_category)
     fig = FigureResult(
         "fig05",
@@ -198,10 +219,12 @@ def fig05_sms_pht_sweep(scale=None):
         ["16K", "4K", "1K", "256"],
         notes=["paper: halving from 16.5% (16K, 88KB) to 8.8% (256 entries, 3.5KB)"],
     )
-    warm_runs(workloads, ["none", "sms", "sms-4k", "sms-1k", "sms-256"], scale.trace_len)
+    api.run_grid(
+        session, workloads, ["none", "sms", "sms-4k", "sms-1k", "sms-256"], scale.trace_len
+    )
     row = {}
     for scheme, column in (("sms", "16K"), ("sms-4k", "4K"), ("sms-1k", "1K"), ("sms-256", "256")):
-        ratios = speedup_ratios(scheme, workloads, scale.trace_len)
+        ratios = api.speedup_ratios(session, scheme, workloads, scale.trace_len)
         row[column] = 100.0 * (geomean(ratios.values()) - 1.0)
     fig.add_row("SMS", row)
     return fig
@@ -240,7 +263,7 @@ def fig08_quantization_example():
 # --------------------------------------------------------------------------- #
 
 
-def fig11a_delta_distribution(scale=None):
+def fig11a_delta_distribution(scale=None, session=None):
     """Figure 11(a): distribution of in-page line-address deltas.
 
     Deltas are tracked per page (successive accesses *to the same page*,
@@ -251,11 +274,13 @@ def fig11a_delta_distribution(scale=None):
     from repro.workloads.analysis import delta_distribution
 
     scale = _scale(scale)
+    session = resolve_session(session)
     workloads = workload_subset(scale.workloads_per_category)
     shares = Counter()
     counted = 0
     for name in workloads:
-        deltas, total = delta_distribution(get_trace(name, scale.trace_len), top=10**6)
+        trace = session.trace(TraceSpec(name, scale.trace_len))
+        deltas, total = delta_distribution(trace, top=10**6)
         if not total:
             continue
         counted += 1
@@ -289,7 +314,7 @@ def _page_patterns_of(trace):
     return patterns
 
 
-def fig11b_compression_error(scale=None):
+def fig11b_compression_error(scale=None, session=None):
     """Figure 11(b): misprediction rate induced by 128B compression.
 
     For each workload, compare each page's true 64B pattern against the
@@ -298,11 +323,12 @@ def fig11b_compression_error(scale=None):
     as the paper's pie chart buckets them.
     """
     scale = _scale(scale)
+    session = resolve_session(session)
     workloads = workload_subset(scale.workloads_per_category)
     buckets = Counter()
     rates = {}
     for name in workloads:
-        trace = get_trace(name, scale.trace_len)
+        trace = session.trace(TraceSpec(name, scale.trace_len))
         extra = 0
         predicted = 0
         for pattern in _page_patterns_of(trace).values():
@@ -349,16 +375,17 @@ def fig11b_compression_error(scale=None):
 # --------------------------------------------------------------------------- #
 
 
-def fig13_memory_intensive_lines(scale=None, max_workloads=None):
+def fig13_memory_intensive_lines(scale=None, max_workloads=None, session=None):
     """Figure 13: SMS / SPP / DSPatch+SPP on the memory-intensive set."""
     scale = _scale(scale)
+    session = resolve_session(session)
     names = list(MEMORY_INTENSIVE)
     if max_workloads is None:
         max_workloads = len(names) if scale.full else 12
     names = names[:max_workloads]
     schemes = ["sms", "spp", "spp+dspatch"]
-    warm_runs(names, ["none", *schemes], scale.trace_len)
-    per_scheme = {s: speedup_ratios(s, names, scale.trace_len) for s in schemes}
+    api.run_grid(session, names, ["none", *schemes], scale.trace_len)
+    per_scheme = {s: api.speedup_ratios(session, s, names, scale.trace_len) for s in schemes}
     order = sorted(names, key=lambda n: per_scheme["spp+dspatch"][n])
     fig = FigureResult(
         "fig13",
@@ -386,12 +413,13 @@ def fig13_memory_intensive_lines(scale=None, max_workloads=None):
 # --------------------------------------------------------------------------- #
 
 
-def fig16_coverage_accuracy(scale=None):
+def fig16_coverage_accuracy(scale=None, session=None):
     """Figure 16: covered / uncovered / mispredicted fractions per category."""
     scale = _scale(scale)
+    session = resolve_session(session)
     workloads = workload_subset(scale.workloads_per_category)
     schemes = ["bop", "sms", "spp", "spp+dspatch"]
-    warm_runs(workloads, schemes, scale.trace_len)
+    grid = api.run_grid(session, workloads, schemes, scale.trace_len)
     fig = FigureResult(
         "fig16",
         "Figure 16: prefetch coverage breakdown (% of baseline L2 misses)",
@@ -411,7 +439,7 @@ def fig16_coverage_accuracy(scale=None):
         for scheme in schemes:
             covered = uncovered = mispredicted = 0
             for name in names:
-                res = run_workload(name, scheme, scale.trace_len)
+                res = grid[(name, scheme)]
                 covered += res.pf_useful
                 uncovered += res.l2_demand_misses
                 # Prefetches never demanded: evicted-unused plus those still
@@ -436,22 +464,23 @@ def fig16_coverage_accuracy(scale=None):
 # --------------------------------------------------------------------------- #
 
 
-def fig17_mp_homogeneous(scale=None):
+def fig17_mp_homogeneous(scale=None, session=None):
     """Figure 17: homogeneous 4-copy mixes on the MP machine."""
     scale = _scale(scale)
+    session = resolve_session(session)
     mixes = homogeneous_mixes()
     if not scale.full:
         # Deterministic spread: pick mixes across categories.
         step = max(1, len(mixes) // scale.mix_count)
         mixes = mixes[::step][: scale.mix_count]
     schemes = ["bop", "sms", "spp", "spp+dspatch"]
-    warm_mixes(mixes, ["none", *schemes], scale.mix_trace_len)
+    api.warm_mix_grid(session, mixes, ["none", *schemes], scale.mix_trace_len)
     per_scheme = {}
     for scheme in schemes:
         ratios = {}
         for mix_name, names in mixes:
-            ratios[mix_name] = mix_speedup_ratio(
-                mix_name, names, scheme, scale.mix_trace_len
+            ratios[mix_name] = api.mix_speedup_ratio(
+                session, mix_name, names, scheme, scale.mix_trace_len
             )
         per_scheme[scheme] = ratios
     cats = {mix_name: category_of(mix_name) for mix_name, _ in mixes}
@@ -466,9 +495,10 @@ def fig17_mp_homogeneous(scale=None):
     return fig
 
 
-def fig18_mp_bandwidth(scale=None):
+def fig18_mp_bandwidth(scale=None, session=None):
     """Figure 18: homogeneous vs heterogeneous mixes at two DRAM speeds."""
     scale = _scale(scale)
+    session = resolve_session(session)
     homo = homogeneous_mixes()
     hetero = heterogeneous_mixes(count=scale.mix_count)
     if not scale.full:
@@ -485,10 +515,12 @@ def fig18_mp_bandwidth(scale=None):
         for flavour, mixes in (("Homogeneous", homo), ("Heterogeneous", hetero)):
             column = f"{flavour}@{dram_name}"
             columns.append(column)
-            warm_mixes(mixes, ["none", *schemes], scale.mix_trace_len, dram)
+            api.warm_mix_grid(session, mixes, ["none", *schemes], scale.mix_trace_len, dram)
             for scheme in schemes:
                 ratios = [
-                    mix_speedup_ratio(mix_name, names, scheme, scale.mix_trace_len, dram)
+                    api.mix_speedup_ratio(
+                        session, mix_name, names, scheme, scale.mix_trace_len, dram
+                    )
                     for mix_name, names in mixes
                 ]
                 fig_rows[scheme_label(scheme)][column] = 100.0 * (geomean(ratios) - 1.0)
@@ -506,9 +538,10 @@ def fig18_mp_bandwidth(scale=None):
 # --------------------------------------------------------------------------- #
 
 
-def fig19_accp_contribution(scale=None, max_workloads=None):
+def fig19_accp_contribution(scale=None, max_workloads=None, session=None):
     """Figure 19: full DSPatch vs AlwaysCovP vs ModCovP ablation."""
     scale = _scale(scale)
+    session = resolve_session(session)
     names = list(MEMORY_INTENSIVE)
     if max_workloads is None:
         max_workloads = len(names) if scale.full else 12
@@ -519,8 +552,11 @@ def fig19_accp_contribution(scale=None, max_workloads=None):
         ["DSPatch", "AlwaysCovP", "ModCovP"],
         notes=["paper: AlwaysCovP loses ~4.5% and ModCovP ~1.4% vs full DSPatch"],
     )
-    warm_runs(
-        names, ["none", "spp+dspatch", "spp+alwayscovp", "spp+modcovp"], scale.trace_len
+    api.run_grid(
+        session,
+        names,
+        ["none", "spp+dspatch", "spp+alwayscovp", "spp+modcovp"],
+        scale.trace_len,
     )
     row = {}
     for scheme, column in (
@@ -528,7 +564,7 @@ def fig19_accp_contribution(scale=None, max_workloads=None):
         ("spp+alwayscovp", "AlwaysCovP"),
         ("spp+modcovp", "ModCovP"),
     ):
-        ratios = speedup_ratios(scheme, names, scale.trace_len)
+        ratios = api.speedup_ratios(session, scheme, names, scale.trace_len)
         row[column] = 100.0 * (geomean(ratios.values()) - 1.0)
     fig.add_row("DSPatch+SPP variants", row)
     return fig
@@ -539,7 +575,7 @@ def fig19_accp_contribution(scale=None, max_workloads=None):
 # --------------------------------------------------------------------------- #
 
 
-def fig20_pollution(scale=None, reuse_window_fraction=0.5):
+def fig20_pollution(scale=None, reuse_window_fraction=0.5, session=None):
     """Figure 20: pollution classes of streamer-prefetch victims vs LLC size.
 
     At reduced scale the traces cannot fill a multi-megabyte LLC, so the
@@ -548,6 +584,7 @@ def fig20_pollution(scale=None, reuse_window_fraction=0.5):
     phenomenon and the ratio is what shapes the trend.
     """
     scale = _scale(scale)
+    session = resolve_session(session)
     workloads = workload_subset(max(1, scale.workloads_per_category // 2))
     if scale.full:
         llc_sizes = {"8MB": 8 << 20, "4MB": 4 << 20, "2MB": 2 << 20}
@@ -556,10 +593,17 @@ def fig20_pollution(scale=None, reuse_window_fraction=0.5):
         llc_sizes = {"8MB": 1 << 20, "4MB": 512 << 10, "2MB": 256 << 10}
         size_note = "LLC capacities scaled 8:1 for reduced-scale traces (ratio preserved)"
     trace_len = max(scale.trace_len, 12000)
-    for size in llc_sizes.values():
-        warm_runs(
-            workloads, ["streamer"], trace_len, llc_bytes=size, record_pollution=True
+    grids = {
+        size: api.run_grid(
+            session,
+            workloads,
+            ["streamer"],
+            trace_len,
+            llc_bytes=size,
+            record_pollution=True,
         )
+        for size in llc_sizes.values()
+    }
     fig = FigureResult(
         "fig20",
         "Figure 20 (appendix): LLC pollution breakdown under a streaming prefetcher (%)",
@@ -573,13 +617,7 @@ def fig20_pollution(scale=None, reuse_window_fraction=0.5):
     for label, size in llc_sizes.items():
         totals = Counter()
         for name in workloads:
-            res = run_workload(
-                name,
-                "streamer",
-                trace_len,
-                llc_bytes=size,
-                record_pollution=True,
-            )
+            res = grids[size][(name, "streamer")]
             window = int(len(res.demand_log) * reuse_window_fraction)
             breakdown = classify_pollution(
                 [(e.ordinal, e.victim_line) for e in res.pollution_events],
@@ -644,9 +682,10 @@ def table3_prefetcher_storage():
 # --------------------------------------------------------------------------- #
 
 
-def extra_triple_hybrid(scale=None):
+def extra_triple_hybrid(scale=None, session=None):
     """Section 5.1 (text): DSPatch adds ~2.6% on top of SPP+BOP."""
     scale = _scale(scale)
+    session = resolve_session(session)
     workloads = workload_subset(scale.workloads_per_category)
     fig = FigureResult(
         "extra-triple",
@@ -654,10 +693,10 @@ def extra_triple_hybrid(scale=None):
         ["SPP+BOP", "SPP+BOP+DSPatch"],
         notes=["paper: the triple adds ~2.6% — BOP and DSPatch coverage do not fully overlap"],
     )
-    warm_runs(workloads, ["none", "spp+bop", "spp+bop+dspatch"], scale.trace_len)
+    api.run_grid(session, workloads, ["none", "spp+bop", "spp+bop+dspatch"], scale.trace_len)
     row = {}
     for scheme, column in (("spp+bop", "SPP+BOP"), ("spp+bop+dspatch", "SPP+BOP+DSPatch")):
-        ratios = speedup_ratios(scheme, workloads, scale.trace_len)
+        ratios = api.speedup_ratios(session, scheme, workloads, scale.trace_len)
         row[column] = 100.0 * (geomean(ratios.values()) - 1.0)
     fig.add_row("Hybrid", row)
     return fig

@@ -43,9 +43,17 @@ PAPER_CLAIMS = {
 }
 
 
-def generate_report(figure_ids=None, scale=None, include_charts=True):
-    """Run the selected figures and return the markdown report text."""
+def generate_report(figure_ids=None, scale=None, include_charts=True, session=None):
+    """Run the selected figures and return the markdown report text.
+
+    ``session`` (a :class:`repro.engine.Session`) scopes every
+    simulation the report performs; the process default is used when
+    omitted, so CLI ``--jobs``/``--cache-dir`` flags apply.
+    """
+    from repro.experiments.api import resolve_session
+
     scale = scale or Scale.from_env()
+    session = resolve_session(session)
     targets = list(figure_ids) if figure_ids else list(ALL_FIGURES)
     unknown = [t for t in targets if t not in ALL_FIGURES]
     if unknown:
@@ -66,9 +74,9 @@ def generate_report(figure_ids=None, scale=None, include_charts=True):
         started = time.perf_counter()
         driver = ALL_FIGURES[target]
         # Static figures (storage tables, the Figure 8 unit example) take
-        # no scale parameter.
+        # no scale/session parameters; every simulating driver takes both.
         if inspect.signature(driver).parameters:
-            fig = driver(scale)
+            fig = driver(scale, session=session)
         else:
             fig = driver()
         elapsed = time.perf_counter() - started
@@ -92,9 +100,9 @@ def generate_report(figure_ids=None, scale=None, include_charts=True):
     return out.getvalue()
 
 
-def write_report(path, figure_ids=None, scale=None, include_charts=True):
+def write_report(path, figure_ids=None, scale=None, include_charts=True, session=None):
     """Generate and write the report; returns the path."""
-    text = generate_report(figure_ids, scale, include_charts)
+    text = generate_report(figure_ids, scale, include_charts, session=session)
     with open(path, "w") as f:
         f.write(text)
     return path

@@ -1,21 +1,21 @@
-"""Shared run infrastructure for the figure drivers.
+"""Deprecated run API: thin compatibility shims over the default session.
 
-Responsibilities:
+Historically this module owned the figure drivers' run infrastructure —
+module-global memo dicts plus ``run_workload``/``warm_runs``/``run_mix``
+etc.  That role moved to the session API:
 
-- generate (and memoize) workload traces at the configured scale;
-- run (and memoize) single-core simulations per (workload, scheme, DRAM,
-  LLC) combination — several figures share the same underlying runs;
-- compute the paper's metric: per-workload speedup ratios of a scheme's
-  IPC over the baseline (L1 PC-stride only, no L2 prefetcher).
+- :class:`repro.engine.Session` owns the memo layers, the store backend
+  and batched parallel execution (``Session.run``);
+- :mod:`repro.experiments.api` owns the experiments-layer helpers
+  (labels, subsets, speedup ratios) over an explicit session.
 
-Memoization is two-layer since the engine subsystem landed: a per-process
-dict (identity-preserving, what the tests observe) over the engine's
-content-addressed **disk store** (`repro.engine`), which persists runs,
-mixes and traces across processes keyed by workload/scheme/config plus a
-source-code salt.  ``warm_runs``/``warm_mixes`` bulk-fill the caches and
-fan independent simulations across a process pool when the engine is
-configured with ``jobs > 1``; results are identical to the sequential
-path bit for bit.
+Every run function here still works but is **deprecated**: it emits a
+:class:`DeprecationWarning` and delegates to the default session, so old
+callers observe identical results (bit for bit) and identical caching
+behaviour.  The label/subset helpers (``scheme_label``,
+``workload_subset``, ``category_of``, ``SCHEME_LABELS``) are re-exported
+from :mod:`repro.experiments.api` without deprecation — they carry no
+run state.
 
 Scheme names follow the prefetcher registry; adjunct schemes are written
 primary-first (``"spp+dspatch"``) so the primary prefetcher wins ties in
@@ -23,76 +23,53 @@ the shared prefetch queue, and :data:`SCHEME_LABELS` maps them to the
 paper's display names ("DSPatch+SPP").
 """
 
-from repro import engine
+import warnings
+
+from repro.engine import MixSpec, RunSpec, TraceSpec, compute
+from repro.engine.session import default_session
+from repro.engine.specs import DEFAULT_LLC_BYTES
+from repro.experiments import api
+from repro.experiments.api import (  # noqa: F401  (compat re-exports)
+    SCHEME_LABELS,
+    category_of,
+    scheme_label,
+    workload_subset,
+)
 from repro.memory.dram import DramConfig
-from repro.workloads.catalog import CATEGORIES, WORKLOADS, workloads_in_category
 
-#: Display names used in the rendered figures.
-SCHEME_LABELS = {
-    "none": "Baseline",
-    "bop": "BOP",
-    "sms": "SMS",
-    "sms-4k": "SMS-4K",
-    "sms-1k": "SMS-1K",
-    "sms-256": "SMS-256",
-    "spp": "SPP",
-    "espp": "eSPP",
-    "ebop": "eBOP",
-    "ampm": "AMPM",
-    "streamer": "Streamer",
-    "dspatch": "DSPatch",
-    "alwayscovp": "AlwaysCovP",
-    "modcovp": "ModCovP",
-    "spp+dspatch": "DSPatch+SPP",
-    "spp+bop": "BOP+SPP",
-    "spp+sms-256": "SMS(iso)+SPP",
-    "spp+ebop": "eBOP+SPP",
-    "spp+bop+dspatch": "DSPatch+SPP+BOP",
-    "vldp": "VLDP",
-    "bingo": "Bingo",
-    "markov": "Markov",
-    "nextline": "NextLine",
-    "nextline-4": "NextLine-4",
-    "fdp:streamer": "FDP(Streamer)",
-    "fdp:dspatch": "FDP(DSPatch)",
-}
-
-DEFAULT_LLC_BYTES = 2 * 1024 * 1024
-_MP_LLC_BYTES = 8 * 1024 * 1024
+#: The default session's memo layers, under their historical names.
+#: These are the *same dict objects* the session reads and writes, so
+#: tests (and benches) that clear or inspect them keep observing the
+#: truth.
+_TRACE_CACHE = compute.TRACE_MEMO
+_RUN_CACHE = default_session()._run_memo
+_MP_CACHE = default_session()._mix_memo
 
 
-def scheme_label(scheme):
-    """Paper display name for a registry scheme string."""
-    return SCHEME_LABELS.get(scheme, scheme)
-
-
-#: The trace memo lives in the engine's compute layer so every path —
-#: runner lookups, direct engine calls, pool workers — shares it; the
-#: alias keeps the runner's historical name working for callers/tests.
-_TRACE_CACHE = engine.compute.TRACE_MEMO
-_RUN_CACHE = {}
-_MP_CACHE = {}
+def _deprecated(name, replacement):
+    warnings.warn(
+        f"repro.experiments.runner.{name} is deprecated; use {replacement} "
+        "(see docs/api.md for the migration table)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def clear_run_cache(disk=True):
-    """Drop all memoized traces and runs (tests use this).
+    """Deprecated: use ``Session.clear()``.
 
-    Clears the in-process layer and, by default, the engine's on-disk
-    store as well — both layers invalidate together, so a test can never
-    observe a stale cross-process result after clearing.
+    Drops the default session's memoized traces and runs; by default the
+    store backend as well — both layers invalidate together, so a test
+    can never observe a stale cross-process result after clearing.
     """
-    _TRACE_CACHE.clear()
-    _RUN_CACHE.clear()
-    _MP_CACHE.clear()
-    if disk:
-        store = engine.active_store()
-        if store is not None:
-            store.clear()
+    _deprecated("clear_run_cache", "Session.clear()")
+    default_session().clear(memory=True, disk=disk)
 
 
 def get_trace(workload, length):
-    """Memoized trace generation (persistent via the engine's .npz store)."""
-    return engine.produce_trace(workload, length)
+    """Deprecated: use ``Session.trace(TraceSpec(...))``."""
+    _deprecated("get_trace", "Session.trace(TraceSpec(workload, length))")
+    return default_session().trace(TraceSpec(workload, length))
 
 
 def run_workload(
@@ -103,14 +80,11 @@ def run_workload(
     llc_bytes=DEFAULT_LLC_BYTES,
     record_pollution=False,
 ):
-    """Memoized single-core run; returns a :class:`RunResult`."""
-    dram = dram or DramConfig()
-    key = engine.run_fingerprint(workload, scheme, length, dram, llc_bytes, record_pollution)
-    result = _RUN_CACHE.get(key)
-    if result is None:
-        result = engine.produce_run(workload, scheme, length, dram, llc_bytes, record_pollution)
-        _RUN_CACHE[key] = result
-    return result
+    """Deprecated: use ``Session.run(RunSpec(...))``."""
+    _deprecated("run_workload", "Session.run(RunSpec(...))")
+    return default_session().run(
+        RunSpec(workload, scheme, length, dram, llc_bytes, record_pollution)
+    )
 
 
 def warm_runs(
@@ -122,113 +96,45 @@ def warm_runs(
     record_pollution=False,
     jobs=None,
 ):
-    """Bulk-fill the run cache for every (workload, scheme) pair.
-
-    Missing runs execute through :func:`repro.engine.execute_specs` — in
-    parallel when the engine is configured with ``jobs > 1``, in-process
-    otherwise — and merge into the memo in deterministic input order.
-    """
-    dram = dram or DramConfig()
-    keys, specs = [], []
-    for workload in workloads:
-        for scheme in schemes:
-            key = engine.run_fingerprint(
-                workload, scheme, length, dram, llc_bytes, record_pollution
-            )
-            if key not in _RUN_CACHE:
-                keys.append(key)
-                specs.append(
-                    engine.run_spec(workload, scheme, length, dram, llc_bytes, record_pollution)
-                )
-    if specs:
-        for key, result in zip(keys, engine.execute_specs(specs, jobs=jobs)):
-            _RUN_CACHE[key] = result
+    """Deprecated: use ``Session.run`` on a list of ``RunSpec``s."""
+    _deprecated("warm_runs", "Session.run([RunSpec(...), ...])")
+    api.run_grid(
+        default_session(),
+        workloads,
+        schemes,
+        length,
+        dram,
+        llc_bytes,
+        record_pollution,
+        jobs=jobs,
+    )
 
 
 def speedup_ratios(scheme, workloads, length, dram=None, llc_bytes=DEFAULT_LLC_BYTES):
-    """Per-workload IPC ratios of ``scheme`` over the baseline."""
-    workloads = list(workloads)
-    warm_runs(workloads, ["none", scheme], length, dram, llc_bytes)
-    out = {}
-    for name in workloads:
-        base = run_workload(name, "none", length, dram, llc_bytes)
-        res = run_workload(name, scheme, length, dram, llc_bytes)
-        out[name] = res.ipc / base.ipc if base.ipc > 0 else 1.0
-    return out
-
-
-def workload_subset(per_category, categories=CATEGORIES, mem_intensive_first=True):
-    """Deterministic subset: up to ``per_category`` workloads per category.
-
-    Memory-intensive workloads come first within each category so small
-    subsets still exercise the behaviours the paper's averages are made of.
-    """
-    chosen = []
-    for category in categories:
-        names = workloads_in_category(category)
-        if mem_intensive_first:
-            names = sorted(names, key=lambda n: (not WORKLOADS[n].mem_intensive, n))
-        chosen.extend(names[:per_category])
-    return chosen
-
-
-def category_of(workload):
-    return WORKLOADS[workload].category
-
-
-def _mp_dram(dram):
-    return dram or DramConfig(speed_grade=2133, channels=2)
+    """Deprecated: use ``repro.experiments.api.speedup_ratios(session, ...)``."""
+    _deprecated("speedup_ratios", "api.speedup_ratios(session, scheme, ...)")
+    return api.speedup_ratios(
+        default_session(), scheme, list(workloads), length, dram, llc_bytes
+    )
 
 
 def run_mix(mix_name, workload_names, scheme, length_per_core, dram=None):
-    """Memoized 4-core multi-programmed run."""
-    dram = _mp_dram(dram)
-    key = engine.mix_fingerprint(mix_name, workload_names, scheme, length_per_core, dram)
-    result = _MP_CACHE.get(key)
-    if result is None:
-        result = engine.produce_mix(mix_name, workload_names, scheme, length_per_core, dram)
-        _MP_CACHE[key] = result
-    return result
+    """Deprecated: use ``Session.run(MixSpec(...))``."""
+    _deprecated("run_mix", "Session.run(MixSpec(...))")
+    return default_session().run(
+        MixSpec(mix_name, tuple(workload_names), scheme, length_per_core, dram)
+    )
 
 
 def warm_mixes(mixes, schemes, length_per_core, dram=None, jobs=None):
-    """Bulk-fill caches for multi-programmed figures.
-
-    ``mixes`` is a list of (mix_name, workload_names).  Warms every
-    (mix, scheme) run plus the per-workload baseline "alone" runs that
-    :func:`mix_speedup_ratio` divides by.
-    """
-    dram = _mp_dram(dram)
-    alone = sorted({name for _, names in mixes for name in names})
-    warm_runs(alone, ["none"], length_per_core, dram=dram, llc_bytes=_MP_LLC_BYTES, jobs=jobs)
-    keys, specs = [], []
-    for mix_name, names in mixes:
-        for scheme in schemes:
-            key = engine.mix_fingerprint(mix_name, names, scheme, length_per_core, dram)
-            if key not in _MP_CACHE:
-                keys.append(key)
-                specs.append(engine.mix_spec(mix_name, names, scheme, length_per_core, dram))
-    if specs:
-        for key, result in zip(keys, engine.execute_specs(specs, jobs=jobs)):
-            _MP_CACHE[key] = result
+    """Deprecated: use ``repro.experiments.api.warm_mix_grid(session, ...)``."""
+    _deprecated("warm_mixes", "api.warm_mix_grid(session, mixes, ...)")
+    api.warm_mix_grid(default_session(), mixes, schemes, length_per_core, dram, jobs)
 
 
 def mix_speedup_ratio(mix_name, workload_names, scheme, length_per_core, dram=None):
-    """Weighted-speedup ratio of ``scheme`` over the shared baseline.
-
-    Both runs share the machine; per-core alone-IPCs cancel, so the ratio
-    reduces to sum(IPC_i^scheme/IPC_i^alone) / sum(IPC_i^base/IPC_i^alone).
-    We use the baseline single-core IPC on the MP machine as 'alone'.
-    """
-    dram = _mp_dram(dram)
-    alone = []
-    for name in workload_names:
-        result = run_workload(
-            name, "none", length_per_core, dram=dram, llc_bytes=_MP_LLC_BYTES
-        )
-        alone.append(result.ipc)
-    base = run_mix(mix_name, workload_names, "none", length_per_core, dram)
-    res = run_mix(mix_name, workload_names, scheme, length_per_core, dram)
-    ws_base = base.weighted_speedup(alone)
-    ws_scheme = res.weighted_speedup(alone)
-    return ws_scheme / ws_base if ws_base > 0 else 1.0
+    """Deprecated: use ``repro.experiments.api.mix_speedup_ratio(session, ...)``."""
+    _deprecated("mix_speedup_ratio", "api.mix_speedup_ratio(session, ...)")
+    return api.mix_speedup_ratio(
+        default_session(), mix_name, workload_names, scheme, length_per_core, dram
+    )

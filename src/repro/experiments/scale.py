@@ -43,3 +43,18 @@ class Scale:
             mix_trace_len=_env_int("REPRO_MIX_TRACE_LEN", 6000),
             full=full,
         )
+
+    @staticmethod
+    def tiny(trace_len=1200, mix_trace_len=600):
+        """Miniature scale for smoke tests and CI example runs.
+
+        One workload per category and one mix: every driver exercises
+        its full code path at a wall-clock cost of seconds.
+        """
+        return Scale(
+            trace_len=trace_len,
+            workloads_per_category=1,
+            mix_count=1,
+            mix_trace_len=mix_trace_len,
+            full=False,
+        )

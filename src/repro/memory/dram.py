@@ -490,6 +490,12 @@ class DramModel:
 
 
 #: The six DRAM configurations of Figures 1, 6 and 15, in peak-GB/s order.
+#: The paper's Table 2 machine DRAM configurations (frozen, shared
+#: instances): single-thread = one DDR4-2133 channel, multi-programmed =
+#: two.  Single source for `SystemConfig` factories and engine specs.
+ST_DRAM = DramConfig(speed_grade=2133, channels=1)
+MP_DRAM = DramConfig(speed_grade=2133, channels=2)
+
 BANDWIDTH_SWEEP = (
     DramConfig(speed_grade=1600, channels=1),
     DramConfig(speed_grade=2133, channels=1),

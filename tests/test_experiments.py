@@ -28,7 +28,7 @@ def _fresh_cache():
     clear_run_cache()
 
 
-TINY = Scale(trace_len=600, workloads_per_category=1, mix_count=1, mix_trace_len=400, full=False)
+TINY = Scale.tiny(trace_len=600, mix_trace_len=400)
 
 
 class TestScale:
@@ -48,6 +48,13 @@ class TestScale:
         scale = Scale.from_env()
         assert scale.full
         assert scale.workloads_per_category == 99
+
+    def test_tiny_scale_helper(self):
+        tiny = Scale.tiny()
+        assert tiny.workloads_per_category == 1
+        assert tiny.mix_count == 1
+        assert not tiny.full
+        assert Scale.tiny(trace_len=600, mix_trace_len=400).trace_len == 600
 
     def test_bad_env_rejected(self, monkeypatch):
         monkeypatch.setenv("REPRO_TRACE_LEN", "lots")

@@ -15,13 +15,7 @@ from repro.experiments import figures as F
 from repro.experiments.runner import clear_run_cache
 from repro.experiments.scale import Scale
 
-TINY = Scale(
-    trace_len=1200,
-    workloads_per_category=1,
-    mix_count=1,
-    mix_trace_len=600,
-    full=False,
-)
+TINY = Scale.tiny()
 
 
 @pytest.fixture(scope="module", autouse=True)
