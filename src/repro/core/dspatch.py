@@ -239,10 +239,17 @@ class DSPatch(Prefetcher):
                 program_half = (anchored >> (half * self._half_bits)) & self._half_mask
                 spt_entry.update_half(half, program_half, bw_bucket)
 
-    def flush_training(self):
-        """Learn from every page still resident in the PB (end of run)."""
+    def flush_training(self, cycle=0):
+        """Learn from every page still resident in the PB (end of run).
+
+        ``cycle`` should be the run's final cycle: the Measure counters
+        update under the bandwidth bucket broadcast at learn time
+        (Section 3.6), so draining with the default ``cycle=0`` would read
+        the bucket at the *start* of the run.  The default stays for
+        callers that use a constant bandwidth source.
+        """
         for entry in self.page_buffer.drain():
-            self._learn(0, entry)
+            self._learn(cycle, entry)
 
     # -------------------------------------------------------------- storage
 

@@ -9,19 +9,22 @@ Mirrors the paper's two configurations (Section 4):
 The multi-core driver interleaves per-core executions in global time order
 (always advancing the core with the smallest retirement time) so cores
 contend realistically for the shared LLC and DRAM — which is what makes
-the accuracy-biased pattern matter in Section 5.4.
+the accuracy-biased pattern matter in Section 5.4.  Scheduling runs
+through the batched interleave driver
+(:func:`repro.cpu.core.interleave_batched`); see docs/engine.md for the
+design and the parity/performance story.
 """
 
 import gc
-import heapq
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
-from repro.cpu.core import CoreExecution, CoreModel
+from repro.cpu.core import CoreExecution, CoreModel, interleave_batched
 from repro.memory.cache import Cache
 from repro.constants import MP_LLC_BYTES, ST_LLC_BYTES
 from repro.memory.dram import MP_DRAM, ST_DRAM, DramConfig, DramModel
 from repro.memory.hierarchy import HierarchyConfig, MemoryHierarchy
+from repro.prefetchers.base import flush_training_with_cycle
 from repro.prefetchers.registry import build_prefetcher
 from repro.prefetchers.stride import PcStridePrefetcher
 
@@ -186,7 +189,15 @@ class System:
             hierarchy.reset_stats()
             dram.reset_stats(execution.time)
             execution.run_ops()
-        return _result_from(execution, hierarchy, dram)
+        result = _result_from(execution, hierarchy, dram)
+        # End-of-run training drain (after stats capture: the drain's
+        # bandwidth-bucket queries at the final cycle must not perturb the
+        # reported residency).  Pages still resident in e.g. DSPatch's PB
+        # learn under the run-final bucket, leaving the prefetcher state
+        # consistent for post-run inspection.
+        if l2_pf is not None:
+            flush_training_with_cycle(l2_pf, int(execution.time))
+        return result
 
 
 @dataclass
@@ -194,7 +205,24 @@ class MultiProgramResult:
     """Results of one multi-programmed mix."""
 
     per_core: list  # RunResult per core
-    total_cycles: float
+    #: Global-time span of the measured region: the latest per-core
+    #: end-of-run retirement time minus the shared stats-reset time (the
+    #: moment the *first* core crossed its warmup boundary).  Unlike the
+    #: per-core ``cycles`` fields — measured-region spans that each start
+    #: at that core's own warmup boundary — this is one consistent wall
+    #: span for the whole mix (what a shared-resource rate like aggregate
+    #: DRAM bandwidth should be divided by).
+    global_cycles: float
+
+    @property
+    def total_cycles(self):
+        """Deprecated alias for :attr:`global_cycles`.
+
+        The pre-batching driver reported ``max(core.cycles)``, which mixed
+        per-core measured-region spans starting at different warmup
+        boundaries; the field now aliases the consistent global span.
+        """
+        return self.global_cycles
 
     def weighted_speedup(self, alone_ipcs):
         """Sum of per-core IPC over the same workload's alone-IPC."""
@@ -236,29 +264,37 @@ class MultiCoreSystem:
             hierarchies.append(hierarchy)
             executions.append(CoreExecution(cfg.core, trace, hierarchy))
 
-        # Advance cores in global time order.  Each core crosses its own
-        # warmup boundary after warmup_frac of its trace; shared DRAM stats
-        # reset when the first core crosses (per-core results use private
-        # hierarchy counters, so the shared reset point is not critical).
+        # Advance cores in global time order through the batched interleave
+        # driver.  Each core crosses its own warmup boundary after
+        # warmup_frac of its trace — including *before the first op* when
+        # the warmup is zero ops, matching the single-core path; shared
+        # DRAM stats reset when the first core crosses (per-core results
+        # use private hierarchy counters, so the shared reset point is not
+        # critical).
         warmup_ops = [int(len(trace) * cfg.warmup_frac) for trace in traces]
-        dram_stats_reset = False
-        heap = [(ex.time, idx) for idx, ex in enumerate(executions)]
-        heapq.heapify(heap)
+        stats_reset_time = None
+
+        def _cross_warmup(idx):
+            nonlocal stats_reset_time
+            ex = executions[idx]
+            ex.mark_stats_start()
+            hierarchies[idx].reset_stats()
+            if stats_reset_time is None:
+                stats_reset_time = ex.time
+                dram.reset_stats(ex.time)
+
         with _gc_paused():
-            while heap:
-                _, idx = heapq.heappop(heap)
-                ex = executions[idx]
-                if ex.advance():
-                    heapq.heappush(heap, (ex.time, idx))
-                if ex.ops == warmup_ops[idx]:
-                    ex.mark_stats_start()
-                    hierarchies[idx].reset_stats()
-                    if not dram_stats_reset:
-                        dram.reset_stats(ex.time)
-                        dram_stats_reset = True
+            interleave_batched(executions, warmup_ops, _cross_warmup)
 
         per_core = [
             _result_from(ex, hier, dram) for ex, hier in zip(executions, hierarchies)
         ]
-        total_cycles = max(core.cycles for core in per_core)
-        return MultiProgramResult(per_core=per_core, total_cycles=total_cycles)
+        # End-of-run training drain, after stats capture (see System.run).
+        for ex, hier in zip(executions, hierarchies):
+            if hier.l2_prefetcher is not None:
+                flush_training_with_cycle(hier.l2_prefetcher, int(ex.time))
+        end_time = max((ex.time for ex in executions), default=0.0)
+        if stats_reset_time is None:
+            stats_reset_time = 0.0
+        global_cycles = max(end_time - stats_reset_time, 0.0)
+        return MultiProgramResult(per_core=per_core, global_cycles=global_cycles)

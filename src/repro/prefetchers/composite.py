@@ -10,7 +10,7 @@ once — earlier components take precedence, matching a fixed arbitration
 priority in hardware.
 """
 
-from repro.prefetchers.base import Prefetcher
+from repro.prefetchers.base import Prefetcher, flush_training_with_cycle
 
 
 class CompositePrefetcher(Prefetcher):
@@ -80,12 +80,15 @@ class CompositePrefetcher(Prefetcher):
                 merged.append(cand)
         return merged, seen
 
-    def flush_training(self):
-        """Forward end-of-run learning to components that support it."""
+    def flush_training(self, cycle=0):
+        """Forward end-of-run learning to components that support it.
+
+        ``cycle`` (the run's final cycle) is forwarded so bandwidth-aware
+        components (DSPatch) learn under the correct bucket; components
+        written against the pre-cycle zero-argument interface still work.
+        """
         for component in self.components:
-            flush = getattr(component, "flush_training", None)
-            if flush is not None:
-                flush()
+            flush_training_with_cycle(component, cycle)
 
     def note_useful_prefetch(self, cycle, line_addr):
         for component in self.components:

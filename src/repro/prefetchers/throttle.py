@@ -20,7 +20,7 @@ the wrapped prefetcher unchanged.
 
 from dataclasses import dataclass
 
-from repro.prefetchers.base import Prefetcher
+from repro.prefetchers.base import Prefetcher, flush_training_with_cycle
 
 
 @dataclass(frozen=True)
@@ -114,10 +114,8 @@ class FeedbackThrottle(Prefetcher):
         out["fdp-controller"] = 2 * 16 + 3  # two window counters + level
         return out
 
-    def flush_training(self):
-        flush = getattr(self.inner, "flush_training", None)
-        if flush is not None:
-            flush()
+    def flush_training(self, cycle=0):
+        flush_training_with_cycle(self.inner, cycle)
 
     def reset(self):
         self.inner.reset()

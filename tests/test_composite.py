@@ -29,8 +29,9 @@ class Recorder(Prefetcher):
     def note_useless_prefetch(self, cycle, line_addr):
         self.useless.append(line_addr)
 
-    def flush_training(self):
+    def flush_training(self, cycle=0):
         self.flushed += 1
+        self.flush_cycle = cycle
 
     def reset(self):
         self.resets += 1
@@ -98,6 +99,24 @@ class TestCallbacks:
         combo = CompositePrefetcher([recorder, NoFlush()])
         combo.flush_training()  # must not raise on the flush-less one
         assert recorder.flushed == 1
+
+    def test_flush_forwards_final_cycle(self):
+        recorder = Recorder("a")
+        combo = CompositePrefetcher([recorder])
+        combo.flush_training(12345)
+        assert recorder.flush_cycle == 12345
+
+    def test_flush_tolerates_zero_arg_components(self):
+        """Components written against the pre-cycle interface still flush."""
+
+        class LegacyFlush(Recorder):
+            def flush_training(self):
+                self.flushed += 1
+
+        legacy = LegacyFlush("legacy")
+        combo = CompositePrefetcher([legacy])
+        combo.flush_training(99)
+        assert legacy.flushed == 1
 
     def test_reset_broadcast(self):
         parts = [Recorder("a"), Recorder("b")]

@@ -83,6 +83,27 @@ class TestSingleCoreRun:
         assert res.demand_log
         assert res.prefetch_fill_log
 
+    def test_run_drains_training_at_final_cycle(self, monkeypatch):
+        """End of run flushes the L2 prefetcher's residual training under
+        the run-final cycle (after stats capture), draining e.g. DSPatch's
+        page buffer."""
+        import repro.cpu.system as system_mod
+
+        calls = []
+        real = system_mod.flush_training_with_cycle
+
+        def recording(prefetcher, cycle):
+            calls.append((prefetcher, cycle))
+            real(prefetcher, cycle)
+
+        monkeypatch.setattr(system_mod, "flush_training_with_cycle", recording)
+        trace = build_trace("cloud.bigbench", 1500)
+        res = System(SystemConfig.single_thread("dspatch")).run(trace)
+        assert len(calls) == 1
+        prefetcher, cycle = calls[0]
+        assert cycle >= int(res.cycles)  # final cycle includes warmup
+        assert not prefetcher.page_buffer._pages  # PB drained
+
 
 class TestMultiCore:
     def test_runs_four_cores(self):
@@ -117,6 +138,23 @@ class TestMultiCore:
         ).run(traces[0])
         mean_shared_ipc = sum(c.ipc for c in mp.per_core) / 4
         assert mean_shared_ipc <= alone.ipc * 1.05
+
+    def test_mp_run_drains_training_per_core(self, monkeypatch):
+        import repro.cpu.system as system_mod
+
+        calls = []
+        real = system_mod.flush_training_with_cycle
+
+        def recording(prefetcher, cycle):
+            calls.append((prefetcher, cycle))
+            real(prefetcher, cycle)
+
+        monkeypatch.setattr(system_mod, "flush_training_with_cycle", recording)
+        traces = build_mix_traces(["ispec06.mcf"] * 4, 400)
+        MultiCoreSystem(SystemConfig.multi_programmed("dspatch")).run(traces)
+        assert len(calls) == 4
+        assert len({id(pf) for pf, _ in calls}) == 4  # one flush per core
+        assert all(cycle > 0 for _, cycle in calls)
 
     def test_prefetching_helps_mixes(self):
         traces = build_mix_traces(["sysmark.excel"] * 4, 500)
