@@ -1,0 +1,159 @@
+"""Remote-cache smoke: two machines sharing one experiment store.
+
+End-to-end proof of the ``repro serve`` / ``--remote-cache`` path, run
+as a plain script (CI gates on its exit code):
+
+1. start a real ``repro serve`` subprocess on an ephemeral port over an
+   empty temp directory;
+2. **machine A** (fresh local cache dir + the remote) computes a small
+   spec batch cold — every result and trace is published to the server;
+3. **machine B** (a *different* fresh local cache dir, same remote) runs
+   the same batch — with the simulation entry points poisoned to raise,
+   proving every artifact is served from the remote store, bit-for-bit
+   identical to machine A's; shared hits must also promote into B's
+   local tier;
+4. report the cold/warm wall-clock and the warm-hit speedup.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/remote_smoke.py --length 2000
+"""
+
+import argparse
+import json
+import re
+import select
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+WORKLOADS = ("ispec06.mcf", "hpc.linpack", "cloud.bigbench")
+SCHEMES = ("none", "spp")
+
+
+def start_server(cache_dir):
+    """Spawn ``repro serve`` on an ephemeral port; return (proc, url)."""
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--cache-dir",
+            str(cache_dir),
+            "--port",
+            "0",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    # The first stdout line is the readiness signal with the bound port.
+    # select() guards every read so a started-but-silent server fails
+    # the deadline instead of blocking readline() until the CI timeout.
+    deadline = time.time() + 30.0
+    line = ""
+    while time.time() < deadline and proc.poll() is None:
+        ready, _, _ = select.select([proc.stdout], [], [], deadline - time.time())
+        if not ready:
+            break
+        line = proc.stdout.readline()
+        match = re.search(r"on (http://[\d.]+:\d+)", line)
+        if match is not None:
+            return proc, match.group(1)
+    proc.kill()
+    raise RuntimeError(f"repro serve never came up (last line: {line!r})")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    # Warm time is a near-constant handful of HTTP round trips while cold
+    # time scales with length, so the default is big enough that the
+    # warm-hit speedup is unambiguous even on a slow runner.
+    parser.add_argument("--length", type=int, default=6000, help="ops per run")
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=1.2,
+        help="fail when the warm (remote-served) pass is not at least this "
+        "much faster than the cold pass (default 1.2)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.engine import LocalDirBackend, RunSpec, Session, compute
+
+    specs = [RunSpec(w, s, args.length) for w in WORKLOADS for s in SCHEMES]
+    with tempfile.TemporaryDirectory(prefix="repro-remote-smoke-") as tmp:
+        tmp = Path(tmp)
+        proc, url = start_server(tmp / "served")
+        try:
+            machine_a = Session(cache_dir=tmp / "machine-a", remote_cache_url=url)
+            t0 = time.perf_counter()
+            origin = machine_a.run(specs)
+            cold_s = time.perf_counter() - t0
+
+            published = LocalDirBackend(tmp / "served").stats()
+            assert published["results"] == len(specs), published
+            assert published["traces"] == len(WORKLOADS), published
+
+            # Machine B must not simulate anything: poison the compute
+            # layer so any recompute raises instead of silently passing.
+            real_run, real_trace = compute.simulate_run, compute.build_trace_artifact
+
+            def _poisoned(*a, **k):
+                raise AssertionError("machine B recomputed instead of loading")
+
+            compute.simulate_run = compute.build_trace_artifact = _poisoned
+            try:
+                machine_b = Session(cache_dir=tmp / "machine-b", remote_cache_url=url)
+                t0 = time.perf_counter()
+                warm = machine_b.run(specs)
+                warm_s = time.perf_counter() - t0
+            finally:
+                compute.simulate_run, compute.build_trace_artifact = real_run, real_trace
+
+            mismatches = sum(
+                a.to_dict() != b.to_dict() for a, b in zip(origin, warm)
+            )
+            promoted = LocalDirBackend(tmp / "machine-b").stats()["results"]
+        finally:
+            proc.terminate()
+            proc.wait(timeout=10)
+
+    summary = {
+        "specs": len(specs),
+        "cold_seconds": round(cold_s, 3),
+        "warm_seconds": round(warm_s, 3),
+        "warm_speedup": round(cold_s / warm_s, 1) if warm_s > 0 else None,
+        "served_from_remote": True,  # the poisoned compute layer proves it
+        "mismatches": mismatches,
+        "promoted_locally": promoted,
+    }
+    print(json.dumps(summary, indent=2))
+    if mismatches:
+        print(f"FAIL: {mismatches} remote-served results differ", file=sys.stderr)
+        return 1
+    if promoted != len(specs):
+        print(
+            f"FAIL: expected {len(specs)} promoted results, got {promoted}",
+            file=sys.stderr,
+        )
+        return 1
+    if summary["warm_speedup"] is not None and summary["warm_speedup"] < args.min_speedup:
+        print(
+            f"FAIL: warm-hit speedup {summary['warm_speedup']}x "
+            f"below the {args.min_speedup}x floor",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"ok: {len(specs)} specs served from the remote store "
+        f"({summary['warm_speedup']}x warm-hit speedup)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,13 +12,17 @@ Subcommands:
   x-axis) for one workload.
 - ``cache`` — inspect, clear or garbage-collect (``cache gc --max-mb N``,
   size-bounded LRU eviction) the engine's on-disk result/trace store.
+- ``serve`` — publish a cache directory as an HTTP cache server that
+  other machines reach via ``--remote-cache URL``.
 
 Global engine flags (before the subcommand): ``--jobs N`` fans
 independent runs across N worker processes, ``--cache-dir PATH``
 relocates the persistent store, ``--no-cache`` disables the disk layer
-for this invocation, and ``--shared-cache PATH`` layers a read-only
+for this invocation, ``--shared-cache PATH`` layers a read-only
 shared store (e.g. a network mount another host populated) under the
-local one — hits are promoted into the local tier.
+local one — hits are promoted into the local tier — and
+``--remote-cache URL`` layers a ``repro serve`` server under everything
+(read-through with local promotion, write-through publication).
 
 Simulation commands batch their runs through the default engine
 :class:`~repro.engine.session.Session`, so ``--jobs`` parallelism
@@ -165,6 +169,33 @@ def _cmd_sweep(args):
     return 0
 
 
+def _cmd_serve(args):
+    from repro.engine import current_config, make_server
+
+    cache_dir = args.serve_cache_dir or current_config().cache_dir
+    try:
+        server = make_server(
+            cache_dir,
+            host=args.host,
+            port=args.port,
+            read_only=args.read_only,
+            verbose=args.verbose,
+        )
+    except OSError as exc:
+        raise SystemExit(f"cannot bind {args.host}:{args.port}: {exc}") from None
+    mode = " (read-only)" if args.read_only else ""
+    # The exact "serving ... on <url>" line is the machine-readable
+    # readiness signal scripts parse to discover an ephemeral port.
+    print(f"serving {cache_dir} on {server.url}{mode}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
 def _cmd_cache(args):
     from repro.engine import active_store, code_salt, current_config
 
@@ -198,15 +229,31 @@ def _cmd_cache(args):
     print(f"disk cache {'enabled' if cfg.disk_cache else 'disabled'}")
     if cfg.shared_cache_dir is not None:
         print(f"shared     {cfg.shared_cache_dir} (read-only tier)")
+    if cfg.remote_cache_url is not None:
+        print(f"remote     {cfg.remote_cache_url} (write-through tier)")
     print(f"jobs       {cfg.jobs}")
     print(f"code salt  {code_salt()}")
     if store is not None:
-        stats = store.stats()
+        # With a remote configured the store is (local tiers) over the
+        # remote client; stat the inner tiers here and query the server
+        # once, below — not once per tier walk.
+        local_store = store.local if cfg.remote_cache_url is not None else store
+        stats = local_store.stats()
         print(f"results    {stats['results']}")
         print(f"traces     {stats['traces']}")
         print(f"size       {stats['bytes'] / 1024:.1f} KB")
         if "shared_results" in stats:
             print(f"shared     {stats['shared_results']} results, {stats['shared_traces']} traces")
+        if cfg.remote_cache_url is not None:
+            remote = store.shared.stats()
+            if remote.get("reachable", True):
+                suffix = " [read-only]" if remote.get("read_only") else ""
+                print(
+                    f"remote     {remote['results']} results, "
+                    f"{remote['traces']} traces{suffix}"
+                )
+            else:
+                print("remote     unreachable")
     return 0
 
 
@@ -239,6 +286,14 @@ def build_parser():
         help="read-only shared store layered under the local cache "
         "(read-through; e.g. a network mount another host populated; "
         "default: REPRO_SHARED_CACHE; ignored under --no-cache)",
+    )
+    parser.add_argument(
+        "--remote-cache",
+        default=None,
+        metavar="URL",
+        help="remote cache server (repro serve) layered under everything: "
+        "read-through with local promotion, write-through publication "
+        "(default: REPRO_REMOTE_CACHE; ignored under --no-cache)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -288,6 +343,29 @@ def build_parser():
         help="gc size bound in MB: least-recently-used artifacts are evicted until the store fits (default 512)",
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="publish a cache directory as an HTTP cache server (--remote-cache on clients)",
+    )
+    # dest avoids the subparser default clobbering the global --cache-dir
+    # value already parsed into the namespace.
+    serve.add_argument(
+        "--cache-dir",
+        dest="serve_cache_dir",
+        default=None,
+        help="directory to serve (default: the engine cache dir)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    serve.add_argument(
+        "--port", type=int, default=8787, help="TCP port; 0 picks an ephemeral one (default 8787)"
+    )
+    serve.add_argument(
+        "--read-only",
+        action="store_true",
+        help="reject PUT/DELETE: clients read this store but cannot grow it",
+    )
+    serve.add_argument("--verbose", action="store_true", help="log every request to stderr")
+
     return parser
 
 
@@ -300,6 +378,7 @@ _HANDLERS = {
     "sweep": _cmd_sweep,
     "report": _cmd_report,
     "cache": _cmd_cache,
+    "serve": _cmd_serve,
 }
 
 
@@ -310,6 +389,7 @@ def main(argv=None):
         or args.cache_dir is not None
         or args.no_cache
         or args.shared_cache is not None
+        or args.remote_cache is not None
     ):
         from repro.engine import configure
 
@@ -318,6 +398,7 @@ def main(argv=None):
             cache_dir=args.cache_dir,
             disk_cache=False if args.no_cache else None,
             shared_cache_dir=args.shared_cache,
+            remote_cache_url=args.remote_cache,
         )
     return _HANDLERS[args.command](args)
 

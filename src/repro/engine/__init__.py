@@ -12,8 +12,9 @@ surface is the **session API**:
   executes any batch with deterministic input-order merge and optional
   process-pool fan-out;
 - :class:`LocalDirBackend` / :class:`InMemoryBackend` /
-  :class:`TieredBackend` — store backends (on-disk, ephemeral, and
-  read-through local-over-shared).
+  :class:`TieredBackend` / :class:`RemoteBackend` — store backends
+  (on-disk, ephemeral, read-through local-over-shared, and an HTTP
+  client for a ``repro serve`` cache server).
 
 Quick tour::
 
@@ -55,15 +56,18 @@ from repro.engine.fingerprint import (
     trace_fingerprint,
 )
 from repro.engine.parallel import execute_spec, execute_specs, mix_spec, run_spec
+from repro.engine.remote import CacheServer, RemoteBackend, make_server, serve_background
 from repro.engine.session import Session, default_session
 from repro.engine.specs import MixSpec, RunSpec, TraceSpec
 from repro.engine.store import ResultStore
 
 __all__ = [
+    "CacheServer",
     "EngineConfig",
     "InMemoryBackend",
     "LocalDirBackend",
     "MixSpec",
+    "RemoteBackend",
     "ResultStore",
     "RunSpec",
     "Session",
@@ -79,6 +83,7 @@ __all__ = [
     "execute_spec",
     "execute_specs",
     "fingerprint",
+    "make_server",
     "mix_fingerprint",
     "mix_spec",
     "produce_mix",
@@ -87,5 +92,6 @@ __all__ = [
     "reset_config",
     "run_fingerprint",
     "run_spec",
+    "serve_background",
     "trace_fingerprint",
 ]

@@ -155,7 +155,11 @@ class LocalDirBackend:
         try:
             with open(path, "rb") as f:
                 result = pickle.load(f)["result"]
-        except (OSError, pickle.UnpicklingError, KeyError, EOFError, AttributeError):
+        except Exception:
+            # A truncated or corrupted pickle stream can raise nearly
+            # anything (UnpicklingError, EOFError, ValueError, ImportError,
+            # MemoryError...); every decode failure is a miss — the entry
+            # is recomputed and rewritten, never fatal.
             return None
         if self.touch_on_load:
             self._touch(path)
@@ -179,7 +183,9 @@ class LocalDirBackend:
         path = self._trace_path(digest)
         try:
             trace = Trace.load(path)
-        except (OSError, KeyError, ValueError):
+        except Exception:
+            # A truncated .npz raises zipfile.BadZipFile (not an OSError),
+            # corrupt arrays raise ValueError/KeyError; all of it is a miss.
             return None
         if self.touch_on_load:
             self._touch(path)
@@ -342,18 +348,27 @@ class InMemoryBackend:
 
 
 class TieredBackend:
-    """Read-through pair: a writable ``local`` over a read-only ``shared``.
+    """Read-through pair: a writable ``local`` over a ``shared`` tier.
 
     Loads consult ``local`` first, then ``shared``; a shared hit is
-    promoted into ``local`` so subsequent loads (and gc recency) are
-    local.  Saves, ``clear`` and ``gc`` touch **only** the local tier —
-    the shared tier is treated as read-only by contract (a network
-    mount, a CI-published artifact directory, another host's cache).
+    promoted into ``local`` — exactly once, since the promoted copy
+    serves every later load — so subsequent loads (and gc recency) are
+    local.  ``clear`` and ``gc`` touch **only** the local tier.
+
+    By default (``write_through=False``) saves also touch only the local
+    tier: the shared tier is read-only by contract (a network mount, a
+    CI-published artifact directory, another host's cache) and must
+    never be written.  ``write_through=True`` additionally pushes every
+    save to the shared tier — the composition the engine builds for a
+    *remote* shared store (``--remote-cache``), where publishing fresh
+    results is the whole point and the remote backend handles its own
+    read-only/offline degradation.
     """
 
-    def __init__(self, local, shared):
+    def __init__(self, local, shared, write_through=False):
         self.local = local
         self.shared = shared
+        self.write_through = write_through
 
     @property
     def shared_across_processes(self):
@@ -369,11 +384,16 @@ class TieredBackend:
             return result
         result = self.shared.load_result(digest)
         if result is not None:
+            # Promotion targets the local tier directly (never through
+            # write_through): the artifact came *from* the shared tier,
+            # so pushing it back would be a pointless redundant write.
             self.local.save_result(digest, result, meta={"promoted": True})
         return result
 
     def save_result(self, digest, result, meta=None):
         self.local.save_result(digest, result, meta=meta)
+        if self.write_through:
+            self.shared.save_result(digest, result, meta=meta)
 
     def load_trace(self, digest):
         trace = self.local.load_trace(digest)
@@ -386,6 +406,8 @@ class TieredBackend:
 
     def save_trace(self, digest, trace):
         self.local.save_trace(digest, trace)
+        if self.write_through:
+            self.shared.save_trace(digest, trace)
 
     def clear(self):
         self.local.clear()
@@ -394,12 +416,17 @@ class TieredBackend:
         return self.local.gc(max_bytes)
 
     def stats(self):
-        """Local-tier stats plus the shared tier's entry counts."""
+        """Local-tier stats plus the shared tier's entry counts.
+
+        ``setdefault`` so nesting (local-over-shared-dir, all over a
+        remote tier) keeps the innermost shared counts — the outer
+        (remote) tier reports through its own backend's ``stats``.
+        """
         out = dict(self.local.stats())
         try:
             shared = self.shared.stats()
         except OSError:
             shared = {}
-        out["shared_results"] = shared.get("results", 0)
-        out["shared_traces"] = shared.get("traces", 0)
+        out.setdefault("shared_results", shared.get("results", 0))
+        out.setdefault("shared_traces", shared.get("traces", 0))
         return out

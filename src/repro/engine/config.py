@@ -4,9 +4,9 @@ Resolution order for every knob:
 
 1. an explicit :func:`configure` call (the CLI flags land here);
 2. environment variables (``REPRO_JOBS``, ``REPRO_CACHE_DIR``,
-   ``REPRO_NO_CACHE``, ``REPRO_SHARED_CACHE``);
+   ``REPRO_NO_CACHE``, ``REPRO_SHARED_CACHE``, ``REPRO_REMOTE_CACHE``);
 3. built-in defaults (sequential, ``~/.cache/dspatch-repro``, disk cache
-   enabled, no shared tier).
+   enabled, no shared tier, no remote store).
 
 Environment variables are read lazily at each :func:`current_config`
 call (not at import), so test fixtures can repoint the cache directory
@@ -33,6 +33,7 @@ _overrides = {
     "cache_dir": None,
     "disk_cache": None,
     "shared_cache_dir": None,
+    "remote_cache_url": None,
 }
 
 
@@ -49,6 +50,10 @@ class EngineConfig:
     #: Optional read-only shared store root layered under the local one
     #: (read-through: shared hits are promoted into the local tier).
     shared_cache_dir: Optional[Path] = None
+    #: Optional remote cache-server URL (``repro serve``), layered as the
+    #: outermost tier: read-through with local promotion, write-through
+    #: so fresh results publish to the shared store.
+    remote_cache_url: Optional[str] = None
 
 
 def _default_cache_dir():
@@ -71,15 +76,25 @@ def current_config():
     if shared is None:
         env_shared = os.environ.get("REPRO_SHARED_CACHE")
         shared = Path(env_shared) if env_shared else None
+    remote = _overrides["remote_cache_url"]
+    if remote is None:
+        remote = os.environ.get("REPRO_REMOTE_CACHE") or None
     return EngineConfig(
         jobs=max(1, jobs),
         cache_dir=Path(cache_dir),
         disk_cache=disk_cache,
         shared_cache_dir=shared,
+        remote_cache_url=remote,
     )
 
 
-def configure(jobs=None, cache_dir=None, disk_cache=None, shared_cache_dir=None):
+def configure(
+    jobs=None,
+    cache_dir=None,
+    disk_cache=None,
+    shared_cache_dir=None,
+    remote_cache_url=None,
+):
     """Set explicit engine overrides; ``None`` leaves a knob untouched."""
     if jobs is not None:
         _overrides["jobs"] = int(jobs)
@@ -89,6 +104,8 @@ def configure(jobs=None, cache_dir=None, disk_cache=None, shared_cache_dir=None)
         _overrides["disk_cache"] = bool(disk_cache)
     if shared_cache_dir is not None:
         _overrides["shared_cache_dir"] = Path(shared_cache_dir)
+    if remote_cache_url is not None:
+        _overrides["remote_cache_url"] = str(remote_cache_url)
 
 
 def reset_config():
@@ -97,26 +114,47 @@ def reset_config():
         _overrides[key] = None
 
 
+#: One client (and connection pool) per remote URL per process: a fresh
+#: backend per ``Session.store`` access would open a new connection for
+#: every artifact.
+_REMOTE_CLIENTS = {}
+
+
+def _remote_client(url):
+    client = _REMOTE_CLIENTS.get(url)
+    if client is None:
+        from repro.engine.remote import RemoteBackend
+
+        client = _REMOTE_CLIENTS[url] = RemoteBackend(url)
+    return client
+
+
 def backend_for(config):
     """Build the :class:`StoreBackend` a resolved config describes.
 
     ``None`` when the disk layer is disabled; a plain
     :class:`LocalDirBackend` normally; a read-through
     :class:`TieredBackend` (local over shared) when a shared tier is
-    configured.  ``disk_cache=False`` wins over everything — it disables
-    the *whole* persistent layer, shared tier included (there is no
-    local tier to promote into, and the contract of ``--no-cache`` is
-    "this invocation touches no store at all").
+    configured; the remote store, when configured, is the outermost
+    tier — read-through with local promotion and **write-through** so
+    every fresh result publishes to the shared server (composition:
+    ``(local over shared-dir) over remote``).  ``disk_cache=False`` wins
+    over everything — it disables the *whole* persistent layer, shared
+    and remote tiers included (there is no local tier to promote into,
+    and the contract of ``--no-cache`` is "this invocation touches no
+    store at all").
     """
     if not config.disk_cache:
         return None
-    local = LocalDirBackend(config.cache_dir)
+    store = LocalDirBackend(config.cache_dir)
     if config.shared_cache_dir is not None:
         # touch_on_load=False: readers must not rewrite mtimes on the
         # shared mount (its owner's LRU eviction order is not ours).
         shared = LocalDirBackend(config.shared_cache_dir, touch_on_load=False)
-        return TieredBackend(local, shared)
-    return local
+        store = TieredBackend(store, shared)
+    if config.remote_cache_url is not None:
+        store = TieredBackend(store, _remote_client(config.remote_cache_url), write_through=True)
+    return store
 
 
 def active_store():

@@ -52,6 +52,7 @@ class Session:
         cache_dir=None,
         disk_cache=None,
         shared_cache_dir=None,
+        remote_cache_url=None,
         backend=None,
         trace_memo=None,
     ):
@@ -60,6 +61,9 @@ class Session:
         self._disk_cache = None if disk_cache is None else bool(disk_cache)
         self._shared_cache_dir = (
             None if shared_cache_dir is None else Path(shared_cache_dir)
+        )
+        self._remote_cache_url = (
+            None if remote_cache_url is None else str(remote_cache_url)
         )
         self._explicit_backend = backend
         self._trace_memo = {} if trace_memo is None else trace_memo
@@ -81,6 +85,11 @@ class Session:
                 self._shared_cache_dir
                 if self._shared_cache_dir is not None
                 else base.shared_cache_dir
+            ),
+            remote_cache_url=(
+                self._remote_cache_url
+                if self._remote_cache_url is not None
+                else base.remote_cache_url
             ),
         )
 
@@ -263,6 +272,7 @@ def _init_worker(cfg, explicit_backend, no_store=False):
         cache_dir=cfg.cache_dir,
         disk_cache=cfg.disk_cache,
         shared_cache_dir=cfg.shared_cache_dir,
+        remote_cache_url=cfg.remote_cache_url,
     )
     _WORKER_SESSION = Session(
         jobs=1,

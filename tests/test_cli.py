@@ -27,6 +27,20 @@ class TestParser:
         with pytest.raises(SystemExit):
             _parse_dram("1ch-9999")
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8787
+        assert args.read_only is False
+        assert args.serve_cache_dir is None
+
+    def test_serve_cache_dir_does_not_clobber_global_flag(self):
+        args = build_parser().parse_args(["--cache-dir", "/tmp/global", "serve"])
+        assert args.cache_dir == "/tmp/global"
+        assert args.serve_cache_dir is None
+        args = build_parser().parse_args(["serve", "--cache-dir", "/tmp/served"])
+        assert args.serve_cache_dir == "/tmp/served"
+
 
 class TestCommands:
     def test_list_workloads(self, capsys):
@@ -199,3 +213,29 @@ class TestEngineFlags:
         run_workload("ispec06.hmmer", "none", 400)
         assert main(["cache", "gc", "--max-mb", "512"]) == 0
         assert active_store().stats()["results"] == 1
+
+    def test_remote_cache_flag_configures_engine(self, capsys, tmp_path):
+        from repro.engine import current_config
+        from repro.engine.remote import serve_background
+
+        server, thread = serve_background(tmp_path / "served")
+        try:
+            assert main(["--remote-cache", server.url, "cache"]) == 0
+            assert current_config().remote_cache_url == server.url
+            out = capsys.readouterr().out
+            assert server.url in out
+            assert "0 results, 0 traces" in out
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5.0)
+
+    def test_cache_show_reports_unreachable_remote(self, capsys):
+        from repro.engine.remote import RemoteBackend
+
+        RemoteBackend._warned_unreachable.clear()
+        url = "http://127.0.0.1:9"  # discard port: nothing listens
+        assert main(["--remote-cache", url, "cache"]) == 0
+        out = capsys.readouterr().out
+        assert url in out
+        assert "unreachable" in out
