@@ -1,0 +1,238 @@
+"""Sweep-farm smoke: a two-worker farm survives a SIGKILLed worker.
+
+End-to-end proof of the fault-tolerant distributed execution path
+(``repro serve`` coordinator + ``repro work`` peers +
+``Session.run(distributed=True)``), run as a plain script (CI gates on
+its exit code):
+
+1. compute a fig-grid slice (3 workloads x 3 schemes) locally — the
+   bit-identity reference;
+2. start a real ``repro serve`` subprocess (coordinator + store) and two
+   real ``repro work`` subprocesses with separate local cache dirs and a
+   short lease TTL;
+3. SIGKILL one worker mid-sweep while a submitting session runs the
+   same grid with ``distributed=True``;
+4. assert the sweep completes within its timeout, bit-identical to the
+   local reference, with every spec accounted for exactly once
+   (prefetched / completed remotely / computed locally / quarantined)
+   and the queue's books balanced.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/farm_smoke.py --length 4000
+"""
+
+import argparse
+import json
+import re
+import select
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+WORKLOADS = ("ispec06.mcf", "hpc.linpack", "cloud.bigbench")
+SCHEMES = ("none", "spp", "dspatch")
+
+
+def _await_line(proc, pattern, deadline_s=30.0, label="process"):
+    """Read stdout until ``pattern`` matches (select-guarded, bounded)."""
+    deadline = time.time() + deadline_s
+    line = ""
+    while time.time() < deadline and proc.poll() is None:
+        ready, _, _ = select.select([proc.stdout], [], [], deadline - time.time())
+        if not ready:
+            break
+        line = proc.stdout.readline()
+        match = re.search(pattern, line)
+        if match is not None:
+            return match
+    proc.kill()
+    raise RuntimeError(f"{label} never came up (last line: {line!r})")
+
+
+def start_server(cache_dir):
+    """Spawn ``repro serve`` on an ephemeral port; return (proc, url)."""
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--cache-dir",
+            str(cache_dir),
+            "--port",
+            "0",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    match = _await_line(proc, r"on (http://[\d.]+:\d+)", label="repro serve")
+    return proc, match.group(1)
+
+
+def start_worker(url, cache_dir, ttl):
+    """Spawn ``repro work`` against the coordinator; wait for readiness."""
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "--cache-dir",
+            str(cache_dir),
+            "work",
+            url,
+            "--poll-interval",
+            "0.1",
+            "--ttl",
+            str(ttl),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    _await_line(proc, r"^working for ", label="repro work")
+    return proc
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--length", type=int, default=4000, help="ops per run")
+    parser.add_argument(
+        "--ttl",
+        type=float,
+        default=5.0,
+        help="worker lease TTL in seconds; the SIGKILLed worker's spec is "
+        "re-leased after this long (default 5)",
+    )
+    parser.add_argument(
+        "--kill-after",
+        type=float,
+        default=0.5,
+        help="seconds into the sweep before one worker is SIGKILLed "
+        "(default 0.5 — early enough to land mid-compute, stranding a "
+        "lease for the TTL-expiry path)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=180.0,
+        help="submitter's distributed-sweep budget in seconds (default 180)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.engine import QueueClient, RunSpec, Session
+    from repro.engine import config as engine_config
+
+    specs = [RunSpec(w, s, args.length) for w in WORKLOADS for s in SCHEMES]
+
+    with tempfile.TemporaryDirectory(prefix="repro-farm-smoke-") as tmp:
+        tmp = Path(tmp)
+
+        # Ground truth: a purely local session.
+        reference = Session(cache_dir=tmp / "reference").run(specs)
+
+        proc, url = start_server(tmp / "served")
+        workers = []
+        try:
+            workers = [
+                start_worker(url, tmp / f"worker-{i}", args.ttl) for i in range(2)
+            ]
+
+            # SIGKILL worker 0 mid-sweep (no cleanup, no lease release —
+            # exactly what an OOM kill or a yanked power cord looks like).
+            import threading
+
+            killer = threading.Timer(
+                args.kill_after, lambda: workers[0].send_signal(signal.SIGKILL)
+            )
+            killer.start()
+
+            submitter = Session(cache_dir=tmp / "submitter", remote_cache_url=url)
+            t0 = time.perf_counter()
+            farm = submitter.run(specs, distributed=True, timeout=args.timeout)
+            sweep_s = time.perf_counter() - t0
+            killer.cancel()
+            report = dict(submitter.last_distributed)
+
+            queue_stats = QueueClient(engine_config._remote_client(url)).stats()
+
+            workers[0].wait(timeout=10)
+            killed_rc = workers[0].returncode
+        finally:
+            for worker in workers:
+                if worker.poll() is None:
+                    worker.terminate()  # graceful: releases unfinished leases
+                    try:
+                        worker.wait(timeout=10)
+                    except subprocess.TimeoutExpired:
+                        worker.kill()
+            proc.terminate()
+            proc.wait(timeout=10)
+
+    mismatches = sum(a.to_dict() != b.to_dict() for a, b in zip(reference, farm))
+    accounted = (
+        report["prefetched"] + report["remote"] + report["local"] + report["quarantined"]
+    )
+    counters = (queue_stats or {}).get("counters", {})
+    summary = {
+        "specs": len(specs),
+        "sweep_seconds": round(sweep_s, 3),
+        "mismatches": mismatches,
+        "report": report,
+        "killed_worker_returncode": killed_rc,
+        "queue": {
+            "tasks": (queue_stats or {}).get("tasks"),
+            "completed": (queue_stats or {}).get("completed"),
+            "pending": (queue_stats or {}).get("pending"),
+            "leased": (queue_stats or {}).get("leased"),
+            "quarantined": (queue_stats or {}).get("quarantined"),
+            "expired_leases": counters.get("expired_leases", 0),
+        },
+    }
+    print(json.dumps(summary, indent=2))
+
+    failures = []
+    if mismatches:
+        failures.append(f"{mismatches} farm results differ from the local reference")
+    if accounted != len(specs):
+        failures.append(
+            f"outcome accounting is off: {accounted} accounted, {len(specs)} specs"
+        )
+    if report["quarantined"]:
+        failures.append(f"{report['quarantined']} specs were quarantined")
+    if report["prefetched"] + report["remote"] == 0:
+        failures.append("the farm delivered nothing (all specs computed locally)")
+    if killed_rc != -signal.SIGKILL:
+        failures.append(f"worker 0 exited {killed_rc}, expected SIGKILL (-9)")
+    if queue_stats is None:
+        failures.append("coordinator stopped answering queue stats")
+    else:
+        books = (
+            queue_stats["completed"]
+            + queue_stats["pending"]
+            + queue_stats["leased"]
+            + queue_stats["quarantined"]
+        )
+        if books != queue_stats["tasks"]:
+            failures.append(
+                f"queue books do not balance: {books} != {queue_stats['tasks']} tasks"
+            )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if failures:
+        return 1
+    print(
+        f"ok: {len(specs)}-spec grid survived a SIGKILLed worker "
+        f"({report['remote']} delivered by the farm, "
+        f"{summary['queue']['expired_leases']} lease(s) expired, "
+        f"{sweep_s:.1f}s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

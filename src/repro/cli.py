@@ -13,7 +13,11 @@ Subcommands:
 - ``cache`` — inspect, clear or garbage-collect (``cache gc --max-mb N``,
   size-bounded LRU eviction) the engine's on-disk result/trace store.
 - ``serve`` — publish a cache directory as an HTTP cache server that
-  other machines reach via ``--remote-cache URL``.
+  other machines reach via ``--remote-cache URL``; doubles as the
+  sweep-farm coordinator (``--max-mb`` keeps it size-bounded,
+  ``--auth-token`` adds shared-secret auth).
+- ``work`` — join a sweep farm: lease specs from a coordinator's work
+  queue, compute them locally, publish the results back.
 
 Global engine flags (before the subcommand): ``--jobs N`` fans
 independent runs across N worker processes, ``--cache-dir PATH``
@@ -170,9 +174,14 @@ def _cmd_sweep(args):
 
 
 def _cmd_serve(args):
+    import os
+
     from repro.engine import current_config, make_server
 
     cache_dir = args.serve_cache_dir or current_config().cache_dir
+    auth_token = args.auth_token or os.environ.get("REPRO_CACHE_TOKEN") or None
+    if args.serve_max_mb is not None and args.serve_max_mb < 0:
+        raise SystemExit(f"--max-mb must be non-negative, got {args.serve_max_mb:g}")
     try:
         server = make_server(
             cache_dir,
@@ -180,10 +189,19 @@ def _cmd_serve(args):
             port=args.port,
             read_only=args.read_only,
             verbose=args.verbose,
+            auth_token=auth_token,
+            gc_max_bytes=(
+                None
+                if args.serve_max_mb is None
+                else int(args.serve_max_mb * 1024 * 1024)
+            ),
+            gc_interval=args.gc_interval,
         )
     except OSError as exc:
         raise SystemExit(f"cannot bind {args.host}:{args.port}: {exc}") from None
     mode = " (read-only)" if args.read_only else ""
+    if auth_token:
+        mode += " (token auth)"
     # The exact "serving ... on <url>" line is the machine-readable
     # readiness signal scripts parse to discover an ephemeral port.
     print(f"serving {cache_dir} on {server.url}{mode}", flush=True)
@@ -193,6 +211,30 @@ def _cmd_serve(args):
         pass
     finally:
         server.server_close()
+    return 0
+
+
+def _cmd_work(args):
+    from repro.engine import Session
+    from repro.engine.workqueue import run_worker
+
+    session = Session(remote_cache_url=args.url)
+    # Readiness line for farm scripts (mirrors serve's "serving ..." line).
+    print(f"working for {args.url}", flush=True)
+    tally = run_worker(
+        args.url,
+        session=session,
+        poll_interval=args.poll_interval,
+        ttl=args.ttl,
+        max_tasks=args.max_tasks,
+        once=args.once,
+        verbose=args.verbose,
+    )
+    print(
+        f"worker {tally['worker']}: {tally['completed']} completed, "
+        f"{tally['failed']} failed, {tally['released']} released",
+        flush=True,
+    )
     return 0
 
 
@@ -365,6 +407,58 @@ def build_parser():
         help="reject PUT/DELETE: clients read this store but cannot grow it",
     )
     serve.add_argument("--verbose", action="store_true", help="log every request to stderr")
+    serve.add_argument(
+        "--max-mb",
+        dest="serve_max_mb",
+        type=float,
+        default=None,
+        help="keep the served store LRU-evicted to this size bound "
+        "(periodic server-side gc; default: unbounded)",
+    )
+    serve.add_argument(
+        "--gc-interval",
+        type=float,
+        default=60.0,
+        help="seconds between server-side gc passes under --max-mb (default 60)",
+    )
+    serve.add_argument(
+        "--auth-token",
+        default=None,
+        help="require this shared secret (X-Repro-Token) on every request "
+        "(default: REPRO_CACHE_TOKEN if set, else no auth)",
+    )
+
+    work = sub.add_parser(
+        "work",
+        help="join a sweep farm: lease specs from a coordinator's work "
+        "queue, compute them, publish the results",
+    )
+    work.add_argument("url", help="coordinator URL (a repro serve instance)")
+    work.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.5,
+        help="seconds between lease attempts when the queue is idle (default 0.5)",
+    )
+    work.add_argument(
+        "--ttl",
+        type=float,
+        default=300.0,
+        help="lease time-to-live in seconds; a spec not completed within "
+        "its TTL is re-leased to another worker (default 300)",
+    )
+    work.add_argument(
+        "--max-tasks",
+        type=int,
+        default=1,
+        help="specs to lease per round trip (default 1)",
+    )
+    work.add_argument(
+        "--once",
+        action="store_true",
+        help="exit as soon as the queue has nothing to lease (drain mode)",
+    )
+    work.add_argument("--verbose", action="store_true", help="log each spec to stderr")
 
     return parser
 
@@ -379,6 +473,7 @@ _HANDLERS = {
     "report": _cmd_report,
     "cache": _cmd_cache,
     "serve": _cmd_serve,
+    "work": _cmd_work,
 }
 
 

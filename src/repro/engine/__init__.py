@@ -14,7 +14,12 @@ surface is the **session API**:
 - :class:`LocalDirBackend` / :class:`InMemoryBackend` /
   :class:`TieredBackend` / :class:`RemoteBackend` — store backends
   (on-disk, ephemeral, read-through local-over-shared, and an HTTP
-  client for a ``repro serve`` cache server).
+  client for a ``repro serve`` cache server);
+- the **sweep farm** (:class:`WorkQueue` / :class:`QueueClient` /
+  :func:`run_worker`) — ``Session.run(specs, distributed=True)`` offers
+  a batch to ``repro work`` peers through the cache server's
+  lease-based work queue, and transparently finishes locally whatever
+  the farm never delivers.
 
 Quick tour::
 
@@ -60,6 +65,13 @@ from repro.engine.remote import CacheServer, RemoteBackend, make_server, serve_b
 from repro.engine.session import Session, default_session
 from repro.engine.specs import MixSpec, RunSpec, TraceSpec
 from repro.engine.store import ResultStore
+from repro.engine.workqueue import (
+    QueueClient,
+    WorkQueue,
+    run_worker,
+    spec_from_wire,
+    spec_to_wire,
+)
 
 __all__ = [
     "CacheServer",
@@ -67,6 +79,7 @@ __all__ = [
     "InMemoryBackend",
     "LocalDirBackend",
     "MixSpec",
+    "QueueClient",
     "RemoteBackend",
     "ResultStore",
     "RunSpec",
@@ -74,6 +87,7 @@ __all__ = [
     "StoreBackend",
     "TieredBackend",
     "TraceSpec",
+    "WorkQueue",
     "active_store",
     "backend_for",
     "code_salt",
@@ -92,6 +106,9 @@ __all__ = [
     "reset_config",
     "run_fingerprint",
     "run_spec",
+    "run_worker",
     "serve_background",
+    "spec_from_wire",
+    "spec_to_wire",
     "trace_fingerprint",
 ]

@@ -429,4 +429,9 @@ class TieredBackend:
             shared = {}
         out.setdefault("shared_results", shared.get("results", 0))
         out.setdefault("shared_traces", shared.get("traces", 0))
+        # A remote shared tier counts the round trips its /v1/has batch
+        # probes avoided; surface it so `repro cache` can show the win.
+        savings = getattr(self.shared, "probe_savings", None)
+        if savings is not None:
+            out.setdefault("probe_round_trips_saved", savings)
         return out

@@ -4,7 +4,9 @@ Resolution order for every knob:
 
 1. an explicit :func:`configure` call (the CLI flags land here);
 2. environment variables (``REPRO_JOBS``, ``REPRO_CACHE_DIR``,
-   ``REPRO_NO_CACHE``, ``REPRO_SHARED_CACHE``, ``REPRO_REMOTE_CACHE``);
+   ``REPRO_NO_CACHE``, ``REPRO_SHARED_CACHE``, ``REPRO_REMOTE_CACHE``;
+   ``REPRO_CACHE_TOKEN`` rides along as the remote store's shared
+   secret);
 3. built-in defaults (sequential, ``~/.cache/dspatch-repro``, disk cache
    enabled, no shared tier, no remote store).
 
@@ -125,7 +127,11 @@ def _remote_client(url):
     if client is None:
         from repro.engine.remote import RemoteBackend
 
-        client = _REMOTE_CLIENTS[url] = RemoteBackend(url)
+        # REPRO_CACHE_TOKEN is the client half of `repro serve
+        # --auth-token`; absent, the header is simply not sent.
+        client = _REMOTE_CLIENTS[url] = RemoteBackend(
+            url, token=os.environ.get("REPRO_CACHE_TOKEN") or None
+        )
     return client
 
 

@@ -12,6 +12,12 @@ module keeps the original tuple-or-function API working:
   objects and the historical ``(kind, ...)`` tuples, and execute through
   the default session — deterministic input-order merge, process-pool
   fan-out when ``jobs > 1``, exactly as before.
+
+Pool-crash semantics (inherited from :meth:`Session._execute`, covered
+by ``tests/test_pool_faults.py``): a worker that *raises* propagates its
+exception out of ``execute_specs`` unchanged; a worker *process* that
+dies (OOM kill, segfault) triggers a sequential recompute of the batch
+with a warning.  Neither hangs the caller.
 """
 
 from repro.engine.specs import SPEC_TYPES, MixSpec, RunSpec

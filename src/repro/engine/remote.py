@@ -24,10 +24,22 @@ Wire format (version ``v1``, documented in ``docs/engine.md``):
 - ``DELETE /v1/artifacts`` — clear the whole store (``403`` read-only).
 - ``GET  /v1/stats`` — JSON ``{"results", "traces", "bytes",
   "read_only"}``.
+- ``POST /v1/has`` — batch existence probe: ``{"results": [digest...],
+  "traces": [...]}`` in, per-digest hit maps out, so a submitter's
+  dedup pass costs one round trip instead of N HEADs.
+- ``POST /v1/queue/...`` + ``GET /v1/queue/stats`` — the sweep-farm
+  work queue (:mod:`repro.engine.workqueue`); queue mutations are
+  ``403`` in read-only mode like every other mutation.
 
 ``<digest>`` must be lowercase hex (8–64 chars), which both validates
 the content-addressed key shape and makes path traversal structurally
 impossible.
+
+Optionally the server requires a shared secret (``repro serve
+--auth-token`` / ``REPRO_CACHE_TOKEN``): every request must then carry
+it in ``X-Repro-Token`` (compared constant-time) or is answered ``401``.
+Clients treat a 401 exactly like the read-only 403 path — degrade to
+misses/no-ops with one warning, never an exception.
 
 The client is engineered for graceful degradation: the remote store is
 an optimization, so *any* network, protocol or decode failure is a
@@ -36,6 +48,7 @@ stderr — never an exception out of a simulation run.
 """
 
 import hashlib
+import hmac
 import http.client
 import io
 import json
@@ -58,6 +71,11 @@ _DIGEST_RE = re.compile(r"^[0-9a-f]{8,64}$")
 _API = "/v1"
 
 _KINDS = ("results", "traces")
+
+#: Upper bound on JSON request bodies (/v1/has, /v1/queue/*): generous
+#: for real sweeps (a wire task is well under 1 KiB) while keeping a
+#: hostile Content-Length from ballooning server memory.
+_MAX_JSON_BODY = 16 << 20
 
 
 def _sha256(data):
@@ -83,6 +101,56 @@ class _CacheRequestHandler(BaseHTTPRequestHandler):
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
         if self.server.verbose:
             super().log_message(format, *args)
+
+    # -- request plumbing ----------------------------------------------------
+
+    def _authorized(self):
+        """Enforce the shared-secret token when the server has one.
+
+        Constant-time comparison so the token cannot be guessed
+        byte-by-byte from response timing.  Answers ``401`` (and returns
+        ``False``) on a missing or wrong token.
+        """
+        token = self.server.auth_token
+        if token is None:
+            return True
+        supplied = self.headers.get("X-Repro-Token") or ""
+        if hmac.compare_digest(supplied.encode(), token.encode()):
+            return True
+        self.send_error(401, "missing or invalid X-Repro-Token")
+        return False
+
+    def _read_json(self):
+        """Parse a bounded JSON object body, or answer an error and
+        return ``None``."""
+        try:
+            length = int(self.headers.get("Content-Length", ""))
+        except ValueError:
+            self.send_error(411, "Content-Length required")
+            return None
+        if length < 0:
+            self.send_error(400, "negative Content-Length")
+            return None
+        if length > _MAX_JSON_BODY:
+            self.send_error(413, "request body too large")
+            return None
+        body = self.rfile.read(length)
+        if len(body) != length:
+            self.send_error(400, "truncated request body")
+            return None
+        try:
+            decoded = json.loads(body)
+        except ValueError:
+            self.send_error(400, "body must be valid JSON")
+            return None
+        if not isinstance(decoded, dict):
+            self.send_error(400, "body must be a JSON object")
+            return None
+        return decoded
+
+    def _send_json(self, obj, status=200):
+        body = json.dumps(obj, sort_keys=True).encode()
+        self._send_bytes(status, body, content_type="application/json")
 
     # -- routing -------------------------------------------------------------
 
@@ -120,11 +188,16 @@ class _CacheRequestHandler(BaseHTTPRequestHandler):
     # -- verbs ---------------------------------------------------------------
 
     def do_GET(self):
-        if self.path.split("?", 1)[0] == f"{_API}/stats":
+        if not self._authorized():
+            return
+        url = self.path.split("?", 1)[0]
+        if url == f"{_API}/stats":
             stats = dict(self.server.store.stats())
             stats["read_only"] = self.server.read_only
-            body = json.dumps(stats, sort_keys=True).encode()
-            self._send_bytes(200, body, content_type="application/json")
+            self._send_json(stats)
+            return
+        if url == f"{_API}/queue/stats":
+            self._send_json(self.server.queue.stats())
             return
         path = self._artifact_path()
         if path is None:
@@ -139,6 +212,8 @@ class _CacheRequestHandler(BaseHTTPRequestHandler):
     do_HEAD = do_GET
 
     def do_PUT(self):
+        if not self._authorized():
+            return
         path = self._artifact_path()
         if path is None:
             return
@@ -171,6 +246,8 @@ class _CacheRequestHandler(BaseHTTPRequestHandler):
         self._send_bytes(201, b"")
 
     def do_DELETE(self):
+        if not self._authorized():
+            return
         if self.path.split("?", 1)[0] != f"{_API}/artifacts":
             self.send_error(404, "unknown path")
             return
@@ -180,19 +257,116 @@ class _CacheRequestHandler(BaseHTTPRequestHandler):
         self.server.store.clear()
         self._send_bytes(204, b"")
 
+    def do_POST(self):
+        if not self._authorized():
+            return
+        url = self.path.split("?", 1)[0]
+        body = self._read_json()
+        if body is None:
+            return
+        if url == f"{_API}/has":
+            self._handle_has(body)
+            return
+        prefix = f"{_API}/queue/"
+        if not url.startswith(prefix):
+            self.send_error(404, "unknown path")
+            return
+        if self.server.read_only:
+            # The queue hands out compute whose results are PUT back;
+            # a read-only store cannot accept them, so the whole queue
+            # namespace is read-only too.
+            self.send_error(403, "server is read-only")
+            return
+        action = url[len(prefix) :]
+        queue = self.server.queue
+        try:
+            if action == "submit":
+                tasks = body.get("tasks")
+                if not isinstance(tasks, list):
+                    raise ValueError("tasks must be a list")
+                out = queue.submit(tasks)
+            elif action == "lease":
+                out = {
+                    "leases": queue.lease(
+                        str(body.get("worker") or ""),
+                        max_tasks=body.get("max", 1),
+                        ttl=body.get("ttl"),
+                    )
+                }
+            elif action == "complete":
+                out = queue.complete(
+                    str(body.get("digest") or ""),
+                    body.get("lease"),
+                    worker=body.get("worker"),
+                )
+            elif action == "fail":
+                out = queue.fail(
+                    str(body.get("digest") or ""),
+                    body.get("lease"),
+                    worker=body.get("worker"),
+                    error=str(body.get("error") or ""),
+                )
+            elif action == "release":
+                out = queue.release(worker=body.get("worker"))
+            else:
+                self.send_error(404, "unknown queue action")
+                return
+        except (TypeError, ValueError) as exc:
+            self.send_error(400, str(exc))
+            return
+        self._send_json(out)
+
+    def _handle_has(self, body):
+        """Answer the batch existence probe: per-digest boolean hit maps."""
+        store = self.server.store
+        out = {}
+        for kind in _KINDS:
+            digests = body.get(kind, [])
+            if not isinstance(digests, list):
+                self.send_error(400, f"{kind} must be a list of digests")
+                return
+            hits = {}
+            for digest in digests:
+                if not (isinstance(digest, str) and _DIGEST_RE.fullmatch(digest)):
+                    self.send_error(400, "digest must be 8-64 lowercase hex chars")
+                    return
+                path = (
+                    store._result_path(digest)
+                    if kind == "results"
+                    else store._trace_path(digest)
+                )
+                hits[digest] = path.is_file()
+            out[kind] = hits
+        self._send_json(out)
+
 
 class CacheServer(ThreadingHTTPServer):
     """Threaded HTTP server publishing one cache directory.
 
-    ``read_only=True`` turns every mutating verb (PUT/DELETE) into a
-    ``403`` — the mode for publishing a curated store (a CI artifact
-    cache, a reference-results host) that clients may read but not
-    grow.
+    ``read_only=True`` turns every mutating verb (PUT/DELETE, and the
+    whole queue namespace) into a ``403`` — the mode for publishing a
+    curated store (a CI artifact cache, a reference-results host) that
+    clients may read but not grow.
+
+    The server doubles as the sweep-farm coordinator (``self.queue``, a
+    :class:`~repro.engine.workqueue.WorkQueue`) and can keep a
+    long-lived team cache bounded: ``gc_max_bytes`` starts a daemon
+    thread that re-runs :meth:`LocalDirBackend.gc` (LRU-by-mtime
+    eviction) every ``gc_interval`` seconds.
     """
 
     daemon_threads = True
 
-    def __init__(self, address, cache_dir, read_only=False, verbose=False):
+    def __init__(
+        self,
+        address,
+        cache_dir,
+        read_only=False,
+        verbose=False,
+        auth_token=None,
+        gc_max_bytes=None,
+        gc_interval=60.0,
+    ):
         super().__init__(address, _CacheRequestHandler)
         #: Path helpers + atomic writes + stats over the served tree.
         #: touch_on_load is irrelevant (the server never loads objects),
@@ -200,6 +374,38 @@ class CacheServer(ThreadingHTTPServer):
         self.store = LocalDirBackend(cache_dir, touch_on_load=False)
         self.read_only = read_only
         self.verbose = verbose
+        self.auth_token = auth_token or None
+        from repro.engine.workqueue import WorkQueue
+
+        self.queue = WorkQueue(have_artifact=self._have_artifact)
+        self._gc_stop = threading.Event()
+        self._gc_thread = None
+        if gc_max_bytes:
+            self.gc_max_bytes = int(gc_max_bytes)
+            self.gc_interval = max(0.05, float(gc_interval))
+            self._gc_thread = threading.Thread(target=self._gc_loop, daemon=True)
+            self._gc_thread.start()
+
+    def _have_artifact(self, kind, digest):
+        """Completion oracle for the queue: do the bytes actually exist?"""
+        store = self.store
+        path = (
+            store._trace_path(digest) if kind == "trace" else store._result_path(digest)
+        )
+        return path.is_file()
+
+    def _gc_loop(self):
+        while True:
+            try:
+                self.store.gc(self.gc_max_bytes)
+            except OSError:
+                pass  # best-effort, like every other eviction path
+            if self._gc_stop.wait(self.gc_interval):
+                return
+
+    def server_close(self):
+        self._gc_stop.set()
+        super().server_close()
 
     @property
     def url(self):
@@ -207,18 +413,51 @@ class CacheServer(ThreadingHTTPServer):
         return f"http://{host}:{port}"
 
 
-def make_server(cache_dir, host="127.0.0.1", port=0, read_only=False, verbose=False):
+def make_server(
+    cache_dir,
+    host="127.0.0.1",
+    port=0,
+    read_only=False,
+    verbose=False,
+    auth_token=None,
+    gc_max_bytes=None,
+    gc_interval=60.0,
+):
     """Bind a :class:`CacheServer` (``port=0`` = ephemeral)."""
-    return CacheServer((host, port), cache_dir, read_only=read_only, verbose=verbose)
+    return CacheServer(
+        (host, port),
+        cache_dir,
+        read_only=read_only,
+        verbose=verbose,
+        auth_token=auth_token,
+        gc_max_bytes=gc_max_bytes,
+        gc_interval=gc_interval,
+    )
 
 
-def serve_background(cache_dir, host="127.0.0.1", port=0, read_only=False):
+def serve_background(
+    cache_dir,
+    host="127.0.0.1",
+    port=0,
+    read_only=False,
+    auth_token=None,
+    gc_max_bytes=None,
+    gc_interval=60.0,
+):
     """Start a server on a daemon thread; returns ``(server, thread)``.
 
     For tests and in-process demos: ``server.url`` is the base URL,
     ``server.shutdown()`` stops it.
     """
-    server = make_server(cache_dir, host=host, port=port, read_only=read_only)
+    server = make_server(
+        cache_dir,
+        host=host,
+        port=port,
+        read_only=read_only,
+        auth_token=auth_token,
+        gc_max_bytes=gc_max_bytes,
+        gc_interval=gc_interval,
+    )
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
     return server, thread
@@ -265,9 +504,17 @@ class RemoteBackend:
     #: (class-level: once per process per server, not once per instance).
     _warned_unreachable = set()
     _warned_read_only = set()
+    _warned_auth = set()
 
     def __init__(
-        self, url, timeout=5.0, retries=2, backoff=0.1, pool_size=4, cooldown=30.0
+        self,
+        url,
+        timeout=5.0,
+        retries=2,
+        backoff=0.1,
+        pool_size=4,
+        cooldown=30.0,
+        token=None,
     ):
         split = urlsplit(url if "//" in url else f"http://{url}")
         if split.scheme != "http":
@@ -292,8 +539,15 @@ class RemoteBackend:
         #: further requests short-circuit to misses for this many
         #: seconds instead of each paying the full retry x timeout cost.
         self.cooldown = float(cooldown)
+        #: Shared secret sent as ``X-Repro-Token`` on every request when
+        #: the server requires one (``repro serve --auth-token``).
+        self.token = token or None
         self._down_until = 0.0
         self._read_only = False
+        #: Batch-probe accounting (``/v1/has``): digests checked vs
+        #: round trips paid; surfaced as :attr:`probe_savings`.
+        self._probe_digests = 0
+        self._probe_calls = 0
         self._init_pool()
 
     def _init_pool(self):
@@ -346,9 +600,12 @@ class RemoteBackend:
         for attempt in range(self.retries + 1):
             if attempt:
                 time.sleep(self.backoff * (2 ** (attempt - 1)))
+            request_headers = dict(headers or {})
+            if self.token:
+                request_headers.setdefault("X-Repro-Token", self.token)
             conn = self._checkout()
             try:
-                conn.request(method, path, body=body, headers=headers or {})
+                conn.request(method, path, body=body, headers=request_headers)
                 response = conn.getresponse()
                 payload = response.read()
             except (OSError, http.client.HTTPException) as exc:
@@ -391,12 +648,29 @@ class RemoteBackend:
                 file=sys.stderr,
             )
 
+    def _note_auth(self):
+        """A 401: wrong/missing shared secret.  Degrade exactly like the
+        read-only 403 path — stop pushing, treat loads as misses, one
+        warning per URL per process."""
+        self._read_only = True
+        if self.url not in RemoteBackend._warned_auth:
+            RemoteBackend._warned_auth.add(self.url)
+            print(
+                f"warning: remote cache at {self.url} rejected our credentials "
+                "(HTTP 401); treating it as a miss "
+                "(set REPRO_CACHE_TOKEN to match the server)",
+                file=sys.stderr,
+            )
+
     def _fetch(self, kind, digest):
         """Verified artifact bytes for one key, or ``None`` on any miss."""
         response = self._request("GET", f"{_API}/{kind}/{digest}")
         if response is None:
             return None
         status, headers, payload = response
+        if status == 401:
+            self._note_auth()
+            return None
         if status != 200:
             return None  # 404 and friends: an honest miss, no warning
         expected = headers.get("x-repro-sha256")
@@ -416,6 +690,8 @@ class RemoteBackend:
         )
         if response is not None and response[0] == 403:
             self._note_read_only()
+        elif response is not None and response[0] == 401:
+            self._note_auth()
 
     # -- StoreBackend surface ------------------------------------------------
 
@@ -451,6 +727,46 @@ class RemoteBackend:
         buffer = io.BytesIO()
         trace.save(buffer)
         self._push("traces", digest, buffer.getvalue())
+
+    def has_batch(self, results=(), traces=()):
+        """Batch existence probe: one round trip for many digests.
+
+        Returns ``{"results": {digest: bool}, "traces": {...}}`` or
+        ``None`` when the server is unreachable, pre-dates ``/v1/has``
+        (404) or refuses auth — callers fall back to per-digest loads.
+        """
+        results, traces = list(results), list(traces)
+        payload = json.dumps({"results": results, "traces": traces}).encode()
+        response = self._request(
+            "POST",
+            f"{_API}/has",
+            body=payload,
+            headers={"Content-Type": "application/json"},
+        )
+        if response is None:
+            return None
+        if response[0] == 401:
+            self._note_auth()
+            return None
+        if response[0] != 200:
+            return None
+        try:
+            decoded = json.loads(response[2])
+        except ValueError:
+            return None
+        if not isinstance(decoded, dict):
+            return None
+        # Count savings only for probes that actually worked.
+        self._probe_digests += len(results) + len(traces)
+        self._probe_calls += 1
+        return decoded
+
+    @property
+    def probe_savings(self):
+        """Round trips avoided by batch probes: digests checked minus
+        ``/v1/has`` calls paid (each digest would otherwise cost one
+        HEAD/GET)."""
+        return max(0, self._probe_digests - self._probe_calls)
 
     def clear(self):
         """Ask the server to clear the store (no-op if refused/offline)."""

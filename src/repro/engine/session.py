@@ -24,13 +24,20 @@ configuration dynamically from :mod:`repro.engine.config` (env vars,
 ``configure()``, CLI flags) and backs every legacy ``runner`` function.
 """
 
+import sys
+import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from pathlib import Path
 
 from repro.engine import compute
 from repro.engine import config as _config
 from repro.engine.config import EngineConfig, backend_for
 from repro.engine.specs import SPEC_TYPES, MixSpec, RunSpec, TraceSpec
+
+#: Wall-clock budget for a distributed sweep before the session stops
+#: waiting on the farm and computes the stragglers itself.
+DEFAULT_DISTRIBUTED_TIMEOUT = 600.0
 
 
 class Session:
@@ -69,6 +76,13 @@ class Session:
         self._trace_memo = {} if trace_memo is None else trace_memo
         self._run_memo = {}
         self._mix_memo = {}
+        #: Messages already warned by the distributed path (once per
+        #: session per condition, not once per poll iteration).
+        self._farm_warned = set()
+        #: Outcome accounting of the most recent ``run(distributed=True)``:
+        #: disjoint counts (prefetched/remote/local/quarantined) summing
+        #: to the deduplicated spec count.  ``None`` until one runs.
+        self.last_distributed = None
 
     # -- configuration -------------------------------------------------------
 
@@ -108,7 +122,7 @@ class Session:
             spec = TraceSpec(spec, length)
         return compute.produce_trace_with(spec, self.store, self._trace_memo)
 
-    def run(self, specs, jobs=None):
+    def run(self, specs, jobs=None, *, distributed=False, timeout=None):
         """Execute specs; returns results in input order.
 
         Accepts one spec (returns its result) or any iterable mixing
@@ -117,6 +131,19 @@ class Session:
         deduplicated and executed — across a process pool when ``jobs``
         (or the session's configured ``jobs``) exceeds 1 — then merged
         back deterministically in input order.
+
+        ``distributed=True`` additionally offers the deduplicated misses
+        to the sweep farm behind this session's remote cache (see
+        :mod:`repro.engine.workqueue`): specs are submitted to the
+        coordinator's work queue, ``repro work`` peers compute and
+        publish them, and the session polls the store — anything the
+        farm has not delivered within ``timeout`` seconds (default
+        ``DEFAULT_DISTRIBUTED_TIMEOUT``), plus anything quarantined or
+        stranded by a dead coordinator, is computed locally.  Results
+        are bit-identical to a purely local run by construction
+        (content-addressed artifacts), and no farm failure mode can
+        raise out of ``run`` — the worst case is local compute with a
+        warning.  Outcome counts land in :attr:`last_distributed`.
         """
         single = isinstance(specs, SPEC_TYPES)
         spec_list = [specs] if single else list(specs)
@@ -140,7 +167,10 @@ class Session:
                 if key not in positions:
                     positions[key] = len(unique_specs)
                     unique_specs.append(spec_list[i])
-            computed = self._execute(unique_specs, jobs)
+            if distributed:
+                computed = self._execute_distributed(unique_specs, jobs, timeout)
+            else:
+                computed = self._execute(unique_specs, jobs)
             for i in miss_indices:
                 memo, key = slots[i]
                 result = computed[positions[key]]
@@ -207,24 +237,217 @@ class Session:
             computed = [self._produce(todo[0])]
             produced_inline = True
         elif todo:
-            with ProcessPoolExecutor(
-                max_workers=min(workers, len(todo)),
-                initializer=_init_worker,
-                initargs=(
-                    cfg,
-                    backend if backend_is_shared else None,
-                    # An explicit process-local backend also disables the
-                    # workers' config-derived store: the parent session
-                    # never touches that store, so neither may its workers.
-                    backend is not None and not backend_is_shared,
-                ),
-            ) as pool:
-                computed = list(pool.map(_worker_produce, todo))
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=min(workers, len(todo)),
+                    initializer=_init_worker,
+                    initargs=(
+                        cfg,
+                        backend if backend_is_shared else None,
+                        # An explicit process-local backend also disables the
+                        # workers' config-derived store: the parent session
+                        # never touches that store, so neither may its workers.
+                        backend is not None and not backend_is_shared,
+                    ),
+                ) as pool:
+                    computed = list(pool.map(_worker_produce, todo))
+            except BrokenProcessPool:
+                # A worker *process* died (OOM kill, segfault, os._exit)
+                # rather than raising — the pool cannot say which specs
+                # finished, so recompute the batch sequentially.  Specs
+                # the dead pool already persisted are store hits, so the
+                # retry only pays for the genuinely lost work.  A spec
+                # that raises an ordinary exception still propagates
+                # unchanged (a clear error beats a silent retry loop).
+                print(
+                    "warning: a pool worker process died mid-sweep; "
+                    "recomputing its specs sequentially",
+                    file=sys.stderr,
+                )
+                computed = [self._produce(spec) for spec in todo]
         if backend is not None and not backend_is_shared and not produced_inline:
             for spec, result in zip(todo, computed):
                 compute.save_artifact(spec, result, backend)
         fresh = iter(computed)
         return [hit if hit is not None else next(fresh) for hit in results]
+
+    # -- distributed execution -----------------------------------------------
+
+    def _farm_warn(self, message):
+        if message not in self._farm_warned:
+            self._farm_warned.add(message)
+            print(f"warning: {message}", file=sys.stderr)
+
+    def _execute_distributed(self, specs, jobs, timeout):
+        """Offer deduplicated miss specs to the sweep farm; poll; finish
+        locally.
+
+        The farm is an optimization with the same contract as the remote
+        cache itself: every failure mode (unreachable or restarted
+        coordinator, quarantined specs, slow or absent workers, probe
+        protocol errors) degrades to local compute with a warning, never
+        an exception and never a hang beyond ``timeout``.
+        """
+        from repro.engine.workqueue import QueueClient, spec_to_wire
+
+        report = {
+            "specs": len(specs),
+            "prefetched": 0,
+            "remote": 0,
+            "local": 0,
+            "quarantined": 0,
+            "resubmitted": 0,
+            "submitted": 0,
+        }
+        self.last_distributed = report
+        url = self.config().remote_cache_url
+        store = self.store
+        if url is None or store is None:
+            self._farm_warn(
+                "distributed=True needs a remote cache "
+                "(remote_cache_url / --remote-cache); computing locally"
+            )
+            report["local"] = len(specs)
+            return self._execute(specs, jobs)
+        client = QueueClient(_config._remote_client(url))
+
+        results = [None] * len(specs)
+        wire = {}
+        local_indices = []  # never leave this machine
+        outstanding = []  # waiting on the farm
+        quarantined_indices = []
+        for i, spec in enumerate(specs):
+            try:
+                wire[i] = spec_to_wire(spec)
+            except TypeError:
+                # Not wire-encodable (exotic dram model): local only.
+                local_indices.append(i)
+            else:
+                outstanding.append(i)
+
+        def _probe(indices):
+            """One /v1/has round trip for these indices; None degrades."""
+            want = {"results": [], "traces": []}
+            for i in indices:
+                kind = "traces" if wire[i]["kind"] == "trace" else "results"
+                want[kind].append(wire[i]["digest"])
+            return client.backend.has_batch(
+                results=want["results"], traces=want["traces"]
+            )
+
+        def _collect(indices, hits):
+            """Pull delivered artifacts through the tiered store (which
+            promotes them locally); returns the still-missing indices."""
+            missing = []
+            for i in indices:
+                kind = "traces" if wire[i]["kind"] == "trace" else "results"
+                if (hits.get(kind) or {}).get(wire[i]["digest"]):
+                    loaded = compute.load_artifact(specs[i], store)
+                    if loaded is not None:
+                        results[i] = loaded
+                        continue
+                missing.append(i)
+            return missing
+
+        farm_alive = True
+        if outstanding:
+            # Pre-submission probe: anything the store already has is a
+            # plain cache hit, not farm work — one round trip for all.
+            hits = _probe(outstanding)
+            if hits is not None:
+                before = len(outstanding)
+                outstanding = _collect(outstanding, hits)
+                report["prefetched"] = before - len(outstanding)
+
+        epoch = None
+        if outstanding:
+            submitted = client.submit([wire[i] for i in outstanding])
+            if submitted is None:
+                self._farm_warn(
+                    f"sweep-farm coordinator at {url} is unavailable; "
+                    "computing locally"
+                )
+                farm_alive = False
+            else:
+                epoch = submitted.get("epoch")
+                report["submitted"] = len(outstanding)
+
+        if outstanding and farm_alive:
+            budget = DEFAULT_DISTRIBUTED_TIMEOUT if timeout is None else float(timeout)
+            deadline = time.monotonic() + max(0.0, budget)
+            delay = 0.05
+            resubmits = 0
+            while outstanding and time.monotonic() < deadline:
+                time.sleep(delay)
+                delay = min(delay * 2, 1.0)
+                stats = client.stats()
+                if stats is None:
+                    self._farm_warn(
+                        f"sweep-farm coordinator at {url} stopped responding; "
+                        "finishing the sweep locally"
+                    )
+                    break
+                if epoch is not None and stats.get("epoch") != epoch:
+                    # The coordinator restarted with an empty in-memory
+                    # queue; the store survived, so resubmit what's left.
+                    if resubmits >= 2:
+                        self._farm_warn(
+                            "sweep-farm coordinator keeps restarting; "
+                            "finishing the sweep locally"
+                        )
+                        break
+                    resub = client.submit([wire[i] for i in outstanding])
+                    if resub is None:
+                        break
+                    epoch = resub.get("epoch")
+                    resubmits += 1
+                    report["resubmitted"] += len(outstanding)
+                    continue
+                poison = stats.get("quarantined_digests") or {}
+                if poison:
+                    still = []
+                    for i in outstanding:
+                        digest = wire[i]["digest"]
+                        if digest in poison:
+                            self._farm_warn(
+                                f"farm quarantined spec {digest[:12]} "
+                                f"({poison[digest]}); computing it locally"
+                            )
+                            quarantined_indices.append(i)
+                        else:
+                            still.append(i)
+                    outstanding = still
+                    if not outstanding:
+                        break
+                hits = _probe(outstanding)
+                if hits is None:
+                    self._farm_warn(
+                        f"sweep-farm coordinator at {url} stopped responding; "
+                        "finishing the sweep locally"
+                    )
+                    break
+                before = len(outstanding)
+                outstanding = _collect(outstanding, hits)
+                report["remote"] += before - len(outstanding)
+                if outstanding:
+                    delay = 0.05 if before != len(outstanding) else delay
+            if outstanding and time.monotonic() >= deadline:
+                self._farm_warn(
+                    f"sweep farm did not deliver {len(outstanding)} spec(s) "
+                    f"within {budget:.0f}s; computing them locally"
+                )
+
+        # Everything the farm never delivered: the normal local path
+        # (pooled when jobs > 1, write-through publishes to the store so
+        # late workers become duplicate completions, not divergences).
+        leftovers = sorted(local_indices + outstanding + quarantined_indices)
+        if leftovers:
+            computed = self._execute([specs[i] for i in leftovers], jobs)
+            for i, result in zip(leftovers, computed):
+                results[i] = result
+        report["quarantined"] = len(quarantined_indices)
+        report["local"] = len(leftovers) - len(quarantined_indices)
+        return results
 
     # -- maintenance ---------------------------------------------------------
 

@@ -1,0 +1,606 @@
+"""Fault-tolerant distributed sweep execution: a lease-based work queue.
+
+PR 5 made *results* shareable across machines (``repro serve`` +
+``RemoteBackend``); this module makes *compute* shareable.  The cache
+server doubles as a sweep-farm coordinator: a submitting
+:meth:`~repro.engine.session.Session.run` posts its deduplicated spec
+batch to the queue, idle peers running ``repro work URL`` lease specs,
+compute them through the normal engine path, publish the results through
+the existing integrity-checked artifact protocol, and acknowledge the
+lease.  The submitter just polls the store and transparently computes
+anything the farm never delivers.
+
+Robustness is the design center.  Workers crash, hang, lose the network
+and return stale results; every one of those must mean "someone else
+recomputes" — never a hang, never a wrong cache entry:
+
+- **Lease expiry** is measured on the *coordinator's* monotonic clock:
+  workers send a relative TTL in seconds and never a timestamp, so a
+  clock-skewed worker cannot hold a lease forever (or lose one early).
+  An expired lease re-queues the spec and counts as a failed attempt.
+- **Quarantine**: a spec whose leases fail ``max_failures`` times
+  (worker exceptions, expiries, completions without a valid artifact)
+  is quarantined with its last error surfaced in the queue stats; the
+  submitter sees it and computes that spec locally instead of waiting.
+- **Idempotent completion**: results are content-addressed by the spec
+  fingerprint and checksummed in flight, so duplicate completions are
+  bit-identical by construction; the first valid result wins and late
+  or stale completions are accepted-and-counted, never an error.  A
+  completion whose artifact never landed in the store re-queues the
+  spec — a "completed" claim is only believed when the bytes exist.
+- **Graceful shutdown**: ``repro work`` converts SIGINT/SIGTERM into a
+  stop flag, finishes nothing new, and releases its unfinished leases
+  (no failure charged) so another worker picks them up immediately.
+- **Coordinator death** degrades totally: the queue client rides on
+  :class:`~repro.engine.remote.RemoteBackend`'s bounded retries +
+  circuit breaker, so an unreachable coordinator turns every queue call
+  into ``None`` and the submitting session finishes locally,
+  bit-identical, with one warning.  A coordinator *restart* (fresh
+  empty in-memory queue) is detected via the queue epoch and handled by
+  resubmitting the outstanding batch.
+
+Wire format (all JSON over the ``/v1`` namespace; see
+``docs/engine.md`` for the full contract):
+
+- ``POST /v1/queue/submit``   ``{"tasks": [task...]}``
+- ``POST /v1/queue/lease``    ``{"worker", "max", "ttl"}``
+- ``POST /v1/queue/complete`` ``{"digest", "lease", "worker"}``
+- ``POST /v1/queue/fail``     ``{"digest", "lease", "worker", "error"}``
+- ``POST /v1/queue/release``  ``{"worker"}``
+- ``GET  /v1/queue/stats``
+
+A *task* is ``{"kind": "trace"|"run"|"mix", "digest": <fingerprint>,
+"spec": {...}}`` — the spec fields in plain JSON (:func:`spec_to_wire` /
+:func:`spec_from_wire`).  The digest doubles as an end-to-end integrity
+check: a worker recomputes the fingerprint from the decoded spec and
+refuses (fails the lease) when it disagrees, which catches
+code-version skew between submitter and worker before any wrong bytes
+can be published.
+"""
+
+import json
+import os
+import secrets
+import signal
+import socket
+import sys
+import threading
+import time
+from collections import deque
+from dataclasses import asdict
+
+from repro.engine.specs import MixSpec, RunSpec, TraceSpec
+from repro.memory.dram import DramConfig, DramTimings
+
+#: URL path prefix of the queue namespace (same tree as the artifacts).
+_API = "/v1"
+
+#: Task states.
+PENDING = "pending"
+LEASED = "leased"
+DONE = "completed"
+QUARANTINED = "quarantined"
+
+#: Default lease TTL granted to workers (seconds on the coordinator's
+#: monotonic clock).  Must exceed the worst-case single-spec compute
+#: time; there is deliberately no mid-lease renewal — an overrun lease
+#: expires and re-queues, and the overrunning worker's late completion
+#: is still accepted if its artifact is valid (first valid result wins).
+DEFAULT_LEASE_TTL = 300.0
+
+#: Failed attempts (exceptions, expiries, artifact-less completions)
+#: before a spec is quarantined as poison.
+DEFAULT_MAX_FAILURES = 3
+
+
+# -- spec wire codec ---------------------------------------------------------
+
+
+def _dram_to_wire(dram):
+    """JSON-able dump of a :class:`DramConfig` (the only dram kind specs
+    carry across the wire; anything exotic stays on the submitter)."""
+    if type(dram) is not DramConfig:
+        raise TypeError(
+            f"cannot serialize dram of type {type(dram).__name__} for the "
+            "work queue; this spec will be computed locally"
+        )
+    return asdict(dram)
+
+
+def _dram_from_wire(fields):
+    fields = dict(fields)
+    timings = DramTimings(**fields.pop("timings"))
+    return DramConfig(timings=timings, **fields)
+
+
+def spec_to_wire(spec):
+    """Encode one spec as a JSON-able queue task (with its fingerprint)."""
+    if isinstance(spec, TraceSpec):
+        kind, fields = "trace", {"workload": spec.workload, "length": spec.length}
+    elif isinstance(spec, RunSpec):
+        kind, fields = "run", {
+            "workload": spec.workload,
+            "scheme": spec.scheme,
+            "length": spec.length,
+            "dram": _dram_to_wire(spec.dram),
+            "llc_bytes": spec.llc_bytes,
+            "record_pollution": spec.record_pollution,
+        }
+    elif isinstance(spec, MixSpec):
+        kind, fields = "mix", {
+            "mix_name": spec.mix_name,
+            "workloads": list(spec.workloads),
+            "scheme": spec.scheme,
+            "length_per_core": spec.length_per_core,
+            "dram": _dram_to_wire(spec.dram),
+            "llc_bytes": spec.llc_bytes,
+        }
+    else:
+        raise TypeError(f"cannot serialize spec of type {type(spec).__name__}")
+    return {"kind": kind, "digest": spec.fingerprint(), "spec": fields}
+
+
+def spec_from_wire(task):
+    """Decode one queue task back into its spec dataclass."""
+    kind, fields = task["kind"], dict(task["spec"])
+    if kind == "trace":
+        return TraceSpec(fields["workload"], int(fields["length"]))
+    if kind == "run":
+        return RunSpec(
+            fields["workload"],
+            fields["scheme"],
+            int(fields["length"]),
+            _dram_from_wire(fields["dram"]),
+            int(fields["llc_bytes"]),
+            bool(fields["record_pollution"]),
+        )
+    if kind == "mix":
+        return MixSpec(
+            fields["mix_name"],
+            tuple(fields["workloads"]),
+            fields["scheme"],
+            int(fields["length_per_core"]),
+            _dram_from_wire(fields["dram"]),
+            int(fields["llc_bytes"]),
+        )
+    raise ValueError(f"unknown task kind {kind!r}")
+
+
+# -- the queue state machine -------------------------------------------------
+
+
+class _Task:
+    __slots__ = (
+        "digest",
+        "kind",
+        "payload",
+        "state",
+        "fail_count",
+        "lease",
+        "worker",
+        "expires_at",
+        "error",
+    )
+
+    def __init__(self, digest, kind, payload):
+        self.digest = digest
+        self.kind = kind
+        self.payload = payload
+        self.state = PENDING
+        self.fail_count = 0
+        self.lease = None
+        self.worker = None
+        self.expires_at = 0.0
+        self.error = None
+
+
+class WorkQueue:
+    """Thread-safe lease-based spec queue (the coordinator's state).
+
+    Pure state machine: it never computes, never touches the network and
+    never reads wall-clock time — lease expiry uses an injectable
+    monotonic ``clock`` (tests substitute a fake), and ``have_artifact``
+    is the store-existence oracle completions are verified against.
+    Everything the queue knows is in-memory: the *store* is the durable
+    layer (content-addressed artifacts survive a coordinator restart),
+    the queue is re-populated by submitter resubmission keyed off
+    :attr:`epoch`.
+    """
+
+    def __init__(
+        self,
+        have_artifact=None,
+        clock=time.monotonic,
+        max_failures=DEFAULT_MAX_FAILURES,
+        default_ttl=DEFAULT_LEASE_TTL,
+        max_ttl=3600.0,
+    ):
+        self._have_artifact = have_artifact or (lambda kind, digest: False)
+        self._clock = clock
+        self.max_failures = max(1, int(max_failures))
+        self.default_ttl = float(default_ttl)
+        self.max_ttl = float(max_ttl)
+        #: Random per-instance id; a submitter that sees the epoch change
+        #: mid-poll knows the coordinator restarted with an empty queue
+        #: and must resubmit its outstanding batch.
+        self.epoch = secrets.token_hex(8)
+        self._lock = threading.Lock()
+        self._tasks = {}
+        self._pending = deque()
+        self._counters = {}
+
+    def _count(self, name, n=1):
+        self._counters[name] = self._counters.get(name, 0) + n
+
+    # -- internal transitions (lock held) ------------------------------------
+
+    def _fail_locked(self, task, error):
+        """Charge one failed attempt; re-queue or quarantine."""
+        task.fail_count += 1
+        task.error = str(error)
+        task.lease = None
+        task.worker = None
+        if task.fail_count >= self.max_failures:
+            task.state = QUARANTINED
+        else:
+            task.state = PENDING
+            self._pending.append(task.digest)
+
+    def _expire_locked(self, now):
+        """Reclaim leases the coordinator's clock says are dead."""
+        for task in self._tasks.values():
+            if task.state == LEASED and task.expires_at <= now:
+                self._count("expired_leases")
+                self._fail_locked(task, "lease expired")
+
+    # -- the queue API (one method per endpoint) ------------------------------
+
+    def submit(self, tasks):
+        """Enqueue wire tasks (idempotent); returns disposition counts.
+
+        Raises ``ValueError`` on a malformed task — the server answers
+        400 for the whole batch rather than silently dropping entries.
+        """
+        from repro.engine.remote import _DIGEST_RE
+
+        validated = []
+        for task in tasks:
+            if not isinstance(task, dict):
+                raise ValueError("task must be an object")
+            digest, kind, payload = task.get("digest"), task.get("kind"), task.get("spec")
+            if not (isinstance(digest, str) and _DIGEST_RE.fullmatch(digest)):
+                raise ValueError(f"bad task digest {digest!r}")
+            if kind not in ("trace", "run", "mix"):
+                raise ValueError(f"bad task kind {kind!r}")
+            if not isinstance(payload, dict):
+                raise ValueError("task spec must be an object")
+            validated.append((digest, kind, payload))
+        out = {"queued": 0, "duplicate": 0, "done": 0, "quarantined": 0}
+        with self._lock:
+            for digest, kind, payload in validated:
+                task = self._tasks.get(digest)
+                if task is None:
+                    self._tasks[digest] = _Task(digest, kind, payload)
+                    self._pending.append(digest)
+                    self._count("submitted")
+                    out["queued"] += 1
+                elif task.state == DONE:
+                    if self._have_artifact(task.kind, digest):
+                        out["done"] += 1
+                    else:
+                        # Completed once, but the artifact was evicted
+                        # since (server-side gc): recompute it.
+                        task.state = PENDING
+                        self._pending.append(digest)
+                        self._count("requeued_after_eviction")
+                        out["queued"] += 1
+                elif task.state == QUARANTINED:
+                    out["quarantined"] += 1
+                else:
+                    out["duplicate"] += 1
+        out["epoch"] = self.epoch
+        return out
+
+    def lease(self, worker, max_tasks=1, ttl=None):
+        """Hand out up to ``max_tasks`` pending specs under fresh leases.
+
+        ``ttl`` is relative seconds (clamped to ``max_ttl``); expiry is
+        computed against the coordinator's monotonic clock, so worker
+        clock skew is structurally irrelevant.
+        """
+        ttl = self.default_ttl if ttl is None else float(ttl)
+        ttl = max(0.05, min(ttl, self.max_ttl))
+        max_tasks = max(1, int(max_tasks))
+        out = []
+        with self._lock:
+            now = self._clock()
+            self._expire_locked(now)
+            while self._pending and len(out) < max_tasks:
+                digest = self._pending.popleft()
+                task = self._tasks.get(digest)
+                if task is None or task.state != PENDING:
+                    continue  # stale queue entry (re-leased, completed...)
+                token = secrets.token_hex(8)
+                task.state = LEASED
+                task.worker = str(worker)
+                task.lease = token
+                task.expires_at = now + ttl
+                self._count("leases")
+                out.append(
+                    {
+                        "digest": digest,
+                        "kind": task.kind,
+                        "spec": task.payload,
+                        "lease": token,
+                        "ttl": ttl,
+                    }
+                )
+        return out
+
+    def complete(self, digest, lease, worker=None):
+        """Acknowledge one computed spec; idempotent, artifact-verified.
+
+        The claim is only believed when the artifact actually exists in
+        the store (the worker published it through the checksummed PUT
+        path *before* completing).  First valid result wins: a stale or
+        expired lease completing a spec someone else re-leased is
+        accepted and counted, because content-addressing makes both
+        results bit-identical by construction.
+        """
+        with self._lock:
+            self._expire_locked(self._clock())
+            task = self._tasks.get(digest)
+            if task is None:
+                self._count("unknown_completions")
+                return {"status": "unknown"}
+            if task.state == DONE:
+                self._count("duplicate_completions")
+                return {"status": "duplicate"}
+            if not self._have_artifact(task.kind, digest):
+                self._count("completions_without_artifact")
+                if task.state == LEASED and task.lease == lease:
+                    self._count("failures")
+                    self._fail_locked(task, "completed without a stored artifact")
+                return {"status": "missing-artifact"}
+            stale = not (task.state == LEASED and task.lease == lease)
+            if stale:
+                self._count("stale_completions")
+            task.state = DONE
+            task.lease = None
+            task.worker = None
+            task.error = None
+            self._count("completed")
+            return {"status": "completed", "stale": stale}
+
+    def fail(self, digest, lease, worker=None, error=""):
+        """Report one failed attempt; re-queues or quarantines the spec.
+
+        Only the current lease holder can charge a failure — a stale
+        report (expired lease, re-leased spec) is ignored so a zombie
+        worker cannot poison a spec someone else is computing.
+        """
+        with self._lock:
+            self._expire_locked(self._clock())
+            task = self._tasks.get(digest)
+            if task is None:
+                self._count("unknown_failures")
+                return {"status": "unknown"}
+            if task.state == DONE:
+                self._count("stale_failures")
+                return {"status": "ignored"}
+            if task.state == LEASED and task.lease == lease:
+                self._count("failures")
+                self._fail_locked(task, error or "worker reported failure")
+                return {
+                    "status": "quarantined" if task.state == QUARANTINED else "requeued"
+                }
+            self._count("stale_failures")
+            return {"status": "ignored"}
+
+    def release(self, worker=None, digests=None):
+        """Return a worker's unfinished leases to pending, uncharged.
+
+        The graceful-shutdown path: releasing is not failing, so the
+        spec's failure count is untouched and it re-leases immediately.
+        """
+        wanted = None if digests is None else set(digests)
+        released = 0
+        with self._lock:
+            for task in self._tasks.values():
+                if task.state != LEASED:
+                    continue
+                if worker is not None and task.worker != str(worker):
+                    continue
+                if wanted is not None and task.digest not in wanted:
+                    continue
+                task.state = PENDING
+                task.lease = None
+                task.worker = None
+                self._pending.append(task.digest)
+                released += 1
+            self._count("released", released)
+        return {"released": released}
+
+    def stats(self):
+        """One JSON-able snapshot: state counts, counters, quarantine map."""
+        with self._lock:
+            self._expire_locked(self._clock())
+            states = {PENDING: 0, LEASED: 0, DONE: 0, QUARANTINED: 0}
+            quarantined = {}
+            for task in self._tasks.values():
+                states[task.state] += 1
+                if task.state == QUARANTINED:
+                    quarantined[task.digest] = task.error
+            return {
+                "epoch": self.epoch,
+                "tasks": len(self._tasks),
+                "pending": states[PENDING],
+                "leased": states[LEASED],
+                "completed": states[DONE],
+                "quarantined": states[QUARANTINED],
+                "counters": dict(self._counters),
+                "quarantined_digests": quarantined,
+            }
+
+
+# -- the queue client --------------------------------------------------------
+
+
+class QueueClient:
+    """JSON queue calls over a :class:`RemoteBackend`'s transport.
+
+    Rides the backend's pooled keep-alive connections, bounded retries
+    with exponential backoff, and per-peer circuit breaker — a dead
+    coordinator costs one retry cycle and then every call
+    short-circuits to ``None`` until the cooldown elapses.  ``None``
+    from any method means "coordinator unusable, degrade now".
+    """
+
+    def __init__(self, backend):
+        self.backend = backend
+
+    def _call(self, method, path, payload=None):
+        body = headers = None
+        if payload is not None:
+            body = json.dumps(payload).encode()
+            headers = {"Content-Type": "application/json"}
+        response = self.backend._request(method, path, body=body, headers=headers)
+        if response is None or response[0] != 200:
+            return None
+        try:
+            decoded = json.loads(response[2])
+        except ValueError:
+            return None
+        return decoded if isinstance(decoded, dict) else None
+
+    def submit(self, tasks):
+        return self._call("POST", f"{_API}/queue/submit", {"tasks": list(tasks)})
+
+    def lease(self, worker, max_tasks=1, ttl=None):
+        """A list of leased tasks ([] when idle), or ``None`` when the
+        coordinator is unreachable."""
+        out = self._call(
+            "POST",
+            f"{_API}/queue/lease",
+            {"worker": worker, "max": max_tasks, "ttl": ttl},
+        )
+        if out is None:
+            return None
+        leases = out.get("leases")
+        return leases if isinstance(leases, list) else []
+
+    def complete(self, digest, lease, worker=None):
+        return self._call(
+            "POST",
+            f"{_API}/queue/complete",
+            {"digest": digest, "lease": lease, "worker": worker},
+        )
+
+    def fail(self, digest, lease, worker=None, error=""):
+        return self._call(
+            "POST",
+            f"{_API}/queue/fail",
+            {"digest": digest, "lease": lease, "worker": worker, "error": str(error)},
+        )
+
+    def release(self, worker):
+        out = self._call("POST", f"{_API}/queue/release", {"worker": worker})
+        return None if out is None else int(out.get("released", 0))
+
+    def stats(self):
+        return self._call("GET", f"{_API}/queue/stats")
+
+
+# -- the worker loop (`repro work URL`) --------------------------------------
+
+
+def _worker_id():
+    return f"{socket.gethostname()}-{os.getpid()}-{secrets.token_hex(3)}"
+
+
+def run_worker(
+    url,
+    session=None,
+    backend=None,
+    poll_interval=0.5,
+    ttl=DEFAULT_LEASE_TTL,
+    max_tasks=1,
+    once=False,
+    stop_event=None,
+    verbose=False,
+):
+    """Lease → compute → publish → acknowledge, until told to stop.
+
+    The compute path is the normal engine path: each leased spec runs
+    through ``session.run`` with the coordinator layered as the remote
+    store tier, so the result (and any trace it built) is published via
+    the integrity-checked artifact protocol before the lease is
+    completed.  A spec that raises is failed back to the queue with the
+    error text; the queue quarantines it after ``max_failures``
+    attempts.
+
+    Shutdown is graceful: SIGINT/SIGTERM (installed only when running on
+    the main thread) set ``stop_event``; the loop finishes the spec in
+    flight, releases every unfinished lease (no failure charged) and
+    returns a tally dict.  ``once=True`` exits as soon as the queue has
+    nothing to lease — the drain mode tests and smoke scripts use.
+    """
+    from repro.engine import config as _config
+    from repro.engine.session import Session
+
+    if backend is None:
+        backend = _config._remote_client(url)
+    client = QueueClient(backend)
+    if session is None:
+        session = Session(remote_cache_url=url)
+    stop = stop_event if stop_event is not None else threading.Event()
+    worker = _worker_id()
+    installed = []
+    if threading.current_thread() is threading.main_thread():
+
+        def _graceful(signum, frame):
+            stop.set()
+
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            installed.append((sig, signal.signal(sig, _graceful)))
+    tally = {"worker": worker, "completed": 0, "failed": 0, "released": 0}
+    try:
+        while not stop.is_set():
+            leases = client.lease(worker, max_tasks=max_tasks, ttl=ttl)
+            if not leases:
+                # None = coordinator unreachable (breaker already bounds
+                # the cost); [] = queue idle.  Either way: wait and ask
+                # again — except in drain mode, where both mean "done".
+                if once:
+                    break
+                if stop.wait(poll_interval):
+                    break
+                continue
+            for task in leases:
+                if stop.is_set():
+                    break  # unfinished leases are released below
+                digest = task.get("digest", "")
+                try:
+                    spec = spec_from_wire(task)
+                    if spec.fingerprint() != digest:
+                        raise ValueError(
+                            "fingerprint mismatch: worker code version "
+                            "differs from the submitter's"
+                        )
+                    session.run(spec)
+                except Exception as exc:
+                    client.fail(digest, task.get("lease"), worker=worker, error=repr(exc))
+                    tally["failed"] += 1
+                    if verbose:
+                        print(f"worker {worker}: failed {digest[:12]}: {exc!r}", file=sys.stderr)
+                else:
+                    client.complete(digest, task.get("lease"), worker=worker)
+                    tally["completed"] += 1
+                    if verbose:
+                        print(f"worker {worker}: completed {digest[:12]}", file=sys.stderr)
+    finally:
+        released = client.release(worker)
+        tally["released"] = 0 if released is None else released
+        for sig, old in installed:
+            signal.signal(sig, old)
+    return tally

@@ -1,0 +1,848 @@
+"""Sweep-farm tests: work queue semantics, wire protocol, fault injection.
+
+The failure model under test (see docs/engine.md): the farm, like the
+remote cache it rides on, is an *optimization* — no farm failure may
+ever hang a submitting session or land a wrong cache entry.  Each
+fault-injection test pins one leg of that table: dead worker (lease
+expiry + re-lease), duplicate/stale completion (first valid result
+wins), completion without an artifact (re-queue), poison spec
+(quarantine + local compute), dead coordinator (total degradation to
+local, bit-identical), coordinator restart (epoch change + resubmit),
+corrupt upload (rejected server-side, never acknowledged).
+"""
+
+import json
+import pickle
+import threading
+import time
+
+import pytest
+
+from repro.engine import (
+    LocalDirBackend,
+    MixSpec,
+    QueueClient,
+    RemoteBackend,
+    RunSpec,
+    Session,
+    TieredBackend,
+    TraceSpec,
+    WorkQueue,
+    run_worker,
+    spec_from_wire,
+    spec_to_wire,
+)
+from repro.engine import config as engine_config
+from repro.engine.remote import serve_background
+from repro.memory.dram import FixedBandwidth
+
+DIGEST = "ab" + "0" * 62
+DIGEST2 = "cd" + "0" * 62
+
+WORKLOAD = "fspec06.bwaves"
+LENGTH = 3000
+
+
+@pytest.fixture(autouse=True)
+def _fresh_warnings():
+    """Reset the warn-once registries so each test observes its warnings."""
+    for registry in (
+        RemoteBackend._warned_unreachable,
+        RemoteBackend._warned_read_only,
+        RemoteBackend._warned_auth,
+    ):
+        registry.clear()
+    yield
+    for registry in (
+        RemoteBackend._warned_unreachable,
+        RemoteBackend._warned_read_only,
+        RemoteBackend._warned_auth,
+    ):
+        registry.clear()
+
+
+@pytest.fixture
+def served(tmp_path):
+    """A live coordinator over a tmp dir: ``(server, client, root_dir)``."""
+    root = tmp_path / "served"
+    server, thread = serve_background(root)
+    client = RemoteBackend(server.url, timeout=5.0, retries=1, backoff=0.01)
+    yield server, client, root
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5.0)
+
+
+def _fast_client(url):
+    """A client tuned to fail fast (sub-second) for dead-server tests."""
+    return RemoteBackend(url, timeout=0.3, retries=1, backoff=0.01)
+
+
+def _task(digest=DIGEST, kind="run"):
+    """A syntactically valid wire task (the queue never decodes specs)."""
+    return {"kind": kind, "digest": digest, "spec": {"anything": 1}}
+
+
+def _specs():
+    return [
+        RunSpec(WORKLOAD, "none", LENGTH),
+        RunSpec(WORKLOAD, "dspatch", LENGTH),
+        TraceSpec(WORKLOAD, LENGTH),
+    ]
+
+
+def _same(a, b):
+    """Bit-identity across result objects and Trace instances."""
+    return pickle.dumps(a) == pickle.dumps(b)
+
+
+class _Clock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+# -- spec wire codec ---------------------------------------------------------
+
+
+class TestSpecWire:
+    def test_round_trips_every_kind(self):
+        specs = [
+            TraceSpec(WORKLOAD, 1234),
+            RunSpec(WORKLOAD, "dspatch", 1234, llc_bytes=1 << 20, record_pollution=True),
+            MixSpec("mix0", (WORKLOAD, WORKLOAD), "spp", 999),
+        ]
+        for spec in specs:
+            wire = spec_to_wire(spec)
+            back = spec_from_wire(wire)
+            assert back == spec
+            assert back.fingerprint() == wire["digest"]
+
+    def test_wire_tasks_are_json_clean(self):
+        for spec in _specs():
+            decoded = json.loads(json.dumps(spec_to_wire(spec)))
+            assert spec_from_wire(decoded) == spec
+
+    def test_exotic_dram_is_not_encodable(self):
+        """FixedBandwidth specs stay on the submitter (TypeError, by
+        contract — the distributed path computes them locally)."""
+        spec = RunSpec(WORKLOAD, "none", 1000, dram=FixedBandwidth(2))
+        with pytest.raises(TypeError):
+            spec_to_wire(spec)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            spec_from_wire({"kind": "blob", "digest": DIGEST, "spec": {}})
+
+
+# -- queue state machine (fake clock, no network) ----------------------------
+
+
+class TestWorkQueue:
+    def test_submit_then_duplicate(self):
+        queue = WorkQueue()
+        assert queue.submit([_task()])["queued"] == 1
+        again = queue.submit([_task()])
+        assert again["duplicate"] == 1 and again["queued"] == 0
+
+    def test_submit_validates_tasks(self):
+        queue = WorkQueue()
+        for bad in (
+            {"kind": "run", "digest": "XYZ", "spec": {}},  # bad digest
+            {"kind": "blob", "digest": DIGEST, "spec": {}},  # bad kind
+            {"kind": "run", "digest": DIGEST, "spec": []},  # bad spec
+            "not-a-task",
+        ):
+            with pytest.raises(ValueError):
+                queue.submit([bad])
+
+    def test_lease_is_fifo_and_exclusive(self):
+        queue = WorkQueue()
+        queue.submit([_task(DIGEST), _task(DIGEST2)])
+        first = queue.lease("w1")
+        assert [t["digest"] for t in first] == [DIGEST]
+        second = queue.lease("w2", max_tasks=5)
+        assert [t["digest"] for t in second] == [DIGEST2]
+        assert queue.lease("w3") == []
+
+    def test_expired_lease_releases_to_another_worker(self):
+        """The dead-worker leg: a lease the worker never acknowledges is
+        reclaimed on the coordinator's clock and re-leased."""
+        clock = _Clock()
+        queue = WorkQueue(clock=clock)
+        queue.submit([_task()])
+        lease = queue.lease("dead", ttl=10.0)[0]
+        assert queue.lease("live") == []  # still held
+        clock.advance(10.1)
+        release = queue.lease("live", ttl=10.0)
+        assert [t["digest"] for t in release] == [DIGEST]
+        assert release[0]["lease"] != lease["lease"]
+        assert queue.stats()["counters"]["expired_leases"] == 1
+
+    def test_repeatedly_expiring_spec_is_quarantined(self):
+        clock = _Clock()
+        queue = WorkQueue(clock=clock, max_failures=3)
+        queue.submit([_task()])
+        for _ in range(3):
+            assert queue.lease("flaky", ttl=1.0) != []
+            clock.advance(1.5)
+        stats = queue.stats()
+        assert stats["quarantined"] == 1
+        assert stats["quarantined_digests"] == {DIGEST: "lease expired"}
+        assert queue.lease("w") == []  # quarantined specs never re-lease
+
+    def test_complete_requires_the_artifact(self):
+        """A 'completed' claim without stored bytes is a failure, not a
+        completion — the corrupt-upload leg ends here."""
+        queue = WorkQueue(have_artifact=lambda kind, digest: False)
+        queue.submit([_task()])
+        lease = queue.lease("w1")[0]
+        out = queue.complete(DIGEST, lease["lease"], "w1")
+        assert out["status"] == "missing-artifact"
+        # Re-queued and chargeable: another worker can lease it again.
+        assert queue.lease("w2") != []
+        assert queue.stats()["counters"]["completions_without_artifact"] == 1
+
+    def test_duplicate_completion_is_idempotent(self):
+        queue = WorkQueue(have_artifact=lambda kind, digest: True)
+        queue.submit([_task()])
+        lease = queue.lease("w1")[0]
+        assert queue.complete(DIGEST, lease["lease"], "w1")["status"] == "completed"
+        again = queue.complete(DIGEST, lease["lease"], "w1")
+        assert again["status"] == "duplicate"
+        assert queue.stats()["counters"]["duplicate_completions"] == 1
+
+    def test_stale_completion_first_valid_result_wins(self):
+        """A slow worker completing after its lease expired and the spec
+        was re-leased: accepted (content-addressing makes both results
+        bit-identical), counted, and the re-lease holder's completion
+        becomes the duplicate."""
+        clock = _Clock()
+        queue = WorkQueue(clock=clock, have_artifact=lambda kind, digest: True)
+        queue.submit([_task()])
+        stale = queue.lease("slow", ttl=1.0)[0]
+        clock.advance(2.0)
+        fresh = queue.lease("fast", ttl=30.0)[0]
+        out = queue.complete(DIGEST, stale["lease"], "slow")
+        assert out == {"status": "completed", "stale": True}
+        assert queue.complete(DIGEST, fresh["lease"], "fast")["status"] == "duplicate"
+        assert queue.stats()["completed"] == 1
+        assert queue.stats()["counters"]["stale_completions"] == 1
+
+    def test_fail_requeues_then_quarantines_with_error(self):
+        queue = WorkQueue(max_failures=2)
+        queue.submit([_task()])
+        lease = queue.lease("w")[0]
+        assert queue.fail(DIGEST, lease["lease"], "w", error="boom")["status"] == "requeued"
+        lease = queue.lease("w")[0]
+        out = queue.fail(DIGEST, lease["lease"], "w", error="boom again")
+        assert out["status"] == "quarantined"
+        assert queue.stats()["quarantined_digests"] == {DIGEST: "boom again"}
+
+    def test_stale_fail_cannot_poison_a_release(self):
+        """A zombie worker failing a spec someone else now holds must be
+        ignored — otherwise it could quarantine healthy work."""
+        clock = _Clock()
+        queue = WorkQueue(clock=clock)
+        queue.submit([_task()])
+        zombie = queue.lease("zombie", ttl=1.0)[0]
+        clock.advance(2.0)
+        queue.lease("live", ttl=30.0)
+        assert queue.fail(DIGEST, zombie["lease"], "zombie")["status"] == "ignored"
+        assert queue.stats()["leased"] == 1  # live's lease untouched
+
+    def test_release_returns_leases_uncharged(self):
+        queue = WorkQueue()
+        queue.submit([_task(DIGEST), _task(DIGEST2)])
+        queue.lease("w1", max_tasks=2)
+        assert queue.release("w1")["released"] == 2
+        stats = queue.stats()
+        assert stats["pending"] == 2
+        # Releasing is not failing: immediate re-lease, no quarantine risk.
+        assert stats["counters"].get("failures", 0) == 0
+        assert queue.lease("w2", max_tasks=2) != []
+
+    def test_ttl_is_clamped(self):
+        queue = WorkQueue(max_ttl=60.0)
+        queue.submit([_task()])
+        lease = queue.lease("w", ttl=1e9)[0]
+        assert lease["ttl"] == 60.0
+
+    def test_resubmit_after_eviction_recomputes(self):
+        """DONE + artifact evicted by server gc → submit re-queues."""
+        have = {"flag": True}
+        queue = WorkQueue(have_artifact=lambda kind, digest: have["flag"])
+        queue.submit([_task()])
+        lease = queue.lease("w")[0]
+        queue.complete(DIGEST, lease["lease"], "w")
+        assert queue.submit([_task()])["done"] == 1
+        have["flag"] = False
+        assert queue.submit([_task()])["queued"] == 1
+
+    def test_unknown_digest_answers_unknown(self):
+        queue = WorkQueue()
+        assert queue.complete(DIGEST, "x")["status"] == "unknown"
+        assert queue.fail(DIGEST, "x")["status"] == "unknown"
+
+
+# -- queue over the wire -----------------------------------------------------
+
+
+class TestQueueWire:
+    def test_submit_lease_complete_over_http(self, served):
+        server, client, _ = served
+        qc = QueueClient(client)
+        assert qc.submit([_task()])["queued"] == 1
+        leases = qc.lease("w1", ttl=30.0)
+        assert [t["digest"] for t in leases] == [DIGEST]
+        # Publish the artifact through the normal checksummed PUT path,
+        # then the completion claim is believed.
+        client.save_result(DIGEST, {"v": 1})
+        out = qc.complete(DIGEST, leases[0]["lease"], "w1")
+        assert out["status"] == "completed"
+        stats = qc.stats()
+        assert stats["completed"] == 1 and stats["epoch"] == server.queue.epoch
+
+    def test_release_over_http(self, served):
+        _, client, _ = served
+        qc = QueueClient(client)
+        qc.submit([_task()])
+        qc.lease("w1")
+        assert qc.release("w1") == 1
+
+    def test_read_only_coordinator_refuses_queue_mutations(self, tmp_path):
+        server, thread = serve_background(tmp_path / "ro", read_only=True)
+        try:
+            qc = QueueClient(_fast_client(server.url))
+            assert qc.submit([_task()]) is None
+            assert qc.lease("w") is None
+            status = qc.backend._request(
+                "POST", "/v1/queue/submit", body=b"{}",
+                headers={"Content-Type": "application/json"},
+            )[0]
+            assert status == 403
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5.0)
+
+    def test_malformed_bodies_answer_400(self, served):
+        _, client, _ = served
+        for body in (b"not json", b"[1,2,3]", b'{"tasks": 7}'):
+            status = client._request(
+                "POST", "/v1/queue/submit", body=body,
+                headers={"Content-Type": "application/json"},
+            )[0]
+            assert status == 400, body
+        # Invalid task inside a well-formed batch: 400 too.
+        bad = json.dumps({"tasks": [{"kind": "run", "digest": "NO", "spec": {}}]})
+        assert client._request(
+            "POST", "/v1/queue/submit", body=bad.encode(),
+            headers={"Content-Type": "application/json"},
+        )[0] == 400
+
+    def test_unknown_queue_action_404(self, served):
+        _, client, _ = served
+        assert client._request(
+            "POST", "/v1/queue/bogus", body=b"{}",
+            headers={"Content-Type": "application/json"},
+        )[0] == 404
+
+    def test_oversized_body_rejected(self, served):
+        _, client, _ = served
+        from repro.engine.remote import _MAX_JSON_BODY
+
+        status, _, _ = client._request(
+            "POST", "/v1/has", body=b" " * 4,
+            headers={"Content-Length": str(_MAX_JSON_BODY + 1)},
+        ) or (None, None, None)
+        # 413 comes back before the body is read; some stacks surface the
+        # aborted send as a transport error instead — both are a refusal.
+        assert status in (None, 413)
+
+
+# -- batch existence probe ---------------------------------------------------
+
+
+class TestHasBatch:
+    def test_probe_maps_hits_and_misses(self, served):
+        _, client, _ = served
+        client.save_result(DIGEST, {"v": 1})
+        out = client.has_batch(results=[DIGEST, DIGEST2], traces=[DIGEST])
+        assert out == {
+            "results": {DIGEST: True, DIGEST2: False},
+            "traces": {DIGEST: False},
+        }
+
+    def test_probe_savings_accounting(self, served):
+        _, client, _ = served
+        assert client.probe_savings == 0
+        client.has_batch(results=[DIGEST, DIGEST2], traces=[DIGEST])
+        # 3 digests for 1 round trip: 2 saved.
+        assert client.probe_savings == 2
+
+    def test_tiered_stats_surface_probe_savings(self, served, tmp_path):
+        _, client, _ = served
+        client.has_batch(results=[DIGEST, DIGEST2])
+        tiered = TieredBackend(LocalDirBackend(tmp_path / "local"), client)
+        assert tiered.stats()["probe_round_trips_saved"] == 1
+
+    def test_probe_degrades_to_none_when_unreachable(self, served):
+        server, _, _ = served
+        url = server.url
+        server.shutdown()
+        server.server_close()
+        dead = _fast_client(url)
+        assert dead.has_batch(results=[DIGEST]) is None
+        assert dead.probe_savings == 0
+
+    def test_probe_rejects_bad_digests(self, served):
+        _, client, _ = served
+        body = json.dumps({"results": ["../../etc/passwd"]}).encode()
+        assert client._request(
+            "POST", "/v1/has", body=body,
+            headers={"Content-Type": "application/json"},
+        )[0] == 400
+
+
+# -- shared-secret auth ------------------------------------------------------
+
+
+class TestAuth:
+    @pytest.fixture
+    def served_auth(self, tmp_path):
+        server, thread = serve_background(tmp_path / "auth", auth_token="sesame")
+        yield server
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5.0)
+
+    def test_right_token_round_trips(self, served_auth):
+        client = RemoteBackend(served_auth.url, retries=0, token="sesame")
+        client.save_result(DIGEST, {"v": 7})
+        assert client.load_result(DIGEST) == {"v": 7}
+        assert QueueClient(client).submit([_task(DIGEST2)])["queued"] == 1
+
+    def test_missing_token_degrades_like_read_only(self, served_auth, capsys):
+        """The 401 leg of the failure model: miss on load, silent stop on
+        save, one warning — never an exception (mirrors the 403 path)."""
+        client = RemoteBackend(served_auth.url, retries=0)
+        client.save_result(DIGEST, {"v": 7})
+        client.save_result(DIGEST2, {"v": 8})
+        assert client.load_result(DIGEST) is None
+        assert client._read_only is True
+        assert served_auth.store.stats()["results"] == 0
+        err = capsys.readouterr().err
+        assert err.count("rejected our credentials") == 1
+
+    def test_wrong_token_constant_time_rejection(self, served_auth):
+        client = RemoteBackend(served_auth.url, retries=0, token="sesame-wrong")
+        assert client._request("GET", "/v1/stats")[0] == 401
+        assert QueueClient(client).stats() is None
+
+    def test_env_token_flows_through_config(self, served_auth, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_TOKEN", "sesame")
+        engine_config._REMOTE_CLIENTS.pop(served_auth.url, None)
+        try:
+            client = engine_config._remote_client(served_auth.url)
+            assert client.token == "sesame"
+            assert client._request("GET", "/v1/stats")[0] == 200
+        finally:
+            engine_config._REMOTE_CLIENTS.pop(served_auth.url, None)
+
+
+# -- server-side gc ----------------------------------------------------------
+
+
+class TestServerGc:
+    def test_server_evicts_to_size_bound(self, tmp_path):
+        server, thread = serve_background(
+            tmp_path / "gc", gc_max_bytes=1, gc_interval=0.05
+        )
+        try:
+            client = RemoteBackend(server.url, retries=0)
+            client.save_result(DIGEST, {"blob": "x" * 4096})
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                if server.store.stats()["results"] == 0:
+                    break
+                time.sleep(0.05)
+            assert server.store.stats()["results"] == 0
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5.0)
+        # server_close must stop the gc thread.
+        assert server._gc_stop.is_set()
+
+
+# -- distributed sessions (fault injection, end to end) ----------------------
+
+
+def _start_worker(url, cache_dir, stop, **kwargs):
+    session = Session(cache_dir=cache_dir, remote_cache_url=url)
+    kwargs.setdefault("poll_interval", 0.05)
+    kwargs.setdefault("ttl", 30.0)
+    thread = threading.Thread(
+        target=run_worker,
+        kwargs=dict(url=url, session=session, stop_event=stop, **kwargs),
+        daemon=True,
+    )
+    thread.start()
+    return thread
+
+
+@pytest.fixture
+def reference(tmp_path):
+    """Ground-truth results from a purely local session."""
+    session = Session(cache_dir=tmp_path / "reference")
+    return session.run(_specs())
+
+
+class TestDistributed:
+    def test_farm_computes_the_sweep_bit_identical(self, served, tmp_path, reference):
+        server, _, _ = served
+        stop = threading.Event()
+        worker = _start_worker(server.url, tmp_path / "worker", stop)
+        try:
+            sub = Session(cache_dir=tmp_path / "sub", remote_cache_url=server.url)
+            out = sub.run(_specs(), distributed=True, timeout=60)
+        finally:
+            stop.set()
+            worker.join(timeout=10.0)
+        assert all(_same(a, b) for a, b in zip(reference, out))
+        report = sub.last_distributed
+        assert report["remote"] == len(_specs())
+        assert report["local"] == report["quarantined"] == 0
+        # Queue accounting: every spec exactly once.
+        stats = server.queue.stats()
+        assert stats["completed"] == len(_specs())
+        assert stats["pending"] == stats["leased"] == stats["quarantined"] == 0
+
+    def test_prefetch_skips_the_queue_entirely(self, served, tmp_path, reference):
+        server, _, _ = served
+        # Populate the server store through a write-through session.
+        Session(cache_dir=tmp_path / "pub", remote_cache_url=server.url).run(_specs())
+        sub = Session(cache_dir=tmp_path / "sub", remote_cache_url=server.url)
+        out = sub.run(_specs(), distributed=True, timeout=60)
+        assert all(_same(a, b) for a, b in zip(reference, out))
+        report = sub.last_distributed
+        assert report["prefetched"] == len(_specs())
+        assert report["submitted"] == 0
+        assert server.queue.stats()["tasks"] == 0
+
+    def test_dead_worker_lease_expires_and_farm_recovers(
+        self, served, tmp_path, reference
+    ):
+        """A worker that leases a spec and dies (never completes, never
+        releases): its lease expires on the coordinator's clock and a
+        live worker re-leases the spec.  The sweep still finishes
+        bit-identical, with the expiry visible in the queue counters."""
+        server, client, _ = served
+        specs = _specs()
+        dead_got = threading.Event()
+
+        def _dead_worker():
+            qc = QueueClient(client)
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline and not dead_got.is_set():
+                leases = qc.lease("dead-worker", ttl=0.3)
+                if leases:
+                    dead_got.set()  # lease taken; now "crash" (do nothing)
+                    return
+                time.sleep(0.01)
+
+        saboteur = threading.Thread(target=_dead_worker, daemon=True)
+        saboteur.start()
+
+        stop = threading.Event()
+        sub = Session(cache_dir=tmp_path / "sub", remote_cache_url=server.url)
+        worker = None
+        try:
+            # Submit first so the saboteur can grab a lease, then start
+            # the live worker.
+            qc = QueueClient(client)
+            qc.submit([spec_to_wire(s) for s in specs])
+            assert dead_got.wait(5.0)
+            worker = _start_worker(server.url, tmp_path / "worker", stop)
+            out = sub.run(specs, distributed=True, timeout=60)
+        finally:
+            stop.set()
+            if worker is not None:
+                worker.join(timeout=10.0)
+            saboteur.join(timeout=5.0)
+        assert all(_same(a, b) for a, b in zip(reference, out))
+        stats = server.queue.stats()
+        assert stats["counters"]["expired_leases"] >= 1
+        assert stats["completed"] == len(specs)
+        assert stats["quarantined"] == 0
+
+    def test_coordinator_death_mid_sweep_degrades_to_local(
+        self, served, tmp_path, reference, capsys
+    ):
+        """The total-degradation leg: no workers, and the coordinator is
+        SIGKILLed (shutdown) mid-poll.  The session must finish locally,
+        bit-identical, within its timeout, with a warning — never a
+        hang, never an exception."""
+        server, _, _ = served
+        url = server.url
+        fast = _fast_client(url)
+        engine_config._REMOTE_CLIENTS[url] = fast
+
+        def _kill():
+            server.shutdown()
+            server.server_close()
+            # A killed process also resets its established connections;
+            # in-process, the handler threads would otherwise keep
+            # serving the client's keep-alive pool forever.  Dropping
+            # the pool only closes *idle* connections, so keep at it
+            # briefly to catch one that was in flight during the kill.
+            end = time.monotonic() + 3.0
+            while time.monotonic() < end:
+                fast._drop_pool()
+                time.sleep(0.01)
+
+        killer = threading.Timer(0.4, _kill)
+        killer.start()
+        try:
+            sub = Session(cache_dir=tmp_path / "sub", remote_cache_url=url)
+            start = time.monotonic()
+            out = sub.run(_specs(), distributed=True, timeout=30)
+            elapsed = time.monotonic() - start
+        finally:
+            killer.cancel()
+            engine_config._REMOTE_CLIENTS.pop(url, None)
+        assert all(_same(a, b) for a, b in zip(reference, out))
+        report = sub.last_distributed
+        assert report["local"] == len(_specs())
+        assert elapsed < 30.0
+        assert "warning" in capsys.readouterr().err
+
+    def test_coordinator_unreachable_from_the_start(self, tmp_path, reference, capsys):
+        url = "http://127.0.0.1:9"  # discard port: nothing listens
+        engine_config._REMOTE_CLIENTS[url] = _fast_client(url)
+        try:
+            sub = Session(cache_dir=tmp_path / "sub", remote_cache_url=url)
+            out = sub.run(_specs(), distributed=True, timeout=10)
+        finally:
+            engine_config._REMOTE_CLIENTS.pop(url, None)
+        assert all(_same(a, b) for a, b in zip(reference, out))
+        assert sub.last_distributed["local"] == len(_specs())
+        assert "unavailable" in capsys.readouterr().err
+
+    def test_no_remote_configured_warns_and_runs_locally(
+        self, tmp_path, reference, capsys
+    ):
+        sub = Session(cache_dir=tmp_path / "sub")
+        out = sub.run(_specs(), distributed=True)
+        assert all(_same(a, b) for a, b in zip(reference, out))
+        assert sub.last_distributed["local"] == len(_specs())
+        assert "needs a remote cache" in capsys.readouterr().err
+
+    def test_coordinator_restart_triggers_resubmission(
+        self, served, tmp_path, reference
+    ):
+        """An epoch change (fresh empty queue = restarted coordinator)
+        must be answered by resubmitting the outstanding batch, not by
+        waiting forever on specs the new queue never heard of."""
+        from repro.engine.workqueue import WorkQueue as WQ
+
+        server, _, _ = served
+        old_epoch = server.queue.epoch
+
+        def _restart():
+            # Same server process, brand-new queue: exactly what a
+            # coordinator restart looks like on the wire (the store, on
+            # disk, survives; the in-memory queue and its epoch do not).
+            server.queue = WQ(have_artifact=server._have_artifact)
+
+        stop = threading.Event()
+        restarter = threading.Timer(0.3, _restart)
+        restarter.start()
+        worker = None
+        try:
+            # The worker starts only after the restart, so everything
+            # computed went through the *resubmitted* queue.
+            def _late_worker():
+                restarter.join()
+                time.sleep(0.2)
+                return _start_worker(server.url, tmp_path / "worker", stop)
+
+            worker_box = {}
+            starter = threading.Thread(
+                target=lambda: worker_box.update(t=_late_worker()), daemon=True
+            )
+            starter.start()
+            sub = Session(cache_dir=tmp_path / "sub", remote_cache_url=server.url)
+            out = sub.run(_specs(), distributed=True, timeout=60)
+            starter.join(timeout=10.0)
+            worker = worker_box.get("t")
+        finally:
+            stop.set()
+            restarter.cancel()
+            if worker is not None:
+                worker.join(timeout=10.0)
+        assert all(_same(a, b) for a, b in zip(reference, out))
+        assert server.queue.epoch != old_epoch
+        report = sub.last_distributed
+        # Either the resubmission raced ahead of the restart (remote) or
+        # the deadline path kicked in (local) — both are bit-identical;
+        # the resubmit must have been attempted if anything ran remotely.
+        if report["remote"]:
+            assert report["resubmitted"] >= 1
+
+    def test_poison_spec_is_quarantined_and_computed_locally(
+        self, served, tmp_path, reference, capsys
+    ):
+        """A saboteur worker fails every lease; after max_failures the
+        specs are quarantined, the submitter sees it and computes them
+        locally instead of burning its whole timeout."""
+        server, client, _ = served
+        stop = threading.Event()
+
+        def _saboteur():
+            qc = QueueClient(client)
+            while not stop.is_set():
+                for task in qc.lease("saboteur", max_tasks=8, ttl=30.0) or []:
+                    qc.fail(
+                        task["digest"], task["lease"], "saboteur",
+                        error="synthetic poison",
+                    )
+                time.sleep(0.02)
+
+        thread = threading.Thread(target=_saboteur, daemon=True)
+        thread.start()
+        try:
+            sub = Session(cache_dir=tmp_path / "sub", remote_cache_url=server.url)
+            start = time.monotonic()
+            out = sub.run(_specs(), distributed=True, timeout=60)
+            elapsed = time.monotonic() - start
+        finally:
+            stop.set()
+            thread.join(timeout=5.0)
+        assert all(_same(a, b) for a, b in zip(reference, out))
+        report = sub.last_distributed
+        assert report["quarantined"] == len(_specs())
+        assert elapsed < 60.0  # quarantine short-circuits the timeout
+        stats = server.queue.stats()
+        assert stats["quarantined"] == len(_specs())
+        assert "synthetic poison" in str(stats["quarantined_digests"])
+        assert "quarantined" in capsys.readouterr().err
+
+    def test_corrupt_upload_never_satisfies_a_completion(self, served):
+        """A worker whose result bytes are corrupted in flight: the PUT
+        is rejected (422), so its completion claim finds no artifact and
+        the spec is re-queued for someone honest."""
+        server, client, _ = served
+        qc = QueueClient(client)
+        qc.submit([_task()])
+        lease = qc.lease("corrupt-worker", ttl=30.0)[0]
+        status, _, _ = client._request(
+            "PUT",
+            f"/v1/results/{DIGEST}",
+            body=b"bit-flipped-payload",
+            headers={"X-Repro-Sha256": "0" * 64},
+        )
+        assert status == 422
+        out = qc.complete(DIGEST, lease["lease"], "corrupt-worker")
+        assert out["status"] == "missing-artifact"
+        stats = server.queue.stats()
+        assert stats["pending"] == 1  # re-queued, not completed
+        assert stats["completed"] == 0
+        assert server.store.stats()["results"] == 0  # no wrong cache entry
+
+    def test_worker_graceful_shutdown_releases_leases(self, served, tmp_path):
+        """stop_event mid-batch: unfinished leases are released (not
+        failed), so the queue re-leases them immediately."""
+        server, client, _ = served
+        qc = QueueClient(client)
+        qc.submit([_task(DIGEST), _task(DIGEST2)])
+        stop = threading.Event()
+        stop.set()  # stop before the first compute: everything releases
+
+        # run_worker leases nothing when stopped before the loop; lease
+        # manually to model "worker holding leases at SIGTERM".
+        leases = qc.lease("doomed", max_tasks=2, ttl=300.0)
+        assert len(leases) == 2
+        assert qc.release("doomed") == 2
+        stats = server.queue.stats()
+        assert stats["pending"] == 2 and stats["leased"] == 0
+        assert stats["counters"].get("failures", 0) == 0
+
+    def test_worker_drain_mode_completes_and_exits(self, served, tmp_path, reference):
+        """run_worker(once=True) on the main thread: drains the queue,
+        publishes results, restores signal handlers, returns a tally."""
+        server, client, _ = served
+        specs = _specs()
+        QueueClient(client).submit([spec_to_wire(s) for s in specs])
+        session = Session(cache_dir=tmp_path / "worker", remote_cache_url=server.url)
+        tally = run_worker(
+            server.url, session=session, poll_interval=0.05, ttl=30.0,
+            max_tasks=4, once=True,
+        )
+        assert tally["completed"] == len(specs)
+        assert tally["failed"] == 0
+        stats = server.queue.stats()
+        assert stats["completed"] == len(specs)
+        # The published artifacts are the bit-identical ground truth.
+        sub = Session(cache_dir=tmp_path / "sub", remote_cache_url=server.url)
+        out = sub.run(specs, distributed=True, timeout=30)
+        assert all(_same(a, b) for a, b in zip(reference, out))
+        assert sub.last_distributed["prefetched"] == len(specs)
+
+    def test_code_skew_fails_the_lease_instead_of_publishing(self, served, tmp_path):
+        """A worker whose decoded spec fingerprints differently (code
+        version skew) must fail the lease loudly, never publish bytes
+        under the submitter's digest."""
+        server, client, _ = served
+        wire = spec_to_wire(RunSpec(WORKLOAD, "none", LENGTH))
+        wire["digest"] = DIGEST  # submitter's digest does not match
+        QueueClient(client).submit([wire])
+        session = Session(cache_dir=tmp_path / "worker", remote_cache_url=server.url)
+        tally = run_worker(
+            server.url, session=session, poll_interval=0.05, ttl=30.0, once=True,
+        )
+        # The failed task re-queues and re-leases until quarantined, so
+        # drain mode charges it max_failures times before exiting.
+        assert tally["completed"] == 0 and tally["failed"] >= 1
+        stats = server.queue.stats()
+        assert stats["completed"] == 0
+        assert stats["quarantined"] == 1
+        assert "fingerprint mismatch" in str(stats["quarantined_digests"])
+        assert server.store.stats()["results"] == 0  # nothing published
+
+
+# -- CLI surface -------------------------------------------------------------
+
+
+class TestCli:
+    def test_parser_accepts_farm_flags(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(
+            ["work", "http://127.0.0.1:1", "--once", "--ttl", "5",
+             "--poll-interval", "0.1", "--max-tasks", "3", "--verbose"]
+        )
+        assert args.command == "work" and args.once and args.max_tasks == 3
+        args = parser.parse_args(
+            ["serve", "--max-mb", "64", "--gc-interval", "5", "--auth-token", "t"]
+        )
+        assert args.serve_max_mb == 64.0 and args.auth_token == "t"
+
+    def test_cmd_work_drains_a_queue(self, served, tmp_path, monkeypatch, capsys):
+        from repro.cli import build_parser, main
+
+        server, client, _ = served
+        QueueClient(client).submit([spec_to_wire(TraceSpec(WORKLOAD, LENGTH))])
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cli-worker"))
+        code = main(["work", server.url, "--once", "--poll-interval", "0.05"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1 completed" in out
+        assert server.queue.stats()["completed"] == 1
