@@ -17,9 +17,15 @@ its exit code):
    (prefetched / completed remotely / computed locally / quarantined)
    and the queue's books balanced.
 
+With ``--tls`` the whole farm runs over https: the coordinator serves
+behind a fresh self-signed certificate and every peer (workers and the
+submitting session) pins it via ``--tls-ca`` — the secured-deployment
+recipe from docs/engine.md, end to end.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/farm_smoke.py --length 4000
+    PYTHONPATH=src python benchmarks/farm_smoke.py --tls
 """
 
 import argparse
@@ -53,43 +59,52 @@ def _await_line(proc, pattern, deadline_s=30.0, label="process"):
     raise RuntimeError(f"{label} never came up (last line: {line!r})")
 
 
-def start_server(cache_dir):
+def start_server(cache_dir, tls=None):
     """Spawn ``repro serve`` on an ephemeral port; return (proc, url)."""
+    cmd = [
+        sys.executable,
+        "-m",
+        "repro",
+        "serve",
+        "--cache-dir",
+        str(cache_dir),
+        "--port",
+        "0",
+    ]
+    if tls is not None:
+        cert, key = tls
+        cmd += ["--tls-cert", str(cert), "--tls-key", str(key)]
     proc = subprocess.Popen(
-        [
-            sys.executable,
-            "-m",
-            "repro",
-            "serve",
-            "--cache-dir",
-            str(cache_dir),
-            "--port",
-            "0",
-        ],
+        cmd,
         stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT,
         text=True,
     )
-    match = _await_line(proc, r"on (http://[\d.]+:\d+)", label="repro serve")
+    match = _await_line(proc, r"on (https?://[\d.]+:\d+)", label="repro serve")
     return proc, match.group(1)
 
 
-def start_worker(url, cache_dir, ttl):
+def start_worker(url, cache_dir, ttl, tls_ca=None):
     """Spawn ``repro work`` against the coordinator; wait for readiness."""
+    cmd = [
+        sys.executable,
+        "-m",
+        "repro",
+        "--cache-dir",
+        str(cache_dir),
+    ]
+    if tls_ca is not None:
+        cmd += ["--tls-ca", str(tls_ca)]
+    cmd += [
+        "work",
+        url,
+        "--poll-interval",
+        "0.1",
+        "--ttl",
+        str(ttl),
+    ]
     proc = subprocess.Popen(
-        [
-            sys.executable,
-            "-m",
-            "repro",
-            "--cache-dir",
-            str(cache_dir),
-            "work",
-            url,
-            "--poll-interval",
-            "0.1",
-            "--ttl",
-            str(ttl),
-        ],
+        cmd,
         stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT,
         text=True,
@@ -122,6 +137,12 @@ def main(argv=None):
         default=180.0,
         help="submitter's distributed-sweep budget in seconds (default 180)",
     )
+    parser.add_argument(
+        "--tls",
+        action="store_true",
+        help="run the whole farm over https: coordinator behind a fresh "
+        "self-signed certificate, workers and submitter pinning it",
+    )
     args = parser.parse_args(argv)
 
     from repro.engine import QueueClient, RunSpec, Session
@@ -135,11 +156,21 @@ def main(argv=None):
         # Ground truth: a purely local session.
         reference = Session(cache_dir=tmp / "reference").run(specs)
 
-        proc, url = start_server(tmp / "served")
+        tls_pair = tls_ca = None
+        if args.tls:
+            from repro.engine.tlsutil import self_signed_cert
+
+            tls_pair = self_signed_cert(tmp / "tls")
+            tls_ca = str(tls_pair[0])
+
+        proc, url = start_server(tmp / "served", tls=tls_pair)
+        if args.tls:
+            assert url.startswith("https://"), url
         workers = []
         try:
             workers = [
-                start_worker(url, tmp / f"worker-{i}", args.ttl) for i in range(2)
+                start_worker(url, tmp / f"worker-{i}", args.ttl, tls_ca=tls_ca)
+                for i in range(2)
             ]
 
             # SIGKILL worker 0 mid-sweep (no cleanup, no lease release —
@@ -151,14 +182,18 @@ def main(argv=None):
             )
             killer.start()
 
-            submitter = Session(cache_dir=tmp / "submitter", remote_cache_url=url)
+            submitter = Session(
+                cache_dir=tmp / "submitter", remote_cache_url=url, tls_ca=tls_ca
+            )
             t0 = time.perf_counter()
             farm = submitter.run(specs, distributed=True, timeout=args.timeout)
             sweep_s = time.perf_counter() - t0
             killer.cancel()
             report = dict(submitter.last_distributed)
 
-            queue_stats = QueueClient(engine_config._remote_client(url)).stats()
+            queue_stats = QueueClient(
+                engine_config._remote_client(url, ca_file=tls_ca)
+            ).stats()
 
             workers[0].wait(timeout=10)
             killed_rc = workers[0].returncode

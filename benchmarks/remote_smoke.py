@@ -14,13 +14,25 @@ as a plain script (CI gates on its exit code):
    local tier;
 4. report the cold/warm wall-clock and the warm-hit speedup.
 
+Two transport variants exercise the secured-farm paths end to end:
+
+- ``--tls``  — the server speaks https behind a fresh self-signed
+  certificate and both machines pin it (``tls_ca``);
+- ``--s3``   — the shared store is an S3-compatible object store (the
+  in-process fake-S3 server, which re-verifies every SigV4 signature)
+  instead of a cache server; combine with ``--tls`` for https object
+  storage.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/remote_smoke.py --length 2000
+    PYTHONPATH=src python benchmarks/remote_smoke.py --tls
+    PYTHONPATH=src python benchmarks/remote_smoke.py --s3 --tls
 """
 
 import argparse
 import json
+import os
 import re
 import select
 import subprocess
@@ -33,19 +45,23 @@ WORKLOADS = ("ispec06.mcf", "hpc.linpack", "cloud.bigbench")
 SCHEMES = ("none", "spp")
 
 
-def start_server(cache_dir):
+def start_server(cache_dir, tls=None):
     """Spawn ``repro serve`` on an ephemeral port; return (proc, url)."""
+    cmd = [
+        sys.executable,
+        "-m",
+        "repro",
+        "serve",
+        "--cache-dir",
+        str(cache_dir),
+        "--port",
+        "0",
+    ]
+    if tls is not None:
+        cert, key = tls
+        cmd += ["--tls-cert", str(cert), "--tls-key", str(key)]
     proc = subprocess.Popen(
-        [
-            sys.executable,
-            "-m",
-            "repro",
-            "serve",
-            "--cache-dir",
-            str(cache_dir),
-            "--port",
-            "0",
-        ],
+        cmd,
         stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT,
         text=True,
@@ -60,7 +76,7 @@ def start_server(cache_dir):
         if not ready:
             break
         line = proc.stdout.readline()
-        match = re.search(r"on (http://[\d.]+:\d+)", line)
+        match = re.search(r"on (https?://[\d.]+:\d+)", line)
         if match is not None:
             return proc, match.group(1)
     proc.kill()
@@ -80,6 +96,18 @@ def main(argv=None):
         help="fail when the warm (remote-served) pass is not at least this "
         "much faster than the cold pass (default 1.2)",
     )
+    parser.add_argument(
+        "--tls",
+        action="store_true",
+        help="serve over https with a fresh self-signed certificate, "
+        "pinned by both machines",
+    )
+    parser.add_argument(
+        "--s3",
+        action="store_true",
+        help="share through an S3-compatible object store (the in-process "
+        "fake-S3 server) instead of a cache server",
+    )
     args = parser.parse_args(argv)
 
     from repro.engine import LocalDirBackend, RunSpec, Session, compute
@@ -87,14 +115,50 @@ def main(argv=None):
     specs = [RunSpec(w, s, args.length) for w in WORKLOADS for s in SCHEMES]
     with tempfile.TemporaryDirectory(prefix="repro-remote-smoke-") as tmp:
         tmp = Path(tmp)
-        proc, url = start_server(tmp / "served")
+
+        tls_pair = tls_ca = None
+        if args.tls:
+            from repro.engine.tlsutil import self_signed_cert
+
+            tls_pair = self_signed_cert(tmp / "tls")
+            tls_ca = str(tls_pair[0])
+
+        proc = fake_s3 = None
+        if args.s3:
+            from repro.engine.fakes3 import serve_fake_s3
+
+            fake_s3 = serve_fake_s3(
+                tls_cert=tls_pair[0] if tls_pair else None,
+                tls_key=tls_pair[1] if tls_pair else None,
+            )
+            url = fake_s3.endpoint
+            os.environ["REPRO_S3_ACCESS_KEY"] = fake_s3.access_key
+            os.environ["REPRO_S3_SECRET_KEY"] = fake_s3.secret_key
+            os.environ["REPRO_S3_REGION"] = fake_s3.region
+            session_kwargs = {"s3_cache_url": url, "tls_ca": tls_ca}
+        else:
+            proc, url = start_server(tmp / "served", tls=tls_pair)
+            session_kwargs = {"remote_cache_url": url, "tls_ca": tls_ca}
+        if args.tls:
+            assert url.startswith("https://"), url
+
         try:
-            machine_a = Session(cache_dir=tmp / "machine-a", remote_cache_url=url)
+            machine_a = Session(cache_dir=tmp / "machine-a", **session_kwargs)
             t0 = time.perf_counter()
             origin = machine_a.run(specs)
             cold_s = time.perf_counter() - t0
 
-            published = LocalDirBackend(tmp / "served").stats()
+            if fake_s3 is not None:
+                published = {
+                    "results": sum(
+                        1 for k in fake_s3.objects if k.startswith("results/")
+                    ),
+                    "traces": sum(
+                        1 for k in fake_s3.objects if k.startswith("traces/")
+                    ),
+                }
+            else:
+                published = LocalDirBackend(tmp / "served").stats()
             assert published["results"] == len(specs), published
             assert published["traces"] == len(WORKLOADS), published
 
@@ -107,7 +171,7 @@ def main(argv=None):
 
             compute.simulate_run = compute.build_trace_artifact = _poisoned
             try:
-                machine_b = Session(cache_dir=tmp / "machine-b", remote_cache_url=url)
+                machine_b = Session(cache_dir=tmp / "machine-b", **session_kwargs)
                 t0 = time.perf_counter()
                 warm = machine_b.run(specs)
                 warm_s = time.perf_counter() - t0
@@ -118,18 +182,25 @@ def main(argv=None):
                 a.to_dict() != b.to_dict() for a, b in zip(origin, warm)
             )
             promoted = LocalDirBackend(tmp / "machine-b").stats()["results"]
+            bad_signatures = fake_s3.bad_signatures if fake_s3 is not None else 0
         finally:
-            proc.terminate()
-            proc.wait(timeout=10)
+            if proc is not None:
+                proc.terminate()
+                proc.wait(timeout=10)
+            if fake_s3 is not None:
+                fake_s3.shutdown()
+                fake_s3.server_close()
 
     summary = {
         "specs": len(specs),
+        "transport": ("s3" if args.s3 else "serve") + ("+tls" if args.tls else ""),
         "cold_seconds": round(cold_s, 3),
         "warm_seconds": round(warm_s, 3),
         "warm_speedup": round(cold_s / warm_s, 1) if warm_s > 0 else None,
         "served_from_remote": True,  # the poisoned compute layer proves it
         "mismatches": mismatches,
         "promoted_locally": promoted,
+        "bad_signatures": bad_signatures,
     }
     print(json.dumps(summary, indent=2))
     if mismatches:
@@ -141,6 +212,12 @@ def main(argv=None):
             file=sys.stderr,
         )
         return 1
+    if bad_signatures:
+        print(
+            f"FAIL: the object store rejected {bad_signatures} SigV4 signature(s)",
+            file=sys.stderr,
+        )
+        return 1
     if summary["warm_speedup"] is not None and summary["warm_speedup"] < args.min_speedup:
         print(
             f"FAIL: warm-hit speedup {summary['warm_speedup']}x "
@@ -149,7 +226,7 @@ def main(argv=None):
         )
         return 1
     print(
-        f"ok: {len(specs)} specs served from the remote store "
+        f"ok: {len(specs)} specs served from the {summary['transport']} store "
         f"({summary['warm_speedup']}x warm-hit speedup)"
     )
     return 0

@@ -10,14 +10,18 @@ Subcommands:
 - ``trace-stats`` — access-structure statistics of a workload trace.
 - ``sweep`` — one scheme across the six DRAM configurations (Figure 15's
   x-axis) for one workload.
-- ``cache`` — inspect, clear or garbage-collect (``cache gc --max-mb N``,
-  size-bounded LRU eviction) the engine's on-disk result/trace store.
+- ``cache`` — inspect, clear, garbage-collect (``cache gc --max-mb N``,
+  size-bounded LRU eviction) or scrub (``cache verify [--repair]``,
+  quarantining corrupt entries to ``corrupt/``) the engine's on-disk
+  result/trace store.
 - ``serve`` — publish a cache directory as an HTTP cache server that
   other machines reach via ``--remote-cache URL``; doubles as the
   sweep-farm coordinator (``--max-mb`` keeps it size-bounded,
-  ``--auth-token`` adds shared-secret auth).
+  ``--auth-token`` adds shared-secret auth, ``--tls-cert/--tls-key``
+  put the wire behind TLS so the token is safe off-LAN).
 - ``work`` — join a sweep farm: lease specs from a coordinator's work
-  queue, compute them locally, publish the results back.
+  queue, compute them locally, publish the results back
+  (``--spec-timeout S`` bounds each leased spec's wall clock).
 
 Global engine flags (before the subcommand): ``--jobs N`` fans
 independent runs across N worker processes, ``--cache-dir PATH``
@@ -25,8 +29,12 @@ relocates the persistent store, ``--no-cache`` disables the disk layer
 for this invocation, ``--shared-cache PATH`` layers a read-only
 shared store (e.g. a network mount another host populated) under the
 local one — hits are promoted into the local tier — and
-``--remote-cache URL`` layers a ``repro serve`` server under everything
+``--remote-cache URL`` layers a ``repro serve`` server above that
 (read-through with local promotion, write-through publication).
+``--s3-cache URL`` adds an S3-compatible object store as the outermost
+durable tier, and ``--tls-ca PEM`` pins the certificate both network
+tiers verify ``https`` peers against (the self-signed recipe in
+docs/engine.md).
 
 Simulation commands batch their runs through the default engine
 :class:`~repro.engine.session.Session`, so ``--jobs`` parallelism
@@ -175,6 +183,7 @@ def _cmd_sweep(args):
 
 def _cmd_serve(args):
     import os
+    import ssl
 
     from repro.engine import current_config, make_server
 
@@ -196,12 +205,21 @@ def _cmd_serve(args):
                 else int(args.serve_max_mb * 1024 * 1024)
             ),
             gc_interval=args.gc_interval,
+            tls_cert=args.tls_cert,
+            tls_key=args.tls_key,
         )
-    except OSError as exc:
-        raise SystemExit(f"cannot bind {args.host}:{args.port}: {exc}") from None
+    except ValueError as exc:
+        # --tls-key without --tls-cert (and friends): a config error.
+        raise SystemExit(str(exc)) from None
+    except (OSError, ssl.SSLError) as exc:
+        raise SystemExit(
+            f"cannot serve on {args.host}:{args.port}: {exc}"
+        ) from None
     mode = " (read-only)" if args.read_only else ""
     if auth_token:
         mode += " (token auth)"
+    if args.tls_cert:
+        mode += " (tls)"
     # The exact "serving ... on <url>" line is the machine-readable
     # readiness signal scripts parse to discover an ephemeral port.
     print(f"serving {cache_dir} on {server.url}{mode}", flush=True)
@@ -229,6 +247,7 @@ def _cmd_work(args):
         max_tasks=args.max_tasks,
         once=args.once,
         verbose=args.verbose,
+        spec_timeout=args.spec_timeout,
     )
     print(
         f"worker {tally['worker']}: {tally['completed']} completed, "
@@ -267,35 +286,69 @@ def _cmd_cache(args):
             f"({summary['remaining_bytes'] / 1024:.1f} KB <= {args.max_mb:g} MB)"
         )
         return 0
+    if action == "verify":
+        if store is None:
+            print("disk cache disabled; nothing to verify")
+            return 0
+        verify = getattr(store, "verify", None)
+        if verify is None:
+            print("the configured store does not support verification")
+            return 0
+        report = verify(repair=args.repair)
+        for reason, path in report["entries"]:
+            print(f"{reason:<10} {path}")
+        summary = (
+            f"checked {report['checked']} artifacts: {report['ok']} ok, "
+            f"{report['corrupt']} corrupt, {report['foreign']} foreign"
+        )
+        if args.repair:
+            summary += f", {report['quarantined']} quarantined to corrupt/"
+        print(summary)
+        remaining = report["corrupt"] + report["foreign"] - report["quarantined"]
+        if remaining:
+            print("run 'repro cache verify --repair' to quarantine them")
+        # A scrub that leaves bad entries in place is a failed check.
+        return 1 if remaining else 0
     print(f"cache dir  {cfg.cache_dir}")
     print(f"disk cache {'enabled' if cfg.disk_cache else 'disabled'}")
     if cfg.shared_cache_dir is not None:
         print(f"shared     {cfg.shared_cache_dir} (read-only tier)")
     if cfg.remote_cache_url is not None:
         print(f"remote     {cfg.remote_cache_url} (write-through tier)")
+    if cfg.s3_cache_url is not None:
+        print(f"s3         {cfg.s3_cache_url} (durable write-through tier)")
     print(f"jobs       {cfg.jobs}")
     print(f"code salt  {code_salt()}")
     if store is not None:
-        # With a remote configured the store is (local tiers) over the
-        # remote client; stat the inner tiers here and query the server
-        # once, below — not once per tier walk.
-        local_store = store.local if cfg.remote_cache_url is not None else store
+        from repro.engine.backends import TieredBackend
+
+        # Peel the network tiers (remote server, object store) off the
+        # outside so the local stats are one directory walk and each
+        # network peer is queried exactly once.
+        local_store = store
+        network_tiers = []
+        while isinstance(local_store, TieredBackend) and hasattr(
+            local_store.shared, "_request"
+        ):
+            network_tiers.append(local_store.shared)
+            local_store = local_store.local
         stats = local_store.stats()
         print(f"results    {stats['results']}")
         print(f"traces     {stats['traces']}")
         print(f"size       {stats['bytes'] / 1024:.1f} KB")
         if "shared_results" in stats:
             print(f"shared     {stats['shared_results']} results, {stats['shared_traces']} traces")
-        if cfg.remote_cache_url is not None:
-            remote = store.shared.stats()
-            if remote.get("reachable", True):
-                suffix = " [read-only]" if remote.get("read_only") else ""
+        for client in reversed(network_tiers):  # innermost (remote) first
+            label = "s3" if hasattr(client, "bucket") else "remote"
+            tier = client.stats()
+            if tier.get("reachable", True):
+                suffix = " [read-only]" if tier.get("read_only") else ""
                 print(
-                    f"remote     {remote['results']} results, "
-                    f"{remote['traces']} traces{suffix}"
+                    f"{label:<10} {tier['results']} results, "
+                    f"{tier['traces']} traces{suffix}"
                 )
             else:
-                print("remote     unreachable")
+                print(f"{label:<10} unreachable")
     return 0
 
 
@@ -337,6 +390,24 @@ def build_parser():
         "read-through with local promotion, write-through publication "
         "(default: REPRO_REMOTE_CACHE; ignored under --no-cache)",
     )
+    parser.add_argument(
+        "--s3-cache",
+        default=None,
+        metavar="URL",
+        help="S3-compatible object store as the outermost durable tier: "
+        "http(s)://host[:port]/bucket[/prefix], credentials from "
+        "AWS_ACCESS_KEY_ID/AWS_SECRET_ACCESS_KEY or REPRO_S3_ACCESS_KEY/"
+        "REPRO_S3_SECRET_KEY (default: REPRO_S3_CACHE; ignored under "
+        "--no-cache)",
+    )
+    parser.add_argument(
+        "--tls-ca",
+        default=None,
+        metavar="PEM",
+        help="CA bundle (or self-signed certificate) to verify https "
+        "cache/S3 peers against, instead of the system trust store "
+        "(default: REPRO_TLS_CA)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list-workloads", help="show the 75-workload catalog").add_argument(
@@ -373,9 +444,10 @@ def build_parser():
     cache.add_argument(
         "action",
         nargs="?",
-        choices=("show", "clear", "gc"),
+        choices=("show", "clear", "gc", "verify"),
         default=None,
-        help="show store info (default), delete everything, or LRU-evict to a size bound",
+        help="show store info (default), delete everything, LRU-evict to "
+        "a size bound, or scrub every entry for corruption",
     )
     cache.add_argument("--clear", action="store_true", help="alias for the 'clear' action")
     cache.add_argument(
@@ -383,6 +455,13 @@ def build_parser():
         type=float,
         default=512.0,
         help="gc size bound in MB: least-recently-used artifacts are evicted until the store fits (default 512)",
+    )
+    cache.add_argument(
+        "--repair",
+        action="store_true",
+        help="with 'verify': move corrupt/foreign entries to corrupt/ "
+        "under the store root (non-destructive quarantine) so they "
+        "become honest recomputable misses",
     )
 
     serve = sub.add_parser(
@@ -427,6 +506,19 @@ def build_parser():
         help="require this shared secret (X-Repro-Token) on every request "
         "(default: REPRO_CACHE_TOKEN if set, else no auth)",
     )
+    serve.add_argument(
+        "--tls-cert",
+        default=None,
+        metavar="PEM",
+        help="serve over TLS with this certificate chain; clients use "
+        "https:// URLs (and --tls-ca to pin a self-signed cert)",
+    )
+    serve.add_argument(
+        "--tls-key",
+        default=None,
+        metavar="PEM",
+        help="private key for --tls-cert (omit if the key is in the cert file)",
+    )
 
     work = sub.add_parser(
         "work",
@@ -458,6 +550,15 @@ def build_parser():
         action="store_true",
         help="exit as soon as the queue has nothing to lease (drain mode)",
     )
+    work.add_argument(
+        "--spec-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-spec wall-clock watchdog: a leased spec exceeding S "
+        "seconds is failed back to the queue (counting toward "
+        "quarantine) instead of hanging this worker (default: none)",
+    )
     work.add_argument("--verbose", action="store_true", help="log each spec to stderr")
 
     return parser
@@ -485,6 +586,8 @@ def main(argv=None):
         or args.no_cache
         or args.shared_cache is not None
         or args.remote_cache is not None
+        or args.s3_cache is not None
+        or args.tls_ca is not None
     ):
         from repro.engine import configure
 
@@ -494,6 +597,8 @@ def main(argv=None):
             disk_cache=False if args.no_cache else None,
             shared_cache_dir=args.shared_cache,
             remote_cache_url=args.remote_cache,
+            s3_cache_url=args.s3_cache,
+            tls_ca=args.tls_ca,
         )
     return _HANDLERS[args.command](args)
 

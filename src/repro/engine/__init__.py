@@ -12,9 +12,11 @@ surface is the **session API**:
   executes any batch with deterministic input-order merge and optional
   process-pool fan-out;
 - :class:`LocalDirBackend` / :class:`InMemoryBackend` /
-  :class:`TieredBackend` / :class:`RemoteBackend` — store backends
-  (on-disk, ephemeral, read-through local-over-shared, and an HTTP
-  client for a ``repro serve`` cache server);
+  :class:`TieredBackend` / :class:`RemoteBackend` / :class:`S3Backend`
+  — store backends (on-disk, ephemeral, read-through
+  local-over-shared, an HTTP(S) client for a ``repro serve`` cache
+  server, and a stdlib-only SigV4 client for any S3-compatible object
+  store);
 - the **sweep farm** (:class:`WorkQueue` / :class:`QueueClient` /
   :func:`run_worker`) — ``Session.run(specs, distributed=True)`` offers
   a batch to ``repro work`` peers through the cache server's
@@ -62,6 +64,7 @@ from repro.engine.fingerprint import (
 )
 from repro.engine.parallel import execute_spec, execute_specs, mix_spec, run_spec
 from repro.engine.remote import CacheServer, RemoteBackend, make_server, serve_background
+from repro.engine.s3 import S3Backend
 from repro.engine.session import Session, default_session
 from repro.engine.specs import MixSpec, RunSpec, TraceSpec
 from repro.engine.store import ResultStore
@@ -83,6 +86,7 @@ __all__ = [
     "RemoteBackend",
     "ResultStore",
     "RunSpec",
+    "S3Backend",
     "Session",
     "StoreBackend",
     "TieredBackend",

@@ -22,6 +22,7 @@ Three implementations ship here:
 
 import os
 import pickle
+import re
 import shutil
 import sys
 import tempfile
@@ -30,6 +31,32 @@ from pathlib import Path
 from typing import Protocol, runtime_checkable
 
 from repro.cpu.trace import Trace
+
+#: Shape of a valid store key: the spec fingerprint, 64 lowercase hex.
+_DIGEST_RE = re.compile(r"^[0-9a-f]{64}$")
+
+
+def _fsync_directory(path):
+    """Flush a directory's metadata (the rename itself) to disk.
+
+    Best-effort and POSIX-only: without it an ``os.replace`` survives a
+    process crash but not a power loss — the file's *bytes* are synced
+    separately, this pins the *name*.  Filesystems that refuse directory
+    fds (or non-POSIX platforms) degrade silently; the write is still
+    crash-atomic, just not power-loss-durable.
+    """
+    if not hasattr(os, "O_DIRECTORY"):
+        return
+    try:
+        fd = os.open(path, os.O_RDONLY | os.O_DIRECTORY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
 
 
 @runtime_checkable
@@ -126,7 +153,15 @@ class LocalDirBackend:
         try:
             with os.fdopen(fd, "wb") as f:
                 writer(f)
+                # Durability, not just atomicity: sync the bytes before
+                # publishing the name.  Without this, a power loss after
+                # the rename can leave a *published* torn file — which
+                # the corrupt-entry handling then masks as a permanent
+                # silent miss.
+                f.flush()
+                os.fsync(f.fileno())
             os.replace(tmp, path)
+            _fsync_directory(path.parent)
         except BaseException:
             try:
                 os.unlink(tmp)
@@ -203,7 +238,16 @@ class LocalDirBackend:
         os.close(fd)
         try:
             trace.save(tmp)
+            # Same durability contract as _atomic_write: the .npz was
+            # written (and closed) by numpy, so reopen to sync its bytes
+            # before the rename publishes the name.
+            sync_fd = os.open(tmp, os.O_RDONLY)
+            try:
+                os.fsync(sync_fd)
+            finally:
+                os.close(sync_fd)
             os.replace(tmp, path)
+            _fsync_directory(path.parent)
         except OSError as exc:
             self._write_failed(exc)
             try:
@@ -302,6 +346,92 @@ class LocalDirBackend:
             total_bytes += sum(p.stat().st_size for p in files)
         out["bytes"] = total_bytes
         return out
+
+    def _decodable(self, kind, path):
+        """Can this artifact actually be loaded?  (The scrub's oracle —
+        the same decode the hot path performs, so anything verify passes
+        the cache will serve.)"""
+        try:
+            if kind == "results":
+                with open(path, "rb") as f:
+                    payload = pickle.load(f)
+                return isinstance(payload, dict) and "result" in payload
+            Trace.load(path)
+            return True
+        except Exception:
+            return False
+
+    def verify(self, repair=False):
+        """Scrub the store: check every entry decodes and sits under the
+        name/shard the layout contract demands.
+
+        The load paths deliberately treat corrupt entries as misses so a
+        torn file can never crash a run — but that also makes them
+        *silent permanent* misses.  ``verify`` is the loud counterpart:
+        it walks ``results/`` and ``traces/``, re-decodes every
+        artifact, and reports entries that are corrupt (undecodable) or
+        foreign (name is not a ``<digest 64-hex><right suffix>`` under
+        its own ``<aa>`` shard).  With ``repair=True`` both kinds are
+        moved to ``corrupt/`` under the store root — non-destructive
+        quarantine, so the bytes stay inspectable while the key becomes
+        an honest recomputable miss.
+
+        Returns a report dict: counts plus ``entries`` — a list of
+        ``(reason, path)`` pairs (reason in ``"corrupt"``/``"foreign"``).
+        In-progress ``.tmp-`` writer files are skipped, like ``gc``.
+        """
+        report = {
+            "checked": 0,
+            "ok": 0,
+            "corrupt": 0,
+            "foreign": 0,
+            "quarantined": 0,
+            "entries": [],
+        }
+        suffixes = {"results": ".pkl", "traces": ".npz"}
+        for kind in ("results", "traces"):
+            base = self.root / kind
+            if not base.is_dir():
+                continue
+            for path in sorted(p for p in base.rglob("*") if p.is_file()):
+                if path.name.startswith(".tmp-"):
+                    continue
+                report["checked"] += 1
+                digest = path.stem
+                well_named = (
+                    _DIGEST_RE.match(digest) is not None
+                    and path.suffix == suffixes[kind]
+                    and path.parent.name == digest[:2]
+                    and path.parent.parent == base
+                )
+                if not well_named:
+                    reason = "foreign"
+                elif not self._decodable(kind, path):
+                    reason = "corrupt"
+                else:
+                    report["ok"] += 1
+                    continue
+                report[reason] += 1
+                report["entries"].append((reason, str(path)))
+                if repair and self._quarantine(path):
+                    report["quarantined"] += 1
+        return report
+
+    def _quarantine(self, path):
+        """Move one bad entry to ``corrupt/`` (best-effort); True on success."""
+        target_dir = self.root / "corrupt"
+        try:
+            target_dir.mkdir(parents=True, exist_ok=True)
+            target = target_dir / path.name
+            counter = 0
+            while target.exists():
+                counter += 1
+                target = target_dir / f"{path.name}.{counter}"
+            os.replace(path, target)
+            return True
+        except OSError as exc:
+            self._write_failed(exc)
+            return False
 
 
 class InMemoryBackend:
@@ -414,6 +544,12 @@ class TieredBackend:
 
     def gc(self, max_bytes):
         return self.local.gc(max_bytes)
+
+    def verify(self, repair=False):
+        """Scrub the writable tier (the only one this process owns)."""
+        if hasattr(self.local, "verify"):
+            return self.local.verify(repair=repair)
+        return None
 
     def stats(self):
         """Local-tier stats plus the shared tier's entry counts.

@@ -1,0 +1,343 @@
+"""A tiny in-process S3-compatible server for tests and smoke runs.
+
+Speaks just enough of the S3 REST wire for :class:`~repro.engine.s3.
+S3Backend`: path-style GET/PUT/DELETE of objects plus ListObjectsV2,
+with objects held in memory.  Two properties make it a real acceptance
+bar rather than a mock:
+
+- **It verifies signatures.**  Every request's SigV4 ``Authorization``
+  header is recomputed server-side from the configured credentials over
+  the *received* method/path/query/headers, and the declared
+  ``x-amz-content-sha256`` is checked against the actual body.  A
+  client that signs the wrong canonical request — or whose credentials
+  do not match — gets the same ``403 SignatureDoesNotMatch`` a real
+  store would send.
+- **It injects faults on demand.**  :meth:`FakeS3Server.inject` arms
+  per-request failure modes (throttle storms, stale reads, corrupt or
+  truncated bodies, blanket credential rejection) so the conformance
+  suite can prove the client degrades to bit-identical local compute
+  with one warning — the same discipline the cache-server suite pins.
+
+TLS comes from the shared :class:`~repro.engine.remote.TlsServerMixin`,
+so an ``https`` fake endpoint exercises the exact client code path a
+production MinIO/AWS endpoint would.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+import sys
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from xml.sax.saxutils import escape
+
+from repro.engine.remote import TlsServerMixin
+from repro.engine.s3 import sigv4_authorization, uri_encode
+
+__all__ = ["FakeS3Server", "serve_fake_s3"]
+
+#: Fault modes understood by :meth:`FakeS3Server.inject`.
+FAULTS = (
+    "throttle",  # respond 503 SlowDown (what AWS throttling looks like)
+    "throttle-429",  # respond 429 (what most S3-compatibles send)
+    "stale",  # GET: pretend the object does not exist yet (eventual consistency)
+    "corrupt",  # GET: flip a byte in the body (metadata checksum must catch it)
+    "truncate",  # GET: advertise the full length, send half, drop the socket
+    "drop-put",  # PUT: read half the body, then drop the socket mid-upload
+    "reject-auth",  # respond 403 regardless of signature (expired credentials)
+)
+
+
+class FakeS3Server(TlsServerMixin, ThreadingHTTPServer):
+    """In-memory S3 endpoint bound to ``127.0.0.1:<ephemeral>``."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        bucket="repro-cache",
+        access_key="AKIAFAKEACCESSKEY00",
+        secret_key="fake/secret/key/for/tests/only",
+        region="us-east-1",
+        address=("127.0.0.1", 0),
+        tls_cert=None,
+        tls_key=None,
+        verbose=False,
+    ):
+        self._init_tls(tls_cert, tls_key)
+        super().__init__(address, _FakeS3Handler)
+        self.bucket = bucket
+        self.access_key = access_key
+        self.secret_key = secret_key
+        self.region = region
+        self.verbose = verbose
+        #: key -> (bytes, {lowercase meta header: value})
+        self.objects = {}
+        #: fault mode -> remaining request count
+        self._faults = {}
+        self._lock = threading.Lock()
+        #: Requests that failed signature verification (for assertions).
+        self.bad_signatures = 0
+
+    # -- test controls -------------------------------------------------------
+
+    def inject(self, mode, count=1):
+        """Arm ``mode`` (see :data:`FAULTS`) for the next ``count`` requests."""
+        if mode not in FAULTS:
+            raise ValueError(f"unknown fault {mode!r}; pick from {FAULTS}")
+        with self._lock:
+            self._faults[mode] = self._faults.get(mode, 0) + int(count)
+
+    def clear_faults(self):
+        with self._lock:
+            self._faults.clear()
+
+    def _take_fault(self, *modes):
+        """Consume one armed fault among ``modes``; returns the mode or None."""
+        with self._lock:
+            for mode in modes:
+                if self._faults.get(mode, 0) > 0:
+                    self._faults[mode] -= 1
+                    return mode
+        return None
+
+    @property
+    def endpoint(self):
+        """Client-side URL (scheme + host + port + bucket path)."""
+        return f"{self.url}/{self.bucket}"
+
+
+class _FakeS3Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server: FakeS3Server
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if self.server.verbose:
+            sys.stderr.write("fakes3: " + format % args + "\n")
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _send(self, status, body=b"", content_type="application/octet-stream", extra=None):
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (extra or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        if self.command != "HEAD":
+            self.wfile.write(body)
+
+    def _send_error_xml(self, status, code, message):
+        body = (
+            f'<?xml version="1.0" encoding="UTF-8"?>\n<Error><Code>{code}</Code>'
+            f"<Message>{escape(message)}</Message></Error>"
+        ).encode()
+        self._send(status, body, content_type="application/xml")
+
+    def _read_body(self):
+        length = int(self.headers.get("Content-Length") or 0)
+        mode = self.server._take_fault("drop-put")
+        if mode and length:
+            # Read half the upload, then sever the connection: the
+            # client must see a transport error, not a quiet 200.
+            self.rfile.read(length // 2)
+            self.close_connection = True
+            raise ConnectionResetError("injected mid-upload drop")
+        return self.rfile.read(length) if length else b""
+
+    def _verify_signature(self, body):
+        """Recompute SigV4 over the received request; None if it matches,
+        else an (status, code, message) error triple."""
+        auth = self.headers.get("Authorization") or ""
+        match = re.match(
+            r"AWS4-HMAC-SHA256 Credential=([^/]+)/(\d{8})/([^/]+)/s3/aws4_request,\s*"
+            r"SignedHeaders=([^,]+),\s*Signature=([0-9a-f]{64})",
+            auth,
+        )
+        if not match:
+            return (403, "AccessDenied", "missing or malformed Authorization")
+        access_key, _datestamp, region, signed_names, signature = match.groups()
+        if access_key != self.server.access_key or region != self.server.region:
+            return (403, "InvalidAccessKeyId", "unknown access key or region")
+        declared_hash = self.headers.get("x-amz-content-sha256") or ""
+        if declared_hash != hashlib.sha256(body).hexdigest():
+            return (400, "XAmzContentSHA256Mismatch", "payload hash mismatch")
+        amz_date = self.headers.get("x-amz-date") or ""
+        path, _, query_string = self.path.partition("?")
+        query = []
+        for item in query_string.split("&") if query_string else ():
+            key, _, value = item.partition("=")
+            query.append((_unquote(key), _unquote(value)))
+        signed_headers = {}
+        for name in signed_names.split(";"):
+            value = self.headers.get(name)
+            if value is None:
+                return (403, "SignatureDoesNotMatch", f"signed header {name} absent")
+            signed_headers[name] = value
+        expected = sigv4_authorization(
+            self.command,
+            path,
+            query,
+            signed_headers,
+            declared_hash,
+            self.server.access_key,
+            self.server.secret_key,
+            self.server.region,
+            "s3",
+            amz_date,
+        )
+        if expected != auth:
+            return (403, "SignatureDoesNotMatch", "signature mismatch")
+        return None
+
+    def _gate(self, body=b""):
+        """Common fault + auth gate; True when the request may proceed."""
+        mode = self.server._take_fault("throttle", "throttle-429", "reject-auth")
+        if mode == "throttle":
+            self._send_error_xml(503, "SlowDown", "injected throttle")
+            return False
+        if mode == "throttle-429":
+            self._send_error_xml(429, "SlowDown", "injected throttle")
+            return False
+        if mode == "reject-auth":
+            self._send_error_xml(403, "ExpiredToken", "injected credential rejection")
+            return False
+        error = self._verify_signature(body)
+        if error is not None:
+            self.server.bad_signatures += 1
+            self._send_error_xml(*error)
+            return False
+        return True
+
+    def _object_key(self):
+        """Bucket-relative decoded key, or None for a non-object path."""
+        path = _unquote(self.path.partition("?")[0])
+        parts = path.lstrip("/").split("/", 1)
+        if parts[0] != self.server.bucket:
+            return None
+        return parts[1] if len(parts) > 1 and parts[1] else ""
+
+    # -- verbs ---------------------------------------------------------------
+
+    def do_GET(self):
+        if not self._gate():
+            return
+        key = self._object_key()
+        if key is None:
+            self._send_error_xml(404, "NoSuchBucket", "unknown bucket")
+            return
+        if key == "":  # bucket-level: ListObjectsV2
+            self._list_objects()
+            return
+        if self.server._take_fault("stale"):
+            self._send_error_xml(404, "NoSuchKey", "injected stale read")
+            return
+        with self.server._lock:
+            entry = self.server.objects.get(key)
+        if entry is None:
+            self._send_error_xml(404, "NoSuchKey", "no such key")
+            return
+        payload, meta = entry
+        mode = self.server._take_fault("corrupt", "truncate")
+        if mode == "corrupt" and payload:
+            payload = bytes([payload[0] ^ 0xFF]) + payload[1:]
+        if mode == "truncate":
+            self.send_response(200)
+            self.send_header("Content-Type", "application/octet-stream")
+            self.send_header("Content-Length", str(len(payload)))
+            for name, value in meta.items():
+                self.send_header(name, value)
+            self.end_headers()
+            self.wfile.write(payload[: max(1, len(payload) // 2)])
+            self.close_connection = True
+            raise ConnectionResetError("injected truncated response")
+        self._send(200, payload, extra=meta)
+
+    def do_PUT(self):
+        try:
+            body = self._read_body()
+        except ConnectionResetError:
+            return  # handle_error on the mixin swallows the noise
+        if not self._gate(body):
+            return
+        key = self._object_key()
+        if not key:
+            self._send_error_xml(404, "NoSuchBucket", "unknown bucket or empty key")
+            return
+        meta = {
+            name.lower(): value
+            for name, value in self.headers.items()
+            if name.lower().startswith("x-amz-meta-")
+        }
+        with self.server._lock:
+            self.server.objects[key] = (body, meta)
+        etag = hashlib.md5(body).hexdigest()
+        self._send(200, extra={"ETag": f'"{etag}"'})
+
+    def do_DELETE(self):
+        if not self._gate():
+            return
+        key = self._object_key()
+        if not key:
+            self._send_error_xml(404, "NoSuchBucket", "unknown bucket or empty key")
+            return
+        with self.server._lock:
+            self.server.objects.pop(key, None)
+        self._send(204)
+
+    def _list_objects(self):
+        query = dict(
+            item.partition("=")[::2]
+            for item in self.path.partition("?")[2].split("&")
+            if item
+        )
+        prefix = _unquote(query.get("prefix", ""))
+        with self.server._lock:
+            items = sorted(
+                (key, len(payload))
+                for key, (payload, _) in self.server.objects.items()
+                if key.startswith(prefix)
+            )
+        contents = "".join(
+            f"<Contents><Key>{escape(key)}</Key><Size>{size}</Size></Contents>"
+            for key, size in items
+        )
+        body = (
+            '<?xml version="1.0" encoding="UTF-8"?>'
+            f'<ListBucketResult><Name>{escape(self.server.bucket)}</Name>'
+            f"<KeyCount>{len(items)}</KeyCount><IsTruncated>false</IsTruncated>"
+            f"{contents}</ListBucketResult>"
+        ).encode()
+        self._send(200, body, content_type="application/xml")
+
+
+def _unquote(text):
+    """%XX decode (uppercase-hex flavour used by :func:`uri_encode`)."""
+    out = bytearray()
+    raw = text.encode()
+    i = 0
+    while i < len(raw):
+        if raw[i : i + 1] == b"%" and i + 3 <= len(raw):
+            try:
+                out.append(int(raw[i + 1 : i + 3], 16))
+                i += 3
+                continue
+            except ValueError:
+                pass
+        out.append(raw[i])
+        i += 1
+    return out.decode("utf-8", "replace")
+
+
+def serve_fake_s3(tls_cert=None, tls_key=None, **kwargs):
+    """Start a :class:`FakeS3Server` on a background thread.
+
+    Returns the server; call ``shutdown()`` + ``server_close()`` when
+    done (or just let a daemon-threaded test process exit).
+    """
+    server = FakeS3Server(tls_cert=tls_cert, tls_key=tls_key, **kwargs)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    server._thread = thread
+    return server

@@ -41,10 +41,24 @@ it in ``X-Repro-Token`` (compared constant-time) or is answered ``401``.
 Clients treat a 401 exactly like the read-only 403 path — degrade to
 misses/no-ops with one warning, never an exception.
 
+The wire can be TLS-secured end to end: ``repro serve --tls-cert
+CERT --tls-key KEY`` wraps every connection in stdlib ``ssl`` (so the
+shared-secret token no longer travels in cleartext), and clients accept
+``https://`` URLs — verifying against the system trust store by
+default, or against a pinned CA/self-signed certificate via
+``--tls-ca`` / ``REPRO_TLS_CA``.  A failed handshake (wrong CA, expired
+certificate, plain-HTTP client on a TLS port) is just another transport
+fault: the client degrades to misses with one warning and the server
+drops the connection without disturbing other clients.
+
 The client is engineered for graceful degradation: the remote store is
 an optimization, so *any* network, protocol or decode failure is a
 cache miss (loads) or a no-op (saves) with a one-time warning on
-stderr — never an exception out of a simulation run.
+stderr — never an exception out of a simulation run.  The transport
+half of that posture (connection pool, bounded retries with backoff,
+circuit breaker, warn-once degradation, TLS) lives in
+:class:`ResilientHttpClient` so other HTTP stores — notably
+:class:`repro.engine.s3.S3Backend` — inherit it unchanged.
 """
 
 import hashlib
@@ -54,6 +68,7 @@ import io
 import json
 import pickle
 import re
+import ssl
 import sys
 import threading
 import time
@@ -340,7 +355,69 @@ class _CacheRequestHandler(BaseHTTPRequestHandler):
         self._send_json(out)
 
 
-class CacheServer(ThreadingHTTPServer):
+class TlsServerMixin:
+    """TLS support for a :class:`ThreadingHTTPServer` subclass.
+
+    Call :meth:`_init_tls` *before* ``ThreadingHTTPServer.__init__`` so
+    a bad cert/key pair is a loud startup error, not a per-connection
+    surprise.  Used by :class:`CacheServer` and the fake-S3 test server
+    (:mod:`repro.engine.fakes3`) so both speak the same wire.
+    """
+
+    #: Subclasses may set this; :meth:`handle_error` logs under it.
+    verbose = False
+
+    def _init_tls(self, tls_cert, tls_key):
+        self._tls_context = None
+        if tls_cert:
+            context = ssl.SSLContext(ssl.PROTOCOL_TLS_SERVER)
+            context.load_cert_chain(str(tls_cert), str(tls_key) if tls_key else None)
+            self._tls_context = context
+        elif tls_key:
+            raise ValueError("--tls-key without --tls-cert; provide both")
+
+    def get_request(self):
+        """Accept one connection, wrapping it in TLS when configured.
+
+        The handshake itself is deferred (``do_handshake_on_connect=
+        False``): OpenSSL performs it transparently on the handler
+        thread's first read, so a peer that never completes a handshake
+        cannot block the accept loop.
+        """
+        sock, addr = super().get_request()
+        if self._tls_context is not None:
+            sock = self._tls_context.wrap_socket(
+                sock, server_side=True, do_handshake_on_connect=False
+            )
+        return sock, addr
+
+    def handle_error(self, request, client_address):
+        """Keep peer-inflicted transport noise off the server's stderr.
+
+        A failed TLS handshake (plain-HTTP client, wrong CA, scanner
+        probe) or an abruptly dropped connection is the *peer's*
+        failure; the stock implementation would print a full traceback
+        per incident.  Anything that is not a transport error still
+        reports normally — server bugs must stay visible.
+        """
+        exc = sys.exc_info()[1]
+        if isinstance(exc, (ssl.SSLError, ConnectionError, TimeoutError, OSError)):
+            if self.verbose:
+                print(
+                    f"dropped connection from {client_address}: {exc!r}",
+                    file=sys.stderr,
+                )
+            return
+        super().handle_error(request, client_address)
+
+    @property
+    def url(self):
+        host, port = self.server_address[:2]
+        scheme = "https" if self._tls_context is not None else "http"
+        return f"{scheme}://{host}:{port}"
+
+
+class CacheServer(TlsServerMixin, ThreadingHTTPServer):
     """Threaded HTTP server publishing one cache directory.
 
     ``read_only=True`` turns every mutating verb (PUT/DELETE, and the
@@ -353,6 +430,14 @@ class CacheServer(ThreadingHTTPServer):
     long-lived team cache bounded: ``gc_max_bytes`` starts a daemon
     thread that re-runs :meth:`LocalDirBackend.gc` (LRU-by-mtime
     eviction) every ``gc_interval`` seconds.
+
+    ``tls_cert``/``tls_key`` (PEM paths) switch the wire to TLS: every
+    accepted connection is wrapped server-side, the handshake deferred
+    to the per-connection handler thread (``do_handshake_on_connect=
+    False``) so a hostile or confused peer can stall only its own
+    thread, never the accept loop.  Handshake failures are dropped
+    silently (logged under ``verbose``) — a port scanner or a plain-HTTP
+    client must not spray tracebacks over the coordinator's stderr.
     """
 
     daemon_threads = True
@@ -366,7 +451,10 @@ class CacheServer(ThreadingHTTPServer):
         auth_token=None,
         gc_max_bytes=None,
         gc_interval=60.0,
+        tls_cert=None,
+        tls_key=None,
     ):
+        self._init_tls(tls_cert, tls_key)
         super().__init__(address, _CacheRequestHandler)
         #: Path helpers + atomic writes + stats over the served tree.
         #: touch_on_load is irrelevant (the server never loads objects),
@@ -407,11 +495,6 @@ class CacheServer(ThreadingHTTPServer):
         self._gc_stop.set()
         super().server_close()
 
-    @property
-    def url(self):
-        host, port = self.server_address[:2]
-        return f"http://{host}:{port}"
-
 
 def make_server(
     cache_dir,
@@ -422,6 +505,8 @@ def make_server(
     auth_token=None,
     gc_max_bytes=None,
     gc_interval=60.0,
+    tls_cert=None,
+    tls_key=None,
 ):
     """Bind a :class:`CacheServer` (``port=0`` = ephemeral)."""
     return CacheServer(
@@ -432,6 +517,8 @@ def make_server(
         auth_token=auth_token,
         gc_max_bytes=gc_max_bytes,
         gc_interval=gc_interval,
+        tls_cert=tls_cert,
+        tls_key=tls_key,
     )
 
 
@@ -443,6 +530,8 @@ def serve_background(
     auth_token=None,
     gc_max_bytes=None,
     gc_interval=60.0,
+    tls_cert=None,
+    tls_key=None,
 ):
     """Start a server on a daemon thread; returns ``(server, thread)``.
 
@@ -457,6 +546,8 @@ def serve_background(
         auth_token=auth_token,
         gc_max_bytes=gc_max_bytes,
         gc_interval=gc_interval,
+        tls_cert=tls_cert,
+        tls_key=tls_key,
     )
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
@@ -466,71 +557,63 @@ def serve_background(
 # -- client ------------------------------------------------------------------
 
 
-class RemoteBackend:
-    """:class:`StoreBackend` client for a :class:`CacheServer`.
+class ResilientHttpClient:
+    """Shared transport posture for every HTTP-backed store client.
 
-    Network posture:
+    One place owns the engine's network discipline so every remote tier
+    (the cache server client below, the S3 client in
+    :mod:`repro.engine.s3`) degrades identically:
 
     - a small pool of keep-alive connections (``pool_size``), shared by
       the session's threads and rebuilt transparently after an error;
     - every request is bounded by ``timeout`` seconds and retried at
-      most ``retries`` times with exponential backoff (transport errors
-      and 5xx responses retry; 404 is an honest miss and does not);
+      most ``retries`` times with exponential backoff (transport errors,
+      5xx responses and 429 throttling retry; 404 is an honest miss and
+      does not);
     - a request that exhausts its retries opens a circuit breaker for
       ``cooldown`` seconds: later operations short-circuit to misses
       instead of each re-paying the full retries x timeout cycle
       against a dead-but-timing-out peer;
-    - *no* failure escapes: a dead/slow/corrupt remote degrades to
-      cache misses (loads) and no-ops (saves) with one warning per URL
-      per process, so a simulation run never crashes on its cache;
-    - a ``403`` on PUT flips the client into read-only mode (the server
-      was started with ``--read-only``) and silently stops writing.
+    - *no* failure escapes ``_request``: it returns ``None`` (degrade
+      now) after firing one warning per URL per process;
+    - ``https`` URLs wrap every connection in TLS.  Certificates verify
+      against the system trust store, or against a pinned CA bundle /
+      self-signed certificate when ``ca_file`` is given.  A handshake
+      or verification failure is an ordinary transport fault: retried,
+      then degraded — never an exception out of a simulation run.
 
-    Integrity: responses carry the body's SHA-256 (``X-Repro-Sha256`` /
-    ``ETag``); the client verifies it before decoding, and sends the
-    same header on PUT so the server can reject bytes corrupted in
-    flight.  The digest *key* is already content-addressed, so a
-    verified payload under the right key is the right artifact.
-
-    Instances are picklable (the connection pool is rebuilt on
-    unpickling), so a remote-backed session can fan work across the
-    process pool; ``shared_across_processes`` is true because every
-    worker reaches the same server.
+    Instances are picklable (connections, locks and SSL contexts are
+    rebuilt on unpickling), so remote-backed sessions can fan work
+    across the process pool.
     """
 
     shared_across_processes = True
 
-    #: URLs that already warned about degradation / read-only fallback
-    #: (class-level: once per process per server, not once per instance).
+    #: URLs that already warned about degradation (class-level and shared
+    #: by every subclass: once per process per peer, not per instance).
     _warned_unreachable = set()
-    _warned_read_only = set()
-    _warned_auth = set()
+
+    #: How warnings name the peer; subclasses override for accuracy.
+    _peer_noun = "remote cache"
 
     def __init__(
         self,
-        url,
+        scheme,
+        host,
+        port,
         timeout=5.0,
         retries=2,
         backoff=0.1,
         pool_size=4,
         cooldown=30.0,
-        token=None,
+        ca_file=None,
     ):
-        split = urlsplit(url if "//" in url else f"http://{url}")
-        if split.scheme != "http":
-            raise ValueError(f"RemoteBackend speaks plain http, got {url!r}")
-        if not split.hostname:
-            raise ValueError(f"remote cache URL has no host: {url!r}")
-        if split.path.strip("/"):
-            # A silently dropped prefix would turn every request into a
-            # 404 "miss" and disable the cache without a word.
-            raise ValueError(
-                f"remote cache URL must not have a path, got {url!r} "
-                "(the server owns the /v1/... namespace)"
-            )
-        self.host = split.hostname
-        self.port = split.port or 80
-        self.url = f"http://{self.host}:{self.port}"
+        if scheme not in ("http", "https"):
+            raise ValueError(f"unsupported URL scheme {scheme!r} (use http or https)")
+        self.scheme = scheme
+        self.host = host
+        self.port = int(port) if port else (443 if scheme == "https" else 80)
+        self.url = f"{self.scheme}://{self.host}:{self.port}"
         self.timeout = float(timeout)
         self.retries = max(0, int(retries))
         self.backoff = float(backoff)
@@ -539,26 +622,26 @@ class RemoteBackend:
         #: further requests short-circuit to misses for this many
         #: seconds instead of each paying the full retry x timeout cost.
         self.cooldown = float(cooldown)
-        #: Shared secret sent as ``X-Repro-Token`` on every request when
-        #: the server requires one (``repro serve --auth-token``).
-        self.token = token or None
+        #: Optional CA bundle path pinning the peer's certificate chain
+        #: (the self-signed-cert deployment recipe); ``None`` = system
+        #: trust store.  Ignored for plain-http peers.
+        self.ca_file = str(ca_file) if ca_file else None
         self._down_until = 0.0
         self._read_only = False
-        #: Batch-probe accounting (``/v1/has``): digests checked vs
-        #: round trips paid; surfaced as :attr:`probe_savings`.
-        self._probe_digests = 0
-        self._probe_calls = 0
         self._init_pool()
 
     def _init_pool(self):
         self._pool = []
         self._lock = threading.Lock()
+        #: Built lazily inside the request loop so a bad/missing CA file
+        #: degrades like any other transport fault instead of raising.
+        self._ssl_context = None
 
-    # Connections and locks must not cross pickle (process-pool workers
-    # rebuild their own pool against the same server).
+    # Connections, locks and SSL contexts must not cross pickle
+    # (process-pool workers rebuild their own against the same peer).
     def __getstate__(self):
         state = self.__dict__.copy()
-        del state["_pool"], state["_lock"]
+        del state["_pool"], state["_lock"], state["_ssl_context"]
         return state
 
     def __setstate__(self, state):
@@ -567,10 +650,24 @@ class RemoteBackend:
 
     # -- transport -----------------------------------------------------------
 
+    def _tls_client_context(self):
+        if self._ssl_context is None:
+            # create_default_context = verified hostname + chain; a pinned
+            # ca_file narrows trust to that bundle (self-signed recipe).
+            self._ssl_context = ssl.create_default_context(cafile=self.ca_file)
+        return self._ssl_context
+
     def _checkout(self):
         with self._lock:
             if self._pool:
                 return self._pool.pop()
+        if self.scheme == "https":
+            return http.client.HTTPSConnection(
+                self.host,
+                self.port,
+                timeout=self.timeout,
+                context=self._tls_client_context(),
+            )
         return http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
 
     def _checkin(self, conn):
@@ -587,10 +684,19 @@ class RemoteBackend:
         for conn in stale:
             conn.close()
 
-    def _request(self, method, path, body=None, headers=None):
+    def _headers_for(self, method, target, body, headers):
+        """Per-attempt request headers; subclasses add auth/signatures.
+
+        Called once per retry attempt (not once per request) so
+        freshness-sensitive headers — SigV4 timestamps — are never
+        replayed stale.
+        """
+        return dict(headers or {})
+
+    def _request(self, method, target, body=None, headers=None):
         """One bounded-retry request; ``(status, headers, body)`` or ``None``.
 
-        ``None`` means the remote is unusable for this operation (after
+        ``None`` means the peer is unusable for this operation (after
         retries, or instantly while the breaker is open) and the caller
         must degrade; the one-time warning has already fired.
         """
@@ -600,22 +706,28 @@ class RemoteBackend:
         for attempt in range(self.retries + 1):
             if attempt:
                 time.sleep(self.backoff * (2 ** (attempt - 1)))
-            request_headers = dict(headers or {})
-            if self.token:
-                request_headers.setdefault("X-Repro-Token", self.token)
-            conn = self._checkout()
+            conn = None
             try:
-                conn.request(method, path, body=body, headers=request_headers)
+                request_headers = self._headers_for(method, target, body, headers)
+                conn = self._checkout()
+                conn.request(method, target, body=body, headers=request_headers)
                 response = conn.getresponse()
                 payload = response.read()
             except (OSError, http.client.HTTPException) as exc:
-                # The whole pool shares the failed peer; retry on a
-                # fresh connection rather than another stale one.
-                conn.close()
+                # Covers refused/reset connections, timeouts, truncated
+                # responses and every ssl.SSLError (handshake and
+                # certificate-verification failures).  The whole pool
+                # shares the failed peer; retry on a fresh connection
+                # rather than another stale one.
+                if conn is not None:
+                    conn.close()
                 self._drop_pool()
                 last_error = exc
                 continue
-            if response.status >= 500:
+            if response.status >= 500 or response.status == 429:
+                # 5xx: the peer is broken.  429: it is throttling us —
+                # S3-compatible stores shed load this way; backoff and
+                # retry is exactly what they ask for.
                 self._checkin(conn)
                 last_error = f"HTTP {response.status}"
                 continue
@@ -630,13 +742,86 @@ class RemoteBackend:
         return None
 
     def _degrade(self, error):
-        if self.url not in RemoteBackend._warned_unreachable:
-            RemoteBackend._warned_unreachable.add(self.url)
+        if self.url not in ResilientHttpClient._warned_unreachable:
+            ResilientHttpClient._warned_unreachable.add(self.url)
             print(
-                f"warning: remote cache at {self.url} is unavailable ({error}); "
+                f"warning: {self._peer_noun} at {self.url} is unavailable ({error}); "
                 "treating it as a miss",
                 file=sys.stderr,
             )
+
+
+class RemoteBackend(ResilientHttpClient):
+    """:class:`StoreBackend` client for a :class:`CacheServer`.
+
+    Rides the :class:`ResilientHttpClient` transport (keep-alive pool,
+    bounded retries with backoff, circuit breaker, TLS, warn-once total
+    degradation) and adds the cache-server wire protocol:
+
+    - a ``403`` on PUT flips the client into read-only mode (the server
+      was started with ``--read-only``) and silently stops writing;
+    - a ``401`` (wrong/missing ``--auth-token`` secret) degrades the
+      same way, with its own one-time warning.
+
+    Integrity: responses carry the body's SHA-256 (``X-Repro-Sha256`` /
+    ``ETag``); the client verifies it before decoding, and sends the
+    same header on PUT so the server can reject bytes corrupted in
+    flight.  The digest *key* is already content-addressed, so a
+    verified payload under the right key is the right artifact.
+    """
+
+    #: URLs that already warned about read-only/auth fallback
+    #: (class-level: once per process per server, not once per instance).
+    _warned_read_only = set()
+    _warned_auth = set()
+
+    def __init__(
+        self,
+        url,
+        timeout=5.0,
+        retries=2,
+        backoff=0.1,
+        pool_size=4,
+        cooldown=30.0,
+        token=None,
+        ca_file=None,
+    ):
+        split = urlsplit(url if "//" in url else f"http://{url}")
+        if split.scheme not in ("http", "https"):
+            raise ValueError(f"RemoteBackend speaks http(s), got {url!r}")
+        if not split.hostname:
+            raise ValueError(f"remote cache URL has no host: {url!r}")
+        if split.path.strip("/"):
+            # A silently dropped prefix would turn every request into a
+            # 404 "miss" and disable the cache without a word.
+            raise ValueError(
+                f"remote cache URL must not have a path, got {url!r} "
+                "(the server owns the /v1/... namespace)"
+            )
+        super().__init__(
+            split.scheme,
+            split.hostname,
+            split.port,
+            timeout=timeout,
+            retries=retries,
+            backoff=backoff,
+            pool_size=pool_size,
+            cooldown=cooldown,
+            ca_file=ca_file,
+        )
+        #: Shared secret sent as ``X-Repro-Token`` on every request when
+        #: the server requires one (``repro serve --auth-token``).
+        self.token = token or None
+        #: Batch-probe accounting (``/v1/has``): digests checked vs
+        #: round trips paid; surfaced as :attr:`probe_savings`.
+        self._probe_digests = 0
+        self._probe_calls = 0
+
+    def _headers_for(self, method, target, body, headers):
+        request_headers = dict(headers or {})
+        if self.token:
+            request_headers.setdefault("X-Repro-Token", self.token)
+        return request_headers
 
     def _note_read_only(self):
         self._read_only = True

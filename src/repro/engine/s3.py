@@ -1,0 +1,464 @@
+"""Durable object-store tier: a stdlib-only S3 client for the cache.
+
+``S3Backend`` implements the :class:`~repro.engine.backends.StoreBackend`
+protocol against any S3-compatible endpoint (AWS, MinIO, Ceph RGW,
+...), so a team's content-addressed artifact store can outlive every
+coordinator host.  There is deliberately no boto dependency: the wire
+protocol we need is four verbs (GET/PUT/DELETE an object, list a
+prefix) plus AWS Signature Version 4, and all of it fits in this file
+on ``hashlib``/``hmac``/``http.client``.
+
+Transport posture is inherited from
+:class:`~repro.engine.remote.ResilientHttpClient` — the same keep-alive
+pool, bounded retries with backoff (429/5xx throttling included),
+circuit breaker, TLS (``https`` endpoints, optional pinned CA) and
+warn-once total degradation as the cache-server client.  A slow,
+throttling, corrupt or mis-credentialed object store turns into cache
+misses and no-op saves with one warning per process; it can never crash
+or wedge a simulation run.
+
+Layout inside the bucket (under an optional key prefix taken from the
+endpoint URL's path)::
+
+    results/<digest>.pkl     pickled RunResult payloads
+    traces/<digest>.npz      Trace archives
+
+Integrity: every PUT carries the body's SHA-256 as ``x-amz-meta-sha256``
+object metadata; GETs verify it (when present) before decoding, exactly
+like the cache-server wire's ``X-Repro-Sha256``.  The SigV4 signature
+additionally covers ``x-amz-content-sha256``, so a payload corrupted in
+flight also fails the server's own signature/body check.
+
+Credentials come from the standard environment (``AWS_ACCESS_KEY_ID`` /
+``AWS_SECRET_ACCESS_KEY``, with ``REPRO_S3_ACCESS_KEY`` /
+``REPRO_S3_SECRET_KEY`` taking precedence, and ``AWS_REGION`` or
+``REPRO_S3_REGION`` for the region).  *Missing* credentials are a loud
+construction-time error — that is a configuration mistake, not a
+network fault.  *Rejected* credentials at runtime (expired STS token,
+clock skew, revoked key: HTTP 403) degrade warn-once like any other
+fault, because by then a sweep is running and must not die.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import io
+import os
+import pickle
+import re
+import sys
+import time
+from urllib.parse import urlsplit
+
+from repro.cpu.trace import Trace
+from repro.engine.remote import ResilientHttpClient
+
+__all__ = ["S3Backend", "sigv4_authorization", "sigv4_signing_key", "uri_encode"]
+
+_EMPTY_SHA256 = hashlib.sha256(b"").hexdigest()
+
+#: RFC 3986 unreserved characters — everything else is percent-encoded.
+_UNRESERVED = frozenset(
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789-._~"
+)
+
+
+# -- SigV4 (https://docs.aws.amazon.com/IAM/latest/UserGuide/create-signed-request.html)
+
+
+def uri_encode(text, encode_slash=True):
+    """AWS-flavoured percent-encoding (uppercase hex, ``~`` untouched).
+
+    ``encode_slash=False`` is the object-key/path variant: each ``/``
+    separates key segments and stays literal.
+    """
+    out = []
+    for byte in str(text).encode("utf-8"):
+        char = chr(byte)
+        if char in _UNRESERVED or (char == "/" and not encode_slash):
+            out.append(char)
+        else:
+            out.append("%{:02X}".format(byte))
+    return "".join(out)
+
+
+def _canonical_query(query):
+    """``(key, value)`` pairs -> sorted, encoded canonical query string."""
+    pairs = sorted((uri_encode(k), uri_encode(v)) for k, v in query)
+    return "&".join(f"{key}={value}" for key, value in pairs)
+
+
+def sigv4_signing_key(secret_key, datestamp, region, service):
+    """The chained-HMAC signing key (AWS4 -> date -> region -> service)."""
+    key = hmac.new(
+        ("AWS4" + secret_key).encode(), datestamp.encode(), hashlib.sha256
+    ).digest()
+    for part in (region, service, "aws4_request"):
+        key = hmac.new(key, part.encode(), hashlib.sha256).digest()
+    return key
+
+
+def sigv4_authorization(
+    method,
+    canonical_uri,
+    query,
+    headers,
+    payload_hash,
+    access_key,
+    secret_key,
+    region,
+    service,
+    amz_date,
+):
+    """The ``Authorization`` header value for one request.
+
+    ``canonical_uri`` must already be URI-encoded (S3 signs the
+    single-encoded path); ``query`` is raw ``(key, value)`` pairs;
+    ``headers`` is every header to sign (must include ``host``);
+    ``amz_date`` is the ISO-basic timestamp (``YYYYMMDDTHHMMSSZ``).
+    """
+    lowered = {
+        name.lower(): " ".join(str(value).split()) for name, value in headers.items()
+    }
+    names = sorted(lowered)
+    canonical_headers = "".join(f"{name}:{lowered[name]}\n" for name in names)
+    signed_headers = ";".join(names)
+    canonical_request = "\n".join(
+        [
+            method,
+            canonical_uri,
+            _canonical_query(query),
+            canonical_headers,
+            signed_headers,
+            payload_hash,
+        ]
+    )
+    datestamp = amz_date[:8]
+    scope = f"{datestamp}/{region}/{service}/aws4_request"
+    string_to_sign = "\n".join(
+        [
+            "AWS4-HMAC-SHA256",
+            amz_date,
+            scope,
+            hashlib.sha256(canonical_request.encode()).hexdigest(),
+        ]
+    )
+    signature = hmac.new(
+        sigv4_signing_key(secret_key, datestamp, region, service),
+        string_to_sign.encode(),
+        hashlib.sha256,
+    ).hexdigest()
+    return (
+        f"AWS4-HMAC-SHA256 Credential={access_key}/{scope}, "
+        f"SignedHeaders={signed_headers}, Signature={signature}"
+    )
+
+
+def _env_credentials():
+    """(access_key, secret_key, region) from the environment, parts may be None."""
+    access = os.environ.get("REPRO_S3_ACCESS_KEY") or os.environ.get(
+        "AWS_ACCESS_KEY_ID"
+    )
+    secret = os.environ.get("REPRO_S3_SECRET_KEY") or os.environ.get(
+        "AWS_SECRET_ACCESS_KEY"
+    )
+    region = os.environ.get("REPRO_S3_REGION") or os.environ.get("AWS_REGION")
+    return access, secret, region
+
+
+# -- backend -----------------------------------------------------------------
+
+
+class S3Backend(ResilientHttpClient):
+    """:class:`StoreBackend` over an S3-compatible endpoint.
+
+    ``url`` is ``http(s)://host[:port]/bucket[/prefix...]`` —
+    path-style addressing, which every S3-compatible store accepts and
+    which keeps one TLS certificate valid for every bucket.  The
+    optional prefix namespaces this store inside a shared bucket.
+
+    All four protocol operations degrade totally: any transport fault,
+    throttle storm, checksum mismatch or credential rejection is a miss
+    (loads) or a no-op (saves) after one stderr warning.  ``clear`` and
+    ``stats`` use ListObjectsV2 and are best-effort the same way.
+    """
+
+    #: Endpoints that already warned about rejected credentials
+    #: (class-level: once per process per endpoint, not per instance).
+    _warned_auth = set()
+
+    _peer_noun = "object store"
+
+    def __init__(
+        self,
+        url,
+        access_key=None,
+        secret_key=None,
+        region=None,
+        timeout=5.0,
+        retries=2,
+        backoff=0.1,
+        pool_size=4,
+        cooldown=30.0,
+        ca_file=None,
+    ):
+        split = urlsplit(url if "//" in url else f"https://{url}")
+        if split.scheme not in ("http", "https"):
+            raise ValueError(f"S3 endpoint must be http(s), got {url!r}")
+        if not split.hostname:
+            raise ValueError(f"S3 endpoint URL has no host: {url!r}")
+        parts = [part for part in split.path.split("/") if part]
+        if not parts:
+            raise ValueError(
+                f"S3 endpoint URL needs a bucket in its path, got {url!r} "
+                "(use http(s)://host[:port]/bucket[/prefix])"
+            )
+        super().__init__(
+            split.scheme,
+            split.hostname,
+            split.port,
+            timeout=timeout,
+            retries=retries,
+            backoff=backoff,
+            pool_size=pool_size,
+            cooldown=cooldown,
+            ca_file=ca_file,
+        )
+        self.bucket = parts[0]
+        self.prefix = "/".join(parts[1:])
+        if self.prefix:
+            self.prefix += "/"
+        #: Set on the first 401/403: from then on every load is a miss
+        #: and every save a no-op — re-signing with known-bad
+        #: credentials would only spam the endpoint.
+        self._auth_failed = False
+        env_access, env_secret, env_region = _env_credentials()
+        self.access_key = access_key or env_access
+        self.secret_key = secret_key or env_secret
+        self.region = region or env_region or "us-east-1"
+        if not self.access_key or not self.secret_key:
+            # A farm configured to use S3 without credentials is a setup
+            # error the operator must see immediately, not a silent
+            # 100%-miss cache.
+            raise ValueError(
+                "S3 credentials missing: set AWS_ACCESS_KEY_ID/"
+                "AWS_SECRET_ACCESS_KEY (or REPRO_S3_ACCESS_KEY/"
+                "REPRO_S3_SECRET_KEY) in the environment"
+            )
+
+    # -- signing -------------------------------------------------------------
+
+    def _host_header(self):
+        default = 443 if self.scheme == "https" else 80
+        if self.port == default:
+            return self.host
+        return f"{self.host}:{self.port}"
+
+    def _headers_for(self, method, target, body, headers):
+        """Sign the request.  Called fresh per retry attempt, so the
+        ``x-amz-date`` timestamp (and thus the signature) can never be
+        replayed stale after a long backoff sleep."""
+        path, _, query_string = target.partition("?")
+        query = []
+        if query_string:
+            for item in query_string.split("&"):
+                key, _, value = item.partition("=")
+                # The target was built by this class, so the split is
+                # already-encoded canonical pieces; decode is a no-op
+                # for our keys but keeps the signature honest.
+                query.append((_percent_decode(key), _percent_decode(value)))
+        payload_hash = hashlib.sha256(body).hexdigest() if body else _EMPTY_SHA256
+        amz_date = time.strftime("%Y%m%dT%H%M%SZ", time.gmtime())
+        request_headers = dict(headers or {})
+        # http.client adds its own Host unless one is supplied; SigV4
+        # requires the signed value and the sent value to be identical,
+        # so always supply it explicitly.
+        request_headers["Host"] = self._host_header()
+        request_headers["x-amz-date"] = amz_date
+        request_headers["x-amz-content-sha256"] = payload_hash
+        request_headers["Authorization"] = sigv4_authorization(
+            method,
+            path,
+            query,
+            request_headers,
+            payload_hash,
+            self.access_key,
+            self.secret_key,
+            self.region,
+            "s3",
+            amz_date,
+        )
+        return request_headers
+
+    # -- wire ----------------------------------------------------------------
+
+    def _object_key(self, kind, digest):
+        extension = ".npz" if kind == "traces" else ".pkl"
+        return f"{self.prefix}{kind}/{digest}{extension}"
+
+    def _object_target(self, key):
+        return "/" + uri_encode(f"{self.bucket}/{key}", encode_slash=False)
+
+    def _note_auth(self, status):
+        """HTTP 403: expired/revoked/skewed credentials.  Stop writing,
+        treat loads as misses, one warning per endpoint per process."""
+        self._auth_failed = True
+        if self.url not in S3Backend._warned_auth:
+            S3Backend._warned_auth.add(self.url)
+            print(
+                f"warning: object store at {self.url} rejected our credentials "
+                f"(HTTP {status}); treating it as a miss "
+                "(check AWS_ACCESS_KEY_ID/AWS_SECRET_ACCESS_KEY and clock skew)",
+                file=sys.stderr,
+            )
+
+    def _fetch(self, kind, digest):
+        """Verified object bytes for one key, or ``None`` on any miss."""
+        if self._auth_failed:
+            return None
+        response = self._request("GET", self._object_target(self._object_key(kind, digest)))
+        if response is None:
+            return None
+        status, headers, payload = response
+        if status in (401, 403):
+            self._note_auth(status)
+            return None
+        if status != 200:
+            return None  # 404: an honest miss (or a stale read), no warning
+        expected = headers.get("x-amz-meta-sha256")
+        if expected is not None and expected != hashlib.sha256(payload).hexdigest():
+            self._degrade("object checksum mismatch")
+            return None
+        return payload
+
+    def _push(self, kind, digest, payload):
+        if self._read_only or self._auth_failed:
+            return
+        response = self._request(
+            "PUT",
+            self._object_target(self._object_key(kind, digest)),
+            body=payload,
+            headers={
+                "x-amz-meta-sha256": hashlib.sha256(payload).hexdigest(),
+                "Content-Length": str(len(payload)),
+            },
+        )
+        if response is not None and response[0] in (401, 403):
+            self._note_auth(response[0])
+
+    def _list_keys(self):
+        """Every ``(key, size)`` under our prefix, or ``None`` if unreachable.
+
+        ListObjectsV2 with continuation; the XML is parsed with regexes
+        because our keys are hex digests under fixed prefixes — no
+        escaping can occur — and it keeps the client stdlib-tiny.
+        """
+        if self._auth_failed:
+            return None
+        entries = []
+        token = None
+        for _ in range(1000):  # bounded: 1000 pages = 1M objects
+            query = [("list-type", "2"), ("prefix", self.prefix)]
+            if token:
+                query.append(("continuation-token", token))
+            target = "/" + uri_encode(self.bucket) + "?" + "&".join(
+                f"{uri_encode(k)}={uri_encode(v)}" for k, v in sorted(query)
+            )
+            response = self._request("GET", target)
+            if response is None:
+                return None
+            status, _, body = response
+            if status in (401, 403):
+                self._note_auth(status)
+                return None
+            if status != 200:
+                return None
+            text = body.decode("utf-8", "replace")
+            keys = re.findall(r"<Key>([^<]+)</Key>", text)
+            sizes = [int(s) for s in re.findall(r"<Size>(\d+)</Size>", text)]
+            sizes += [0] * (len(keys) - len(sizes))  # Size is optional per spec
+            entries.extend(zip(keys, sizes))
+            truncated = re.search(r"<IsTruncated>\s*true\s*</IsTruncated>", text)
+            next_token = re.search(
+                r"<NextContinuationToken>([^<]+)</NextContinuationToken>", text
+            )
+            if not truncated or not next_token:
+                return entries
+            token = next_token.group(1)
+        return entries
+
+    # -- StoreBackend surface ------------------------------------------------
+
+    def load_result(self, digest):
+        """Fetch + unpickle one result; ``None`` on any miss or failure."""
+        payload = self._fetch("results", digest)
+        if payload is None:
+            return None
+        try:
+            return pickle.loads(payload)["result"]
+        except Exception:  # corrupt stored bytes decode as a miss
+            return None
+
+    def save_result(self, digest, result, meta=None):
+        """Push one pickled result payload (best-effort)."""
+        payload = pickle.dumps(
+            {"meta": meta or {}, "result": result}, protocol=pickle.HIGHEST_PROTOCOL
+        )
+        self._push("results", digest, payload)
+
+    def load_trace(self, digest):
+        """Fetch + decode one ``.npz`` trace; ``None`` on any failure."""
+        payload = self._fetch("traces", digest)
+        if payload is None:
+            return None
+        try:
+            return Trace.load(io.BytesIO(payload))
+        except Exception:
+            return None
+
+    def save_trace(self, digest, trace):
+        """Push one ``.npz``-encoded trace (best-effort)."""
+        buffer = io.BytesIO()
+        trace.save(buffer)
+        self._push("traces", digest, buffer.getvalue())
+
+    def clear(self):
+        """Delete every object under our prefix (best-effort)."""
+        entries = self._list_keys()
+        for key, _ in entries or ():
+            self._request("DELETE", self._object_target(key))
+
+    def stats(self):
+        """Entry counts + byte total under our prefix, or zeros when down."""
+        entries = self._list_keys()
+        if entries is None:
+            return {"results": 0, "traces": 0, "bytes": 0, "reachable": False}
+        counts = {"results": 0, "traces": 0, "bytes": 0, "reachable": True}
+        for key, size in entries:
+            counts["bytes"] += size
+            unprefixed = key[len(self.prefix) :] if key.startswith(self.prefix) else key
+            kind = unprefixed.split("/", 1)[0]
+            if kind in ("results", "traces"):
+                counts[kind] += 1
+        return counts
+
+
+def _percent_decode(text):
+    """Minimal %XX decoder (inverse of :func:`uri_encode`)."""
+    if "%" not in text:
+        return text
+    out = bytearray()
+    i = 0
+    raw = text.encode()
+    while i < len(raw):
+        if raw[i : i + 1] == b"%" and i + 2 < len(raw) + 1:
+            try:
+                out.append(int(raw[i + 1 : i + 3], 16))
+                i += 3
+                continue
+            except ValueError:
+                pass
+        out.append(raw[i])
+        i += 1
+    return out.decode("utf-8", "replace")

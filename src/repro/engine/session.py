@@ -60,6 +60,8 @@ class Session:
         disk_cache=None,
         shared_cache_dir=None,
         remote_cache_url=None,
+        s3_cache_url=None,
+        tls_ca=None,
         backend=None,
         trace_memo=None,
     ):
@@ -72,6 +74,8 @@ class Session:
         self._remote_cache_url = (
             None if remote_cache_url is None else str(remote_cache_url)
         )
+        self._s3_cache_url = None if s3_cache_url is None else str(s3_cache_url)
+        self._tls_ca = None if tls_ca is None else str(tls_ca)
         self._explicit_backend = backend
         self._trace_memo = {} if trace_memo is None else trace_memo
         self._run_memo = {}
@@ -105,6 +109,12 @@ class Session:
                 if self._remote_cache_url is not None
                 else base.remote_cache_url
             ),
+            s3_cache_url=(
+                self._s3_cache_url
+                if self._s3_cache_url is not None
+                else base.s3_cache_url
+            ),
+            tls_ca=self._tls_ca if self._tls_ca is not None else base.tls_ca,
         )
 
     @property
@@ -300,7 +310,8 @@ class Session:
             "submitted": 0,
         }
         self.last_distributed = report
-        url = self.config().remote_cache_url
+        cfg = self.config()
+        url = cfg.remote_cache_url
         store = self.store
         if url is None or store is None:
             self._farm_warn(
@@ -309,7 +320,7 @@ class Session:
             )
             report["local"] = len(specs)
             return self._execute(specs, jobs)
-        client = QueueClient(_config._remote_client(url))
+        client = QueueClient(_config._remote_client(url, ca_file=cfg.tls_ca))
 
         results = [None] * len(specs)
         wire = {}
@@ -496,6 +507,8 @@ def _init_worker(cfg, explicit_backend, no_store=False):
         disk_cache=cfg.disk_cache,
         shared_cache_dir=cfg.shared_cache_dir,
         remote_cache_url=cfg.remote_cache_url,
+        s3_cache_url=cfg.s3_cache_url,
+        tls_ca=cfg.tls_ca,
     )
     _WORKER_SESSION = Session(
         jobs=1,

@@ -1,0 +1,70 @@
+"""Self-signed certificate helper for TLS tests and smoke runs.
+
+The documented deployment recipe (docs/engine.md, "Securing the farm")
+generates a self-signed certificate with the ``openssl`` CLI and pins
+it on the client with ``--tls-ca``.  This module wraps the exact same
+command so the test suite and CI smokes exercise the recipe verbatim —
+there is no Python TLS-certificate library in the stdlib, and the
+engine refuses to grow a dependency for what one ``openssl req`` call
+does.
+
+Everything here is test/ops tooling: the engine itself only ever
+*loads* PEM files (``ssl`` module), it never generates them at runtime.
+"""
+
+from __future__ import annotations
+
+import shutil
+import subprocess
+from pathlib import Path
+
+__all__ = ["openssl_available", "self_signed_cert"]
+
+
+def openssl_available():
+    """True when the ``openssl`` CLI is on PATH (tests skip otherwise)."""
+    return shutil.which("openssl") is not None
+
+
+def self_signed_cert(directory, common_name="localhost", days=2):
+    """Generate ``cert.pem``/``key.pem`` under ``directory``.
+
+    Returns ``(cert_path, key_path)``.  The certificate carries
+    subjectAltName entries for ``localhost`` and ``127.0.0.1`` so a
+    pinned client (``ca_file=cert.pem``) passes hostname verification
+    against either form — the same invocation the docs give operators:
+
+    .. code-block:: shell
+
+        openssl req -x509 -newkey rsa:2048 -sha256 -days 365 -nodes \\
+            -keyout key.pem -out cert.pem -subj "/CN=cache.example" \\
+            -addext "subjectAltName=DNS:cache.example,IP:10.0.0.5"
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    cert = directory / "cert.pem"
+    key = directory / "key.pem"
+    subprocess.run(
+        [
+            "openssl",
+            "req",
+            "-x509",
+            "-newkey",
+            "rsa:2048",
+            "-sha256",
+            "-days",
+            str(int(days)),
+            "-nodes",
+            "-keyout",
+            str(key),
+            "-out",
+            str(cert),
+            "-subj",
+            f"/CN={common_name}",
+            "-addext",
+            f"subjectAltName=DNS:{common_name},DNS:localhost,IP:127.0.0.1",
+        ],
+        check=True,
+        capture_output=True,
+    )
+    return cert, key

@@ -518,6 +518,47 @@ def _worker_id():
     return f"{socket.gethostname()}-{os.getpid()}-{secrets.token_hex(3)}"
 
 
+class SpecTimeout(RuntimeError):
+    """A leased spec exceeded the worker's ``--spec-timeout`` budget."""
+
+
+def _run_spec_bounded(session, spec, timeout):
+    """``session.run(spec)``, bounded by a wall-clock watchdog.
+
+    The spec computes on a daemon thread while this thread waits up to
+    ``timeout`` seconds.  On expiry a :class:`SpecTimeout` raises — the
+    caller fails the lease (counting toward quarantine) instead of
+    holding it forever on a runaway spec.  The abandoned thread keeps
+    running to completion in the background; that is deliberate and
+    harmless: artifacts are content-addressed, so if it eventually
+    finishes its write-through publish is a duplicate completion, not a
+    divergence — exactly like a lease that expired and was re-leased
+    elsewhere.
+    """
+    if not timeout:
+        session.run(spec)
+        return
+    done = threading.Event()
+    failure = []
+
+    def _target():
+        try:
+            session.run(spec)
+        except BaseException as exc:  # re-raised on the worker thread
+            failure.append(exc)
+        finally:
+            done.set()
+
+    thread = threading.Thread(target=_target, daemon=True)
+    thread.start()
+    if not done.wait(float(timeout)):
+        raise SpecTimeout(
+            f"spec did not finish within --spec-timeout {float(timeout):g}s"
+        )
+    if failure:
+        raise failure[0]
+
+
 def run_worker(
     url,
     session=None,
@@ -528,6 +569,7 @@ def run_worker(
     once=False,
     stop_event=None,
     verbose=False,
+    spec_timeout=None,
 ):
     """Lease → compute → publish → acknowledge, until told to stop.
 
@@ -537,7 +579,11 @@ def run_worker(
     the integrity-checked artifact protocol before the lease is
     completed.  A spec that raises is failed back to the queue with the
     error text; the queue quarantines it after ``max_failures``
-    attempts.
+    attempts.  ``spec_timeout`` adds a per-spec wall-clock watchdog
+    (:func:`_run_spec_bounded`): a spec that exceeds it is *failed* like
+    any other error — so a pathological spec costs this worker one
+    timeout, not its liveness, and three timeouts quarantine the spec
+    instead of starving the farm forever.
 
     Shutdown is graceful: SIGINT/SIGTERM (installed only when running on
     the main thread) set ``stop_event``; the loop finishes the spec in
@@ -549,7 +595,9 @@ def run_worker(
     from repro.engine.session import Session
 
     if backend is None:
-        backend = _config._remote_client(url)
+        # tls_ca (--tls-ca / REPRO_TLS_CA) pins an https coordinator's
+        # self-signed certificate, same as the session's store client.
+        backend = _config._remote_client(url, ca_file=_config.current_config().tls_ca)
     client = QueueClient(backend)
     if session is None:
         session = Session(remote_cache_url=url)
@@ -587,7 +635,7 @@ def run_worker(
                             "fingerprint mismatch: worker code version "
                             "differs from the submitter's"
                         )
-                    session.run(spec)
+                    _run_spec_bounded(session, spec, spec_timeout)
                 except Exception as exc:
                     client.fail(digest, task.get("lease"), worker=worker, error=repr(exc))
                     tally["failed"] += 1

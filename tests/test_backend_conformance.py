@@ -11,7 +11,12 @@ backends:
 - ``tiered`` — :class:`TieredBackend` (local dir over a read-only
   shared dir);
 - ``remote`` — :class:`RemoteBackend` against a :class:`CacheServer`
-  spawned in-process on an ephemeral port.
+  spawned in-process on an ephemeral port;
+- ``remote-tls`` — the same wire behind TLS: an https ``CacheServer``
+  with a self-signed certificate the client pins via ``ca_file``
+  (skipped when the ``openssl`` CLI is unavailable);
+- ``s3`` — :class:`S3Backend` against the in-process fake-S3 server,
+  which verifies every SigV4 signature server-side.
 
 The contract under test: put/get round-trips preserve payloads
 bit-for-bit, unknown keys are honest ``None`` misses, overwrites are
@@ -30,18 +35,29 @@ from repro.engine import (
     MixSpec,
     RemoteBackend,
     RunSpec,
+    S3Backend,
     Session,
     StoreBackend,
     TieredBackend,
     TraceSpec,
 )
+from repro.engine.fakes3 import serve_fake_s3
 from repro.engine.remote import serve_background
+from repro.engine.tlsutil import openssl_available, self_signed_cert
 
 #: Well-formed content-addressed keys (64 lowercase hex chars).
 DIGEST_A = "aa" + "0" * 62
 DIGEST_B = "bb" + "0" * 62
 
-BACKENDS = ("local", "memory", "tiered", "remote")
+BACKENDS = ("local", "memory", "tiered", "remote", "remote-tls", "s3")
+
+
+@pytest.fixture(scope="session")
+def tls_cert_pair(tmp_path_factory):
+    """One self-signed cert/key pair for the whole test session."""
+    if not openssl_available():
+        pytest.skip("openssl CLI not available")
+    return self_signed_cert(tmp_path_factory.mktemp("tls"))
 
 
 def _tiny_trace():
@@ -65,6 +81,38 @@ def backend(request, tmp_path):
             LocalDirBackend(tmp_path / "local"),
             LocalDirBackend(tmp_path / "shared", touch_on_load=False),
         )
+    elif request.param == "remote-tls":
+        cert, key = request.getfixturevalue("tls_cert_pair")
+        server, thread = serve_background(
+            tmp_path / "served", tls_cert=cert, tls_key=key
+        )
+        assert server.url.startswith("https://")
+        try:
+            yield RemoteBackend(
+                server.url, timeout=5.0, retries=1, backoff=0.01, ca_file=str(cert)
+            )
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5.0)
+    elif request.param == "s3":
+        server = serve_fake_s3()
+        try:
+            yield S3Backend(
+                server.endpoint,
+                access_key=server.access_key,
+                secret_key=server.secret_key,
+                region=server.region,
+                timeout=5.0,
+                retries=1,
+                backoff=0.01,
+            )
+            # The fake store re-verifies every SigV4 signature; a single
+            # mismatch means the signer and the spec disagree.
+            assert server.bad_signatures == 0
+        finally:
+            server.shutdown()
+            server.server_close()
     else:
         server, thread = serve_background(tmp_path / "served")
         try:

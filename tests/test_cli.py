@@ -239,3 +239,70 @@ class TestEngineFlags:
         out = capsys.readouterr().out
         assert url in out
         assert "unreachable" in out
+
+    def test_cache_verify_clean_store(self, capsys):
+        from repro.experiments.runner import clear_run_cache, run_workload
+
+        clear_run_cache()
+        run_workload("ispec06.hmmer", "none", 400)
+        assert main(["cache", "verify"]) == 0
+        out = capsys.readouterr().out
+        assert "checked 2 artifacts: 2 ok, 0 corrupt, 0 foreign" in out
+
+    def test_cache_verify_reports_and_repairs_corruption(self, capsys):
+        from repro.engine import active_store
+        from repro.experiments.runner import clear_run_cache, run_workload
+
+        clear_run_cache()
+        run_workload("ispec06.hmmer", "none", 400)
+        store = active_store()
+        victim = next(p for p in (store.root / "results").rglob("*.pkl"))
+        victim.write_bytes(b"torn bytes")
+        # Reporting pass: nonzero exit, nothing moved.
+        assert main(["cache", "verify"]) == 1
+        out = capsys.readouterr().out
+        assert "1 corrupt" in out and "--repair" in out
+        assert victim.exists()
+        # Repair pass: quarantined, store verifies clean, exit 0.
+        assert main(["cache", "verify", "--repair"]) == 0
+        out = capsys.readouterr().out
+        assert "1 quarantined to corrupt/" in out
+        assert not victim.exists()
+        assert (store.root / "corrupt" / victim.name).exists()
+        assert main(["cache", "verify"]) == 0
+
+    def test_cache_verify_no_disk_cache(self, capsys):
+        assert main(["--no-cache", "cache", "verify"]) == 0
+        assert "nothing to verify" in capsys.readouterr().out
+
+    def test_s3_cache_flag_configures_engine(self, capsys, monkeypatch, tmp_path):
+        from repro.engine import current_config
+        from repro.engine.fakes3 import serve_fake_s3
+
+        server = serve_fake_s3()
+        try:
+            monkeypatch.setenv("REPRO_S3_ACCESS_KEY", server.access_key)
+            monkeypatch.setenv("REPRO_S3_SECRET_KEY", server.secret_key)
+            monkeypatch.setenv("REPRO_S3_REGION", server.region)
+            assert main(["--s3-cache", server.endpoint, "cache"]) == 0
+            assert current_config().s3_cache_url == server.endpoint
+            out = capsys.readouterr().out
+            assert server.endpoint in out
+            assert "durable write-through tier" in out
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_tls_flags_parse(self):
+        args = build_parser().parse_args(
+            ["--tls-ca", "/tmp/ca.pem", "serve",
+             "--tls-cert", "/tmp/cert.pem", "--tls-key", "/tmp/key.pem"]
+        )
+        assert args.tls_ca == "/tmp/ca.pem"
+        assert args.tls_cert == "/tmp/cert.pem"
+        assert args.tls_key == "/tmp/key.pem"
+
+    def test_serve_rejects_key_without_cert(self, capsys, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["serve", "--cache-dir", str(tmp_path), "--port", "0",
+                  "--tls-key", "/tmp/key.pem"])

@@ -313,3 +313,115 @@ class TestEngineConfig:
         cfg = engine.current_config()
         assert cfg.jobs == 2
         assert cfg.disk_cache is True
+
+    def test_s3_and_tls_knobs_resolve(self, monkeypatch):
+        monkeypatch.setenv("REPRO_S3_CACHE", "https://s3.example.org/bucket")
+        monkeypatch.setenv("REPRO_TLS_CA", "/etc/repro/ca.pem")
+        cfg = engine.current_config()
+        assert cfg.s3_cache_url == "https://s3.example.org/bucket"
+        assert cfg.tls_ca == "/etc/repro/ca.pem"
+        engine.configure(s3_cache_url="https://other/b", tls_ca="/tmp/pin.pem")
+        cfg = engine.current_config()
+        assert cfg.s3_cache_url == "https://other/b"
+        assert cfg.tls_ca == "/tmp/pin.pem"
+
+
+class TestVerifyScrub:
+    """`LocalDirBackend.verify`: the loud counterpart of corrupt-as-miss."""
+
+    DIGEST = "ab" + "0" * 62
+    DIGEST2 = "cd" + "0" * 62
+
+    @pytest.fixture
+    def store(self, tmp_path):
+        from repro.engine import LocalDirBackend
+
+        backend = LocalDirBackend(tmp_path / "store")
+        backend.save_result(self.DIGEST, {"v": 1})
+        backend.save_result(self.DIGEST2, {"v": 2})
+        return backend
+
+    def test_clean_store_verifies_clean(self, store):
+        report = store.verify()
+        assert report["checked"] == 2
+        assert report["ok"] == 2
+        assert report["corrupt"] == report["foreign"] == 0
+        assert report["entries"] == []
+
+    def test_torn_entry_is_reported_corrupt(self, store):
+        path = store._result_path(self.DIGEST)
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        report = store.verify()
+        assert report["corrupt"] == 1 and report["ok"] == 1
+        assert report["entries"] == [("corrupt", str(path))]
+        assert report["quarantined"] == 0  # reporting never moves files
+        assert path.exists()
+
+    def test_misplaced_entry_is_reported_foreign(self, store):
+        good = store._result_path(self.DIGEST)
+        stray = store.root / "results" / "zz" / good.name
+        stray.parent.mkdir(parents=True)
+        good.rename(stray)  # wrong shard for its digest
+        (store.root / "results" / "no-extension").write_bytes(b"junk")
+        report = store.verify()
+        assert report["foreign"] == 2
+
+    def test_repair_quarantines_and_restores_honest_misses(self, store):
+        path = store._result_path(self.DIGEST)
+        path.write_bytes(b"garbage that does not unpickle")
+        assert store.load_result(self.DIGEST) is None  # silent miss today
+        report = store.verify(repair=True)
+        assert report["corrupt"] == 1
+        assert report["quarantined"] == 1
+        assert not path.exists()
+        quarantined = list((store.root / "corrupt").iterdir())
+        assert [p.name for p in quarantined] == [path.name]
+        assert quarantined[0].read_bytes() == b"garbage that does not unpickle"
+        # The healthy entry is untouched and the store verifies clean now.
+        assert store.load_result(self.DIGEST2) == {"v": 2}
+        assert store.verify()["corrupt"] == 0
+
+    def test_repair_collisions_keep_every_byte(self, store):
+        # Two rounds of corruption under the same digest: both rescued
+        # copies survive side by side in corrupt/.
+        path = store._result_path(self.DIGEST)
+        path.write_bytes(b"first corruption")
+        store.verify(repair=True)
+        store.save_result(self.DIGEST, {"v": 3})
+        path.write_bytes(b"second corruption")
+        store.verify(repair=True)
+        names = sorted(p.name for p in (store.root / "corrupt").iterdir())
+        assert names == [path.name, f"{path.name}.1"]
+
+    def test_in_progress_temp_files_are_skipped(self, store):
+        (store.root / "results" / "ab" / ".tmp-writer").write_bytes(b"partial")
+        report = store.verify()
+        assert report["checked"] == 2 and report["ok"] == 2
+
+    def test_trace_entries_are_scrubbed_too(self, store, tmp_path):
+        import numpy as np
+
+        from repro.cpu.trace import Trace as _Trace
+
+        trace = _Trace(
+            np.array([1], dtype=np.int64),
+            np.array([0x400000], dtype=np.int64),
+            np.array([0x1000], dtype=np.int64),
+            np.array([0], dtype=np.uint8),
+        )
+        store.save_trace(self.DIGEST, trace)
+        assert store.verify()["ok"] == 3
+        store._trace_path(self.DIGEST).write_bytes(b"not an npz")
+        report = store.verify(repair=True)
+        assert report["corrupt"] == 1 and report["quarantined"] == 1
+
+    def test_tiered_backend_scrubs_its_local_tier(self, tmp_path):
+        from repro.engine import LocalDirBackend, TieredBackend
+
+        local = LocalDirBackend(tmp_path / "local")
+        shared = LocalDirBackend(tmp_path / "shared", touch_on_load=False)
+        tiered = TieredBackend(local, shared)
+        tiered.save_result(self.DIGEST, {"v": 1})
+        local._result_path(self.DIGEST).write_bytes(b"torn")
+        report = tiered.verify(repair=True)
+        assert report["corrupt"] == 1 and report["quarantined"] == 1

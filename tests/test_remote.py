@@ -121,9 +121,15 @@ class TestWireProtocol:
 
     def test_rejects_non_http_urls(self):
         with pytest.raises(ValueError):
-            RemoteBackend("https://example.org:8080")
+            RemoteBackend("ftp://example.org:8080")
         with pytest.raises(ValueError):
             RemoteBackend("http://")
+
+    def test_accepts_https_urls(self):
+        backend = RemoteBackend("https://example.org")
+        assert backend.scheme == "https"
+        assert backend.port == 443  # https default, not 80
+        assert backend.url == "https://example.org:443"
 
     def test_rejects_url_with_path(self):
         # A dropped path prefix would read as all-404 "misses" and

@@ -817,6 +817,86 @@ class TestDistributed:
         assert server.store.stats()["results"] == 0  # nothing published
 
 
+# -- the per-spec watchdog ----------------------------------------------------
+
+
+class TestSpecTimeout:
+    """`repro work --spec-timeout S`: a hung simulation fails its lease
+    instead of silently pinning the worker forever."""
+
+    class _StubSession:
+        def __init__(self, delay=0.0, error=None):
+            self.delay = delay
+            self.error = error
+            self.ran = []
+
+        def run(self, spec):
+            self.ran.append(spec)
+            if self.delay:
+                time.sleep(self.delay)
+            if self.error is not None:
+                raise self.error
+
+    def test_fast_spec_passes_through(self):
+        from repro.engine.workqueue import _run_spec_bounded
+
+        session = self._StubSession()
+        _run_spec_bounded(session, "spec", 5.0)
+        assert session.ran == ["spec"]
+
+    def test_no_timeout_means_unbounded(self):
+        from repro.engine.workqueue import _run_spec_bounded
+
+        session = self._StubSession(delay=0.05)
+        _run_spec_bounded(session, "spec", None)  # runs on the caller thread
+        assert session.ran == ["spec"]
+
+    def test_slow_spec_raises_spec_timeout(self):
+        from repro.engine.workqueue import SpecTimeout, _run_spec_bounded
+
+        session = self._StubSession(delay=30.0)
+        start = time.monotonic()
+        with pytest.raises(SpecTimeout, match="--spec-timeout"):
+            _run_spec_bounded(session, "spec", 0.1)
+        assert time.monotonic() - start < 5.0  # did not wait out the spec
+
+    def test_compute_errors_propagate_unchanged(self):
+        from repro.engine.workqueue import _run_spec_bounded
+
+        session = self._StubSession(error=ValueError("boom"))
+        with pytest.raises(ValueError, match="boom"):
+            _run_spec_bounded(session, "spec", 5.0)
+
+    def test_hung_spec_fails_the_lease_and_is_quarantined(self, served, tmp_path):
+        """End to end: a worker with --spec-timeout charges the hung spec
+        as a failure each round until the queue quarantines it — the
+        worker thread survives to drain the rest of the queue."""
+        server, client, _ = served
+
+        class _HangingSession(Session):
+            def run(self, spec, **kwargs):
+                if getattr(spec, "scheme", None) == "dspatch":
+                    time.sleep(30.0)
+                return super().run(spec, **kwargs)
+
+        specs = _specs()
+        QueueClient(client).submit([spec_to_wire(s) for s in specs])
+        session = _HangingSession(
+            cache_dir=tmp_path / "worker", remote_cache_url=server.url
+        )
+        tally = run_worker(
+            server.url, session=session, poll_interval=0.05, ttl=30.0,
+            once=True, spec_timeout=0.2,
+        )
+        stats = server.queue.stats()
+        assert stats["quarantined"] == 1
+        assert "--spec-timeout" in str(stats["quarantined_digests"])
+        # The two healthy specs still completed despite the hang.
+        assert tally["completed"] == 2
+        assert stats["completed"] == 2
+        assert tally["failed"] >= 1
+
+
 # -- CLI surface -------------------------------------------------------------
 
 
@@ -830,6 +910,8 @@ class TestCli:
              "--poll-interval", "0.1", "--max-tasks", "3", "--verbose"]
         )
         assert args.command == "work" and args.once and args.max_tasks == 3
+        args = parser.parse_args(["work", "http://127.0.0.1:1", "--spec-timeout", "90"])
+        assert args.spec_timeout == 90.0
         args = parser.parse_args(
             ["serve", "--max-mb", "64", "--gc-interval", "5", "--auth-token", "t"]
         )
