@@ -15,13 +15,19 @@ the accuracy feedback actually flows):
   built-in bandwidth-aware mechanism is the better regulator.
 """
 
-from repro.experiments.runner import workload_subset
+from repro.experiments.api import workload_subset
 from repro.experiments.scale import Scale
 from repro.metrics.stats import FigureResult, geomean
 
 
 def throttle_study(scale=None):
-    from repro.experiments.runner import run_workload
+    from repro.engine import RunSpec
+    from repro.engine.session import default_session
+
+    session = default_session()
+
+    def run_workload(workload, scheme, length, llc_bytes):
+        return session.run(RunSpec(workload, scheme, length, None, llc_bytes))
 
     scale = scale or Scale.from_env()
     workloads = workload_subset(scale.workloads_per_category)

@@ -1,0 +1,163 @@
+"""Quality-metric drift gate: scored profiles vs the committed baseline.
+
+Computes :class:`repro.metrics.quality.QualityProfile` for a pinned
+scheme × workload grid (the counter path, through the ordinary session
+cache) and compares every rate — accuracy, coverage, timeliness,
+pollution — and the composite score against
+``benchmarks/baselines/metrics_baseline.json``:
+
+- every profile must pass its validity gates;
+- every (workload, scheme) pair in the baseline must still exist, and
+  none may appear from nowhere (the grid itself is pinned);
+- each rate may drift at most ``--tolerance`` (absolute, default 0.05)
+  from its calibrated value.  Intentional simulator changes re-calibrate
+  with ``--update``; unintentional ones fail CI with a per-cell report.
+
+The gate runs the *cheap* path on purpose: it is the path ``repro
+report`` users see, and the exact event path is pinned equal to it by
+``tests/test_observed_hierarchy.py``.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_quality_gate.py
+    PYTHONPATH=src python benchmarks/bench_quality_gate.py --update
+"""
+
+import argparse
+import json
+import os
+import sys
+
+from repro.engine import default_session
+from repro.experiments.quality import QUALITY_WORKLOADS, quality_grid
+from repro.metrics.quality import METRIC_NAMES
+
+#: The pinned grid: the baseline, an aggressive streamer, the three main
+#: paper schemes and the flagship composite — the spread of profiles the
+#: quality table is meant to separate.
+GATE_SCHEMES = ("none", "streamer", "bop", "spp", "dspatch", "spp+dspatch")
+GATE_LENGTH = 4000
+
+GATED_VALUES = tuple(METRIC_NAMES) + ("score",)
+
+DEFAULT_BASELINE = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "baselines", "metrics_baseline.json"
+)
+
+
+def _key(workload, scheme):
+    return f"{workload}|{scheme}"
+
+
+def compute_profiles():
+    grid = quality_grid(
+        default_session(), GATE_SCHEMES, QUALITY_WORKLOADS, GATE_LENGTH
+    )
+    return {_key(w, s): profile for (w, s), profile in grid.items()}
+
+
+def run_gate(args):
+    profiles = compute_profiles()
+
+    failures = []
+    for key, profile in sorted(profiles.items()):
+        if not profile.valid:
+            failures.append(f"{key}: failed validity gates: {'; '.join(profile.issues)}")
+
+    if args.update:
+        payload = {
+            "protocol": {
+                "schemes": list(GATE_SCHEMES),
+                "workloads": list(QUALITY_WORKLOADS),
+                "length": GATE_LENGTH,
+            },
+            "profiles": {k: p.to_dict() for k, p in sorted(profiles.items())},
+        }
+        os.makedirs(os.path.dirname(args.baseline), exist_ok=True)
+        with open(args.baseline, "w") as f:
+            json.dump(payload, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"baseline written : {args.baseline}  ({len(profiles)} profiles)")
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}", file=sys.stderr)
+            return 1
+        return 0
+
+    if not os.path.exists(args.baseline):
+        print(f"FAIL: no baseline at {args.baseline} (run with --update)",
+              file=sys.stderr)
+        return 1
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    base_profiles = baseline.get("profiles", {})
+
+    missing = sorted(set(base_profiles) - set(profiles))
+    extra = sorted(set(profiles) - set(base_profiles))
+    for key in missing:
+        failures.append(f"{key}: in baseline but not computed (grid changed?)")
+    for key in extra:
+        failures.append(f"{key}: computed but not in baseline (run --update)")
+
+    worst = 0.0
+    for key in sorted(set(profiles) & set(base_profiles)):
+        profile = profiles[key].to_dict()
+        base = base_profiles[key]
+        if profile["valid"] != base.get("valid", True):
+            failures.append(
+                f"{key}: validity flipped ({base.get('valid')} -> {profile['valid']})"
+            )
+            continue
+        for name in GATED_VALUES:
+            drift = abs(profile[name] - base[name])
+            worst = max(worst, drift)
+            if drift > args.tolerance:
+                failures.append(
+                    f"{key}: {name} drifted {drift:+.4f} "
+                    f"(baseline {base[name]:.4f}, now {profile[name]:.4f}, "
+                    f"tolerance {args.tolerance})"
+                )
+
+    print(f"profiles         : {len(profiles)} "
+          f"({len(GATE_SCHEMES)} schemes x {len(QUALITY_WORKLOADS)} workloads, "
+          f"length {GATE_LENGTH})")
+    print(f"worst drift      : {worst:.4f}  (tolerance {args.tolerance})")
+
+    if args.output:
+        merged = {}
+        if os.path.exists(args.output):
+            try:
+                with open(args.output) as f:
+                    merged = json.load(f)
+            except (OSError, json.JSONDecodeError):
+                merged = {}
+        merged["quality"] = {
+            "profiles": len(profiles),
+            "worst_drift": worst,
+            "tolerance": args.tolerance,
+            "failures": failures,
+        }
+        with open(args.output, "w") as f:
+            json.dump(merged, f, indent=2, sort_keys=True)
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("PASS")
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE)
+    parser.add_argument("--tolerance", type=float, default=0.05)
+    parser.add_argument("--update", action="store_true",
+                        help="recalibrate the baseline from this run")
+    parser.add_argument("--output", default=None,
+                        help="merge a summary into this JSON artifact")
+    return run_gate(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -84,18 +84,58 @@ def _cmd_list_prefetchers(args):
     return 0
 
 
+def _traced_run(args, dram):
+    """Run the scheme directly with a trace sink attached.
+
+    Tracing never changes the simulated result (the observed hierarchy is
+    parity-pinned), so the baseline still comes from the session cache;
+    only the traced run recomputes — events cannot come from a cache hit.
+    """
+    import sys
+
+    from repro.cpu.system import System, SystemConfig
+    from repro.engine import RunSpec, TraceSpec, default_session
+    from repro.observe import LineSink
+
+    session = default_session()
+    base = session.run(RunSpec(args.workload, "none", args.length, dram))
+    trace = session.trace(TraceSpec(args.workload, args.length))
+    if args.trace_out:
+        sink = LineSink(open(args.trace_out, "w"), close_stream=True)
+        dest = args.trace_out
+    else:
+        sink = LineSink(sys.stderr)
+        dest = "stderr"
+    cfg = SystemConfig.single_thread(
+        args.scheme,
+        dram=dram,
+        trace_prefetch=args.trace_prefetch,
+        trace_cache=args.trace_cache,
+    )
+    try:
+        res = System(cfg, sink=sink).run(trace)
+    finally:
+        events = sink.events_written
+        sink.close()
+    return base, res, (events, dest)
+
+
 def _cmd_run(args):
     from repro.engine import RunSpec, default_session
 
     dram = _parse_dram(args.dram) if args.dram else None
-    # One batched Session.run so the baseline and the scheme fan out over
-    # the worker pool together when --jobs > 1.
-    base, res = default_session().run(
-        [
-            RunSpec(args.workload, "none", args.length, dram),
-            RunSpec(args.workload, args.scheme, args.length, dram),
-        ]
-    )
+    trace_note = None
+    if args.trace_prefetch or args.trace_cache:
+        base, res, trace_note = _traced_run(args, dram)
+    else:
+        # One batched Session.run so the baseline and the scheme fan out
+        # over the worker pool together when --jobs > 1.
+        base, res = default_session().run(
+            [
+                RunSpec(args.workload, "none", args.length, dram),
+                RunSpec(args.workload, args.scheme, args.length, dram),
+            ]
+        )
     speedup = 100.0 * (res.ipc / base.ipc - 1.0) if base.ipc > 0 else 0.0
     if args.json:
         import json
@@ -105,6 +145,8 @@ def _cmd_run(args):
         payload["scheme"] = args.scheme
         payload["baseline_ipc"] = base.ipc
         payload["speedup_pct"] = speedup
+        if trace_note is not None:
+            payload["trace_events"], payload["trace_out"] = trace_note
         print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
     print(f"workload   {args.workload}")
@@ -119,6 +161,9 @@ def _cmd_run(args):
         f"q{i}: {100 * share:.0f}%" for i, share in enumerate(res.bw_utilization_residency)
     )
     print(f"bw buckets {residency}")
+    if trace_note is not None:
+        events, dest = trace_note
+        print(f"trace      {events} events -> {dest}")
     return 0
 
 
@@ -421,6 +466,22 @@ def build_parser():
     run.add_argument("--length", type=int, default=16000, help="memory ops to generate")
     run.add_argument("--dram", help="e.g. 1ch-2133 (default) or 2ch-2400")
     run.add_argument("--json", action="store_true", help="machine-readable output")
+    run.add_argument(
+        "--trace-prefetch",
+        action="store_true",
+        help="emit per-event prefetch trace lines (issue/fill/useful/late/"
+        "evicted-unused/polluting; grammar in docs/observability.md)",
+    )
+    run.add_argument(
+        "--trace-cache",
+        action="store_true",
+        help="emit per-access demand hit/miss trace lines",
+    )
+    run.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="write trace events to PATH instead of stderr",
+    )
 
     fig = sub.add_parser("figure", help="regenerate paper figures")
     fig.add_argument("figures", nargs="*", help="figure ids (default: all)")

@@ -168,8 +168,18 @@ class DSPatch(Prefetcher):
         halves = (0, 1) if segment == 0 else (0,)
         anchored = 0
         low_priority = False
+        trace_emit = self.trace_emit
         for half in halves:
             choice = self._select(cycle, spt_entry, half)
+            if trace_emit is not None:
+                # The paper's core decision (Figure 10): which dual pattern
+                # drives this trigger, under which bandwidth bucket.
+                trace_emit(
+                    cycle,
+                    self.name,
+                    f"select={choice.pattern or 'none'} half={half} "
+                    f"bw={self.bandwidth.bucket(cycle)}",
+                )
             if choice.pattern == "cov":
                 chunk = spt_entry.covp_half(half)
                 self.predictions_covp += 1

@@ -24,6 +24,8 @@ from repro.memory.cache import Cache
 from repro.constants import MP_LLC_BYTES, ST_LLC_BYTES
 from repro.memory.dram import MP_DRAM, ST_DRAM, DramConfig, DramModel
 from repro.memory.hierarchy import HierarchyConfig, MemoryHierarchy
+from repro.memory.observed import ObservedHierarchy
+from repro.observe.sinks import CoreScopedSink, LineSink
 from repro.prefetchers.base import flush_training_with_cycle
 from repro.prefetchers.registry import build_prefetcher
 from repro.prefetchers.stride import PcStridePrefetcher
@@ -41,6 +43,12 @@ class SystemConfig:
     #: Whether the baseline L1 PC-stride prefetcher is present (Table 2).
     l1_stride: bool = True
     record_pollution_victims: bool = False
+    #: Opt-in event tracing (docs/observability.md).  Neither flag enters
+    #: spec fingerprints — tracing never forks the content-addressed
+    #: cache — and with both off the drivers build the plain
+    #: uninstrumented hierarchy, so results stay bit-identical.
+    trace_prefetch: bool = False
+    trace_cache: bool = False
     #: Fraction of the trace used to warm caches/predictors before the
     #: measured region starts — the standard warmup-then-measure
     #: methodology of the paper's simulator.  Structures keep their state
@@ -137,6 +145,46 @@ def _gc_paused():
             gc.enable()
 
 
+def _resolve_sink(cfg, sink):
+    """The sink a run should emit to, or ``None`` when tracing is off."""
+    if not (cfg.trace_prefetch or cfg.trace_cache):
+        return None
+    if sink is not None:
+        return sink
+    import sys
+
+    return LineSink(sys.stderr)
+
+
+def _make_hierarchy(cfg, dram, llc, l1_pf, l2_pf, sink):
+    """Build the hierarchy for one core: plain when nothing observes it.
+
+    The split class is the no-overhead guarantee: with tracing off and no
+    pollution recording this returns the exact pre-instrumentation
+    :class:`MemoryHierarchy`, so the hot path carries zero new branches
+    (asserted by ``benchmarks/bench_observe_overhead.py``).
+    """
+    if sink is None and not cfg.record_pollution_victims:
+        return MemoryHierarchy(
+            config=cfg.hierarchy,
+            dram=dram,
+            llc=llc,
+            l1_prefetcher=l1_pf,
+            l2_prefetcher=l2_pf,
+        )
+    return ObservedHierarchy(
+        config=cfg.hierarchy,
+        dram=dram,
+        llc=llc,
+        l1_prefetcher=l1_pf,
+        l2_prefetcher=l2_pf,
+        sink=sink,
+        trace_prefetch=cfg.trace_prefetch,
+        trace_cache=cfg.trace_cache,
+        record_pollution_victims=cfg.record_pollution_victims,
+    )
+
+
 def _result_from(execution, hierarchy, dram):
     stats = execution.finalize()
     coverage, accuracy, _base = hierarchy.coverage_accuracy()
@@ -157,16 +205,23 @@ def _result_from(execution, hierarchy, dram):
         achieved_gbps=dram.achieved_gbps(stats.cycles),
         level_hits=dict(stats.level_hits),
         pollution_events=list(hierarchy.pollution_events),
-        demand_log=hierarchy.demand_log,
-        prefetch_fill_log=hierarchy.prefetch_fill_log,
+        demand_log=list(hierarchy.demand_log),
+        prefetch_fill_log=list(hierarchy.prefetch_fill_log),
     )
 
 
 class System:
-    """Single-core trace-driven simulation."""
+    """Single-core trace-driven simulation.
 
-    def __init__(self, config: SystemConfig = None):
+    ``sink`` receives trace events when the config enables
+    ``trace_prefetch``/``trace_cache`` (stderr lines when omitted); it is
+    deliberately *not* part of :class:`SystemConfig` — where the events
+    go is an observation concern, not part of the simulated machine.
+    """
+
+    def __init__(self, config: SystemConfig = None, sink=None):
         self.config = config or SystemConfig()
+        self.sink = sink
 
     def run(self, trace):
         """Simulate ``trace`` end to end; returns a :class:`RunResult`."""
@@ -174,13 +229,8 @@ class System:
         dram = DramModel(cfg.dram)
         l1_pf = PcStridePrefetcher() if cfg.l1_stride else None
         l2_pf = build_prefetcher(cfg.l2_prefetcher, dram)
-        hierarchy = MemoryHierarchy(
-            config=cfg.hierarchy,
-            dram=dram,
-            l1_prefetcher=l1_pf,
-            l2_prefetcher=l2_pf,
-            record_pollution_victims=cfg.record_pollution_victims,
-        )
+        sink = _resolve_sink(cfg, self.sink)
+        hierarchy = _make_hierarchy(cfg, dram, None, l1_pf, l2_pf, sink)
         execution = CoreExecution(cfg.core, trace, hierarchy)
         warmup_ops = int(len(trace) * cfg.warmup_frac)
         with _gc_paused():
@@ -237,9 +287,10 @@ class MultiProgramResult:
 class MultiCoreSystem:
     """Four (or N) cores sharing an LLC and DRAM."""
 
-    def __init__(self, config: SystemConfig = None, num_cores=4):
+    def __init__(self, config: SystemConfig = None, num_cores=4, sink=None):
         self.config = config or SystemConfig.multi_programmed()
         self.num_cores = num_cores
+        self.sink = sink
 
     def run(self, traces):
         """Simulate one trace per core; returns :class:`MultiProgramResult`."""
@@ -248,19 +299,14 @@ class MultiCoreSystem:
         cfg = self.config
         dram = DramModel(cfg.dram)
         shared_llc = Cache(cfg.hierarchy.llc)
+        sink = _resolve_sink(cfg, self.sink)
         executions = []
         hierarchies = []
-        for trace in traces:
+        for core_idx, trace in enumerate(traces):
             l1_pf = PcStridePrefetcher() if cfg.l1_stride else None
             l2_pf = build_prefetcher(cfg.l2_prefetcher, dram)
-            hierarchy = MemoryHierarchy(
-                config=cfg.hierarchy,
-                dram=dram,
-                llc=shared_llc,
-                l1_prefetcher=l1_pf,
-                l2_prefetcher=l2_pf,
-                record_pollution_victims=cfg.record_pollution_victims,
-            )
+            core_sink = None if sink is None else CoreScopedSink(sink, core_idx)
+            hierarchy = _make_hierarchy(cfg, dram, shared_llc, l1_pf, l2_pf, core_sink)
             hierarchies.append(hierarchy)
             executions.append(CoreExecution(cfg.core, trace, hierarchy))
 

@@ -23,7 +23,7 @@ from repro.cpu.system import MultiCoreSystem, System, SystemConfig
 from repro.engine.specs import MixSpec, RunSpec, TraceSpec
 
 #: In-process trace memo of the **default session** (kept at module level
-#: so every legacy path — direct engine calls, the runner shims, forked
+#: so every path — direct engine calls, the session API, forked
 #: pool workers — shares one dict, exactly as before the session API).
 #: Explicit sessions own private memos instead.
 TRACE_MEMO = {}

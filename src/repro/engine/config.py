@@ -18,7 +18,7 @@ call (not at import), so test fixtures can repoint the cache directory
 before any simulation runs.
 
 These process-global knobs back the **default session** (and the
-legacy ``runner`` shims).  Explicitly constructed
+figure drivers).  Explicitly constructed
 :class:`repro.engine.session.Session` objects can override any of them
 per session — including plugging in a whole
 :class:`repro.engine.backends.StoreBackend` — without touching this

@@ -81,7 +81,7 @@ def trace_fingerprint(workload, length):
 
 
 def run_fingerprint(workload, scheme, length, dram, llc_bytes, record_pollution):
-    """Key for a memoized single-core run (:func:`runner.run_workload`)."""
+    """Key for a memoized single-core run (``Session.run(RunSpec(...))``)."""
     return fingerprint(
         "run",
         workload=workload,

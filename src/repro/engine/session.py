@@ -21,7 +21,7 @@ Two sessions never share memo state; they share persisted artifacts only
 if their backends point at the same store.  The **default session**
 (:func:`default_session`) is the compatibility anchor: it resolves its
 configuration dynamically from :mod:`repro.engine.config` (env vars,
-``configure()``, CLI flags) and backs every legacy ``runner`` function.
+``configure()``, CLI flags) and backs the CLI and figure drivers.
 """
 
 import sys
@@ -535,7 +535,7 @@ def default_session():
     global configuration on every use, so ``engine.configure()``, CLI
     flags and env changes keep working exactly as they did before the
     session API.  Its trace memo *is* ``compute.TRACE_MEMO``, preserving
-    the historical sharing between direct engine calls and the runner.
+    the historical sharing between direct engine calls and the session.
     """
     global _DEFAULT_SESSION
     if _DEFAULT_SESSION is None:

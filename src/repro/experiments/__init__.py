@@ -16,31 +16,28 @@ Scale is controlled by environment variables (see
 
 Execution flows through the session API: every driver accepts an
 optional ``session`` (:class:`repro.engine.Session`) and the
-session-aware helpers live in :mod:`repro.experiments.api`.  The old
-``runner`` functions remain as deprecation shims over the default
-session (see ``docs/api.md``).
+session-aware helpers live in :mod:`repro.experiments.api`.
 """
 
 from repro.experiments import api, figures
-from repro.experiments.api import scheme_label, workload_subset
-from repro.experiments.runner import (
-    clear_run_cache,
-    run_workload,
+from repro.experiments.api import (
+    mix_speedup_ratio,
+    run_grid,
+    scheme_label,
     speedup_ratios,
-    warm_mixes,
-    warm_runs,
+    warm_mix_grid,
+    workload_subset,
 )
 from repro.experiments.scale import Scale
 
 __all__ = [
     "Scale",
     "api",
-    "clear_run_cache",
     "figures",
-    "run_workload",
+    "mix_speedup_ratio",
+    "run_grid",
     "scheme_label",
     "speedup_ratios",
-    "warm_mixes",
-    "warm_runs",
+    "warm_mix_grid",
     "workload_subset",
 ]

@@ -702,6 +702,18 @@ def extra_triple_hybrid(scale=None, session=None):
     return fig
 
 
+def quality_profiles(scale=None, session=None):
+    """Cross-cutting: scored quality profiles for every registry scheme.
+
+    Lives in :mod:`repro.experiments.quality`; registered here so the
+    ``quality`` id flows through ``repro figure`` / ``repro report``
+    like any paper figure.
+    """
+    from repro.experiments.quality import quality_profiles as driver
+
+    return driver(scale, session=session)
+
+
 #: Registry used by ``python -m repro.experiments.figures <id>`` and tests.
 ALL_FIGURES = {
     "fig01": fig01_bw_scaling_prior,
@@ -723,6 +735,7 @@ ALL_FIGURES = {
     "table1": table1_dspatch_storage,
     "table3": table3_prefetcher_storage,
     "extra-triple": extra_triple_hybrid,
+    "quality": quality_profiles,
 }
 
 

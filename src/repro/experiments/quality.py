@@ -1,0 +1,94 @@
+"""Quality-profile grid: scored metrics for every registry scheme.
+
+The evaluation's cross-cutting observability table: every scheme in
+:mod:`repro.prefetchers.registry` runs over a small pinned workload set
+and reports its gated accuracy / coverage / timeliness / pollution
+rates plus the composite score (:mod:`repro.metrics.quality`).  The
+``quality`` figure id renders it through ``repro figure`` / ``repro
+report`` like any paper figure, and the drift gate
+(``benchmarks/bench_quality_gate.py``) pins a calibrated grid of these
+profiles against ``benchmarks/baselines/metrics_baseline.json``.
+
+Profiles here come from the cheap counter path — aggregate counters off
+cached :class:`~repro.cpu.system.RunResult`\\ s, no tracing.  The tests
+cross-check that path against the exact event path on the same grid.
+"""
+
+from repro.metrics.quality import METRIC_NAMES, QualityProfile
+from repro.metrics.stats import FigureResult
+from repro.prefetchers.registry import available_prefetchers
+from repro.experiments import api
+from repro.experiments.api import resolve_session, scheme_label
+from repro.experiments.scale import Scale
+
+#: Pinned workloads for quality grids: one pointer-chasing SPEC trace,
+#: one cloud trace, one dense-stride HPC trace — three different miss
+#: structures, so the rates separate schemes rather than agreeing.
+QUALITY_WORKLOADS = ("ispec06.mcf", "cloud.bigbench", "hpc.linpack")
+
+#: Columns of the rendered quality table (percent, except score).
+QUALITY_COLUMNS = list(METRIC_NAMES) + ["score"]
+
+
+def quality_grid(session, schemes, workloads=QUALITY_WORKLOADS, length=4000):
+    """Profiles for every (workload, scheme) pair, one batched run.
+
+    Returns ``{(workload, scheme): QualityProfile}``.  The underlying
+    ``RunResult``\\ s land in the session memo, so callers needing the
+    raw results too pay nothing extra.
+    """
+    workloads = list(workloads)
+    schemes = list(schemes)
+    grid = api.run_grid(session, workloads, schemes, length)
+    return {
+        (workload, scheme): QualityProfile.from_result(
+            grid[(workload, scheme)], scheme=scheme, workload=workload
+        )
+        for workload in workloads
+        for scheme in schemes
+    }
+
+
+def quality_profiles(scale=None, session=None):
+    """The ``quality`` figure: per-scheme quality rates, workload-averaged.
+
+    Every registry scheme (composites excluded — the registry's simple
+    names) gets one row; cells are the mean over the pinned workloads,
+    in percent, plus the 0-100 composite score.  Invalid profiles
+    (failed gates) render with score 0 and a note naming the issues.
+    """
+    scale = scale or Scale.from_env()
+    session = resolve_session(session)
+    workloads = QUALITY_WORKLOADS[: max(1, scale.workloads_per_category)]
+    schemes = available_prefetchers()
+    profiles = quality_grid(session, schemes, workloads, scale.trace_len)
+    fig = FigureResult(
+        "quality",
+        "Prefetch quality profiles (% mean over pinned workloads; score 0-100)",
+        QUALITY_COLUMNS,
+        notes=[
+            f"workloads: {', '.join(workloads)}",
+            "accuracy=useful/issued  coverage=useful/(useful+L2 misses)  "
+            "timeliness=1-late/useful  pollution=useless/issued",
+            "score = mean(accuracy, coverage, timeliness, 1-pollution); "
+            "0.5 is the do-nothing point (see docs/observability.md)",
+        ],
+    )
+    gated = []
+    for scheme in schemes:
+        per_workload = [profiles[(w, scheme)] for w in workloads]
+        row = {
+            column: 100.0 * sum(getattr(p, column) for p in per_workload)
+            / len(per_workload)
+            for column in QUALITY_COLUMNS
+        }
+        fig.add_row(scheme_label(scheme), row)
+        for profile in per_workload:
+            if not profile.valid:
+                gated.append(profile)
+    for profile in gated:
+        fig.notes.append(
+            f"gated: {profile.scheme}/{profile.workload}: "
+            + "; ".join(profile.issues)
+        )
+    return fig

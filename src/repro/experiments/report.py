@@ -40,6 +40,10 @@ PAPER_CLAIMS = {
     "table1": "DSPatch needs 3.6KB of storage.",
     "table3": "BOP 1.3KB < DSPatch 3.6KB < SPP 6.2KB << SMS 88KB.",
     "extra-triple": "DSPatch adds 2.6% on top of SPP+BOP.",
+    "quality": (
+        "Not a paper figure: gated accuracy/coverage/timeliness/pollution "
+        "scores per registry scheme (docs/observability.md)."
+    ),
 }
 
 

@@ -146,16 +146,21 @@ class MemoryHierarchy:
         "pf_stats",
         "_in_flight",
         "prefetch_queue_size",
-        "record_pollution_victims",
-        "pollution_events",
-        "demand_log",
-        "prefetch_fill_log",
         "demand_accesses",
         "_l2_train",
         "_dram_access",
         "_merge_bound",
         "_prune_scratch",
     )
+
+    #: Pollution recording and event tracing live on the observed subclass
+    #: (:class:`repro.memory.observed.ObservedHierarchy`); the plain class
+    #: exposes the same attributes as empty constants so result assembly
+    #: reads one shape regardless of which hierarchy ran.
+    record_pollution_victims = False
+    pollution_events = ()
+    demand_log = ()
+    prefetch_fill_log = ()
 
     def __init__(
         self,
@@ -164,7 +169,6 @@ class MemoryHierarchy:
         llc: Cache = None,
         l1_prefetcher=None,
         l2_prefetcher=None,
-        record_pollution_victims=False,
     ):
         self.config = config or HierarchyConfig()
         self.dram = dram or DramModel(DramConfig())
@@ -185,13 +189,6 @@ class MemoryHierarchy:
         #: hold a full-page spatial burst (DSPatch segment-0 triggers can
         #: emit up to 62 lines) plus a steady delta-prefetcher stream.
         self.prefetch_queue_size = 128
-        self.record_pollution_victims = record_pollution_victims
-        self.pollution_events = []
-        #: With pollution recording on: (ordinal, line) demand accesses
-        #: below L1 and (ordinal, line) prefetch fills from DRAM — the
-        #: classifier inputs for the appendix's Figure 20.
-        self.demand_log = []
-        self.prefetch_fill_log = []
         self.demand_accesses = 0
         # Hot-path bound methods (the targets never change after init) and
         # the demand-merge latency bound, a pure function of DRAM timings.
@@ -258,8 +255,6 @@ class MemoryHierarchy:
         once per L1 miss and mirrors ``Cache.access`` exactly, including
         first-use accounting via the caches' stats counters)."""
         line = addr >> LINE_SHIFT
-        if self.record_pollution_victims:
-            self.demand_log.append((self.demand_accesses, line))
         candidates = ()
         l2 = self.l2
         l2_lines = l2._sets[line & l2._set_mask]
@@ -409,7 +404,6 @@ class MemoryHierarchy:
         in_flight = self._in_flight
         queue_size = self.prefetch_queue_size
         dram_access = self._dram_access
-        record = self.record_pollution_victims
         for cand in candidates:
             line = cand.line_addr
             if l2_sets[line & l2_mask].get(line >> l2_shift) is not None:
@@ -449,8 +443,6 @@ class MemoryHierarchy:
             ready = cycle + llc_hit_latency + dram_latency
             pf.filled_from_dram += 1
             in_flight[line] = ready
-            if record:
-                self.prefetch_fill_log.append((self.demand_accesses, line))
             self._fill_llc(line, cycle, prefetched=True, ready=ready, low_priority=cand.low_priority)
             l2_fill(line, cycle, True, cand.low_priority, ready, False)
 
@@ -480,12 +472,6 @@ class MemoryHierarchy:
             self.pf_stats.useless += 1
             if self.l2_prefetcher is not None:
                 self.l2_prefetcher.note_useless_prefetch(cycle, evicted.line_addr)
-        if self.record_pollution_victims and prefetched:
-            # Victim of a prefetch fill — input to the appendix pollution
-            # study, which classifies these victims by their later reuse.
-            self.pollution_events.append(
-                PollutionEvent(self.demand_accesses, evicted.line_addr)
-            )
 
     def _note_use(self, cycle, line, cache_line):
         """First demand use of a prefetched line: propagate + notify.
@@ -521,9 +507,6 @@ class MemoryHierarchy:
         self.l1_mshr.reset_stats()
         self.l2_mshr.reset_stats()
         self.llc_mshr.reset_stats()
-        self.pollution_events = []
-        self.demand_log = []
-        self.prefetch_fill_log = []
 
     def coverage_accuracy(self):
         """Return (coverage, accuracy, base_misses) per Figure 16 semantics.

@@ -1,6 +1,14 @@
-"""Metrics: aggregation helpers and the appendix pollution classifier."""
+"""Metrics: aggregation, the pollution classifier, and quality scoring."""
 
 from repro.metrics.pollution import PollutionBreakdown, classify_pollution
+from repro.metrics.quality import (
+    METRIC_NAMES,
+    QualityCounters,
+    QualityProfile,
+    counters_from_events,
+    counters_from_result,
+    validity_issues,
+)
 from repro.metrics.stats import (
     FigureResult,
     category_geomeans,
@@ -12,11 +20,17 @@ from repro.metrics.stats import (
 
 __all__ = [
     "FigureResult",
+    "METRIC_NAMES",
     "PollutionBreakdown",
+    "QualityCounters",
+    "QualityProfile",
     "category_geomeans",
     "classify_pollution",
+    "counters_from_events",
+    "counters_from_result",
     "geomean",
     "render_series",
     "render_table",
     "speedup_pct",
+    "validity_issues",
 ]

@@ -1,0 +1,243 @@
+"""Scored prefetcher-quality metrics.
+
+The paper evaluates prefetchers almost entirely through IPC speedup;
+this module adds the *why* behind those speedups as four first-class
+rates per (scheme, workload) pair:
+
+- **accuracy** — useful / issued: how often an issued prefetch was
+  eventually demanded;
+- **coverage** — useful / (useful + L2 demand misses): the share of
+  would-be misses the prefetcher absorbed;
+- **timeliness** — 1 - late / useful: the share of useful prefetches
+  that arrived before their demand (a late prefetch still helps — the
+  demand merges with the in-flight fill — but hides less latency);
+- **pollution** — useless / issued: the share of issued prefetches that
+  were evicted from the LLC without ever being demanded.
+
+All four are computable two ways, and the two must agree exactly:
+
+- the **cheap path** (:func:`counters_from_result`) reads the aggregate
+  counters every :class:`~repro.cpu.system.RunResult` already carries —
+  no tracing required, cache hits suffice;
+- the **exact path** (:func:`counters_from_events`) folds a per-event
+  trace (:mod:`repro.observe`) into the same counters, consuming only
+  events after the *last* reset marker — the post-warmup region the
+  aggregate counters describe.
+
+**Validity gates run first.**  A profile whose counters violate the
+structural invariants (negative counts, more late than useful
+prefetches, any rate outside [0, 1]) is marked invalid, its issues are
+recorded, and its score is pinned to 0.0 rather than computed from
+garbage.  Note that ``useful <= issued`` is *not* an invariant: a
+prefetch issued during warmup and first demanded after the statistics
+reset is counted useful in a window where its issue was not — the
+rate gates catch the pathological version of this honestly.
+
+The composite **score** is the unweighted mean of accuracy, coverage,
+timeliness and (1 - pollution): 1.0 is a perfect prefetcher, 0.5 is the
+do-nothing point (``none`` scores exactly 0.5 — zero accuracy and
+coverage, but nothing late and nothing polluting).
+"""
+
+from dataclasses import dataclass
+
+from repro.observe.events import (
+    EVICTED_UNUSED,
+    HIT,
+    ISSUE,
+    LATE,
+    MISS,
+    RESET,
+    USEFUL,
+)
+
+#: Hierarchy level codes at or above which a demand lookup counts as an
+#: L2 demand miss (served by the LLC or DRAM) — see LEVEL_NAMES.
+_L2_MISS_LEVEL = 2
+
+#: The four rate metrics, in reporting order.
+METRIC_NAMES = ("accuracy", "coverage", "timeliness", "pollution")
+
+
+@dataclass(frozen=True)
+class QualityCounters:
+    """The five aggregate counts every quality rate derives from."""
+
+    issued: int = 0
+    useful: int = 0
+    late: int = 0
+    useless: int = 0
+    l2_demand_misses: int = 0
+
+    def to_dict(self):
+        return {
+            "issued": self.issued,
+            "useful": self.useful,
+            "late": self.late,
+            "useless": self.useless,
+            "l2_demand_misses": self.l2_demand_misses,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(**{k: int(data[k]) for k in cls.__dataclass_fields__})
+
+
+def counters_from_result(result):
+    """Cheap path: counters straight off a ``RunResult``."""
+    return QualityCounters(
+        issued=result.pf_issued,
+        useful=result.pf_useful,
+        late=result.pf_late,
+        useless=result.pf_useless,
+        l2_demand_misses=result.l2_demand_misses,
+    )
+
+
+def counters_from_events(events):
+    """Exact path: fold an event trace into :class:`QualityCounters`.
+
+    Only events after the *last* reset marker count (the warmup
+    boundary re-zeroes the aggregate counters this path must match).
+    Needs both families traced: prefetch events supply the prefetch
+    counts, cache events supply the L2 demand misses.
+    """
+    events = list(events)
+    start = 0
+    for i, event in enumerate(events):
+        if event[0] == RESET:
+            start = i + 1
+    issued = useful = late = useless = l2_misses = 0
+    for event in events[start:]:
+        kind = event[0]
+        if kind == ISSUE:
+            issued += 1
+        elif kind == USEFUL:
+            useful += 1
+        elif kind == LATE:
+            late += 1
+        elif kind == EVICTED_UNUSED:
+            useless += 1
+        elif kind in (HIT, MISS) and event[4] >= _L2_MISS_LEVEL:
+            l2_misses += 1
+    return QualityCounters(issued, useful, late, useless, l2_misses)
+
+
+def validity_issues(counters):
+    """Structural-invariant violations in ``counters`` (empty = clean)."""
+    issues = []
+    for name, value in counters.to_dict().items():
+        if value < 0:
+            issues.append(f"negative {name} ({value})")
+    if counters.late > counters.useful:
+        issues.append(
+            f"late ({counters.late}) exceeds useful ({counters.useful})"
+        )
+    return issues
+
+
+def _ratio(numerator, denominator):
+    return numerator / denominator if denominator else 0.0
+
+
+@dataclass(frozen=True)
+class QualityProfile:
+    """Gated, scored quality rates for one (scheme, workload) run."""
+
+    scheme: str
+    workload: str
+    counters: QualityCounters
+    accuracy: float
+    coverage: float
+    timeliness: float
+    pollution: float
+    valid: bool
+    issues: tuple
+    score: float
+
+    @classmethod
+    def from_counters(cls, counters, scheme="", workload=""):
+        """Gate, compute the rates, and score — the one constructor."""
+        issues = validity_issues(counters)
+        accuracy = _ratio(counters.useful, counters.issued)
+        coverage = _ratio(
+            counters.useful, counters.useful + counters.l2_demand_misses
+        )
+        timeliness = (
+            1.0 - _ratio(counters.late, counters.useful)
+            if counters.useful
+            else 1.0
+        )
+        pollution = _ratio(counters.useless, counters.issued)
+        rates = {
+            "accuracy": accuracy,
+            "coverage": coverage,
+            "timeliness": timeliness,
+            "pollution": pollution,
+        }
+        for name, value in rates.items():
+            if not 0.0 <= value <= 1.0:
+                issues.append(f"{name} out of [0, 1] ({value:.4f})")
+        valid = not issues
+        score = (
+            (accuracy + coverage + timeliness + (1.0 - pollution)) / 4.0
+            if valid
+            else 0.0
+        )
+        return cls(
+            scheme=scheme,
+            workload=workload,
+            counters=counters,
+            accuracy=accuracy,
+            coverage=coverage,
+            timeliness=timeliness,
+            pollution=pollution,
+            valid=valid,
+            issues=tuple(issues),
+            score=score,
+        )
+
+    @classmethod
+    def from_result(cls, result, scheme="", workload=""):
+        """Cheap path: profile from a ``RunResult``'s aggregate counters."""
+        return cls.from_counters(
+            counters_from_result(result), scheme=scheme, workload=workload
+        )
+
+    @classmethod
+    def from_events(cls, events, scheme="", workload=""):
+        """Exact path: profile from a per-event trace."""
+        return cls.from_counters(
+            counters_from_events(events), scheme=scheme, workload=workload
+        )
+
+    def rates(self):
+        """The four rate metrics as a dict, in :data:`METRIC_NAMES` order."""
+        return {name: getattr(self, name) for name in METRIC_NAMES}
+
+    def to_dict(self):
+        """JSON-serializable form (the drift-gate baseline format)."""
+        out = {
+            "scheme": self.scheme,
+            "workload": self.workload,
+            "counters": self.counters.to_dict(),
+            "valid": self.valid,
+            "issues": list(self.issues),
+            "score": self.score,
+        }
+        out.update(self.rates())
+        return out
+
+    @classmethod
+    def from_dict(cls, data):
+        """Rebuild a profile from :meth:`to_dict` output.
+
+        The rates/score are *recomputed* from the stored counters (the
+        counters are the source of truth); a hand-edited baseline whose
+        rates disagree with its counters is thereby self-correcting.
+        """
+        return cls.from_counters(
+            QualityCounters.from_dict(data["counters"]),
+            scheme=data.get("scheme", ""),
+            workload=data.get("workload", ""),
+        )

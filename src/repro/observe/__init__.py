@@ -1,0 +1,58 @@
+"""Opt-in prefetch/cache event tracing (the observability subsystem).
+
+Two layers sit on top of the simulator:
+
+- the **event layer** (this package): a line-oriented, versioned event
+  grammar (:mod:`repro.observe.events`) plus pluggable sinks
+  (:mod:`repro.observe.sinks`), emitted by
+  :class:`repro.memory.observed.ObservedHierarchy` and threaded from
+  ``SystemConfig`` / the CLI ``--trace-prefetch`` / ``--trace-cache`` /
+  ``--trace-out`` flags;
+- the **scoring layer** (:mod:`repro.metrics.quality`): validity-gated
+  accuracy/coverage/timeliness/pollution objective functions computed
+  from aggregate counters (cheap path) or from an event trace (exact
+  path).
+
+Tracing is strictly opt-in: with no sink configured the simulator uses
+the plain :class:`repro.memory.hierarchy.MemoryHierarchy` — the same
+code that runs today — so results stay bit-identical and throughput
+unchanged.  Trace configuration never enters spec fingerprints, so
+cached results remain valid whether or not tracing is on.  The format
+contract lives in ``docs/observability.md``.
+"""
+
+from repro.observe.events import (
+    CACHE_PREFIX,
+    HEADER_PREFIX,
+    PF_PREFIX,
+    TRACE_VERSION,
+    event_family,
+    format_event,
+    header_line,
+    parse_line,
+    parse_trace,
+)
+from repro.observe.sinks import (
+    CollectingSink,
+    CoreScopedSink,
+    LineSink,
+    PollutionCollector,
+    TraceSink,
+)
+
+__all__ = [
+    "CACHE_PREFIX",
+    "CollectingSink",
+    "CoreScopedSink",
+    "HEADER_PREFIX",
+    "LineSink",
+    "PF_PREFIX",
+    "PollutionCollector",
+    "TRACE_VERSION",
+    "TraceSink",
+    "event_family",
+    "format_event",
+    "header_line",
+    "parse_line",
+    "parse_trace",
+]

@@ -1,0 +1,219 @@
+"""The prefetch/cache event grammar — kinds, wire format, parser.
+
+This is the *format contract* of the observability subsystem (the
+human-readable statement lives in ``docs/observability.md``).  Events are
+plain tuples, ``(kind, ordinal, cycle, line, *extras)``; the wire form is
+one line per event with a **stable prefix** per family::
+
+    [repro][trace] v=1 events=dspatch-repro
+    [repro][cache] hit ord=12 cyc=340 line=0x1a2b lvl=L1
+    [repro][pf] issue ord=13 cyc=355 line=0x1a2d lp=0 src=dram
+
+Contract rules (consumers may rely on these; bump :data:`TRACE_VERSION`
+to change any of them):
+
+- every event line starts with ``[repro][cache]`` or ``[repro][pf]``;
+  the stream opens with one ``[repro][trace]`` header line carrying
+  ``v=<version>``;
+- the token after the prefix is the event kind; fields follow as
+  ``key=value`` pairs in the fixed order given by :data:`EVENT_FIELDS`;
+- ``ord`` is the demand-access ordinal (the hierarchy's
+  ``demand_accesses`` counter — the same ordinal space the pollution
+  classifier uses), ``cyc`` the core cycle, ``line`` a hex line address;
+- unknown kinds/fields must be skipped, not rejected (forward
+  compatibility within a major version).
+
+The in-memory tuples are what sinks receive (see
+:mod:`repro.observe.sinks`) and what the exact-path scorer consumes
+(:func:`repro.metrics.quality.counters_from_events`).
+"""
+
+#: Version of the wire format; bumped on any incompatible grammar change.
+TRACE_VERSION = 1
+
+#: Stable line prefixes, per family.
+CACHE_PREFIX = "[repro][cache]"
+PF_PREFIX = "[repro][pf]"
+HEADER_PREFIX = "[repro][trace]"
+
+#: Event families.
+FAMILY_CACHE = "cache"
+FAMILY_PF = "pf"
+
+# Event kinds ---------------------------------------------------------------
+
+#: Demand served on-die (``lvl`` ∈ L1/L2/LLC — LLC includes merges with an
+#: in-flight prefetch).
+HIT = "hit"
+#: Demand went to DRAM (``lvl`` is always DRAM).
+MISS = "miss"
+#: A prefetch candidate was accepted (passed residency/in-flight/queue
+#: filters and, for DRAM prefetches, the memory controller).
+ISSUE = "issue"
+#: The accepted prefetch's line was installed on-die (``src`` = llc for an
+#: LLC→L2 promotion, dram for a DRAM fetch; ``ready`` = fill-complete cycle).
+FILL = "fill"
+#: A candidate was filtered before issue (``reason`` ∈ resident, inflight,
+#: bandwidth).
+DROP = "drop"
+#: First demand use of a prefetched line (``late`` = 1 if the demand had to
+#: wait on the still-in-flight fill).
+USEFUL = "useful"
+#: Companion event to a ``useful`` with ``late=1`` (grep-friendly).
+LATE = "late"
+#: A prefetched line left the LLC without ever being demanded.
+EVICTED_UNUSED = "evicted-unused"
+#: A prefetch fill evicted a victim from the LLC (``line`` = filled line,
+#: ``victim`` = evicted line) — the pollution-study input.
+POLLUTING = "polluting"
+#: Warmup boundary: statistics reset; metrics consume events after the
+#: *last* reset marker.
+RESET = "reset"
+#: Scheme-internal event (``name`` = prefetcher registry name, ``info`` =
+#: freeform ``key=value`` text) — emitted via ``Prefetcher.trace_event``.
+SCHEME = "scheme"
+
+#: kind -> family
+EVENT_FAMILY = {
+    HIT: FAMILY_CACHE,
+    MISS: FAMILY_CACHE,
+    ISSUE: FAMILY_PF,
+    FILL: FAMILY_PF,
+    DROP: FAMILY_PF,
+    USEFUL: FAMILY_PF,
+    LATE: FAMILY_PF,
+    EVICTED_UNUSED: FAMILY_PF,
+    POLLUTING: FAMILY_PF,
+    SCHEME: FAMILY_PF,
+    # RESET is emitted into whichever families are being traced; its wire
+    # family comes from the event's trailing tag.
+}
+
+#: kind -> names of the fields after (ord, cyc, line), in wire order.
+EVENT_FIELDS = {
+    HIT: ("lvl",),
+    MISS: ("lvl",),
+    ISSUE: ("lp", "src"),
+    FILL: ("src", "ready"),
+    DROP: ("reason",),
+    USEFUL: ("late",),
+    LATE: (),
+    EVICTED_UNUSED: (),
+    POLLUTING: ("victim",),
+    RESET: (),
+    SCHEME: ("name", "info"),
+}
+
+#: ``lvl`` values, indexed by the hierarchy's integer level codes.
+LEVEL_NAMES = ("L1", "L2", "LLC", "DRAM")
+
+_HEX_FIELDS = frozenset(("line", "victim"))
+
+
+def header_line():
+    """The versioned header every line-oriented trace starts with."""
+    return f"{HEADER_PREFIX} v={TRACE_VERSION} events=dspatch-repro"
+
+
+def event_family(event):
+    """The family (``cache``/``pf``) an event tuple belongs to."""
+    kind = event[0]
+    if kind == RESET:
+        # reset markers carry their family as the trailing element
+        return event[-1]
+    return EVENT_FAMILY[kind]
+
+
+def format_event(event, core=None):
+    """Render one event tuple as its wire line (no newline)."""
+    kind = event[0]
+    family = event_family(event)
+    prefix = CACHE_PREFIX if family == FAMILY_CACHE else PF_PREFIX
+    parts = [prefix, kind]
+    if core is not None:
+        parts.append(f"core={core}")
+    if kind == RESET:
+        _, ord_, cyc, _family = event
+        parts.append(f"ord={ord_}")
+        parts.append(f"cyc={cyc}")
+        return " ".join(parts)
+    _, ord_, cyc, line = event[:4]
+    parts.append(f"ord={ord_}")
+    parts.append(f"cyc={cyc}")
+    parts.append(f"line=0x{line:x}")
+    names = EVENT_FIELDS[kind]
+    for name, value in zip(names, event[4:]):
+        if name == "lvl":
+            value = LEVEL_NAMES[value]
+        elif name in _HEX_FIELDS:
+            value = f"0x{value:x}"
+        parts.append(f"{name}={value}")
+    return " ".join(parts)
+
+
+def parse_line(text):
+    """Parse one wire line back into an event tuple.
+
+    Returns ``None`` for the header line, blank lines, unknown kinds and
+    lines from other producers (forward-compatible skipping).  Core tags
+    are dropped — parse multi-core traces per core if attribution matters.
+    """
+    text = text.strip()
+    if text.startswith(HEADER_PREFIX) or not text:
+        return None
+    if text.startswith(CACHE_PREFIX):
+        family = FAMILY_CACHE
+        rest = text[len(CACHE_PREFIX):].strip()
+    elif text.startswith(PF_PREFIX):
+        family = FAMILY_PF
+        rest = text[len(PF_PREFIX):].strip()
+    else:
+        return None
+    # ``info=`` is a rest-of-line field (freeform text may contain spaces
+    # and ``=``); it is always last on the wire.
+    info = None
+    if " info=" in rest:
+        rest, _, info = rest.partition(" info=")
+    tokens = rest.split()
+    if not tokens:
+        return None
+    kind = tokens[0]
+    if kind not in EVENT_FIELDS:
+        return None
+    fields = {}
+    for token in tokens[1:]:
+        key, _, value = token.partition("=")
+        if _:
+            fields[key] = value
+    try:
+        ord_ = int(fields.get("ord", 0))
+        cyc = int(fields.get("cyc", 0))
+        if kind == RESET:
+            return (RESET, ord_, cyc, family)
+        line = int(fields.get("line", "0"), 16)
+        extras = []
+        for name in EVENT_FIELDS[kind]:
+            raw = fields.get(name)
+            if name == "lvl":
+                extras.append(LEVEL_NAMES.index(raw))
+            elif name in _HEX_FIELDS:
+                extras.append(int(raw, 16))
+            elif name in ("lp", "ready", "late"):
+                extras.append(int(raw))
+            elif name == "info":
+                extras.append(info if info is not None else "")
+            else:
+                extras.append(raw if raw is not None else "")
+        return (kind, ord_, cyc, line, *extras)
+    except (ValueError, TypeError):
+        return None
+
+
+def parse_trace(lines):
+    """Parse an iterable of wire lines into a list of event tuples."""
+    events = []
+    for text in lines:
+        event = parse_line(text)
+        if event is not None:
+            events.append(event)
+    return events

@@ -1,0 +1,132 @@
+"""Trace sinks: where event tuples go.
+
+A *sink* is anything with ``emit(event, core=None)``; the observed
+hierarchy calls it once per event (see :mod:`repro.observe.events` for
+the tuple shapes).  Three concrete sinks cover the stock use cases:
+
+- :class:`LineSink` — renders the wire format onto a text stream
+  (stderr by default; ``--trace-out PATH`` opens a file), writing the
+  versioned header lazily before the first event;
+- :class:`CollectingSink` — keeps the raw tuples in memory, for tests
+  and for the exact-path quality scorer;
+- :class:`PollutionCollector` — the *internal* sink behind
+  ``record_pollution_victims``: it derives the classic
+  ``demand_log`` / ``prefetch_fill_log`` / pollution-victim views from
+  the same event stream, so pollution recording and user tracing share
+  one recording path.
+
+Sinks must not mutate events and must not raise — an observability
+failure should never kill a simulation.  The stock sinks are trivially
+exception-free; custom sinks own that contract.
+"""
+
+from repro.observe.events import (
+    FILL,
+    HIT,
+    MISS,
+    POLLUTING,
+    RESET,
+    format_event,
+    header_line,
+)
+
+
+class TraceSink:
+    """Base class (and duck-type contract) for event consumers."""
+
+    def emit(self, event, core=None):
+        """Consume one event tuple; ``core`` tags multi-core streams."""
+        raise NotImplementedError
+
+    def close(self):
+        """Release any resources; the default is a no-op."""
+
+
+class LineSink(TraceSink):
+    """Render events as wire-format lines onto ``stream``.
+
+    The versioned header is written before the first event, so an empty
+    trace produces an empty stream (not a lone header).
+    """
+
+    def __init__(self, stream, close_stream=False):
+        self.stream = stream
+        self.events_written = 0
+        self._close_stream = close_stream
+
+    def emit(self, event, core=None):
+        if self.events_written == 0:
+            self.stream.write(header_line() + "\n")
+        self.stream.write(format_event(event, core=core) + "\n")
+        self.events_written += 1
+
+    def close(self):
+        if self._close_stream:
+            self.stream.close()
+        else:
+            self.stream.flush()
+
+
+class CollectingSink(TraceSink):
+    """Keep raw event tuples in memory (``.events``; core tags in ``.cores``)."""
+
+    def __init__(self):
+        self.events = []
+        self.cores = []
+
+    def emit(self, event, core=None):
+        self.events.append(event)
+        self.cores.append(core)
+
+    def clear(self):
+        self.events.clear()
+        self.cores.clear()
+
+
+class CoreScopedSink(TraceSink):
+    """Adapter tagging every event with a fixed core index (MP runs)."""
+
+    def __init__(self, sink, core):
+        self.sink = sink
+        self.core = core
+
+    def emit(self, event, core=None):
+        self.sink.emit(event, core=self.core)
+
+
+class PollutionCollector(TraceSink):
+    """Derive the appendix pollution-study inputs from the event stream.
+
+    Subscribed to both families by the observed hierarchy whenever
+    ``record_pollution_victims`` is on.  The three views match the
+    pre-event-layer recording bit for bit:
+
+    - ``demands`` — ``(ordinal, line)`` per below-L1 demand lookup
+      (cache events whose level is L2 or deeper);
+    - ``fills`` — ``(ordinal, line)`` per prefetch fill from DRAM;
+    - ``victims`` — ``(ordinal, victim_line)`` per LLC eviction caused
+      by a prefetch fill.
+    """
+
+    def __init__(self):
+        self.demands = []
+        self.fills = []
+        self.victims = []
+
+    def emit(self, event, core=None):
+        kind = event[0]
+        if kind == HIT or kind == MISS:
+            if event[4] > 0:  # below-L1 lookups only (level L2/LLC/DRAM)
+                self.demands.append((event[1], event[3]))
+        elif kind == FILL:
+            if event[4] == "dram":
+                self.fills.append((event[1], event[3]))
+        elif kind == POLLUTING:
+            self.victims.append((event[1], event[4]))
+        elif kind == RESET:
+            self.clear()
+
+    def clear(self):
+        self.demands.clear()
+        self.fills.clear()
+        self.victims.clear()

@@ -74,6 +74,11 @@ class Prefetcher:
 
     name = "base"
 
+    #: Scheme-event emission hook, installed by an observed hierarchy when
+    #: prefetch tracing is on (``None`` otherwise) — every registry scheme
+    #: inherits it through this base class.
+    trace_emit = None
+
     def train(self, cycle, pc, addr, hit):
         """Observe one training access; return prefetch candidates.
 
@@ -98,6 +103,22 @@ class Prefetcher:
     def storage_kb(self):
         """Storage in kilobytes, as the paper quotes it."""
         return self.storage_bits() / 8 / 1024
+
+    # Optional tracing hooks (docs/observability.md).  The observed
+    # hierarchy attaches an emitter when ``--trace-prefetch`` is on;
+    # schemes call ``trace_event`` at interesting internal decisions
+    # (pattern selection, throttle transitions).  Unattached, the call is
+    # one attribute load — cheap enough to leave in scheme code.
+
+    def attach_trace(self, emit):
+        """Install the ``emit(cycle, name, info)`` scheme-event hook."""
+        self.trace_emit = emit
+
+    def trace_event(self, cycle, info=""):
+        """Emit a ``scheme`` trace event if a hook is attached."""
+        emit = self.trace_emit
+        if emit is not None:
+            emit(cycle, self.name, info)
 
     # Optional feedback hooks; the hierarchy calls these so prefetchers that
     # track their own usefulness (SPP's feedback counters) can do so.

@@ -98,6 +98,12 @@ class CompositePrefetcher(Prefetcher):
         for component in self.components:
             component.note_useless_prefetch(cycle, line_addr)
 
+    def attach_trace(self, emit):
+        """Propagate the scheme-event hook to every component."""
+        self.trace_emit = emit
+        for component in self.components:
+            component.attach_trace(emit)
+
     def storage_breakdown(self):
         merged = {}
         for component in self.components:

@@ -67,12 +67,13 @@ class FeedbackThrottle(Prefetcher):
 
     # ------------------------------------------------------------- control
 
-    def _decide(self):
+    def _decide(self, cycle=0):
         """One controller step at the end of a feedback window."""
         total = self._window_useful + self._window_useless
         if total < self.config.window:
             return
         accuracy = self._window_useful / total
+        before = self.level
         if accuracy >= self.config.accuracy_high:
             if self.level < len(self.config.level_caps) - 1:
                 self.level += 1
@@ -81,6 +82,8 @@ class FeedbackThrottle(Prefetcher):
             if self.level > 0:
                 self.level -= 1
                 self.level_downs += 1
+        if self.level != before:
+            self.trace_event(cycle, f"level={self.level} acc={accuracy:.2f}")
         self._window_useful = 0
         self._window_useless = 0
 
@@ -99,12 +102,12 @@ class FeedbackThrottle(Prefetcher):
 
     def note_useful_prefetch(self, cycle, line_addr):
         self._window_useful += 1
-        self._decide()
+        self._decide(cycle)
         self.inner.note_useful_prefetch(cycle, line_addr)
 
     def note_useless_prefetch(self, cycle, line_addr):
         self._window_useless += 1
-        self._decide()
+        self._decide(cycle)
         self.inner.note_useless_prefetch(cycle, line_addr)
 
     # -------------------------------------------------------------- plumbing
@@ -113,6 +116,11 @@ class FeedbackThrottle(Prefetcher):
         out = {f"{self.inner.name}/{k}": v for k, v in self.inner.storage_breakdown().items()}
         out["fdp-controller"] = 2 * 16 + 3  # two window counters + level
         return out
+
+    def attach_trace(self, emit):
+        """Propagate the scheme-event hook to the wrapped prefetcher."""
+        self.trace_emit = emit
+        self.inner.attach_trace(emit)
 
     def flush_training(self, cycle=0):
         flush_training_with_cycle(self.inner, cycle)

@@ -8,7 +8,7 @@ from repro.experiments.ablations import (
     ablation_structure_sizes,
     related_work_comparison,
 )
-from repro.experiments.runner import clear_run_cache
+from repro.engine.session import default_session
 from repro.experiments.scale import Scale
 
 TINY = Scale(
@@ -22,9 +22,9 @@ TINY = Scale(
 
 @pytest.fixture(autouse=True)
 def _fresh_cache():
-    clear_run_cache()
+    default_session().clear()
     yield
-    clear_run_cache()
+    default_session().clear()
 
 
 class TestDesignChoices:

@@ -3,6 +3,16 @@
 import pytest
 
 from repro.cli import _parse_dram, build_parser, main
+from repro.engine import RunSpec
+from repro.engine.session import default_session
+
+
+def _clear_cache():
+    default_session().clear()
+
+
+def _run_workload(workload, scheme, length):
+    return default_session().run(RunSpec(workload, scheme, length))
 
 
 class TestParser:
@@ -109,6 +119,52 @@ class TestCommands:
         assert payload["ipc"] > 0
         assert "speedup_pct" in payload
 
+    def test_run_trace_out_writes_parseable_trace(self, capsys, tmp_path):
+        from repro.observe.events import header_line, parse_trace
+
+        path = tmp_path / "trace.txt"
+        base_args = ["run", "--workload", "ispec06.hmmer", "--scheme", "streamer",
+                     "--length", "1000"]
+        assert main(base_args) == 0
+        untraced = capsys.readouterr().out
+        assert main(base_args + ["--trace-prefetch", "--trace-cache",
+                                 "--trace-out", str(path)]) == 0
+        traced = capsys.readouterr().out
+
+        lines = path.read_text().splitlines()
+        assert lines[0] == header_line()
+        events = parse_trace(lines)
+        assert events
+        kinds = {e[0] for e in events}
+        assert "issue" in kinds and "reset" in kinds
+        assert kinds & {"hit", "miss"}
+
+        # Tracing is parity-pinned: the printed metrics are identical;
+        # the traced run just adds the trace summary line.
+        extra = [l for l in traced.splitlines() if l not in untraced.splitlines()]
+        assert len(extra) == 1 and extra[0].startswith("trace")
+        assert str(path) in extra[0]
+
+    def test_run_trace_defaults_to_stderr(self, capsys):
+        assert main(["run", "--workload", "ispec06.hmmer", "--scheme", "nextline",
+                     "--length", "600", "--trace-prefetch"]) == 0
+        captured = capsys.readouterr()
+        assert "[repro][pf]" in captured.err
+        assert "[repro][cache]" not in captured.err  # family not enabled
+        assert "stderr" in captured.out
+
+    def test_run_trace_json_reports_event_count(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "trace.txt"
+        assert main(["run", "--workload", "ispec06.hmmer", "--scheme", "streamer",
+                     "--length", "800", "--json", "--trace-prefetch",
+                     "--trace-out", str(path)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["trace_out"] == str(path)
+        assert payload["trace_events"] > 0
+        assert payload["trace_events"] == len(path.read_text().splitlines()) - 1
+
     def test_sweep_prints_six_rows(self, capsys):
         code = main(
             ["sweep", "--workload", "ispec06.hmmer", "--scheme", "nextline",
@@ -122,9 +178,7 @@ class TestCommands:
     def test_figure_chart_flag(self, capsys, monkeypatch):
         monkeypatch.setenv("REPRO_TRACE_LEN", "1000")
         monkeypatch.setenv("REPRO_WORKLOADS_PER_CATEGORY", "1")
-        from repro.experiments.runner import clear_run_cache
-
-        clear_run_cache()
+        _clear_cache()
         assert main(["figure", "fig05", "--chart"]) == 0
         out = capsys.readouterr().out
         assert "SMS" in out
@@ -163,40 +217,32 @@ class TestEngineFlags:
         assert "disabled" in capsys.readouterr().out
 
     def test_cache_info_lists_store(self, capsys, tmp_path):
-        from repro.experiments.runner import clear_run_cache, run_workload
-
-        clear_run_cache()
-        run_workload("ispec06.hmmer", "none", 400)
+        _clear_cache()
+        _run_workload("ispec06.hmmer", "none", 400)
         assert main(["cache"]) == 0
         out = capsys.readouterr().out
         assert "results" in out and "code salt" in out
 
     def test_cache_clear(self, capsys):
         from repro.engine import active_store
-        from repro.experiments.runner import clear_run_cache, run_workload
-
-        clear_run_cache()
-        run_workload("ispec06.hmmer", "none", 400)
+        _clear_cache()
+        _run_workload("ispec06.hmmer", "none", 400)
         assert active_store().stats()["results"] == 1
         assert main(["cache", "--clear"]) == 0
         assert active_store().stats()["results"] == 0
 
     def test_cache_clear_action(self, capsys):
         from repro.engine import active_store
-        from repro.experiments.runner import clear_run_cache, run_workload
-
-        clear_run_cache()
-        run_workload("ispec06.hmmer", "none", 400)
+        _clear_cache()
+        _run_workload("ispec06.hmmer", "none", 400)
         assert main(["cache", "clear"]) == 0
         assert active_store().stats()["results"] == 0
 
     def test_cache_gc_respects_bound(self, capsys):
         from repro.engine import active_store
-        from repro.experiments.runner import clear_run_cache, run_workload
-
-        clear_run_cache()
-        run_workload("ispec06.hmmer", "none", 400)
-        run_workload("ispec06.hmmer", "nextline", 400)
+        _clear_cache()
+        _run_workload("ispec06.hmmer", "none", 400)
+        _run_workload("ispec06.hmmer", "nextline", 400)
         before = active_store().stats()
         assert before["results"] == 2
         assert main(["cache", "gc", "--max-mb", "0"]) == 0
@@ -207,10 +253,8 @@ class TestEngineFlags:
 
     def test_cache_gc_noop_when_small(self, capsys):
         from repro.engine import active_store
-        from repro.experiments.runner import clear_run_cache, run_workload
-
-        clear_run_cache()
-        run_workload("ispec06.hmmer", "none", 400)
+        _clear_cache()
+        _run_workload("ispec06.hmmer", "none", 400)
         assert main(["cache", "gc", "--max-mb", "512"]) == 0
         assert active_store().stats()["results"] == 1
 
@@ -241,20 +285,16 @@ class TestEngineFlags:
         assert "unreachable" in out
 
     def test_cache_verify_clean_store(self, capsys):
-        from repro.experiments.runner import clear_run_cache, run_workload
-
-        clear_run_cache()
-        run_workload("ispec06.hmmer", "none", 400)
+        _clear_cache()
+        _run_workload("ispec06.hmmer", "none", 400)
         assert main(["cache", "verify"]) == 0
         out = capsys.readouterr().out
         assert "checked 2 artifacts: 2 ok, 0 corrupt, 0 foreign" in out
 
     def test_cache_verify_reports_and_repairs_corruption(self, capsys):
         from repro.engine import active_store
-        from repro.experiments.runner import clear_run_cache, run_workload
-
-        clear_run_cache()
-        run_workload("ispec06.hmmer", "none", 400)
+        _clear_cache()
+        _run_workload("ispec06.hmmer", "none", 400)
         store = active_store()
         victim = next(p for p in (store.root / "results").rglob("*.pkl"))
         victim.write_bytes(b"torn bytes")

@@ -11,18 +11,22 @@ import pytest
 
 from repro import engine
 from repro.cpu.trace import Trace
+from repro.engine import MixSpec, RunSpec, TraceSpec
+from repro.engine.session import default_session
 from repro.engine.store import ResultStore
-from repro.experiments.runner import (
-    _MP_CACHE,
-    _RUN_CACHE,
-    _TRACE_CACHE,
-    clear_run_cache,
-    get_trace,
-    run_mix,
-    run_workload,
-    warm_runs,
-)
+from repro.experiments import api
 from repro.memory.dram import DramConfig
+
+# The default session's memo layers: the same dict objects Session.run
+# reads and writes, so clearing/inspecting them observes the truth.
+_SESSION = default_session()
+_RUN_CACHE = _SESSION._run_memo
+_MP_CACHE = _SESSION._mix_memo
+_TRACE_CACHE = _SESSION._trace_memo
+
+
+def _run_workload(workload, scheme, length):
+    return _SESSION.run(RunSpec(workload, scheme, length))
 
 
 @pytest.fixture(autouse=True)
@@ -30,10 +34,10 @@ def _fresh(tmp_path):
     """Isolated store per test; engine overrides reset afterwards."""
     old = os.environ.get("REPRO_CACHE_DIR")
     os.environ["REPRO_CACHE_DIR"] = str(tmp_path / "cache")
-    clear_run_cache(disk=False)
+    _SESSION.clear(memory=True, disk=False)
     engine.reset_config()
     yield
-    clear_run_cache(disk=False)
+    _SESSION.clear(memory=True, disk=False)
     engine.reset_config()
     if old is None:
         os.environ.pop("REPRO_CACHE_DIR", None)
@@ -210,26 +214,26 @@ class TestGarbageCollection:
 
 class TestDiskPersistence:
     def test_run_survives_memory_cache_clear(self):
-        first = run_workload("ispec06.mcf", "none", 400)
+        first = _run_workload("ispec06.mcf", "none", 400)
         _RUN_CACHE.clear()
         _TRACE_CACHE.clear()
-        second = run_workload("ispec06.mcf", "none", 400)
+        second = _run_workload("ispec06.mcf", "none", 400)
         # Distinct objects (disk round-trip), bit-identical payloads.
         assert second is not first
         assert second.to_dict() == first.to_dict()
 
     def test_trace_survives_memory_cache_clear(self):
-        first = get_trace("ispec06.mcf", 300)
+        first = _SESSION.trace(TraceSpec("ispec06.mcf", 300))
         _TRACE_CACHE.clear()
-        second = get_trace("ispec06.mcf", 300)
+        second = _SESSION.trace(TraceSpec("ispec06.mcf", 300))
         assert second is not first
         assert list(second) == list(first)
 
     def test_mix_survives_memory_cache_clear(self):
-        names = ["ispec06.mcf"] * 4
-        first = run_mix("m0", names, "none", 200)
+        spec = MixSpec("m0", ("ispec06.mcf",) * 4, "none", 200)
+        first = _SESSION.run(spec)
         _MP_CACHE.clear()
-        second = run_mix("m0", names, "none", 200)
+        second = _SESSION.run(spec)
         assert second is not first
         assert [c.to_dict() for c in second.per_core] == [
             c.to_dict() for c in first.per_core
@@ -238,39 +242,39 @@ class TestDiskPersistence:
     def test_no_cache_mode_skips_disk(self):
         engine.configure(disk_cache=False)
         assert engine.active_store() is None
-        run_workload("ispec06.mcf", "none", 400)
+        _run_workload("ispec06.mcf", "none", 400)
         engine.reset_config()
         store = engine.active_store()
         assert store is not None
         assert store.stats()["results"] == 0
 
 
-class TestClearRunCacheInvalidation:
+class TestSessionClearInvalidation:
     def test_both_layers_invalidate_together(self):
-        """clear_run_cache() must drop memory AND disk, so a later call
+        """Session.clear() must drop memory AND disk, so a later call
         can never observe a stale cross-process result."""
-        run_workload("ispec06.mcf", "none", 400)
+        _run_workload("ispec06.mcf", "none", 400)
         store = engine.active_store()
         assert store.stats()["results"] == 1
-        clear_run_cache()
+        _SESSION.clear()
         assert not _RUN_CACHE and not _TRACE_CACHE and not _MP_CACHE
         assert store.stats()["results"] == 0
         assert store.stats()["traces"] == 0
 
     def test_memory_only_clear_preserves_disk(self):
-        run_workload("ispec06.mcf", "none", 400)
+        _run_workload("ispec06.mcf", "none", 400)
         store = engine.active_store()
-        clear_run_cache(disk=False)
+        _SESSION.clear(memory=True, disk=False)
         assert store.stats()["results"] == 1
 
 
 class TestParallelExecution:
     def test_sequential_and_parallel_identical(self):
         workloads = ["ispec06.mcf", "hpc.linpack"]
-        warm_runs(workloads, ["none", "spp"], 400, jobs=1)
+        api.run_grid(_SESSION, workloads, ["none", "spp"], 400, jobs=1)
         sequential = {k: v.to_dict() for k, v in _RUN_CACHE.items()}
-        clear_run_cache()
-        warm_runs(workloads, ["none", "spp"], 400, jobs=2)
+        _SESSION.clear()
+        api.run_grid(_SESSION, workloads, ["none", "spp"], 400, jobs=2)
         parallel = {k: v.to_dict() for k, v in _RUN_CACHE.items()}
         assert parallel == sequential
 
@@ -282,8 +286,8 @@ class TestParallelExecution:
         results = engine.execute_specs(specs, jobs=2)
         assert len(results) == 2
         direct = [
-            run_workload("ispec06.mcf", "none", 300),
-            run_workload("hpc.linpack", "none", 300),
+            _run_workload("ispec06.mcf", "none", 300),
+            _run_workload("hpc.linpack", "none", 300),
         ]
         assert [r.to_dict() for r in results] == [r.to_dict() for r in direct]
 

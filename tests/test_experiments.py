@@ -10,22 +10,19 @@ from repro.experiments.figures import (
     table1_dspatch_storage,
     table3_prefetcher_storage,
 )
-from repro.experiments.runner import (
-    clear_run_cache,
-    run_workload,
-    scheme_label,
-    speedup_ratios,
-    workload_subset,
-)
+from repro.engine import RunSpec
+from repro.engine.session import default_session
+from repro.experiments import api
+from repro.experiments.api import scheme_label, workload_subset
 from repro.experiments.scale import Scale
 from repro.workloads.catalog import CATEGORIES, WORKLOADS
 
 
 @pytest.fixture(autouse=True)
 def _fresh_cache():
-    clear_run_cache()
+    default_session().clear()
     yield
-    clear_run_cache()
+    default_session().clear()
 
 
 TINY = Scale.tiny(trace_len=600, mix_trace_len=400)
@@ -74,13 +71,14 @@ class TestRunner:
         subset = workload_subset(1)
         assert all(WORKLOADS[name].mem_intensive for name in subset)
 
-    def test_run_workload_memoized(self):
-        a = run_workload("ispec06.mcf", "none", 400)
-        b = run_workload("ispec06.mcf", "none", 400)
+    def test_session_run_memoized(self):
+        session = default_session()
+        a = session.run(RunSpec("ispec06.mcf", "none", 400))
+        b = session.run(RunSpec("ispec06.mcf", "none", 400))
         assert a is b
 
     def test_speedup_ratios_positive(self):
-        ratios = speedup_ratios("spp", ["hpc.linpack"], 800)
+        ratios = api.speedup_ratios(default_session(), "spp", ["hpc.linpack"], 800)
         assert ratios["hpc.linpack"] > 0
 
     def test_scheme_labels(self):
@@ -121,7 +119,7 @@ class TestCheapFigures:
         expected = {
             "fig01", "fig04", "fig05", "fig06", "fig08", "fig11a", "fig11b",
             "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
-            "fig19", "fig20", "table1", "table3", "extra-triple",
+            "fig19", "fig20", "table1", "table3", "extra-triple", "quality",
         }
         assert set(ALL_FIGURES) == expected
 

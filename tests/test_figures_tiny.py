@@ -12,7 +12,7 @@ import math
 import pytest
 
 from repro.experiments import figures as F
-from repro.experiments.runner import clear_run_cache
+from repro.engine.session import default_session
 from repro.experiments.scale import Scale
 
 TINY = Scale.tiny()
@@ -20,9 +20,9 @@ TINY = Scale.tiny()
 
 @pytest.fixture(scope="module", autouse=True)
 def _module_cache():
-    clear_run_cache()
+    default_session().clear()
     yield
-    clear_run_cache()
+    default_session().clear()
 
 
 def _assert_finite(fig):

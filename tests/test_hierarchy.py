@@ -42,13 +42,18 @@ def make_hierarchy(l2_pf=None, l1_pf=None, llc_bytes=None, record_pollution=Fals
     config = HierarchyConfig()
     if llc_bytes:
         config = config.scaled_llc(llc_bytes)
-    return MemoryHierarchy(
+    kwargs = dict(
         config=config,
         dram=DramModel(DramConfig()),
         l1_prefetcher=l1_pf,
         l2_prefetcher=l2_pf,
-        record_pollution_victims=record_pollution,
     )
+    if record_pollution:
+        # Pollution recording lives on the observed subclass now.
+        from repro.memory.observed import ObservedHierarchy
+
+        return ObservedHierarchy(record_pollution_victims=True, **kwargs)
+    return MemoryHierarchy(**kwargs)
 
 
 ADDR = 0x1234 << 12  # an arbitrary page
@@ -193,7 +198,8 @@ class TestPollutionRecording:
     def test_logs_disabled_by_default(self):
         h = make_hierarchy()
         h.access(0, 0x400, ADDR)
-        assert h.demand_log == []
+        assert not h.demand_log
+        assert not h.record_pollution_victims
 
     def test_demand_log_records_l1_misses(self):
         h = make_hierarchy(record_pollution=True)

@@ -4,6 +4,7 @@ import pytest
 
 from repro.memory.dram import DramModel
 from repro.memory.hierarchy import L2, LLC, AccessResult, MemoryHierarchy
+from repro.memory.observed import ObservedHierarchy
 from repro.prefetchers.base import PrefetchCandidate, Prefetcher
 
 
@@ -100,7 +101,7 @@ class TestLowPriorityFills:
 class TestPollutionRecording:
     def test_logs_populated_when_enabled(self):
         pf = ScriptedPrefetcher()
-        hierarchy = MemoryHierarchy(
+        hierarchy = ObservedHierarchy(
             dram=DramModel(), l2_prefetcher=pf, record_pollution_victims=True
         )
         pf.queue(0xA00)

@@ -1,0 +1,274 @@
+"""Tests for the event grammar, the sinks, and hand-computed quality traces.
+
+The grammar tests pin the format contract of ``docs/observability.md``:
+stable prefixes, fixed field order, versioned header, forward-compatible
+skipping.  The quality tests feed tiny hand-written event streams through
+the exact-path scorer and check every metric against arithmetic done on
+paper.
+"""
+
+import io
+
+import pytest
+
+from repro.metrics.quality import QualityProfile, counters_from_events
+from repro.observe.events import (
+    CACHE_PREFIX,
+    DROP,
+    EVICTED_UNUSED,
+    FAMILY_CACHE,
+    FAMILY_PF,
+    FILL,
+    HEADER_PREFIX,
+    HIT,
+    ISSUE,
+    LATE,
+    MISS,
+    PF_PREFIX,
+    POLLUTING,
+    RESET,
+    SCHEME,
+    TRACE_VERSION,
+    USEFUL,
+    event_family,
+    format_event,
+    header_line,
+    parse_line,
+    parse_trace,
+)
+from repro.observe.sinks import (
+    CollectingSink,
+    CoreScopedSink,
+    LineSink,
+    PollutionCollector,
+)
+
+# One representative tuple per event kind (hand-built, not simulated).
+SAMPLE_EVENTS = [
+    (HIT, 12, 340, 0x1A2B, 0),
+    (HIT, 13, 350, 0x1A2C, 2),
+    (MISS, 14, 360, 0x1A2D, 3),
+    (ISSUE, 15, 370, 0x1A2E, 1, "dram"),
+    (FILL, 15, 370, 0x1A2E, "dram", 600),
+    (ISSUE, 16, 380, 0x1A2F, 0, "llc"),
+    (FILL, 16, 380, 0x1A2F, "llc", 420),
+    (DROP, 17, 390, 0x1A30, "resident"),
+    (DROP, 18, 400, 0x1A31, "inflight"),
+    (USEFUL, 19, 410, 0x1A2E, 1),
+    (LATE, 19, 410, 0x1A2E),
+    (USEFUL, 20, 420, 0x1A2F, 0),
+    (EVICTED_UNUSED, 21, 430, 0x0BAD),
+    (POLLUTING, 21, 430, 0x1A32, 0x0BAD),
+    (SCHEME, 22, 440, 0, "dspatch", "select=cov half=0 bw=0"),
+    (RESET, 23, 0, FAMILY_PF),
+    (RESET, 23, 0, FAMILY_CACHE),
+]
+
+
+class TestGrammar:
+    def test_header_is_versioned(self):
+        header = header_line()
+        assert header.startswith(HEADER_PREFIX)
+        assert f"v={TRACE_VERSION}" in header
+        assert parse_line(header) is None
+
+    def test_every_kind_round_trips(self):
+        for event in SAMPLE_EVENTS:
+            line = format_event(event)
+            assert parse_line(line) == event, line
+
+    def test_stable_prefixes(self):
+        for event in SAMPLE_EVENTS:
+            line = format_event(event)
+            if event_family(event) == FAMILY_CACHE:
+                assert line.startswith(CACHE_PREFIX)
+            else:
+                assert line.startswith(PF_PREFIX)
+
+    def test_field_order_is_fixed(self):
+        line = format_event((ISSUE, 15, 370, 0x1A2E, 1, "dram"))
+        assert line == f"{PF_PREFIX} issue ord=15 cyc=370 line=0x1a2e lp=1 src=dram"
+
+    def test_line_addresses_are_hex(self):
+        line = format_event((MISS, 1, 2, 255, 3))
+        assert "line=0xff" in line
+        assert "lvl=DRAM" in line
+
+    def test_scheme_info_survives_spaces_and_equals(self):
+        event = (SCHEME, 5, 10, 0, "fdp:streamer", "acc=0.5 deg=2 note=a=b")
+        assert parse_line(format_event(event)) == event
+
+    def test_unknown_kind_skipped(self):
+        assert parse_line(f"{PF_PREFIX} teleport ord=1 cyc=2 line=0x3") is None
+
+    def test_foreign_lines_skipped(self):
+        assert parse_line("some other tool's output") is None
+        assert parse_line("") is None
+
+    def test_core_tag_rendered_and_dropped_on_parse(self):
+        event = (HIT, 1, 2, 0x30, 0)
+        line = format_event(event, core=2)
+        assert " core=2 " in line
+        assert parse_line(line) == event
+
+    def test_parse_trace_filters(self):
+        lines = [header_line()] + [format_event(e) for e in SAMPLE_EVENTS] + ["junk"]
+        assert parse_trace(lines) == SAMPLE_EVENTS
+
+
+class TestSinks:
+    def test_line_sink_writes_header_before_first_event(self):
+        stream = io.StringIO()
+        sink = LineSink(stream)
+        assert stream.getvalue() == ""  # empty trace -> empty stream
+        sink.emit((HIT, 1, 2, 0x30, 0))
+        sink.emit((MISS, 2, 3, 0x31, 3))
+        sink.close()
+        lines = stream.getvalue().splitlines()
+        assert lines[0] == header_line()
+        assert sink.events_written == 2
+        assert parse_trace(lines) == [(HIT, 1, 2, 0x30, 0), (MISS, 2, 3, 0x31, 3)]
+
+    def test_line_sink_close_stream(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        sink = LineSink(open(path, "w"), close_stream=True)
+        sink.emit((HIT, 1, 2, 0x30, 0))
+        sink.close()
+        assert sink.stream.closed
+        assert parse_trace(path.read_text().splitlines()) == [(HIT, 1, 2, 0x30, 0)]
+
+    def test_collecting_sink_keeps_tuples_and_cores(self):
+        sink = CollectingSink()
+        scoped = CoreScopedSink(sink, core=3)
+        sink.emit((HIT, 1, 2, 0x30, 0))
+        scoped.emit((MISS, 2, 3, 0x31, 3))
+        assert sink.events == [(HIT, 1, 2, 0x30, 0), (MISS, 2, 3, 0x31, 3)]
+        assert sink.cores == [None, 3]
+
+    def test_pollution_collector_views(self):
+        pc = PollutionCollector()
+        pc.emit((HIT, 1, 10, 0xA, 0))  # L1 hit: not a below-L1 demand
+        pc.emit((HIT, 2, 20, 0xB, 1))  # L2 hit: below-L1 demand
+        pc.emit((MISS, 3, 30, 0xC, 3))  # DRAM miss: below-L1 demand
+        pc.emit((FILL, 3, 30, 0xD, "dram", 99))
+        pc.emit((FILL, 3, 30, 0xE, "llc", 99))  # LLC promotion: not a fill-from-DRAM
+        pc.emit((POLLUTING, 3, 30, 0xD, 0xF))
+        assert pc.demands == [(2, 0xB), (3, 0xC)]
+        assert pc.fills == [(3, 0xD)]
+        assert pc.victims == [(3, 0xF)]
+
+    def test_pollution_collector_reset_clears(self):
+        pc = PollutionCollector()
+        pc.emit((MISS, 1, 10, 0xA, 3))
+        pc.emit((RESET, 2, 0, FAMILY_CACHE))
+        assert pc.demands == []
+
+
+def _profile(events):
+    return QualityProfile.from_events(events, scheme="test", workload="tiny")
+
+
+class TestHandComputedQuality:
+    """Every metric pinned against a trace small enough to do on paper."""
+
+    def test_all_metrics_on_a_six_prefetch_trace(self):
+        # 6 issued; 3 useful of which 1 late; 2 evicted unused;
+        # cache events: 1 L1 hit (not an L2 miss), 2 LLC hits + 2 DRAM
+        # misses (4 L2 demand misses).
+        events = [
+            (ISSUE, 1, 10, 0x10, 0, "dram"),
+            (ISSUE, 2, 20, 0x11, 0, "dram"),
+            (ISSUE, 3, 30, 0x12, 0, "dram"),
+            (ISSUE, 4, 40, 0x13, 0, "llc"),
+            (ISSUE, 5, 50, 0x14, 0, "dram"),
+            (ISSUE, 6, 60, 0x15, 0, "dram"),
+            (HIT, 7, 70, 0x20, 0),
+            (HIT, 8, 80, 0x21, 2),
+            (HIT, 9, 90, 0x22, 2),
+            (MISS, 10, 100, 0x23, 3),
+            (MISS, 11, 110, 0x24, 3),
+            (USEFUL, 12, 120, 0x10, 0),
+            (USEFUL, 13, 130, 0x11, 1),
+            (LATE, 13, 130, 0x11),
+            (USEFUL, 14, 140, 0x12, 0),
+            (EVICTED_UNUSED, 15, 150, 0x14),
+            (EVICTED_UNUSED, 16, 160, 0x15),
+        ]
+        p = _profile(events)
+        assert p.counters.issued == 6
+        assert p.counters.useful == 3
+        assert p.counters.late == 1
+        assert p.counters.useless == 2
+        assert p.counters.l2_demand_misses == 4
+        assert p.accuracy == pytest.approx(3 / 6)
+        assert p.coverage == pytest.approx(3 / 7)
+        assert p.timeliness == pytest.approx(1 - 1 / 3)
+        assert p.pollution == pytest.approx(2 / 6)
+        assert p.valid
+        expected_score = (3 / 6 + 3 / 7 + 2 / 3 + (1 - 2 / 6)) / 4
+        assert p.score == pytest.approx(expected_score)
+
+    def test_do_nothing_trace_scores_half(self):
+        # No prefetches at all: accuracy 0, coverage 0, timeliness 1,
+        # pollution 0 -> score exactly 0.5 (the "none" baseline).
+        events = [(MISS, 1, 10, 0x10, 3), (MISS, 2, 20, 0x11, 3)]
+        p = _profile(events)
+        assert p.rates() == {
+            "accuracy": 0.0,
+            "coverage": 0.0,
+            "timeliness": 1.0,
+            "pollution": 0.0,
+        }
+        assert p.valid
+        assert p.score == 0.5
+
+    def test_perfect_prefetcher_scores_one(self):
+        events = [
+            (ISSUE, 1, 10, 0x10, 0, "dram"),
+            (ISSUE, 2, 20, 0x11, 0, "dram"),
+            (USEFUL, 3, 30, 0x10, 0),
+            (USEFUL, 4, 40, 0x11, 0),
+        ]
+        p = _profile(events)
+        assert p.accuracy == 1.0
+        assert p.coverage == 1.0  # no residual L2 misses
+        assert p.timeliness == 1.0
+        assert p.pollution == 0.0
+        assert p.score == 1.0
+
+    def test_only_events_after_last_reset_count(self):
+        events = [
+            (ISSUE, 1, 10, 0x10, 0, "dram"),  # warmup: must not count
+            (MISS, 2, 20, 0x20, 3),
+            (RESET, 3, 0, FAMILY_PF),
+            (RESET, 3, 0, FAMILY_CACHE),
+            (ISSUE, 4, 40, 0x11, 0, "dram"),
+            (USEFUL, 5, 50, 0x11, 0),
+        ]
+        counters = counters_from_events(events)
+        assert counters.issued == 1
+        assert counters.useful == 1
+        assert counters.l2_demand_misses == 0
+
+    def test_drop_fill_polluting_scheme_do_not_enter_counters(self):
+        events = [
+            (ISSUE, 1, 10, 0x10, 0, "dram"),
+            (FILL, 1, 10, 0x10, "dram", 99),
+            (DROP, 2, 20, 0x11, "resident"),
+            (POLLUTING, 3, 30, 0x10, 0xBAD),
+            (SCHEME, 4, 40, 0, "dspatch", "select=acc"),
+        ]
+        counters = counters_from_events(events)
+        assert counters.issued == 1
+        assert counters.useful == 0
+        assert counters.useless == 0
+
+    def test_wire_round_trip_preserves_the_profile(self):
+        events = [
+            (ISSUE, 1, 10, 0x10, 0, "dram"),
+            (USEFUL, 2, 20, 0x10, 1),
+            (LATE, 2, 20, 0x10),
+            (MISS, 3, 30, 0x20, 3),
+        ]
+        lines = [header_line()] + [format_event(e) for e in events]
+        assert counters_from_events(parse_trace(lines)) == counters_from_events(events)

@@ -1,0 +1,177 @@
+"""Tests for the quality-metrics subsystem (gates, scoring, report wiring)."""
+
+import pytest
+
+from repro.engine import RunSpec
+from repro.engine.session import default_session
+from repro.experiments.quality import (
+    QUALITY_COLUMNS,
+    QUALITY_WORKLOADS,
+    quality_grid,
+    quality_profiles,
+)
+from repro.experiments.scale import Scale
+from repro.metrics.quality import (
+    METRIC_NAMES,
+    QualityCounters,
+    QualityProfile,
+    counters_from_result,
+    validity_issues,
+)
+from repro.prefetchers.registry import available_prefetchers
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    default_session().clear()
+    yield
+    default_session().clear()
+
+
+class TestValidityGates:
+    def test_clean_counters_pass(self):
+        counters = QualityCounters(issued=10, useful=5, late=2, useless=1,
+                                   l2_demand_misses=20)
+        assert validity_issues(counters) == []
+        assert QualityProfile.from_counters(counters).valid
+
+    def test_negative_counter_gates(self):
+        counters = QualityCounters(issued=-1)
+        issues = validity_issues(counters)
+        assert any("negative issued" in issue for issue in issues)
+        profile = QualityProfile.from_counters(counters)
+        assert not profile.valid
+        assert profile.score == 0.0
+
+    def test_late_exceeding_useful_gates(self):
+        counters = QualityCounters(issued=10, useful=2, late=5)
+        profile = QualityProfile.from_counters(counters)
+        assert not profile.valid
+        assert any("late" in issue and "exceeds useful" in issue
+                   for issue in profile.issues)
+        assert profile.score == 0.0
+
+    def test_out_of_range_rate_gates(self):
+        # useless > issued drives pollution above 1.0 — a rate gate, not
+        # a counter gate.
+        counters = QualityCounters(issued=2, useful=1, useless=5)
+        profile = QualityProfile.from_counters(counters)
+        assert profile.pollution == pytest.approx(2.5)
+        assert not profile.valid
+        assert any("pollution out of [0, 1]" in issue for issue in profile.issues)
+
+    def test_useful_above_issued_is_not_gated(self):
+        # Warmup-boundary effect: issued before the stats reset, used
+        # after.  Structurally legal; accuracy just saturates the gate
+        # only when it leaves [0, 1]... which useful>issued does, so the
+        # honest outcome is an accuracy rate gate, not a counter gate.
+        counters = QualityCounters(issued=2, useful=3)
+        assert validity_issues(counters) == []
+        profile = QualityProfile.from_counters(counters)
+        assert any("accuracy out of [0, 1]" in issue for issue in profile.issues)
+
+
+class TestScoring:
+    def test_zero_activity_scores_half(self):
+        profile = QualityProfile.from_counters(QualityCounters())
+        assert profile.timeliness == 1.0  # vacuous: nothing to be late
+        assert profile.score == 0.5
+
+    def test_score_formula(self):
+        counters = QualityCounters(issued=8, useful=4, late=1, useless=2,
+                                   l2_demand_misses=12)
+        p = QualityProfile.from_counters(counters)
+        assert p.accuracy == pytest.approx(0.5)
+        assert p.coverage == pytest.approx(4 / 16)
+        assert p.timeliness == pytest.approx(0.75)
+        assert p.pollution == pytest.approx(0.25)
+        assert p.score == pytest.approx((0.5 + 0.25 + 0.75 + 0.75) / 4)
+
+    def test_rates_ordered_like_metric_names(self):
+        p = QualityProfile.from_counters(QualityCounters())
+        assert tuple(p.rates()) == METRIC_NAMES
+
+
+class TestSerialization:
+    def test_to_from_dict_round_trip(self):
+        counters = QualityCounters(issued=8, useful=4, late=1, useless=2,
+                                   l2_demand_misses=12)
+        p = QualityProfile.from_counters(counters, scheme="spp", workload="w")
+        again = QualityProfile.from_dict(p.to_dict())
+        assert again == p
+
+    def test_from_dict_recomputes_rates_from_counters(self):
+        p = QualityProfile.from_counters(
+            QualityCounters(issued=4, useful=2), scheme="s", workload="w"
+        )
+        data = p.to_dict()
+        data["accuracy"] = 0.999  # hand-edited baseline lies about the rate
+        data["score"] = 0.0
+        again = QualityProfile.from_dict(data)
+        assert again.accuracy == pytest.approx(0.5)  # counters win
+        assert again == p
+
+    def test_counters_from_result_reads_run_result(self):
+        res = default_session().run(RunSpec("ispec06.mcf", "streamer", 800))
+        counters = counters_from_result(res)
+        assert counters.issued == res.pf_issued
+        assert counters.useful == res.pf_useful
+        assert counters.late == res.pf_late
+        assert counters.useless == res.pf_useless
+        assert counters.l2_demand_misses == res.l2_demand_misses
+
+
+class TestGridAndFigure:
+    def test_quality_grid_complete_and_keyed(self):
+        session = default_session()
+        schemes = ["none", "spp"]
+        workloads = ["ispec06.mcf"]
+        grid = quality_grid(session, schemes, workloads, length=600)
+        assert set(grid) == {("ispec06.mcf", "none"), ("ispec06.mcf", "spp")}
+        for (workload, scheme), profile in grid.items():
+            assert profile.scheme == scheme
+            assert profile.workload == workload
+            assert profile.valid, profile.issues
+
+    def test_none_scheme_scores_exactly_half(self):
+        grid = quality_grid(default_session(), ["none"], ["hpc.linpack"], length=600)
+        profile = grid[("hpc.linpack", "none")]
+        assert profile.counters.issued == 0
+        assert profile.score == 0.5
+
+    def test_every_registry_scheme_profiles_completely(self):
+        # The acceptance bar: every scheme in the registry produces a
+        # complete QualityProfile through the quality figure (and hence
+        # through ``repro report``).
+        fig = quality_profiles(Scale.tiny(trace_len=600, mix_trace_len=400))
+        from repro.experiments.api import scheme_label
+
+        assert set(fig.rows) == {scheme_label(s) for s in available_prefetchers()}
+        for label, row in fig.rows.items():
+            assert set(row) == set(QUALITY_COLUMNS), label
+            for column in METRIC_NAMES:
+                assert 0.0 <= row[column] <= 100.0, (label, column)
+
+    def test_quality_figure_renders_chart(self):
+        fig = quality_profiles(Scale.tiny(trace_len=600, mix_trace_len=400))
+        chart = fig.render_chart()
+        assert "accuracy" in chart
+        text = fig.render()
+        for column in QUALITY_COLUMNS:
+            assert column in text
+
+    def test_report_includes_quality_section(self):
+        from repro.experiments.report import generate_report
+
+        text = generate_report(
+            ["quality"], scale=Scale.tiny(trace_len=600, mix_trace_len=400)
+        )
+        assert "## quality" in text
+        assert "accuracy" in text
+        assert "docs/observability.md" in text
+
+    def test_pinned_workloads_cover_three_categories(self):
+        from repro.workloads.catalog import WORKLOADS
+
+        categories = {WORKLOADS[w].category for w in QUALITY_WORKLOADS}
+        assert len(categories) == 3

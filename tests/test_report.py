@@ -3,7 +3,7 @@
 import pytest
 
 from repro.experiments.report import PAPER_CLAIMS, generate_report, write_report
-from repro.experiments.runner import clear_run_cache
+from repro.engine.session import default_session
 from repro.experiments.scale import Scale
 
 TINY = Scale(
@@ -17,9 +17,9 @@ TINY = Scale(
 
 @pytest.fixture(autouse=True)
 def _fresh_cache():
-    clear_run_cache()
+    default_session().clear()
     yield
-    clear_run_cache()
+    default_session().clear()
 
 
 class TestGenerate:

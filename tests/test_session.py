@@ -1,12 +1,12 @@
-"""Tests for the session API: specs, backends, isolation, parity, shims.
+"""Tests for the session API: specs, backends, isolation, parity.
 
-The acceptance bar for the whole redesign is at the bottom of this file:
-``Session.run`` must produce **bit-identical** results to the legacy
-``run_workload``/``run_mix`` path on a small workload × scheme grid.
+The acceptance bar for the session design is at the bottom of this
+file: a fresh isolated :class:`Session` must produce **bit-identical**
+results to the process default session on a small workload × scheme
+grid — no hidden state may leak through the memo or store layers.
 """
 
 import os
-import warnings
 
 import pytest
 
@@ -343,80 +343,19 @@ class TestSharedCacheConfig:
         assert isinstance(engine.active_store(), TieredBackend)
 
 
-class TestDeprecationShims:
-    """The legacy runner API warns and delegates to the default session."""
-
-    def _assert_warns(self, func, *args, **kwargs):
-        with pytest.warns(DeprecationWarning, match="deprecated"):
-            return func(*args, **kwargs)
-
-    def test_run_workload_warns_and_delegates(self):
-        from repro.experiments import runner
-
-        result = self._assert_warns(runner.run_workload, "ispec06.mcf", "none", 400)
-        # Delegation: the result lives in the default session's memo under
-        # the spec fingerprint, and a session call returns the same object.
-        spec = RunSpec("ispec06.mcf", "none", 400)
-        assert runner._RUN_CACHE[spec.fingerprint()] is result
-        assert default_session().run(spec) is result
-
-    def test_warm_runs_warns_and_fills_session_memo(self):
-        from repro.experiments import runner
-
-        self._assert_warns(
-            runner.warm_runs, ["ispec06.mcf"], ["none", "spp"], 400
-        )
-        assert default_session().memo_stats()["runs"] == 2
-
-    def test_speedup_ratios_warns_and_matches_api(self):
-        from repro.experiments import api, runner
-
-        ratios = self._assert_warns(runner.speedup_ratios, "spp", ["hpc.linpack"], 600)
-        direct = api.speedup_ratios(default_session(), "spp", ["hpc.linpack"], 600)
-        assert ratios == direct
-
-    def test_run_mix_warns_and_delegates(self):
-        from repro.experiments import runner
-
-        names = ["ispec06.mcf"] * 4
-        result = self._assert_warns(runner.run_mix, "m0", names, "none", 200)
-        spec = MixSpec("m0", tuple(names), "none", 200)
-        assert default_session().run(spec) is result
-
-    def test_clear_run_cache_warns_and_clears_session(self):
-        from repro.experiments import runner
-
-        default_session().run(RunSpec("ispec06.mcf", "none", 400))
-        self._assert_warns(runner.clear_run_cache)
-        assert default_session().memo_stats() == {"traces": 0, "runs": 0, "mixes": 0}
-        assert engine.active_store().stats()["results"] == 0
-
-    def test_get_trace_and_warm_mixes_warn(self):
-        from repro.experiments import runner
-
-        self._assert_warns(runner.get_trace, "ispec06.mcf", 300)
-        self._assert_warns(
-            runner.warm_mixes, [("m0", ["ispec06.mcf"] * 4)], ["none"], 200
-        )
-
-
-class TestLegacyParity:
-    """Acceptance: spec-path results bit-identical to the legacy path."""
+class TestSessionParity:
+    """Acceptance: isolated sessions bit-identical to the default one."""
 
     GRID_WORKLOADS = ("ispec06.mcf", "hpc.linpack", "sysmark.excel")
     GRID_SCHEMES = ("none", "spp", "dspatch")
     LENGTH = 500
 
-    def test_session_run_matches_run_workload_bitwise(self, tmp_path):
-        legacy = {}
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            from repro.experiments.runner import run_workload
-
-            for w in self.GRID_WORKLOADS:
-                for s in self.GRID_SCHEMES:
-                    legacy[(w, s)] = run_workload(w, s, self.LENGTH).to_dict()
-
+    def test_fresh_session_matches_default_bitwise(self, tmp_path):
+        reference = {
+            (w, s): default_session().run(RunSpec(w, s, self.LENGTH)).to_dict()
+            for w in self.GRID_WORKLOADS
+            for s in self.GRID_SCHEMES
+        }
         session = Session(cache_dir=tmp_path / "fresh-session")
         specs = [
             RunSpec(w, s, self.LENGTH)
@@ -425,19 +364,15 @@ class TestLegacyParity:
         ]
         results = session.run(specs)
         for spec, result in zip(specs, results):
-            assert result.to_dict() == legacy[(spec.workload, spec.scheme)], spec
+            assert result.to_dict() == reference[(spec.workload, spec.scheme)], spec
 
-    def test_session_run_matches_run_mix_bitwise(self, tmp_path):
-        names = ["ispec06.mcf", "hpc.linpack", "ispec06.mcf", "hpc.linpack"]
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            from repro.experiments.runner import run_mix
-
-            legacy = run_mix("m0", names, "spp", 200)
+    def test_fresh_session_matches_default_mix_bitwise(self, tmp_path):
+        names = ("ispec06.mcf", "hpc.linpack", "ispec06.mcf", "hpc.linpack")
+        reference = default_session().run(MixSpec("m0", names, "spp", 200))
         session = Session(cache_dir=tmp_path / "fresh-session")
-        result = session.run(MixSpec("m0", tuple(names), "spp", 200))
+        result = session.run(MixSpec("m0", names, "spp", 200))
         assert [c.to_dict() for c in result.per_core] == [
-            c.to_dict() for c in legacy.per_core
+            c.to_dict() for c in reference.per_core
         ]
 
     def test_speedup_ratios_accepts_one_shot_iterables(self, tmp_path):
@@ -451,12 +386,8 @@ class TestLegacyParity:
         assert from_gen == from_list
         assert from_gen  # the generator input must not yield an empty dict
 
-    def test_trace_matches_legacy_get_trace(self, tmp_path):
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            from repro.experiments.runner import get_trace
-
-            legacy = get_trace("cloud.bigbench", 400)
+    def test_fresh_session_trace_matches_default(self, tmp_path):
+        reference = default_session().trace(TraceSpec("cloud.bigbench", 400))
         session = Session(cache_dir=tmp_path / "fresh-session")
         trace = session.trace(TraceSpec("cloud.bigbench", 400))
-        assert list(trace) == list(legacy)
+        assert list(trace) == list(reference)
