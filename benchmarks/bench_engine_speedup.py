@@ -1,25 +1,30 @@
-"""Engine speedup bench: cold / parallel / warm-cache wall-clock trajectory.
+"""Engine speedup bench: kernel / cold / parallel / warm-cache trajectory.
 
 Measures the fig12-style single-thread figure driver (the headline
-comparison: 6 schemes x N workloads) under three regimes:
+comparison: 6 schemes x N workloads) under several regimes:
 
-1. **cold sequential** — empty disk cache, ``jobs=1``: the pure hot-path
-   cost of simulating everything in-process;
+1. **kernel legs** — empty disk cache, ``jobs=1``, one cold sequential
+   measurement per hot-loop kernel: the original ``object`` model, the
+   pure-Python flat ``py`` kernel, and (when a C toolchain is present)
+   the ``compiled`` C twin.  The best available flat kernel is the
+   headline ``cold sequential`` leg;
 2. **cold parallel** — empty disk cache, ``jobs=N``: the engine's
-   process-pool fan-out (skipped automatically on single-core hosts,
-   where it cannot help);
+   process-pool fan-out (runs when ``--jobs`` > 1 is given explicitly,
+   or by default on multicore hosts);
 3. **warm** — in-process memo cleared, disk cache intact: every run is a
    content-addressed load from the store.
 
-All three regimes must produce bit-for-bit identical figure rows; the
-bench fails otherwise.  Machine-speed differences are normalized away by
-a calibration loop (a fixed pure-Python workload), yielding a
-``hot_path_score`` = simulated-ops-per-second / calibration-ops-per-
-second that is comparable across hosts and across commits.  The
-committed baseline (``benchmarks/baselines/engine_smoke_baseline.json``)
-records the score of the pre-engine seed code and the score at the time
-the engine landed; CI fails when the current score regresses more than
-``--max-regression`` below the latter.
+All regimes — including every kernel — must produce bit-for-bit
+identical figure rows; the bench fails otherwise.  Machine-speed
+differences are normalized away by a calibration loop (a fixed
+pure-Python workload), yielding a ``hot_path_score`` = simulated-ops-
+per-second / calibration-ops-per-second that is comparable across hosts
+and across commits.  The committed baseline
+(``benchmarks/baselines/engine_smoke_baseline.json``) records the score
+of the pre-engine seed code and the score at the time the engine landed;
+CI fails when the current score regresses more than ``--max-regression``
+below the latter, or when the compiled kernel's advantage over the
+object model falls below ``--min-kernel-speedup``.
 
 Run directly (no pytest-benchmark dependency)::
 
@@ -81,24 +86,46 @@ def run_bench(args):
 
     calibration = calibrate()
 
-    # --- 1. cold sequential (best of N repeats) ---------------------------
-    engine.configure(jobs=1, cache_dir=cache_dir, disk_cache=True)
-    t_cold_seq = None
-    rows_seq = None
-    for _ in range(args.repeats):
-        session.clear()  # both layers: a genuinely cold start
-        t0 = time.perf_counter()
-        fig = fig12_single_thread(scale)
-        dt = time.perf_counter() - t0
-        rows_seq = _rows_of(fig)
-        if t_cold_seq is None or dt < t_cold_seq:
-            t_cold_seq = dt
-    hot_path_score = sim_ops / t_cold_seq / calibration
+    # --- 1. kernel legs: cold sequential, best of N repeats each ----------
+    from repro.kernel import kernel_available
 
-    # --- 2. cold parallel (multicore hosts only) --------------------------
+    engine.configure(jobs=1, cache_dir=cache_dir, disk_cache=True)
+    headline_kernel = "compiled" if kernel_available() else "py"
+    if headline_kernel == "compiled":
+        # Pay the one-time .so build outside the timed region.
+        from repro.kernel.cbuild import load_kernel
+
+        load_kernel()
+
+    kernel_seconds = {}
+    kernel_rows = {}
+    for kind in ("object", "py", "compiled"):
+        if kind == "compiled" and headline_kernel != "compiled":
+            kernel_seconds[kind] = None
+            continue
+        engine.configure(kernel=kind)
+        best = None
+        for _ in range(args.repeats):
+            session.clear()  # both layers: a genuinely cold start
+            t0 = time.perf_counter()
+            fig = fig12_single_thread(scale)
+            dt = time.perf_counter() - t0
+            kernel_rows[kind] = _rows_of(fig)
+            if best is None or dt < best:
+                best = dt
+        kernel_seconds[kind] = best
+    engine.configure(kernel=headline_kernel)
+
+    rows_seq = kernel_rows[headline_kernel]
+    t_cold_seq = kernel_seconds[headline_kernel]
+    hot_path_score = sim_ops / t_cold_seq / calibration
+    kernel_py_score = sim_ops / kernel_seconds["py"] / calibration
+    kernel_speedup = kernel_seconds["object"] / t_cold_seq
+
+    # --- 2. cold parallel (explicit --jobs > 1, or multicore hosts) -------
     t_cold_par = None
     rows_par = None
-    if jobs > 1 and cpu_count > 1:
+    if jobs > 1 and (args.jobs or cpu_count > 1):
         engine.configure(jobs=jobs)
         session.clear()
         t0 = time.perf_counter()
@@ -117,7 +144,11 @@ def run_bench(args):
     rows_warm = _rows_of(fig12_single_thread(scale))
     t_warm = time.perf_counter() - t0
 
-    deterministic = rows_warm == rows_seq and (rows_par is None or rows_par == rows_seq)
+    deterministic = (
+        rows_warm == rows_seq
+        and (rows_par is None or rows_par == rows_seq)
+        and all(rows == rows_seq for rows in kernel_rows.values())
+    )
     warm_speedup = t_cold_seq / t_warm if t_warm > 0 else float("inf")
     parallel_speedup = t_cold_seq / t_cold_par if t_cold_par else None
 
@@ -130,12 +161,18 @@ def run_bench(args):
             "sim_ops": sim_ops,
             "jobs": jobs,
             "cpu_count": cpu_count,
+            "kernel": headline_kernel,
         },
         "calibration_ops_per_sec": calibration,
         "cold_sequential_seconds": t_cold_seq,
         "cold_parallel_seconds": t_cold_par,
         "warm_seconds": t_warm,
+        "kernel_object_seconds": kernel_seconds["object"],
+        "kernel_py_seconds": kernel_seconds["py"],
+        "kernel_compiled_seconds": kernel_seconds["compiled"],
         "hot_path_score": hot_path_score,
+        "kernel_py_score": kernel_py_score,
+        "kernel_speedup": kernel_speedup,
         "parallel_speedup": parallel_speedup,
         "warm_speedup": warm_speedup,
         "deterministic": deterministic,
@@ -143,7 +180,7 @@ def run_bench(args):
 
     failures = []
     if not deterministic:
-        failures.append("results differ between regimes (determinism violated)")
+        failures.append("results differ between regimes/kernels (determinism violated)")
     if warm_speedup < 10.0:
         failures.append(f"warm-cache speedup {warm_speedup:.1f}x below the 10x target")
 
@@ -151,7 +188,13 @@ def run_bench(args):
         with open(args.baseline) as f:
             baseline = json.load(f)
         seed_score = baseline.get("seed_hot_path_score")
+        # The regression target must compare like with like: a compiled-
+        # kernel score is gated against the compiled-era target when the
+        # baseline records one; toolchain-less hosts (py kernel headline)
+        # gate against the original engine-era target.
         target_score = baseline.get("target_hot_path_score")
+        if headline_kernel == "compiled":
+            target_score = baseline.get("target_hot_path_score_compiled", target_score)
         base_protocol = baseline.get("protocol", {})
         protocol_matches = all(
             base_protocol.get(key) == result["protocol"][key]
@@ -159,38 +202,58 @@ def run_bench(args):
             if key in base_protocol
         )
         if not protocol_matches:
-            # Scores are only comparable under the protocol they were
-            # recorded with (fixed overhead is scale-dependent): report
-            # speedups but do not gate against a mismatched baseline.
+            # Scores AND speedup ratios are only comparable under the
+            # protocol they were recorded with (fixed per-run overhead is
+            # scale-dependent, so ratios shrink at tiny --trace-len):
+            # report everything but do not gate against a mismatched
+            # baseline.
             result["note_baseline"] = (
-                "baseline protocol differs from this run; regression gate skipped"
+                "baseline protocol differs from this run; regression and "
+                "speedup-floor gates skipped"
             )
             target_score = None
+        elif headline_kernel == "compiled" and kernel_speedup < args.min_kernel_speedup:
+            failures.append(
+                f"compiled-kernel speedup {kernel_speedup:.2f}x over the object "
+                f"model is below the {args.min_kernel_speedup:.1f}x floor"
+            )
         if seed_score:
             result["hot_path_speedup_vs_seed"] = hot_path_score / seed_score
+            result["kernel_py_speedup_vs_seed"] = kernel_py_score / seed_score
             cold_vs_seed = hot_path_score / seed_score
             if parallel_speedup:
                 cold_vs_seed *= parallel_speedup
             result["cold_speedup_vs_seed"] = cold_vs_seed
-            if parallel_speedup is not None:
-                # Parallel leg ran (multicore host): the full 2x cold
+            if not protocol_matches:
+                pass  # ratios reported above; floors need the recorded protocol
+            elif parallel_speedup is not None and cpu_count > 1:
+                # Parallel leg ran on a multicore host: the full 2x cold
                 # target applies — hot-path gain x process-pool fan-out.
                 if cold_vs_seed < 2.0:
                     failures.append(
                         f"cold speedup vs seed {cold_vs_seed:.2f}x below the 2x target"
                     )
             else:
-                # Sequential-only measurement (single core, or --jobs 1):
-                # the fan-out leg of the cold target is unavailable, so
-                # gate on the hot-path improvement floor alone.
+                # Sequential measurement (single core, or --jobs 1): the
+                # fan-out leg of the cold target cannot help, so gate on
+                # the hot-path improvement floor alone.
                 result["note"] = (
-                    "sequential-only cold measurement: 2x cold target needs the "
-                    "parallel leg (multicore + jobs>1); gating on hot-path floor"
+                    "single-core cold measurement: 2x cold target needs a "
+                    "multicore host; gating on hot-path floor"
                 )
                 if cold_vs_seed < 1.4:
                     failures.append(
                         f"hot-path speedup vs seed {cold_vs_seed:.2f}x below 1.4x floor"
                     )
+            # The pure-Python kernel is the no-toolchain fallback: it must
+            # hold the same hot-path floor the object model held, so that
+            # hosts without a C compiler never regress below the pre-kernel
+            # engine.
+            if protocol_matches and result["kernel_py_speedup_vs_seed"] < 1.4:
+                failures.append(
+                    f"py-kernel speedup vs seed "
+                    f"{result['kernel_py_speedup_vs_seed']:.2f}x below 1.4x floor"
+                )
         if target_score:
             floor = target_score * (1.0 - args.max_regression)
             result["regression_gate"] = {
@@ -219,12 +282,19 @@ def run_bench(args):
         with open(args.output, "w") as f:
             json.dump(result, f, indent=2, sort_keys=True)
 
-    print(f"cold sequential : {t_cold_seq:8.2f}s  ({sim_ops} sim-ops)")
+    print(f"cold sequential : {t_cold_seq:8.2f}s  ({sim_ops} sim-ops, kernel={headline_kernel})")
+    print(f"object kernel   : {kernel_seconds['object']:8.2f}s")
+    print(f"py kernel       : {kernel_seconds['py']:8.2f}s")
+    if kernel_seconds["compiled"] is not None:
+        print(
+            f"compiled kernel : {kernel_seconds['compiled']:8.2f}s  "
+            f"({kernel_speedup:.2f}x over object)"
+        )
     if t_cold_par is not None:
         print(f"cold parallel   : {t_cold_par:8.2f}s  ({parallel_speedup:.2f}x, jobs={jobs})")
     print(f"warm (disk)     : {t_warm:8.3f}s  ({warm_speedup:.0f}x)")
     print(f"hot-path score  : {hot_path_score:.6f}  (calibration {calibration:.0f} ops/s)")
-    for key in ("hot_path_speedup_vs_seed", "cold_speedup_vs_seed"):
+    for key in ("hot_path_speedup_vs_seed", "kernel_py_speedup_vs_seed", "cold_speedup_vs_seed"):
         if key in result:
             print(f"{key:15s} : {result[key]:.2f}x")
     print(f"deterministic   : {deterministic}")
@@ -249,6 +319,13 @@ def main(argv=None):
         default=os.path.join(os.path.dirname(__file__), "baselines", "engine_smoke_baseline.json"),
     )
     parser.add_argument("--max-regression", type=float, default=0.2)
+    parser.add_argument(
+        "--min-kernel-speedup",
+        type=float,
+        default=2.0,
+        help="floor on the compiled kernel's speedup over the object model "
+        "(applies only when a C toolchain is present)",
+    )
     return run_bench(parser.parse_args(argv))
 
 

@@ -410,6 +410,16 @@ def build_parser():
         help="worker processes for independent runs (default: REPRO_JOBS or 1)",
     )
     parser.add_argument(
+        "--kernel",
+        choices=("auto", "py", "compiled", "object"),
+        default=None,
+        help="hot-loop kernel: 'compiled' builds the C twin (needs a C "
+        "toolchain), 'py' runs the pure-Python flat kernel, 'object' the "
+        "original object model; all three are bit-identical. 'auto' picks "
+        "compiled when a toolchain is present, else py "
+        "(default: REPRO_KERNEL or auto)",
+    )
+    parser.add_argument(
         "--cache-dir",
         default=None,
         help="engine disk-cache directory (default: REPRO_CACHE_DIR or ~/.cache/dspatch-repro)",
@@ -649,6 +659,7 @@ def main(argv=None):
         or args.remote_cache is not None
         or args.s3_cache is not None
         or args.tls_ca is not None
+        or args.kernel is not None
     ):
         from repro.engine import configure
 
@@ -660,6 +671,7 @@ def main(argv=None):
             remote_cache_url=args.remote_cache,
             s3_cache_url=args.s3_cache,
             tls_ca=args.tls_ca,
+            kernel=args.kernel,
         )
     return _HANDLERS[args.command](args)
 

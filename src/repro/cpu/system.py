@@ -19,7 +19,12 @@ import gc
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
-from repro.cpu.core import CoreExecution, CoreModel, interleave_batched
+from repro.cpu.core import (
+    CoreExecution,
+    CoreModel,
+    interleave_batched,
+    interleave_two_level,
+)
 from repro.memory.cache import Cache
 from repro.constants import MP_LLC_BYTES, ST_LLC_BYTES
 from repro.memory.dram import MP_DRAM, ST_DRAM, DramConfig, DramModel
@@ -54,6 +59,17 @@ class SystemConfig:
     #: methodology of the paper's simulator.  Structures keep their state
     #: across the boundary; only statistics reset.
     warmup_frac: float = 0.25
+    #: Hot-loop kernel: "auto" defers to the engine config (REPRO_KERNEL /
+    #: ``repro run --kernel``, itself defaulting to the compiled kernel
+    #: when a C toolchain is present and the pure-Python kernel otherwise);
+    #: "py"/"compiled" force a flat kernel, "object" forces the original
+    #: object-model loop.  All choices are bit-identical (pinned by
+    #: tests/test_kernel_parity.py) and the field never enters spec
+    #: fingerprints, so results share cache entries across kernels.
+    #: Runs the kernels cannot express — event tracing on, pollution
+    #: recording, non-registry replacement policies — silently use the
+    #: object path regardless.
+    kernel: str = "auto"
 
     @staticmethod
     def single_thread(l2_prefetcher="none", dram=None, llc_bytes=ST_LLC_BYTES, **kwargs):
@@ -145,6 +161,46 @@ def _gc_paused():
             gc.enable()
 
 
+def _resolve_kernel(cfg):
+    """Concrete hot-loop engine for this run: "object", "py" or "compiled".
+
+    Resolution: an explicit ``SystemConfig.kernel`` wins; "auto" defers to
+    the engine config (``repro run --kernel`` / ``REPRO_KERNEL``); a still
+    unresolved "auto" picks "compiled" when a toolchain is present and
+    "py" otherwise (never an error).  Runs the kernels cannot express —
+    tracing, pollution recording, generic replacement policies — fall back
+    to the object path whatever was selected; an *explicit* "compiled"
+    without a working toolchain raises (loud), while "auto" degrades to
+    "py" silently-but-gracefully.
+    """
+    choice = cfg.kernel
+    if choice == "auto":
+        # Lazy import: repro.cpu must stay importable without the engine.
+        from repro.engine.config import current_config
+
+        choice = current_config().kernel
+    if choice == "object":
+        return "object"
+    if cfg.trace_prefetch or cfg.trace_cache or cfg.record_pollution_victims:
+        return "object"
+    from repro.kernel.state import VICTIM_MODES
+
+    hier = cfg.hierarchy
+    for level in (hier.l1, hier.l2, hier.llc):
+        if level.replacement not in VICTIM_MODES:
+            return "object"
+    from repro.kernel import kernel_available
+
+    if choice == "auto":
+        return "compiled" if kernel_available() else "py"
+    if choice == "compiled" and not kernel_available():
+        raise RuntimeError(
+            "kernel='compiled' requested but no C toolchain is available "
+            "(set kernel='py' or 'auto' to use the pure-Python kernel)"
+        )
+    return choice
+
+
 def _resolve_sink(cfg, sink):
     """The sink a run should emit to, or ``None`` when tracing is off."""
     if not (cfg.trace_prefetch or cfg.trace_cache):
@@ -226,6 +282,9 @@ class System:
     def run(self, trace):
         """Simulate ``trace`` end to end; returns a :class:`RunResult`."""
         cfg = self.config
+        kind = _resolve_kernel(cfg)
+        if kind != "object":
+            return self._run_kernel(trace, kind)
         dram = DramModel(cfg.dram)
         l1_pf = PcStridePrefetcher() if cfg.l1_stride else None
         l2_pf = build_prefetcher(cfg.l2_prefetcher, dram)
@@ -245,6 +304,52 @@ class System:
         # reported residency).  Pages still resident in e.g. DSPatch's PB
         # learn under the run-final bucket, leaving the prefetcher state
         # consistent for post-run inspection.
+        if l2_pf is not None:
+            flush_training_with_cycle(l2_pf, int(execution.time))
+        return result
+
+    def _run_kernel(self, trace, kind):
+        """The same run over a flat kernel (bit-identical; see repro.kernel).
+
+        The object model is built exactly as the object path builds it,
+        packed into flat state, driven by the selected kernel, and written
+        back before results are assembled — so everything downstream of
+        the hot loop (stats assembly, training drain, post-run inspection)
+        reads the very objects it always read.
+        """
+        from repro.kernel.execution import KernelBandwidth, KernelDomain, KernelExecution
+
+        cfg = self.config
+        dram = DramModel(cfg.dram)
+        # Bandwidth-aware schemes must read the *live* monitor, which lives
+        # in the kernel working form while the run is active.
+        bandwidth = KernelBandwidth(dram)
+        l1_pf = PcStridePrefetcher() if cfg.l1_stride else None
+        l2_pf = build_prefetcher(cfg.l2_prefetcher, bandwidth)
+        hierarchy = MemoryHierarchy(
+            config=cfg.hierarchy,
+            dram=dram,
+            llc=None,
+            l1_prefetcher=l1_pf,
+            l2_prefetcher=l2_pf,
+        )
+        execution = CoreExecution(cfg.core, trace, hierarchy)
+        domain = KernelDomain(hierarchy.llc, dram, kind)
+        bandwidth.attach(domain)
+        kex = KernelExecution(execution, trace, domain)
+        warmup_ops = int(len(trace) * cfg.warmup_frac)
+        with _gc_paused():
+            kex.run_ops(warmup_ops)
+            kex.mark_stats_start()
+            kex.reset_hierarchy_stats()
+            kex.reset_dram_stats(kex.time)
+            kex.run_ops()
+        # The hierarchy/execution objects are locals of this method and the
+        # result reads only counters, so skip rebuilding cache contents.
+        kex.write_back(contents=False)
+        domain.write_back(contents=False)
+        bandwidth.release()
+        result = _result_from(execution, hierarchy, dram)
         if l2_pf is not None:
             flush_training_with_cycle(l2_pf, int(execution.time))
         return result
@@ -297,6 +402,9 @@ class MultiCoreSystem:
         if len(traces) != self.num_cores:
             raise ValueError(f"need exactly {self.num_cores} traces")
         cfg = self.config
+        kind = _resolve_kernel(cfg)
+        if kind != "object":
+            return self._run_kernel(traces, kind)
         dram = DramModel(cfg.dram)
         shared_llc = Cache(cfg.hierarchy.llc)
         sink = _resolve_sink(cfg, self.sink)
@@ -340,6 +448,73 @@ class MultiCoreSystem:
             if hier.l2_prefetcher is not None:
                 flush_training_with_cycle(hier.l2_prefetcher, int(ex.time))
         end_time = max((ex.time for ex in executions), default=0.0)
+        if stats_reset_time is None:
+            stats_reset_time = 0.0
+        global_cycles = max(end_time - stats_reset_time, 0.0)
+        return MultiProgramResult(per_core=per_core, global_cycles=global_cycles)
+
+    def _run_kernel(self, traces, kind):
+        """The same mix over flat kernels, scheduled by the public-API
+        batched driver (:func:`interleave_two_level` — parity-pinned
+        against :func:`interleave_batched`); bit-identical to the object
+        path.
+        """
+        from repro.kernel.execution import KernelBandwidth, KernelDomain, KernelExecution
+
+        cfg = self.config
+        dram = DramModel(cfg.dram)
+        shared_llc = Cache(cfg.hierarchy.llc)
+        domain = KernelDomain(shared_llc, dram, kind)
+        kernel_execs = []
+        hierarchies = []
+        bandwidths = []
+        for trace in traces:
+            l1_pf = PcStridePrefetcher() if cfg.l1_stride else None
+            bandwidth = KernelBandwidth(dram)
+            bandwidth.attach(domain)
+            bandwidths.append(bandwidth)
+            l2_pf = build_prefetcher(cfg.l2_prefetcher, bandwidth)
+            hierarchy = MemoryHierarchy(
+                config=cfg.hierarchy,
+                dram=dram,
+                llc=shared_llc,
+                l1_prefetcher=l1_pf,
+                l2_prefetcher=l2_pf,
+            )
+            hierarchies.append(hierarchy)
+            execution = CoreExecution(cfg.core, trace, hierarchy)
+            kernel_execs.append(KernelExecution(execution, trace, domain))
+
+        warmup_ops = [int(len(trace) * cfg.warmup_frac) for trace in traces]
+        stats_reset_time = None
+
+        def _cross_warmup(idx):
+            nonlocal stats_reset_time
+            kex = kernel_execs[idx]
+            kex.mark_stats_start()
+            kex.reset_hierarchy_stats()
+            if stats_reset_time is None:
+                stats_reset_time = kex.time
+                kex.reset_dram_stats(kex.time)
+
+        with _gc_paused():
+            interleave_two_level(kernel_execs, warmup_ops, _cross_warmup)
+
+        # Per-core objects are locals here and results read only counters,
+        # so skip rebuilding cache contents.
+        for kex in kernel_execs:
+            kex.write_back(contents=False)
+        domain.write_back(contents=False)
+        for bandwidth in bandwidths:
+            bandwidth.release()
+        per_core = [
+            _result_from(kex.execution, hier, dram)
+            for kex, hier in zip(kernel_execs, hierarchies)
+        ]
+        for kex, hier in zip(kernel_execs, hierarchies):
+            if hier.l2_prefetcher is not None:
+                flush_training_with_cycle(hier.l2_prefetcher, int(kex.time))
+        end_time = max((kex.time for kex in kernel_execs), default=0.0)
         if stats_reset_time is None:
             stats_reset_time = 0.0
         global_cycles = max(end_time - stats_reset_time, 0.0)

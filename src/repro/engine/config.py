@@ -41,7 +41,11 @@ _overrides = {
     "remote_cache_url": None,
     "s3_cache_url": None,
     "tls_ca": None,
+    "kernel": None,
 }
+
+#: Valid hot-loop kernel selections (``repro run --kernel`` / REPRO_KERNEL).
+KERNEL_CHOICES = ("auto", "py", "compiled", "object")
 
 
 @dataclass(frozen=True)
@@ -68,6 +72,12 @@ class EngineConfig:
     #: both the remote cache server and the S3 endpoint — the
     #: self-signed deployment recipe.  ``None`` = system trust store.
     tls_ca: Optional[str] = None
+    #: Hot-loop kernel for eligible runs: ``auto`` picks the compiled
+    #: kernel when a C toolchain is present and falls back to the pure
+    #: Python ``py`` kernel otherwise; ``object`` forces the original
+    #: object-model loop.  Deliberately NOT part of spec fingerprints —
+    #: all kernels are bit-identical, so results share cache entries.
+    kernel: str = "auto"
 
 
 def _default_cache_dir():
@@ -99,6 +109,13 @@ def current_config():
     tls_ca = _overrides["tls_ca"]
     if tls_ca is None:
         tls_ca = os.environ.get("REPRO_TLS_CA") or None
+    kernel = _overrides["kernel"]
+    if kernel is None:
+        kernel = os.environ.get("REPRO_KERNEL") or "auto"
+        if kernel not in KERNEL_CHOICES:
+            raise ValueError(
+                f"REPRO_KERNEL={kernel!r} is not one of {KERNEL_CHOICES}"
+            )
     return EngineConfig(
         jobs=max(1, jobs),
         cache_dir=Path(cache_dir),
@@ -107,6 +124,7 @@ def current_config():
         remote_cache_url=remote,
         s3_cache_url=s3,
         tls_ca=tls_ca,
+        kernel=kernel,
     )
 
 
@@ -118,10 +136,15 @@ def configure(
     remote_cache_url=None,
     s3_cache_url=None,
     tls_ca=None,
+    kernel=None,
 ):
     """Set explicit engine overrides; ``None`` leaves a knob untouched."""
     if jobs is not None:
         _overrides["jobs"] = int(jobs)
+    if kernel is not None:
+        if kernel not in KERNEL_CHOICES:
+            raise ValueError(f"kernel must be one of {KERNEL_CHOICES}, got {kernel!r}")
+        _overrides["kernel"] = str(kernel)
     if cache_dir is not None:
         _overrides["cache_dir"] = Path(cache_dir)
     if disk_cache is not None:

@@ -26,6 +26,7 @@ _SALTED_SOURCES = (
     "cpu",
     "memory",
     "core",
+    "kernel",
     "prefetchers",
     "workloads",
     "engine",

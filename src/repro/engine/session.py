@@ -509,6 +509,7 @@ def _init_worker(cfg, explicit_backend, no_store=False):
         remote_cache_url=cfg.remote_cache_url,
         s3_cache_url=cfg.s3_cache_url,
         tls_ca=cfg.tls_ca,
+        kernel=cfg.kernel,
     )
     _WORKER_SESSION = Session(
         jobs=1,

@@ -1,0 +1,16 @@
+"""Flat-state kernel core: packed hierarchy state + per-access kernels.
+
+``repro.kernel`` factors the per-op simulate loop out of the object model
+into a packed :class:`~repro.kernel.state.KernelState` of flat int arrays
+plus two interchangeable kernels that drive it:
+
+- :mod:`repro.kernel.pykernel` — the pure-Python executable spec;
+- :mod:`repro.kernel.cgen`/:mod:`repro.kernel.cbuild` — a generated-C
+  twin compiled at runtime when a toolchain is available.
+
+Both produce bit-identical results to the object path (pinned by
+``tests/test_kernel_parity.py``); the object model remains reconstructable
+from the packed state via ``KernelState.write_back``.
+"""
+
+from repro.kernel.execution import KernelExecution, kernel_available  # noqa: F401

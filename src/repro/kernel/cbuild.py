@@ -1,0 +1,307 @@
+"""Build and drive the compiled kernel twin.
+
+The C source from :mod:`repro.kernel.cgen` is compiled once per source
+digest into a shared library under ``<cache_dir>/ckernel/`` (atomic
+rename, so concurrent workers race benignly) and loaded with ctypes.
+``CShared``/``CRuntime`` present the exact driver surface of
+``PyShared``/``PyRuntime`` — :class:`repro.kernel.execution.KernelExecution`
+does not know which twin it is holding.
+
+The crossing protocol: ``krun`` returns ``RC_TRAIN`` with the mailbox
+slots (``mb_cycle``/``mb_pc``/``mb_addr``/``mb_hit``) filled; the driver
+first drains the queued usefulness notes (keeping every scheme-visible
+event in object-path order), then calls ``scheme.train`` and writes the
+candidates into the ``cand_line``/``cand_lp`` arrays (grown on demand),
+and re-enters ``krun``, which resumes mid-op from the saved context.
+"""
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+
+import numpy as np
+
+from repro.kernel import layout
+from repro.kernel.layout import CF64, CI64, PTR, SF64, SI64
+
+_CFLAGS = ("-O2", "-fPIC", "-shared", "-ffp-contract=off", "-fno-fast-math")
+
+_lib = None
+
+
+def _compiler():
+    for cc in ("cc", "gcc", "clang"):
+        path = shutil.which(cc)
+        if path:
+            return path
+    return None
+
+
+def toolchain_available():
+    """True when a C compiler is on PATH (the ``auto`` gate)."""
+    return _compiler() is not None
+
+
+def _build_dir():
+    from repro.engine.config import current_config
+
+    # The kernel binary is a build artifact keyed by source digest, not a
+    # simulation result, so it lives under the cache root even when the
+    # result cache itself is disabled.
+    return current_config().cache_dir / "ckernel"
+
+
+def load_kernel():
+    """Compile (if needed) and load the kernel library (memoized)."""
+    global _lib
+    if _lib is not None:
+        return _lib
+    from repro.kernel import cgen
+
+    source = cgen.generate_source()
+    digest = hashlib.sha256(source.encode()).hexdigest()[:16]
+    build_dir = _build_dir()
+    so_path = build_dir / f"kernel-{digest}.so"
+    if not so_path.exists():
+        cc = _compiler()
+        if cc is None:
+            raise RuntimeError("no C compiler available to build the kernel")
+        build_dir.mkdir(parents=True, exist_ok=True)
+        fd, c_path = tempfile.mkstemp(suffix=".c", dir=str(build_dir))
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(source)
+            fd2, tmp_so = tempfile.mkstemp(suffix=".so", dir=str(build_dir))
+            os.close(fd2)
+            try:
+                proc = subprocess.run(
+                    [cc, *_CFLAGS, "-o", tmp_so, c_path],
+                    capture_output=True,
+                    text=True,
+                )
+                if proc.returncode != 0:
+                    raise RuntimeError(
+                        f"kernel compilation failed:\n{proc.stderr}"
+                    )
+                os.replace(tmp_so, so_path)
+            except BaseException:
+                if os.path.exists(tmp_so):
+                    os.unlink(tmp_so)
+                raise
+        finally:
+            if os.path.exists(c_path):
+                os.unlink(c_path)
+    lib = ctypes.CDLL(str(so_path))
+    lib.krun.argtypes = [ctypes.POINTER(ctypes.c_void_p)]
+    lib.krun.restype = ctypes.c_long
+    lib.kbucket.argtypes = [ctypes.c_void_p, ctypes.c_void_p, ctypes.c_longlong]
+    lib.kbucket.restype = ctypes.c_long
+    _lib = lib
+    return _lib
+
+
+class CShared:
+    """Shared LLC/DRAM domain, compiled form.
+
+    The compiled kernel mutates the shared flat arrays in place, so there
+    is no unpacked working copy: ``sync_to_state`` is a no-op and
+    ``bucket`` queries route to the C monitor (which advances/halves the
+    same state ``krun`` updates).
+    """
+
+    def __init__(self, shared_state):
+        self.state = shared_state
+        self._lib = load_kernel()
+        self._si = shared_state.si64.ctypes.data_as(ctypes.c_void_p)
+        self._sf = shared_state.sf64.ctypes.data_as(ctypes.c_void_p)
+
+    def bucket(self, cycle):
+        return int(self._lib.kbucket(self._si, self._sf, int(cycle)))
+
+    def reset_dram_stats(self, cycle):
+        si = self.state.si64
+        for name in (
+            "dram_reads",
+            "dram_writes",
+            "dram_row_hits",
+            "dram_row_misses",
+            "dram_busy_cycles",
+            "dram_prefetches_dropped",
+            "mon_total_cas",
+            "mon_bucket0",
+            "mon_bucket1",
+            "mon_bucket2",
+            "mon_bucket3",
+        ):
+            si[SI64[name]] = 0
+        si[SI64["dram_stats_start"]] = int(cycle)
+
+    def sync_to_state(self, contents=True):
+        pass
+
+
+#: Per-core stat slots zeroed at the warmup boundary (mirrors
+#: ``PyRuntime.reset_hierarchy_stats``).
+_CORE_RESET_SLOTS = tuple(
+    name
+    for name in CI64
+    if name.startswith(("l1_demand", "l1_prefetch_probe", "l1_useful", "l1_late",
+                        "l1_useless", "l1_writebacks",
+                        "l2_demand", "l2_prefetch_probe", "l2_useful", "l2_late",
+                        "l2_useless", "l2_writebacks", "pf_"))
+    or name.endswith(("_allocations", "_stall"))
+)
+_LLC_RESET_SLOTS = tuple(
+    name
+    for name in SI64
+    if name.startswith("llc_") and name != "llc_tick"
+)
+
+
+class CRuntime:
+    """One core's compiled kernel: drives ``krun`` and the crossings."""
+
+    def __init__(self, state, shared, train=None, note_useful=None, note_useless=None):
+        self.state = state
+        self.shared = shared
+        self._lib = load_kernel()
+        self._ci = state.ci64
+        self._cf = state.cf64
+        has_l2pf = bool(self._ci[CI64["has_l2pf"]])
+        self._train = train if has_l2pf else None
+        self._note_useful = note_useful if has_l2pf else None
+        self._note_useless = note_useless if has_l2pf else None
+        self._rebuild_table()
+
+    def _rebuild_table(self):
+        amap = self.state.array_map()
+        self._arrays = amap  # hold references; the C side keeps raw pointers
+        tbl = (ctypes.c_void_p * len(layout.PTR_NAMES))()
+        for name, i in PTR.items():
+            tbl[i] = amap[name].ctypes.data
+        self._tbl = tbl
+        # memoryviews return plain Python ints, bypassing numpy's boxed
+        # scalars in the per-crossing hot loop; rebuilt here because the
+        # candidate/note buffers can be reallocated on growth.
+        self._mci = memoryview(self._ci)
+        self._mcand_line = memoryview(self.state.cand_line)
+        self._mcand_lp = memoryview(self.state.cand_lp)
+
+    # ------------------------------------------------------------ properties
+
+    @property
+    def pos(self):
+        return int(self._ci[CI64["pos"]])
+
+    @property
+    def n_ops(self):
+        return int(self._ci[CI64["n_ops"]])
+
+    @property
+    def time(self):
+        return float(self._cf[CF64["retire"]])
+
+    def snapshot(self):
+        ci = self._ci
+        return (
+            int(ci[CI64["instr"]]),
+            float(self._cf[CF64["retire"]]),
+            (
+                int(ci[CI64["hit_l1"]]),
+                int(ci[CI64["hit_l2"]]),
+                int(ci[CI64["hit_llc"]]),
+                int(ci[CI64["hit_dram"]]),
+            ),
+        )
+
+    # ---------------------------------------------------------------- driving
+
+    def run(self, end, horizon, strict):
+        ci = self._ci
+        mci = self._mci
+        start = mci[CI64["pos"]]
+        ci[CI64["end"]] = int(end)
+        ci[CI64["strict"]] = 1 if strict else 0
+        self._cf[CF64["horizon"]] = horizon
+        krun = self._lib.krun
+        train = self._train
+        put = self._put_candidates
+        tbl = self._tbl
+        rc_train = layout.RC_TRAIN
+        i_note_len = CI64["note_len"]
+        i_mb_cycle = CI64["mb_cycle"]
+        i_mb_pc = CI64["mb_pc"]
+        i_mb_addr = CI64["mb_addr"]
+        i_mb_hit = CI64["mb_hit"]
+        while True:
+            rc = krun(tbl)
+            if mci[i_note_len]:
+                self._drain_notes()
+            if rc != rc_train:
+                break
+            put(train(
+                mci[i_mb_cycle],
+                mci[i_mb_pc],
+                mci[i_mb_addr],
+                bool(mci[i_mb_hit]),
+            ))
+        return mci[CI64["pos"]] - start
+
+    def _drain_notes(self):
+        mci = self._mci
+        n = mci[CI64["note_len"]]
+        if n > mci[CI64["note_cap"]]:
+            raise RuntimeError("kernel note queue overflow")
+        vals = self.state.note_buf[: 3 * n].tolist()
+        useful = self._note_useful
+        useless = self._note_useless
+        kind_useful = layout.NOTE_USEFUL
+        for i in range(0, 3 * n, 3):
+            if vals[i] == kind_useful:
+                useful(vals[i + 1], vals[i + 2])
+            else:
+                useless(vals[i + 1], vals[i + 2])
+        mci[CI64["note_len"]] = 0
+
+    def _put_candidates(self, cands):
+        mci = self._mci
+        if not cands:
+            mci[CI64["cand_len"]] = 0
+            return
+        cl = cands if isinstance(cands, (list, tuple)) else list(cands)
+        n = len(cl)
+        if n > mci[CI64["cand_cap"]]:
+            state = self.state
+            new_cap = mci[CI64["cand_cap"]]
+            while new_cap < n:
+                new_cap *= 2
+            state.cand_line = np.zeros(new_cap, dtype=np.int64)
+            state.cand_lp = np.zeros(new_cap, dtype=np.int64)
+            state.note_buf = np.zeros(3 * (new_cap + 16), dtype=np.int64)
+            self._ci[CI64["cand_cap"]] = new_cap
+            self._ci[CI64["note_cap"]] = new_cap + 16
+            self._rebuild_table()
+        cand_line = self._mcand_line
+        cand_lp = self._mcand_lp
+        for i, cand in enumerate(cl):
+            cand_line[i] = cand.line_addr
+            cand_lp[i] = 1 if cand.low_priority else 0
+        mci[CI64["cand_len"]] = n
+    # ----------------------------------------------------- boundary operations
+
+    def reset_hierarchy_stats(self):
+        ci = self._ci
+        for name in _CORE_RESET_SLOTS:
+            ci[CI64[name]] = 0
+        si = self.shared.state.si64
+        for name in _LLC_RESET_SLOTS:
+            si[SI64[name]] = 0
+
+    def reset_dram_stats(self, cycle):
+        self.shared.reset_dram_stats(cycle)
+
+    def sync_to_state(self, contents=True):
+        """No-op: the compiled kernel works in the state arrays directly."""

@@ -1,0 +1,810 @@
+"""C source generation for the compiled kernel twin.
+
+The emitted translation unit is a line-for-line transliteration of
+:mod:`repro.kernel.pykernel` (the executable spec) against the exact
+same flat arrays, laid out by :mod:`repro.kernel.layout` — the slot
+dictionaries are emitted as ``#define`` lines, so the two kernels can
+never disagree about where a counter lives.
+
+Exported symbols:
+
+- ``long krun(void **ptrs)`` — run the current batch.  Returns
+  ``RC_DONE`` when the batch bound / horizon is reached, or
+  ``RC_TRAIN`` with the train-request mailbox filled (the Python driver
+  calls the scheme, writes the candidates, and re-enters; the kernel
+  resumes mid-op from the saved context).
+- ``long kbucket(long long *si, double *sf, long long cycle)`` — the
+  bandwidth monitor's live 2-bit signal (advances the monitor exactly
+  like ``BandwidthMonitor.bucket``).
+
+Floating-point parity with CPython requires that every double operation
+happen in the same order with no contraction — build with
+``-ffp-contract=off`` (see :mod:`repro.kernel.cbuild`).
+"""
+
+from repro.constants import LINE_SHIFT, PAGE_SHIFT
+from repro.kernel import layout
+from repro.kernel.layout import CF64, CI64, PTR, SF64, SI64
+
+
+def _defines():
+    lines = []
+    for prefix, table in (("CI_", CI64), ("CF_", CF64), ("SI_", SI64), ("SF_", SF64), ("P_", PTR)):
+        for name, idx in table.items():
+            lines.append(f"#define {prefix}{name} {idx}")
+    lines.append(f"#define LINE_SHIFT {LINE_SHIFT}")
+    lines.append(f"#define PG_SHIFT {PAGE_SHIFT - LINE_SHIFT}")
+    lines.append(f"#define PH_TOP {layout.PH_TOP}")
+    lines.append(f"#define PH_L1PF_TRAIN {layout.PH_L1PF_TRAIN}")
+    lines.append(f"#define PH_DEMAND_TRAIN {layout.PH_DEMAND_TRAIN}")
+    lines.append(f"#define RC_DONE {layout.RC_DONE}")
+    lines.append(f"#define RC_TRAIN {layout.RC_TRAIN}")
+    lines.append(f"#define NOTE_USEFUL {layout.NOTE_USEFUL}")
+    lines.append(f"#define NOTE_USELESS {layout.NOTE_USELESS}")
+    return "\n".join(lines)
+
+
+_BODY = r"""
+#include <stdint.h>
+
+#define CI(n) ci[CI_##n]
+#define CF(n) cf[CF_##n]
+#define SIG(n) si[SI_##n]
+#define SFG(n) sf[SF_##n]
+
+/* One cache level: pointers into the flat slot arrays plus geometry.
+   stats[0..6] = demand_hits, demand_misses, prefetch_probe_hits,
+   useful, late_useful, useless_evictions, writebacks (layout order). */
+typedef struct {
+    int64_t *valid, *line, *dirty, *pref, *used, *touch, *ready;
+    int64_t *tick, *stats;
+    int64_t ways, set_mask, hit_lat, mode;
+} cache_t;
+
+typedef struct {
+    int64_t *heap, *len, *allocs, *stall;
+    int64_t cap;
+} mshr_t;
+
+typedef struct {
+    int64_t *ci; double *cf;
+    int64_t *si; double *sf;
+    cache_t l1, l2, llc;
+    mshr_t l1m, l2m, llcm;
+    int64_t *bank_open, *bank_nextact, *bank_rowready;
+    int64_t *ch_busfree, *ch_demandfree;
+    int64_t *infl_line, *infl_ready;
+    int64_t *note_buf, *cand_line, *cand_lp;
+} kctx_t;
+
+/* ---------------------------------------------------------------- cache */
+
+static int64_t c_find(const cache_t *c, int64_t line) {
+    int64_t base = (line & c->set_mask) * c->ways;
+    int64_t end = base + c->ways;
+    for (int64_t s = base; s < end; s++)
+        if (c->valid[s] && c->line[s] == line) return s;
+    return -1;
+}
+
+/* Cache.fill: resident refresh, else victim select (mode 0 = LRU argmin
+   touch, mode 1 = min-touch never-demanded prefetch else argmin) +
+   install.  Returns 1 and fills out_v* when a victim was evicted and the
+   caller asked for it (out_vline != 0). */
+static int c_fill(cache_t *c, int64_t line, int64_t prefetched,
+                  int64_t low_priority, int64_t ready,
+                  int64_t *out_vline, int64_t *out_vpref, int64_t *out_vused) {
+    int64_t tick = ++(*c->tick);
+    int64_t base = (line & c->set_mask) * c->ways;
+    int64_t end = base + c->ways;
+    int64_t slot = -1, free_slot = -1;
+    for (int64_t s = base; s < end; s++) {
+        if (!c->valid[s]) { if (free_slot < 0) free_slot = s; }
+        else if (c->line[s] == line) { slot = s; break; }
+    }
+    if (slot >= 0) { c->touch[slot] = tick; return 0; }
+    int have_info = 0;
+    if (free_slot >= 0) {
+        slot = free_slot;
+        c->valid[slot] = 1;
+    } else {
+        int64_t vslot = -1, vtouch = 0;
+        if (c->mode == 1) {
+            for (int64_t s = base; s < end; s++)
+                if (c->pref[s] && !c->used[s]) {
+                    int64_t t = c->touch[s];
+                    if (vslot < 0 || t < vtouch) { vslot = s; vtouch = t; }
+                }
+        }
+        if (vslot < 0) {
+            vslot = base; vtouch = c->touch[base];
+            for (int64_t s = base + 1; s < end; s++) {
+                int64_t t = c->touch[s];
+                if (t < vtouch) { vslot = s; vtouch = t; }
+            }
+        }
+        if (c->pref[vslot] && !c->used[vslot]) c->stats[5]++;
+        if (c->dirty[vslot]) c->stats[6]++;
+        if (out_vline) {
+            *out_vline = c->line[vslot];
+            *out_vpref = c->pref[vslot];
+            *out_vused = c->used[vslot];
+            have_info = 1;
+        }
+        slot = vslot;
+    }
+    c->line[slot] = line;
+    c->dirty[slot] = 0;
+    c->pref[slot] = prefetched;
+    c->used[slot] = !prefetched;
+    c->touch[slot] = low_priority ? -tick : tick;
+    c->ready[slot] = ready;
+    return have_info;
+}
+
+static void c_touch_pf(cache_t *c, int64_t line) {
+    int64_t s = c_find(c, line);
+    if (s >= 0 && c->pref[s] && !c->used[s]) c->used[s] = 1;
+}
+
+/* ----------------------------------------------------------------- MSHR */
+
+static void heap_pop(int64_t *h, int64_t *len) {
+    int64_t n = --(*len);
+    int64_t v = h[n];
+    int64_t i = 0;
+    for (;;) {
+        int64_t l = 2 * i + 1, m = i;
+        if (l < n && h[l] < v) m = l;
+        if (l + 1 < n && h[l + 1] < (m == i ? v : h[l])) m = l + 1;
+        if (m == i) break;
+        h[i] = h[m];
+        i = m;
+    }
+    h[i] = v;
+}
+
+static void heap_push(int64_t *h, int64_t *len, int64_t v) {
+    int64_t i = (*len)++;
+    while (i > 0) {
+        int64_t p = (i - 1) >> 1;
+        if (h[p] <= v) break;
+        h[i] = h[p];
+        i = p;
+    }
+    h[i] = v;
+}
+
+static void mshr_drain(mshr_t *m, int64_t cycle) {
+    while (*m->len && m->heap[0] <= cycle) heap_pop(m->heap, m->len);
+}
+
+/* MshrFile.allocate */
+static int64_t mshr_allocate(mshr_t *m, int64_t cycle, int64_t completion) {
+    mshr_drain(m, cycle);
+    int64_t wait = 0;
+    if (*m->len >= m->cap) {
+        int64_t earliest = m->heap[0];
+        wait = earliest - cycle;
+        if (wait < 0) wait = 0;
+        int64_t until = cycle + wait;
+        while (*m->len && m->heap[0] <= until) heap_pop(m->heap, m->len);
+        if (*m->len >= m->cap) heap_pop(m->heap, m->len);
+        *m->stall += wait;
+    }
+    heap_push(m->heap, m->len, completion + wait);
+    (*m->allocs)++;
+    return wait;
+}
+
+/* ---------------------------------------------------- bandwidth monitor */
+
+static double mon_rate(const int64_t *si, const double *sf, int64_t cycle) {
+    int64_t window = SIG(mon_window_cycles);
+    int64_t elapsed = cycle - (SIG(mon_window_end) - window);
+    if (elapsed < 0) elapsed = 0;
+    if (elapsed > window) elapsed = window;
+    double t = (double)elapsed / (double)window;
+    return SFG(mon_counter) / (1.0 + t);
+}
+
+static int64_t mon_instant(const int64_t *si, const double *sf, int64_t cycle) {
+    double rate = mon_rate(si, sf, cycle);
+    if (rate >= SFG(mon_thr_hi)) return 3;
+    if (rate >= SFG(mon_thr_mid)) return 2;
+    if (rate >= SFG(mon_thr_lo)) return 1;
+    return 0;
+}
+
+static void mon_advance(int64_t *si, double *sf, int64_t cycle) {
+    if (cycle < SIG(mon_window_end)) return;
+    int64_t b = mon_instant(si, sf, SIG(mon_last_sample));
+    si[SI_mon_bucket0 + b] += cycle - SIG(mon_last_sample);
+    SIG(mon_last_sample) = cycle;
+    int64_t window = SIG(mon_window_cycles);
+    while (cycle >= SIG(mon_window_end)) {
+        SFG(mon_counter) /= 2.0;
+        SIG(mon_window_end) += window;
+    }
+}
+
+/* ------------------------------------------------------------------ DRAM */
+
+/* DramModel.access; returns latency, or -1 for a dropped prefetch. */
+static int64_t dram_access(kctx_t *k, int64_t cycle, int64_t line_addr,
+                           int is_write, int is_prefetch) {
+    int64_t *si = k->si;
+    double *sf = k->sf;
+    int64_t burst = SIG(burst);
+    int64_t ch = line_addr & SIG(ch_mask);
+    int64_t rest = line_addr >> SIG(ch_bits);
+    int64_t bank = ch * SIG(banks_per_channel)
+                 + ((rest >> SIG(row_shift)) & SIG(bank_mask));
+    int64_t row = rest >> (SIG(row_shift) + SIG(bank_bits));
+    int64_t bus_free = k->ch_busfree[ch];
+    if (is_prefetch && bus_free - cycle > SIG(pf_drop_backlog)) {
+        SIG(dram_prefetches_dropped)++;
+        return -1;
+    }
+    int64_t bus_ready;
+    if (k->bank_open[bank] == row) {
+        SIG(dram_row_hits)++;
+        int64_t row_wait = k->bank_rowready[bank];
+        if (!is_prefetch) {
+            int64_t bound = cycle + SIG(dem_preempt_acts);
+            if (row_wait > bound) row_wait = bound;
+        }
+        int64_t cas_start = cycle > row_wait ? cycle : row_wait;
+        bus_ready = cas_start + SIG(tCL);
+    } else {
+        SIG(dram_row_misses)++;
+        int64_t next_act = k->bank_nextact[bank];
+        int64_t act_start;
+        if (is_prefetch) {
+            act_start = cycle > next_act ? cycle : next_act;
+            k->bank_nextact[bank] = act_start + SIG(tRC);
+        } else {
+            int64_t pb = cycle + SIG(dem_preempt_acts);
+            act_start = next_act < pb ? next_act : pb;
+            if (act_start < cycle) act_start = cycle;
+            k->bank_nextact[bank] =
+                (next_act > act_start ? next_act : act_start) + SIG(tRC);
+        }
+        k->bank_open[bank] = row;
+        int64_t row_ready = act_start + SIG(tRP) + SIG(tRCD);
+        k->bank_rowready[bank] = row_ready;
+        bus_ready = row_ready + SIG(tCL);
+    }
+    int64_t data_start, data_done;
+    if (is_prefetch) {
+        int64_t slot = bus_free > cycle ? bus_free : cycle;
+        k->ch_busfree[ch] = slot + burst;
+        data_start = bus_ready > slot ? bus_ready : slot;
+        data_done = data_start + burst;
+    } else {
+        int64_t head_wait = bus_free - bus_ready;
+        if (head_wait < 0) head_wait = 0;
+        else if (head_wait > SIG(dem_preempt_bursts)) head_wait = SIG(dem_preempt_bursts);
+        data_start = bus_ready + head_wait;
+        int64_t demand_free = k->ch_demandfree[ch];
+        if (demand_free > data_start) data_start = demand_free;
+        data_done = data_start + burst;
+        k->ch_demandfree[ch] = data_done;
+        k->ch_busfree[ch] = (bus_free > cycle ? bus_free : cycle) + burst;
+    }
+    SIG(dram_busy_cycles) += burst;
+    if (data_done > SIG(dram_last_data_done)) SIG(dram_last_data_done) = data_done;
+    /* BandwidthMonitor.record_cas */
+    if (data_start >= SIG(mon_window_end)) mon_advance(si, sf, data_start);
+    SFG(mon_counter) += 1.0;
+    SIG(mon_total_cas)++;
+    if (is_write) SIG(dram_writes)++; else SIG(dram_reads)++;
+    return data_done - cycle;
+}
+
+/* ----------------------------------------------- in-flight prefetch queue */
+
+static int64_t infl_find(const kctx_t *k, int64_t line) {
+    int64_t n = k->ci[CI_inflight_len];
+    for (int64_t i = 0; i < n; i++)
+        if (k->infl_line[i] == line) return i;
+    return -1;
+}
+
+static void infl_del(kctx_t *k, int64_t i) {
+    int64_t n = --k->ci[CI_inflight_len];
+    k->infl_line[i] = k->infl_line[n];
+    k->infl_ready[i] = k->infl_ready[n];
+}
+
+static void infl_sweep(kctx_t *k, int64_t cycle) {
+    int64_t n = k->ci[CI_inflight_len];
+    int64_t i = 0;
+    while (i < n) {
+        if (k->infl_ready[i] <= cycle) {
+            n--;
+            k->infl_line[i] = k->infl_line[n];
+            k->infl_ready[i] = k->infl_ready[n];
+        } else i++;
+    }
+    k->ci[CI_inflight_len] = n;
+}
+
+/* ------------------------------------------------- scheme note queue */
+
+static void note_push(kctx_t *k, int64_t kind, int64_t cycle, int64_t line) {
+    if (!k->ci[CI_has_l2pf]) return;
+    int64_t n = k->ci[CI_note_len];
+    int64_t *b = k->note_buf + 3 * n;
+    b[0] = kind; b[1] = cycle; b[2] = line;
+    k->ci[CI_note_len] = n + 1;
+}
+
+static void notify_useful(kctx_t *k, int64_t cycle, int64_t line) {
+    c_touch_pf(&k->llc, line);
+    c_touch_pf(&k->l2, line);
+    note_push(k, NOTE_USEFUL, cycle, line);
+}
+
+static void note_use(kctx_t *k, int64_t cycle, int64_t line, int64_t ready) {
+    k->ci[CI_pf_useful]++;
+    if (ready > cycle) k->ci[CI_pf_late]++;
+    notify_useful(k, cycle, line);
+}
+
+static void fill_llc_acct(kctx_t *k, int64_t line, int64_t prefetched,
+                          int64_t ready, int64_t lp, int64_t cycle) {
+    int64_t vline, vpref, vused;
+    if (c_fill(&k->llc, line, prefetched, lp, ready, &vline, &vpref, &vused)) {
+        if (vpref && !vused) {
+            k->ci[CI_pf_useless]++;
+            note_push(k, NOTE_USELESS, cycle, vline);
+        }
+    }
+}
+
+/* --------------------------------------------- MemoryHierarchy._below_l1 */
+
+/* Pre-crossing half: the L2 lookup.  Saves the lookup outcome in the
+   b_* slots; returns nonzero when the scheme must be trained (the
+   caller fills the mailbox and returns RC_TRAIN). */
+static int below_l1_pre(kctx_t *k, int64_t cycle, int64_t addr, int64_t is_write) {
+    int64_t *ci = k->ci;
+    int64_t line = addr >> LINE_SHIFT;
+    cache_t *l2 = &k->l2;
+    int64_t tick = ++(*l2->tick);
+    int64_t slot = c_find(l2, line);
+    int64_t first_use = 0;
+    if (slot < 0) l2->stats[1]++;
+    else {
+        l2->stats[0]++;
+        l2->touch[slot] = tick;
+        if (is_write) l2->dirty[slot] = 1;
+        if (l2->pref[slot] && !l2->used[slot]) {
+            l2->stats[3]++;
+            first_use = 1;
+            if (l2->ready[slot] > cycle) l2->stats[4]++;
+            l2->used[slot] = 1;
+        }
+    }
+    ci[CI_b_line] = line;
+    ci[CI_b_slot] = slot;
+    ci[CI_b_first_use] = first_use;
+    return (int)ci[CI_has_l2pf];
+}
+
+static void issue_prefetches(kctx_t *k, int64_t cycle) {
+    int64_t *ci = k->ci;
+    int64_t n = ci[CI_cand_len];
+    cache_t *l2 = &k->l2;
+    cache_t *llc = &k->llc;
+    for (int64_t i = 0; i < n; i++) {
+        int64_t line = k->cand_line[i];
+        int64_t lp = k->cand_lp[i];
+        if (c_find(l2, line) >= 0) { ci[CI_pf_dropped_resident]++; continue; }
+        int64_t ifl = infl_find(k, line);
+        if (ifl >= 0) {
+            if (k->infl_ready[ifl] > cycle) { ci[CI_pf_dropped_in_flight]++; continue; }
+            infl_del(k, ifl);
+        }
+        if (c_find(llc, line) >= 0) {
+            ci[CI_pf_issued]++;
+            if (lp) ci[CI_pf_issued_low_priority]++;
+            ci[CI_pf_filled_from_llc]++;
+            c_fill(l2, line, 1, lp, cycle + llc->hit_lat, 0, 0, 0);
+            continue;
+        }
+        if (ci[CI_inflight_len] >= ci[CI_queue_size]) {
+            infl_sweep(k, cycle);
+            if (ci[CI_inflight_len] >= ci[CI_queue_size]) {
+                ci[CI_pf_dropped_bandwidth]++;
+                continue;
+            }
+        }
+        int64_t dl = dram_access(k, cycle, line, 0, 1);
+        if (dl < 0) { ci[CI_pf_dropped_bandwidth]++; continue; }
+        ci[CI_pf_issued]++;
+        if (lp) ci[CI_pf_issued_low_priority]++;
+        int64_t ready = cycle + llc->hit_lat + dl;
+        ci[CI_pf_filled_from_dram]++;
+        int64_t m = ci[CI_inflight_len]++;
+        k->infl_line[m] = line;
+        k->infl_ready[m] = ready;
+        fill_llc_acct(k, line, 1, ready, lp, cycle);
+        c_fill(l2, line, 1, lp, ready, 0, 0, 0);
+    }
+    ci[CI_cand_len] = 0;
+}
+
+/* Post-crossing half: finish the lookup with the scheme's candidates
+   (cand_len == 0 when no scheme).  Returns latency, sets *level. */
+static int64_t below_l1_post(kctx_t *k, int64_t cycle, int64_t is_write, int64_t *level) {
+    int64_t *ci = k->ci;
+    int64_t line = ci[CI_b_line];
+    int64_t slot = ci[CI_b_slot];
+    cache_t *l2 = &k->l2;
+    int64_t ncand = ci[CI_cand_len];
+    int64_t merge_bound = ci[CI_merge_bound];
+    if (slot >= 0) {
+        if (ci[CI_b_first_use]) note_use(k, cycle, line, l2->ready[slot]);
+        int64_t residual = l2->ready[slot] - cycle;
+        if (residual > 0) {
+            if (l2->pref[slot] && residual > merge_bound) residual = merge_bound;
+        } else residual = 0;
+        int64_t latency = l2->hit_lat + residual;
+        if (ncand) issue_prefetches(k, cycle);
+        *level = 1;
+        return latency;
+    }
+    int64_t ifl = infl_find(k, line);
+    if (ifl >= 0) {
+        int64_t infl_ready = k->infl_ready[ifl];
+        infl_del(k, ifl);
+        if (infl_ready > cycle) {
+            int64_t residual = infl_ready - cycle;
+            if (residual > merge_bound) residual = merge_bound;
+            int64_t latency = l2->hit_lat + residual;
+            ci[CI_pf_useful]++;
+            ci[CI_pf_late]++;
+            c_fill(l2, line, 0, 0, cycle + residual, 0, 0, 0);
+            notify_useful(k, cycle, line);
+            if (ncand) issue_prefetches(k, cycle);
+            *level = 2;
+            return latency;
+        }
+    }
+    cache_t *llc = &k->llc;
+    int64_t ltick = ++(*llc->tick);
+    int64_t ls = c_find(llc, line);
+    if (ls < 0) llc->stats[1]++;
+    else {
+        llc->stats[0]++;
+        llc->touch[ls] = ltick;
+        if (is_write) llc->dirty[ls] = 1;
+        if (llc->pref[ls] && !llc->used[ls]) {
+            llc->stats[3]++;
+            if (llc->ready[ls] > cycle) llc->stats[4]++;
+            llc->used[ls] = 1;
+            note_use(k, cycle, line, llc->ready[ls]);
+        }
+        int64_t residual = llc->ready[ls] - cycle;
+        if (residual > 0) {
+            if (llc->pref[ls] && residual > merge_bound) residual = merge_bound;
+        } else residual = 0;
+        int64_t latency = llc->hit_lat + residual;
+        c_fill(l2, line, 0, 0, cycle + latency, 0, 0, 0);
+        if (ncand) issue_prefetches(k, cycle);
+        *level = 2;
+        return latency;
+    }
+    int64_t dl = dram_access(k, cycle, line, (int)is_write, 0);
+    int64_t latency = llc->hit_lat + dl;
+    latency += mshr_allocate(&k->l2m, cycle, cycle + latency);
+    latency += mshr_allocate(&k->llcm, cycle, cycle + latency);
+    int64_t ready = cycle + latency;
+    fill_llc_acct(k, line, 0, ready, 0, cycle);
+    c_fill(l2, line, 0, 0, ready, 0, 0, 0);
+    if (ncand) issue_prefetches(k, cycle);
+    *level = 3;
+    return latency;
+}
+
+/* ------------------------------------------------------------- assembly */
+
+static void bind(kctx_t *k, void **P) {
+    k->ci = (int64_t *)P[P_ci64];
+    k->cf = (double *)P[P_cf64];
+    k->si = (int64_t *)P[P_si64];
+    k->sf = (double *)P[P_sf64];
+    int64_t *ci = k->ci;
+    int64_t *si = k->si;
+
+    k->l1.valid = (int64_t *)P[P_l1_valid]; k->l1.line = (int64_t *)P[P_l1_line];
+    k->l1.dirty = (int64_t *)P[P_l1_dirty]; k->l1.pref = (int64_t *)P[P_l1_pref];
+    k->l1.used = (int64_t *)P[P_l1_used]; k->l1.touch = (int64_t *)P[P_l1_touch];
+    k->l1.ready = (int64_t *)P[P_l1_ready];
+    k->l1.tick = &ci[CI_l1_tick]; k->l1.stats = &ci[CI_l1_demand_hits];
+    k->l1.ways = CI(l1_ways); k->l1.set_mask = CI(l1_set_mask);
+    k->l1.hit_lat = CI(l1_hit_latency); k->l1.mode = CI(l1_victim_mode);
+
+    k->l2.valid = (int64_t *)P[P_l2_valid]; k->l2.line = (int64_t *)P[P_l2_line];
+    k->l2.dirty = (int64_t *)P[P_l2_dirty]; k->l2.pref = (int64_t *)P[P_l2_pref];
+    k->l2.used = (int64_t *)P[P_l2_used]; k->l2.touch = (int64_t *)P[P_l2_touch];
+    k->l2.ready = (int64_t *)P[P_l2_ready];
+    k->l2.tick = &ci[CI_l2_tick]; k->l2.stats = &ci[CI_l2_demand_hits];
+    k->l2.ways = CI(l2_ways); k->l2.set_mask = CI(l2_set_mask);
+    k->l2.hit_lat = CI(l2_hit_latency); k->l2.mode = CI(l2_victim_mode);
+
+    k->llc.valid = (int64_t *)P[P_llc_valid]; k->llc.line = (int64_t *)P[P_llc_line];
+    k->llc.dirty = (int64_t *)P[P_llc_dirty]; k->llc.pref = (int64_t *)P[P_llc_pref];
+    k->llc.used = (int64_t *)P[P_llc_used]; k->llc.touch = (int64_t *)P[P_llc_touch];
+    k->llc.ready = (int64_t *)P[P_llc_ready];
+    k->llc.tick = &si[SI_llc_tick]; k->llc.stats = &si[SI_llc_demand_hits];
+    k->llc.ways = CI(llc_ways); k->llc.set_mask = CI(llc_set_mask);
+    k->llc.hit_lat = CI(llc_hit_latency); k->llc.mode = CI(llc_victim_mode);
+
+    k->l1m.heap = (int64_t *)P[P_mshr_l1]; k->l1m.len = &ci[CI_mshr_l1_len];
+    k->l1m.allocs = &ci[CI_mshr_l1_allocations]; k->l1m.stall = &ci[CI_mshr_l1_stall];
+    k->l1m.cap = CI(mshr_l1_cap);
+    k->l2m.heap = (int64_t *)P[P_mshr_l2]; k->l2m.len = &ci[CI_mshr_l2_len];
+    k->l2m.allocs = &ci[CI_mshr_l2_allocations]; k->l2m.stall = &ci[CI_mshr_l2_stall];
+    k->l2m.cap = CI(mshr_l2_cap);
+    k->llcm.heap = (int64_t *)P[P_mshr_llc]; k->llcm.len = &ci[CI_mshr_llc_len];
+    k->llcm.allocs = &ci[CI_mshr_llc_allocations]; k->llcm.stall = &ci[CI_mshr_llc_stall];
+    k->llcm.cap = CI(mshr_llc_cap);
+
+    k->bank_open = (int64_t *)P[P_bank_open];
+    k->bank_nextact = (int64_t *)P[P_bank_nextact];
+    k->bank_rowready = (int64_t *)P[P_bank_rowready];
+    k->ch_busfree = (int64_t *)P[P_ch_busfree];
+    k->ch_demandfree = (int64_t *)P[P_ch_demandfree];
+    k->infl_line = (int64_t *)P[P_infl_line];
+    k->infl_ready = (int64_t *)P[P_infl_ready];
+    k->note_buf = (int64_t *)P[P_note_buf];
+    k->cand_line = (int64_t *)P[P_cand_line];
+    k->cand_lp = (int64_t *)P[P_cand_lp];
+}
+
+/* ------------------------------------------------------------------ krun */
+
+long krun(void **P) {
+    kctx_t k;
+    bind(&k, P);
+    int64_t *ci = k.ci;
+    double *cf = k.cf;
+    int64_t *op_gap = (int64_t *)P[P_op_gap];
+    int64_t *op_pc = (int64_t *)P[P_op_pc];
+    int64_t *op_addr = (int64_t *)P[P_op_addr];
+    int64_t *op_write = (int64_t *)P[P_op_write];
+    int64_t *op_dep = (int64_t *)P[P_op_dep];
+    int64_t *win_idx = (int64_t *)P[P_win_idx];
+    double *win_ret = (double *)P[P_win_ret];
+    int64_t *s_valid = (int64_t *)P[P_stride_valid];
+    int64_t *s_tag = (int64_t *)P[P_stride_tag];
+    int64_t *s_last = (int64_t *)P[P_stride_last];
+    int64_t *s_stride = (int64_t *)P[P_stride_stride];
+    int64_t *s_conf = (int64_t *)P[P_stride_conf];
+    int64_t *pf_buf = (int64_t *)P[P_pf_buf];
+
+    /* batch bounds + core constants */
+    int64_t pos = CI(pos);
+    int64_t end = CI(end);
+    int64_t strict = CI(strict);
+    double horizon = CF(horizon);
+    int64_t width = CI(width);
+    double width_d = (double)width;
+    int64_t rob_size = CI(rob_size);
+    double retire_step = CF(retire_step);
+    int64_t instr = CI(instr);
+    double retire = CF(retire);
+    double last_load_done = CF(last_load_done);
+    int64_t has_l1pf = CI(has_l1pf);
+    int64_t s_mask = CI(stride_mask);
+    int64_t s_cthr = CI(stride_conf_threshold);
+    int64_t s_cmax = CI(stride_conf_max);
+    int64_t s_degree = CI(stride_degree);
+
+    /* per-op state (restored from ctx slots on a resume) */
+    int64_t cycle = 0, pc = 0, addr = 0, is_write = 0, idx = 0;
+    int64_t l1_slot = -1, pf_i = 0, pf_n = 0, latency = 0, lvl = 0;
+    double enter = 0.0;
+
+#define SAVE_LOCALS do { \
+        CI(pos) = pos; CI(instr) = instr; \
+        CF(retire) = retire; CF(last_load_done) = last_load_done; \
+    } while (0)
+#define SAVE_CTX do { \
+        CI(ctx_cycle) = cycle; CI(ctx_pc) = pc; CI(ctx_addr) = addr; \
+        CI(ctx_is_write) = is_write; CI(ctx_idx) = idx; CF(ctx_enter) = enter; \
+        CI(ctx_line) = addr >> LINE_SHIFT; CI(ctx_l1_slot) = l1_slot; \
+        CI(ctx_pf_i) = pf_i; CI(ctx_pf_n) = pf_n; \
+    } while (0)
+
+    {
+        int64_t phase = CI(phase);
+        if (phase != PH_TOP) {
+            cycle = CI(ctx_cycle); pc = CI(ctx_pc); addr = CI(ctx_addr);
+            is_write = CI(ctx_is_write); idx = CI(ctx_idx); enter = CF(ctx_enter);
+            l1_slot = CI(ctx_l1_slot); pf_i = CI(ctx_pf_i); pf_n = CI(ctx_pf_n);
+            CI(phase) = PH_TOP;
+            if (phase == PH_L1PF_TRAIN) goto resume_l1pf;
+            goto resume_demand;
+        }
+    }
+
+    while (pos < end) {
+        if (retire > horizon || (strict && retire == horizon)) break;
+        {
+            int64_t gap = op_gap[pos];
+            pc = op_pc[pos];
+            addr = op_addr[pos];
+            is_write = op_write[pos];
+            int64_t dep = op_dep[pos];
+            pos++;
+            if (gap) {
+                instr += gap;
+                retire += (double)gap / width_d;
+            }
+            idx = instr;
+            instr++;
+            int64_t rob_idx = idx - rob_size;
+            if (rob_idx <= 0) {
+                enter = (double)idx / width_d;
+            } else {
+                int64_t head = CI(win_head), len = CI(win_len);
+                int64_t mask = CI(win_cap) - 1;
+                while (len > 1 && win_idx[(head + 1) & mask] <= rob_idx) {
+                    head = (head + 1) & mask;
+                    len--;
+                }
+                CI(win_head) = head;
+                CI(win_len) = len;
+                double floor_;
+                if (!len || win_idx[head] > rob_idx)
+                    floor_ = (double)rob_idx / width_d;
+                else
+                    floor_ = win_ret[head]
+                           + (double)(rob_idx - win_idx[head]) / width_d;
+                enter = (double)idx / width_d;
+                if (floor_ > enter) enter = floor_;
+            }
+            if (dep && last_load_done > enter) enter = last_load_done;
+
+            /* MemoryHierarchy.access: L1 lookup */
+            cycle = (int64_t)enter;
+            CI(demand_accesses)++;
+            int64_t line = addr >> LINE_SHIFT;
+            int64_t t1 = ++(*k.l1.tick);
+            l1_slot = c_find(&k.l1, line);
+            if (l1_slot < 0) k.l1.stats[1]++;
+            else {
+                k.l1.stats[0]++;
+                k.l1.touch[l1_slot] = t1;
+                if (is_write) k.l1.dirty[l1_slot] = 1;
+                if (k.l1.pref[l1_slot] && !k.l1.used[l1_slot]) {
+                    k.l1.stats[3]++;
+                    if (k.l1.ready[l1_slot] > cycle) k.l1.stats[4]++;
+                    k.l1.used[l1_slot] = 1;
+                }
+            }
+
+            /* PcStridePrefetcher.train */
+            pf_n = 0;
+            pf_i = 0;
+            if (has_l1pf) {
+                CI(stride_trainings)++;
+                int64_t sidx = (pc ^ (pc >> 12)) & s_mask;
+                if (!s_valid[sidx] || s_tag[sidx] != pc) {
+                    s_valid[sidx] = 1;
+                    s_tag[sidx] = pc;
+                    s_last[sidx] = line;
+                    s_stride[sidx] = 0;
+                    s_conf[sidx] = 0;
+                } else {
+                    int64_t stride = line - s_last[sidx];
+                    if (stride != 0) {
+                        if (stride == s_stride[sidx]) {
+                            int64_t conf = s_conf[sidx] + 1;
+                            s_conf[sidx] = conf < s_cmax ? conf : s_cmax;
+                        } else {
+                            s_stride[sidx] = stride;
+                            s_conf[sidx] = 1;
+                        }
+                        if (s_conf[sidx] >= s_cthr) {
+                            int64_t page = line >> PG_SHIFT;
+                            for (int64_t d = 1; d <= s_degree; d++) {
+                                int64_t target = line + stride * d;
+                                if ((target >> PG_SHIFT) != page) break;
+                                pf_buf[pf_n++] = target;
+                            }
+                        }
+                    }
+                    s_last[sidx] = line;
+                }
+            }
+        }
+
+        /* _issue_l1_prefetch for each stride candidate */
+pf_loop:
+        while (pf_i < pf_n) {
+            int64_t cand = pf_buf[pf_i];
+            if (c_find(&k.l1, cand) >= 0) { pf_i++; continue; }
+            mshr_drain(&k.l1m, cycle);
+            if (*k.l1m.len >= k.l1m.cap) { pf_i++; continue; }
+            if (below_l1_pre(&k, cycle, cand << LINE_SHIFT, 0)) {
+                SAVE_CTX;
+                CI(mb_cycle) = cycle; CI(mb_pc) = pc;
+                CI(mb_addr) = cand << LINE_SHIFT;
+                CI(mb_hit) = CI(b_slot) >= 0;
+                CI(phase) = PH_L1PF_TRAIN;
+                SAVE_LOCALS;
+                return RC_TRAIN;
+            }
+            CI(cand_len) = 0;
+resume_l1pf:
+            latency = below_l1_post(&k, cycle, 0, &lvl);
+            mshr_allocate(&k.l1m, cycle, cycle + latency);
+            c_fill(&k.l1, CI(b_line), 1, 0, cycle + latency, 0, 0, 0);
+            pf_i++;
+        }
+
+        /* demand completion (read the slot *after* prefetch issues: a
+           fill that recycled this slot is visible, like the object
+           path's recycled CacheLine) */
+        if (l1_slot >= 0) {
+            int64_t rdy = k.l1.ready[l1_slot];
+            latency = k.l1.hit_lat + (rdy > cycle ? rdy - cycle : 0);
+            lvl = 0;
+        } else {
+            if (below_l1_pre(&k, cycle, addr, is_write)) {
+                SAVE_CTX;
+                CI(mb_cycle) = cycle; CI(mb_pc) = pc; CI(mb_addr) = addr;
+                CI(mb_hit) = CI(b_slot) >= 0;
+                CI(phase) = PH_DEMAND_TRAIN;
+                SAVE_LOCALS;
+                return RC_TRAIN;
+            }
+            CI(cand_len) = 0;
+resume_demand:
+            latency = below_l1_post(&k, cycle, is_write, &lvl);
+            latency += mshr_allocate(&k.l1m, cycle, cycle + latency);
+            c_fill(&k.l1, addr >> LINE_SHIFT, 0, 0, cycle + latency, 0, 0, 0);
+        }
+
+        /* retirement epilogue */
+        if (is_write) {
+            retire += retire_step;
+            if (enter > retire) retire = enter;
+        } else {
+            double done = enter + (double)latency;
+            retire += retire_step;
+            if (done > retire) retire = done;
+            last_load_done = done;
+        }
+        {
+            int64_t mask = CI(win_cap) - 1;
+            int64_t w = (CI(win_head) + CI(win_len)) & mask;
+            win_idx[w] = idx;
+            win_ret[w] = retire;
+            CI(win_len)++;
+        }
+        ci[CI_hit_l1 + lvl]++;
+    }
+
+    SAVE_LOCALS;
+    return RC_DONE;
+}
+
+/* ---------------------------------------------------------------- kbucket */
+
+long kbucket(long long *si_, double *sf, long long cycle) {
+    int64_t *si = (int64_t *)si_;
+    mon_advance(si, sf, (int64_t)cycle);
+    return (long)mon_instant(si, sf, (int64_t)cycle);
+}
+"""
+
+
+def generate_source():
+    """The complete C translation unit for the compiled kernel."""
+    return _defines() + "\n" + _BODY

@@ -1,0 +1,196 @@
+"""KernelExecution: the CoreExecution-compatible face of the flat kernels.
+
+This is the glue between the system drivers and the two kernels: it packs
+the freshly built object model into a :class:`~repro.kernel.state.KernelState`,
+selects a runtime (:class:`~repro.kernel.pykernel.PyRuntime` or the
+compiled twin from :mod:`repro.kernel.cbuild`), exposes the exact driver
+surface of :class:`repro.cpu.core.CoreExecution` (``run_ops``,
+``run_ops_until``, ``mark_stats_start``, ``done``/``time``/``ops``), and
+writes everything back into the objects at the end so result assembly,
+``flush_training`` and post-run inspection are unchanged.
+
+Multi-programmed runs share one :class:`KernelDomain` (the LLC + DRAM +
+bandwidth-monitor working state) across all cores and are scheduled by the
+existing public-API driver :func:`repro.cpu.core.interleave_two_level`.
+"""
+
+import math
+
+from repro.kernel.pykernel import PyRuntime, PyShared
+from repro.kernel.state import KernelState, SharedState
+
+_INF = float("inf")
+#: Always-permissive horizon for plain ``run_ops`` batches (finite so the
+#: compiled kernel can keep the comparison in one double).
+_MAX_FLOAT = math.nextafter(_INF, 0.0)
+
+
+def kernel_available():
+    """True when the compiled kernel can be built (or is already cached)."""
+    try:
+        from repro.kernel.cbuild import toolchain_available
+
+        return toolchain_available()
+    except Exception:
+        return False
+
+
+class KernelBandwidth:
+    """Bandwidth signal that follows the state wherever it currently lives.
+
+    Bandwidth-aware schemes hold this object and call ``bucket(cycle)``
+    during training.  While a kernel run is active the live monitor state
+    is in the kernel domain's working form, so queries route there; before
+    attach and after release (post write-back — e.g. the end-of-run
+    ``flush_training`` drain) they route to the DRAM object.
+    """
+
+    __slots__ = ("_dram", "_domain")
+
+    def __init__(self, dram):
+        self._dram = dram
+        self._domain = None
+
+    def attach(self, domain):
+        self._domain = domain
+
+    def release(self):
+        self._domain = None
+
+    def bucket(self, cycle):
+        domain = self._domain
+        if domain is not None:
+            return domain.bucket(cycle)
+        return self._dram.bucket(cycle)
+
+
+class KernelDomain:
+    """One LLC/DRAM domain in kernel form, shared by every core in a run."""
+
+    def __init__(self, llc, dram, kind):
+        if kind not in ("py", "compiled"):
+            raise ValueError(f"unknown kernel kind {kind!r}")
+        self.kind = kind
+        self.shared_state = SharedState(llc, dram)
+        if kind == "py":
+            self.shared = PyShared(self.shared_state)
+        else:
+            from repro.kernel.cbuild import CShared
+
+            self.shared = CShared(self.shared_state)
+
+    def bucket(self, cycle):
+        return self.shared.bucket(cycle)
+
+    def write_back(self, contents=True):
+        """Restore the shared LLC/DRAM objects (call once, after the run).
+
+        ``contents=False`` restores counters and DRAM/monitor state but
+        not the LLC's resident lines — for callers that only assemble
+        counter-based results before discarding the objects.
+        """
+        self.shared.sync_to_state(contents)
+        self.shared_state.write_back(contents)
+
+
+class KernelExecution:
+    """Drop-in replacement for ``CoreExecution`` driving a flat kernel.
+
+    Wraps an already-built ``CoreExecution`` (which owns the trace and the
+    hierarchy objects); between :meth:`__init__` and :meth:`write_back`
+    the packed working form is the truth and the wrapped objects are
+    stale.  The driver surface (``run_ops``/``run_ops_until``/``done``/
+    ``time``/``ops``/``mark_stats_start``) matches ``CoreExecution``
+    exactly, so :func:`repro.cpu.core.interleave_two_level` schedules MP
+    mixes over these unchanged.
+    """
+
+    def __init__(self, execution, trace, domain):
+        self.execution = execution
+        self.domain = domain
+        hier = execution.hierarchy
+        l2_pf = hier.l2_prefetcher
+        train = None if l2_pf is None else l2_pf.train
+        note_useful = None if l2_pf is None else l2_pf.note_useful_prefetch
+        note_useless = None if l2_pf is None else l2_pf.note_useless_prefetch
+        self.state = KernelState(execution, trace, domain.shared_state)
+        if domain.kind == "py":
+            self.runtime = PyRuntime(
+                self.state,
+                domain.shared,
+                train=train,
+                note_useful=note_useful,
+                note_useless=note_useless,
+            )
+        else:
+            from repro.kernel.cbuild import CRuntime
+
+            self.runtime = CRuntime(
+                self.state,
+                domain.shared,
+                train=train,
+                note_useful=note_useful,
+                note_useless=note_useless,
+            )
+        self._written_back = False
+
+    # ----------------------------------------------------- CoreExecution API
+
+    @property
+    def done(self):
+        return self.runtime.pos >= self.runtime.n_ops
+
+    @property
+    def time(self):
+        return self.runtime.time
+
+    @property
+    def ops(self):
+        return self.runtime.pos
+
+    def run_ops(self, max_ops=None):
+        runtime = self.runtime
+        pos = runtime.pos
+        n = runtime.n_ops
+        end = n if max_ops is None else min(n, pos + max_ops)
+        return runtime.run(end, _MAX_FLOAT, False)
+
+    def run_ops_until(self, horizon, max_ops=None, strict=False):
+        runtime = self.runtime
+        pos = runtime.pos
+        n = runtime.n_ops
+        end = n if max_ops is None else min(n, pos + max_ops)
+        if horizon == _INF:
+            horizon = _MAX_FLOAT
+        return runtime.run(end, horizon, strict)
+
+    def mark_stats_start(self):
+        """Set the measured-region floor from the live working state."""
+        self.execution._stats_floor = self.runtime.snapshot()
+
+    # ------------------------------------------------- warmup-boundary resets
+
+    def reset_hierarchy_stats(self):
+        self.runtime.reset_hierarchy_stats()
+
+    def reset_dram_stats(self, cycle):
+        self.runtime.reset_dram_stats(cycle)
+
+    # --------------------------------------------------------------- teardown
+
+    def write_back(self, contents=True):
+        """Sync working form -> flat state -> objects (idempotent).
+
+        ``contents=False`` skips rebuilding cache line structures; every
+        counter and execution scalar is still restored.
+        """
+        if self._written_back:
+            return
+        self.runtime.sync_to_state(contents)
+        self.state.write_back(contents)
+        self._written_back = True
+
+    def finalize(self):
+        """Measured-region stats, via the restored object execution."""
+        self.write_back()
+        return self.execution.finalize()

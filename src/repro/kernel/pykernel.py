@@ -1,0 +1,1007 @@
+"""kernel_py: the pure-Python per-access kernel (executable spec).
+
+Runs the complete per-op simulate loop — core timing model, L1/L2/LLC
+lookups and fills, MSHR accounting, prefetch issue, DRAM timing, the
+bandwidth monitor — against flat state unpacked from a
+:class:`repro.kernel.state.KernelState`.  It is a line-for-line
+transliteration of the object hot path (``CoreExecution.run_ops_until`` +
+``MemoryHierarchy.access``/``_below_l1``/``_issue_prefetches`` +
+``Cache``/``MshrFile``/``DramModel``), kept bit-identical by the parity
+grid in ``tests/test_kernel_parity.py``; the generated-C twin
+(:mod:`repro.kernel.cgen`) is in turn a transliteration of this module.
+
+Working form: per-cache ``dict line -> slot`` plus flat Python lists
+(recency is the ``touch`` value — ascending touch *is* the OrderedDict
+recency order of the object model, so victim selection is an argmin scan
+over the set's ways), heap lists for the MSHRs, a plain dict for the
+in-flight prefetch queue.  Scheme training crosses back into object land
+through ``self._train`` — the prefetcher interface is untouched.
+"""
+
+import heapq
+
+import numpy as np
+
+from repro.constants import LINE_SHIFT, PAGE_SHIFT
+from repro.kernel.layout import CF64, CI64, SF64, SI64
+from repro.kernel.state import _CACHE_FIELDS
+
+_PG = PAGE_SHIFT - LINE_SHIFT
+
+#: Cache stats attribute names on the working form, in slot-array order.
+_STAT_ATTRS = ("dh", "dm", "pph", "up", "lup", "ue", "wb")
+_PF_ATTRS = (
+    "pf_issued",
+    "pf_issued_low_priority",
+    "pf_filled_from_llc",
+    "pf_filled_from_dram",
+    "pf_useful",
+    "pf_late",
+    "pf_useless",
+    "pf_dropped_resident",
+    "pf_dropped_in_flight",
+    "pf_dropped_bandwidth",
+)
+
+
+class _PyCache:
+    """One cache level in kernel working form."""
+
+    __slots__ = (
+        "map",
+        "valid",
+        "line",
+        "dirty",
+        "pref",
+        "used",
+        "touch",
+        "ready",
+        "set_len",
+        "ways",
+        "set_mask",
+        "hit_lat",
+        "mode",
+        "tick",
+        "dh",
+        "dm",
+        "pph",
+        "up",
+        "lup",
+        "ue",
+        "wb",
+    )
+
+    def __init__(self, arrs, ways, set_mask, hit_lat, mode, tick, stats):
+        self.valid = arrs["valid"].tolist()
+        self.line = arrs["line"].tolist()
+        self.dirty = arrs["dirty"].tolist()
+        self.pref = arrs["pref"].tolist()
+        self.used = arrs["used"].tolist()
+        self.touch = arrs["touch"].tolist()
+        self.ready = arrs["ready"].tolist()
+        self.ways = ways
+        self.set_mask = set_mask
+        self.hit_lat = hit_lat
+        self.mode = mode
+        self.tick = tick
+        num_sets = set_mask + 1
+        set_len = [0] * num_sets
+        cmap = {}
+        line = self.line
+        # Only occupied slots matter; sparse caches skip their empty slots.
+        for slot in np.flatnonzero(arrs["valid"]).tolist():
+            cmap[line[slot]] = slot
+            set_len[slot // ways] += 1
+        self.set_len = set_len
+        self.map = cmap
+        for attr, value in zip(_STAT_ATTRS, stats):
+            setattr(self, attr, value)
+
+    def sync(self, arrs):
+        arrs["valid"][:] = self.valid
+        arrs["line"][:] = self.line
+        arrs["dirty"][:] = self.dirty
+        arrs["pref"][:] = self.pref
+        arrs["used"][:] = self.used
+        arrs["touch"][:] = self.touch
+        arrs["ready"][:] = self.ready
+
+    def stats(self):
+        return [getattr(self, a) for a in _STAT_ATTRS]
+
+    def reset_stats(self):
+        for a in _STAT_ATTRS:
+            setattr(self, a, 0)
+
+    # The fill path (mirrors Cache.fill exactly; want_info only controls
+    # whether the victim's identity is returned for pollution/useless
+    # accounting at the LLC).
+    def fill(self, line, prefetched, low_priority, ready, want_info):
+        tick = self.tick + 1
+        self.tick = tick
+        cmap = self.map
+        slot = cmap.get(line)
+        if slot is not None:
+            self.touch[slot] = tick
+            return None
+        ways = self.ways
+        set_idx = line & self.set_mask
+        base = set_idx * ways
+        info = None
+        touch = self.touch
+        if self.set_len[set_idx] >= ways:
+            pref = self.pref
+            used = self.used
+            end = base + ways
+            # Ticks are unique per cache, so min+index over the set's touch
+            # values (both C-speed) recover the argmin slot exactly.
+            if self.mode == 0:
+                vslot = touch.index(min(touch[base:end]), base, end)
+            else:
+                vslot = -1
+                vtouch = 0
+                for s in range(base, end):
+                    if pref[s] and not used[s]:
+                        t = touch[s]
+                        if vslot < 0 or t < vtouch:
+                            vslot = s
+                            vtouch = t
+                if vslot < 0:
+                    vslot = touch.index(min(touch[base:end]), base, end)
+            if pref[vslot] and not used[vslot]:
+                self.ue += 1
+            if self.dirty[vslot]:
+                self.wb += 1
+            if want_info:
+                info = (self.line[vslot], pref[vslot], used[vslot])
+            del cmap[self.line[vslot]]
+            slot = vslot
+        else:
+            slot = self.valid.index(0, base, base + ways)
+            self.set_len[set_idx] += 1
+            self.valid[slot] = 1
+        self.line[slot] = line
+        self.dirty[slot] = 0
+        if prefetched:
+            self.pref[slot] = 1
+            self.used[slot] = 0
+        else:
+            self.pref[slot] = 0
+            self.used[slot] = 1
+        touch[slot] = -tick if low_priority else tick
+        self.ready[slot] = ready
+        cmap[line] = slot
+        return info
+
+    def touch_for_prefetcher(self, line):
+        slot = self.map.get(line)
+        if slot is not None and self.pref[slot] and not self.used[slot]:
+            self.used[slot] = 1
+
+
+class _PyMshr:
+    __slots__ = ("cap", "heap", "allocs", "stall")
+
+    def __init__(self, cap, heap, allocs, stall):
+        self.cap = cap
+        self.heap = heap
+        self.allocs = allocs
+        self.stall = stall
+
+    def outstanding(self, cycle):
+        heap = self.heap
+        while heap and heap[0] <= cycle:
+            heapq.heappop(heap)
+        return len(heap)
+
+    def allocate(self, cycle, completion_cycle):
+        heap = self.heap
+        while heap and heap[0] <= cycle:
+            heapq.heappop(heap)
+        wait = 0
+        if len(heap) >= self.cap:
+            earliest = heap[0]
+            wait = max(0, earliest - cycle)
+            until = cycle + wait
+            while heap and heap[0] <= until:
+                heapq.heappop(heap)
+            if len(heap) >= self.cap:
+                heapq.heappop(heap)
+            self.stall += wait
+        heapq.heappush(heap, completion_cycle + wait)
+        self.allocs += 1
+        return wait
+
+
+class PyShared:
+    """Shared LLC + DRAM + bandwidth monitor in kernel working form.
+
+    One instance per LLC/DRAM domain; every core's :class:`PyRuntime`
+    references the same object, exactly as the object model shares one
+    ``Cache``/``DramModel``.
+    """
+
+    def __init__(self, shared_state):
+        self.state = shared_state
+        si = shared_state.si64
+        sf = shared_state.sf64
+
+        def g(name):
+            return int(si[SI64[name]])
+
+        self.llc = _PyCache(
+            shared_state.llc,
+            ways=shared_state.llc_obj.ways,
+            set_mask=shared_state.llc_obj._set_mask,
+            hit_lat=shared_state.llc_obj.hit_latency,
+            mode=shared_state.llc_obj._victim_mode,
+            tick=g("llc_tick"),
+            stats=[
+                g("llc_demand_hits"),
+                g("llc_demand_misses"),
+                g("llc_prefetch_probe_hits"),
+                g("llc_useful_prefetches"),
+                g("llc_late_useful_prefetches"),
+                g("llc_useless_evictions"),
+                g("llc_writebacks"),
+            ],
+        )
+        # DRAM constants
+        self.tCL = g("tCL")
+        self.tRCD = g("tRCD")
+        self.tRP = g("tRP")
+        self.tRC = g("tRC")
+        self.burst = g("burst")
+        self.ch_mask = g("ch_mask")
+        self.ch_bits = g("ch_bits")
+        self.bank_mask = g("bank_mask")
+        self.bank_bits = g("bank_bits")
+        self.row_shift = g("row_shift")
+        self.banks_per_channel = g("banks_per_channel")
+        self.pf_drop_backlog = g("pf_drop_backlog")
+        self.dem_preempt_bursts = g("dem_preempt_bursts")
+        self.dem_preempt_acts = g("dem_preempt_acts")
+        # DRAM state + stats
+        self.bank_open = shared_state.bank_open.tolist()
+        self.bank_nextact = shared_state.bank_nextact.tolist()
+        self.bank_rowready = shared_state.bank_rowready.tolist()
+        self.ch_busfree = shared_state.ch_busfree.tolist()
+        self.ch_demandfree = shared_state.ch_demandfree.tolist()
+        self.reads = g("dram_reads")
+        self.writes = g("dram_writes")
+        self.row_hits = g("dram_row_hits")
+        self.row_misses = g("dram_row_misses")
+        self.busy_cycles = g("dram_busy_cycles")
+        self.prefetches_dropped = g("dram_prefetches_dropped")
+        self.last_data_done = g("dram_last_data_done")
+        self.stats_start = g("dram_stats_start")
+        # Monitor
+        self.mon_window = g("mon_window_cycles")
+        self.mon_window_end = g("mon_window_end")
+        self.mon_total_cas = g("mon_total_cas")
+        self.mon_buckets = [g(f"mon_bucket{i}") for i in range(4)]
+        self.mon_last_sample = g("mon_last_sample")
+        self.mon_counter = float(sf[SF64["mon_counter"]])
+        self.thr_lo = float(sf[SF64["mon_thr_lo"]])
+        self.thr_mid = float(sf[SF64["mon_thr_mid"]])
+        self.thr_hi = float(sf[SF64["mon_thr_hi"]])
+
+    # -- bandwidth monitor (mirrors BandwidthMonitor) -------------------------
+
+    def _rate_estimate(self, cycle):
+        window = self.mon_window
+        window_start = self.mon_window_end - window
+        elapsed = min(max(cycle - window_start, 0), window)
+        t = elapsed / window
+        return self.mon_counter / (1.0 + t)
+
+    def _instant_bucket(self, cycle):
+        rate = self._rate_estimate(cycle)
+        if rate >= self.thr_hi:
+            return 3
+        if rate >= self.thr_mid:
+            return 2
+        if rate >= self.thr_lo:
+            return 1
+        return 0
+
+    def _mon_advance(self, cycle):
+        if cycle < self.mon_window_end:
+            return
+        bucket = self._instant_bucket(self.mon_last_sample)
+        self.mon_buckets[bucket] += cycle - self.mon_last_sample
+        self.mon_last_sample = cycle
+        window = self.mon_window
+        while cycle >= self.mon_window_end:
+            self.mon_counter /= 2.0
+            self.mon_window_end += window
+
+    def _record_cas(self, cycle):
+        if cycle >= self.mon_window_end:
+            self._mon_advance(cycle)
+        self.mon_counter += 1.0
+        self.mon_total_cas += 1
+
+    def bucket(self, cycle):
+        """The live 2-bit bandwidth signal (the scheme adapter's target)."""
+        self._mon_advance(cycle)
+        return self._instant_bucket(cycle)
+
+    # -- DRAM access (mirrors DramModel.access) -------------------------------
+
+    def dram_access(self, cycle, line_addr, is_write, is_prefetch):
+        burst = self.burst
+        ch = line_addr & self.ch_mask
+        rest = line_addr >> self.ch_bits
+        bank = ch * self.banks_per_channel + ((rest >> self.row_shift) & self.bank_mask)
+        row = rest >> (self.row_shift + self.bank_bits)
+        bus_free = self.ch_busfree[ch]
+        if is_prefetch:
+            if bus_free - cycle > self.pf_drop_backlog:
+                self.prefetches_dropped += 1
+                return None
+        if self.bank_open[bank] == row:
+            self.row_hits += 1
+            row_wait = self.bank_rowready[bank]
+            if not is_prefetch:
+                bound = cycle + self.dem_preempt_acts
+                if row_wait > bound:
+                    row_wait = bound
+            cas_start = cycle if cycle > row_wait else row_wait
+            bus_ready = cas_start + self.tCL
+        else:
+            self.row_misses += 1
+            next_act = self.bank_nextact[bank]
+            if is_prefetch:
+                act_start = cycle if cycle > next_act else next_act
+                self.bank_nextact[bank] = act_start + self.tRC
+            else:
+                preempt_bound = cycle + self.dem_preempt_acts
+                act_start = next_act if next_act < preempt_bound else preempt_bound
+                if act_start < cycle:
+                    act_start = cycle
+                self.bank_nextact[bank] = (
+                    next_act if next_act > act_start else act_start
+                ) + self.tRC
+            self.bank_open[bank] = row
+            row_ready = act_start + self.tRP + self.tRCD
+            self.bank_rowready[bank] = row_ready
+            bus_ready = row_ready + self.tCL
+        if is_prefetch:
+            slot = bus_free if bus_free > cycle else cycle
+            self.ch_busfree[ch] = slot + burst
+            data_start = bus_ready if bus_ready > slot else slot
+            data_done = data_start + burst
+        else:
+            head_wait = bus_free - bus_ready
+            if head_wait < 0:
+                head_wait = 0
+            elif head_wait > self.dem_preempt_bursts:
+                head_wait = self.dem_preempt_bursts
+            data_start = bus_ready + head_wait
+            demand_free = self.ch_demandfree[ch]
+            if demand_free > data_start:
+                data_start = demand_free
+            data_done = data_start + burst
+            self.ch_demandfree[ch] = data_done
+            self.ch_busfree[ch] = (bus_free if bus_free > cycle else cycle) + burst
+        self.busy_cycles += burst
+        if data_done > self.last_data_done:
+            self.last_data_done = data_done
+        self._record_cas(data_start)
+        if is_write:
+            self.writes += 1
+        else:
+            self.reads += 1
+        return data_done - cycle
+
+    # -- boundary operations ---------------------------------------------------
+
+    def reset_dram_stats(self, cycle):
+        self.reads = 0
+        self.writes = 0
+        self.row_hits = 0
+        self.row_misses = 0
+        self.busy_cycles = 0
+        self.prefetches_dropped = 0
+        self.stats_start = int(cycle)
+        self.mon_total_cas = 0
+        self.mon_buckets = [0, 0, 0, 0]
+
+    def sync_to_state(self, contents=True):
+        st = self.state
+        si = st.si64
+        sf = st.sf64
+
+        def p(name, value):
+            si[SI64[name]] = value
+
+        if contents:
+            self.llc.sync(st.llc)
+        p("llc_tick", self.llc.tick)
+        for name, value in zip(
+            (
+                "llc_demand_hits",
+                "llc_demand_misses",
+                "llc_prefetch_probe_hits",
+                "llc_useful_prefetches",
+                "llc_late_useful_prefetches",
+                "llc_useless_evictions",
+                "llc_writebacks",
+            ),
+            self.llc.stats(),
+        ):
+            p(name, value)
+        st.bank_open[:] = self.bank_open
+        st.bank_nextact[:] = self.bank_nextact
+        st.bank_rowready[:] = self.bank_rowready
+        st.ch_busfree[:] = self.ch_busfree
+        st.ch_demandfree[:] = self.ch_demandfree
+        p("dram_reads", self.reads)
+        p("dram_writes", self.writes)
+        p("dram_row_hits", self.row_hits)
+        p("dram_row_misses", self.row_misses)
+        p("dram_busy_cycles", self.busy_cycles)
+        p("dram_prefetches_dropped", self.prefetches_dropped)
+        p("dram_last_data_done", self.last_data_done)
+        p("dram_stats_start", self.stats_start)
+        p("mon_window_end", self.mon_window_end)
+        p("mon_total_cas", self.mon_total_cas)
+        for i in range(4):
+            p(f"mon_bucket{i}", self.mon_buckets[i])
+        p("mon_last_sample", self.mon_last_sample)
+        sf[SF64["mon_counter"]] = self.mon_counter
+
+
+class PyRuntime:
+    """One core's pure-Python kernel over unpacked working state."""
+
+    def __init__(self, state, shared, train=None, note_useful=None, note_useless=None):
+        self.state = state
+        self.shared = shared
+        ci = state.ci64
+        cf = state.cf64
+
+        def g(name):
+            return int(ci[CI64[name]])
+
+        # Core execution
+        self.ops = state.execution._ops
+        self.pos = g("pos")
+        self.n_ops = g("n_ops")
+        self.instr = g("instr")
+        self.hits = [g("hit_l1"), g("hit_l2"), g("hit_llc"), g("hit_dram")]
+        self.width = g("width")
+        self.rob_size = g("rob_size")
+        self.retire = float(cf[CF64["retire"]])
+        self.last_load_done = float(cf[CF64["last_load_done"]])
+        self.retire_step = float(cf[CF64["retire_step"]])
+        self.window = state.execution._window
+
+        for name in ("l1", "l2"):
+            arrs = {f: getattr(state, f"{name}_{f}") for f in _CACHE_FIELDS}
+            cache = _PyCache(
+                arrs,
+                ways=g(f"{name}_ways"),
+                set_mask=g(f"{name}_set_mask"),
+                hit_lat=g(f"{name}_hit_latency"),
+                mode=g(f"{name}_victim_mode"),
+                tick=g(f"{name}_tick"),
+                stats=[
+                    g(f"{name}_demand_hits"),
+                    g(f"{name}_demand_misses"),
+                    g(f"{name}_prefetch_probe_hits"),
+                    g(f"{name}_useful_prefetches"),
+                    g(f"{name}_late_useful_prefetches"),
+                    g(f"{name}_useless_evictions"),
+                    g(f"{name}_writebacks"),
+                ],
+            )
+            setattr(self, f"{name}c", cache)
+        self.llcc = shared.llc
+
+        self.l1m = _PyMshr(
+            g("mshr_l1_cap"),
+            sorted(state.mshr_l1[: g("mshr_l1_len")].tolist()),
+            g("mshr_l1_allocations"),
+            g("mshr_l1_stall"),
+        )
+        self.l2m = _PyMshr(
+            g("mshr_l2_cap"),
+            sorted(state.mshr_l2[: g("mshr_l2_len")].tolist()),
+            g("mshr_l2_allocations"),
+            g("mshr_l2_stall"),
+        )
+        self.llcm = _PyMshr(
+            g("mshr_llc_cap"),
+            sorted(state.mshr_llc[: g("mshr_llc_len")].tolist()),
+            g("mshr_llc_allocations"),
+            g("mshr_llc_stall"),
+        )
+
+        self.demand_accesses = g("demand_accesses")
+        self.queue_size = g("queue_size")
+        self.merge_bound = g("merge_bound")
+        n_in = g("inflight_len")
+        self.in_flight = dict(
+            zip(state.infl_line[:n_in].tolist(), state.infl_ready[:n_in].tolist())
+        )
+        for attr in _PF_ATTRS:
+            setattr(self, attr, g(attr))
+
+        # L1 stride prefetcher
+        self.has_l1pf = bool(g("has_l1pf"))
+        self.stride_degree = g("stride_degree")
+        self.stride_mask = g("stride_mask")
+        self.stride_cthr = g("stride_conf_threshold")
+        self.stride_cmax = g("stride_conf_max")
+        self.stride_trainings = g("stride_trainings")
+        self.stride_valid = state.stride_valid.tolist()
+        self.stride_tag = state.stride_tag.tolist()
+        self.stride_last = state.stride_last.tolist()
+        self.stride_stride = state.stride_stride.tolist()
+        self.stride_conf = state.stride_conf.tolist()
+
+        # Scheme crossing: direct in-line calls (the C twin queues notes
+        # and drains them before each train call — equivalent because no
+        # note handler observes anything but its own counters).
+        self._train = train if g("has_l2pf") else None
+        self._note_useful = note_useful if g("has_l2pf") else None
+        self._note_useless = note_useless if g("has_l2pf") else None
+
+    # -------------------------------------------------------------- public
+
+    @property
+    def done(self):
+        return self.pos >= self.n_ops
+
+    @property
+    def time(self):
+        return self.retire
+
+    @property
+    def ops_executed(self):
+        return self.pos
+
+    def snapshot(self):
+        """(instr, retire, hits) — the ``mark_stats_start`` checkpoint."""
+        return self.instr, self.retire, tuple(self.hits)
+
+    def bucket(self, cycle):
+        return self.shared.bucket(cycle)
+
+    def reset_hierarchy_stats(self):
+        self.l1c.reset_stats()
+        self.l2c.reset_stats()
+        self.llcc.reset_stats()
+        for attr in _PF_ATTRS:
+            setattr(self, attr, 0)
+        for m in (self.l1m, self.l2m, self.llcm):
+            m.allocs = 0
+            m.stall = 0
+
+    def reset_dram_stats(self, cycle):
+        self.shared.reset_dram_stats(cycle)
+
+    # ------------------------------------------------------------ hot loop
+
+    def run(self, end, horizon, strict):
+        """Execute ops until ``pos >= end`` or retirement passes ``horizon``.
+
+        The stop rule is checked before each op, exactly as
+        ``CoreExecution.run_ops_until`` does; ``horizon=inf`` makes this
+        ``run_ops``.  Returns the number of ops executed.
+        """
+        ops = self.ops
+        pos = self.pos
+        start = pos
+        if pos >= end:
+            return 0
+        width = self.width
+        rob_size = self.rob_size
+        retire_step = self.retire_step
+        window = self.window
+        window_append = window.append
+        popleft = window.popleft
+        hits = self.hits
+        retire = self.retire
+        instr = self.instr
+        last_load_done = self.last_load_done
+
+        l1 = self.l1c
+        l1_map_get = l1.map.get
+        l1_touch = l1.touch
+        l1_pref = l1.pref
+        l1_used = l1.used
+        l1_dirty = l1.dirty
+        l1_ready = l1.ready
+        l1_hit_lat = l1.hit_lat
+        l1_fill = l1.fill
+        l1m = self.l1m
+        l1m_cap = l1m.cap
+        has_l1pf = self.has_l1pf
+        s_valid = self.stride_valid
+        s_tag = self.stride_tag
+        s_last = self.stride_last
+        s_stride = self.stride_stride
+        s_conf = self.stride_conf
+        s_mask = self.stride_mask
+        s_cthr = self.stride_cthr
+        s_cmax = self.stride_cmax
+        s_degree = self.stride_degree
+        trainings = self.stride_trainings
+        below_l1 = self._below_l1
+        demand_accesses = self.demand_accesses
+
+        while pos < end:
+            if retire > horizon or (strict and retire == horizon):
+                break
+            gap, pc, addr, is_write, dep = ops[pos]
+            pos += 1
+            if gap:
+                instr += gap
+                retire += gap / width
+            idx = instr
+            instr += 1
+            rob_idx = idx - rob_size
+            if rob_idx <= 0:
+                enter = idx / width
+            else:
+                while len(window) > 1 and window[1][0] <= rob_idx:
+                    popleft()
+                if not window or window[0][0] > rob_idx:
+                    floor = rob_idx / width
+                else:
+                    base = window[0]
+                    floor = base[1] + (rob_idx - base[0]) / width
+                enter = idx / width
+                if floor > enter:
+                    enter = floor
+            if dep and last_load_done > enter:
+                enter = last_load_done
+
+            # ---- MemoryHierarchy.access, inlined -------------------------
+            cycle = int(enter)
+            demand_accesses += 1
+            line = addr >> LINE_SHIFT
+
+            tick = l1.tick + 1
+            l1.tick = tick
+            l1_slot = l1_map_get(line)
+            if l1_slot is None:
+                l1.dm += 1
+            else:
+                l1.dh += 1
+                l1_touch[l1_slot] = tick
+                if is_write:
+                    l1_dirty[l1_slot] = 1
+                if l1_pref[l1_slot] and not l1_used[l1_slot]:
+                    l1.up += 1
+                    if l1_ready[l1_slot] > cycle:
+                        l1.lup += 1
+                    l1_used[l1_slot] = 1
+
+            if has_l1pf:
+                # PcStridePrefetcher.train, inlined.
+                trainings += 1
+                sidx = (pc ^ (pc >> 12)) & s_mask
+                if not s_valid[sidx] or s_tag[sidx] != pc:
+                    s_valid[sidx] = 1
+                    s_tag[sidx] = pc
+                    s_last[sidx] = line
+                    s_stride[sidx] = 0
+                    s_conf[sidx] = 0
+                else:
+                    stride = line - s_last[sidx]
+                    cands = None
+                    if stride != 0:
+                        if stride == s_stride[sidx]:
+                            conf = s_conf[sidx] + 1
+                            s_conf[sidx] = conf if conf < s_cmax else s_cmax
+                        else:
+                            s_stride[sidx] = stride
+                            s_conf[sidx] = 1
+                        if s_conf[sidx] >= s_cthr:
+                            page = line >> _PG
+                            if s_degree == 1:
+                                target = line + stride
+                                if target >> _PG == page:
+                                    cands = (target,)
+                            else:
+                                cands = []
+                                for dist in range(1, s_degree + 1):
+                                    target = line + stride * dist
+                                    if target >> _PG != page:
+                                        break
+                                    cands.append(target)
+                    s_last[sidx] = line
+                    if cands:
+                        for cand in cands:
+                            # _issue_l1_prefetch, inlined.
+                            if cand in l1.map:
+                                continue
+                            heap = l1m.heap
+                            while heap and heap[0] <= cycle:
+                                heapq.heappop(heap)
+                            if len(heap) >= l1m_cap:
+                                continue
+                            latency, _level = below_l1(cycle, pc, cand << LINE_SHIFT, False)
+                            l1m.allocate(cycle, cycle + latency)
+                            l1_fill(cand, True, False, cycle + latency, False)
+
+            if l1_slot is not None:
+                # Read through the slot *after* prefetch issues: if a fill
+                # recycled this slot the object path would read the recycled
+                # CacheLine too.
+                ready = l1_ready[l1_slot]
+                latency = l1_hit_lat
+                if ready > cycle:
+                    latency += ready - cycle
+                level = 0
+            else:
+                latency, level = below_l1(cycle, pc, addr, is_write)
+                wait = l1m.allocate(cycle, cycle + latency)
+                latency += wait
+                l1_fill(line, False, False, cycle + latency, False)
+
+            # ---- retirement epilogue --------------------------------------
+            if is_write:
+                retire += retire_step
+                if enter > retire:
+                    retire = enter
+            else:
+                done = enter + latency
+                retire += retire_step
+                if done > retire:
+                    retire = done
+                last_load_done = done
+            window_append((idx, retire))
+            hits[level] += 1
+
+        self.pos = pos
+        self.retire = retire
+        self.instr = instr
+        self.last_load_done = last_load_done
+        self.demand_accesses = demand_accesses
+        self.stride_trainings = trainings
+        return pos - start
+
+    # --------------------------------------------------------- below-L1 path
+
+    def _below_l1(self, cycle, pc, addr, is_write):
+        """MemoryHierarchy._below_l1, transliterated to the working form."""
+        line = addr >> LINE_SHIFT
+        candidates = ()
+        l2 = self.l2c
+        tick = l2.tick + 1
+        l2.tick = tick
+        slot = l2.map.get(line)
+        first_use = False
+        if slot is None:
+            l2.dm += 1
+        else:
+            l2.dh += 1
+            l2.touch[slot] = tick
+            if is_write:
+                l2.dirty[slot] = 1
+            if l2.pref[slot] and not l2.used[slot]:
+                l2.up += 1
+                first_use = True
+                if l2.ready[slot] > cycle:
+                    l2.lup += 1
+                l2.used[slot] = 1
+        train = self._train
+        if train is not None:
+            candidates = train(cycle, pc, addr, slot is not None)
+        if slot is not None:
+            if first_use:
+                self._note_use(cycle, line, l2.ready[slot])
+            residual = l2.ready[slot] - cycle
+            if residual > 0:
+                if l2.pref[slot] and residual > self.merge_bound:
+                    residual = self.merge_bound
+            else:
+                residual = 0
+            latency = l2.hit_lat + residual
+            if candidates:
+                self._issue_prefetches(cycle, candidates)
+            return latency, 1
+
+        inflight_ready = self.in_flight.pop(line, None)
+        if inflight_ready is not None and inflight_ready > cycle:
+            residual = inflight_ready - cycle
+            bound = self.merge_bound
+            if residual > bound:
+                residual = bound
+            latency = l2.hit_lat + residual
+            self.pf_useful += 1
+            self.pf_late += 1
+            l2.fill(line, False, False, cycle + residual, False)
+            self._notify_useful(cycle, line)
+            if candidates:
+                self._issue_prefetches(cycle, candidates)
+            return latency, 2
+
+        llc = self.llcc
+        tick = llc.tick + 1
+        llc.tick = tick
+        lslot = llc.map.get(line)
+        if lslot is None:
+            llc.dm += 1
+        else:
+            llc.dh += 1
+            llc.touch[lslot] = tick
+            if is_write:
+                llc.dirty[lslot] = 1
+            if llc.pref[lslot] and not llc.used[lslot]:
+                llc.up += 1
+                if llc.ready[lslot] > cycle:
+                    llc.lup += 1
+                llc.used[lslot] = 1
+                self._note_use(cycle, line, llc.ready[lslot])
+            residual = llc.ready[lslot] - cycle
+            if residual > 0:
+                if llc.pref[lslot] and residual > self.merge_bound:
+                    residual = self.merge_bound
+            else:
+                residual = 0
+            latency = llc.hit_lat + residual
+            l2.fill(line, False, False, cycle + latency, False)
+            if candidates:
+                self._issue_prefetches(cycle, candidates)
+            return latency, 2
+
+        dram_latency = self.shared.dram_access(cycle, line, is_write, False)
+        latency = llc.hit_lat + dram_latency
+        latency += self.l2m.allocate(cycle, cycle + latency)
+        latency += self.llcm.allocate(cycle, cycle + latency)
+        ready = cycle + latency
+        self._fill_llc(line, False, ready, False, cycle)
+        l2.fill(line, False, False, ready, False)
+        if candidates:
+            self._issue_prefetches(cycle, candidates)
+        return latency, 3
+
+    def _issue_prefetches(self, cycle, candidates):
+        l2 = self.l2c
+        l2_map = l2.map
+        l2_fill = l2.fill
+        llc = self.llcc
+        llc_map_get = llc.map.get
+        llc_hit_lat = llc.hit_lat
+        in_flight = self.in_flight
+        queue_size = self.queue_size
+        dram_access = self.shared.dram_access
+        for cand in candidates:
+            line = cand.line_addr
+            if line in l2_map:
+                self.pf_dropped_resident += 1
+                continue
+            inflight_ready = in_flight.get(line)
+            if inflight_ready is not None:
+                if inflight_ready > cycle:
+                    self.pf_dropped_in_flight += 1
+                    continue
+                del in_flight[line]
+            if llc_map_get(line) is not None:
+                self.pf_issued += 1
+                if cand.low_priority:
+                    self.pf_issued_low_priority += 1
+                self.pf_filled_from_llc += 1
+                l2_fill(line, True, cand.low_priority, cycle + llc_hit_lat, False)
+                continue
+            if len(in_flight) >= queue_size:
+                done = [ln for ln, ready in in_flight.items() if ready <= cycle]
+                for ln in done:
+                    del in_flight[ln]
+                if len(in_flight) >= queue_size:
+                    self.pf_dropped_bandwidth += 1
+                    continue
+            dram_latency = dram_access(cycle, line, False, True)
+            if dram_latency is None:
+                self.pf_dropped_bandwidth += 1
+                continue
+            self.pf_issued += 1
+            if cand.low_priority:
+                self.pf_issued_low_priority += 1
+            ready = cycle + llc_hit_lat + dram_latency
+            self.pf_filled_from_dram += 1
+            in_flight[line] = ready
+            self._fill_llc(line, True, ready, cand.low_priority, cycle)
+            l2_fill(line, True, cand.low_priority, ready, False)
+
+    def _fill_llc(self, line, prefetched, ready, low_priority, cycle):
+        info = self.llcc.fill(line, prefetched, low_priority, ready, True)
+        if info is None:
+            return
+        victim_line, was_pref, was_used = info
+        if was_pref and not was_used:
+            self.pf_useless += 1
+            if self._note_useless is not None:
+                self._note_useless(cycle, victim_line)
+
+    def _note_use(self, cycle, line, ready):
+        self.pf_useful += 1
+        if ready > cycle:
+            self.pf_late += 1
+        self._notify_useful(cycle, line)
+
+    def _notify_useful(self, cycle, line):
+        self.llcc.touch_for_prefetcher(line)
+        self.l2c.touch_for_prefetcher(line)
+        if self._note_useful is not None:
+            self._note_useful(cycle, line)
+
+    # ------------------------------------------------------------- sync back
+
+    def sync_to_state(self, contents=True):
+        state = self.state
+        ci = state.ci64
+        cf = state.cf64
+
+        def p(name, value):
+            ci[CI64[name]] = value
+
+        p("pos", self.pos)
+        p("instr", self.instr)
+        p("hit_l1", self.hits[0])
+        p("hit_l2", self.hits[1])
+        p("hit_llc", self.hits[2])
+        p("hit_dram", self.hits[3])
+        cf[CF64["retire"]] = self.retire
+        cf[CF64["last_load_done"]] = self.last_load_done
+        window = self.window
+        cap = int(ci[CI64["win_cap"]])
+        if len(window) >= cap:
+            raise ValueError("ROB checkpoint window exceeds kernel ring capacity")
+        for i, (idx, ret) in enumerate(window):
+            state.win_idx[i] = idx
+            state.win_ret[i] = ret
+        p("win_head", 0)
+        p("win_len", len(window))
+
+        for name, cache in (("l1", self.l1c), ("l2", self.l2c)):
+            if contents:
+                cache.sync({f: getattr(state, f"{name}_{f}") for f in _CACHE_FIELDS})
+            p(f"{name}_tick", cache.tick)
+            for stat_name, value in zip(
+                (
+                    f"{name}_demand_hits",
+                    f"{name}_demand_misses",
+                    f"{name}_prefetch_probe_hits",
+                    f"{name}_useful_prefetches",
+                    f"{name}_late_useful_prefetches",
+                    f"{name}_useless_evictions",
+                    f"{name}_writebacks",
+                ),
+                cache.stats(),
+            ):
+                p(stat_name, value)
+
+        for name, m in (
+            ("mshr_l1", self.l1m),
+            ("mshr_l2", self.l2m),
+            ("mshr_llc", self.llcm),
+        ):
+            heap = sorted(m.heap)
+            arr = getattr(state, name)
+            arr[: len(heap)] = heap
+            p(f"{name}_len", len(heap))
+            p(f"{name}_allocations", m.allocs)
+            p(f"{name}_stall", m.stall)
+
+        p("demand_accesses", self.demand_accesses)
+        in_flight = self.in_flight
+        for i, (ln, ready) in enumerate(in_flight.items()):
+            state.infl_line[i] = ln
+            state.infl_ready[i] = ready
+        p("inflight_len", len(in_flight))
+        for attr in _PF_ATTRS:
+            p(attr, getattr(self, attr))
+
+        p("stride_trainings", self.stride_trainings)
+        state.stride_valid[:] = self.stride_valid
+        state.stride_tag[:] = self.stride_tag
+        state.stride_last[:] = self.stride_last
+        state.stride_stride[:] = self.stride_stride
+        state.stride_conf[:] = self.stride_conf

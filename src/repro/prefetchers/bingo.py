@@ -105,7 +105,23 @@ class Bingo(Prefetcher):
             self._at[region] = self._at.pop(region)  # refresh LRU position
             return ()
 
+        long_before, short_before = self.long_hits, self.short_hits
         candidates = self._predict(pc, offset, region)
+        if self.trace_emit is not None:
+            # The scheme's core decision: which event matched the PHT — the
+            # precise long event (PC+address) or the short fallback
+            # (PC+offset) — and how wide the replayed footprint is.
+            if self.long_hits > long_before:
+                match = "long"
+            elif self.short_hits > short_before:
+                match = "short"
+            else:
+                match = "none"
+            self.trace_emit(
+                cycle,
+                self.name,
+                f"match={match} region={region:#x} cands={len(candidates)}",
+            )
         if len(self._at) >= self.config.at_entries:
             victim_region, victim = next(iter(self._at.items()))
             del self._at[victim_region]

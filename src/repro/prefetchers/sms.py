@@ -129,7 +129,17 @@ class SMS(Prefetcher):
             return ()
 
         # Trigger access to a fresh region.
+        pht_hits_before = self.pht_hits
         candidates = self._predict(pc, offset, region)
+        if self.trace_emit is not None:
+            # The scheme's core decision: a fresh-region trigger either
+            # replays a recorded PHT pattern or starts cold.
+            hit = "hit" if self.pht_hits > pht_hits_before else "miss"
+            self.trace_emit(
+                cycle,
+                self.name,
+                f"trigger region={region:#x} pht={hit} cands={len(candidates)}",
+            )
         self._ft_insert(region, _RegionEntry(pc, offset))
         return candidates
 

@@ -189,7 +189,18 @@ class SPP(Prefetcher):
             self._st[idx] = entry
             if signature == 0:
                 return ()
-        return self._lookahead(cycle, entry.signature, page, offset)
+        cands = self._lookahead(cycle, entry.signature, page, offset)
+        if self.trace_emit is not None:
+            # The scheme's core decision: one confidence-cascaded walk from
+            # the current signature, under the (possibly bandwidth-relaxed)
+            # threshold.
+            self.trace_emit(
+                cycle,
+                self.name,
+                f"lookahead sig={entry.signature:#06x} "
+                f"thr={self._threshold(cycle)} cands={len(cands)}",
+            )
+        return cands
 
     def _lookahead(self, cycle, signature, page, base_offset):
         """Confidence-cascaded lookahead walk (the simulator's hottest
@@ -211,6 +222,9 @@ class SPP(Prefetcher):
         flt_mask = cfg.filter_entries - 1
         lookahead_threshold = cfg.lookahead_threshold
         max_candidates = cfg.max_candidates_per_train
+        lpp = LINES_PER_PAGE
+        n_cands = 0
+        n_filtered = 0
         for _ in range(cfg.max_lookahead_depth):
             idx = (signature ^ (signature >> 6)) & pt_mask
             c_sig = pt_c_sig[idx]
@@ -228,27 +242,29 @@ class SPP(Prefetcher):
                 if conf < threshold:
                     continue
                 target = offset + delta
-                if 0 <= target < LINES_PER_PAGE:
+                if 0 <= target < lpp:
                     line = page_base + target
                     if line not in seen:
                         # Inlined _filter_admits (recently issued lines are
                         # not re-requested).
-                        idx = (line ^ (line >> 10)) & flt_mask
-                        if flt[idx] == line:
-                            self.filtered += 1
+                        fidx = (line ^ (line >> 10)) & flt_mask
+                        if flt[fidx] == line:
+                            n_filtered += 1
                         else:
-                            flt[idx] = line
+                            flt[fidx] = line
                             seen_add(line)
                             append(PrefetchCandidate(line))
+                            n_cands += 1
                 else:
                     # Crossing the page: remember for cross-page bootstrap.
                     self._ghr_insert(signature, conf, offset, delta)
-                if len(candidates) >= max_candidates:
+                if n_cands >= max_candidates:
+                    self.filtered += n_filtered
                     return candidates
             if best_delta == 0 or best_conf < lookahead_threshold:
                 break
             next_offset = offset + best_delta
-            if not 0 <= next_offset < LINES_PER_PAGE:
+            if not 0 <= next_offset < lpp:
                 break
             # Inlined advance_signature/encode_delta.
             magnitude = (best_delta if best_delta >= 0 else -best_delta) & 0x3F
@@ -257,6 +273,7 @@ class SPP(Prefetcher):
             signature = ((signature << 3) ^ magnitude) & SIGNATURE_MASK
             offset = next_offset
             confidence = best_conf
+        self.filtered += n_filtered
         return candidates
 
     # -- feedback ------------------------------------------------------------

@@ -1,0 +1,188 @@
+"""Randomized kernel-parity fuzz grid.
+
+The flat-state kernels (pure-Python ``py`` and the runtime-compiled C
+twin) are alternative *executions* of the same simulation, not
+alternative models: every counter, rate and log a run produces must be
+bit-for-bit identical to the original object-model loop.  That contract
+is what lets ``SystemConfig.kernel`` stay out of spec fingerprints (all
+kernels share cache entries) and what makes ``kernel_py`` an executable
+spec for the C twin.
+
+The grid here is randomized but *deterministic* (fixed seed): each case
+draws a workload, a registry scheme, a trace length, an LLC geometry
+(size and associativity) and a warmup fraction, then runs the identical
+trace through the object model and through each flat kernel and compares
+``RunResult.to_dict()`` field-for-field.  A multi-programmed section does
+the same through ``MultiCoreSystem`` (shared LLC, per-core warmup
+boundaries, global-time interleave) where the kernel crossing machinery
+is under the most scheduling pressure.
+
+The compiled kernel is exercised only when a C toolchain is present
+(``kernel_available()``); the pure-Python kernel always runs, so parity
+is pinned on every host.
+"""
+
+import random
+
+import pytest
+
+from repro.cpu.system import MultiCoreSystem, System, SystemConfig
+from repro.kernel import kernel_available
+from repro.memory.cache import CacheConfig
+from repro.memory.dram import MP_DRAM, ST_DRAM
+from repro.memory.hierarchy import HierarchyConfig
+from repro.workloads.catalog import build_trace
+
+FLAT_KERNELS = ("py", "compiled") if kernel_available() else ("py",)
+
+# Deterministic fuzz: same seed -> same grid on every run/host, so a
+# failure is always reproducible from the printed case id.
+_SEED = 0xD5BA7C
+
+_WORKLOADS = (
+    "ispec06.mcf",
+    "hpc.npb-cg",
+    "server.tpcc-1",
+    "cloud.memcached",
+    "fspec06.libquantum",
+    "client.browser",
+)
+# Every distinct training/candidate shape in the registry: delta walks
+# (spp/espp), bit patterns (sms/bingo/dspatch), offset scoring (bop),
+# streams (streamer/ampm), correlation (markov/vldp), plus the baseline.
+_SCHEMES = (
+    "none",
+    "streamer",
+    "nextline",
+    "spp",
+    "espp",
+    "bop",
+    "sms",
+    "bingo",
+    "ampm",
+    "dspatch",
+    "markov",
+    "vldp",
+)
+_LLC_GEOMETRIES = (  # (size_bytes, ways) — power-of-two set counts
+    (256 * 1024, 8),
+    (512 * 1024, 16),
+    (1024 * 1024, 8),
+    (2 * 1024 * 1024, 16),
+)
+_WARMUP_FRACS = (0.0, 0.1, 0.25, 0.4)
+
+
+def _fuzz_cases(n):
+    rng = random.Random(_SEED)
+    cases = []
+    schemes = list(_SCHEMES)
+    for i in range(n):
+        # First pass walks every scheme once; later passes draw freely.
+        scheme = schemes[i] if i < len(schemes) else rng.choice(schemes)
+        cases.append(
+            (
+                scheme,
+                rng.choice(_WORKLOADS),
+                rng.randrange(1500, 4000),
+                rng.choice(_LLC_GEOMETRIES),
+                rng.choice(_WARMUP_FRACS),
+            )
+        )
+    return cases
+
+
+def _config(scheme, llc_geometry, warmup_frac, kernel, dram=ST_DRAM):
+    size_bytes, ways = llc_geometry
+    base = HierarchyConfig()
+    llc = CacheConfig(
+        name="LLC",
+        size_bytes=size_bytes,
+        ways=ways,
+        hit_latency=base.llc.hit_latency,
+        mshrs=base.llc.mshrs,
+        replacement=base.llc.replacement,
+    )
+    return SystemConfig(
+        hierarchy=HierarchyConfig(l1=base.l1, l2=base.l2, llc=llc),
+        dram=dram,
+        l2_prefetcher=scheme,
+        warmup_frac=warmup_frac,
+        kernel=kernel,
+    )
+
+
+def _assert_same(baseline, candidate, label):
+    if baseline == candidate:
+        return
+    diff = {
+        key: (baseline[key], candidate[key])
+        for key in baseline
+        if baseline[key] != candidate[key]
+    }
+    raise AssertionError(f"{label}: kernel diverges from object model: {diff}")
+
+
+@pytest.mark.parametrize(
+    "scheme,workload,length,llc_geometry,warmup_frac",
+    _fuzz_cases(14),
+    ids=lambda v: str(v).replace(" ", ""),
+)
+def test_single_thread_parity(scheme, workload, length, llc_geometry, warmup_frac):
+    trace = build_trace(workload, length)
+    baseline = System(_config(scheme, llc_geometry, warmup_frac, "object")).run(trace)
+    base = baseline.to_dict()
+    for kernel in FLAT_KERNELS:
+        result = System(_config(scheme, llc_geometry, warmup_frac, kernel)).run(trace)
+        _assert_same(base, result.to_dict(), f"{scheme}/{workload}/{kernel}")
+
+
+@pytest.mark.parametrize(
+    "scheme,warmup_frac",
+    [("dspatch", 0.25), ("spp", 0.1), ("bop", 0.0)],
+)
+def test_multi_programmed_parity(scheme, warmup_frac):
+    rng = random.Random(_SEED ^ hash((scheme, warmup_frac)) & 0xFFFF)
+    traces = [
+        build_trace(rng.choice(_WORKLOADS), rng.randrange(900, 1600)) for _ in range(4)
+    ]
+    geometry = (2 * 1024 * 1024, 16)  # shared LLC; per-core pressure is the point
+
+    def run(kernel):
+        cfg = _config(scheme, geometry, warmup_frac, kernel, dram=MP_DRAM)
+        mp = MultiCoreSystem(cfg, num_cores=4).run(traces)
+        return [core.to_dict() for core in mp.per_core] + [
+            {"global_cycles": mp.global_cycles}
+        ]
+
+    baseline = run("object")
+    for kernel in FLAT_KERNELS:
+        candidate = run(kernel)
+        for core_idx, (base, cand) in enumerate(zip(baseline, candidate)):
+            _assert_same(base, cand, f"mp/{scheme}/{kernel}/core{core_idx}")
+
+
+def test_kernel_field_absent_from_fingerprints():
+    """All kernels are bit-identical, so runs must share cache entries:
+    the kernel choice may never reach a spec fingerprint."""
+    import dataclasses
+
+    from repro.engine import RunSpec
+
+    assert "kernel" not in [f.name for f in dataclasses.fields(RunSpec)]
+
+
+def test_unsupported_features_fall_back_to_object():
+    """Tracing-on runs silently use the object path (scheme events and
+    cache events only exist there) and still produce identical results."""
+    from repro.observe.sinks import CollectingSink
+
+    trace = build_trace("ispec06.mcf", 2000)
+    plain = System(SystemConfig.single_thread("dspatch", kernel="py")).run(trace)
+    sink = CollectingSink()
+    traced = System(
+        SystemConfig.single_thread("dspatch", kernel="py", trace_prefetch=True),
+        sink=sink,
+    ).run(trace)
+    assert plain.to_dict() == traced.to_dict()
+    assert sink.events  # tracing actually happened on the fallback path
