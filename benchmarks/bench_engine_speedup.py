@@ -7,7 +7,12 @@ comparison: 6 schemes x N workloads) under several regimes:
    measurement per hot-loop kernel: the original ``object`` model, the
    pure-Python flat ``py`` kernel, and (when a C toolchain is present)
    the ``compiled`` C twin.  The best available flat kernel is the
-   headline ``cold sequential`` leg;
+   headline ``cold sequential`` leg.  When the compiled kernel is
+   available, a dedicated **scheme-training leg** additionally times the
+   C-twinned schemes (spp / dspatch / spp+dspatch) on one longer trace
+   where training dominates, asserts bit-identity against the object
+   model, and gates the twins' advantage with its own
+   ``--min-scheme-kernel-speedup`` floor;
 2. **cold parallel** — empty disk cache, ``jobs=N``: the engine's
    process-pool fan-out (runs when ``--jobs`` > 1 is given explicitly,
    or by default on multicore hosts);
@@ -122,6 +127,39 @@ def run_bench(args):
     kernel_py_score = sim_ops / kernel_seconds["py"] / calibration
     kernel_speedup = kernel_seconds["object"] / t_cold_seq
 
+    # --- 1b. scheme-training leg (compiled twins vs live objects) ---------
+    # The fig12 smoke grid dilutes training across six schemes and nine
+    # categories, so a broken training twin barely moves the headline
+    # number.  This leg isolates the C-twinned schemes on one longer trace
+    # where training dominates, asserts bit-identical results, and holds
+    # the twins to their own speedup floor.
+    scheme_seconds = {"object": None, "compiled": None}
+    scheme_speedup = None
+    scheme_identical = True
+    if headline_kernel == "compiled":
+        from repro.cpu.system import System, SystemConfig
+        from repro.workloads.catalog import build_trace
+
+        scheme_trace = build_trace("ispec06.mcf", args.scheme_trace_len)
+        scheme_results = {}
+        for kind in ("object", "compiled"):
+            best = None
+            for _ in range(args.repeats):
+                t0 = time.perf_counter()
+                out = []
+                for scheme in ("spp", "dspatch", "spp+dspatch"):
+                    res = System(
+                        SystemConfig.single_thread(scheme, kernel=kind)
+                    ).run(scheme_trace)
+                    out.append(res.to_dict())
+                dt = time.perf_counter() - t0
+                scheme_results[kind] = out
+                if best is None or dt < best:
+                    best = dt
+            scheme_seconds[kind] = best
+        scheme_identical = scheme_results["object"] == scheme_results["compiled"]
+        scheme_speedup = scheme_seconds["object"] / scheme_seconds["compiled"]
+
     # --- 2. cold parallel (explicit --jobs > 1, or multicore hosts) -------
     t_cold_par = None
     rows_par = None
@@ -170,6 +208,9 @@ def run_bench(args):
         "kernel_object_seconds": kernel_seconds["object"],
         "kernel_py_seconds": kernel_seconds["py"],
         "kernel_compiled_seconds": kernel_seconds["compiled"],
+        "scheme_object_seconds": scheme_seconds["object"],
+        "scheme_compiled_seconds": scheme_seconds["compiled"],
+        "scheme_kernel_speedup": scheme_speedup,
         "hot_path_score": hot_path_score,
         "kernel_py_score": kernel_py_score,
         "kernel_speedup": kernel_speedup,
@@ -183,6 +224,15 @@ def run_bench(args):
         failures.append("results differ between regimes/kernels (determinism violated)")
     if warm_speedup < 10.0:
         failures.append(f"warm-cache speedup {warm_speedup:.1f}x below the 10x target")
+    if not scheme_identical:
+        failures.append(
+            "scheme-training leg: compiled twins diverge from the object model"
+        )
+    if scheme_speedup is not None and scheme_speedup < args.min_scheme_kernel_speedup:
+        failures.append(
+            f"scheme-training speedup {scheme_speedup:.2f}x over the object "
+            f"model is below the {args.min_scheme_kernel_speedup:.1f}x floor"
+        )
 
     if args.baseline and os.path.exists(args.baseline):
         with open(args.baseline) as f:
@@ -290,6 +340,12 @@ def run_bench(args):
             f"compiled kernel : {kernel_seconds['compiled']:8.2f}s  "
             f"({kernel_speedup:.2f}x over object)"
         )
+    if scheme_speedup is not None:
+        print(
+            f"scheme training : {scheme_seconds['compiled']:8.2f}s vs "
+            f"{scheme_seconds['object']:.2f}s object  ({scheme_speedup:.2f}x, "
+            f"{args.scheme_trace_len} ops x 3 schemes)"
+        )
     if t_cold_par is not None:
         print(f"cold parallel   : {t_cold_par:8.2f}s  ({parallel_speedup:.2f}x, jobs={jobs})")
     print(f"warm (disk)     : {t_warm:8.3f}s  ({warm_speedup:.0f}x)")
@@ -325,6 +381,20 @@ def main(argv=None):
         default=2.0,
         help="floor on the compiled kernel's speedup over the object model "
         "(applies only when a C toolchain is present)",
+    )
+    parser.add_argument(
+        "--scheme-trace-len",
+        type=int,
+        default=20000,
+        help="ops per scheme in the dedicated scheme-training leg",
+    )
+    parser.add_argument(
+        "--min-scheme-kernel-speedup",
+        type=float,
+        default=5.0,
+        help="floor on the compiled training twins' speedup over the object "
+        "model in the scheme-training leg (applies only when a C toolchain "
+        "is present)",
     )
     return run_bench(parser.parse_args(argv))
 

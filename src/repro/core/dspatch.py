@@ -29,6 +29,15 @@ Design-choice knobs (the ablation benches exercise these):
   patterns instead of trigger-anchored ones (the Figure 2 claim);
 - :class:`~repro.core.variants.SingleTriggerDSPatch` allows only one
   trigger per 4KB page (the Section 3.7 claim).
+
+This class is also the *executable spec* for a compiled training twin:
+:mod:`repro.kernel.cgen` emits a C transliteration of ``train`` (PB
+insert/evict, SPT dual-pattern update, bandwidth-bucketed pattern select),
+selected at run time by ``kernel/state.py:_scheme_kind`` for
+default-config instances — alone or as the second component of the
+``spp+dspatch`` composite — and pinned bit-identical by
+``tests/test_kernel_parity.py``.  Behavioral edits here must be mirrored
+in the C twin.
 """
 
 from dataclasses import dataclass

@@ -190,15 +190,47 @@ def _resolve_kernel(cfg):
         if level.replacement not in VICTIM_MODES:
             return "object"
     from repro.kernel import kernel_available
+    from repro.kernel.execution import kernel_unavailable_reason
 
     if choice == "auto":
-        return "compiled" if kernel_available() else "py"
+        if kernel_available():
+            return "compiled"
+        kind, reason = kernel_unavailable_reason()
+        if kind == "build":
+            # A missing toolchain degrades quietly; a broken build is a
+            # bug and must not be mistaken for one.
+            _warn_kernel_degraded(reason)
+        return "py"
     if choice == "compiled" and not kernel_available():
+        kind, reason = kernel_unavailable_reason()
+        if kind == "toolchain":
+            raise RuntimeError(
+                "kernel='compiled' requested but no C toolchain is available "
+                "(set kernel='py' or 'auto' to use the pure-Python kernel)"
+            )
         raise RuntimeError(
-            "kernel='compiled' requested but no C toolchain is available "
-            "(set kernel='py' or 'auto' to use the pure-Python kernel)"
+            f"kernel='compiled' requested but the kernel failed to build: "
+            f"{reason}"
         )
     return choice
+
+
+_warned_kernel_degraded = False
+
+
+def _warn_kernel_degraded(reason):
+    global _warned_kernel_degraded
+    if _warned_kernel_degraded:
+        return
+    _warned_kernel_degraded = True
+    import warnings
+
+    warnings.warn(
+        f"compiled kernel unavailable, falling back to the pure-Python "
+        f"kernel: {reason}",
+        RuntimeWarning,
+        stacklevel=3,
+    )
 
 
 def _resolve_sink(cfg, sink):

@@ -13,4 +13,8 @@ Both produce bit-identical results to the object path (pinned by
 from the packed state via ``KernelState.write_back``.
 """
 
-from repro.kernel.execution import KernelExecution, kernel_available  # noqa: F401
+from repro.kernel.execution import (  # noqa: F401
+    KernelExecution,
+    kernel_available,
+    kernel_unavailable_reason,
+)

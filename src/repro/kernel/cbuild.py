@@ -7,12 +7,25 @@ rename, so concurrent workers race benignly) and loaded with ctypes.
 ``PyShared``/``PyRuntime`` — :class:`repro.kernel.execution.KernelExecution`
 does not know which twin it is holding.
 
-The crossing protocol: ``krun`` returns ``RC_TRAIN`` with the mailbox
-slots (``mb_cycle``/``mb_pc``/``mb_addr``/``mb_hit``) filled; the driver
-first drains the queued usefulness notes (keeping every scheme-visible
-event in object-path order), then calls ``scheme.train`` and writes the
-candidates into the ``cand_line``/``cand_lp`` arrays (grown on demand),
-and re-enters ``krun``, which resumes mid-op from the saved context.
+The crossing protocol: ``krun`` returns ``RC_TRAIN`` with one or more
+training records (cycle, pc, addr, hit) appended to ``train_buf``; the
+driver first drains the queued usefulness notes (keeping every
+scheme-visible event in object-path order), then feeds the records to
+``scheme.train`` in arrival order, writes the *last* record's candidates
+into the ``cand_line``/``cand_lp`` arrays (grown on demand), and
+re-enters ``krun``, which resumes mid-op from the saved context.  The
+kernel may batch a record only when its candidates are not consumed by
+its own access — every current scheme's candidates are, so the kernel
+flushes at depth 1; the record-buffer ABI is what lets a future
+fire-and-forget scheme amortize the boundary.  Schemes with a compiled
+twin (``scheme_kind`` > 0) never cross at all.
+
+The build cache under ``<cache_dir>/ckernel/`` is keyed by a digest of
+the emitted C *and* the generator source, the compile flags and the
+compiler — editing :mod:`repro.kernel.cgen` can never load a stale
+``.so``.  Failures past the toolchain probe raise
+:class:`KernelBuildError` so callers can tell "no compiler" from "the
+kernel is broken".
 """
 
 import ctypes
@@ -30,6 +43,21 @@ from repro.kernel.layout import CF64, CI64, PTR, SF64, SI64
 _CFLAGS = ("-O2", "-fPIC", "-shared", "-ffp-contract=off", "-fno-fast-math")
 
 _lib = None
+
+
+class KernelBuildError(RuntimeError):
+    """A toolchain exists but generating/compiling/loading the kernel failed.
+
+    Distinct from the plain ``RuntimeError`` raised when no compiler is on
+    PATH: a build error means the kernel itself is broken and must never be
+    silently degraded to the object path.
+    """
+
+
+def _reset_for_tests():
+    """Drop the in-process library memo so the next load re-resolves."""
+    global _lib
+    _lib = None
 
 
 def _compiler():
@@ -54,6 +82,37 @@ def _build_dir():
     return current_config().cache_dir / "ckernel"
 
 
+def _build_digest(source, cc):
+    """Cache key for the built artifact.
+
+    Covers the emitted C, the generator module's own source, the compile
+    flags and the compiler path — any edit to :mod:`repro.kernel.cgen`
+    (including ones that only change how constants are derived), a flag
+    change or a compiler switch forces a rebuild instead of loading a
+    stale ``.so`` whose bytes happen to sit at the old path.
+    """
+    from repro.kernel import cgen
+
+    h = hashlib.sha256()
+    h.update(source.encode())
+    try:
+        with open(cgen.__file__, "rb") as fh:
+            h.update(fh.read())
+    except OSError:
+        pass
+    h.update(repr(_CFLAGS).encode())
+    h.update((cc or "").encode())
+    return h.hexdigest()[:16]
+
+
+def artifact_path():
+    """Path the current generator output resolves to (test hook)."""
+    from repro.kernel import cgen
+
+    source = cgen.generate_source()
+    return _build_dir() / f"kernel-{_build_digest(source, _compiler())}.so"
+
+
 def load_kernel():
     """Compile (if needed) and load the kernel library (memoized)."""
     global _lib
@@ -61,12 +120,15 @@ def load_kernel():
         return _lib
     from repro.kernel import cgen
 
-    source = cgen.generate_source()
-    digest = hashlib.sha256(source.encode()).hexdigest()[:16]
+    cc = _compiler()
+    try:
+        source = cgen.generate_source()
+    except Exception as exc:
+        raise KernelBuildError(f"kernel codegen failed: {exc}") from exc
+    digest = _build_digest(source, cc)
     build_dir = _build_dir()
     so_path = build_dir / f"kernel-{digest}.so"
     if not so_path.exists():
-        cc = _compiler()
         if cc is None:
             raise RuntimeError("no C compiler available to build the kernel")
         build_dir.mkdir(parents=True, exist_ok=True)
@@ -83,7 +145,7 @@ def load_kernel():
                     text=True,
                 )
                 if proc.returncode != 0:
-                    raise RuntimeError(
+                    raise KernelBuildError(
                         f"kernel compilation failed:\n{proc.stderr}"
                     )
                 os.replace(tmp_so, so_path)
@@ -94,11 +156,14 @@ def load_kernel():
         finally:
             if os.path.exists(c_path):
                 os.unlink(c_path)
-    lib = ctypes.CDLL(str(so_path))
-    lib.krun.argtypes = [ctypes.POINTER(ctypes.c_void_p)]
-    lib.krun.restype = ctypes.c_long
-    lib.kbucket.argtypes = [ctypes.c_void_p, ctypes.c_void_p, ctypes.c_longlong]
-    lib.kbucket.restype = ctypes.c_long
+    try:
+        lib = ctypes.CDLL(str(so_path))
+        lib.krun.argtypes = [ctypes.POINTER(ctypes.c_void_p)]
+        lib.krun.restype = ctypes.c_long
+        lib.kbucket.argtypes = [ctypes.c_void_p, ctypes.c_void_p, ctypes.c_longlong]
+        lib.kbucket.restype = ctypes.c_long
+    except (OSError, AttributeError) as exc:
+        raise KernelBuildError(f"kernel library failed to load: {exc}") from exc
     _lib = lib
     return _lib
 
@@ -189,6 +254,7 @@ class CRuntime:
         self._mci = memoryview(self._ci)
         self._mcand_line = memoryview(self.state.cand_line)
         self._mcand_lp = memoryview(self.state.cand_lp)
+        self._mtb = memoryview(self.state.train_buf)
 
     # ------------------------------------------------------------ properties
 
@@ -232,22 +298,25 @@ class CRuntime:
         tbl = self._tbl
         rc_train = layout.RC_TRAIN
         i_note_len = CI64["note_len"]
-        i_mb_cycle = CI64["mb_cycle"]
-        i_mb_pc = CI64["mb_pc"]
-        i_mb_addr = CI64["mb_addr"]
-        i_mb_hit = CI64["mb_hit"]
+        i_tb_len = CI64["tb_len"]
+        tb = self._mtb
         while True:
             rc = krun(tbl)
             if mci[i_note_len]:
                 self._drain_notes()
             if rc != rc_train:
                 break
-            put(train(
-                mci[i_mb_cycle],
-                mci[i_mb_pc],
-                mci[i_mb_addr],
-                bool(mci[i_mb_hit]),
-            ))
+            # Drain the batched training records in arrival order.  Only
+            # the final record's candidates are installed: the kernel is
+            # suspended inside that record's access, and it only defers a
+            # record past its own access when the scheme's candidates are
+            # not consumed by it.
+            n = mci[i_tb_len]
+            cands = None
+            for i in range(0, 4 * n, 4):
+                cands = train(tb[i], tb[i + 1], tb[i + 2], bool(tb[i + 3]))
+            mci[i_tb_len] = 0
+            put(cands)
         return mci[CI64["pos"]] - start
 
     def _drain_notes(self):

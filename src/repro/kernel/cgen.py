@@ -10,9 +10,12 @@ Exported symbols:
 
 - ``long krun(void **ptrs)`` — run the current batch.  Returns
   ``RC_DONE`` when the batch bound / horizon is reached, or
-  ``RC_TRAIN`` with the train-request mailbox filled (the Python driver
-  calls the scheme, writes the candidates, and re-enters; the kernel
-  resumes mid-op from the saved context).
+  ``RC_TRAIN`` with training records appended to ``train_buf`` (the
+  Python driver drains them into the scheme, writes the candidates, and
+  re-enters; the kernel resumes mid-op from the saved context).  Schemes
+  with a compiled twin (``scheme_kind`` > 0: SPP, eSPP, DSPatch at their
+  default configs) never cross — their training loops run in C against
+  flat tables and fill the candidate buffers directly.
 - ``long kbucket(long long *si, double *sf, long long cycle)`` — the
   bandwidth monitor's live 2-bit signal (advances the monitor exactly
   like ``BandwidthMonitor.bucket``).
@@ -41,6 +44,47 @@ def _defines():
     lines.append(f"#define RC_TRAIN {layout.RC_TRAIN}")
     lines.append(f"#define NOTE_USEFUL {layout.NOTE_USEFUL}")
     lines.append(f"#define NOTE_USELESS {layout.NOTE_USELESS}")
+    lines.append(f"#define TB_CAP {layout.TB_CAP}")
+    return "\n".join(lines)
+
+
+def _scheme_defines():
+    """Scheme-twin constants, emitted from the Python defaults.
+
+    The compiled twins run only for schemes at their stock configs
+    (:func:`repro.kernel.state._scheme_kind` gates on config equality),
+    so the constants are baked in as ``#define``s sourced from the live
+    dataclass defaults — the C can never drift from the spec without
+    the emitted source (and hence the build digest) changing too.
+    """
+    from repro.core.dspatch import DSPatchConfig
+    from repro.core.spt import COUNTER_MAX
+    from repro.prefetchers.spp import SppConfig
+
+    sp = SppConfig()
+    dp = DSPatchConfig()
+    assert dp.compressed and dp.covp_reset, "C twin hardcodes the stock geometry"
+    lines = [
+        f"#define SCHEME_SPP {layout.SCHEME_SPP}",
+        f"#define SCHEME_ESPP {layout.SCHEME_ESPP}",
+        f"#define SCHEME_DSPATCH {layout.SCHEME_DSPATCH}",
+        f"#define SCHEME_SPP_DSPATCH {layout.SCHEME_SPP_DSPATCH}",
+        f"#define SPP_ST_MASK {sp.st_entries - 1}",
+        f"#define SPP_PT_MASK {sp.pt_entries - 1}",
+        f"#define SPP_SLOTS {sp.delta_slots}",
+        f"#define SPP_CMAX {sp.counter_max}",
+        f"#define SPP_GHR {sp.ghr_entries}",
+        f"#define SPP_FLT_MASK {sp.filter_entries - 1}",
+        f"#define SPP_DEPTH {sp.max_lookahead_depth}",
+        f"#define SPP_MAXC {sp.max_candidates_per_train}",
+        f"#define SPP_THR_PF {sp.prefetch_threshold!r}",
+        f"#define SPP_THR_LA {sp.lookahead_threshold!r}",
+        f"#define SPP_THR_RELAX {sp.relaxed_threshold!r}",
+        f"#define DP_SPT_MASK {dp.spt_entries - 1}",
+        f"#define DP_PB {dp.pb_entries}",
+        f"#define DP_CMAX {COUNTER_MAX}",
+        f"#define DP_MAXC {dp.max_candidates_per_trigger}",
+    ]
     return "\n".join(lines)
 
 
@@ -74,7 +118,16 @@ typedef struct {
     int64_t *bank_open, *bank_nextact, *bank_rowready;
     int64_t *ch_busfree, *ch_demandfree;
     int64_t *infl_line, *infl_ready;
-    int64_t *note_buf, *cand_line, *cand_lp;
+    int64_t *note_buf, *cand_line, *cand_lp, *train_buf;
+    /* compiled scheme-training state (dummies when scheme_kind == 0) */
+    int64_t *sp_st_tag, *sp_st_loff, *sp_st_sig;
+    int64_t *sp_pt_csig, *sp_pt_delta, *sp_pt_cdelta;
+    int64_t *sp_ghr_sig, *sp_ghr_loff, *sp_ghr_delta;
+    double *sp_ghr_conf;
+    int64_t *sp_flt;
+    int64_t *dp_pb_page, *dp_pb_trig_sig, *dp_pb_trig_off;
+    uint64_t *dp_pb_pattern;
+    int64_t *dp_spt_cov, *dp_spt_acc, *dp_spt_mcov, *dp_spt_or, *dp_spt_macc;
 } kctx_t;
 
 /* ---------------------------------------------------------------- cache */
@@ -334,6 +387,18 @@ static void infl_sweep(kctx_t *k, int64_t cycle) {
 
 static void note_push(kctx_t *k, int64_t kind, int64_t cycle, int64_t line) {
     if (!k->ci[CI_has_l2pf]) return;
+    int64_t sk = k->ci[CI_scheme_kind];
+    if (sk) {
+        /* Compiled twins consume notes inline.  SPP's note hooks are
+           pure feedback-counter increments (never read by train), so
+           immediate counting matches the deferred queue drain exactly;
+           DSPatch's note hooks are no-ops. */
+        if (sk != SCHEME_DSPATCH) {
+            if (kind == NOTE_USEFUL) k->ci[CI_sp_fb_useful]++;
+            else k->ci[CI_sp_fb_issued]++;
+        }
+        return;
+    }
     int64_t n = k->ci[CI_note_len];
     int64_t *b = k->note_buf + 3 * n;
     b[0] = kind; b[1] = cycle; b[2] = line;
@@ -363,11 +428,422 @@ static void fill_llc_acct(kctx_t *k, int64_t line, int64_t prefetched,
     }
 }
 
+/* --------------------------------- compiled scheme-training twins
+   Line-for-line transliterations of prefetchers/spp.py and
+   core/dspatch.py (the executable specs) against the flat sp_ and dp_
+   arrays.  Bandwidth-bucket reads happen at exactly the same points as
+   the Python (the monitor mutates on every read), and every double op
+   keeps CPython's evaluation order. */
+
+static int64_t k_bucket(kctx_t *k, int64_t cycle) {
+    /* BandwidthMonitor.bucket: advance, then the 2-bit instant value. */
+    mon_advance(k->si, k->sf, cycle);
+    return mon_instant(k->si, k->sf, cycle);
+}
+
+/* --- SPP / eSPP --- */
+
+static int64_t spp_advance_sig(int64_t sig, int64_t delta) {
+    int64_t mag = (delta >= 0 ? delta : -delta) & 0x3F;
+    if (delta < 0) mag |= 0x40;
+    return ((sig << 3) ^ mag) & 0xFFF;
+}
+
+static void spp_ghr_insert(kctx_t *k, int64_t sig, double conf,
+                           int64_t loff, int64_t delta) {
+    int64_t len = k->ci[CI_sp_ghr_len];
+    if (len < SPP_GHR) len++;
+    for (int64_t i = len - 1; i > 0; i--) {
+        k->sp_ghr_sig[i] = k->sp_ghr_sig[i - 1];
+        k->sp_ghr_conf[i] = k->sp_ghr_conf[i - 1];
+        k->sp_ghr_loff[i] = k->sp_ghr_loff[i - 1];
+        k->sp_ghr_delta[i] = k->sp_ghr_delta[i - 1];
+    }
+    k->sp_ghr_sig[0] = sig;
+    k->sp_ghr_conf[0] = conf;
+    k->sp_ghr_loff[0] = loff;
+    k->sp_ghr_delta[0] = delta;
+    k->ci[CI_sp_ghr_len] = len;
+}
+
+static int64_t spp_ghr_bootstrap(kctx_t *k, int64_t offset) {
+    int64_t n = k->ci[CI_sp_ghr_len];
+    for (int64_t i = 0; i < n; i++) {
+        int64_t landing = k->sp_ghr_loff[i] + k->sp_ghr_delta[i];
+        if ((landing >= 64 && landing - 64 == offset) ||
+            (landing < 0 && landing + 64 == offset))
+            return spp_advance_sig(k->sp_ghr_sig[i], k->sp_ghr_delta[i]);
+    }
+    return 0;
+}
+
+static void spp_pt_update(kctx_t *k, int64_t sig, int64_t delta) {
+    int64_t idx = (sig ^ (sig >> 6)) & SPP_PT_MASK;
+    int64_t *dl = k->sp_pt_delta + idx * SPP_SLOTS;
+    int64_t *cl = k->sp_pt_cdelta + idx * SPP_SLOTS;
+    int64_t c_sig = k->sp_pt_csig[idx];
+    if (c_sig >= SPP_CMAX) {
+        c_sig >>= 1;
+        for (int64_t i = 0; i < SPP_SLOTS; i++) cl[i] >>= 1;
+    }
+    k->sp_pt_csig[idx] = c_sig + 1;
+    int64_t victim = 0, victim_count = -1;
+    for (int64_t i = 0; i < SPP_SLOTS; i++) {
+        if (dl[i] == delta) {
+            int64_t count = cl[i] + 1;
+            cl[i] = count < SPP_CMAX ? count : SPP_CMAX;
+            return;
+        }
+        if (victim_count < 0 || cl[i] < victim_count) {
+            victim = i; victim_count = cl[i];
+        }
+    }
+    dl[victim] = delta;
+    cl[victim] = 1;
+}
+
+static double spp_threshold(kctx_t *k, int64_t sk, int64_t cycle) {
+    if (sk == SCHEME_ESPP && k_bucket(k, cycle) <= 1) return SPP_THR_RELAX;
+    return SPP_THR_PF;
+}
+
+static void spp_train(kctx_t *k, int64_t sk, int64_t cycle, int64_t pc,
+                      int64_t addr) {
+    int64_t *ci = k->ci;
+    ci[CI_sp_trainings]++;
+    ci[CI_cand_len] = 0;
+    int64_t page = addr >> (LINE_SHIFT + PG_SHIFT);
+    int64_t offset = (addr >> LINE_SHIFT) & 63;
+    int64_t sidx = page & SPP_ST_MASK;
+    int64_t tag = (page >> 8) & 0xFFFF;
+    int64_t signature;
+    if (k->sp_st_tag[sidx] >= 0 && k->sp_st_tag[sidx] == tag) {
+        int64_t delta = offset - k->sp_st_loff[sidx];
+        if (delta == 0) return;
+        spp_pt_update(k, k->sp_st_sig[sidx], delta);
+        signature = spp_advance_sig(k->sp_st_sig[sidx], delta);
+        k->sp_st_sig[sidx] = signature;
+        k->sp_st_loff[sidx] = offset;
+    } else {
+        signature = spp_ghr_bootstrap(k, offset);
+        k->sp_st_tag[sidx] = tag;
+        k->sp_st_loff[sidx] = offset;
+        k->sp_st_sig[sidx] = signature;
+        if (signature == 0) return;
+    }
+    /* _lookahead: the confidence-cascaded walk.  The confidence product
+       is computed in CPython's left-associative order. */
+    double threshold = spp_threshold(k, sk, cycle);
+    int64_t page_base = page << PG_SHIFT;
+    uint64_t seen = 1ull << offset;   /* in-page lines as an offset bitmap */
+    double confidence = 1.0;
+    int64_t off = offset;
+    int64_t n_cands = 0, n_filtered = 0;
+    for (int64_t depth = 0; depth < SPP_DEPTH; depth++) {
+        int64_t idx = (signature ^ (signature >> 6)) & SPP_PT_MASK;
+        int64_t c_sig = k->sp_pt_csig[idx];
+        if (c_sig == 0) break;
+        int64_t *dl = k->sp_pt_delta + idx * SPP_SLOTS;
+        int64_t *cl = k->sp_pt_cdelta + idx * SPP_SLOTS;
+        double best_conf = 0.0;
+        int64_t best_delta = 0;
+        for (int64_t s = 0; s < SPP_SLOTS; s++) {
+            int64_t c_delta = cl[s];
+            if (c_delta == 0) continue;
+            int64_t delta = dl[s];
+            double conf = confidence * (double)c_delta / (double)c_sig;
+            if (conf > best_conf) { best_conf = conf; best_delta = delta; }
+            if (conf < threshold) continue;
+            int64_t target = off + delta;
+            if (target >= 0 && target < 64) {
+                int64_t line = page_base + target;
+                if (!((seen >> target) & 1)) {
+                    /* inlined prefetch filter */
+                    int64_t fidx = (line ^ (line >> 10)) & SPP_FLT_MASK;
+                    if (k->sp_flt[fidx] == line) n_filtered++;
+                    else {
+                        k->sp_flt[fidx] = line;
+                        seen |= 1ull << target;
+                        k->cand_line[n_cands] = line;
+                        k->cand_lp[n_cands] = 0;
+                        n_cands++;
+                    }
+                }
+            } else {
+                /* crossing the page: remember for cross-page bootstrap */
+                spp_ghr_insert(k, signature, conf, off, delta);
+            }
+            if (n_cands >= SPP_MAXC) {
+                ci[CI_sp_filtered] += n_filtered;
+                ci[CI_cand_len] = n_cands;
+                return;
+            }
+        }
+        if (best_delta == 0 || best_conf < SPP_THR_LA) break;
+        int64_t next_off = off + best_delta;
+        if (next_off < 0 || next_off >= 64) break;
+        signature = spp_advance_sig(signature, best_delta);
+        off = next_off;
+        confidence = best_conf;
+    }
+    ci[CI_sp_filtered] += n_filtered;
+    ci[CI_cand_len] = n_cands;
+}
+
+/* --- DSPatch (stock compressed geometry: 32-bit patterns, 16-bit
+       halves, one stored bit per 128B line pair) --- */
+
+static int64_t dp_fold8(int64_t pc) {
+    uint64_t v = (uint64_t)pc;
+    uint64_t out = 0;
+    while (v) { out ^= v & 0xFF; v >>= 8; }
+    return (int64_t)out;
+}
+
+static uint32_t dp_rotl32(uint32_t p, int64_t a) {
+    a &= 31;
+    if (!a) return p;
+    return (p << a) | (p >> (32 - a));
+}
+
+static uint32_t dp_rotr32(uint32_t p, int64_t a) {
+    a &= 31;
+    if (!a) return p;
+    return (p >> a) | (p << (32 - a));
+}
+
+static uint32_t dp_compress(uint64_t p) {
+    uint32_t out = 0;
+    while (p) {
+        int64_t pos = __builtin_ctzll(p);
+        out |= 1u << (pos >> 1);
+        p &= p - 1;
+    }
+    return out;
+}
+
+/* SptEntry.update_half (Section 3.6 order: measure, then CovP, then
+   AccP).  allow_reset is hardcoded true — the stock config. */
+static void dp_update_half(kctx_t *k, int64_t e, int64_t half,
+                           int64_t program_half, int64_t bw_bucket) {
+    int64_t shift = half * 16;
+    int64_t cov = (k->dp_spt_cov[e] >> shift) & 0xFFFF;
+    int64_t acc = (k->dp_spt_acc[e] >> shift) & 0xFFFF;
+    int64_t c_real = __builtin_popcountll((uint64_t)program_half);
+    int64_t c_acc_cov = __builtin_popcountll((uint64_t)(cov & program_half));
+    int64_t c_cov = __builtin_popcountll((uint64_t)cov);
+    int64_t four_acc = 4 * c_acc_cov;
+    int accuracy_bad = (c_cov <= 0) || (four_acc < 2 * c_cov);
+    int coverage_bad = (c_real <= 0) || (four_acc < 2 * c_real);
+    int64_t m = 2 * e + half;
+    if (accuracy_bad || coverage_bad) {
+        if (k->dp_spt_mcov[m] < DP_CMAX) k->dp_spt_mcov[m]++;
+    }
+    int64_t c_acc_acc = __builtin_popcountll((uint64_t)(acc & program_half));
+    int64_t c_acc = __builtin_popcountll((uint64_t)acc);
+    if (c_acc <= 0 || 4 * c_acc_acc < 2 * c_acc) {
+        if (k->dp_spt_macc[m] < DP_CMAX) k->dp_spt_macc[m]++;
+    } else if (k->dp_spt_macc[m] > 0) k->dp_spt_macc[m]--;
+    if (k->dp_spt_mcov[m] >= DP_CMAX && (bw_bucket == 3 || coverage_bad)) {
+        cov = program_half;          /* relearn from scratch */
+        k->dp_spt_or[m] = 0;
+        k->dp_spt_mcov[m] = 0;
+    } else if (k->dp_spt_or[m] < DP_CMAX) {
+        int64_t grown = cov | program_half;
+        if (grown != cov) k->dp_spt_or[m]++;
+        cov = grown;
+    }
+    int64_t cleared = ~(0xFFFFll << shift);
+    k->dp_spt_cov[e] = (k->dp_spt_cov[e] & cleared) | (cov << shift);
+    k->dp_spt_acc[e] = (k->dp_spt_acc[e] & cleared)
+                     | ((program_half & cov) << shift);
+}
+
+/* DSPatch._learn: one bucket read first, then per-trigger SPT folds. */
+static void dp_learn(kctx_t *k, int64_t cycle, uint64_t pattern,
+                     const int64_t *trig_sig, const int64_t *trig_off) {
+    uint32_t program = dp_compress(pattern);
+    int64_t bw_bucket = k_bucket(k, cycle);
+    for (int64_t segment = 0; segment < 2; segment++) {
+        if (trig_sig[segment] < 0) continue;
+        uint32_t anchored = dp_rotr32(program, trig_off[segment] >> 1);
+        int64_t e = trig_sig[segment] & DP_SPT_MASK;
+        int64_t nhalves = segment == 0 ? 2 : 1;
+        for (int64_t half = 0; half < nhalves; half++)
+            dp_update_half(k, e, half,
+                           (int64_t)((anchored >> (half * 16)) & 0xFFFF),
+                           bw_bucket);
+    }
+}
+
+/* DSPatch._predict + _expand: Figure 10 selection per half (one bucket
+   read per half, as the Python does), rotate to the trigger, expand
+   each compressed bit to its line pair skipping the trigger line. */
+static int64_t dp_predict(kctx_t *k, int64_t cycle, int64_t sig,
+                          int64_t page, int64_t trig_off, int64_t segment) {
+    int64_t *ci = k->ci;
+    /* Candidates append after whatever an earlier composite component
+       already emitted (base == 0 for standalone DSPatch). */
+    int64_t base = ci[CI_cand_len];
+    int64_t e = sig & DP_SPT_MASK;
+    int64_t trigger_bit = trig_off >> 1;
+    int64_t nhalves = segment == 0 ? 2 : 1;
+    uint32_t anchored = 0;
+    int64_t low_priority = 0;
+    for (int64_t half = 0; half < nhalves; half++) {
+        int64_t m = 2 * e + half;
+        int64_t bucket = k_bucket(k, cycle);
+        int cov_sat = k->dp_spt_mcov[m] >= DP_CMAX;
+        int acc_sat = k->dp_spt_macc[m] >= DP_CMAX;
+        int64_t chunk;
+        if (bucket == 3) {
+            if (acc_sat) { ci[CI_dp_pred_supp]++; continue; }
+            chunk = (k->dp_spt_acc[e] >> (half * 16)) & 0xFFFF;
+            ci[CI_dp_pred_accp]++;
+        } else if (bucket == 2) {
+            if (cov_sat) {
+                chunk = (k->dp_spt_acc[e] >> (half * 16)) & 0xFFFF;
+                ci[CI_dp_pred_accp]++;
+            } else {
+                chunk = (k->dp_spt_cov[e] >> (half * 16)) & 0xFFFF;
+                ci[CI_dp_pred_covp]++;
+            }
+        } else {
+            chunk = (k->dp_spt_cov[e] >> (half * 16)) & 0xFFFF;
+            ci[CI_dp_pred_covp]++;
+            if (cov_sat) low_priority = 1;   /* COV_LOW */
+        }
+        anchored |= (uint32_t)chunk << (half * 16);
+    }
+    if (!anchored) return base;
+    uint32_t p = dp_rotl32(anchored, trigger_bit);
+    int64_t base_line = page << PG_SHIFT;
+    int64_t n = base, emitted = 0;
+    while (p) {
+        int64_t first_line = (int64_t)__builtin_ctz(p) << 1;
+        p &= p - 1;
+        for (int64_t lo = first_line; lo < first_line + 2; lo++) {
+            if (lo == trig_off) continue;
+            int64_t line = base_line + lo;
+            /* Composite merge: earlier components take precedence, so a
+               line already emitted (by SPP, at cand 0..base) is dropped —
+               but it still counts toward DSPatch's own per-trigger cap,
+               which the Python applies before the merge dedup. */
+            int dup = 0;
+            for (int64_t j = 0; j < base; j++)
+                if (k->cand_line[j] == line) { dup = 1; break; }
+            if (!dup) {
+                k->cand_line[n] = line;
+                k->cand_lp[n] = low_priority;
+                n++;
+            }
+            emitted++;
+            if (emitted >= DP_MAXC) return n;
+        }
+    }
+    return n;
+}
+
+/* DSPatch.train: PB LRU scan over packed arrays (index 0 = oldest,
+   matching dict insertion order), insert-then-learn on eviction, then
+   the segment trigger and the pattern-bit record. */
+static void dp_train(kctx_t *k, int64_t cycle, int64_t pc, int64_t addr) {
+    int64_t *ci = k->ci;
+    ci[CI_dp_trainings]++;
+    int64_t page = addr >> (LINE_SHIFT + PG_SHIFT);
+    int64_t line_off = (addr >> LINE_SHIFT) & 63;
+    int64_t segment = line_off >> 5;
+    int64_t len = ci[CI_dp_pb_len];
+    int64_t slot = -1;
+    for (int64_t i = 0; i < len; i++)
+        if (k->dp_pb_page[i] == page) { slot = i; break; }
+    if (slot >= 0) {
+        /* LRU refresh: move to the tail, preserving relative order. */
+        uint64_t pat = k->dp_pb_pattern[slot];
+        int64_t s0 = k->dp_pb_trig_sig[2 * slot];
+        int64_t s1 = k->dp_pb_trig_sig[2 * slot + 1];
+        int64_t o0 = k->dp_pb_trig_off[2 * slot];
+        int64_t o1 = k->dp_pb_trig_off[2 * slot + 1];
+        for (int64_t i = slot; i < len - 1; i++) {
+            k->dp_pb_page[i] = k->dp_pb_page[i + 1];
+            k->dp_pb_pattern[i] = k->dp_pb_pattern[i + 1];
+            k->dp_pb_trig_sig[2 * i] = k->dp_pb_trig_sig[2 * i + 2];
+            k->dp_pb_trig_sig[2 * i + 1] = k->dp_pb_trig_sig[2 * i + 3];
+            k->dp_pb_trig_off[2 * i] = k->dp_pb_trig_off[2 * i + 2];
+            k->dp_pb_trig_off[2 * i + 1] = k->dp_pb_trig_off[2 * i + 3];
+        }
+        slot = len - 1;
+        k->dp_pb_page[slot] = page;
+        k->dp_pb_pattern[slot] = pat;
+        k->dp_pb_trig_sig[2 * slot] = s0;
+        k->dp_pb_trig_sig[2 * slot + 1] = s1;
+        k->dp_pb_trig_off[2 * slot] = o0;
+        k->dp_pb_trig_off[2 * slot + 1] = o1;
+    } else {
+        uint64_t ev_pat = 0;
+        int64_t ev_sig[2] = {-1, -1};
+        int64_t ev_off[2] = {0, 0};
+        int evicted = 0;
+        if (len >= DP_PB) {
+            ev_pat = k->dp_pb_pattern[0];
+            ev_sig[0] = k->dp_pb_trig_sig[0];
+            ev_sig[1] = k->dp_pb_trig_sig[1];
+            ev_off[0] = k->dp_pb_trig_off[0];
+            ev_off[1] = k->dp_pb_trig_off[1];
+            evicted = 1;
+            ci[CI_dp_pb_evictions]++;
+            for (int64_t i = 0; i < len - 1; i++) {
+                k->dp_pb_page[i] = k->dp_pb_page[i + 1];
+                k->dp_pb_pattern[i] = k->dp_pb_pattern[i + 1];
+                k->dp_pb_trig_sig[2 * i] = k->dp_pb_trig_sig[2 * i + 2];
+                k->dp_pb_trig_sig[2 * i + 1] = k->dp_pb_trig_sig[2 * i + 3];
+                k->dp_pb_trig_off[2 * i] = k->dp_pb_trig_off[2 * i + 2];
+                k->dp_pb_trig_off[2 * i + 1] = k->dp_pb_trig_off[2 * i + 3];
+            }
+            len--;
+        }
+        slot = len;
+        k->dp_pb_page[slot] = page;
+        k->dp_pb_pattern[slot] = 0;
+        k->dp_pb_trig_sig[2 * slot] = -1;
+        k->dp_pb_trig_sig[2 * slot + 1] = -1;
+        k->dp_pb_trig_off[2 * slot] = 0;
+        k->dp_pb_trig_off[2 * slot + 1] = 0;
+        ci[CI_dp_pb_len] = len + 1;
+        /* Python order: PageBuffer.insert first, then _learn(evicted). */
+        if (evicted) dp_learn(k, cycle, ev_pat, ev_sig, ev_off);
+    }
+    if (k->dp_pb_trig_sig[2 * slot + segment] < 0) {
+        int64_t signature = dp_fold8(pc);
+        k->dp_pb_trig_sig[2 * slot + segment] = signature;
+        k->dp_pb_trig_off[2 * slot + segment] = line_off;
+        ci[CI_dp_triggers]++;
+        ci[CI_cand_len] = dp_predict(k, cycle, signature, page, line_off, segment);
+    }
+    k->dp_pb_pattern[slot] |= 1ull << line_off;
+}
+
+static void scheme_train(kctx_t *k, int64_t sk, int64_t cycle, int64_t pc,
+                         int64_t addr) {
+    if (sk == SCHEME_SPP_DSPATCH) {
+        /* Section 5.1 adjunct composite: SPP trains first (arbitration
+           priority), DSPatch appends with the merge dedup in dp_predict. */
+        spp_train(k, SCHEME_SPP, cycle, pc, addr);
+        dp_train(k, cycle, pc, addr);
+    } else if (sk == SCHEME_DSPATCH) {
+        k->ci[CI_cand_len] = 0;
+        dp_train(k, cycle, pc, addr);
+    } else {
+        spp_train(k, sk, cycle, pc, addr);
+    }
+}
+
 /* --------------------------------------------- MemoryHierarchy._below_l1 */
 
 /* Pre-crossing half: the L2 lookup.  Saves the lookup outcome in the
    b_* slots; returns nonzero when the scheme must be trained (the
-   caller fills the mailbox and returns RC_TRAIN). */
+   caller runs the compiled twin, or appends a train_buf record and
+   returns RC_TRAIN). */
 static int below_l1_pre(kctx_t *k, int64_t cycle, int64_t addr, int64_t is_write) {
     int64_t *ci = k->ci;
     int64_t line = addr >> LINE_SHIFT;
@@ -563,6 +1039,28 @@ static void bind(kctx_t *k, void **P) {
     k->note_buf = (int64_t *)P[P_note_buf];
     k->cand_line = (int64_t *)P[P_cand_line];
     k->cand_lp = (int64_t *)P[P_cand_lp];
+    k->train_buf = (int64_t *)P[P_train_buf];
+
+    k->sp_st_tag = (int64_t *)P[P_sp_st_tag];
+    k->sp_st_loff = (int64_t *)P[P_sp_st_loff];
+    k->sp_st_sig = (int64_t *)P[P_sp_st_sig];
+    k->sp_pt_csig = (int64_t *)P[P_sp_pt_csig];
+    k->sp_pt_delta = (int64_t *)P[P_sp_pt_delta];
+    k->sp_pt_cdelta = (int64_t *)P[P_sp_pt_cdelta];
+    k->sp_ghr_sig = (int64_t *)P[P_sp_ghr_sig];
+    k->sp_ghr_conf = (double *)P[P_sp_ghr_conf];
+    k->sp_ghr_loff = (int64_t *)P[P_sp_ghr_loff];
+    k->sp_ghr_delta = (int64_t *)P[P_sp_ghr_delta];
+    k->sp_flt = (int64_t *)P[P_sp_flt];
+    k->dp_pb_page = (int64_t *)P[P_dp_pb_page];
+    k->dp_pb_pattern = (uint64_t *)P[P_dp_pb_pattern];
+    k->dp_pb_trig_sig = (int64_t *)P[P_dp_pb_trig_sig];
+    k->dp_pb_trig_off = (int64_t *)P[P_dp_pb_trig_off];
+    k->dp_spt_cov = (int64_t *)P[P_dp_spt_cov];
+    k->dp_spt_acc = (int64_t *)P[P_dp_spt_acc];
+    k->dp_spt_mcov = (int64_t *)P[P_dp_spt_mcov];
+    k->dp_spt_or = (int64_t *)P[P_dp_spt_or];
+    k->dp_spt_macc = (int64_t *)P[P_dp_spt_macc];
 }
 
 /* ------------------------------------------------------------------ krun */
@@ -599,6 +1097,7 @@ long krun(void **P) {
     double retire = CF(retire);
     double last_load_done = CF(last_load_done);
     int64_t has_l1pf = CI(has_l1pf);
+    int64_t sk = CI(scheme_kind);
     int64_t s_mask = CI(stride_mask);
     int64_t s_cthr = CI(stride_conf_threshold);
     int64_t s_cmax = CI(stride_conf_max);
@@ -732,15 +1231,20 @@ pf_loop:
             mshr_drain(&k.l1m, cycle);
             if (*k.l1m.len >= k.l1m.cap) { pf_i++; continue; }
             if (below_l1_pre(&k, cycle, cand << LINE_SHIFT, 0)) {
-                SAVE_CTX;
-                CI(mb_cycle) = cycle; CI(mb_pc) = pc;
-                CI(mb_addr) = cand << LINE_SHIFT;
-                CI(mb_hit) = CI(b_slot) >= 0;
-                CI(phase) = PH_L1PF_TRAIN;
-                SAVE_LOCALS;
-                return RC_TRAIN;
-            }
-            CI(cand_len) = 0;
+                if (sk) scheme_train(&k, sk, cycle, pc, cand << LINE_SHIFT);
+                else {
+                    SAVE_CTX;
+                    int64_t n = CI(tb_len);
+                    int64_t *tb = k.train_buf + 4 * n;
+                    tb[0] = cycle; tb[1] = pc;
+                    tb[2] = cand << LINE_SHIFT;
+                    tb[3] = CI(b_slot) >= 0;
+                    CI(tb_len) = n + 1;
+                    CI(phase) = PH_L1PF_TRAIN;
+                    SAVE_LOCALS;
+                    return RC_TRAIN;
+                }
+            } else CI(cand_len) = 0;
 resume_l1pf:
             latency = below_l1_post(&k, cycle, 0, &lvl);
             mshr_allocate(&k.l1m, cycle, cycle + latency);
@@ -757,14 +1261,19 @@ resume_l1pf:
             lvl = 0;
         } else {
             if (below_l1_pre(&k, cycle, addr, is_write)) {
-                SAVE_CTX;
-                CI(mb_cycle) = cycle; CI(mb_pc) = pc; CI(mb_addr) = addr;
-                CI(mb_hit) = CI(b_slot) >= 0;
-                CI(phase) = PH_DEMAND_TRAIN;
-                SAVE_LOCALS;
-                return RC_TRAIN;
-            }
-            CI(cand_len) = 0;
+                if (sk) scheme_train(&k, sk, cycle, pc, addr);
+                else {
+                    SAVE_CTX;
+                    int64_t n = CI(tb_len);
+                    int64_t *tb = k.train_buf + 4 * n;
+                    tb[0] = cycle; tb[1] = pc; tb[2] = addr;
+                    tb[3] = CI(b_slot) >= 0;
+                    CI(tb_len) = n + 1;
+                    CI(phase) = PH_DEMAND_TRAIN;
+                    SAVE_LOCALS;
+                    return RC_TRAIN;
+                }
+            } else CI(cand_len) = 0;
 resume_demand:
             latency = below_l1_post(&k, cycle, is_write, &lvl);
             latency += mshr_allocate(&k.l1m, cycle, cycle + latency);
@@ -807,4 +1316,4 @@ long kbucket(long long *si_, double *sf, long long cycle) {
 
 def generate_source():
     """The complete C translation unit for the compiled kernel."""
-    return _defines() + "\n" + _BODY
+    return _defines() + "\n" + _scheme_defines() + "\n" + _BODY

@@ -25,14 +25,55 @@ _INF = float("inf")
 _MAX_FLOAT = math.nextafter(_INF, 0.0)
 
 
-def kernel_available():
-    """True when the compiled kernel can be built (or is already cached)."""
-    try:
-        from repro.kernel.cbuild import toolchain_available
+#: Memoized probe result: ``(ok, kind, reason)`` where ``kind`` is
+#: ``"toolchain"`` (no compiler — the expected, quiet degradation) or
+#: ``"build"`` (compiler present but codegen/compile/load failed — a real
+#: bug that callers must surface, never swallow).
+_probe = None
 
-        return toolchain_available()
-    except Exception:
-        return False
+
+def _probe_kernel():
+    global _probe
+    if _probe is not None:
+        return _probe
+    try:
+        from repro.kernel import cbuild
+    except Exception as exc:  # import error in the kernel package itself
+        _probe = (False, "build", f"kernel modules failed to import: {exc}")
+        return _probe
+    if not cbuild.toolchain_available():
+        _probe = (False, "toolchain", "no C compiler on PATH")
+        return _probe
+    try:
+        cbuild.load_kernel()
+    except Exception as exc:
+        _probe = (False, "build", f"{type(exc).__name__}: {exc}")
+        return _probe
+    _probe = (True, None, None)
+    return _probe
+
+
+def kernel_available():
+    """True when the compiled kernel is built and loadable.
+
+    This eagerly builds the kernel (memoized per process), so a broken
+    codegen or compile reports as a *build* failure via
+    :func:`kernel_unavailable_reason` instead of masquerading as a
+    missing toolchain.
+    """
+    return _probe_kernel()[0]
+
+
+def kernel_unavailable_reason():
+    """``(kind, reason)`` when the compiled kernel is unavailable, else None.
+
+    ``kind`` is ``"toolchain"`` — no C compiler, the legitimate quiet
+    fallback — or ``"build"`` — the toolchain is present but the kernel
+    failed to generate, compile or load, which is a bug the caller must
+    report (and a hard error under an explicit ``--kernel compiled``).
+    """
+    ok, kind, reason = _probe_kernel()
+    return None if ok else (kind, reason)
 
 
 class KernelBandwidth:
@@ -113,7 +154,15 @@ class KernelExecution:
         train = None if l2_pf is None else l2_pf.train
         note_useful = None if l2_pf is None else l2_pf.note_useful_prefetch
         note_useless = None if l2_pf is None else l2_pf.note_useless_prefetch
-        self.state = KernelState(execution, trace, domain.shared_state)
+        # Only the compiled domain may substitute C training twins for the
+        # scheme objects; the py kernel trains the live objects directly,
+        # so packing them would clobber that work at write_back.
+        self.state = KernelState(
+            execution,
+            trace,
+            domain.shared_state,
+            compile_scheme=(domain.kind == "compiled"),
+        )
         if domain.kind == "py":
             self.runtime = PyRuntime(
                 self.state,

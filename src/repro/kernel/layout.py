@@ -71,7 +71,8 @@ CI64_NAMES = (
     "has_l1pf", "has_l2pf", "stride_degree", "stride_mask",
     "stride_conf_threshold", "stride_conf_max", "stride_trainings",
     # -- crossing machinery ----------------------------------------------------
-    "mb_cycle", "mb_pc", "mb_addr", "mb_hit",       # train-request mailbox
+    "scheme_kind",      # SCHEME_*: which compiled training twin drives l2_pf
+    "tb_len",           # queued training records in train_buf
     "note_len", "note_cap",                         # queued usefulness notes
     "cand_len", "cand_cap",                         # scheme candidates (in)
     # saved per-op context across a crossing
@@ -79,6 +80,11 @@ CI64_NAMES = (
     "ctx_line", "ctx_l1_slot", "ctx_pf_i", "ctx_pf_n",
     # saved below-L1 context (the half-finished lookup)
     "b_line", "b_slot", "b_first_use",
+    # -- compiled scheme training (live only when scheme_kind > 0) -----------
+    "sp_trainings", "sp_filtered", "sp_fb_issued", "sp_fb_useful",
+    "sp_ghr_len",
+    "dp_pb_len", "dp_pb_evictions", "dp_trainings", "dp_triggers",
+    "dp_pred_covp", "dp_pred_accp", "dp_pred_supp",
 )
 
 #: Per-core float64 slot names.
@@ -124,7 +130,7 @@ PH_DEMAND_TRAIN = 2  # waiting on l2_pf.train for the demand L1 miss
 
 #: ``krun`` return codes.
 RC_DONE = 0         # batch finished (end / horizon / trace exhausted)
-RC_TRAIN = 1        # scheme train requested; mailbox holds the arguments
+RC_TRAIN = 1        # scheme train requested; train_buf holds the records
 
 #: Note-queue record kinds (triples of ``kind, cycle, line``).
 NOTE_USEFUL = 0
@@ -148,7 +154,14 @@ PTR_NAMES = (
     "bank_open", "bank_nextact", "bank_rowready",
     "ch_busfree", "ch_demandfree",
     "infl_line", "infl_ready",
-    "note_buf", "cand_line", "cand_lp", "pf_buf",
+    "note_buf", "cand_line", "cand_lp", "pf_buf", "train_buf",
+    # compiled scheme training state (1-element dummies when scheme_kind == 0)
+    "sp_st_tag", "sp_st_loff", "sp_st_sig",
+    "sp_pt_csig", "sp_pt_delta", "sp_pt_cdelta",
+    "sp_ghr_sig", "sp_ghr_conf", "sp_ghr_loff", "sp_ghr_delta",
+    "sp_flt",
+    "dp_pb_page", "dp_pb_pattern", "dp_pb_trig_sig", "dp_pb_trig_off",
+    "dp_spt_cov", "dp_spt_acc", "dp_spt_mcov", "dp_spt_or", "dp_spt_macc",
 )
 PTR = _index(PTR_NAMES)
 
@@ -158,3 +171,15 @@ PF_BUF_CAP = 64
 
 #: Initial capacity of the crossing buffers; grown on demand.
 CAND_CAP0 = 256
+
+#: Compiled scheme-training twins (slot ``scheme_kind``).  ``SCHEME_PY``
+#: means "no C twin": training crosses back into Python via ``train_buf``.
+SCHEME_PY = 0
+SCHEME_SPP = 1
+SCHEME_ESPP = 2
+SCHEME_DSPATCH = 3
+SCHEME_SPP_DSPATCH = 4  # the Section 5.1 adjunct composite: SPP + DSPatch
+
+#: Capacity (in records) of the batched training-crossing buffer.  Each
+#: record is four int64 slots: cycle, pc, addr, hit.
+TB_CAP = 16

@@ -15,7 +15,12 @@ Working form: per-cache ``dict line -> slot`` plus flat Python lists
 recency order of the object model, so victim selection is an argmin scan
 over the set's ways), heap lists for the MSHRs, a plain dict for the
 in-flight prefetch queue.  Scheme training crosses back into object land
-through ``self._train`` — the prefetcher interface is untouched.
+through ``self._train`` — the prefetcher interface is untouched.  (The
+``py`` kernel always trains the live scheme objects; the compiled
+kernel's C training twins — ``scheme_kind > 0`` — exist only on the C
+side, with ``prefetchers/spp.py`` and ``core/dspatch.py`` as their
+executable specs and ``train_buf`` batching the crossings for everything
+else.)
 """
 
 import heapq

@@ -56,6 +56,78 @@ _PF_STATS = (
 #: Replacement-policy name -> fast victim mode (matches Cache._victim_mode).
 VICTIM_MODES = {"lru": 0, "pf-dead-block": 1}
 
+#: Scheme arrays that exist even when no compiled twin is active (the
+#: pointer table is fixed, so inactive schemes get 1-element dummies).
+_SP_I64_ARRAYS = (
+    "sp_st_tag", "sp_st_loff", "sp_st_sig",
+    "sp_pt_csig", "sp_pt_delta", "sp_pt_cdelta",
+    "sp_ghr_sig", "sp_ghr_loff", "sp_ghr_delta",
+    "sp_flt",
+)
+_DP_I64_ARRAYS = (
+    "dp_pb_page", "dp_pb_trig_sig", "dp_pb_trig_off",
+    "dp_spt_cov", "dp_spt_acc", "dp_spt_mcov", "dp_spt_or", "dp_spt_macc",
+)
+
+
+def _bandwidth_is_packed(bw, dram_obj):
+    """True when ``bw`` reads the monitor state packed into this domain.
+
+    Schemes built by the system drivers hold a
+    :class:`~repro.kernel.execution.KernelBandwidth` wrapper around the
+    DRAM model; during a kernel run its queries hit the same flat monitor
+    slots the generated C mutates, so the C twin's inline bucket reads
+    are equivalent.  A scheme wired to some *other* monitor must keep the
+    Python crossing.
+    """
+    if bw is dram_obj.monitor or bw is dram_obj:
+        return True
+    from repro.kernel.execution import KernelBandwidth
+
+    return isinstance(bw, KernelBandwidth) and bw._dram is dram_obj
+
+
+def _scheme_kind(l2_pf, dram_obj):
+    """SCHEME_* id when ``l2_pf`` has a compiled training twin.
+
+    Only the stock registry shapes qualify: the exact class (subclass
+    variants override hooks the C twin hardcodes) with its default config
+    (the generated C bakes those constants in as ``#define``s), no event
+    tracing, and — for the bandwidth-aware schemes — the packed DRAM
+    monitor as the bandwidth source.  Everything else keeps the
+    ``train_buf`` Python crossing.
+    """
+    if l2_pf is None or getattr(l2_pf, "trace_emit", None) is not None:
+        return layout.SCHEME_PY
+    from repro.core.dspatch import DSPatch, DSPatchConfig
+    from repro.prefetchers.spp import ESPP, SPP, SppConfig
+
+    cls = type(l2_pf)
+    if cls is SPP and l2_pf.config == SppConfig():
+        return layout.SCHEME_SPP
+    if (
+        cls is ESPP
+        and l2_pf.config == SppConfig()
+        and _bandwidth_is_packed(l2_pf.bandwidth, dram_obj)
+    ):
+        return layout.SCHEME_ESPP
+    if (
+        cls is DSPatch
+        and l2_pf.config == DSPatchConfig()
+        and _bandwidth_is_packed(l2_pf.bandwidth, dram_obj)
+    ):
+        return layout.SCHEME_DSPATCH
+    from repro.prefetchers.composite import CompositePrefetcher
+
+    if cls is CompositePrefetcher and len(l2_pf.components) == 2:
+        a, b = l2_pf.components
+        if (
+            _scheme_kind(a, dram_obj) == layout.SCHEME_SPP
+            and _scheme_kind(b, dram_obj) == layout.SCHEME_DSPATCH
+        ):
+            return layout.SCHEME_SPP_DSPATCH
+    return layout.SCHEME_PY
+
 
 def _next_pow2(n):
     p = 1
@@ -243,7 +315,7 @@ class SharedState:
 class KernelState:
     """Flat form of one core: execution + private L1/L2 + MSHRs + stride."""
 
-    def __init__(self, execution, trace, shared):
+    def __init__(self, execution, trace, shared, compile_scheme=False):
         self.execution = execution
         self.hierarchy = execution.hierarchy
         self.shared = shared
@@ -385,8 +457,176 @@ class KernelState:
         self.cand_line = _i64(CAND_CAP0)
         self.cand_lp = _i64(CAND_CAP0)
         self.pf_buf = _i64(PF_BUF_CAP)
+        self.train_buf = _i64(4 * layout.TB_CAP)
         ci[CI64["note_cap"]] = CAND_CAP0 + 16
         ci[CI64["cand_cap"]] = CAND_CAP0
+
+        # Compiled scheme-training twin: pack the scheme's tables into flat
+        # arrays only for the C kernel (the py kernel trains the live
+        # objects directly — packing there would clobber them at
+        # write-back).
+        kind = _scheme_kind(l2_pf, shared.dram_obj) if compile_scheme else 0
+        self.scheme_kind = kind
+        ci[CI64["scheme_kind"]] = kind
+        for nm in _SP_I64_ARRAYS + _DP_I64_ARRAYS:
+            setattr(self, nm, _i64(1))
+        self.sp_ghr_conf = np.zeros(1, dtype=np.float64)
+        self.dp_pb_pattern = np.zeros(1, dtype=np.uint64)
+        if kind in (layout.SCHEME_SPP, layout.SCHEME_ESPP):
+            self._pack_spp(l2_pf, ci)
+        elif kind == layout.SCHEME_DSPATCH:
+            self._pack_dspatch(l2_pf, ci)
+        elif kind == layout.SCHEME_SPP_DSPATCH:
+            self._pack_spp(l2_pf.components[0], ci)
+            self._pack_dspatch(l2_pf.components[1], ci)
+
+    # --------------------------------------------- compiled scheme training
+
+    def _pack_spp(self, pf, ci):
+        cfg = pf.config
+        n_st = cfg.st_entries
+        slots = cfg.delta_slots
+        self.sp_st_tag = np.full(n_st, -1, dtype=np.int64)
+        self.sp_st_loff = _i64(n_st)
+        self.sp_st_sig = _i64(n_st)
+        for i, e in enumerate(pf._st):
+            if e is not None:
+                self.sp_st_tag[i] = e.tag
+                self.sp_st_loff[i] = e.last_offset
+                self.sp_st_sig[i] = e.signature
+        self.sp_pt_csig = np.asarray(pf._pt_c_sig, dtype=np.int64)
+        delta = _i64(cfg.pt_entries * slots)
+        cdelta = _i64(cfg.pt_entries * slots)
+        for i, row in enumerate(pf._pt_slots):
+            base = i * slots
+            for j, (d, c) in enumerate(row):
+                delta[base + j] = d
+                cdelta[base + j] = c
+        self.sp_pt_delta = delta
+        self.sp_pt_cdelta = cdelta
+        self.sp_ghr_sig = _i64(cfg.ghr_entries)
+        self.sp_ghr_conf = np.zeros(cfg.ghr_entries, dtype=np.float64)
+        self.sp_ghr_loff = _i64(cfg.ghr_entries)
+        self.sp_ghr_delta = _i64(cfg.ghr_entries)
+        for i, g in enumerate(pf._ghr):
+            self.sp_ghr_sig[i] = g.signature
+            self.sp_ghr_conf[i] = g.confidence
+            self.sp_ghr_loff[i] = g.last_offset
+            self.sp_ghr_delta[i] = g.delta
+        ci[CI64["sp_ghr_len"]] = len(pf._ghr)
+        self.sp_flt = np.asarray(pf._filter, dtype=np.int64)
+        ci[CI64["sp_trainings"]] = pf.trainings
+        ci[CI64["sp_filtered"]] = pf.filtered
+        ci[CI64["sp_fb_issued"]] = pf.feedback_issued
+        ci[CI64["sp_fb_useful"]] = pf.feedback_useful
+
+    def _pack_dspatch(self, pf, ci):
+        cfg = pf.config
+        n_pb = cfg.pb_entries
+        n_spt = cfg.spt_entries
+        self.dp_pb_page = _i64(n_pb)
+        # Patterns are 64-bit with bit 63 reachable (line offset 63), so
+        # they live in uint64 — int64 would overflow on pack.
+        self.dp_pb_pattern = np.zeros(n_pb, dtype=np.uint64)
+        self.dp_pb_trig_sig = np.full(2 * n_pb, -1, dtype=np.int64)
+        self.dp_pb_trig_off = _i64(2 * n_pb)
+        pages = pf.page_buffer._pages
+        # Dict order is LRU order (oldest first); the C side keeps the same
+        # invariant over the packed arrays.
+        for i, entry in enumerate(pages.values()):
+            self.dp_pb_page[i] = entry.page
+            self.dp_pb_pattern[i] = entry.pattern
+            for seg in (0, 1):
+                trig = entry.triggers[seg]
+                if trig is not None:
+                    self.dp_pb_trig_sig[2 * i + seg] = trig[0]
+                    self.dp_pb_trig_off[2 * i + seg] = trig[1]
+        ci[CI64["dp_pb_len"]] = len(pages)
+        ci[CI64["dp_pb_evictions"]] = pf.page_buffer.evictions
+        self.dp_spt_cov = _i64(n_spt)
+        self.dp_spt_acc = _i64(n_spt)
+        self.dp_spt_mcov = _i64(2 * n_spt)
+        self.dp_spt_or = _i64(2 * n_spt)
+        self.dp_spt_macc = _i64(2 * n_spt)
+        for i, e in enumerate(pf.spt._table):
+            self.dp_spt_cov[i] = e.covp
+            self.dp_spt_acc[i] = e.accp
+            for h in (0, 1):
+                self.dp_spt_mcov[2 * i + h] = e.measure_covp[h]
+                self.dp_spt_or[2 * i + h] = e.or_count[h]
+                self.dp_spt_macc[2 * i + h] = e.measure_accp[h]
+        ci[CI64["dp_trainings"]] = pf.trainings
+        ci[CI64["dp_triggers"]] = pf.triggers
+        ci[CI64["dp_pred_covp"]] = pf.predictions_covp
+        ci[CI64["dp_pred_accp"]] = pf.predictions_accp
+        ci[CI64["dp_pred_supp"]] = pf.predictions_suppressed
+
+    def _write_back_spp(self, pf, ci):
+        from repro.prefetchers.spp import _GhrEntry, _StEntry
+
+        pf.trainings = int(ci[CI64["sp_trainings"]])
+        pf.filtered = int(ci[CI64["sp_filtered"]])
+        pf.feedback_issued = int(ci[CI64["sp_fb_issued"]])
+        pf.feedback_useful = int(ci[CI64["sp_fb_useful"]])
+        tags = self.sp_st_tag.tolist()
+        loffs = self.sp_st_loff.tolist()
+        sigs = self.sp_st_sig.tolist()
+        st = [None] * len(tags)
+        for i, tag in enumerate(tags):
+            if tag >= 0:
+                st[i] = _StEntry(tag, loffs[i], sigs[i])
+        pf._st = st
+        pf._pt_c_sig = self.sp_pt_csig.tolist()
+        slots = pf.config.delta_slots
+        deltas = self.sp_pt_delta.tolist()
+        counts = self.sp_pt_cdelta.tolist()
+        pf._pt_slots = [
+            list(zip(deltas[i : i + slots], counts[i : i + slots]))
+            for i in range(0, len(deltas), slots)
+        ]
+        pf._ghr = [
+            _GhrEntry(
+                int(self.sp_ghr_sig[i]),
+                float(self.sp_ghr_conf[i]),
+                int(self.sp_ghr_loff[i]),
+                int(self.sp_ghr_delta[i]),
+            )
+            for i in range(int(ci[CI64["sp_ghr_len"]]))
+        ]
+        pf._filter = self.sp_flt.tolist()
+
+    def _write_back_dspatch(self, pf, ci):
+        from repro.core.page_buffer import PageBufferEntry
+
+        pf.trainings = int(ci[CI64["dp_trainings"]])
+        pf.triggers = int(ci[CI64["dp_triggers"]])
+        pf.predictions_covp = int(ci[CI64["dp_pred_covp"]])
+        pf.predictions_accp = int(ci[CI64["dp_pred_accp"]])
+        pf.predictions_suppressed = int(ci[CI64["dp_pred_supp"]])
+        pb = pf.page_buffer
+        pb.evictions = int(ci[CI64["dp_pb_evictions"]])
+        pages = {}
+        for i in range(int(ci[CI64["dp_pb_len"]])):
+            entry = PageBufferEntry(int(self.dp_pb_page[i]))
+            entry.pattern = int(self.dp_pb_pattern[i])
+            for seg in (0, 1):
+                sig = int(self.dp_pb_trig_sig[2 * i + seg])
+                if sig >= 0:
+                    entry.triggers[seg] = (sig, int(self.dp_pb_trig_off[2 * i + seg]))
+            pages[entry.page] = entry
+        pb._pages = pages
+        for i, e in enumerate(pf.spt._table):
+            e.covp = int(self.dp_spt_cov[i])
+            e.accp = int(self.dp_spt_acc[i])
+            e.measure_covp = [
+                int(self.dp_spt_mcov[2 * i]),
+                int(self.dp_spt_mcov[2 * i + 1]),
+            ]
+            e.or_count = [int(self.dp_spt_or[2 * i]), int(self.dp_spt_or[2 * i + 1])]
+            e.measure_accp = [
+                int(self.dp_spt_macc[2 * i]),
+                int(self.dp_spt_macc[2 * i + 1]),
+            ]
 
     # ------------------------------------------------------------- plumbing
 
@@ -424,7 +664,12 @@ class KernelState:
             "cand_line": self.cand_line,
             "cand_lp": self.cand_lp,
             "pf_buf": self.pf_buf,
+            "train_buf": self.train_buf,
+            "sp_ghr_conf": self.sp_ghr_conf,
+            "dp_pb_pattern": self.dp_pb_pattern,
         }
+        for nm in _SP_I64_ARRAYS + _DP_I64_ARRAYS:
+            m[nm] = getattr(self, nm)
         for lvl in ("l1", "l2"):
             for f in _CACHE_FIELDS:
                 m[f"{lvl}_{f}"] = getattr(self, f"{lvl}_{f}")
@@ -510,3 +755,16 @@ class KernelState:
                     entry.confidence = confs[i]
                     table[i] = entry
             l1_pf._table = table
+
+        # Compiled scheme training: restore the scheme objects
+        # unconditionally (even with contents=False) — flush_training and
+        # post-run inspection read them right after write-back.
+        if self.scheme_kind:
+            l2_pf = hier.l2_prefetcher
+            if self.scheme_kind == layout.SCHEME_DSPATCH:
+                self._write_back_dspatch(l2_pf, ci)
+            elif self.scheme_kind == layout.SCHEME_SPP_DSPATCH:
+                self._write_back_spp(l2_pf.components[0], ci)
+                self._write_back_dspatch(l2_pf.components[1], ci)
+            else:
+                self._write_back_spp(l2_pf, ci)

@@ -16,6 +16,13 @@ one level deeper, until confidence decays below the threshold.
 eSPP (Section 2.5) lowers the confidence threshold from 25% to 12.5% when
 more than half the DRAM bandwidth is unused — the paper's strawman
 bandwidth-aware tuning of SPP, shown in Figure 6 to scale poorly.
+
+This module is also the *executable spec* for the compiled training twin:
+:mod:`repro.kernel.cgen` emits a C transliteration of ``train`` (including
+``_lookahead``'s float arithmetic in this exact operation order), selected
+at run time by ``kernel/state.py:_scheme_kind`` for default-config
+instances and pinned bit-identical by ``tests/test_kernel_parity.py``.
+Behavioral edits here must be mirrored in the C twin.
 """
 
 from dataclasses import dataclass

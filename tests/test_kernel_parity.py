@@ -186,3 +186,161 @@ def test_unsupported_features_fall_back_to_object():
     ).run(trace)
     assert plain.to_dict() == traced.to_dict()
     assert sink.events  # tracing actually happened on the fallback path
+
+
+# ---------------------------------------------------------------------------
+# Compiled scheme training (SPP / eSPP / DSPatch / the Section 5.1
+# composite get C twins; everything else batches through train_buf).
+
+
+def test_scheme_kind_detection():
+    """Exactly the stock registry shapes get a compiled twin; variants,
+    non-default configs, wrappers and unrelated schemes keep the Python
+    crossing."""
+    from repro.kernel import layout
+    from repro.kernel.state import _scheme_kind
+    from repro.memory.dram import DramModel
+    from repro.prefetchers.registry import build_prefetcher
+
+    dram = DramModel(ST_DRAM)
+    expectations = {
+        "spp": layout.SCHEME_SPP,
+        "espp": layout.SCHEME_ESPP,
+        "dspatch": layout.SCHEME_DSPATCH,
+        "spp+dspatch": layout.SCHEME_SPP_DSPATCH,
+        # no C twin: crossing path
+        "bop": layout.SCHEME_PY,
+        "sms": layout.SCHEME_PY,
+        "dspatch-spt128": layout.SCHEME_PY,  # non-default config
+        "alwayscovp": layout.SCHEME_PY,      # subclass variant
+        "fdp:spp": layout.SCHEME_PY,         # throttle wrapper
+        "spp+bop": layout.SCHEME_PY,         # composite without twin pair
+        "none": layout.SCHEME_PY,
+    }
+    for name, expected in expectations.items():
+        pf = build_prefetcher(name, dram.monitor)
+        assert _scheme_kind(pf, dram) == expected, name
+    # A traced scheme must stay on the object-visible path.
+    pf = build_prefetcher("spp", dram.monitor)
+    pf.attach_trace(lambda *a: None)
+    assert _scheme_kind(pf, dram) == layout.SCHEME_PY
+
+
+_TRAINING_CASES = [
+    # Deep SPP lookahead walks: dense sequential misses build confident
+    # signatures, long trace drives the walk through many depths.
+    ("spp", "fspec06.libquantum", 2600, ST_DRAM),
+    ("espp", "fspec06.libquantum", 2600, MP_DRAM),
+    # DSPatch bandwidth regimes: the narrow MP DRAM config swings the
+    # bucket across the 3/4 CovP/AccP selection threshold mid-run.
+    ("dspatch", "ispec06.mcf", 2600, ST_DRAM),
+    ("dspatch", "hpc.npb-cg", 2600, MP_DRAM),
+    ("espp", "server.tpcc-1", 2200, MP_DRAM),
+    # Composite wrappers: the compiled SPP+DSPatch pair (merge dedup in
+    # C) and a pair without a twin (batched train_buf crossing).
+    ("spp+dspatch", "cloud.memcached", 2400, ST_DRAM),
+    ("spp+dspatch", "hpc.npb-cg", 2400, MP_DRAM),
+    ("spp+bop", "ispec06.mcf", 2000, ST_DRAM),
+]
+
+
+@pytest.mark.parametrize(
+    "scheme,workload,length,dram",
+    _TRAINING_CASES,
+    ids=lambda v: getattr(v, "speed_grade", None) and "dram" or str(v),
+)
+def test_training_heavy_parity(scheme, workload, length, dram):
+    trace = build_trace(workload, length)
+    for warmup_frac in (0.0, 0.25):
+        base = System(
+            _config(scheme, _LLC_GEOMETRIES[1], warmup_frac, "object", dram=dram)
+        ).run(trace).to_dict()
+        for kernel in FLAT_KERNELS:
+            got = System(
+                _config(scheme, _LLC_GEOMETRIES[1], warmup_frac, kernel, dram=dram)
+            ).run(trace).to_dict()
+            _assert_same(base, got, f"train/{scheme}/{workload}/{warmup_frac}/{kernel}")
+
+
+def test_batched_crossing_parity_non_compiled_scheme():
+    """A scheme without a C twin crosses through the train_buf record
+    buffer; results stay bit-identical to the object model."""
+    from repro.kernel import layout
+    from repro.kernel.state import _scheme_kind
+    from repro.memory.dram import DramModel
+    from repro.prefetchers.registry import build_prefetcher
+
+    dram = DramModel(ST_DRAM)
+    assert _scheme_kind(build_prefetcher("sms", dram.monitor), dram) == layout.SCHEME_PY
+    trace = build_trace("server.tpcc-1", 2400)
+    base = System(_config("sms", _LLC_GEOMETRIES[0], 0.1, "object")).run(trace).to_dict()
+    for kernel in FLAT_KERNELS:
+        got = System(_config("sms", _LLC_GEOMETRIES[0], 0.1, kernel)).run(trace).to_dict()
+        _assert_same(base, got, f"batched/sms/{kernel}")
+
+
+def _training_state(pf):
+    """Structural fingerprint of a scheme's training tables and counters."""
+    from repro.core.dspatch import DSPatch
+    from repro.prefetchers.composite import CompositePrefetcher
+    from repro.prefetchers.spp import SPP
+
+    if isinstance(pf, CompositePrefetcher):
+        return [_training_state(c) for c in pf.components]
+    if isinstance(pf, SPP):  # covers ESPP
+        return (
+            [None if e is None else (e.tag, e.last_offset, e.signature) for e in pf._st],
+            list(pf._pt_c_sig),
+            [list(row) for row in pf._pt_slots],
+            [(g.signature, g.confidence, g.last_offset, g.delta) for g in pf._ghr],
+            list(pf._filter),
+            (pf.trainings, pf.filtered, pf.feedback_issued, pf.feedback_useful),
+        )
+    if isinstance(pf, DSPatch):
+        return (
+            [
+                (page, e.pattern, [None if t is None else tuple(t) for t in e.triggers])
+                for page, e in pf.page_buffer._pages.items()
+            ],
+            pf.page_buffer.evictions,
+            [
+                (e.covp, e.accp, list(e.measure_covp), list(e.or_count), list(e.measure_accp))
+                for e in pf.spt._table
+            ],
+            (
+                pf.trainings,
+                pf.triggers,
+                pf.predictions_covp,
+                pf.predictions_accp,
+                pf.predictions_suppressed,
+            ),
+        )
+    raise AssertionError(f"no fingerprint for {type(pf).__name__}")
+
+
+@pytest.mark.parametrize("scheme", ("dspatch", "spp+dspatch"))
+def test_flush_training_sees_identical_residual_state(scheme, monkeypatch):
+    """warmup_frac=0 boundary: the end-of-run drain must observe the same
+    residual training state — and the same run-final cycle, which sets
+    DSPatch's bandwidth bucket for the drained pages — whether training
+    ran in generated C or in Python."""
+    import repro.cpu.system as system_mod
+
+    trace = build_trace("cloud.memcached", 2000)
+    real_flush = system_mod.flush_training_with_cycle
+    captured = {}
+    current = []
+
+    def capturing_flush(pf, cycle):
+        current.append((cycle, _training_state(pf)))
+        real_flush(pf, cycle)
+        current.append(("post", _training_state(pf)))
+
+    monkeypatch.setattr(system_mod, "flush_training_with_cycle", capturing_flush)
+    for kernel in ("object",) + FLAT_KERNELS:
+        current = []
+        System(_config(scheme, _LLC_GEOMETRIES[0], 0.0, kernel)).run(trace)
+        captured[kernel] = current
+    assert captured["object"], "flush was never reached"
+    for kernel in FLAT_KERNELS:
+        assert captured[kernel] == captured["object"], f"flush state diverges ({kernel})"
